@@ -1,0 +1,290 @@
+//! BaselineHD — OnlineHD \[22\], the SOTA HDC classifier the paper uses as
+//! its non-domain-aware reference.
+//!
+//! OnlineHD encodes a feature vector `x` with a nonlinear random
+//! projection: `H_i = cos(⟨x, w_i⟩ + b_i) · sin(⟨x, w_i⟩)` with
+//! `w_i ~ N(0, I)` and `b_i ~ U[0, 2π)`, then trains a single adaptive
+//! classifier (the same Eq. 1–2 update rule SMORE uses per domain). It has
+//! no notion of domains: all source data is pooled, which is precisely why
+//! its leave-one-domain-out accuracy collapses in Figure 1(b).
+
+use smore::pipeline::{BoxError, TaskMeta, WindowClassifier};
+use smore_hdc::model::{HdcClassifier, HdcClassifierConfig};
+use smore_hdc::HdcError;
+use smore_tensor::{init, parallel, vecops, Matrix};
+
+use crate::scaler::ChannelScaler;
+
+/// Configuration for [`BaselineHd`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineHdConfig {
+    /// Hypervector dimensionality (paper: 8k, matching SMORE).
+    pub dim: usize,
+    /// Learning rate of the adaptive update rule.
+    pub learning_rate: f32,
+    /// Maximum training epochs.
+    pub epochs: usize,
+    /// Worker threads for encoding/prediction.
+    pub threads: usize,
+    /// Seed for the projection matrix.
+    pub seed: u64,
+}
+
+impl Default for BaselineHdConfig {
+    /// `d = 8192`, `η = 0.05`, 20 epochs.
+    fn default() -> Self {
+        Self {
+            dim: 8192,
+            learning_rate: 0.05,
+            epochs: 20,
+            threads: smore_tensor::parallel::default_threads(),
+            seed: 0x0811E,
+        }
+    }
+}
+
+/// The OnlineHD-style nonlinear random-projection encoder.
+#[derive(Debug, Clone)]
+pub struct ProjectionEncoder {
+    /// `(features, dim)` Gaussian projection.
+    projection: Matrix,
+    /// Phase offsets, length `dim`.
+    phases: Vec<f32>,
+}
+
+impl ProjectionEncoder {
+    /// Creates an encoder for `features`-wide inputs into `dim` dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidConfig`] when either size is zero.
+    pub fn new(features: usize, dim: usize, seed: u64) -> Result<Self, HdcError> {
+        if features == 0 || dim == 0 {
+            return Err(HdcError::InvalidConfig {
+                what: format!("projection encoder needs non-zero sizes, got {features}x{dim}"),
+            });
+        }
+        let mut rng = init::rng(seed);
+        let projection = init::normal_matrix(&mut rng, features, dim);
+        let phases = init::uniform_vec(&mut rng, dim, 0.0, std::f32::consts::TAU);
+        Ok(Self { projection, phases })
+    }
+
+    /// Input feature width.
+    pub fn features(&self) -> usize {
+        self.projection.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn dim(&self) -> usize {
+        self.projection.cols()
+    }
+
+    /// Encodes a `(batch, features)` matrix into `(batch, dim)`
+    /// hypervectors, in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] for a wrong input width.
+    pub fn encode(&self, flat: &Matrix, threads: usize) -> Result<Matrix, HdcError> {
+        if flat.cols() != self.features() {
+            return Err(HdcError::DimensionMismatch {
+                expected: self.features(),
+                actual: flat.cols(),
+            });
+        }
+        let mut out = Matrix::zeros(flat.rows(), self.dim());
+        let rows: Vec<usize> = (0..flat.rows()).collect();
+        let mut encoded: Vec<Vec<f32>> = vec![Vec::new(); flat.rows()];
+        parallel::par_map_into(&rows, &mut encoded, threads, |&i| {
+            // OnlineHD normalises the feature vector before projecting so
+            // ⟨x, w_j⟩ ~ N(0, 1) stays in the useful range of cos/sin.
+            let mut x = flat.row(i).to_vec();
+            vecops::normalize(&mut x);
+            let mut hv = vec![0.0f32; self.dim()];
+            // ⟨x, w_j⟩ for all j: walk the projection row-major.
+            for (k, &xv) in x.iter().enumerate() {
+                if xv == 0.0 {
+                    continue;
+                }
+                let w_row = self.projection.row(k);
+                vecops::axpy(xv, w_row, &mut hv);
+            }
+            for (j, h) in hv.iter_mut().enumerate() {
+                let dot = *h;
+                *h = (dot + self.phases[j]).cos() * dot.sin();
+            }
+            vecops::normalize(&mut hv);
+            hv
+        });
+        for (i, hv) in encoded.into_iter().enumerate() {
+            out.row_mut(i).copy_from_slice(&hv);
+        }
+        Ok(out)
+    }
+}
+
+/// BaselineHD: projection encoding + one pooled adaptive HDC classifier.
+#[derive(Debug, Clone)]
+pub struct BaselineHd {
+    config: BaselineHdConfig,
+    state: Option<Fitted>,
+}
+
+#[derive(Debug, Clone)]
+struct Fitted {
+    scaler: ChannelScaler,
+    encoder: ProjectionEncoder,
+    model: HdcClassifier,
+}
+
+impl BaselineHd {
+    /// Creates an untrained BaselineHD.
+    pub fn new(config: BaselineHdConfig) -> Self {
+        Self { config, state: None }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BaselineHdConfig {
+        &self.config
+    }
+
+    /// Whether training completed.
+    pub fn is_fitted(&self) -> bool {
+        self.state.is_some()
+    }
+}
+
+impl WindowClassifier for BaselineHd {
+    fn name(&self) -> &str {
+        "BaselineHD"
+    }
+
+    fn fit(
+        &mut self,
+        windows: &[Matrix],
+        labels: &[usize],
+        _domains: &[usize],
+        meta: &TaskMeta,
+    ) -> Result<(), BoxError> {
+        let scaler = ChannelScaler::fit(windows);
+        let flat = scaler.transform(windows);
+        let encoder = ProjectionEncoder::new(flat.cols(), self.config.dim, self.config.seed)?;
+        let encoded = encoder.encode(&flat, self.config.threads)?;
+        let mut model = HdcClassifier::new(HdcClassifierConfig {
+            dim: self.config.dim,
+            num_classes: meta.num_classes,
+            learning_rate: self.config.learning_rate,
+            epochs: self.config.epochs,
+        })?;
+        model.fit(&encoded, labels)?;
+        self.state = Some(Fitted { scaler, encoder, model });
+        Ok(())
+    }
+
+    fn predict(&mut self, windows: &[Matrix]) -> Result<Vec<usize>, BoxError> {
+        let state = self
+            .state
+            .as_ref()
+            .ok_or_else(|| Box::new(HdcError::EmptyInput { what: "BaselineHD not fitted" }))?;
+        let flat = state.scaler.transform(windows);
+        let encoded = state.encoder.encode(&flat, self.config.threads)?;
+        Ok(state.model.predict_batch(&encoded, self.config.threads)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smore_data::generator::{generate, DomainSpec, GeneratorConfig};
+    use smore_data::split;
+
+    fn dataset() -> smore_data::Dataset {
+        generate(&GeneratorConfig {
+            name: "bhd-test".into(),
+            num_classes: 3,
+            channels: 2,
+            window_len: 20,
+            sample_rate_hz: 20.0,
+            domains: vec![
+                DomainSpec { subjects: vec![0, 1], windows: 45 },
+                DomainSpec { subjects: vec![2, 3], windows: 45 },
+                DomainSpec { subjects: vec![4, 5], windows: 45 },
+            ],
+            shift_severity: 1.0,
+            seed: 5,
+        })
+        .unwrap()
+    }
+
+    fn small_config() -> BaselineHdConfig {
+        BaselineHdConfig { dim: 1024, epochs: 10, threads: 2, ..BaselineHdConfig::default() }
+    }
+
+    #[test]
+    fn projection_encoder_shapes_and_validation() {
+        assert!(ProjectionEncoder::new(0, 8, 0).is_err());
+        assert!(ProjectionEncoder::new(8, 0, 0).is_err());
+        let enc = ProjectionEncoder::new(6, 128, 1).unwrap();
+        assert_eq!(enc.features(), 6);
+        assert_eq!(enc.dim(), 128);
+        let x = init::normal_matrix(&mut init::rng(2), 4, 6);
+        let h = enc.encode(&x, 2).unwrap();
+        assert_eq!(h.shape(), (4, 128));
+        assert!(enc.encode(&Matrix::zeros(1, 5), 1).is_err());
+    }
+
+    #[test]
+    fn projection_encoding_is_deterministic_and_unit_norm() {
+        let enc = ProjectionEncoder::new(4, 256, 7).unwrap();
+        let x = init::normal_matrix(&mut init::rng(3), 3, 4);
+        let a = enc.encode(&x, 1).unwrap();
+        let b = enc.encode(&x, 4).unwrap();
+        assert_eq!(a, b);
+        for i in 0..3 {
+            assert!((vecops::norm(a.row(i)) - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn nearby_inputs_encode_similarly() {
+        let enc = ProjectionEncoder::new(8, 2048, 9).unwrap();
+        let mut rng = init::rng(4);
+        let x = init::normal_vec(&mut rng, 8);
+        let mut x_close = x.clone();
+        x_close[0] += 0.01;
+        let x_far = init::normal_vec(&mut rng, 8);
+        let batch = Matrix::from_rows(&[&x, &x_close, &x_far]).unwrap();
+        let h = enc.encode(&batch, 1).unwrap();
+        let close = vecops::cosine(h.row(0), h.row(1));
+        let far = vecops::cosine(h.row(0), h.row(2));
+        assert!(close > far + 0.2, "close {close} vs far {far}");
+    }
+
+    #[test]
+    fn fit_predict_beats_chance_in_domain() {
+        let ds = dataset();
+        let (train, test) = split::kfold(&ds, 3, 0, 1).unwrap();
+        let (trw, trl, trd) = ds.gather(&train);
+        let (tew, tel, _) = ds.gather(&test);
+        let meta = TaskMeta { num_classes: 3, num_domains: 3, channels: 2, window_len: 20 };
+        let mut model = BaselineHd::new(small_config());
+        assert!(!model.is_fitted());
+        model.fit(&trw, &trl, &trd, &meta).unwrap();
+        assert!(model.is_fitted());
+        let preds = model.predict(&tew).unwrap();
+        let acc = preds.iter().zip(&tel).filter(|(p, t)| p == t).count() as f32 / tel.len() as f32;
+        assert!(acc > 1.0 / 3.0 + 0.15, "in-domain accuracy {acc} too low");
+    }
+
+    #[test]
+    fn predict_before_fit_errors() {
+        let mut model = BaselineHd::new(small_config());
+        assert!(model.predict(&[Matrix::zeros(4, 2)]).is_err());
+    }
+
+    #[test]
+    fn classifier_name() {
+        assert_eq!(BaselineHd::new(small_config()).name(), "BaselineHD");
+    }
+}

@@ -1,0 +1,269 @@
+//! The 1-D CNN backbone shared by the DNN baselines (TENT, MDANs).
+//!
+//! Architecture: two convolution blocks (Conv1d → BatchNorm → ReLU)
+//! followed by global average pooling over time and a dense head — a
+//! standard compact HAR classifier sized for the paper's multi-sensor
+//! windows.
+
+use smore::pipeline::{BoxError, TaskMeta, WindowClassifier};
+use smore_nn::layer::{BatchNorm1d, Conv1d, Dense, GlobalAvgPool1d, Relu};
+use smore_nn::network::Sequential;
+use smore_nn::optim::Optimizer;
+use smore_nn::NnError;
+use smore_tensor::Matrix;
+
+use crate::scaler::ChannelScaler;
+
+/// Configuration for the CNN backbone and its supervised training.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CnnConfig {
+    /// Channels of the first convolution block.
+    pub conv1_channels: usize,
+    /// Channels of the second convolution block.
+    pub conv2_channels: usize,
+    /// Kernel length of both convolutions.
+    pub kernel: usize,
+    /// Width of the hidden dense layer (the "feature" width for MDANs).
+    pub feature_width: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Seed for weight initialisation.
+    pub seed: u64,
+}
+
+impl Default for CnnConfig {
+    /// 16/32-channel blocks, kernel 5, 64-wide features, 15 epochs.
+    fn default() -> Self {
+        Self {
+            conv1_channels: 16,
+            conv2_channels: 32,
+            kernel: 5,
+            feature_width: 64,
+            epochs: 15,
+            batch_size: 32,
+            learning_rate: 0.003,
+            seed: 0xC4_4,
+        }
+    }
+}
+
+/// Builds the convolutional *feature extractor* (everything up to and
+/// including the dense feature layer): input `(batch, time * channels)`,
+/// output `(batch, feature_width)`.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] when the window is too short for the
+/// two stacked kernels or any size is zero.
+pub fn build_feature_extractor(
+    time: usize,
+    channels: usize,
+    config: &CnnConfig,
+) -> Result<Sequential, NnError> {
+    let conv1 = Conv1d::new(time, channels, config.conv1_channels, config.kernel, config.seed)?;
+    let t1 = conv1.out_time();
+    let conv2 =
+        Conv1d::new(t1, config.conv1_channels, config.conv2_channels, config.kernel, config.seed + 1)?;
+    let t2 = conv2.out_time();
+    let mut net = Sequential::new();
+    net.push(conv1);
+    net.push(BatchNorm1d::new(config.conv1_channels)?);
+    net.push(Relu::new());
+    net.push(conv2);
+    net.push(BatchNorm1d::new(config.conv2_channels)?);
+    net.push(Relu::new());
+    net.push(GlobalAvgPool1d::new(t2, config.conv2_channels)?);
+    net.push(Dense::new(config.conv2_channels, config.feature_width, config.seed + 2)?);
+    net.push(Relu::new());
+    Ok(net)
+}
+
+/// Builds the classification head: `(batch, feature_width)` → logits.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] for zero widths.
+pub fn build_classifier_head(
+    feature_width: usize,
+    num_classes: usize,
+    seed: u64,
+) -> Result<Sequential, NnError> {
+    let mut net = Sequential::new();
+    net.push(Dense::new(feature_width, num_classes, seed)?);
+    Ok(net)
+}
+
+/// A plain supervised CNN classifier (the source model TENT adapts, and a
+/// no-adaptation DNN reference).
+#[derive(Debug)]
+pub struct CnnClassifier {
+    config: CnnConfig,
+    state: Option<CnnState>,
+}
+
+#[derive(Debug)]
+pub(crate) struct CnnState {
+    pub(crate) scaler: ChannelScaler,
+    pub(crate) features: Sequential,
+    pub(crate) head: Sequential,
+}
+
+impl CnnClassifier {
+    /// Creates an untrained CNN classifier.
+    pub fn new(config: CnnConfig) -> Self {
+        Self { config, state: None }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CnnConfig {
+        &self.config
+    }
+
+    /// Whether training completed.
+    pub fn is_fitted(&self) -> bool {
+        self.state.is_some()
+    }
+
+    pub(crate) fn state_mut(&mut self) -> Option<&mut CnnState> {
+        self.state.as_mut()
+    }
+
+    pub(crate) fn train_supervised(
+        &mut self,
+        windows: &[Matrix],
+        labels: &[usize],
+        meta: &TaskMeta,
+    ) -> Result<(), BoxError> {
+        let scaler = ChannelScaler::fit(windows);
+        let x = scaler.transform(windows);
+        let mut features = build_feature_extractor(meta.window_len, meta.channels, &self.config)?;
+        let mut head =
+            build_classifier_head(self.config.feature_width, meta.num_classes, self.config.seed + 3)?;
+        let opt = Optimizer::adam(self.config.learning_rate);
+        for _ in 0..self.config.epochs {
+            let mut start = 0usize;
+            while start < x.rows() {
+                let end = (start + self.config.batch_size).min(x.rows());
+                let idx: Vec<usize> = (start..end).collect();
+                let xb = x.select_rows(&idx);
+                let yb = &labels[start..end];
+                let feats = features.forward(&xb, true)?;
+                let logits = head.forward(&feats, true)?;
+                let (_, grad) = smore_nn::loss::softmax_cross_entropy(&logits, yb)?;
+                features.zero_grad();
+                head.zero_grad();
+                let g_feats = head.backward(&grad)?;
+                features.backward(&g_feats)?;
+                features.update(&opt);
+                head.update(&opt);
+                start = end;
+            }
+        }
+        self.state = Some(CnnState { scaler, features, head });
+        Ok(())
+    }
+
+    pub(crate) fn logits(&mut self, windows: &[Matrix], training: bool) -> Result<Matrix, BoxError> {
+        let state = self
+            .state
+            .as_mut()
+            .ok_or_else(|| Box::new(NnError::InvalidConfig { what: "CNN not fitted".into() }))?;
+        let x = state.scaler.transform(windows);
+        let feats = state.features.forward(&x, training)?;
+        Ok(state.head.forward(&feats, training)?)
+    }
+}
+
+impl WindowClassifier for CnnClassifier {
+    fn name(&self) -> &str {
+        "CNN"
+    }
+
+    fn fit(
+        &mut self,
+        windows: &[Matrix],
+        labels: &[usize],
+        _domains: &[usize],
+        meta: &TaskMeta,
+    ) -> Result<(), BoxError> {
+        self.train_supervised(windows, labels, meta)
+    }
+
+    fn predict(&mut self, windows: &[Matrix]) -> Result<Vec<usize>, BoxError> {
+        let logits = self.logits(windows, false)?;
+        Ok((0..logits.rows())
+            .map(|i| smore_tensor::vecops::argmax(logits.row(i)).unwrap_or(0))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smore_data::generator::{generate, DomainSpec, GeneratorConfig};
+
+    pub(crate) fn dataset() -> smore_data::Dataset {
+        generate(&GeneratorConfig {
+            name: "cnn-test".into(),
+            num_classes: 3,
+            channels: 2,
+            window_len: 20,
+            sample_rate_hz: 20.0,
+            domains: vec![
+                DomainSpec { subjects: vec![0, 1], windows: 45 },
+                DomainSpec { subjects: vec![2, 3], windows: 45 },
+            ],
+            shift_severity: 0.5,
+            seed: 21,
+        })
+        .unwrap()
+    }
+
+    fn small_config() -> CnnConfig {
+        CnnConfig {
+            conv1_channels: 8,
+            conv2_channels: 8,
+            kernel: 3,
+            feature_width: 16,
+            epochs: 20,
+            batch_size: 16,
+            ..CnnConfig::default()
+        }
+    }
+
+    #[test]
+    fn feature_extractor_shapes() {
+        let cfg = small_config();
+        let mut f = build_feature_extractor(20, 2, &cfg).unwrap();
+        let x = Matrix::zeros(3, 40);
+        let out = f.forward(&x, false).unwrap();
+        assert_eq!(out.shape(), (3, 16));
+        // Window too short for two kernels of 3 stacked: time 3 -> conv1 out 1 < kernel.
+        assert!(build_feature_extractor(3, 2, &cfg).is_err());
+    }
+
+    #[test]
+    fn cnn_learns_training_data() {
+        let ds = dataset();
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let (w, l, d) = ds.gather(&idx);
+        let meta = TaskMeta { num_classes: 3, num_domains: 2, channels: 2, window_len: 20 };
+        let mut model = CnnClassifier::new(small_config());
+        model.fit(&w, &l, &d, &meta).unwrap();
+        let preds = model.predict(&w).unwrap();
+        let acc = preds.iter().zip(&l).filter(|(p, t)| p == t).count() as f32 / l.len() as f32;
+        assert!(acc > 0.6, "CNN training accuracy {acc} too low");
+    }
+
+    #[test]
+    fn predict_before_fit_errors() {
+        let mut model = CnnClassifier::new(small_config());
+        assert!(!model.is_fitted());
+        assert!(model.predict(&[Matrix::zeros(20, 2)]).is_err());
+        assert_eq!(model.name(), "CNN");
+    }
+}

@@ -1,0 +1,32 @@
+//! The baselines of the SMORE evaluation (paper §4.1).
+//!
+//! Every algorithm implements `smore::pipeline::WindowClassifier`, so the
+//! benchmark harness runs all of them under the exact same protocol:
+//!
+//! - [`baseline_hd::BaselineHd`] — OnlineHD \[22\]: the SOTA single-model
+//!   HDC classifier with a nonlinear random-projection encoder and no
+//!   notion of domains. The reference point for the paper's Figure 1(b)
+//!   LODO-vs-k-fold collapse and the +20.25% claim.
+//! - [`domino::Domino`] — DOMINO \[8\]: HDC domain *generalisation* that
+//!   repeatedly identifies domain-variant dimensions (where per-domain
+//!   models disagree), discards and regenerates them. Starts at `d* = 1k`
+//!   and regenerates until the cumulative dimension count matches SMORE's
+//!   `d = 8k`, which is why its training is slow and its inference fast.
+//! - [`cnn::CnnClassifier`] — the 1-D CNN backbone (conv → BN → ReLU →
+//!   pool → dense) shared by the DNN baselines.
+//! - [`tent::Tent`] — TENT \[4\]: fully test-time adaptation; freezes the
+//!   source CNN except the BatchNorm affine parameters and minimises
+//!   prediction entropy on each test batch.
+//! - [`mdan::Mdan`] — MDANs \[5\]: multi-source domain-adversarial
+//!   networks with one discriminator per source domain trained through a
+//!   gradient-reversal layer, using the unlabelled target windows the
+//!   evaluation protocol provides to DA algorithms.
+
+#![warn(missing_docs)]
+
+pub mod baseline_hd;
+pub mod cnn;
+pub mod domino;
+pub mod mdan;
+pub mod scaler;
+pub mod tent;

@@ -1,0 +1,301 @@
+//! MDANs \[5\] — multiple-source domain adaptation with adversarial
+//! learning.
+//!
+//! A shared feature extractor `F` feeds (i) a task classifier `C` trained
+//! on labelled source windows and (ii) one binary domain discriminator
+//! `D_k` per source domain, trained to tell domain-`k` windows from
+//! (unlabelled) target windows. The discriminators see features through a
+//! gradient-reversal layer, so their training signal pushes `F` toward
+//! features the discriminators *cannot* separate — i.e. domain-invariant
+//! features aligned between every source and the target.
+//!
+//! Training alternates a supervised step with one adversarial step per
+//! source domain, the standard optimisation of the soft-max MDAN
+//! objective. Inference is a plain forward pass (`C(F(x))`), so MDANs pays
+//! its DA cost at training time, unlike TENT.
+
+use smore::pipeline::{BoxError, TaskMeta, WindowClassifier};
+use smore_nn::layer::{Dense, GradReversal, Relu};
+use smore_nn::loss;
+use smore_nn::network::Sequential;
+use smore_nn::optim::Optimizer;
+use smore_nn::NnError;
+use smore_tensor::{vecops, Matrix};
+
+use crate::cnn::{build_classifier_head, build_feature_extractor, CnnConfig};
+use crate::scaler::ChannelScaler;
+
+/// Configuration for [`Mdan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MdanConfig {
+    /// Backbone configuration (feature extractor + task head sizes).
+    pub cnn: CnnConfig,
+    /// Gradient-reversal coefficient `λ`.
+    pub lambda: f32,
+    /// Hidden width of each domain discriminator.
+    pub discriminator_width: usize,
+}
+
+impl Default for MdanConfig {
+    /// `λ = 0.3`, 32-wide discriminators.
+    fn default() -> Self {
+        Self { cnn: CnnConfig::default(), lambda: 0.3, discriminator_width: 32 }
+    }
+}
+
+/// The MDANs domain-adversarial classifier.
+#[derive(Debug)]
+pub struct Mdan {
+    config: MdanConfig,
+    state: Option<Fitted>,
+}
+
+#[derive(Debug)]
+struct Fitted {
+    scaler: ChannelScaler,
+    features: Sequential,
+    head: Sequential,
+}
+
+impl Mdan {
+    /// Creates an untrained MDANs instance.
+    pub fn new(config: MdanConfig) -> Self {
+        Self { config, state: None }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MdanConfig {
+        &self.config
+    }
+
+    /// Whether training completed.
+    pub fn is_fitted(&self) -> bool {
+        self.state.is_some()
+    }
+
+    fn build_discriminator(&self, seed: u64) -> Result<Sequential, NnError> {
+        let mut d = Sequential::new();
+        d.push(GradReversal::new(self.config.lambda));
+        d.push(Dense::new(self.config.cnn.feature_width, self.config.discriminator_width, seed)?);
+        d.push(Relu::new());
+        d.push(Dense::new(self.config.discriminator_width, 2, seed + 1)?);
+        Ok(d)
+    }
+}
+
+impl WindowClassifier for Mdan {
+    fn name(&self) -> &str {
+        "MDANs"
+    }
+
+    /// Source-only fallback: without target windows MDANs degenerates to a
+    /// supervised CNN (the adversarial heads have nothing to align to).
+    fn fit(
+        &mut self,
+        windows: &[Matrix],
+        labels: &[usize],
+        domains: &[usize],
+        meta: &TaskMeta,
+    ) -> Result<(), BoxError> {
+        self.fit_with_target(windows, labels, domains, meta, &[])
+    }
+
+    fn fit_with_target(
+        &mut self,
+        windows: &[Matrix],
+        labels: &[usize],
+        domains: &[usize],
+        meta: &TaskMeta,
+        target_windows: &[Matrix],
+    ) -> Result<(), BoxError> {
+        if windows.is_empty() || windows.len() != labels.len() || windows.len() != domains.len() {
+            return Err(Box::new(NnError::InvalidConfig {
+                what: format!(
+                    "MDANs needs equal non-empty arrays: {} windows, {} labels, {} domains",
+                    windows.len(),
+                    labels.len(),
+                    domains.len()
+                ),
+            }));
+        }
+        let cfg = &self.config.cnn;
+        let scaler = ChannelScaler::fit(windows);
+        let x = scaler.transform(windows);
+        let x_target = if target_windows.is_empty() {
+            None
+        } else {
+            Some(scaler.transform(target_windows))
+        };
+
+        let mut features = build_feature_extractor(meta.window_len, meta.channels, cfg)?;
+        let mut head = build_classifier_head(cfg.feature_width, meta.num_classes, cfg.seed + 3)?;
+
+        let mut tags: Vec<usize> = domains.to_vec();
+        tags.sort_unstable();
+        tags.dedup();
+        let mut discriminators: Vec<Sequential> = tags
+            .iter()
+            .enumerate()
+            .map(|(k, _)| self.build_discriminator(cfg.seed + 100 + k as u64))
+            .collect::<Result<_, _>>()?;
+        let per_domain: Vec<Vec<usize>> = tags
+            .iter()
+            .map(|&tag| (0..domains.len()).filter(|&i| domains[i] == tag).collect())
+            .collect();
+
+        let opt = Optimizer::adam(cfg.learning_rate);
+        let half = (cfg.batch_size / 2).max(1);
+
+        for epoch in 0..cfg.epochs {
+            // Supervised pass over the pooled source data.
+            let mut start = 0usize;
+            while start < x.rows() {
+                let end = (start + cfg.batch_size).min(x.rows());
+                let idx: Vec<usize> = (start..end).collect();
+                let xb = x.select_rows(&idx);
+                let yb = &labels[start..end];
+                let feats = features.forward(&xb, true)?;
+                let logits = head.forward(&feats, true)?;
+                let (_, grad) = loss::softmax_cross_entropy(&logits, yb)?;
+                features.zero_grad();
+                head.zero_grad();
+                let g = head.backward(&grad)?;
+                features.backward(&g)?;
+                features.update(&opt);
+                head.update(&opt);
+                start = end;
+            }
+
+            // Adversarial pass: one step per source domain against the
+            // target batch (only possible when target data exists).
+            if let Some(xt) = &x_target {
+                for (k, domain_idx) in per_domain.iter().enumerate() {
+                    // Rotate through the domain's and target's windows.
+                    let offset = (epoch * half) % domain_idx.len().max(1);
+                    let src_rows: Vec<usize> = (0..half.min(domain_idx.len()))
+                        .map(|j| domain_idx[(offset + j) % domain_idx.len()])
+                        .collect();
+                    let t_offset = (epoch * half) % xt.rows().max(1);
+                    let tgt_rows: Vec<usize> =
+                        (0..half.min(xt.rows())).map(|j| (t_offset + j) % xt.rows()).collect();
+                    let xs = x.select_rows(&src_rows);
+                    let xtb = xt.select_rows(&tgt_rows);
+                    let batch = xs.vstack(&xtb)?;
+                    // Domain labels: 0 = source-k, 1 = target.
+                    let mut dlabels = vec![0usize; src_rows.len()];
+                    dlabels.extend(std::iter::repeat(1).take(tgt_rows.len()));
+
+                    let feats = features.forward(&batch, true)?;
+                    let d = &mut discriminators[k];
+                    let dlogits = d.forward(&feats, true)?;
+                    let (_, grad) = loss::softmax_cross_entropy(&dlogits, &dlabels)?;
+                    features.zero_grad();
+                    d.zero_grad();
+                    let g_feats = d.backward(&grad)?; // reversed by the GRL
+                    features.backward(&g_feats)?;
+                    features.update(&opt);
+                    d.update(&opt);
+                }
+            }
+        }
+
+        self.state = Some(Fitted { scaler, features, head });
+        Ok(())
+    }
+
+    fn predict(&mut self, windows: &[Matrix]) -> Result<Vec<usize>, BoxError> {
+        let state = self
+            .state
+            .as_mut()
+            .ok_or_else(|| Box::new(NnError::InvalidConfig { what: "MDANs not fitted".into() }))?;
+        let x = state.scaler.transform(windows);
+        let feats = state.features.forward(&x, false)?;
+        let logits = state.head.forward(&feats, false)?;
+        Ok((0..logits.rows()).map(|i| vecops::argmax(logits.row(i)).unwrap_or(0)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smore_data::generator::{generate, DomainSpec, GeneratorConfig};
+    use smore_data::split;
+
+    fn dataset() -> smore_data::Dataset {
+        generate(&GeneratorConfig {
+            name: "mdan-test".into(),
+            num_classes: 3,
+            channels: 2,
+            window_len: 20,
+            sample_rate_hz: 20.0,
+            domains: vec![
+                DomainSpec { subjects: vec![0, 1], windows: 45 },
+                DomainSpec { subjects: vec![2, 3], windows: 45 },
+                DomainSpec { subjects: vec![4, 5], windows: 45 },
+            ],
+            shift_severity: 1.0,
+            seed: 29,
+        })
+        .unwrap()
+    }
+
+    fn small_config() -> MdanConfig {
+        MdanConfig {
+            cnn: CnnConfig {
+                conv1_channels: 8,
+                conv2_channels: 8,
+                kernel: 3,
+                feature_width: 16,
+                epochs: 10,
+                batch_size: 16,
+                ..CnnConfig::default()
+            },
+            lambda: 0.3,
+            discriminator_width: 16,
+        }
+    }
+
+    #[test]
+    fn fit_with_target_and_predict() {
+        let ds = dataset();
+        let (train, test) = split::lodo(&ds, 2).unwrap();
+        let (w, l, d) = ds.gather(&train);
+        let (tw, tl, _) = ds.gather(&test);
+        let meta = TaskMeta { num_classes: 3, num_domains: 2, channels: 2, window_len: 20 };
+        let mut model = Mdan::new(small_config());
+        model.fit_with_target(&w, &l, &d, &meta, &tw).unwrap();
+        assert!(model.is_fitted());
+        let preds = model.predict(&tw).unwrap();
+        assert_eq!(preds.len(), tl.len());
+        let acc = preds.iter().zip(&tl).filter(|(p, t)| p == t).count() as f32 / tl.len() as f32;
+        assert!(acc > 1.0 / 3.0 - 0.05, "MDANs LODO accuracy {acc} far below chance");
+    }
+
+    #[test]
+    fn fit_without_target_is_supervised_fallback() {
+        let ds = dataset();
+        let (train, _) = split::lodo(&ds, 0).unwrap();
+        let (w, l, d) = ds.gather(&train);
+        let meta = TaskMeta { num_classes: 3, num_domains: 2, channels: 2, window_len: 20 };
+        let mut model = Mdan::new(small_config());
+        model.fit(&w, &l, &d, &meta).unwrap();
+        let preds = model.predict(&w[..10]).unwrap();
+        assert_eq!(preds.len(), 10);
+    }
+
+    #[test]
+    fn fit_validates_inputs() {
+        let meta = TaskMeta { num_classes: 2, num_domains: 2, channels: 1, window_len: 8 };
+        let mut model = Mdan::new(small_config());
+        assert!(model.fit(&[], &[], &[], &meta).is_err());
+        let w = vec![Matrix::zeros(8, 1)];
+        assert!(model.fit(&w, &[0, 1], &[0], &meta).is_err());
+    }
+
+    #[test]
+    fn predict_before_fit_errors() {
+        let mut model = Mdan::new(small_config());
+        assert!(model.predict(&[Matrix::zeros(20, 2)]).is_err());
+        assert_eq!(model.name(), "MDANs");
+    }
+}

@@ -1,0 +1,168 @@
+//! Per-channel standardisation of flattened windows — the preprocessing
+//! every DNN baseline (and BaselineHD's projection encoder) fits on the
+//! training split only.
+
+use smore_tensor::Matrix;
+
+/// Flattens `(time, channels)` windows into `(batch, time * channels)`
+/// rows, time-major (the layout `smore_nn` layers expect).
+pub fn flatten_windows(windows: &[Matrix]) -> Matrix {
+    if windows.is_empty() {
+        return Matrix::zeros(0, 0);
+    }
+    let width = windows[0].len();
+    let mut out = Matrix::zeros(windows.len(), width);
+    for (i, w) in windows.iter().enumerate() {
+        out.row_mut(i).copy_from_slice(w.as_slice());
+    }
+    out
+}
+
+/// Per-channel mean/std statistics fitted on training windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelScaler {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl ChannelScaler {
+    /// Fits per-channel statistics across all windows and time steps.
+    ///
+    /// Returns an identity scaler for an empty training set.
+    pub fn fit(windows: &[Matrix]) -> Self {
+        let channels = windows.first().map(|w| w.cols()).unwrap_or(0);
+        let mut mean = vec![0.0f64; channels];
+        let mut count = 0usize;
+        for w in windows {
+            for t in 0..w.rows() {
+                for (c, &v) in w.row(t).iter().enumerate() {
+                    mean[c] += v as f64;
+                }
+                count += 1;
+            }
+        }
+        let n = count.max(1) as f64;
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0f64; channels];
+        for w in windows {
+            for t in 0..w.rows() {
+                for (c, &v) in w.row(t).iter().enumerate() {
+                    let d = v as f64 - mean[c];
+                    var[c] += d * d;
+                }
+            }
+        }
+        let std = var
+            .iter()
+            .map(|&v| {
+                let s = (v / n).sqrt() as f32;
+                if s > 1e-8 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Self { mean: mean.into_iter().map(|m| m as f32).collect(), std }
+    }
+
+    /// Number of channels the scaler was fitted on.
+    pub fn channels(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Standardises flattened `(batch, time * channels)` rows in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width is not a multiple of the channel count.
+    pub fn apply_flat(&self, flat: &mut Matrix) {
+        let c = self.mean.len().max(1);
+        assert_eq!(flat.cols() % c, 0, "row width must be a multiple of channels");
+        for i in 0..flat.rows() {
+            let row = flat.row_mut(i);
+            for (j, v) in row.iter_mut().enumerate() {
+                let ch = j % c;
+                *v = (*v - self.mean[ch]) / self.std[ch];
+            }
+        }
+    }
+
+    /// Flattens and standardises a window batch in one step.
+    pub fn transform(&self, windows: &[Matrix]) -> Matrix {
+        let mut flat = flatten_windows(windows);
+        if flat.cols() > 0 {
+            self.apply_flat(&mut flat);
+        }
+        flat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn windows() -> Vec<Matrix> {
+        vec![
+            Matrix::from_vec(2, 2, vec![0.0, 10.0, 2.0, 30.0]).unwrap(),
+            Matrix::from_vec(2, 2, vec![4.0, 50.0, 6.0, 70.0]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn flatten_layout_is_time_major() {
+        let flat = flatten_windows(&windows());
+        assert_eq!(flat.shape(), (2, 4));
+        assert_eq!(flat.row(0), &[0.0, 10.0, 2.0, 30.0]);
+    }
+
+    #[test]
+    fn flatten_empty() {
+        let flat = flatten_windows(&[]);
+        assert!(flat.is_empty());
+    }
+
+    #[test]
+    fn scaler_zero_mean_unit_std_per_channel() {
+        let ws = windows();
+        let scaler = ChannelScaler::fit(&ws);
+        assert_eq!(scaler.channels(), 2);
+        let z = scaler.transform(&ws);
+        // Channel 0 values occupy even indices, channel 1 odd.
+        let mut c0 = Vec::new();
+        let mut c1 = Vec::new();
+        for i in 0..z.rows() {
+            for (j, &v) in z.row(i).iter().enumerate() {
+                if j % 2 == 0 {
+                    c0.push(v)
+                } else {
+                    c1.push(v)
+                }
+            }
+        }
+        assert!(smore_tensor::vecops::mean(&c0).abs() < 1e-5);
+        assert!(smore_tensor::vecops::mean(&c1).abs() < 1e-5);
+        assert!((smore_tensor::vecops::variance(&c0) - 1.0).abs() < 1e-4);
+        assert!((smore_tensor::vecops::variance(&c1) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn scaler_constant_channel_is_safe() {
+        let ws = vec![Matrix::filled(3, 1, 7.0)];
+        let scaler = ChannelScaler::fit(&ws);
+        let z = scaler.transform(&ws);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn scaler_applies_train_stats_to_test() {
+        let train = vec![Matrix::from_vec(2, 1, vec![0.0, 2.0]).unwrap()];
+        let test = vec![Matrix::from_vec(2, 1, vec![4.0, 4.0]).unwrap()];
+        let scaler = ChannelScaler::fit(&train);
+        let z = scaler.transform(&test);
+        // mean 1, std 1 -> (4-1)/1 = 3.
+        assert!(z.as_slice().iter().all(|&v| (v - 3.0).abs() < 1e-5));
+    }
+}

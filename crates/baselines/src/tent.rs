@@ -1,0 +1,216 @@
+//! TENT \[4\] — fully test-time adaptation by entropy minimisation.
+//!
+//! TENT takes a source-trained network, freezes everything except the
+//! BatchNorm affine parameters `γ, β`, and at test time minimises the
+//! Shannon entropy of its own predictions on each incoming batch (while
+//! normalising with the *batch* statistics instead of the stale running
+//! estimates). Confident predictions correlate with correct ones under
+//! covariate shift, so a few gradient steps per batch recover much of the
+//! accuracy a frozen source model loses — at the cost of several
+//! forward+backward passes per test batch, which is exactly the latency
+//! overhead the paper's efficiency figures (6a, 6b) account for.
+
+use smore::pipeline::{BoxError, TaskMeta, WindowClassifier};
+use smore_nn::loss;
+use smore_nn::optim::Optimizer;
+use smore_nn::NnError;
+use smore_tensor::{vecops, Matrix};
+
+use crate::cnn::{CnnClassifier, CnnConfig};
+
+/// Configuration for [`Tent`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TentConfig {
+    /// Source-model configuration.
+    pub cnn: CnnConfig,
+    /// Entropy-descent steps per test batch.
+    pub adaptation_steps: usize,
+    /// Learning rate of the BN-parameter updates.
+    pub adaptation_lr: f32,
+    /// Test batch size used during adaptation.
+    pub batch_size: usize,
+}
+
+impl Default for TentConfig {
+    /// 10 adaptation steps at `lr = 1e-3` on batches of 64.
+    fn default() -> Self {
+        Self { cnn: CnnConfig::default(), adaptation_steps: 10, adaptation_lr: 1e-3, batch_size: 64 }
+    }
+}
+
+/// The TENT test-time adapter around a source CNN.
+#[derive(Debug)]
+pub struct Tent {
+    config: TentConfig,
+    source: CnnClassifier,
+}
+
+impl Tent {
+    /// Creates an untrained TENT instance.
+    pub fn new(config: TentConfig) -> Self {
+        let source = CnnClassifier::new(config.cnn.clone());
+        Self { config, source }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TentConfig {
+        &self.config
+    }
+
+    /// Whether the source model has been trained.
+    pub fn is_fitted(&self) -> bool {
+        self.source.is_fitted()
+    }
+}
+
+impl WindowClassifier for Tent {
+    fn name(&self) -> &str {
+        "TENT"
+    }
+
+    fn fit(
+        &mut self,
+        windows: &[Matrix],
+        labels: &[usize],
+        _domains: &[usize],
+        meta: &TaskMeta,
+    ) -> Result<(), BoxError> {
+        self.source.train_supervised(windows, labels, meta)
+    }
+
+    fn predict(&mut self, windows: &[Matrix]) -> Result<Vec<usize>, BoxError> {
+        let steps = self.config.adaptation_steps;
+        let lr = self.config.adaptation_lr;
+        let batch_size = self.config.batch_size.max(1);
+        let state = self
+            .source
+            .state_mut()
+            .ok_or_else(|| Box::new(NnError::InvalidConfig { what: "TENT not fitted".into() }))?;
+
+        // Freeze everything except BatchNorm affine parameters.
+        state.features.freeze_all_except_batch_norm();
+        state.head.set_frozen(true);
+        let opt = Optimizer::adam(lr);
+
+        let x = state.scaler.transform(windows);
+        let mut predictions = Vec::with_capacity(windows.len());
+        let mut start = 0usize;
+        while start < x.rows() {
+            let end = (start + batch_size).min(x.rows());
+            let idx: Vec<usize> = (start..end).collect();
+            let xb = x.select_rows(&idx);
+            // Entropy minimisation: forward with batch statistics
+            // (training = true), update only the unfrozen BN parameters.
+            for _ in 0..steps {
+                let feats = state.features.forward(&xb, true)?;
+                let logits = state.head.forward(&feats, true)?;
+                let (_, grad) = loss::entropy_loss(&logits)?;
+                state.features.zero_grad();
+                state.head.zero_grad();
+                let g_feats = state.head.backward(&grad)?;
+                state.features.backward(&g_feats)?;
+                state.features.update(&opt);
+            }
+            // Predict the adapted batch (still batch statistics, as TENT
+            // prescribes).
+            let feats = state.features.forward(&xb, true)?;
+            let logits = state.head.forward(&feats, true)?;
+            for i in 0..logits.rows() {
+                predictions.push(vecops::argmax(logits.row(i)).unwrap_or(0));
+            }
+            start = end;
+        }
+        Ok(predictions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smore_data::generator::{generate, DomainSpec, GeneratorConfig};
+    use smore_data::split;
+
+    fn dataset() -> smore_data::Dataset {
+        generate(&GeneratorConfig {
+            name: "tent-test".into(),
+            num_classes: 3,
+            channels: 2,
+            window_len: 20,
+            sample_rate_hz: 20.0,
+            domains: vec![
+                DomainSpec { subjects: vec![0, 1], windows: 45 },
+                DomainSpec { subjects: vec![2, 3], windows: 45 },
+                DomainSpec { subjects: vec![4, 5], windows: 45 },
+            ],
+            shift_severity: 1.0,
+            seed: 23,
+        })
+        .unwrap()
+    }
+
+    fn small_config() -> TentConfig {
+        TentConfig {
+            cnn: CnnConfig {
+                conv1_channels: 8,
+                conv2_channels: 8,
+                kernel: 3,
+                feature_width: 16,
+                epochs: 15,
+                batch_size: 16,
+                ..CnnConfig::default()
+            },
+            adaptation_steps: 3,
+            adaptation_lr: 1e-3,
+            batch_size: 32,
+        }
+    }
+
+    #[test]
+    fn fit_and_adaptive_predict() {
+        let ds = dataset();
+        let (train, test) = split::lodo(&ds, 2).unwrap();
+        let (w, l, d) = ds.gather(&train);
+        let (tw, tl, _) = ds.gather(&test);
+        let meta = TaskMeta { num_classes: 3, num_domains: 2, channels: 2, window_len: 20 };
+        let mut model = Tent::new(small_config());
+        assert!(!model.is_fitted());
+        model.fit(&w, &l, &d, &meta).unwrap();
+        assert!(model.is_fitted());
+        let preds = model.predict(&tw).unwrap();
+        assert_eq!(preds.len(), tl.len());
+        let acc = preds.iter().zip(&tl).filter(|(p, t)| p == t).count() as f32 / tl.len() as f32;
+        assert!(acc > 1.0 / 3.0 - 0.05, "TENT LODO accuracy {acc} far below chance");
+    }
+
+    #[test]
+    fn adaptation_reduces_prediction_entropy() {
+        let ds = dataset();
+        let (train, test) = split::lodo(&ds, 1).unwrap();
+        let (w, l, d) = ds.gather(&train);
+        let (tw, _, _) = ds.gather(&test);
+        let meta = TaskMeta { num_classes: 3, num_domains: 2, channels: 2, window_len: 20 };
+        let mut model = Tent::new(small_config());
+        model.fit(&w, &l, &d, &meta).unwrap();
+
+        let entropy_of = |m: &mut Tent, batch: &[Matrix]| -> f32 {
+            let state = m.source.state_mut().unwrap();
+            let x = state.scaler.transform(batch);
+            let feats = state.features.forward(&x, true).unwrap();
+            let logits = state.head.forward(&feats, true).unwrap();
+            loss::entropy_loss(&logits).unwrap().0
+        };
+
+        let batch = &tw[..32.min(tw.len())];
+        let before = entropy_of(&mut model, batch);
+        let _ = model.predict(batch).unwrap(); // adapts in place
+        let after = entropy_of(&mut model, batch);
+        assert!(after <= before + 1e-4, "entropy should not increase: {before} -> {after}");
+    }
+
+    #[test]
+    fn predict_before_fit_errors() {
+        let mut model = Tent::new(small_config());
+        assert!(model.predict(&[Matrix::zeros(20, 2)]).is_err());
+        assert_eq!(model.name(), "TENT");
+    }
+}

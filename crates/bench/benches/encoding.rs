@@ -1,0 +1,37 @@
+//! Micro-benchmarks of the two encoders: the structured multi-sensor
+//! temporal encoder (§3.3) and BaselineHD's random projection.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use smore_baselines::baseline_hd::ProjectionEncoder;
+use smore_hdc::encoder::{EncoderConfig, MultiSensorEncoder};
+use smore_tensor::Matrix;
+
+fn usc_window() -> Matrix {
+    // USC-HAD geometry: 126 steps, 6 channels.
+    Matrix::from_fn(126, 6, |t, s| (t as f32 * 0.21 + s as f32 * 0.8).sin())
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let window = usc_window();
+    let mut group = c.benchmark_group("encode_window_usc");
+    for dim in [2048usize, 8192] {
+        let encoder = MultiSensorEncoder::new(EncoderConfig {
+            dim,
+            sensors: 6,
+            ..EncoderConfig::default()
+        })
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("multisensor", dim), &dim, |b, _| {
+            b.iter(|| black_box(encoder.encode_window(black_box(&window)).unwrap()))
+        });
+        let projection = ProjectionEncoder::new(126 * 6, dim, 1).unwrap();
+        let flat = Matrix::from_vec(1, 126 * 6, window.as_slice().to_vec()).unwrap();
+        group.bench_with_input(BenchmarkId::new("projection", dim), &dim, |b, _| {
+            b.iter(|| black_box(projection.encode(black_box(&flat), 1).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Micro-benchmarks of the core hyperdimensional operations (paper §3.1)
+//! at the paper's dimensionality (`d = 8192`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use smore_hdc::Hypervector;
+use smore_tensor::init;
+
+fn hv(seed: u64, dim: usize) -> Hypervector {
+    Hypervector::from_vec(init::bipolar_vec(&mut init::rng(seed), dim))
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let dim = 8192;
+    let a = hv(1, dim);
+    let b = hv(2, dim);
+
+    c.bench_function("bundle_8192", |bench| {
+        bench.iter(|| black_box(a.bundle(black_box(&b)).unwrap()))
+    });
+    c.bench_function("bind_8192", |bench| {
+        bench.iter(|| black_box(a.bind(black_box(&b)).unwrap()))
+    });
+    c.bench_function("permute_8192", |bench| {
+        bench.iter(|| black_box(a.permute(black_box(3))))
+    });
+    c.bench_function("cosine_8192", |bench| {
+        bench.iter(|| black_box(a.cosine(black_box(&b)).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Micro-benchmarks of training: one adaptive-update epoch (Eq. 1–2), the
+//! domain-descriptor bundle, and one CNN training batch for comparison.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use smore::descriptor::DomainDescriptors;
+use smore_hdc::model::{HdcClassifier, HdcClassifierConfig};
+use smore_nn::layer::{Conv1d, Dense, GlobalAvgPool1d, Relu};
+use smore_nn::network::Sequential;
+use smore_nn::optim::Optimizer;
+use smore_tensor::init;
+
+fn bench_training(c: &mut Criterion) {
+    let dim = 4096;
+    let classes = 12;
+    let n = 128;
+    let mut rng = init::rng(3);
+    let samples = init::normal_matrix(&mut rng, n, dim);
+    let labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
+
+    c.bench_function("hdc_train_epoch_128x4096", |bench| {
+        bench.iter(|| {
+            let mut model = HdcClassifier::new(HdcClassifierConfig {
+                dim,
+                num_classes: classes,
+                learning_rate: 0.05,
+                epochs: 1,
+            })
+            .unwrap();
+            black_box(model.fit(black_box(&samples), black_box(&labels)).unwrap())
+        })
+    });
+
+    let domains: Vec<usize> = (0..n).map(|i| i % 4).collect();
+    c.bench_function("descriptor_bundle_128x4096", |bench| {
+        bench.iter(|| {
+            black_box(DomainDescriptors::build(black_box(&samples), black_box(&domains), 4).unwrap())
+        })
+    });
+
+    // CNN comparison: one batch of 32 USC-like windows.
+    let (time, channels) = (32usize, 6usize);
+    let x = init::normal_matrix(&mut rng, 32, time * channels);
+    let y: Vec<usize> = (0..32).map(|i| i % classes).collect();
+    c.bench_function("cnn_train_batch_32", |bench| {
+        let mut net = Sequential::new();
+        let conv = Conv1d::new(time, channels, 16, 5, 1).unwrap();
+        let t1 = conv.out_time();
+        net.push(conv);
+        net.push(Relu::new());
+        net.push(GlobalAvgPool1d::new(t1, 16).unwrap());
+        net.push(Dense::new(16, classes, 2).unwrap());
+        let opt = Optimizer::adam(1e-3);
+        bench.iter(|| black_box(net.train_batch(black_box(&x), black_box(&y), &opt).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Ablations (ours, beyond the paper): the design choices DESIGN.md calls
+//! out, each evaluated by mean LODO accuracy on USC-HAD-like data.
+//!
+//! - encoder quantisation: paper-literal interpolation vs level-flip;
+//! - quantisation range: fitted global (default) vs paper-literal
+//!   per-window;
+//! - hypervector centring on/off;
+//! - domain-model initialisation: shared (default) vs independent;
+//! - ensemble weight sharpening p ∈ {1, 2, 4};
+//! - dimensionality sweep;
+//! - n-gram size sweep.
+
+use smore::pipeline::{self, BoxError, WindowClassifier};
+use smore::{DomainInit, RangeMode, Smore, SmoreConfig, SmoreConfigBuilder};
+use smore_bench::{pct, print_table, BenchProfile};
+use smore_data::presets;
+use smore_hdc::memory::Quantization;
+
+fn base(profile: &BenchProfile, dataset: &smore_data::Dataset) -> SmoreConfigBuilder {
+    SmoreConfig::builder()
+        .dim(profile.dim)
+        .channels(dataset.meta().channels)
+        .num_classes(dataset.meta().num_classes)
+}
+
+fn run(
+    dataset: &smore_data::Dataset,
+    make: impl Fn() -> Result<Smore, smore::SmoreError>,
+) -> Result<f32, BoxError> {
+    let outcomes = pipeline::run_lodo_all(dataset, || {
+        Ok(Box::new(make()?) as Box<dyn WindowClassifier>)
+    })?;
+    Ok(pipeline::mean_accuracy(&outcomes))
+}
+
+fn main() {
+    let profile = BenchProfile::from_args();
+    println!("# Ablations: SMORE design choices (USC-HAD-like, mean LODO accuracy)");
+    let dataset = presets::usc_had(&profile.preset).expect("preset generation");
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut record = |name: &str, acc: f32| {
+        eprintln!("[ablation] {name}: {}", pct(acc));
+        rows.push(vec![name.to_string(), pct(acc)]);
+    };
+
+    let default_acc =
+        run(&dataset, || Smore::new(base(&profile, &dataset).build()?)).expect("default");
+    record("default (Interpolate, FitGlobal, centred, shared init, p=1)", default_acc);
+
+    let acc = run(&dataset, || {
+        Smore::new(base(&profile, &dataset).quantization(Quantization::LevelFlip).build()?)
+    })
+    .expect("levelflip");
+    record("quantisation = LevelFlip", acc);
+
+    let acc = run(&dataset, || {
+        Smore::new(base(&profile, &dataset).range(RangeMode::PerWindow).build()?)
+    })
+    .expect("perwindow");
+    record("range = PerWindow (paper-literal)", acc);
+
+    let acc =
+        run(&dataset, || Smore::new(base(&profile, &dataset).center(false).build()?)).expect("nocenter");
+    record("centring off", acc);
+
+    let acc = run(&dataset, || {
+        Smore::new(base(&profile, &dataset).domain_init(DomainInit::Independent).build()?)
+    })
+    .expect("independent");
+    record("domain init = Independent (paper-literal)", acc);
+
+    for power in [2.0f32, 4.0] {
+        let acc = run(&dataset, || {
+            Smore::new(base(&profile, &dataset).weight_power(power).build()?)
+        })
+        .expect("power");
+        record(&format!("weight power p = {power}"), acc);
+    }
+
+    for dim in [1024usize, 2048, 4096] {
+        let acc =
+            run(&dataset, || Smore::new(base(&profile, &dataset).dim(dim).build()?)).expect("dim");
+        record(&format!("d = {dim}"), acc);
+    }
+
+    for ngram in [1usize, 2, 4] {
+        let acc = run(&dataset, || Smore::new(base(&profile, &dataset).ngram(ngram).build()?))
+            .expect("ngram");
+        record(&format!("n-gram = {ngram}"), acc);
+    }
+
+    print_table("SMORE ablations", &["Variant", "Mean LODO accuracy"], &rows);
+}

@@ -1,0 +1,61 @@
+//! Figure 1(b) — LODO vs standard k-fold accuracy of the SOTA HDC
+//! (BaselineHD) on USC-HAD, against model dimensionality and training
+//! iterations.
+//!
+//! The motivating observation of the paper: the leaky shuffled k-fold
+//! protocol scores far above honest leave-one-domain-out evaluation, and
+//! neither more dimensions nor more iterations close the gap.
+
+use smore::pipeline::{self, BoxError, WindowClassifier};
+use smore_baselines::baseline_hd::{BaselineHd, BaselineHdConfig};
+use smore_bench::{pct, print_table, BenchProfile};
+use smore_data::presets;
+
+fn baseline(dim: usize, epochs: usize) -> Result<Box<dyn WindowClassifier>, BoxError> {
+    Ok(Box::new(BaselineHd::new(BaselineHdConfig {
+        dim,
+        epochs,
+        ..BaselineHdConfig::default()
+    })))
+}
+
+fn main() {
+    let profile = BenchProfile::from_args();
+    println!("# Figure 1(b): LODO vs k-fold of BaselineHD on USC-HAD-like");
+    let dataset = presets::usc_had(&profile.preset).expect("preset generation");
+    let k = dataset.meta().num_domains;
+
+    // Left panel: accuracy vs dimensionality (paper sweeps 0.5k..6k).
+    let dims: &[usize] = if profile.full {
+        &[512, 1024, 2048, 4096, 6144]
+    } else {
+        &[512, 1024, 2048, 4096]
+    };
+    let mut rows = Vec::new();
+    for &dim in dims {
+        let lodo = pipeline::run_lodo_all(&dataset, || baseline(dim, 20)).expect("lodo");
+        let lodo_mean = pipeline::mean_accuracy(&lodo);
+        let kfold = pipeline::run_kfold(&dataset, || baseline(dim, 20), k, 7).expect("kfold");
+        let kfold_mean: f32 = kfold.iter().sum::<f32>() / kfold.len() as f32;
+        rows.push(vec![format!("{dim}"), pct(lodo_mean), pct(kfold_mean)]);
+        println!("dim {dim}: LODO {} vs k-fold {}", pct(lodo_mean), pct(kfold_mean));
+    }
+    print_table("Accuracy vs dimensions", &["Dimensions", "LODO", "Standard k-fold"], &rows);
+
+    // Right panel: accuracy vs training iterations at a fixed dimension.
+    let dim = profile.dim.min(4096);
+    let mut rows = Vec::new();
+    for &iters in &[10usize, 20, 30, 40, 50] {
+        let lodo = pipeline::run_lodo_all(&dataset, || baseline(dim, iters)).expect("lodo");
+        let lodo_mean = pipeline::mean_accuracy(&lodo);
+        let kfold = pipeline::run_kfold(&dataset, || baseline(dim, iters), k, 7).expect("kfold");
+        let kfold_mean: f32 = kfold.iter().sum::<f32>() / kfold.len() as f32;
+        rows.push(vec![format!("{iters}"), pct(lodo_mean), pct(kfold_mean)]);
+        println!("iters {iters}: LODO {} vs k-fold {}", pct(lodo_mean), pct(kfold_mean));
+    }
+    print_table(
+        &format!("Accuracy vs iterations (d = {dim})"),
+        &["Iterations", "LODO", "Standard k-fold"],
+        &rows,
+    );
+}

@@ -1,0 +1,65 @@
+//! Figure 4 — LODO accuracy of SMORE vs TENT, MDANs, BaselineHD and
+//! DOMINO on all three datasets, per held-out domain.
+//!
+//! Also prints the paper's §4.2 headline aggregates: SMORE vs MDANs,
+//! vs BaselineHD and vs DOMINO average accuracy deltas.
+
+use smore::pipeline;
+use smore_bench::{all_algorithms, pct, print_table, BenchProfile};
+use smore_data::presets;
+
+fn main() {
+    let profile = BenchProfile::from_args();
+    println!(
+        "# Figure 4: LODO accuracy ({} profile, d = {})",
+        if profile.full { "full" } else { "fast" },
+        profile.dim
+    );
+
+    let mut averages: Vec<(String, String, f32)> = Vec::new();
+    for (name, make) in presets::all() {
+        let dataset = make(&profile.preset).expect("preset generation");
+        let domains = dataset.meta().num_domains;
+        let algorithms = all_algorithms(&dataset, &profile);
+        let mut rows = Vec::new();
+        for (algo_name, factory) in &algorithms {
+            eprintln!("[fig4] {name} / {algo_name} ...");
+            let outcomes = pipeline::run_lodo_all(&dataset, || factory()).expect("lodo run");
+            let mut row = vec![algo_name.to_string()];
+            for outcome in &outcomes {
+                row.push(pct(outcome.accuracy));
+            }
+            let mean = pipeline::mean_accuracy(&outcomes);
+            row.push(pct(mean));
+            averages.push((name.to_string(), algo_name.to_string(), mean));
+            eprintln!("[fig4] {name} / {algo_name}: mean {}", pct(mean));
+            rows.push(row);
+        }
+        let mut headers: Vec<String> = vec!["Algorithm".into()];
+        headers.extend((0..domains).map(|d| format!("Domain {}", d + 1)));
+        headers.push("Average".into());
+        let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        print_table(&format!("{name}-like LODO accuracy"), &header_refs, &rows);
+    }
+
+    // Headline aggregates (paper §4.2).
+    let mean_of = |algo: &str| -> f32 {
+        let xs: Vec<f32> =
+            averages.iter().filter(|(_, a, _)| a == algo).map(|&(_, _, m)| m).collect();
+        xs.iter().sum::<f32>() / xs.len().max(1) as f32
+    };
+    let smore = mean_of("SMORE");
+    println!("\n## Headline aggregates (average over datasets)\n");
+    println!("SMORE:      {}", pct(smore));
+    for (algo, paper_delta) in
+        [("TENT", "comparable"), ("MDANs", "+1.98% in paper"), ("BaselineHD", "+20.25% in paper"), ("DOMINO", "+4.56% in paper")]
+    {
+        let other = mean_of(algo);
+        println!(
+            "vs {algo:<11} {} (SMORE {}{}; paper: {paper_delta})",
+            pct(other),
+            if smore >= other { "+" } else { "-" },
+            pct((smore - other).abs()),
+        );
+    }
+}

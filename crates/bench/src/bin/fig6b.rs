@@ -1,0 +1,78 @@
+//! Figure 6(b) — inference latency and energy on the edge platforms
+//! (Raspberry Pi 3B+, Jetson Nano) for the PAMAP2 dataset.
+//!
+//! The boards are modelled analytically (DESIGN.md substitution #2): each
+//! algorithm's operation profile is priced on each device's roofline.
+//! Two CNN scales are reported: our runnable implementation (16/32
+//! channels) and the paper-scale HAR backbone (64/64 channels, 256-wide
+//! features) that the TensorFlow baselines of the original evaluation
+//! use — the relative ordering of the paper emerges at that scale.
+
+use smore_bench::{print_table, BenchProfile};
+use smore_data::presets::table1;
+use smore_platform::{device, energy, profiles, roofline_latency, OpProfile};
+
+struct Workload {
+    name: &'static str,
+    profile: OpProfile,
+}
+
+fn workloads(n: usize, time: usize, channels: usize, dim: usize, domains: usize, classes: usize, tent_steps: usize, conv: (usize, usize, usize), feat: usize) -> Vec<Workload> {
+    let (c1, c2, k) = conv;
+    vec![
+        Workload { name: "TENT", profile: profiles::tent_infer(n, time, channels, c1, c2, k, feat, classes, tent_steps) },
+        Workload { name: "MDANs", profile: profiles::mdan_infer(n, time, channels, c1, c2, k, feat, classes) },
+        Workload {
+            name: "BaselineHD",
+            profile: profiles::baseline_hd_infer(n, time * channels, dim, classes),
+        },
+        Workload { name: "SMORE", profile: profiles::smore_infer(n, time, channels, dim, 3, domains, classes) },
+    ]
+}
+
+fn main() {
+    let profile = BenchProfile::from_args();
+    // PAMAP2 geometry: 127-step windows at 100 Hz, 27 channels, 18
+    // classes, 4 domains; one held-out domain's worth of queries.
+    let n = table1::PAMAP2[0];
+    let (time, channels, classes, domains) = (127usize, 27usize, 18usize, 3usize);
+    let dim = if profile.full { 8192 } else { profile.dim };
+
+    println!("# Figure 6(b): modelled edge inference latency and energy (PAMAP2, {n} queries)");
+    for device in [device::raspberry_pi_3b(), device::jetson_nano()] {
+        for (scale_name, conv, feat) in
+            [("our CNN (16/32)", (16usize, 32usize, 5usize), 64usize), ("paper-scale CNN (64/64)", (64, 64, 5), 256)]
+        {
+            let rows: Vec<Vec<String>> = workloads(
+                n,
+                time,
+                channels,
+                dim,
+                domains,
+                classes,
+                profile.tent_steps.max(10),
+                conv,
+                feat,
+            )
+            .into_iter()
+            .map(|w| {
+                let latency = roofline_latency(&w.profile, &device);
+                let joules = energy(latency, &device);
+                vec![
+                    w.name.to_string(),
+                    format!("{:.2} s", latency),
+                    format!("{:.2} ms", 1e3 * latency / n as f64),
+                    format!("{joules:.1} J"),
+                ]
+            })
+            .collect();
+            print_table(
+                &format!("{} — {scale_name}", device.name),
+                &["Algorithm", "Latency (total)", "Latency (per window)", "Energy"],
+                &rows,
+            );
+        }
+    }
+    println!("\nPaper shape: on Raspberry Pi SMORE infers 14.8x/19.3x faster than TENT/MDANs;");
+    println!("on Jetson Nano 13.2x/17.6x — with commensurate energy savings.");
+}

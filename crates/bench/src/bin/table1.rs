@@ -1,0 +1,48 @@
+//! Table 1 — detailed breakdowns of the datasets: windows per domain.
+//!
+//! Regenerates the paper's Table 1 from the synthetic presets. At `--full`
+//! the counts match the published numbers exactly; the fast profile scales
+//! them down proportionally (reported alongside the full-scale targets).
+
+use smore_bench::{print_table, BenchProfile};
+use smore_data::presets::{self, table1};
+
+fn main() {
+    let profile = BenchProfile::from_args();
+    println!("# Table 1: dataset breakdowns ({} profile)", if profile.full { "full" } else { "fast" });
+
+    let paper: [(&str, &[usize]); 3] = [
+        ("DSADS", &table1::DSADS),
+        ("USC-HAD", &table1::USC_HAD),
+        ("PAMAP2", &table1::PAMAP2),
+    ];
+
+    for ((name, make), (_, paper_counts)) in presets::all().iter().zip(paper.iter()) {
+        let dataset = make(&profile.preset).expect("preset generation");
+        let sizes = dataset.domain_sizes();
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for (d, &n) in sizes.iter().enumerate() {
+            rows.push(vec![
+                format!("Domain {}", d + 1),
+                n.to_string(),
+                paper_counts[d].to_string(),
+            ]);
+        }
+        rows.push(vec![
+            "Total".into(),
+            sizes.iter().sum::<usize>().to_string(),
+            paper_counts.iter().sum::<usize>().to_string(),
+        ]);
+        print_table(
+            &format!(
+                "{name}-like ({} classes, {} channels, {} steps @ {:.1} Hz)",
+                dataset.meta().num_classes,
+                dataset.meta().channels,
+                dataset.meta().window_len,
+                dataset.meta().sample_rate_hz
+            ),
+            &["Domains", "N (generated)", "N (paper, full scale)"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! Shared harness for the per-figure benchmark binaries.
+//!
+//! Every binary regenerates one table or figure of the paper's evaluation
+//! (see `DESIGN.md` §4 for the experiment index). All binaries accept:
+//!
+//! - `--full` — Table 1 window budgets and `d = 8k` (hours of compute);
+//!   the default *fast* profile keeps every domain/class/channel but
+//!   shrinks window budgets and dimensionality (~minutes).
+//! - `--scale <f>` — override the window-budget fraction.
+//! - `--seed <n>` — override the dataset seed.
+
+#![warn(missing_docs)]
+
+use smore::pipeline::{BoxError, WindowClassifier};
+use smore::{Smore, SmoreConfig};
+use smore_baselines::baseline_hd::{BaselineHd, BaselineHdConfig};
+use smore_baselines::cnn::CnnConfig;
+use smore_baselines::domino::{Domino, DominoConfig};
+use smore_baselines::mdan::{Mdan, MdanConfig};
+use smore_baselines::tent::{Tent, TentConfig};
+use smore_data::presets::PresetProfile;
+use smore_data::Dataset;
+
+/// Benchmark sizing shared by all binaries.
+#[derive(Debug, Clone)]
+pub struct BenchProfile {
+    /// Dataset generation profile.
+    pub preset: PresetProfile,
+    /// SMORE / BaselineHD dimensionality.
+    pub dim: usize,
+    /// DOMINO working dimensionality `d*`.
+    pub domino_dim: usize,
+    /// DOMINO cumulative dimension budget.
+    pub domino_budget: usize,
+    /// CNN training epochs for TENT/MDANs.
+    pub cnn_epochs: usize,
+    /// TENT adaptation steps per batch.
+    pub tent_steps: usize,
+    /// Whether this is the full-fidelity profile.
+    pub full: bool,
+}
+
+impl BenchProfile {
+    /// Fast profile: 10% budgets, 4× time downsampling, `d = 4096`.
+    pub fn fast() -> Self {
+        Self {
+            preset: PresetProfile::fast(),
+            dim: 4096,
+            domino_dim: 1024,
+            domino_budget: 4096,
+            cnn_epochs: 8,
+            tent_steps: 5,
+            full: false,
+        }
+    }
+
+    /// Full profile: Table 1 budgets, native windows, `d = 8192` (paper
+    /// settings; expect hours).
+    pub fn full() -> Self {
+        Self {
+            preset: PresetProfile::full(),
+            dim: 8192,
+            domino_dim: 1024,
+            domino_budget: 8192,
+            cnn_epochs: 15,
+            tent_steps: 10,
+            full: true,
+        }
+    }
+
+    /// Parses command-line arguments (`--full`, `--scale f`, `--seed n`).
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut profile = if args.iter().any(|a| a == "--full") { Self::full() } else { Self::fast() };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    if let Some(v) = it.next().and_then(|v| v.parse::<f32>().ok()) {
+                        profile.preset.scale = v;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = it.next().and_then(|v| v.parse::<u64>().ok()) {
+                        profile.preset.seed = v;
+                    }
+                }
+                "--dim" => {
+                    if let Some(v) = it.next().and_then(|v| v.parse::<usize>().ok()) {
+                        profile.dim = v;
+                    }
+                }
+                _ => {}
+            }
+        }
+        profile
+    }
+}
+
+/// Builds a SMORE classifier sized for `dataset`.
+///
+/// # Errors
+///
+/// Propagates configuration errors.
+pub fn make_smore(dataset: &Dataset, profile: &BenchProfile) -> Result<Smore, BoxError> {
+    Ok(Smore::new(
+        SmoreConfig::builder()
+            .dim(profile.dim)
+            .channels(dataset.meta().channels)
+            .num_classes(dataset.meta().num_classes)
+            .build()?,
+    )?)
+}
+
+/// Builds a BaselineHD classifier sized for the profile.
+pub fn make_baseline_hd(profile: &BenchProfile) -> BaselineHd {
+    BaselineHd::new(BaselineHdConfig { dim: profile.dim, ..BaselineHdConfig::default() })
+}
+
+/// Builds a DOMINO classifier sized for the profile.
+pub fn make_domino(profile: &BenchProfile) -> Domino {
+    Domino::new(DominoConfig {
+        dim: profile.domino_dim,
+        total_dim_budget: profile.domino_budget,
+        ..DominoConfig::default()
+    })
+}
+
+/// The CNN configuration used by both DNN baselines.
+pub fn cnn_config(profile: &BenchProfile) -> CnnConfig {
+    CnnConfig { epochs: profile.cnn_epochs, batch_size: 64, ..CnnConfig::default() }
+}
+
+/// Builds a TENT classifier sized for the profile.
+pub fn make_tent(profile: &BenchProfile) -> Tent {
+    Tent::new(TentConfig {
+        cnn: cnn_config(profile),
+        adaptation_steps: profile.tent_steps,
+        ..TentConfig::default()
+    })
+}
+
+/// Builds an MDANs classifier sized for the profile.
+pub fn make_mdan(profile: &BenchProfile) -> Mdan {
+    Mdan::new(MdanConfig { cnn: cnn_config(profile), ..MdanConfig::default() })
+}
+
+/// Factory for every algorithm in the paper's comparison, in its plotting
+/// order: TENT, MDANs, BaselineHD, DOMINO, SMORE.
+pub fn all_algorithms<'a>(
+    dataset: &'a Dataset,
+    profile: &'a BenchProfile,
+) -> Vec<(&'static str, Box<dyn Fn() -> Result<Box<dyn WindowClassifier>, BoxError> + 'a>)> {
+    vec![
+        ("TENT", Box::new(move || Ok(Box::new(make_tent(profile)) as Box<dyn WindowClassifier>))),
+        ("MDANs", Box::new(move || Ok(Box::new(make_mdan(profile)) as Box<dyn WindowClassifier>))),
+        (
+            "BaselineHD",
+            Box::new(move || Ok(Box::new(make_baseline_hd(profile)) as Box<dyn WindowClassifier>)),
+        ),
+        ("DOMINO", Box::new(move || Ok(Box::new(make_domino(profile)) as Box<dyn WindowClassifier>))),
+        (
+            "SMORE",
+            Box::new(move || Ok(Box::new(make_smore(dataset, profile)?) as Box<dyn WindowClassifier>)),
+        ),
+    ]
+}
+
+/// Prints a markdown-style table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    println!("| {} |", headers.join(" | "));
+    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(x: f32) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+/// Formats seconds with adaptive precision.
+pub fn secs(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0} s")
+    } else if x >= 1.0 {
+        format!("{x:.2} s")
+    } else {
+        format!("{:.1} ms", x * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smore_data::presets;
+
+    #[test]
+    fn profiles_have_sane_defaults() {
+        let fast = BenchProfile::fast();
+        assert!(!fast.full);
+        assert_eq!(fast.dim, 4096);
+        let full = BenchProfile::full();
+        assert!(full.full);
+        assert_eq!(full.dim, 8192);
+        assert_eq!(full.preset.scale, 1.0);
+    }
+
+    #[test]
+    fn factories_produce_working_classifiers() {
+        let mut profile = BenchProfile::fast();
+        profile.preset = presets::PresetProfile::tiny();
+        profile.dim = 256;
+        profile.domino_dim = 128;
+        profile.domino_budget = 256;
+        let ds = presets::usc_had(&profile.preset).unwrap();
+        let algos = all_algorithms(&ds, &profile);
+        assert_eq!(algos.len(), 5);
+        for (name, factory) in &algos {
+            let classifier = factory().unwrap();
+            assert_eq!(&classifier.name(), name);
+        }
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.5), "50.00%");
+        assert_eq!(secs(0.0015), "1.5 ms");
+        assert_eq!(secs(2.5), "2.50 s");
+        assert_eq!(secs(200.0), "200 s");
+    }
+}

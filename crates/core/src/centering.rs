@@ -1,0 +1,166 @@
+use smore_tensor::{stats, vecops, Matrix};
+
+use crate::{Result, SmoreError};
+
+/// Mean-centring of encoded hypervectors.
+///
+/// Bundled n-gram codes share a large common-mode component (the average of
+/// all quantiser products), which compresses every cosine similarity toward
+/// 1 and collapses the dynamic range the OOD threshold `δ*` operates on.
+/// `Centerer` removes the *global training mean* from every hypervector and
+/// re-normalises, restoring a wide, discriminative similarity spectrum.
+/// The mean is fitted on training data only, so no information flows from
+/// the evaluation domain.
+///
+/// # Example
+///
+/// ```
+/// use smore::Centerer;
+/// use smore_tensor::Matrix;
+///
+/// # fn main() -> Result<(), smore::SmoreError> {
+/// let train = Matrix::from_vec(2, 3, vec![1.0, 1.0, 0.0, 1.0, 0.0, 1.0])?;
+/// let centerer = Centerer::fit(&train)?;
+/// let mut rows = train.clone();
+/// centerer.apply(&mut rows);
+/// // Centred rows have (near-)zero mean along each column direction.
+/// let sum0: f32 = (0..2).map(|i| rows.get(i, 0)).sum();
+/// assert!(sum0.abs() < 1e-5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Centerer {
+    mean: Vec<f32>,
+}
+
+impl Centerer {
+    /// Fits the global mean hypervector on a `(samples, dim)` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmoreError::InvalidConfig`] for an empty matrix.
+    pub fn fit(encoded: &Matrix) -> Result<Self> {
+        if encoded.rows() == 0 || encoded.cols() == 0 {
+            return Err(SmoreError::InvalidConfig {
+                what: "cannot fit a centerer on an empty matrix".into(),
+            });
+        }
+        Ok(Self { mean: stats::col_mean(encoded) })
+    }
+
+    /// A no-op centerer (used when centring is disabled).
+    pub fn identity(dim: usize) -> Self {
+        Self { mean: vec![0.0; dim] }
+    }
+
+    /// Dimensionality of the fitted mean.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// The fitted mean hypervector.
+    pub fn mean(&self) -> &[f32] {
+        &self.mean
+    }
+
+    /// Centres and re-normalises every row of `encoded` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `encoded.cols() != self.dim()` — the model wires these
+    /// structurally.
+    pub fn apply(&self, encoded: &mut Matrix) {
+        assert_eq!(encoded.cols(), self.mean.len(), "centerer dimension mismatch");
+        for i in 0..encoded.rows() {
+            let row = encoded.row_mut(i);
+            for (x, &m) in row.iter_mut().zip(&self.mean) {
+                *x -= m;
+            }
+            vecops::normalize(row);
+        }
+    }
+
+    /// Centres and re-normalises a single hypervector in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hv.len() != self.dim()`.
+    pub fn apply_one(&self, hv: &mut [f32]) {
+        assert_eq!(hv.len(), self.mean.len(), "centerer dimension mismatch");
+        for (x, &m) in hv.iter_mut().zip(&self.mean) {
+            *x -= m;
+        }
+        vecops::normalize(hv);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smore_tensor::init;
+
+    #[test]
+    fn fit_rejects_empty() {
+        assert!(Centerer::fit(&Matrix::zeros(0, 4)).is_err());
+        assert!(Centerer::fit(&Matrix::zeros(4, 0)).is_err());
+    }
+
+    #[test]
+    fn identity_is_normalising_noop() {
+        let c = Centerer::identity(3);
+        let mut m = Matrix::from_vec(1, 3, vec![3.0, 0.0, 4.0]).unwrap();
+        c.apply(&mut m);
+        // Direction preserved, norm 1.
+        assert!((m.get(0, 0) - 0.6).abs() < 1e-6);
+        assert!((m.get(0, 2) - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn centering_widens_similarity_spread() {
+        // Rows = common direction + small individual variation.
+        let mut rng = init::rng(5);
+        let dim = 512;
+        let common = init::bipolar_vec(&mut rng, dim);
+        let mut m = Matrix::zeros(20, dim);
+        for i in 0..20 {
+            let noise = init::normal_vec(&mut rng, dim);
+            for j in 0..dim {
+                m.set(i, j, common[j] + 0.3 * noise[j]);
+            }
+        }
+        let raw_sim = vecops::cosine(m.row(0), m.row(1));
+        let centerer = Centerer::fit(&m).unwrap();
+        let mut centred = m.clone();
+        centerer.apply(&mut centred);
+        let centred_sim = vecops::cosine(centred.row(0), centred.row(1));
+        assert!(raw_sim > 0.8, "raw rows dominated by common mode, sim={raw_sim}");
+        assert!(
+            centred_sim.abs() < 0.4,
+            "centred rows should be nearly independent, sim={centred_sim}"
+        );
+    }
+
+    #[test]
+    fn apply_one_matches_apply() {
+        let mut rng = init::rng(6);
+        let m = init::normal_matrix(&mut rng, 5, 16);
+        let centerer = Centerer::fit(&m).unwrap();
+        let mut batch = m.clone();
+        centerer.apply(&mut batch);
+        for i in 0..5 {
+            let mut single = m.row(i).to_vec();
+            centerer.apply_one(&mut single);
+            assert_eq!(batch.row(i), single.as_slice());
+        }
+    }
+
+    #[test]
+    fn mean_accessor_has_fitted_values() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 3.0, 3.0, 5.0]).unwrap();
+        let c = Centerer::fit(&m).unwrap();
+        assert_eq!(c.mean(), &[2.0, 4.0]);
+        assert_eq!(c.dim(), 2);
+    }
+}

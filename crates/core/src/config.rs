@@ -1,0 +1,435 @@
+use smore_hdc::encoder::{EncoderConfig, ValueRange};
+use smore_hdc::memory::Quantization;
+
+use crate::{Result, SmoreError};
+
+/// How the domain-specific models are initialised.
+///
+/// The paper trains "K domain-specific models" (§3.4) without prescribing
+/// their initialisation. Starting every `M_k` from a *shared* model that
+/// was trained jointly on all source domains, then specialising it on the
+/// domain's own samples (one adaptive bootstrap pass plus mistake-driven
+/// refinement) keeps the K models mutually coherent, so their
+/// similarity-weighted ensemble never underperforms the pooled model —
+/// while independent training (the literal reading) produces ensembles of
+/// misaligned class boundaries that are strictly worse on every dataset we
+/// calibrated. Both are available; the ablation bench compares them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum DomainInit {
+    /// Initialise every domain model from a jointly trained shared model,
+    /// then specialise per domain (calibrated default).
+    #[default]
+    Shared,
+    /// Train every domain model independently from zero.
+    Independent,
+}
+
+/// How the encoder's quantisation range is established.
+///
+/// The paper's Figure 3 normalises each sensor by the extremes *within the
+/// current window*. That choice erases amplitude, gain and bias — which is
+/// precisely where subject (domain) identity lives — so descriptors built
+/// on per-window codes cannot separate domains. SMORE therefore defaults
+/// to [`RangeMode::FitGlobal`]: per-sensor ranges fitted on the training
+/// windows (the convention of the OnlineHD/DOMINO implementation lineage).
+/// [`RangeMode::PerWindow`] remains available as the paper-literal
+/// ablation.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum RangeMode {
+    /// Fit per-sensor `(min, max)` ranges on the training windows at
+    /// [`crate::Smore::fit`] time, widened by 5% on each side.
+    #[default]
+    FitGlobal,
+    /// Paper-literal per-window, per-sensor normalisation.
+    PerWindow,
+    /// Caller-provided per-sensor `(low, high)` ranges.
+    Fixed(Vec<(f32, f32)>),
+}
+
+/// Complete configuration of a [`crate::Smore`] model.
+///
+/// Construct through [`SmoreConfig::builder`]; every knob has a calibrated
+/// default matching the paper's setup (`d = 8k`, trigram encoding,
+/// `δ* = 0.3` for the centred similarity scale — see `delta_star`).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SmoreConfig {
+    /// Hypervector dimensionality `d` (paper: 8k).
+    pub dim: usize,
+    /// Number of sensor channels in each window.
+    pub channels: usize,
+    /// Number of activity classes `n`.
+    pub num_classes: usize,
+    /// n-gram size of the temporal encoder.
+    pub ngram: usize,
+    /// Quantisation levels for the `LevelFlip` codebook.
+    pub levels: usize,
+    /// Quantisation strategy.
+    pub quantization: Quantization,
+    /// Value-range handling of the encoder (see [`RangeMode`]).
+    pub range: RangeMode,
+    /// OOD threshold `δ*` (Algorithm 1). Applied to *centred* similarities
+    /// when [`SmoreConfig::center`] is true: encoded hypervectors have the
+    /// global training mean removed, which restores the wide similarity
+    /// spread the paper's Figure 5 sweeps over (our calibrated optimum sits
+    /// near 0.3; the paper reports 0.65 on its uncentred scale).
+    pub delta_star: f32,
+    /// Learning rate `η` of the domain-specific models.
+    pub learning_rate: f32,
+    /// Maximum training epochs per domain-specific model.
+    pub epochs: usize,
+    /// Whether to centre encoded hypervectors by the global training mean.
+    pub center: bool,
+    /// Whether to z-score every channel with training statistics before
+    /// quantisation (the OnlineHD/DOMINO preprocessing convention).
+    pub standardize: bool,
+    /// Domain-model initialisation strategy (see [`DomainInit`]).
+    pub domain_init: DomainInit,
+    /// Sharpening exponent applied to the ensemble weights:
+    /// `w_k = (max(δ_k, 0) / δ_max)^p`. `1.0` recovers the paper's Eq. 3
+    /// up to a global scale (cosine scoring is scale-invariant).
+    pub weight_power: f32,
+    /// Worker threads for batch encoding/prediction.
+    pub threads: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl SmoreConfig {
+    /// Starts a builder with calibrated defaults.
+    pub fn builder() -> SmoreConfigBuilder {
+        SmoreConfigBuilder::default()
+    }
+
+    /// Validates the assembled configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmoreError::InvalidConfig`] for any out-of-range knob.
+    pub fn validate(&self) -> Result<()> {
+        if self.dim == 0 {
+            return Err(SmoreError::InvalidConfig { what: "dim must be positive".into() });
+        }
+        if self.channels == 0 {
+            return Err(SmoreError::InvalidConfig { what: "channels must be positive".into() });
+        }
+        if self.num_classes == 0 {
+            return Err(SmoreError::InvalidConfig { what: "num_classes must be positive".into() });
+        }
+        if self.ngram == 0 {
+            return Err(SmoreError::InvalidConfig { what: "ngram must be positive".into() });
+        }
+        if !self.delta_star.is_finite() || !(-1.0..=1.0).contains(&self.delta_star) {
+            return Err(SmoreError::InvalidConfig {
+                what: format!("delta_star must be a cosine value in [-1, 1], got {}", self.delta_star),
+            });
+        }
+        if !(self.learning_rate > 0.0 && self.learning_rate <= 1.0) {
+            return Err(SmoreError::InvalidConfig {
+                what: format!("learning_rate must be in (0, 1], got {}", self.learning_rate),
+            });
+        }
+        if self.epochs == 0 {
+            return Err(SmoreError::InvalidConfig { what: "epochs must be positive".into() });
+        }
+        if self.threads == 0 {
+            return Err(SmoreError::InvalidConfig { what: "threads must be positive".into() });
+        }
+        if !(self.weight_power > 0.0 && self.weight_power.is_finite()) {
+            return Err(SmoreError::InvalidConfig {
+                what: format!("weight_power must be positive and finite, got {}", self.weight_power),
+            });
+        }
+        if let RangeMode::Fixed(ranges) = &self.range {
+            if ranges.len() != self.channels {
+                return Err(SmoreError::InvalidConfig {
+                    what: format!(
+                        "fixed range needs one pair per channel: got {} for {} channels",
+                        ranges.len(),
+                        self.channels
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The encoder configuration implied by this model configuration.
+    ///
+    /// `fitted_ranges` supplies the per-sensor ranges when the mode is
+    /// [`RangeMode::FitGlobal`] and they have been fitted; before fitting
+    /// (and for [`RangeMode::PerWindow`]) the encoder falls back to
+    /// per-window normalisation.
+    pub fn encoder_config(&self, fitted_ranges: Option<Vec<(f32, f32)>>) -> EncoderConfig {
+        let range = match (&self.range, fitted_ranges) {
+            (RangeMode::Fixed(r), _) => ValueRange::Global(r.clone()),
+            (RangeMode::FitGlobal, Some(r)) => ValueRange::Global(r),
+            (RangeMode::FitGlobal, None) | (RangeMode::PerWindow, _) => ValueRange::PerWindow,
+        };
+        EncoderConfig {
+            dim: self.dim,
+            sensors: self.channels,
+            ngram: self.ngram,
+            levels: self.levels,
+            quantization: self.quantization,
+            range,
+            normalize: true,
+            seed: self.seed,
+        }
+    }
+}
+
+/// Builder for [`SmoreConfig`] (C-BUILDER).
+///
+/// # Example
+///
+/// ```
+/// use smore::SmoreConfig;
+///
+/// # fn main() -> Result<(), smore::SmoreError> {
+/// let cfg = SmoreConfig::builder()
+///     .dim(4096)
+///     .channels(6)
+///     .num_classes(12)
+///     .delta_star(0.35)
+///     .build()?;
+/// assert_eq!(cfg.dim, 4096);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SmoreConfigBuilder {
+    config: SmoreConfig,
+}
+
+impl Default for SmoreConfigBuilder {
+    fn default() -> Self {
+        Self {
+            config: SmoreConfig {
+                dim: 8192,
+                channels: 1,
+                num_classes: 2,
+                ngram: 3,
+                levels: 64,
+                quantization: Quantization::default(),
+                range: RangeMode::default(),
+                delta_star: 0.3,
+                learning_rate: 0.05,
+                epochs: 20,
+                center: true,
+                standardize: true,
+                domain_init: DomainInit::default(),
+                weight_power: 1.0,
+                threads: smore_tensor::parallel::default_threads(),
+                seed: 0x5304E,
+            },
+        }
+    }
+}
+
+impl SmoreConfigBuilder {
+    /// Sets the hypervector dimensionality `d`.
+    pub fn dim(mut self, dim: usize) -> Self {
+        self.config.dim = dim;
+        self
+    }
+
+    /// Sets the number of sensor channels.
+    pub fn channels(mut self, channels: usize) -> Self {
+        self.config.channels = channels;
+        self
+    }
+
+    /// Sets the number of activity classes.
+    pub fn num_classes(mut self, num_classes: usize) -> Self {
+        self.config.num_classes = num_classes;
+        self
+    }
+
+    /// Sets the temporal n-gram size.
+    pub fn ngram(mut self, ngram: usize) -> Self {
+        self.config.ngram = ngram;
+        self
+    }
+
+    /// Sets the quantisation level count.
+    pub fn levels(mut self, levels: usize) -> Self {
+        self.config.levels = levels;
+        self
+    }
+
+    /// Sets the quantisation strategy.
+    pub fn quantization(mut self, quantization: Quantization) -> Self {
+        self.config.quantization = quantization;
+        self
+    }
+
+    /// Sets the encoder value-range handling.
+    pub fn range(mut self, range: RangeMode) -> Self {
+        self.config.range = range;
+        self
+    }
+
+    /// Sets the OOD threshold `δ*`.
+    pub fn delta_star(mut self, delta_star: f32) -> Self {
+        self.config.delta_star = delta_star;
+        self
+    }
+
+    /// Sets the learning rate `η`.
+    pub fn learning_rate(mut self, learning_rate: f32) -> Self {
+        self.config.learning_rate = learning_rate;
+        self
+    }
+
+    /// Sets the maximum training epochs per domain model.
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.config.epochs = epochs;
+        self
+    }
+
+    /// Enables or disables mean-centring of encoded hypervectors.
+    pub fn center(mut self, center: bool) -> Self {
+        self.config.center = center;
+        self
+    }
+
+    /// Enables or disables per-channel standardisation before encoding.
+    pub fn standardize(mut self, standardize: bool) -> Self {
+        self.config.standardize = standardize;
+        self
+    }
+
+    /// Sets the domain-model initialisation strategy.
+    pub fn domain_init(mut self, domain_init: DomainInit) -> Self {
+        self.config.domain_init = domain_init;
+        self
+    }
+
+    /// Sets the ensemble weight-sharpening exponent.
+    pub fn weight_power(mut self, weight_power: f32) -> Self {
+        self.config.weight_power = weight_power;
+        self
+    }
+
+    /// Sets the worker thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmoreError::InvalidConfig`] for any out-of-range knob.
+    pub fn build(self) -> Result<SmoreConfig> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_valid() {
+        let cfg = SmoreConfig::builder().build().unwrap();
+        assert_eq!(cfg.dim, 8192);
+        assert_eq!(cfg.ngram, 3);
+        assert!(cfg.center);
+        assert!(cfg.threads >= 1);
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let cfg = SmoreConfig::builder()
+            .dim(1024)
+            .channels(7)
+            .num_classes(9)
+            .ngram(4)
+            .levels(32)
+            .quantization(Quantization::LevelFlip)
+            .delta_star(0.5)
+            .learning_rate(0.1)
+            .epochs(5)
+            .center(false)
+            .domain_init(DomainInit::Independent)
+            .weight_power(4.0)
+            .threads(2)
+            .seed(99)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.channels, 7);
+        assert_eq!(cfg.num_classes, 9);
+        assert_eq!(cfg.ngram, 4);
+        assert_eq!(cfg.levels, 32);
+        assert_eq!(cfg.quantization, Quantization::LevelFlip);
+        assert_eq!(cfg.delta_star, 0.5);
+        assert_eq!(cfg.learning_rate, 0.1);
+        assert_eq!(cfg.epochs, 5);
+        assert!(!cfg.center);
+        assert_eq!(cfg.domain_init, DomainInit::Independent);
+        assert_eq!(cfg.weight_power, 4.0);
+        assert_eq!(cfg.threads, 2);
+        assert_eq!(cfg.seed, 99);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        assert!(SmoreConfig::builder().dim(0).build().is_err());
+        assert!(SmoreConfig::builder().channels(0).build().is_err());
+        assert!(SmoreConfig::builder().num_classes(0).build().is_err());
+        assert!(SmoreConfig::builder().ngram(0).build().is_err());
+        assert!(SmoreConfig::builder().delta_star(1.5).build().is_err());
+        assert!(SmoreConfig::builder().delta_star(f32::NAN).build().is_err());
+        assert!(SmoreConfig::builder().learning_rate(0.0).build().is_err());
+        assert!(SmoreConfig::builder().learning_rate(2.0).build().is_err());
+        assert!(SmoreConfig::builder().epochs(0).build().is_err());
+        assert!(SmoreConfig::builder().threads(0).build().is_err());
+        assert!(SmoreConfig::builder().weight_power(0.0).build().is_err());
+        assert!(SmoreConfig::builder().weight_power(f32::INFINITY).build().is_err());
+        // A fixed range must provide one pair per channel.
+        assert!(SmoreConfig::builder()
+            .channels(3)
+            .range(RangeMode::Fixed(vec![(0.0, 1.0)]))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn encoder_config_mirrors_model_config() {
+        let cfg = SmoreConfig::builder().dim(2048).channels(5).ngram(2).seed(7).build().unwrap();
+        let enc = cfg.encoder_config(None);
+        assert_eq!(enc.dim, 2048);
+        assert_eq!(enc.sensors, 5);
+        assert_eq!(enc.ngram, 2);
+        assert_eq!(enc.seed, 7);
+        assert!(enc.normalize);
+        // Before fitting, FitGlobal falls back to per-window normalisation.
+        assert_eq!(enc.range, ValueRange::PerWindow);
+        // After fitting, the ranges flow through.
+        let enc = cfg.encoder_config(Some(vec![(0.0, 1.0); 5]));
+        assert!(matches!(enc.range, ValueRange::Global(_)));
+        // PerWindow mode ignores fitted ranges.
+        let cfg = SmoreConfig::builder().channels(2).range(RangeMode::PerWindow).build().unwrap();
+        let enc = cfg.encoder_config(Some(vec![(0.0, 1.0); 2]));
+        assert_eq!(enc.range, ValueRange::PerWindow);
+        // Fixed mode always uses the caller's ranges.
+        let cfg = SmoreConfig::builder()
+            .channels(1)
+            .range(RangeMode::Fixed(vec![(-2.0, 2.0)]))
+            .build()
+            .unwrap();
+        assert!(matches!(cfg.encoder_config(None).range, ValueRange::Global(_)));
+    }
+}

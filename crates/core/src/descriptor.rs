@@ -1,0 +1,208 @@
+//! Domain descriptors `U = {U_1, …, U_K}` (paper §3.5.1).
+//!
+//! Each descriptor is the bundle of every encoded training hypervector of
+//! its domain: `U_k = Σ_i H_i^k`. By the membership property of bundling,
+//! `U_k` is cosine-similar to the samples that formed it and dissimilar to
+//! samples from other distributions — exactly the signal the OOD detector
+//! thresholds.
+
+use smore_tensor::{vecops, Matrix};
+
+use crate::{Result, SmoreError};
+
+/// The set of per-domain descriptors.
+///
+/// # Example
+///
+/// ```
+/// use smore::descriptor::DomainDescriptors;
+/// use smore_tensor::{init, Matrix};
+///
+/// # fn main() -> Result<(), smore::SmoreError> {
+/// let encoded = init::bipolar_matrix(&mut init::rng(1), 6, 256);
+/// let domains = vec![0, 0, 0, 1, 1, 1];
+/// let descriptors = DomainDescriptors::build(&encoded, &domains, 2)?;
+/// let sims = descriptors.similarities(encoded.row(0));
+/// assert_eq!(sims.len(), 2);
+/// assert!(sims[0] > sims[1], "sample 0 belongs to domain 0");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DomainDescriptors {
+    /// `(num_domains, dim)` — row `k` is `U_k`.
+    descriptors: Matrix,
+}
+
+impl DomainDescriptors {
+    /// Bundles the rows of `encoded` into one descriptor per domain tag.
+    ///
+    /// `domains` holds a *local* domain index (`0..num_domains`) per row.
+    ///
+    /// # Errors
+    ///
+    /// - [`SmoreError::InvalidConfig`] when inputs are empty, lengths
+    ///   disagree, or a tag is out of range.
+    /// - [`SmoreError::EmptyDomain`] when some domain received no samples.
+    pub fn build(encoded: &Matrix, domains: &[usize], num_domains: usize) -> Result<Self> {
+        if encoded.rows() == 0 || encoded.cols() == 0 {
+            return Err(SmoreError::InvalidConfig {
+                what: "cannot build descriptors from an empty matrix".into(),
+            });
+        }
+        if encoded.rows() != domains.len() {
+            return Err(SmoreError::InvalidConfig {
+                what: format!("{} samples but {} domain tags", encoded.rows(), domains.len()),
+            });
+        }
+        if num_domains == 0 {
+            return Err(SmoreError::InvalidConfig { what: "num_domains must be positive".into() });
+        }
+        let mut descriptors = Matrix::zeros(num_domains, encoded.cols());
+        let mut counts = vec![0usize; num_domains];
+        for (i, &d) in domains.iter().enumerate() {
+            if d >= num_domains {
+                return Err(SmoreError::InvalidConfig {
+                    what: format!("domain tag {d} out of range for {num_domains} domains"),
+                });
+            }
+            vecops::axpy(1.0, encoded.row(i), descriptors.row_mut(d));
+            counts[d] += 1;
+        }
+        if let Some(empty) = counts.iter().position(|&c| c == 0) {
+            return Err(SmoreError::EmptyDomain { domain: empty });
+        }
+        Ok(Self { descriptors })
+    }
+
+    /// Number of domains `K`.
+    pub fn len(&self) -> usize {
+        self.descriptors.rows()
+    }
+
+    /// Whether there are no descriptors (never true after `build`).
+    pub fn is_empty(&self) -> bool {
+        self.descriptors.rows() == 0
+    }
+
+    /// Hypervector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.descriptors.cols()
+    }
+
+    /// The raw descriptor matrix (row `k` = `U_k`).
+    pub fn as_matrix(&self) -> &Matrix {
+        &self.descriptors
+    }
+
+    /// Cosine similarities `δ(query, U_k)` for all `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimension differs from the descriptor dimension
+    /// (model wiring guarantees agreement).
+    pub fn similarities(&self, query: &[f32]) -> Vec<f32> {
+        (0..self.descriptors.rows())
+            .map(|k| vecops::cosine(query, self.descriptors.row(k)))
+            .collect()
+    }
+
+    /// Adds a single encoded sample into descriptor `domain` — the
+    /// incremental form used by streaming updates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmoreError::InvalidConfig`] when the tag or dimension is
+    /// out of range.
+    pub fn bundle_into(&mut self, domain: usize, sample: &[f32]) -> Result<()> {
+        if domain >= self.descriptors.rows() {
+            return Err(SmoreError::InvalidConfig {
+                what: format!("domain tag {domain} out of range for {} domains", self.descriptors.rows()),
+            });
+        }
+        if sample.len() != self.descriptors.cols() {
+            return Err(SmoreError::InvalidConfig {
+                what: format!(
+                    "sample dimension {} differs from descriptor dimension {}",
+                    sample.len(),
+                    self.descriptors.cols()
+                ),
+            });
+        }
+        vecops::axpy(1.0, sample, self.descriptors.row_mut(domain));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smore_tensor::init;
+
+    /// Two clearly distinct domains: orthogonal random prototype directions
+    /// plus noise.
+    fn two_domain_fixture(seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = init::rng(seed);
+        let dim = 1024;
+        let protos = init::bipolar_matrix(&mut rng, 2, dim);
+        let mut encoded = Matrix::zeros(40, dim);
+        let mut domains = Vec::new();
+        for i in 0..40 {
+            let d = i % 2;
+            let noise = init::normal_vec(&mut rng, dim);
+            for j in 0..dim {
+                encoded.set(i, j, protos.get(d, j) + 0.8 * noise[j]);
+            }
+            domains.push(d);
+        }
+        (encoded, domains)
+    }
+
+    #[test]
+    fn members_are_closer_to_their_descriptor() {
+        let (encoded, domains) = two_domain_fixture(1);
+        let desc = DomainDescriptors::build(&encoded, &domains, 2).unwrap();
+        let mut correct = 0;
+        for i in 0..encoded.rows() {
+            let sims = desc.similarities(encoded.row(i));
+            let best = if sims[0] >= sims[1] { 0 } else { 1 };
+            if best == domains[i] {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 36, "descriptors should identify members ({correct}/40)");
+    }
+
+    #[test]
+    fn build_validates() {
+        let m = Matrix::zeros(4, 8);
+        assert!(DomainDescriptors::build(&Matrix::zeros(0, 8), &[], 2).is_err());
+        assert!(DomainDescriptors::build(&m, &[0, 1], 2).is_err(), "length mismatch");
+        assert!(DomainDescriptors::build(&m, &[0, 1, 2, 0], 2).is_err(), "tag out of range");
+        assert!(DomainDescriptors::build(&m, &[0, 0, 0, 0], 2).is_err(), "domain 1 empty");
+        assert!(DomainDescriptors::build(&m, &[0, 0, 0, 0], 0).is_err());
+    }
+
+    #[test]
+    fn descriptor_is_exact_bundle() {
+        let encoded =
+            Matrix::from_vec(3, 2, vec![1.0, 2.0, 10.0, 20.0, 0.5, 0.5]).unwrap();
+        let desc = DomainDescriptors::build(&encoded, &[0, 1, 0], 2).unwrap();
+        assert_eq!(desc.as_matrix().row(0), &[1.5, 2.5]);
+        assert_eq!(desc.as_matrix().row(1), &[10.0, 20.0]);
+        assert_eq!(desc.len(), 2);
+        assert_eq!(desc.dim(), 2);
+        assert!(!desc.is_empty());
+    }
+
+    #[test]
+    fn bundle_into_accumulates_and_validates() {
+        let encoded = Matrix::ones(2, 2);
+        let mut desc = DomainDescriptors::build(&encoded, &[0, 1], 2).unwrap();
+        desc.bundle_into(0, &[2.0, 3.0]).unwrap();
+        assert_eq!(desc.as_matrix().row(0), &[3.0, 4.0]);
+        assert!(desc.bundle_into(5, &[1.0, 1.0]).is_err());
+        assert!(desc.bundle_into(0, &[1.0]).is_err());
+    }
+}

@@ -1,0 +1,105 @@
+use std::error::Error;
+use std::fmt;
+
+use smore_data::DataError;
+use smore_hdc::HdcError;
+use smore_tensor::TensorError;
+
+/// Error type for the SMORE model and evaluation pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SmoreError {
+    /// A configuration value is invalid.
+    InvalidConfig {
+        /// Human-readable description of the invalid configuration.
+        what: String,
+    },
+    /// The model was asked to predict before [`crate::Smore::fit`] ran.
+    NotFitted,
+    /// Training data covered fewer than two domains — SMORE requires
+    /// `K > 1` source domains (paper §3.2).
+    TooFewDomains {
+        /// Number of distinct domains found in the training data.
+        found: usize,
+    },
+    /// A training domain had no samples.
+    EmptyDomain {
+        /// The offending domain tag.
+        domain: usize,
+    },
+    /// Underlying HDC failure.
+    Hdc(HdcError),
+    /// Underlying dataset failure.
+    Data(DataError),
+    /// Underlying tensor failure.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for SmoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmoreError::InvalidConfig { what } => write!(f, "invalid SMORE configuration: {what}"),
+            SmoreError::NotFitted => write!(f, "model is not fitted; call fit() first"),
+            SmoreError::TooFewDomains { found } => {
+                write!(f, "SMORE requires at least 2 source domains, found {found}")
+            }
+            SmoreError::EmptyDomain { domain } => write!(f, "training domain {domain} has no samples"),
+            SmoreError::Hdc(e) => write!(f, "hdc error: {e}"),
+            SmoreError::Data(e) => write!(f, "data error: {e}"),
+            SmoreError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl Error for SmoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SmoreError::Hdc(e) => Some(e),
+            SmoreError::Data(e) => Some(e),
+            SmoreError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HdcError> for SmoreError {
+    fn from(e: HdcError) -> Self {
+        SmoreError::Hdc(e)
+    }
+}
+
+impl From<DataError> for SmoreError {
+    fn from(e: DataError) -> Self {
+        SmoreError::Data(e)
+    }
+}
+
+impl From<TensorError> for SmoreError {
+    fn from(e: TensorError) -> Self {
+        SmoreError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        assert!(SmoreError::NotFitted.to_string().contains("not fitted"));
+        assert!(SmoreError::TooFewDomains { found: 1 }.to_string().contains('1'));
+        assert!(SmoreError::EmptyDomain { domain: 3 }.to_string().contains('3'));
+        let e: SmoreError = HdcError::EmptyInput { what: "x" }.into();
+        assert!(Error::source(&e).is_some());
+        let e: SmoreError = DataError::InvalidConfig { what: "y".into() }.into();
+        assert!(Error::source(&e).is_some());
+        let e: SmoreError = TensorError::InvalidDimension { what: "z" }.into();
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SmoreError>();
+    }
+}

@@ -1,0 +1,120 @@
+//! Out-of-distribution detection `Φ` (paper §3.5.2, Algorithm 1 lines 1–2).
+//!
+//! A query is OOD when its similarity to the *most similar* domain
+//! descriptor falls below the threshold `δ*`:
+//!
+//! ```text
+//! δ_max = max{δ(Q, U_1), …, δ(Q, U_K)}
+//! OOD ⇔ δ_max < δ*
+//! ```
+
+use smore_tensor::vecops;
+
+/// The outcome of OOD detection for one query.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct OodDecision {
+    /// Whether the query was declared out-of-distribution.
+    pub is_ood: bool,
+    /// The maximum descriptor similarity `δ_max`.
+    pub delta_max: f32,
+    /// Index of the most similar domain.
+    pub best_domain: usize,
+    /// Similarity to every domain descriptor (length `K`).
+    pub similarities: Vec<f32>,
+}
+
+/// The binary OOD classifier `Φ` parameterised by `δ*`.
+///
+/// # Example
+///
+/// ```
+/// use smore::ood::OodDetector;
+///
+/// let detector = OodDetector::new(0.5);
+/// let decision = detector.detect(vec![0.2, 0.4, 0.3]);
+/// assert!(decision.is_ood, "best similarity 0.4 < δ* = 0.5");
+/// assert_eq!(decision.best_domain, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct OodDetector {
+    delta_star: f32,
+}
+
+impl OodDetector {
+    /// Creates a detector with threshold `δ*`.
+    pub fn new(delta_star: f32) -> Self {
+        Self { delta_star }
+    }
+
+    /// The configured threshold `δ*`.
+    pub fn delta_star(&self) -> f32 {
+        self.delta_star
+    }
+
+    /// Classifies a query given its descriptor similarities.
+    ///
+    /// An empty similarity vector is declared OOD with `δ_max = -1`
+    /// (no domain can claim the sample).
+    pub fn detect(&self, similarities: Vec<f32>) -> OodDecision {
+        match vecops::argmax(&similarities) {
+            Some(best) => {
+                let delta_max = similarities[best];
+                OodDecision {
+                    is_ood: delta_max < self.delta_star,
+                    delta_max,
+                    best_domain: best,
+                    similarities,
+                }
+            }
+            None => OodDecision { is_ood: true, delta_max: -1.0, best_domain: 0, similarities },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_distribution_above_threshold() {
+        let d = OodDetector::new(0.5);
+        let decision = d.detect(vec![0.1, 0.8, 0.3]);
+        assert!(!decision.is_ood);
+        assert_eq!(decision.best_domain, 1);
+        assert!((decision.delta_max - 0.8).abs() < 1e-6);
+        assert_eq!(decision.similarities, vec![0.1, 0.8, 0.3]);
+    }
+
+    #[test]
+    fn ood_below_threshold() {
+        let d = OodDetector::new(0.5);
+        assert!(d.detect(vec![0.49, 0.2]).is_ood);
+        // Boundary: δ_max == δ* is *not* OOD (strict inequality in Alg. 1).
+        assert!(!d.detect(vec![0.5]).is_ood);
+    }
+
+    #[test]
+    fn empty_similarities_are_ood() {
+        let d = OodDetector::new(0.3);
+        let decision = d.detect(vec![]);
+        assert!(decision.is_ood);
+        assert_eq!(decision.delta_max, -1.0);
+    }
+
+    #[test]
+    fn nan_similarities_are_skipped() {
+        let d = OodDetector::new(0.2);
+        let decision = d.detect(vec![f32::NAN, 0.4]);
+        assert_eq!(decision.best_domain, 1);
+        assert!(!decision.is_ood);
+        let all_nan = d.detect(vec![f32::NAN]);
+        assert!(all_nan.is_ood);
+    }
+
+    #[test]
+    fn threshold_accessor() {
+        assert_eq!(OodDetector::new(0.65).delta_star(), 0.65);
+    }
+}

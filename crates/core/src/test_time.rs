@@ -1,0 +1,205 @@
+//! Adaptive test-time modeling (paper §3.6, Eq. 3, Algorithm 1 lines 3–6).
+//!
+//! For every query SMORE assembles a bespoke inference model from the
+//! domain-specific models:
+//!
+//! - **OOD query** (line 3): ensemble *all* domains weighted by their
+//!   descriptor similarity — `M_T = Σ_k δ(Q, U_k) · M_k` — because no
+//!   single source domain can claim the sample and breadth beats purity.
+//! - **In-distribution query** (lines 5–6): ensemble only the domains with
+//!   `δ(Q, U_i) ≥ δ*`; models of dissimilar domains would only inject noise
+//!   and mislead the classification (§3.6.2).
+
+use smore_hdc::model::HdcClassifier;
+
+use crate::ood::OodDecision;
+use crate::Result;
+
+/// Assembles the test-time model `M_T` for one query.
+///
+/// Negative similarities are clamped to zero so a strongly dissimilar
+/// domain can never *subtract* evidence (cosine values may be negative on
+/// the centred scale).
+///
+/// # Errors
+///
+/// Propagates [`smore_hdc::HdcError`] when the models disagree in shape or
+/// the decision's similarity vector disagrees in length (both indicate
+/// internal wiring bugs rather than user errors).
+///
+/// # Example
+///
+/// ```
+/// use smore::ood::OodDetector;
+/// use smore::test_time::build_test_time_model;
+/// use smore_hdc::model::HdcClassifier;
+/// use smore_tensor::init;
+///
+/// # fn main() -> Result<(), smore::SmoreError> {
+/// let mut rng = init::rng(5);
+/// let m1 = HdcClassifier::from_class_hypervectors(init::bipolar_matrix(&mut rng, 3, 64))?;
+/// let m2 = HdcClassifier::from_class_hypervectors(init::bipolar_matrix(&mut rng, 3, 64))?;
+/// let decision = OodDetector::new(0.5).detect(vec![0.4, 0.3]); // OOD
+/// let mt = build_test_time_model(&[m1, m2], &decision, 0.5, 1.0)?;
+/// assert_eq!(mt.num_classes(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn build_test_time_model(
+    models: &[HdcClassifier],
+    decision: &OodDecision,
+    delta_star: f32,
+    weight_power: f32,
+) -> Result<HdcClassifier> {
+    let refs: Vec<&HdcClassifier> = models.iter().collect();
+    let weights =
+        ensemble_weights_powered(&decision.similarities, decision.is_ood, delta_star, weight_power);
+    Ok(HdcClassifier::ensemble(&refs, &weights)?)
+}
+
+/// The ensemble weights Algorithm 1 assigns for a query (Eq. 3 literal,
+/// i.e. `weight_power = 1`).
+///
+/// - OOD: every domain participates with weight `max(δ_k, 0)`.
+/// - In-distribution: only domains with `δ_k ≥ δ*` participate; the rest
+///   get weight zero. If the filter would zero every weight (possible only
+///   through floating-point edge cases), all domains are readmitted so the
+///   model never degenerates to all-zeros.
+pub fn ensemble_weights(similarities: &[f32], is_ood: bool, delta_star: f32) -> Vec<f32> {
+    ensemble_weights_powered(similarities, is_ood, delta_star, 1.0)
+}
+
+/// [`ensemble_weights`] with an additional sharpening exponent:
+/// `w_k = (max(δ_k, 0) / δ_max)^p` before the OOD/threshold logic's
+/// zeroing. `p = 1` reproduces Eq. 3 up to a global scale (cosine scoring
+/// is scale-invariant); larger `p` concentrates the ensemble on the most
+/// similar domains.
+pub fn ensemble_weights_powered(
+    similarities: &[f32],
+    is_ood: bool,
+    delta_star: f32,
+    power: f32,
+) -> Vec<f32> {
+    let delta_max = similarities
+        .iter()
+        .copied()
+        .filter(|s| s.is_finite())
+        .fold(f32::NEG_INFINITY, f32::max);
+    let clamp = |s: f32| if s.is_finite() && s > 0.0 { s } else { 0.0 };
+    let sharpen = |s: f32| {
+        let c = clamp(s);
+        if power == 1.0 || c == 0.0 || delta_max <= 0.0 {
+            // Eq. 3 literal: the raw (clamped) similarity.
+            c
+        } else {
+            (c / delta_max).powf(power)
+        }
+    };
+    if is_ood {
+        return similarities.iter().map(|&s| sharpen(s)).collect();
+    }
+    let filtered: Vec<f32> =
+        similarities.iter().map(|&s| if s >= delta_star { sharpen(s) } else { 0.0 }).collect();
+    if filtered.iter().all(|&w| w == 0.0) {
+        similarities.iter().map(|&s| sharpen(s)).collect()
+    } else {
+        filtered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ood::OodDetector;
+    use smore_tensor::{init, Matrix};
+
+    fn model_filled(value: f32, classes: usize, dim: usize) -> HdcClassifier {
+        HdcClassifier::from_class_hypervectors(Matrix::filled(classes, dim, value)).unwrap()
+    }
+
+    #[test]
+    fn ood_uses_all_domains() {
+        let w = ensemble_weights(&[0.4, 0.2, 0.3], true, 0.5);
+        assert_eq!(w, vec![0.4, 0.2, 0.3]);
+    }
+
+    #[test]
+    fn ood_clamps_negative_similarities() {
+        let w = ensemble_weights(&[0.4, -0.2, 0.3], true, 0.5);
+        assert_eq!(w, vec![0.4, 0.0, 0.3]);
+    }
+
+    #[test]
+    fn in_distribution_filters_below_threshold() {
+        let w = ensemble_weights(&[0.8, 0.2, 0.55], false, 0.5);
+        assert_eq!(w, vec![0.8, 0.0, 0.55]);
+    }
+
+    #[test]
+    fn degenerate_filter_falls_back_to_all() {
+        // Not OOD but nothing passes the filter (edge case): readmit all.
+        let w = ensemble_weights(&[0.3, 0.2], false, 0.5);
+        assert_eq!(w, vec![0.3, 0.2]);
+    }
+
+    #[test]
+    fn nan_similarity_contributes_nothing() {
+        let w = ensemble_weights(&[f32::NAN, 0.7], true, 0.5);
+        assert_eq!(w, vec![0.0, 0.7]);
+    }
+
+    #[test]
+    fn powered_weights_sharpen_toward_best_domain() {
+        let w1 = ensemble_weights_powered(&[0.6, 0.3], true, 0.9, 1.0);
+        assert_eq!(w1, vec![0.6, 0.3], "p = 1 is Eq. 3 literal");
+        let w4 = ensemble_weights_powered(&[0.6, 0.3], true, 0.9, 4.0);
+        assert_eq!(w4[0], 1.0, "best domain normalises to 1");
+        assert!(w4[1] < 0.1, "dissimilar domain shrinks: {}", w4[1]);
+        // Threshold filtering still applies for in-distribution queries.
+        let w = ensemble_weights_powered(&[0.8, 0.2], false, 0.5, 2.0);
+        assert_eq!(w[1], 0.0);
+        assert_eq!(w[0], 1.0);
+    }
+
+    #[test]
+    fn test_time_model_is_weighted_sum() {
+        let m1 = model_filled(1.0, 2, 4);
+        let m2 = model_filled(2.0, 2, 4);
+        let decision = OodDetector::new(0.9).detect(vec![0.5, 0.25]); // OOD
+        assert!(decision.is_ood);
+        let mt = build_test_time_model(&[m1, m2], &decision, 0.9, 1.0).unwrap();
+        // 0.5 * 1.0 + 0.25 * 2.0 = 1.0 everywhere.
+        assert!(mt
+            .class_hypervectors()
+            .as_slice()
+            .iter()
+            .all(|&x| (x - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn in_distribution_model_excludes_dissimilar_domains() {
+        let m1 = model_filled(1.0, 2, 4);
+        let m2 = model_filled(100.0, 2, 4);
+        let decision = OodDetector::new(0.5).detect(vec![0.8, 0.1]);
+        assert!(!decision.is_ood);
+        let mt = build_test_time_model(&[m1, m2], &decision, 0.5, 1.0).unwrap();
+        // Only m1 participates: 0.8 * 1.0 = 0.8.
+        assert!(mt
+            .class_hypervectors()
+            .as_slice()
+            .iter()
+            .all(|&x| (x - 0.8).abs() < 1e-6));
+    }
+
+    #[test]
+    fn prediction_flows_through_ensemble() {
+        let mut rng = init::rng(9);
+        let a = HdcClassifier::from_class_hypervectors(init::bipolar_matrix(&mut rng, 2, 512)).unwrap();
+        let b = HdcClassifier::from_class_hypervectors(init::bipolar_matrix(&mut rng, 2, 512)).unwrap();
+        let query: Vec<f32> = a.class_hypervectors().row(1).to_vec();
+        // Heavy weight on model a: prediction should match a's verdict.
+        let decision = OodDetector::new(0.9).detect(vec![0.99, 0.01]);
+        let mt = build_test_time_model(&[a.clone(), b], &decision, 0.9, 1.0).unwrap();
+        assert_eq!(mt.predict_one(&query).unwrap(), a.predict_one(&query).unwrap());
+    }
+}

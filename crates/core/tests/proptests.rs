@@ -1,0 +1,172 @@
+//! Property-based tests for SMORE's model-level invariants.
+
+use proptest::prelude::*;
+use smore::ood::OodDetector;
+use smore::test_time::{ensemble_weights, ensemble_weights_powered};
+use smore::{Centerer, Smore, SmoreConfig};
+use smore_data::generator::{generate, DomainSpec, GeneratorConfig};
+use smore_data::split;
+use smore_tensor::{init, Matrix};
+
+fn sims(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-1.0f32..1.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ood_decision_is_consistent(s in sims(5), delta_star in -1.0f32..1.0) {
+        let decision = OodDetector::new(delta_star).detect(s.clone());
+        // δ_max is the max of the (finite) similarities.
+        let max = s.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!((decision.delta_max - max).abs() < 1e-6);
+        prop_assert_eq!(decision.is_ood, max < delta_star);
+        prop_assert!((decision.similarities[decision.best_domain] - max).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ensemble_weights_are_nonnegative_and_zero_only_when_filtered(
+        s in sims(6),
+        delta_star in -1.0f32..1.0,
+        ood in prop::bool::ANY,
+    ) {
+        let w = ensemble_weights(&s, ood, delta_star);
+        prop_assert_eq!(w.len(), s.len());
+        prop_assert!(w.iter().all(|&x| x >= 0.0));
+        if ood {
+            // OOD: every positive similarity contributes.
+            for (wi, &si) in w.iter().zip(&s) {
+                prop_assert_eq!(*wi, si.max(0.0));
+            }
+        }
+        // Never all-zero when some similarity is positive.
+        if s.iter().any(|&x| x > 0.0) {
+            prop_assert!(w.iter().any(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    fn powered_weights_preserve_ranking(s in sims(4), power in 1.0f32..8.0) {
+        let w = ensemble_weights_powered(&s, true, 0.0, power);
+        for i in 0..s.len() {
+            for j in 0..s.len() {
+                if s[i].max(0.0) > s[j].max(0.0) {
+                    prop_assert!(w[i] >= w[j], "sharpening must not reorder domains");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn centerer_output_rows_are_unit_or_zero(rows in 2usize..10, seed in any::<u64>()) {
+        let m = init::normal_matrix(&mut init::rng(seed), rows, 32);
+        let centerer = Centerer::fit(&m).unwrap();
+        let mut z = m.clone();
+        centerer.apply(&mut z);
+        for i in 0..rows {
+            let n = smore_tensor::vecops::norm(z.row(i));
+            prop_assert!(n < 1e-6 || (n - 1.0).abs() < 1e-4, "row norm {n}");
+        }
+    }
+}
+
+// Heavier end-to-end properties run with few cases.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn smore_predictions_always_in_label_range(seed in 0u64..1000) {
+        let ds = generate(&GeneratorConfig {
+            name: "prop".into(),
+            num_classes: 3,
+            channels: 2,
+            window_len: 12,
+            sample_rate_hz: 20.0,
+            domains: vec![
+                DomainSpec { subjects: vec![0], windows: 18 },
+                DomainSpec { subjects: vec![1], windows: 18 },
+                DomainSpec { subjects: vec![2], windows: 18 },
+            ],
+            shift_severity: 1.5,
+            seed,
+        })
+        .unwrap();
+        let (train, test) = split::lodo(&ds, 2).unwrap();
+        let mut model = Smore::new(
+            SmoreConfig::builder().dim(256).channels(2).num_classes(3).epochs(3).build().unwrap(),
+        )
+        .unwrap();
+        model.fit_indices(&ds, &train).unwrap();
+        let (w, _, _) = ds.gather(&test);
+        for p in model.predict_batch(&w).unwrap() {
+            prop_assert!(p.label < 3);
+            prop_assert!(p.domain_similarities.len() == 2);
+            prop_assert!((-1.0..=1.0).contains(&p.delta_max));
+            prop_assert!(p.best_domain == 0 || p.best_domain == 1);
+        }
+    }
+
+    #[test]
+    fn delta_star_monotonically_increases_ood_fraction(seed in 0u64..100) {
+        let ds = generate(&GeneratorConfig {
+            name: "prop2".into(),
+            num_classes: 2,
+            channels: 2,
+            window_len: 12,
+            sample_rate_hz: 20.0,
+            domains: vec![
+                DomainSpec { subjects: vec![0], windows: 16 },
+                DomainSpec { subjects: vec![1], windows: 16 },
+                DomainSpec { subjects: vec![2], windows: 16 },
+            ],
+            shift_severity: 1.0,
+            seed,
+        })
+        .unwrap();
+        let (train, test) = split::lodo(&ds, 0).unwrap();
+        let mut model = Smore::new(
+            SmoreConfig::builder().dim(256).channels(2).num_classes(2).epochs(3).build().unwrap(),
+        )
+        .unwrap();
+        model.fit_indices(&ds, &train).unwrap();
+        let (w, l, _) = ds.gather(&test);
+        let mut last = 0.0f32;
+        for delta in [-1.0f32, 0.0, 0.5, 1.0] {
+            model.set_delta_star(delta).unwrap();
+            let eval = model.evaluate(&w, &l).unwrap();
+            prop_assert!(
+                eval.ood_fraction >= last - 1e-6,
+                "raising δ* must not reduce the OOD fraction"
+            );
+            last = eval.ood_fraction;
+        }
+    }
+
+    #[test]
+    fn matrix_windows_roundtrip_through_dataset(seed in any::<u64>()) {
+        let ds = generate(&GeneratorConfig {
+            name: "prop3".into(),
+            num_classes: 2,
+            channels: 3,
+            window_len: 8,
+            sample_rate_hz: 10.0,
+            domains: vec![
+                DomainSpec { subjects: vec![0], windows: 6 },
+                DomainSpec { subjects: vec![1], windows: 6 },
+            ],
+            shift_severity: 0.5,
+            seed,
+        })
+        .unwrap();
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let (w, l, d) = ds.gather(&idx);
+        prop_assert_eq!(w.len(), ds.len());
+        for i in 0..ds.len() {
+            prop_assert_eq!(&w[i], ds.window(i));
+            prop_assert_eq!(l[i], ds.label(i));
+            prop_assert_eq!(d[i], ds.domain(i));
+        }
+        let _ = Matrix::zeros(1, 1);
+    }
+}

@@ -1,0 +1,276 @@
+use smore_tensor::Matrix;
+
+use crate::{DataError, Result};
+
+/// Static description of a generated dataset.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DatasetMeta {
+    /// Human-readable dataset name (e.g. `"usc-had-like"`).
+    pub name: String,
+    /// Number of activity classes.
+    pub num_classes: usize,
+    /// Number of domains (subject groups).
+    pub num_domains: usize,
+    /// Number of sensor channels per window.
+    pub channels: usize,
+    /// Time steps per window.
+    pub window_len: usize,
+    /// Sampling rate of the simulated sensors, in Hz.
+    pub sample_rate_hz: f32,
+}
+
+/// A labelled, domain-tagged collection of multi-sensor windows.
+///
+/// Each window is a `(window_len, channels)` matrix — rows are time steps,
+/// columns are sensors — matching the layout expected by
+/// `smore_hdc::encoder::MultiSensorEncoder`.
+///
+/// # Example
+///
+/// ```
+/// use smore_data::presets::{self, PresetProfile};
+///
+/// # fn main() -> Result<(), smore_data::DataError> {
+/// let ds = presets::dsads(&PresetProfile::tiny())?;
+/// let idx = ds.domain_indices(0)?;
+/// assert!(idx.iter().all(|&i| ds.domain(i) == 0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Dataset {
+    meta: DatasetMeta,
+    windows: Vec<Matrix>,
+    labels: Vec<usize>,
+    domains: Vec<usize>,
+    subjects: Vec<usize>,
+}
+
+impl Dataset {
+    /// Assembles a dataset from parallel arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidConfig`] when the arrays disagree in
+    /// length, a window has the wrong shape, or a label/domain exceeds the
+    /// metadata ranges.
+    pub fn new(
+        meta: DatasetMeta,
+        windows: Vec<Matrix>,
+        labels: Vec<usize>,
+        domains: Vec<usize>,
+        subjects: Vec<usize>,
+    ) -> Result<Self> {
+        let n = windows.len();
+        if labels.len() != n || domains.len() != n || subjects.len() != n {
+            return Err(DataError::InvalidConfig {
+                what: format!(
+                    "parallel arrays disagree: {} windows, {} labels, {} domains, {} subjects",
+                    n,
+                    labels.len(),
+                    domains.len(),
+                    subjects.len()
+                ),
+            });
+        }
+        for (i, w) in windows.iter().enumerate() {
+            if w.shape() != (meta.window_len, meta.channels) {
+                return Err(DataError::InvalidConfig {
+                    what: format!(
+                        "window {i} has shape {:?}, expected ({}, {})",
+                        w.shape(),
+                        meta.window_len,
+                        meta.channels
+                    ),
+                });
+            }
+        }
+        if let Some(&l) = labels.iter().find(|&&l| l >= meta.num_classes) {
+            return Err(DataError::InvalidConfig {
+                what: format!("label {l} exceeds num_classes {}", meta.num_classes),
+            });
+        }
+        if let Some(&d) = domains.iter().find(|&&d| d >= meta.num_domains) {
+            return Err(DataError::InvalidConfig {
+                what: format!("domain {d} exceeds num_domains {}", meta.num_domains),
+            });
+        }
+        Ok(Self { meta, windows, labels, domains, subjects })
+    }
+
+    /// Dataset metadata.
+    pub fn meta(&self) -> &DatasetMeta {
+        &self.meta
+    }
+
+    /// Number of windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether the dataset holds no windows.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// All windows, in order.
+    pub fn windows(&self) -> &[Matrix] {
+        &self.windows
+    }
+
+    /// The window at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn window(&self, index: usize) -> &Matrix {
+        &self.windows[index]
+    }
+
+    /// All class labels, parallel to [`windows`](Self::windows).
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// The class label of window `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn label(&self, index: usize) -> usize {
+        self.labels[index]
+    }
+
+    /// All domain tags, parallel to [`windows`](Self::windows).
+    pub fn domains(&self) -> &[usize] {
+        &self.domains
+    }
+
+    /// The domain tag of window `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn domain(&self, index: usize) -> usize {
+        self.domains[index]
+    }
+
+    /// All subject IDs, parallel to [`windows`](Self::windows).
+    pub fn subjects(&self) -> &[usize] {
+        &self.subjects
+    }
+
+    /// Indices of all windows belonging to `domain`, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::DomainOutOfRange`] for an unknown domain.
+    pub fn domain_indices(&self, domain: usize) -> Result<Vec<usize>> {
+        if domain >= self.meta.num_domains {
+            return Err(DataError::DomainOutOfRange { domain, num_domains: self.meta.num_domains });
+        }
+        Ok((0..self.len()).filter(|&i| self.domains[i] == domain).collect())
+    }
+
+    /// Number of windows in each domain (length = `num_domains`).
+    pub fn domain_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.meta.num_domains];
+        for &d in &self.domains {
+            sizes[d] += 1;
+        }
+        sizes
+    }
+
+    /// Number of windows in each class (length = `num_classes`).
+    pub fn class_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.meta.num_classes];
+        for &l in &self.labels {
+            sizes[l] += 1;
+        }
+        sizes
+    }
+
+    /// Extracts the windows/labels/domains at `indices` as owned vectors —
+    /// the common shape consumed by training pipelines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather(&self, indices: &[usize]) -> (Vec<Matrix>, Vec<usize>, Vec<usize>) {
+        let windows = indices.iter().map(|&i| self.windows[i].clone()).collect();
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        let domains = indices.iter().map(|&i| self.domains[i]).collect();
+        (windows, labels, domains)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> DatasetMeta {
+        DatasetMeta {
+            name: "test".into(),
+            num_classes: 2,
+            num_domains: 2,
+            channels: 1,
+            window_len: 4,
+            sample_rate_hz: 10.0,
+        }
+    }
+
+    fn tiny() -> Dataset {
+        let windows = (0..6).map(|i| Matrix::filled(4, 1, i as f32)).collect();
+        Dataset::new(meta(), windows, vec![0, 1, 0, 1, 0, 1], vec![0, 0, 0, 1, 1, 1], vec![0, 0, 0, 1, 1, 1])
+            .unwrap()
+    }
+
+    #[test]
+    fn accessors_consistent() {
+        let d = tiny();
+        assert_eq!(d.len(), 6);
+        assert!(!d.is_empty());
+        assert_eq!(d.label(3), 1);
+        assert_eq!(d.domain(4), 1);
+        assert_eq!(d.window(2).get(0, 0), 2.0);
+        assert_eq!(d.domain_sizes(), vec![3, 3]);
+        assert_eq!(d.class_sizes(), vec![3, 3]);
+        assert_eq!(d.subjects().len(), 6);
+    }
+
+    #[test]
+    fn domain_indices_filters() {
+        let d = tiny();
+        assert_eq!(d.domain_indices(1).unwrap(), vec![3, 4, 5]);
+        assert!(matches!(d.domain_indices(2), Err(DataError::DomainOutOfRange { .. })));
+    }
+
+    #[test]
+    fn gather_clones_selection() {
+        let d = tiny();
+        let (w, l, dm) = d.gather(&[5, 0]);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].get(0, 0), 5.0);
+        assert_eq!(l, vec![1, 0]);
+        assert_eq!(dm, vec![1, 0]);
+    }
+
+    #[test]
+    fn new_validates_lengths_and_shapes() {
+        let windows: Vec<Matrix> = (0..2).map(|_| Matrix::zeros(4, 1)).collect();
+        assert!(Dataset::new(meta(), windows.clone(), vec![0], vec![0, 0], vec![0, 0]).is_err());
+        let bad_shape = vec![Matrix::zeros(3, 1), Matrix::zeros(4, 1)];
+        assert!(Dataset::new(meta(), bad_shape, vec![0, 0], vec![0, 0], vec![0, 0]).is_err());
+        assert!(Dataset::new(meta(), windows.clone(), vec![0, 9], vec![0, 0], vec![0, 0]).is_err());
+        assert!(Dataset::new(meta(), windows, vec![0, 0], vec![0, 9], vec![0, 0]).is_err());
+    }
+
+    #[test]
+    fn empty_dataset_is_valid() {
+        let d = Dataset::new(meta(), vec![], vec![], vec![], vec![]).unwrap();
+        assert!(d.is_empty());
+        assert_eq!(d.domain_sizes(), vec![0, 0]);
+    }
+}

@@ -1,0 +1,63 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for dataset generation and splitting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DataError {
+    /// A generator or preset configuration is invalid.
+    InvalidConfig {
+        /// Human-readable description of the invalid configuration.
+        what: String,
+    },
+    /// A requested domain does not exist in the dataset.
+    DomainOutOfRange {
+        /// The requested domain index.
+        domain: usize,
+        /// Number of domains in the dataset.
+        num_domains: usize,
+    },
+    /// A split request was inconsistent (e.g. more folds than samples).
+    InvalidSplit {
+        /// Human-readable description of the inconsistency.
+        what: String,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::InvalidConfig { what } => write!(f, "invalid dataset configuration: {what}"),
+            DataError::DomainOutOfRange { domain, num_domains } => {
+                write!(f, "domain {domain} out of range for {num_domains} domains")
+            }
+            DataError::InvalidSplit { what } => write!(f, "invalid split: {what}"),
+        }
+    }
+}
+
+impl Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(DataError::InvalidConfig { what: "zero classes".into() }
+            .to_string()
+            .contains("zero classes"));
+        assert!(DataError::DomainOutOfRange { domain: 7, num_domains: 4 }
+            .to_string()
+            .contains("domain 7"));
+        assert!(DataError::InvalidSplit { what: "k too large".into() }
+            .to_string()
+            .contains("k too large"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DataError>();
+    }
+}

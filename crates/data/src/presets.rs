@@ -1,0 +1,267 @@
+//! DSADS / USC-HAD / PAMAP2-like dataset presets (paper §4.1.2, Table 1).
+//!
+//! Each preset mirrors the published structure of its namesake:
+//!
+//! | Preset | Classes | Subjects → Domains | Channels | Window | Rate |
+//! |---|---|---|---|---|---|
+//! | DSADS   | 19 | 8 → 4 × 2 | 45 | 125 (5 s)    | 25 Hz  |
+//! | USC-HAD | 12 | 14 → 5    | 6  | 126 (1.26 s) | 100 Hz |
+//! | PAMAP2  | 18 | 8 → 4 × 2 | 27 | 127 (1.27 s) | 100 Hz |
+//!
+//! Window budgets per domain follow Table 1 exactly at `scale = 1.0`
+//! (e.g. USC-HAD: 8 945 / 8 754 / 8 534 / 8 867 / 8 274). A
+//! [`PresetProfile`] shrinks the budgets and the time axis for fast CI and
+//! benchmark runs without changing the structure.
+
+use crate::generator::{generate, DomainSpec, GeneratorConfig};
+use crate::{DataError, Dataset, Result};
+
+/// Scaling profile applied to a preset.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PresetProfile {
+    /// Fraction of the Table 1 window budget to generate (`0 < scale ≤ 1`).
+    pub scale: f32,
+    /// Keep every `time_downsample`-th time step (`≥ 1`).
+    pub time_downsample: usize,
+    /// Distribution-shift severity (1.0 = calibrated default).
+    pub shift_severity: f32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for PresetProfile {
+    /// Full fidelity: Table 1 budgets, native window lengths.
+    fn default() -> Self {
+        Self { scale: 1.0, time_downsample: 1, shift_severity: 1.0, seed: 0xDAC2_024 }
+    }
+}
+
+impl PresetProfile {
+    /// Full-fidelity profile (Table 1 budgets, native windows).
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// Benchmark profile: 10% of the window budget, 4× time downsampling.
+    ///
+    /// Keeps all domains, classes and channels, so every experiment retains
+    /// its structure at ~2.5% of the compute.
+    pub fn fast() -> Self {
+        Self { scale: 0.1, time_downsample: 4, ..Self::default() }
+    }
+
+    /// Tiny profile for unit tests and doc examples (≈1% budget, 8× time
+    /// downsampling).
+    pub fn tiny() -> Self {
+        Self { scale: 0.012, time_downsample: 8, ..Self::default() }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !(self.scale > 0.0 && self.scale <= 1.0) {
+            return Err(DataError::InvalidConfig {
+                what: format!("scale must be in (0, 1], got {}", self.scale),
+            });
+        }
+        if self.time_downsample == 0 {
+            return Err(DataError::InvalidConfig { what: "time_downsample must be ≥ 1".into() });
+        }
+        Ok(())
+    }
+
+    fn budget(&self, full: usize) -> usize {
+        ((full as f32 * self.scale).round() as usize).max(1)
+    }
+
+    fn window_len(&self, full: usize) -> usize {
+        (full / self.time_downsample).max(4)
+    }
+
+    fn rate(&self, full: f32) -> f32 {
+        full / self.time_downsample as f32
+    }
+}
+
+/// The paper's Table 1 window counts per domain.
+pub mod table1 {
+    /// DSADS: 4 domains × 2 280 windows.
+    pub const DSADS: [usize; 4] = [2_280, 2_280, 2_280, 2_280];
+    /// USC-HAD: 5 domains.
+    pub const USC_HAD: [usize; 5] = [8_945, 8_754, 8_534, 8_867, 8_274];
+    /// PAMAP2: 4 domains.
+    pub const PAMAP2: [usize; 4] = [5_636, 5_591, 5_806, 5_660];
+}
+
+/// DSADS-like: 19 daily/sports activities, 8 subjects in 4 domains of two,
+/// 45 channels (5 body-worn units × 9 sensor axes), 5 s windows at 25 Hz.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidConfig`] for an invalid profile.
+pub fn dsads(profile: &PresetProfile) -> Result<Dataset> {
+    profile.validate()?;
+    let domains = (0..4)
+        .map(|d| DomainSpec {
+            subjects: vec![2 * d, 2 * d + 1],
+            windows: profile.budget(table1::DSADS[d]),
+        })
+        .collect();
+    generate(&GeneratorConfig {
+        name: "dsads-like".into(),
+        num_classes: 19,
+        channels: 45,
+        window_len: profile.window_len(125),
+        sample_rate_hz: profile.rate(25.0),
+        domains,
+        shift_severity: profile.shift_severity,
+        seed: profile.seed ^ 0xD5AD_5000,
+    })
+}
+
+/// USC-HAD-like: 12 activities, 14 subjects in 5 domains (3/3/3/3/2),
+/// 6 channels (3-axis accelerometer + 3-axis gyroscope), 1.26 s windows at
+/// 100 Hz with 50% overlap in the original segmentation.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidConfig`] for an invalid profile.
+pub fn usc_had(profile: &PresetProfile) -> Result<Dataset> {
+    profile.validate()?;
+    let groups: [&[usize]; 5] = [&[0, 1, 2], &[3, 4, 5], &[6, 7, 8], &[9, 10, 11], &[12, 13]];
+    let domains = (0..5)
+        .map(|d| DomainSpec {
+            subjects: groups[d].to_vec(),
+            windows: profile.budget(table1::USC_HAD[d]),
+        })
+        .collect();
+    generate(&GeneratorConfig {
+        name: "usc-had-like".into(),
+        num_classes: 12,
+        channels: 6,
+        window_len: profile.window_len(126),
+        sample_rate_hz: profile.rate(100.0),
+        domains,
+        shift_severity: profile.shift_severity,
+        seed: profile.seed ^ 0x05CA_AD00,
+    })
+}
+
+/// PAMAP2-like: 18 activities, 8 subjects (subject nine excluded, as in the
+/// paper) in 4 domains of two, 27 channels (3 IMUs × 9 axes), 1.27 s windows
+/// at 100 Hz with 50% overlap in the original segmentation.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidConfig`] for an invalid profile.
+pub fn pamap2(profile: &PresetProfile) -> Result<Dataset> {
+    profile.validate()?;
+    let domains = (0..4)
+        .map(|d| DomainSpec {
+            subjects: vec![2 * d, 2 * d + 1],
+            windows: profile.budget(table1::PAMAP2[d]),
+        })
+        .collect();
+    generate(&GeneratorConfig {
+        name: "pamap2-like".into(),
+        num_classes: 18,
+        channels: 27,
+        window_len: profile.window_len(127),
+        sample_rate_hz: profile.rate(100.0),
+        domains,
+        shift_severity: profile.shift_severity,
+        seed: profile.seed ^ 0x9A3A_9200,
+    })
+}
+
+/// All three presets as `(name, constructor)` pairs — convenient for
+/// iterating experiments over every dataset.
+pub fn all() -> [(&'static str, fn(&PresetProfile) -> Result<Dataset>); 3] {
+    [("DSADS", dsads), ("USC-HAD", usc_had), ("PAMAP2", pamap2)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_profiles_have_right_structure() {
+        let d = dsads(&PresetProfile::tiny()).unwrap();
+        assert_eq!(d.meta().num_classes, 19);
+        assert_eq!(d.meta().num_domains, 4);
+        assert_eq!(d.meta().channels, 45);
+        let u = usc_had(&PresetProfile::tiny()).unwrap();
+        assert_eq!(u.meta().num_classes, 12);
+        assert_eq!(u.meta().num_domains, 5);
+        assert_eq!(u.meta().channels, 6);
+        let p = pamap2(&PresetProfile::tiny()).unwrap();
+        assert_eq!(p.meta().num_classes, 18);
+        assert_eq!(p.meta().num_domains, 4);
+        assert_eq!(p.meta().channels, 27);
+    }
+
+    #[test]
+    fn full_budgets_match_table1() {
+        // Validate budget arithmetic without generating the full data.
+        let profile = PresetProfile::full();
+        assert_eq!(profile.budget(2280), 2280);
+        let total_usc: usize = table1::USC_HAD.iter().map(|&n| profile.budget(n)).sum();
+        assert_eq!(total_usc, 43_374);
+        let total_pamap: usize = table1::PAMAP2.iter().map(|&n| profile.budget(n)).sum();
+        assert_eq!(total_pamap, 22_693);
+        let total_dsads: usize = table1::DSADS.iter().map(|&n| profile.budget(n)).sum();
+        assert_eq!(total_dsads, 9_120);
+    }
+
+    #[test]
+    fn scaled_budgets_shrink_proportionally() {
+        let fast = PresetProfile::fast();
+        let d = usc_had(&fast).unwrap();
+        let sizes = d.domain_sizes();
+        for (i, &full) in table1::USC_HAD.iter().enumerate() {
+            let expected = (full as f32 * 0.1).round() as usize;
+            assert_eq!(sizes[i], expected, "domain {i}");
+        }
+    }
+
+    #[test]
+    fn downsampling_shortens_windows() {
+        let tiny = PresetProfile::tiny();
+        let u = usc_had(&tiny).unwrap();
+        assert_eq!(u.meta().window_len, 126 / 8);
+        assert!((u.meta().sample_rate_hz - 100.0 / 8.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn profile_validation() {
+        let mut p = PresetProfile::tiny();
+        p.scale = 0.0;
+        assert!(usc_had(&p).is_err());
+        let mut p = PresetProfile::tiny();
+        p.scale = 1.5;
+        assert!(dsads(&p).is_err());
+        let mut p = PresetProfile::tiny();
+        p.time_downsample = 0;
+        assert!(pamap2(&p).is_err());
+    }
+
+    #[test]
+    fn all_lists_three_presets() {
+        let presets = all();
+        assert_eq!(presets.len(), 3);
+        for (name, f) in presets {
+            let ds = f(&PresetProfile::tiny()).unwrap();
+            assert!(!ds.is_empty(), "{name} generated an empty dataset");
+        }
+    }
+
+    #[test]
+    fn usc_had_has_five_domains_with_two_subject_tail() {
+        let u = usc_had(&PresetProfile::tiny()).unwrap();
+        // Domain 4 only has subjects 12 and 13.
+        let idx = u.domain_indices(4).unwrap();
+        let mut subs: Vec<usize> = idx.iter().map(|&i| u.subjects()[i]).collect();
+        subs.sort_unstable();
+        subs.dedup();
+        assert_eq!(subs, vec![12, 13]);
+    }
+}

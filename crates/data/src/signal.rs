@@ -1,0 +1,219 @@
+//! Signal primitives: harmonic stacks, transient bursts and noise.
+//!
+//! A single wearable-sensor channel during a periodic activity (walking,
+//! running, rowing, …) is well approximated by a small harmonic stack on a
+//! baseline offset, punctuated by transient bursts (heel strikes, impacts)
+//! and sensor noise. These primitives are deliberately simple — the domain
+//! structure of the data comes from the *subject effects* layered on top
+//! ([`crate::subject`]), not from signal complexity.
+
+use rand::Rng;
+use smore_tensor::init;
+
+/// One harmonic component: `amplitude * sin(2π * freq_mult * f0 * t + phase)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Harmonic {
+    /// Multiplier applied to the pattern's base frequency.
+    pub freq_mult: f32,
+    /// Peak amplitude of the component.
+    pub amplitude: f32,
+    /// Phase offset in radians.
+    pub phase: f32,
+}
+
+/// The generative pattern for one (activity class, sensor channel) pair.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ChannelPattern {
+    /// Base frequency of the activity on this channel, in Hz.
+    pub base_freq_hz: f32,
+    /// Harmonic stack on top of the base frequency.
+    pub harmonics: Vec<Harmonic>,
+    /// Constant baseline offset (gravity component, sensor mounting).
+    pub offset: f32,
+    /// Expected number of transient bursts per second.
+    pub burst_rate_hz: f32,
+    /// Peak amplitude of transient bursts.
+    pub burst_amplitude: f32,
+    /// Standard deviation of the additive Gaussian sensor noise.
+    pub noise_std: f32,
+}
+
+impl ChannelPattern {
+    /// Samples one window of `len` steps at `sample_rate_hz` into `out`.
+    ///
+    /// `freq_scale` stretches time (subject tempo), `amp_scale` scales the
+    /// oscillatory part (subject style/gain), `phase0` rotates the whole
+    /// window (random window start), `noise_scale` multiplies the noise
+    /// floor. The caller's `rng` drives bursts and noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() < len` — callers always pass exact buffers.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_into(
+        &self,
+        out: &mut [f32],
+        len: usize,
+        sample_rate_hz: f32,
+        freq_scale: f32,
+        amp_scale: f32,
+        phase0: f32,
+        noise_scale: f32,
+        rng: &mut impl Rng,
+    ) {
+        assert!(out.len() >= len, "sample_into: buffer too small");
+        let dt = 1.0 / sample_rate_hz.max(1e-6);
+        let w0 = 2.0 * std::f32::consts::PI * self.base_freq_hz * freq_scale;
+        for (t, o) in out.iter_mut().enumerate().take(len) {
+            let time = t as f32 * dt;
+            let mut x = 0.0f32;
+            for h in &self.harmonics {
+                x += h.amplitude * (w0 * h.freq_mult * time + h.phase + phase0).sin();
+            }
+            *o = self.offset + amp_scale * x;
+        }
+        // Transient bursts: Gaussian bumps at random positions.
+        let window_seconds = len as f32 * dt;
+        let expected = self.burst_rate_hz * window_seconds;
+        let n_bursts = poisson_like(expected, rng);
+        for _ in 0..n_bursts {
+            let center = rng.gen_range(0.0..len as f32);
+            let width = (sample_rate_hz * 0.02).max(1.0); // ~20 ms
+            let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            let amp = sign * self.burst_amplitude * amp_scale * rng.gen_range(0.5..1.0);
+            for (t, o) in out.iter_mut().enumerate().take(len) {
+                let d = (t as f32 - center) / width;
+                *o += amp * (-0.5 * d * d).exp();
+            }
+        }
+        // Sensor noise.
+        if self.noise_std > 0.0 && noise_scale > 0.0 {
+            for o in out.iter_mut().take(len) {
+                *o += self.noise_std * noise_scale * init::standard_normal(rng);
+            }
+        }
+    }
+}
+
+/// Draws a small Poisson-like count with the given mean using inversion on
+/// a capped support — adequate for burst counts (mean well below 10).
+fn poisson_like(mean: f32, rng: &mut impl Rng) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let mean = mean.min(8.0);
+    let l = (-mean).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f32;
+    loop {
+        p *= rng.gen::<f32>();
+        if p <= l || k >= 16 {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smore_tensor::vecops;
+
+    fn test_pattern() -> ChannelPattern {
+        ChannelPattern {
+            base_freq_hz: 2.0,
+            harmonics: vec![
+                Harmonic { freq_mult: 1.0, amplitude: 1.0, phase: 0.0 },
+                Harmonic { freq_mult: 2.0, amplitude: 0.4, phase: 0.7 },
+            ],
+            offset: 0.5,
+            burst_rate_hz: 0.0,
+            burst_amplitude: 0.0,
+            noise_std: 0.0,
+        }
+    }
+
+    #[test]
+    fn noiseless_signal_is_deterministic_and_offset_centred() {
+        let p = test_pattern();
+        let mut a = vec![0.0f32; 200];
+        let mut b = vec![0.0f32; 200];
+        let mut rng = smore_tensor::init::rng(1);
+        p.sample_into(&mut a, 200, 100.0, 1.0, 1.0, 0.0, 1.0, &mut rng);
+        p.sample_into(&mut b, 200, 100.0, 1.0, 1.0, 0.0, 1.0, &mut rng);
+        assert_eq!(a, b, "no noise, no bursts => deterministic");
+        // Mean over whole periods approaches the offset.
+        assert!((vecops::mean(&a) - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn amplitude_scale_scales_oscillation() {
+        let p = test_pattern();
+        let mut small = vec![0.0f32; 100];
+        let mut large = vec![0.0f32; 100];
+        let mut rng = smore_tensor::init::rng(2);
+        p.sample_into(&mut small, 100, 100.0, 1.0, 0.5, 0.0, 1.0, &mut rng);
+        p.sample_into(&mut large, 100, 100.0, 1.0, 2.0, 0.0, 1.0, &mut rng);
+        let small_span = vecops::max(&small).unwrap() - small.iter().cloned().fold(f32::INFINITY, f32::min);
+        let large_span = vecops::max(&large).unwrap() - large.iter().cloned().fold(f32::INFINITY, f32::min);
+        assert!(large_span > 3.0 * small_span, "amp scale 4x should widen span ~4x");
+    }
+
+    #[test]
+    fn freq_scale_changes_zero_crossing_count() {
+        let mut p = test_pattern();
+        p.offset = 0.0;
+        p.harmonics.truncate(1);
+        let crossings = |v: &[f32]| v.windows(2).filter(|w| w[0].signum() != w[1].signum()).count();
+        let mut slow = vec![0.0f32; 400];
+        let mut fast = vec![0.0f32; 400];
+        let mut rng = smore_tensor::init::rng(3);
+        p.sample_into(&mut slow, 400, 100.0, 1.0, 1.0, 0.0, 1.0, &mut rng);
+        p.sample_into(&mut fast, 400, 100.0, 2.0, 1.0, 0.0, 1.0, &mut rng);
+        assert!(crossings(&fast) > crossings(&slow) + 4);
+    }
+
+    #[test]
+    fn noise_perturbs_signal() {
+        let mut p = test_pattern();
+        p.noise_std = 0.3;
+        let mut a = vec![0.0f32; 100];
+        let mut b = vec![0.0f32; 100];
+        let mut rng = smore_tensor::init::rng(4);
+        p.sample_into(&mut a, 100, 100.0, 1.0, 1.0, 0.0, 1.0, &mut rng);
+        p.sample_into(&mut b, 100, 100.0, 1.0, 1.0, 0.0, 1.0, &mut rng);
+        assert_ne!(a, b, "noise should differ across draws");
+        let diff: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x - y).collect();
+        let spread = vecops::variance(&diff).sqrt();
+        assert!(spread > 0.1 && spread < 1.5, "noise spread {spread} out of expectation");
+    }
+
+    #[test]
+    fn bursts_add_energy() {
+        let mut p = test_pattern();
+        p.burst_rate_hz = 4.0;
+        p.burst_amplitude = 5.0;
+        let mut with = vec![0.0f32; 200];
+        let mut without = vec![0.0f32; 200];
+        let mut rng = smore_tensor::init::rng(5);
+        p.sample_into(&mut with, 200, 100.0, 1.0, 1.0, 0.0, 1.0, &mut rng);
+        let p0 = ChannelPattern { burst_rate_hz: 0.0, ..p };
+        p0.sample_into(&mut without, 200, 100.0, 1.0, 1.0, 0.0, 1.0, &mut rng);
+        let peak_with = with.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        let peak_without = without.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        assert!(peak_with > peak_without, "bursts should raise the peak");
+    }
+
+    #[test]
+    fn poisson_like_mean_roughly_correct() {
+        let mut rng = smore_tensor::init::rng(6);
+        let n = 4000;
+        let total: usize = (0..n).map(|_| poisson_like(2.0, &mut rng)).sum();
+        let mean = total as f32 / n as f32;
+        assert!((mean - 2.0).abs() < 0.2, "poisson-like mean {mean} too far from 2.0");
+        assert_eq!(poisson_like(0.0, &mut rng), 0);
+        assert_eq!(poisson_like(-1.0, &mut rng), 0);
+    }
+}

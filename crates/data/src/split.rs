@@ -1,0 +1,215 @@
+//! Cross-validation splits: leave-one-domain-out and standard k-fold.
+//!
+//! The paper's central methodological point (Fig. 1b) is that *standard
+//! k-fold CV does not reflect real-world distribution shift*: random
+//! sampling leaks every domain into the training set and inflates accuracy.
+//! [`lodo`] implements the honest protocol — train on all domains except
+//! one, evaluate on the held-out domain — while [`kfold`] deliberately
+//! reproduces the leaky shuffled protocol for the Fig. 1b comparison.
+
+use rand::seq::SliceRandom;
+use smore_tensor::init;
+
+use crate::{DataError, Dataset, Result};
+
+/// Leave-one-domain-out split: `(train indices, test indices)` where the
+/// test set is exactly the windows of `held_out` and the training set is
+/// everything else.
+///
+/// # Errors
+///
+/// - [`DataError::DomainOutOfRange`] for an unknown domain.
+/// - [`DataError::InvalidSplit`] when either side would be empty.
+///
+/// # Example
+///
+/// ```
+/// use smore_data::{presets::{self, PresetProfile}, split};
+///
+/// # fn main() -> Result<(), smore_data::DataError> {
+/// let ds = presets::usc_had(&PresetProfile::tiny())?;
+/// let (train, test) = split::lodo(&ds, 2)?;
+/// assert!(test.iter().all(|&i| ds.domain(i) == 2));
+/// assert!(train.iter().all(|&i| ds.domain(i) != 2));
+/// # Ok(())
+/// # }
+/// ```
+pub fn lodo(dataset: &Dataset, held_out: usize) -> Result<(Vec<usize>, Vec<usize>)> {
+    if held_out >= dataset.meta().num_domains {
+        return Err(DataError::DomainOutOfRange {
+            domain: held_out,
+            num_domains: dataset.meta().num_domains,
+        });
+    }
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for i in 0..dataset.len() {
+        if dataset.domain(i) == held_out {
+            test.push(i);
+        } else {
+            train.push(i);
+        }
+    }
+    if train.is_empty() || test.is_empty() {
+        return Err(DataError::InvalidSplit {
+            what: format!(
+                "LODO on domain {held_out} produced {} train / {} test windows",
+                train.len(),
+                test.len()
+            ),
+        });
+    }
+    Ok((train, test))
+}
+
+/// Standard shuffled k-fold split: `(train indices, test indices)` for the
+/// given `fold` of `k`.
+///
+/// Shuffling ignores domain boundaries, so every fold's training set
+/// contains windows from all domains — the data-leakage semantics the
+/// paper's Figure 1(b) uses as its inflated upper reference.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidSplit`] when `k < 2`, `fold >= k`, or the
+/// dataset has fewer than `k` windows.
+pub fn kfold(dataset: &Dataset, k: usize, fold: usize, seed: u64) -> Result<(Vec<usize>, Vec<usize>)> {
+    if k < 2 {
+        return Err(DataError::InvalidSplit { what: format!("k must be ≥ 2, got {k}") });
+    }
+    if fold >= k {
+        return Err(DataError::InvalidSplit { what: format!("fold {fold} out of range for k={k}") });
+    }
+    if dataset.len() < k {
+        return Err(DataError::InvalidSplit {
+            what: format!("dataset of {} windows cannot be split into {k} folds", dataset.len()),
+        });
+    }
+    let mut indices: Vec<usize> = (0..dataset.len()).collect();
+    let mut rng = init::rng(seed);
+    indices.shuffle(&mut rng);
+    let fold_size = dataset.len() / k;
+    let start = fold * fold_size;
+    let end = if fold == k - 1 { dataset.len() } else { start + fold_size };
+    let test: Vec<usize> = indices[start..end].to_vec();
+    let train: Vec<usize> =
+        indices[..start].iter().chain(&indices[end..]).copied().collect();
+    Ok((train, test))
+}
+
+/// Deterministically subsamples `fraction` of the given indices (used by
+/// the scalability experiment, Fig. 7). Keeps at least one index.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidSplit`] when `fraction` is outside `(0, 1]`
+/// or `indices` is empty.
+pub fn subsample(indices: &[usize], fraction: f32, seed: u64) -> Result<Vec<usize>> {
+    if !(fraction > 0.0 && fraction <= 1.0) {
+        return Err(DataError::InvalidSplit {
+            what: format!("fraction must be in (0, 1], got {fraction}"),
+        });
+    }
+    if indices.is_empty() {
+        return Err(DataError::InvalidSplit { what: "cannot subsample an empty index set".into() });
+    }
+    let mut shuffled = indices.to_vec();
+    let mut rng = init::rng(seed);
+    shuffled.shuffle(&mut rng);
+    let keep = ((indices.len() as f32 * fraction).round() as usize).clamp(1, indices.len());
+    shuffled.truncate(keep);
+    shuffled.sort_unstable();
+    Ok(shuffled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorConfig};
+
+    fn dataset() -> Dataset {
+        generate(&GeneratorConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn lodo_partitions_exactly() {
+        let ds = dataset();
+        let (train, test) = lodo(&ds, 1).unwrap();
+        assert_eq!(train.len() + test.len(), ds.len());
+        assert!(test.iter().all(|&i| ds.domain(i) == 1));
+        assert!(train.iter().all(|&i| ds.domain(i) == 0));
+        // Disjoint.
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), ds.len());
+    }
+
+    #[test]
+    fn lodo_rejects_unknown_domain() {
+        let ds = dataset();
+        assert!(matches!(lodo(&ds, 5), Err(DataError::DomainOutOfRange { .. })));
+    }
+
+    #[test]
+    fn kfold_partitions_and_leaks_domains() {
+        let ds = dataset();
+        let (train, test) = kfold(&ds, 5, 0, 42).unwrap();
+        assert_eq!(train.len() + test.len(), ds.len());
+        // The leak: the training set contains windows from both domains.
+        let domains: std::collections::HashSet<usize> =
+            train.iter().map(|&i| ds.domain(i)).collect();
+        assert_eq!(domains.len(), ds.meta().num_domains, "k-fold must mix all domains");
+    }
+
+    #[test]
+    fn kfold_folds_cover_everything_once() {
+        let ds = dataset();
+        let mut seen = vec![0usize; ds.len()];
+        for fold in 0..4 {
+            let (_, test) = kfold(&ds, 4, fold, 7).unwrap();
+            for i in test {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each window in exactly one test fold");
+    }
+
+    #[test]
+    fn kfold_is_deterministic_in_seed() {
+        let ds = dataset();
+        let a = kfold(&ds, 3, 1, 9).unwrap();
+        let b = kfold(&ds, 3, 1, 9).unwrap();
+        assert_eq!(a, b);
+        let c = kfold(&ds, 3, 1, 10).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn kfold_validates() {
+        let ds = dataset();
+        assert!(kfold(&ds, 1, 0, 0).is_err());
+        assert!(kfold(&ds, 3, 3, 0).is_err());
+        assert!(kfold(&ds, ds.len() + 1, 0, 0).is_err());
+    }
+
+    #[test]
+    fn subsample_respects_fraction() {
+        let indices: Vec<usize> = (0..100).collect();
+        let half = subsample(&indices, 0.5, 1).unwrap();
+        assert_eq!(half.len(), 50);
+        assert!(half.windows(2).all(|w| w[0] < w[1]), "sorted output");
+        let all = subsample(&indices, 1.0, 1).unwrap();
+        assert_eq!(all.len(), 100);
+        let one = subsample(&indices, 0.001, 1).unwrap();
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn subsample_validates() {
+        let indices: Vec<usize> = (0..10).collect();
+        assert!(subsample(&indices, 0.0, 0).is_err());
+        assert!(subsample(&indices, 1.1, 0).is_err());
+        assert!(subsample(&[], 0.5, 0).is_err());
+    }
+}

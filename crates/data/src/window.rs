@@ -1,0 +1,152 @@
+//! Segmentation of continuous recordings into (optionally overlapping)
+//! windows — the preprocessing step the original datasets apply
+//! (paper §4.1.2: DSADS uses non-overlapping 5 s windows; USC-HAD and
+//! PAMAP2 use ~1.26 s windows with 50% overlap).
+
+use smore_tensor::Matrix;
+
+use crate::{DataError, Result};
+
+/// Splits a continuous `(time, channels)` recording into fixed-length
+/// windows with the given overlap fraction.
+///
+/// `overlap` is the fraction of each window shared with its successor
+/// (`0.0` = non-overlapping, `0.5` = the USC-HAD/PAMAP2 convention).
+/// Trailing samples that do not fill a whole window are dropped, as in the
+/// original pipelines.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidSplit`] when `window_len` is zero or longer
+/// than the recording, or `overlap` is outside `[0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// use smore_data::window::segment;
+/// use smore_tensor::Matrix;
+///
+/// # fn main() -> Result<(), smore_data::DataError> {
+/// let recording = Matrix::from_fn(100, 2, |t, c| (t + c) as f32);
+/// let windows = segment(&recording, 20, 0.5)?;
+/// assert_eq!(windows.len(), 9); // stride 10: starts 0,10,...,80
+/// assert_eq!(windows[0].shape(), (20, 2));
+/// # Ok(())
+/// # }
+/// ```
+pub fn segment(recording: &Matrix, window_len: usize, overlap: f32) -> Result<Vec<Matrix>> {
+    if window_len == 0 {
+        return Err(DataError::InvalidSplit { what: "window_len must be positive".into() });
+    }
+    if recording.rows() < window_len {
+        return Err(DataError::InvalidSplit {
+            what: format!(
+                "recording of {} steps is shorter than the window length {window_len}",
+                recording.rows()
+            ),
+        });
+    }
+    if !(0.0..1.0).contains(&overlap) {
+        return Err(DataError::InvalidSplit {
+            what: format!("overlap must be in [0, 1), got {overlap}"),
+        });
+    }
+    let stride = ((window_len as f32 * (1.0 - overlap)).round() as usize).max(1);
+    let mut windows = Vec::new();
+    let mut start = 0usize;
+    while start + window_len <= recording.rows() {
+        let mut w = Matrix::zeros(window_len, recording.cols());
+        for t in 0..window_len {
+            w.row_mut(t).copy_from_slice(recording.row(start + t));
+        }
+        windows.push(w);
+        start += stride;
+    }
+    Ok(windows)
+}
+
+/// Number of windows [`segment`] will produce for the given parameters,
+/// without materialising them.
+///
+/// # Errors
+///
+/// Same conditions as [`segment`].
+pub fn count(recording_len: usize, window_len: usize, overlap: f32) -> Result<usize> {
+    if window_len == 0 {
+        return Err(DataError::InvalidSplit { what: "window_len must be positive".into() });
+    }
+    if recording_len < window_len {
+        return Err(DataError::InvalidSplit {
+            what: format!("recording of {recording_len} steps is shorter than {window_len}"),
+        });
+    }
+    if !(0.0..1.0).contains(&overlap) {
+        return Err(DataError::InvalidSplit {
+            what: format!("overlap must be in [0, 1), got {overlap}"),
+        });
+    }
+    let stride = ((window_len as f32 * (1.0 - overlap)).round() as usize).max(1);
+    Ok((recording_len - window_len) / stride + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recording(len: usize) -> Matrix {
+        Matrix::from_fn(len, 3, |t, c| (t * 10 + c) as f32)
+    }
+
+    #[test]
+    fn non_overlapping_windows() {
+        let r = recording(100);
+        let ws = segment(&r, 25, 0.0).unwrap();
+        assert_eq!(ws.len(), 4);
+        assert_eq!(ws[1].get(0, 0), 250.0, "second window starts at t=25");
+    }
+
+    #[test]
+    fn fifty_percent_overlap() {
+        let r = recording(100);
+        let ws = segment(&r, 20, 0.5).unwrap();
+        assert_eq!(ws.len(), 9);
+        assert_eq!(ws[1].get(0, 0), 100.0, "stride 10");
+        // Consecutive windows share half their content.
+        assert_eq!(ws[0].row(10), ws[1].row(0));
+    }
+
+    #[test]
+    fn trailing_remainder_dropped() {
+        let r = recording(55);
+        let ws = segment(&r, 25, 0.0).unwrap();
+        assert_eq!(ws.len(), 2, "only two full windows fit in 55 steps");
+    }
+
+    #[test]
+    fn count_matches_segment() {
+        for (len, wl, ov) in [(100, 25, 0.0), (100, 20, 0.5), (55, 25, 0.0), (126, 126, 0.5)] {
+            let ws = segment(&recording(len), wl, ov).unwrap();
+            assert_eq!(ws.len(), count(len, wl, ov).unwrap(), "len={len} wl={wl} ov={ov}");
+        }
+    }
+
+    #[test]
+    fn validates_arguments() {
+        let r = recording(50);
+        assert!(segment(&r, 0, 0.0).is_err());
+        assert!(segment(&r, 51, 0.0).is_err());
+        assert!(segment(&r, 10, 1.0).is_err());
+        assert!(segment(&r, 10, -0.1).is_err());
+        assert!(count(50, 0, 0.0).is_err());
+        assert!(count(10, 50, 0.0).is_err());
+        assert!(count(50, 10, 1.5).is_err());
+    }
+
+    #[test]
+    fn extreme_overlap_still_strides() {
+        // overlap 0.99 on window 10 rounds the stride to 0 -> clamps to 1.
+        let r = recording(20);
+        let ws = segment(&r, 10, 0.99).unwrap();
+        assert_eq!(ws.len(), 11);
+    }
+}

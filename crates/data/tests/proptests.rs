@@ -1,0 +1,102 @@
+//! Property-based tests for dataset generation and splits.
+
+use proptest::prelude::*;
+use smore_data::generator::{generate, DomainSpec, GeneratorConfig};
+use smore_data::{split, window};
+use smore_tensor::Matrix;
+
+fn config(num_classes: usize, channels: usize, windows: usize, seed: u64) -> GeneratorConfig {
+    GeneratorConfig {
+        name: "prop".into(),
+        num_classes,
+        channels,
+        window_len: 16,
+        sample_rate_hz: 20.0,
+        domains: vec![
+            DomainSpec { subjects: vec![0, 1], windows },
+            DomainSpec { subjects: vec![2], windows },
+            DomainSpec { subjects: vec![3, 4, 5], windows },
+        ],
+        shift_severity: 1.0,
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_datasets_are_structurally_sound(
+        classes in 1usize..6,
+        channels in 1usize..5,
+        windows in 6usize..40,
+        seed in any::<u64>(),
+    ) {
+        let ds = generate(&config(classes, channels, windows, seed)).unwrap();
+        prop_assert_eq!(ds.len(), windows * 3);
+        prop_assert_eq!(ds.meta().num_domains, 3);
+        prop_assert!(ds.windows().iter().all(|w| w.is_finite()));
+        prop_assert!(ds.labels().iter().all(|&l| l < classes));
+        prop_assert!(ds.domains().iter().all(|&d| d < 3));
+        // Class balance within one step of uniform.
+        let sizes = ds.class_sizes();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        prop_assert!(max - min <= 3, "class sizes too skewed: {:?}", sizes);
+    }
+
+    #[test]
+    fn lodo_is_a_partition(seed in any::<u64>(), held in 0usize..3) {
+        let ds = generate(&config(3, 2, 12, seed)).unwrap();
+        let (train, test) = split::lodo(&ds, held).unwrap();
+        prop_assert_eq!(train.len() + test.len(), ds.len());
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), ds.len());
+        prop_assert!(test.iter().all(|&i| ds.domain(i) == held));
+        prop_assert!(train.iter().all(|&i| ds.domain(i) != held));
+    }
+
+    #[test]
+    fn kfold_covers_each_window_exactly_once(seed in any::<u64>(), k in 2usize..6) {
+        let ds = generate(&config(2, 1, 10, seed)).unwrap();
+        let mut seen = vec![0usize; ds.len()];
+        for fold in 0..k {
+            let (train, test) = split::kfold(&ds, k, fold, seed).unwrap();
+            prop_assert_eq!(train.len() + test.len(), ds.len());
+            for i in test {
+                seen[i] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn subsample_is_sorted_dedup_subset(frac in 0.05f32..1.0, seed in any::<u64>()) {
+        let indices: Vec<usize> = (0..200).step_by(2).collect();
+        let sub = split::subsample(&indices, frac, seed).unwrap();
+        prop_assert!(sub.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(sub.iter().all(|i| indices.contains(i)));
+        let expected = ((indices.len() as f32 * frac).round() as usize).clamp(1, indices.len());
+        prop_assert_eq!(sub.len(), expected);
+    }
+
+    #[test]
+    fn segmentation_windows_match_source(
+        len in 20usize..200,
+        wl in 4usize..20,
+        ov in 0.0f32..0.9,
+    ) {
+        prop_assume!(len >= wl);
+        let rec = Matrix::from_fn(len, 2, |t, c| (t * 2 + c) as f32);
+        let ws = window::segment(&rec, wl, ov).unwrap();
+        prop_assert_eq!(ws.len(), window::count(len, wl, ov).unwrap());
+        let stride = ((wl as f32 * (1.0 - ov)).round() as usize).max(1);
+        for (k, w) in ws.iter().enumerate() {
+            prop_assert_eq!(w.shape(), (wl, 2));
+            // Window k starts at stride*k and copies rows verbatim.
+            prop_assert_eq!(w.row(0), rec.row(k * stride));
+        }
+    }
+}

@@ -1,0 +1,96 @@
+use std::error::Error;
+use std::fmt;
+
+use smore_tensor::TensorError;
+
+/// Error type for the HDC substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HdcError {
+    /// Two hypervectors (or a hypervector and a model) disagree in dimension.
+    DimensionMismatch {
+        /// The dimensionality expected by the operation.
+        expected: usize,
+        /// The dimensionality actually supplied.
+        actual: usize,
+    },
+    /// A configuration value is invalid (zero dimension, empty sensors, ...).
+    InvalidConfig {
+        /// Human-readable description of the invalid configuration.
+        what: String,
+    },
+    /// An input collection that must be non-empty was empty.
+    EmptyInput {
+        /// Name of the empty input.
+        what: &'static str,
+    },
+    /// A label was outside the configured class range.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// Number of classes configured.
+        num_classes: usize,
+    },
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for HdcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdcError::DimensionMismatch { expected, actual } => {
+                write!(f, "hypervector dimension mismatch: expected {expected}, got {actual}")
+            }
+            HdcError::InvalidConfig { what } => write!(f, "invalid HDC configuration: {what}"),
+            HdcError::EmptyInput { what } => write!(f, "empty input: {what}"),
+            HdcError::LabelOutOfRange { label, num_classes } => {
+                write!(f, "label {label} out of range for {num_classes} classes")
+            }
+            HdcError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl Error for HdcError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HdcError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for HdcError {
+    fn from(e: TensorError) -> Self {
+        HdcError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = HdcError::DimensionMismatch { expected: 8192, actual: 512 };
+        assert!(e.to_string().contains("8192"));
+        let e = HdcError::LabelOutOfRange { label: 9, num_classes: 5 };
+        assert!(e.to_string().contains("label 9"));
+        let e = HdcError::EmptyInput { what: "training samples" };
+        assert!(e.to_string().contains("training samples"));
+    }
+
+    #[test]
+    fn tensor_error_wraps_with_source() {
+        let te = TensorError::InvalidDimension { what: "x" };
+        let e: HdcError = te.clone().into();
+        assert_eq!(e, HdcError::Tensor(te));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HdcError>();
+    }
+}

@@ -1,0 +1,400 @@
+use smore_tensor::vecops;
+
+use crate::{HdcError, Result};
+
+/// A dense hypervector: one point in the hyperdimensional space `X`.
+///
+/// Hypervectors carry thousands of `f32` elements. Random hypervectors in
+/// such spaces are nearly orthogonal, which is the property every HDC
+/// operation exploits (paper §3.1):
+///
+/// - [`bundle`](Hypervector::bundle) (`+`) superimposes information while
+///   staying similar to each input,
+/// - [`bind`](Hypervector::bind) (`∗`) associates two hypervectors into one
+///   that is dissimilar to both, and is reversible (`H_bind ∗ H_1 = H_2`
+///   when elements are ±1),
+/// - [`permute`](Hypervector::permute) (`ρ`) produces a near-orthogonal
+///   rotation used to mark temporal position,
+/// - [`cosine`](Hypervector::cosine) (`δ`) measures similarity.
+///
+/// # Example
+///
+/// ```
+/// use smore_hdc::Hypervector;
+///
+/// # fn main() -> Result<(), smore_hdc::HdcError> {
+/// let a = Hypervector::from_vec(vec![1.0, -1.0, 1.0, 1.0]);
+/// let b = Hypervector::from_vec(vec![-1.0, -1.0, 1.0, -1.0]);
+/// let bundled = a.bundle(&b)?;
+/// assert!(bundled.cosine(&a)? > 0.0);
+/// let bound = a.bind(&b)?;
+/// // binding is reversible for bipolar vectors
+/// let recovered = bound.bind(&a)?;
+/// assert!((recovered.cosine(&b)? - 1.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Hypervector {
+    data: Vec<f32>,
+}
+
+impl Hypervector {
+    /// The zero hypervector of dimension `dim` (the empty bundle).
+    pub fn zeros(dim: usize) -> Self {
+        Self { data: vec![0.0; dim] }
+    }
+
+    /// Wraps an existing buffer as a hypervector.
+    pub fn from_vec(data: Vec<f32>) -> Self {
+        Self { data }
+    }
+
+    /// Copies a slice into a new hypervector.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Self { data: data.to_vec() }
+    }
+
+    /// Dimensionality of the hypervector.
+    pub fn dim(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the hypervector has zero dimensions.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the elements.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the elements.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the hypervector and returns its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Bundling (`+`): element-wise addition, returning a new hypervector.
+    ///
+    /// The bundle stays cosine-similar to each of its inputs — this is how
+    /// HDC memorises sets (paper §3.1) and how SMORE builds its domain
+    /// descriptors (§3.5.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] when dimensions differ.
+    pub fn bundle(&self, other: &Self) -> Result<Self> {
+        self.check_dim(other)?;
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| a + b).collect();
+        Ok(Self { data })
+    }
+
+    /// In-place bundling `self += other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] when dimensions differ.
+    pub fn bundle_assign(&mut self, other: &Self) -> Result<()> {
+        self.check_dim(other)?;
+        vecops::axpy(1.0, &other.data, &mut self.data);
+        Ok(())
+    }
+
+    /// In-place weighted bundling `self += alpha * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] when dimensions differ.
+    pub fn bundle_scaled(&mut self, alpha: f32, other: &Self) -> Result<()> {
+        self.check_dim(other)?;
+        vecops::axpy(alpha, &other.data, &mut self.data);
+        Ok(())
+    }
+
+    /// Binding (`∗`): element-wise multiplication, returning a new
+    /// hypervector that is nearly orthogonal to both inputs.
+    ///
+    /// For bipolar (±1) inputs binding is its own inverse:
+    /// `(a ∗ b) ∗ a = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] when dimensions differ.
+    pub fn bind(&self, other: &Self) -> Result<Self> {
+        self.check_dim(other)?;
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).collect();
+        Ok(Self { data })
+    }
+
+    /// In-place binding `self *= other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] when dimensions differ.
+    pub fn bind_assign(&mut self, other: &Self) -> Result<()> {
+        self.check_dim(other)?;
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a *= b;
+        }
+        Ok(())
+    }
+
+    /// Permutation (`ρ^k`): `k` circular shifts.
+    ///
+    /// One application moves the value of the final dimension to the first
+    /// position and shifts all other values forward (paper §3.1). The result
+    /// is nearly orthogonal to the original for random hypervectors, which
+    /// is how the encoder marks temporal order.
+    pub fn permute(&self, k: usize) -> Self {
+        let d = self.data.len();
+        if d == 0 {
+            return self.clone();
+        }
+        let k = k % d;
+        let mut data = Vec::with_capacity(d);
+        data.extend_from_slice(&self.data[d - k..]);
+        data.extend_from_slice(&self.data[..d - k]);
+        Self { data }
+    }
+
+    /// Inverse permutation: `unpermute(k)` undoes `permute(k)`.
+    pub fn unpermute(&self, k: usize) -> Self {
+        let d = self.data.len();
+        if d == 0 {
+            return self.clone();
+        }
+        self.permute(d - (k % d))
+    }
+
+    /// Cosine similarity `δ(self, other)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] when dimensions differ.
+    pub fn cosine(&self, other: &Self) -> Result<f32> {
+        self.check_dim(other)?;
+        Ok(vecops::cosine(&self.data, &other.data))
+    }
+
+    /// Dot product with another hypervector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] when dimensions differ.
+    pub fn dot(&self, other: &Self) -> Result<f32> {
+        self.check_dim(other)?;
+        Ok(vecops::dot(&self.data, &other.data))
+    }
+
+    /// Euclidean norm of the hypervector.
+    pub fn norm(&self) -> f32 {
+        vecops::norm(&self.data)
+    }
+
+    /// Scales every element by `alpha` in place.
+    pub fn scale(&mut self, alpha: f32) {
+        vecops::scale(alpha, &mut self.data);
+    }
+
+    /// Normalises to unit norm in place (zero vectors are left untouched).
+    pub fn normalize(&mut self) {
+        vecops::normalize(&mut self.data);
+    }
+
+    /// Returns a unit-norm copy (zero vectors are returned unchanged).
+    pub fn normalized(&self) -> Self {
+        let mut out = self.clone();
+        out.normalize();
+        out
+    }
+
+    /// Whether every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    fn check_dim(&self, other: &Self) -> Result<()> {
+        if self.dim() != other.dim() {
+            return Err(HdcError::DimensionMismatch { expected: self.dim(), actual: other.dim() });
+        }
+        Ok(())
+    }
+}
+
+impl From<Vec<f32>> for Hypervector {
+    fn from(data: Vec<f32>) -> Self {
+        Self { data }
+    }
+}
+
+impl AsRef<[f32]> for Hypervector {
+    fn as_ref(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+/// Bundles an iterator of hypervectors into their element-wise sum.
+///
+/// Returns the zero hypervector of dimension `dim` when the iterator is
+/// empty — the neutral element of bundling.
+///
+/// # Errors
+///
+/// Returns [`HdcError::DimensionMismatch`] if any input disagrees with `dim`.
+///
+/// # Example
+///
+/// ```
+/// use smore_hdc::{bundle_all, Hypervector};
+///
+/// # fn main() -> Result<(), smore_hdc::HdcError> {
+/// let hvs = vec![
+///     Hypervector::from_vec(vec![1.0, 0.0]),
+///     Hypervector::from_vec(vec![0.0, 2.0]),
+/// ];
+/// let sum = bundle_all(2, hvs.iter())?;
+/// assert_eq!(sum.as_slice(), &[1.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn bundle_all<'a>(dim: usize, hvs: impl Iterator<Item = &'a Hypervector>) -> Result<Hypervector> {
+    let mut acc = Hypervector::zeros(dim);
+    for hv in hvs {
+        acc.bundle_assign(hv)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smore_tensor::init;
+
+    fn random_bipolar(seed: u64, dim: usize) -> Hypervector {
+        Hypervector::from_vec(init::bipolar_vec(&mut init::rng(seed), dim))
+    }
+
+    #[test]
+    fn bundle_is_similar_to_members() {
+        let a = random_bipolar(1, 4096);
+        let b = random_bipolar(2, 4096);
+        let c = random_bipolar(3, 4096);
+        let bundle = a.bundle(&b).unwrap();
+        // δ(bundle, member) >> 0 for members, ≈ 0 for non-members (§3.1).
+        assert!(bundle.cosine(&a).unwrap() > 0.5);
+        assert!(bundle.cosine(&b).unwrap() > 0.5);
+        assert!(bundle.cosine(&c).unwrap().abs() < 0.1);
+    }
+
+    #[test]
+    fn bind_is_dissimilar_to_inputs_and_reversible() {
+        let a = random_bipolar(4, 4096);
+        let b = random_bipolar(5, 4096);
+        let bound = a.bind(&b).unwrap();
+        assert!(bound.cosine(&a).unwrap().abs() < 0.1);
+        assert!(bound.cosine(&b).unwrap().abs() < 0.1);
+        let recovered = bound.bind(&a).unwrap();
+        assert!((recovered.cosine(&b).unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn permute_is_near_orthogonal_and_invertible() {
+        let a = random_bipolar(6, 4096);
+        let p = a.permute(1);
+        assert!(p.cosine(&a).unwrap().abs() < 0.1, "ρH should be nearly orthogonal to H");
+        assert_eq!(p.unpermute(1), a);
+        assert_eq!(a.permute(0), a);
+    }
+
+    #[test]
+    fn permute_matches_paper_definition() {
+        // "moving the value of the final dimension to the first position"
+        let a = Hypervector::from_vec(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.permute(1).as_slice(), &[4.0, 1.0, 2.0, 3.0]);
+        assert_eq!(a.permute(2).as_slice(), &[3.0, 4.0, 1.0, 2.0]);
+        assert_eq!(a.permute(4), a);
+        assert_eq!(a.permute(5), a.permute(1));
+    }
+
+    #[test]
+    fn permute_composes() {
+        let a = random_bipolar(7, 128);
+        assert_eq!(a.permute(2), a.permute(1).permute(1));
+    }
+
+    #[test]
+    fn permute_empty_is_noop() {
+        let a = Hypervector::zeros(0);
+        assert_eq!(a.permute(3), a);
+        assert_eq!(a.unpermute(3), a);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let a = Hypervector::zeros(4);
+        let b = Hypervector::zeros(5);
+        assert!(matches!(a.bundle(&b), Err(HdcError::DimensionMismatch { expected: 4, actual: 5 })));
+        assert!(a.bind(&b).is_err());
+        assert!(a.cosine(&b).is_err());
+        let mut a2 = a.clone();
+        assert!(a2.bundle_assign(&b).is_err());
+    }
+
+    #[test]
+    fn normalize_and_scale() {
+        let mut a = Hypervector::from_vec(vec![3.0, 4.0]);
+        a.normalize();
+        assert!((a.norm() - 1.0).abs() < 1e-6);
+        a.scale(2.0);
+        assert!((a.norm() - 2.0).abs() < 1e-6);
+        let z = Hypervector::zeros(2).normalized();
+        assert_eq!(z.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn bundle_all_accumulates_and_validates() {
+        let hvs = vec![random_bipolar(8, 64), random_bipolar(9, 64), random_bipolar(10, 64)];
+        let sum = bundle_all(64, hvs.iter()).unwrap();
+        let mut manual = Hypervector::zeros(64);
+        for h in &hvs {
+            manual.bundle_assign(h).unwrap();
+        }
+        assert_eq!(sum, manual);
+
+        let empty = bundle_all(8, std::iter::empty()).unwrap();
+        assert_eq!(empty, Hypervector::zeros(8));
+
+        let bad = vec![Hypervector::zeros(4)];
+        assert!(bundle_all(8, bad.iter()).is_err());
+    }
+
+    #[test]
+    fn weighted_bundle() {
+        let mut acc = Hypervector::zeros(2);
+        acc.bundle_scaled(0.5, &Hypervector::from_vec(vec![2.0, 4.0])).unwrap();
+        assert_eq!(acc.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn is_finite_detects_nan() {
+        let mut a = Hypervector::zeros(3);
+        assert!(a.is_finite());
+        a.as_mut_slice()[1] = f32::INFINITY;
+        assert!(!a.is_finite());
+    }
+
+    #[test]
+    fn conversion_traits() {
+        let v = vec![1.0f32, 2.0];
+        let h: Hypervector = v.clone().into();
+        assert_eq!(h.as_ref(), v.as_slice());
+        assert_eq!(h.into_vec(), v);
+    }
+}

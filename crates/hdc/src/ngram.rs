@@ -1,0 +1,217 @@
+//! Temporal n-gram binding under permutation (paper §3.3).
+//!
+//! A window of quantised hypervectors `H_t1, H_t2, …` is folded into a
+//! single temporal code by binding each n-gram with position-dependent
+//! permutations and bundling the n-grams:
+//!
+//! ```text
+//! H = Σ_t  ρ^{n-1} H_t ∗ ρ^{n-2} H_{t+1} ∗ … ∗ H_{t+n-1}
+//! ```
+//!
+//! For the trigram of the paper's Figure 3 this is exactly
+//! `ρρH_{t1} ∗ ρH_{t2} ∗ H_{t3}`. The permutation `ρ` is a circular shift,
+//! so binding against a permuted operand can be computed with shifted
+//! indexing instead of materialising rotated copies — [`mul_shifted`] is
+//! that kernel and the hot inner loop of the whole encoder.
+
+use smore_tensor::Matrix;
+
+use crate::{HdcError, Hypervector, Result};
+
+/// Multiplies `acc` element-wise by `ρ^shift src` without materialising the
+/// rotation: `acc[i] *= src[(i - shift) mod d]`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or `shift >= len` (callers reduce
+/// the shift modulo the dimension first).
+#[inline]
+pub fn mul_shifted(acc: &mut [f32], src: &[f32], shift: usize) {
+    let d = acc.len();
+    assert_eq!(d, src.len(), "mul_shifted: length mismatch");
+    assert!(shift < d.max(1), "mul_shifted: shift {shift} out of range for dim {d}");
+    if d == 0 {
+        return;
+    }
+    // (i - shift) mod d splits into two contiguous segments.
+    let (head, tail) = acc.split_at_mut(shift);
+    for (a, &s) in head.iter_mut().zip(&src[d - shift..]) {
+        *a *= s;
+    }
+    for (a, &s) in tail.iter_mut().zip(&src[..d - shift]) {
+        *a *= s;
+    }
+}
+
+/// Copies `ρ^shift src` into `acc`: `acc[i] = src[(i - shift) mod d]`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or `shift >= len`.
+#[inline]
+pub fn copy_shifted(acc: &mut [f32], src: &[f32], shift: usize) {
+    let d = acc.len();
+    assert_eq!(d, src.len(), "copy_shifted: length mismatch");
+    assert!(shift < d.max(1), "copy_shifted: shift {shift} out of range for dim {d}");
+    if d == 0 {
+        return;
+    }
+    acc[..shift].copy_from_slice(&src[d - shift..]);
+    acc[shift..].copy_from_slice(&src[..d - shift]);
+}
+
+/// Bundles all permuted-and-bound n-grams of a sequence of step
+/// hypervectors (rows of `steps`).
+///
+/// Row `t` of `steps` is the quantised hypervector of time step `t`. The
+/// result is `Σ_t Π_k ρ^{n-1-k} H_{t+k}` for `t = 0 .. T-n`.
+///
+/// # Errors
+///
+/// - [`HdcError::InvalidConfig`] if `n == 0` or `n` exceeds the number of
+///   steps, or the dimension is zero.
+///
+/// # Example
+///
+/// ```
+/// use smore_hdc::ngram::ngram_bundle;
+/// use smore_tensor::{init, Matrix};
+///
+/// # fn main() -> Result<(), smore_hdc::HdcError> {
+/// let steps = init::bipolar_matrix(&mut init::rng(1), 10, 256);
+/// let hv = ngram_bundle(&steps, 3)?;
+/// assert_eq!(hv.dim(), 256);
+/// # Ok(())
+/// # }
+/// ```
+pub fn ngram_bundle(steps: &Matrix, n: usize) -> Result<Hypervector> {
+    let (t_total, dim) = steps.shape();
+    if n == 0 {
+        return Err(HdcError::InvalidConfig { what: "n-gram size must be positive".into() });
+    }
+    if dim == 0 {
+        return Err(HdcError::InvalidConfig { what: "n-gram dimension must be positive".into() });
+    }
+    if t_total < n {
+        return Err(HdcError::InvalidConfig {
+            what: format!("window of {t_total} steps is shorter than the n-gram size {n}"),
+        });
+    }
+    let mut acc = vec![0.0f32; dim];
+    let mut prod = vec![0.0f32; dim];
+    for t in 0..=(t_total - n) {
+        // k = n-1 (last element of the gram) has shift 0.
+        prod.copy_from_slice(steps.row(t + n - 1));
+        // Remaining elements k = n-2 .. 0 have shifts 1 .. n-1.
+        for (shift, k) in (1..n).zip((0..n - 1).rev()) {
+            mul_shifted(&mut prod, steps.row(t + k), shift % dim);
+        }
+        for (a, &p) in acc.iter_mut().zip(&prod) {
+            *a += p;
+        }
+    }
+    Ok(Hypervector::from_vec(acc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smore_tensor::init;
+
+    #[test]
+    fn mul_shifted_matches_permute() {
+        let src = Hypervector::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        for shift in 0..5 {
+            let mut acc = vec![1.0f32; 5];
+            mul_shifted(&mut acc, src.as_slice(), shift);
+            assert_eq!(acc, src.permute(shift).into_vec(), "shift {shift}");
+        }
+    }
+
+    #[test]
+    fn copy_shifted_matches_permute() {
+        let src = Hypervector::from_vec(vec![7.0, 8.0, 9.0]);
+        for shift in 0..3 {
+            let mut acc = vec![0.0f32; 3];
+            copy_shifted(&mut acc, src.as_slice(), shift);
+            assert_eq!(acc, src.permute(shift).into_vec(), "shift {shift}");
+        }
+    }
+
+    #[test]
+    fn trigram_matches_paper_formula() {
+        // H = ρρH_t1 ∗ ρH_t2 ∗ H_t3 for a window of exactly three steps.
+        let mut rng = init::rng(2);
+        let steps = init::bipolar_matrix(&mut rng, 3, 128);
+        let h1 = Hypervector::from_slice(steps.row(0));
+        let h2 = Hypervector::from_slice(steps.row(1));
+        let h3 = Hypervector::from_slice(steps.row(2));
+        let expected = h1.permute(2).bind(&h2.permute(1)).unwrap().bind(&h3).unwrap();
+        let got = ngram_bundle(&steps, 3).unwrap();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn bundles_across_window_positions() {
+        // For T=4, n=3 there are two grams; result must equal their sum.
+        let mut rng = init::rng(3);
+        let steps = init::bipolar_matrix(&mut rng, 4, 64);
+        let gram = |a: usize| {
+            let h1 = Hypervector::from_slice(steps.row(a));
+            let h2 = Hypervector::from_slice(steps.row(a + 1));
+            let h3 = Hypervector::from_slice(steps.row(a + 2));
+            h1.permute(2).bind(&h2.permute(1)).unwrap().bind(&h3).unwrap()
+        };
+        let expected = gram(0).bundle(&gram(1)).unwrap();
+        assert_eq!(ngram_bundle(&steps, 3).unwrap(), expected);
+    }
+
+    #[test]
+    fn unigram_is_plain_bundle() {
+        let mut rng = init::rng(4);
+        let steps = init::bipolar_matrix(&mut rng, 5, 32);
+        let expected = (0..5)
+            .map(|t| Hypervector::from_slice(steps.row(t)))
+            .try_fold(Hypervector::zeros(32), |acc, h| acc.bundle(&h))
+            .unwrap();
+        assert_eq!(ngram_bundle(&steps, 1).unwrap(), expected);
+    }
+
+    #[test]
+    fn ngram_rejects_bad_sizes() {
+        let steps = Matrix::zeros(2, 16);
+        assert!(ngram_bundle(&steps, 0).is_err());
+        assert!(ngram_bundle(&steps, 3).is_err());
+        let empty = Matrix::zeros(3, 0);
+        assert!(ngram_bundle(&empty, 2).is_err());
+    }
+
+    #[test]
+    fn temporal_order_matters() {
+        // Swapping two steps must change the code (permutation encodes order).
+        let mut rng = init::rng(5);
+        let steps = init::bipolar_matrix(&mut rng, 3, 2048);
+        let swapped = steps.select_rows(&[1, 0, 2]);
+        let a = ngram_bundle(&steps, 3).unwrap();
+        let b = ngram_bundle(&swapped, 3).unwrap();
+        let sim = a.cosine(&b).unwrap();
+        assert!(sim < 0.5, "temporal order should matter, similarity was {sim}");
+    }
+
+    #[test]
+    fn full_window_gram_equals_single_product() {
+        // n == T produces exactly one product term.
+        let mut rng = init::rng(6);
+        let steps = init::bipolar_matrix(&mut rng, 4, 64);
+        let got = ngram_bundle(&steps, 4).unwrap();
+        let expected = Hypervector::from_slice(steps.row(0))
+            .permute(3)
+            .bind(&Hypervector::from_slice(steps.row(1)).permute(2))
+            .unwrap()
+            .bind(&Hypervector::from_slice(steps.row(2)).permute(1))
+            .unwrap()
+            .bind(&Hypervector::from_slice(steps.row(3)))
+            .unwrap();
+        assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests for the HDC substrate invariants (paper §3.1).
+
+use proptest::prelude::*;
+use smore_hdc::encoder::{EncoderConfig, MultiSensorEncoder};
+use smore_hdc::memory::{LevelMemory, Quantization};
+use smore_hdc::model::{HdcClassifier, HdcClassifierConfig};
+use smore_hdc::Hypervector;
+use smore_tensor::{init, Matrix};
+
+fn bipolar_hv(seed: u64, dim: usize) -> Hypervector {
+    Hypervector::from_vec(init::bipolar_vec(&mut init::rng(seed), dim))
+}
+
+proptest! {
+    #[test]
+    fn permutation_is_a_bijection(seed in any::<u64>(), k in 0usize..50) {
+        let h = bipolar_hv(seed, 128);
+        let roundtrip = h.permute(k).unpermute(k);
+        prop_assert_eq!(roundtrip, h);
+    }
+
+    #[test]
+    fn permutation_preserves_norm(seed in any::<u64>(), k in 0usize..50) {
+        let h = bipolar_hv(seed, 256);
+        prop_assert!((h.permute(k).norm() - h.norm()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn binding_is_commutative_and_reversible(sa in any::<u64>(), sb in any::<u64>()) {
+        prop_assume!(sa != sb);
+        let a = bipolar_hv(sa, 512);
+        let b = bipolar_hv(sb, 512);
+        let ab = a.bind(&b).unwrap();
+        let ba = b.bind(&a).unwrap();
+        prop_assert_eq!(&ab, &ba);
+        // Reversibility: H_bind ∗ H_1 = H_2 for bipolar inputs.
+        let recovered = ab.bind(&a).unwrap();
+        prop_assert!((recovered.cosine(&b).unwrap() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bundle_is_similar_to_members(sa in any::<u64>(), sb in any::<u64>(), sc in any::<u64>()) {
+        prop_assume!(sa != sb && sb != sc && sa != sc);
+        let a = bipolar_hv(sa, 4096);
+        let b = bipolar_hv(sb, 4096);
+        let outsider = bipolar_hv(sc, 4096);
+        let bundle = a.bundle(&b).unwrap();
+        // δ(bundle, member) ≫ 0 while δ(bundle, outsider) ≈ 0 (§3.1).
+        prop_assert!(bundle.cosine(&a).unwrap() > 0.4);
+        prop_assert!(bundle.cosine(&b).unwrap() > 0.4);
+        prop_assert!(bundle.cosine(&outsider).unwrap().abs() < 0.15);
+    }
+
+    #[test]
+    fn bundling_is_associative_for_sums(sa in any::<u64>(), sb in any::<u64>(), sc in any::<u64>()) {
+        let a = bipolar_hv(sa, 64);
+        let b = bipolar_hv(sb, 64);
+        let c = bipolar_hv(sc, 64);
+        let left = a.bundle(&b).unwrap().bundle(&c).unwrap();
+        let right = a.bundle(&b.bundle(&c).unwrap()).unwrap();
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn binding_distributes_over_bundling(sa in any::<u64>(), sb in any::<u64>(), sc in any::<u64>()) {
+        let a = bipolar_hv(sa, 64);
+        let b = bipolar_hv(sb, 64);
+        let c = bipolar_hv(sc, 64);
+        let left = a.bind(&b.bundle(&c).unwrap()).unwrap();
+        let right = a.bind(&b).unwrap().bundle(&a.bind(&c).unwrap()).unwrap();
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn level_memory_similarity_monotone(seed in any::<u64>(), mode in prop::bool::ANY) {
+        let q = if mode { Quantization::Interpolate } else { Quantization::LevelFlip };
+        let m = LevelMemory::new(2048, 16, q, seed).unwrap();
+        let alphas = [0.0f32, 0.25, 0.5, 0.75, 1.0];
+        let sims: Vec<f32> = alphas
+            .iter()
+            .map(|&a| m.encode(a).cosine(m.h_min()).unwrap())
+            .collect();
+        for w in sims.windows(2) {
+            prop_assert!(w[1] <= w[0] + 0.08, "similarity to H_min should decay: {:?}", sims);
+        }
+    }
+
+    #[test]
+    fn encoder_is_deterministic_and_unit_norm(seed in any::<u64>(), phase in -3.0f32..3.0) {
+        let cfg = EncoderConfig { dim: 512, sensors: 2, seed, ..EncoderConfig::default() };
+        let enc1 = MultiSensorEncoder::new(cfg.clone()).unwrap();
+        let enc2 = MultiSensorEncoder::new(cfg).unwrap();
+        let w = Matrix::from_fn(12, 2, |t, s| (t as f32 * 0.7 + s as f32 + phase).sin());
+        let h1 = enc1.encode_window(&w).unwrap();
+        let h2 = enc2.encode_window(&w).unwrap();
+        prop_assert_eq!(&h1, &h2);
+        prop_assert!((h1.norm() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn encoder_output_in_similarity_bounds(sa in any::<u64>(), sb in any::<u64>()) {
+        let cfg = EncoderConfig { dim: 256, sensors: 1, seed: 7, ..EncoderConfig::default() };
+        let enc = MultiSensorEncoder::new(cfg).unwrap();
+        let wa = Matrix::from_fn(10, 1, |t, _| ((t as u64 + sa % 17) as f32 * 0.3).sin());
+        let wb = Matrix::from_fn(10, 1, |t, _| ((t as u64 + sb % 23) as f32 * 0.9).cos());
+        let ha = enc.encode_window(&wa).unwrap();
+        let hb = enc.encode_window(&wb).unwrap();
+        let sim = ha.cosine(&hb).unwrap();
+        prop_assert!((-1.0 - 1e-4..=1.0 + 1e-4).contains(&sim));
+    }
+
+    #[test]
+    fn classifier_fit_never_decreases_final_accuracy_below_chance(seed in 0u64..500) {
+        // Clustered data at moderate noise: adaptive HDC must beat chance.
+        let mut rng = init::rng(seed);
+        let classes = 3usize;
+        let dim = 512usize;
+        let protos = init::bipolar_matrix(&mut rng, classes, dim);
+        let n = 30usize;
+        let mut samples = Matrix::zeros(n, dim);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = i % classes;
+            let eps = init::normal_vec(&mut rng, dim);
+            for j in 0..dim {
+                samples.set(i, j, protos.get(c, j) + 1.0 * eps[j]);
+            }
+            labels.push(c);
+        }
+        let mut model = HdcClassifier::new(HdcClassifierConfig {
+            dim,
+            num_classes: classes,
+            learning_rate: 0.1,
+            epochs: 10,
+        })
+        .unwrap();
+        let report = model.fit(&samples, &labels).unwrap();
+        let acc = *report.train_accuracy.last().unwrap();
+        prop_assert!(acc > 1.0 / classes as f32, "accuracy {acc} not above chance");
+    }
+
+    #[test]
+    fn ensemble_of_identical_models_preserves_predictions(seed in 0u64..200) {
+        let mut rng = init::rng(seed);
+        let dim = 128usize;
+        let protos = init::bipolar_matrix(&mut rng, 2, dim);
+        let model = HdcClassifier::from_class_hypervectors(protos).unwrap();
+        let ens = HdcClassifier::ensemble(&[&model, &model], &[0.7, 0.3]).unwrap();
+        let query = init::normal_vec(&mut rng, dim);
+        prop_assert_eq!(model.predict_one(&query).unwrap(), ens.predict_one(&query).unwrap());
+    }
+}

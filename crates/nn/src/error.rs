@@ -1,0 +1,81 @@
+use std::error::Error;
+use std::fmt;
+
+use smore_tensor::TensorError;
+
+/// Error type for the neural-network substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A layer received an input whose width does not match its shape.
+    ShapeMismatch {
+        /// The layer that rejected the input.
+        layer: &'static str,
+        /// Expected input width.
+        expected: usize,
+        /// Actual input width.
+        actual: usize,
+    },
+    /// A configuration value is invalid.
+    InvalidConfig {
+        /// Human-readable description of the invalid configuration.
+        what: String,
+    },
+    /// `backward` was called before `forward` cached its activations.
+    NoForwardCache {
+        /// The layer missing its cache.
+        layer: &'static str,
+    },
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch { layer, expected, actual } => {
+                write!(f, "{layer}: expected input width {expected}, got {actual}")
+            }
+            NnError::InvalidConfig { what } => write!(f, "invalid network configuration: {what}"),
+            NnError::NoForwardCache { layer } => {
+                write!(f, "{layer}: backward called before forward")
+            }
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = NnError::ShapeMismatch { layer: "Dense", expected: 8, actual: 4 };
+        assert!(e.to_string().contains("Dense"));
+        assert!(NnError::NoForwardCache { layer: "Conv1d" }.to_string().contains("Conv1d"));
+        let e: NnError = TensorError::InvalidDimension { what: "x" }.into();
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

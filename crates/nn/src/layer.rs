@@ -1,0 +1,999 @@
+//! Layers with manual forward/backward passes.
+//!
+//! Every layer caches what its backward pass needs during `forward`, so
+//! the call protocol is strictly `forward` → `backward` per batch (the
+//! [`crate::network::Sequential`] container enforces the order).
+
+use smore_tensor::{init, Matrix};
+
+use crate::optim::Optimizer;
+use crate::param::Param;
+use crate::{NnError, Result};
+
+/// A differentiable network layer.
+pub trait Layer {
+    /// Short layer name used in error messages.
+    fn name(&self) -> &'static str;
+
+    /// Computes the layer output for a `(batch, features)` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when the input width differs from
+    /// the layer's expectation.
+    fn forward(&mut self, input: &Matrix, training: bool) -> Result<Matrix>;
+
+    /// Propagates the loss gradient, accumulating parameter gradients and
+    /// returning the gradient with respect to the layer input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoForwardCache`] when called before `forward`,
+    /// and [`NnError::ShapeMismatch`] for a gradient of the wrong shape.
+    fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix>;
+
+    /// Applies one optimizer step to the layer's parameters (no-op for
+    /// stateless and frozen layers).
+    fn update(&mut self, _optimizer: &Optimizer) {}
+
+    /// Clears accumulated parameter gradients (no-op for stateless layers).
+    fn zero_grad(&mut self) {}
+
+    /// Freezes or unfreezes the layer's parameters (`update` becomes a
+    /// no-op while frozen). Stateless layers ignore this.
+    fn set_frozen(&mut self, _frozen: bool) {}
+
+    /// Whether this layer is a batch-normalisation layer — TENT adapts
+    /// only these at test time.
+    fn is_batch_norm(&self) -> bool {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dense
+// ---------------------------------------------------------------------------
+
+/// Fully connected layer: `out = x · W + b`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    weight: Param,
+    bias: Param,
+    input_cache: Option<Matrix>,
+    frozen: bool,
+}
+
+impl Dense {
+    /// Creates a dense layer `inputs -> outputs` with Xavier-uniform
+    /// weights drawn from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] when either width is zero.
+    pub fn new(inputs: usize, outputs: usize, seed: u64) -> Result<Self> {
+        if inputs == 0 || outputs == 0 {
+            return Err(NnError::InvalidConfig {
+                what: format!("Dense requires non-zero widths, got {inputs}x{outputs}"),
+            });
+        }
+        let mut rng = init::rng(seed);
+        Ok(Self {
+            weight: Param::new(init::xavier_uniform(&mut rng, inputs, outputs)),
+            bias: Param::new(Matrix::zeros(1, outputs)),
+            input_cache: None,
+            frozen: false,
+        })
+    }
+
+    /// Input width.
+    pub fn inputs(&self) -> usize {
+        self.weight.value.rows()
+    }
+
+    /// Output width.
+    pub fn outputs(&self) -> usize {
+        self.weight.value.cols()
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &'static str {
+        "Dense"
+    }
+
+    fn forward(&mut self, input: &Matrix, _training: bool) -> Result<Matrix> {
+        if input.cols() != self.inputs() {
+            return Err(NnError::ShapeMismatch {
+                layer: "Dense",
+                expected: self.inputs(),
+                actual: input.cols(),
+            });
+        }
+        let mut out = input.matmul(&self.weight.value)?;
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            for (o, &b) in row.iter_mut().zip(self.bias.value.as_slice()) {
+                *o += b;
+            }
+        }
+        self.input_cache = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix> {
+        let input = self.input_cache.as_ref().ok_or(NnError::NoForwardCache { layer: "Dense" })?;
+        if grad_output.cols() != self.outputs() || grad_output.rows() != input.rows() {
+            return Err(NnError::ShapeMismatch {
+                layer: "Dense",
+                expected: self.outputs(),
+                actual: grad_output.cols(),
+            });
+        }
+        // dW += xᵀ · g, db += Σ_batch g, dx = g · Wᵀ.
+        let dw = input.transpose().matmul(grad_output)?;
+        self.weight.grad.add_assign(&dw)?;
+        for i in 0..grad_output.rows() {
+            for (db, &g) in self.bias.grad.row_mut(0).iter_mut().zip(grad_output.row(i)) {
+                *db += g;
+            }
+        }
+        Ok(grad_output.matmul_t(&self.weight.value)?)
+    }
+
+    fn update(&mut self, optimizer: &Optimizer) {
+        if !self.frozen {
+            self.weight.step(optimizer);
+            self.bias.step(optimizer);
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        self.weight.zero_grad();
+        self.bias.zero_grad();
+    }
+
+    fn set_frozen(&mut self, frozen: bool) {
+        self.frozen = frozen;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ReLU
+// ---------------------------------------------------------------------------
+
+/// Rectified linear unit.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+    width: Option<usize>,
+}
+
+impl Relu {
+    /// Creates a ReLU activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &'static str {
+        "ReLU"
+    }
+
+    fn forward(&mut self, input: &Matrix, _training: bool) -> Result<Matrix> {
+        let mask: Vec<bool> = input.as_slice().iter().map(|&x| x > 0.0).collect();
+        let out = input.map(|x| if x > 0.0 { x } else { 0.0 });
+        self.mask = Some(mask);
+        self.width = Some(input.cols());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix> {
+        let mask = self.mask.as_ref().ok_or(NnError::NoForwardCache { layer: "ReLU" })?;
+        if grad_output.len() != mask.len() {
+            return Err(NnError::ShapeMismatch {
+                layer: "ReLU",
+                expected: mask.len(),
+                actual: grad_output.len(),
+            });
+        }
+        let mut out = grad_output.clone();
+        for (g, &m) in out.as_mut_slice().iter_mut().zip(mask) {
+            if !m {
+                *g = 0.0;
+            }
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conv1d
+// ---------------------------------------------------------------------------
+
+/// 1-D convolution over the time axis of a `(batch, time * channels)`
+/// input (valid padding, stride 1).
+///
+/// Weight layout: `(out_channels, kernel * in_channels)` with the same
+/// time-major flattening as the data.
+#[derive(Debug, Clone)]
+pub struct Conv1d {
+    time: usize,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    weight: Param,
+    bias: Param,
+    input_cache: Option<Matrix>,
+    frozen: bool,
+}
+
+impl Conv1d {
+    /// Creates a convolution for windows of `time` steps and
+    /// `in_channels` channels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for zero sizes or a kernel longer
+    /// than the window.
+    pub fn new(
+        time: usize,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        if time == 0 || in_channels == 0 || out_channels == 0 || kernel == 0 {
+            return Err(NnError::InvalidConfig { what: "Conv1d sizes must be non-zero".into() });
+        }
+        if kernel > time {
+            return Err(NnError::InvalidConfig {
+                what: format!("Conv1d kernel {kernel} longer than window {time}"),
+            });
+        }
+        let fan_in = kernel * in_channels;
+        let mut rng = init::rng(seed);
+        Ok(Self {
+            time,
+            in_channels,
+            out_channels,
+            kernel,
+            weight: Param::new(init::he_normal(&mut rng, fan_in, out_channels).transpose()),
+            bias: Param::new(Matrix::zeros(1, out_channels)),
+            input_cache: None,
+            frozen: false,
+        })
+    }
+
+    /// Output time steps (`time - kernel + 1`).
+    pub fn out_time(&self) -> usize {
+        self.time - self.kernel + 1
+    }
+
+    /// Output row width (`out_time * out_channels`).
+    pub fn output_width(&self) -> usize {
+        self.out_time() * self.out_channels
+    }
+
+    fn input_width(&self) -> usize {
+        self.time * self.in_channels
+    }
+}
+
+impl Layer for Conv1d {
+    fn name(&self) -> &'static str {
+        "Conv1d"
+    }
+
+    fn forward(&mut self, input: &Matrix, _training: bool) -> Result<Matrix> {
+        if input.cols() != self.input_width() {
+            return Err(NnError::ShapeMismatch {
+                layer: "Conv1d",
+                expected: self.input_width(),
+                actual: input.cols(),
+            });
+        }
+        let (ot, oc, c, k) = (self.out_time(), self.out_channels, self.in_channels, self.kernel);
+        let mut out = Matrix::zeros(input.rows(), ot * oc);
+        for b in 0..input.rows() {
+            let x = input.row(b);
+            let o = out.row_mut(b);
+            for t in 0..ot {
+                let x_window = &x[t * c..(t + k) * c];
+                for ch in 0..oc {
+                    let w = self.weight.value.row(ch);
+                    let mut acc = self.bias.value.get(0, ch);
+                    for (xi, wi) in x_window.iter().zip(w) {
+                        acc += xi * wi;
+                    }
+                    o[t * oc + ch] = acc;
+                }
+            }
+        }
+        self.input_cache = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix> {
+        let input =
+            self.input_cache.as_ref().ok_or(NnError::NoForwardCache { layer: "Conv1d" })?;
+        let (ot, oc, c, k) = (self.out_time(), self.out_channels, self.in_channels, self.kernel);
+        if grad_output.cols() != ot * oc || grad_output.rows() != input.rows() {
+            return Err(NnError::ShapeMismatch {
+                layer: "Conv1d",
+                expected: ot * oc,
+                actual: grad_output.cols(),
+            });
+        }
+        let mut grad_input = Matrix::zeros(input.rows(), self.input_width());
+        for b in 0..input.rows() {
+            let x = input.row(b);
+            let g = grad_output.row(b);
+            let gx = grad_input.row_mut(b);
+            for t in 0..ot {
+                for ch in 0..oc {
+                    let go = g[t * oc + ch];
+                    if go == 0.0 {
+                        continue;
+                    }
+                    *self
+                        .bias
+                        .grad
+                        .row_mut(0)
+                        .get_mut(ch)
+                        .expect("bias width = out_channels") += go;
+                    let w = self.weight.value.row(ch);
+                    let dw = self.weight.grad.row_mut(ch);
+                    let x_window = &x[t * c..(t + k) * c];
+                    let gx_window = &mut gx[t * c..(t + k) * c];
+                    for i in 0..k * c {
+                        dw[i] += go * x_window[i];
+                        gx_window[i] += go * w[i];
+                    }
+                }
+            }
+        }
+        Ok(grad_input)
+    }
+
+    fn update(&mut self, optimizer: &Optimizer) {
+        if !self.frozen {
+            self.weight.step(optimizer);
+            self.bias.step(optimizer);
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        self.weight.zero_grad();
+        self.bias.zero_grad();
+    }
+
+    fn set_frozen(&mut self, frozen: bool) {
+        self.frozen = frozen;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BatchNorm1d
+// ---------------------------------------------------------------------------
+
+/// Batch normalisation over channels.
+///
+/// Accepts any `(batch, n * channels)` input with channel-minor layout
+/// (dense features use `n = 1`; conv outputs use `n = time`), normalising
+/// each channel over `batch * n` elements. During training it uses batch
+/// statistics and maintains running estimates; during evaluation it uses
+/// the running estimates. TENT adapts the affine parameters `γ, β` while
+/// evaluating with *batch* statistics, which corresponds to calling
+/// `forward(.., true)` on a network whose other layers are frozen.
+#[derive(Debug, Clone)]
+pub struct BatchNorm1d {
+    channels: usize,
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    cache: Option<BnCache>,
+    frozen: bool,
+}
+
+#[derive(Debug, Clone)]
+struct BnCache {
+    normalized: Matrix,
+    inv_std: Vec<f32>,
+    batch_stats: bool,
+}
+
+impl BatchNorm1d {
+    /// Creates a batch-norm layer over `channels` channels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] when `channels` is zero.
+    pub fn new(channels: usize) -> Result<Self> {
+        if channels == 0 {
+            return Err(NnError::InvalidConfig { what: "BatchNorm1d needs channels > 0".into() });
+        }
+        Ok(Self {
+            channels,
+            gamma: Param::new(Matrix::ones(1, channels)),
+            beta: Param::new(Matrix::zeros(1, channels)),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+            cache: None,
+            frozen: false,
+        })
+    }
+
+    /// Number of normalised channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+}
+
+impl Layer for BatchNorm1d {
+    fn name(&self) -> &'static str {
+        "BatchNorm1d"
+    }
+
+    fn forward(&mut self, input: &Matrix, training: bool) -> Result<Matrix> {
+        let c = self.channels;
+        if input.cols() == 0 || input.cols() % c != 0 {
+            return Err(NnError::ShapeMismatch {
+                layer: "BatchNorm1d",
+                expected: c,
+                actual: input.cols(),
+            });
+        }
+        let groups = input.cols() / c;
+        let n = (input.rows() * groups).max(1);
+
+        let (mean, var) = if training {
+            let mut mean = vec![0.0f64; c];
+            let mut var = vec![0.0f64; c];
+            for b in 0..input.rows() {
+                let row = input.row(b);
+                for g in 0..groups {
+                    for ch in 0..c {
+                        mean[ch] += row[g * c + ch] as f64;
+                    }
+                }
+            }
+            for m in &mut mean {
+                *m /= n as f64;
+            }
+            for b in 0..input.rows() {
+                let row = input.row(b);
+                for g in 0..groups {
+                    for ch in 0..c {
+                        let d = row[g * c + ch] as f64 - mean[ch];
+                        var[ch] += d * d;
+                    }
+                }
+            }
+            for v in &mut var {
+                *v /= n as f64;
+            }
+            for ch in 0..c {
+                self.running_mean[ch] =
+                    (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean[ch] as f32;
+                self.running_var[ch] =
+                    (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var[ch] as f32;
+            }
+            (mean.iter().map(|&m| m as f32).collect::<Vec<_>>(), var.iter().map(|&v| v as f32).collect::<Vec<_>>())
+        } else {
+            (self.running_mean.clone(), self.running_var.clone())
+        };
+
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let mut normalized = Matrix::zeros(input.rows(), input.cols());
+        let mut out = Matrix::zeros(input.rows(), input.cols());
+        for b in 0..input.rows() {
+            let row = input.row(b);
+            let nrow = normalized.row_mut(b);
+            for g in 0..groups {
+                for ch in 0..c {
+                    let idx = g * c + ch;
+                    nrow[idx] = (row[idx] - mean[ch]) * inv_std[ch];
+                }
+            }
+        }
+        for b in 0..input.rows() {
+            let nrow = normalized.row(b).to_vec();
+            let orow = out.row_mut(b);
+            for g in 0..groups {
+                for ch in 0..c {
+                    let idx = g * c + ch;
+                    orow[idx] =
+                        self.gamma.value.get(0, ch) * nrow[idx] + self.beta.value.get(0, ch);
+                }
+            }
+        }
+        self.cache = Some(BnCache { normalized, inv_std, batch_stats: training });
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix> {
+        let cache =
+            self.cache.as_ref().ok_or(NnError::NoForwardCache { layer: "BatchNorm1d" })?;
+        let c = self.channels;
+        if grad_output.shape() != cache.normalized.shape() {
+            return Err(NnError::ShapeMismatch {
+                layer: "BatchNorm1d",
+                expected: cache.normalized.cols(),
+                actual: grad_output.cols(),
+            });
+        }
+        let groups = grad_output.cols() / c;
+        let n = (grad_output.rows() * groups) as f32;
+
+        // Parameter gradients.
+        let mut dgamma = vec![0.0f32; c];
+        let mut dbeta = vec![0.0f32; c];
+        for b in 0..grad_output.rows() {
+            let g = grad_output.row(b);
+            let xhat = cache.normalized.row(b);
+            for gr in 0..groups {
+                for ch in 0..c {
+                    let idx = gr * c + ch;
+                    dgamma[ch] += g[idx] * xhat[idx];
+                    dbeta[ch] += g[idx];
+                }
+            }
+        }
+        for ch in 0..c {
+            *self.gamma.grad.row_mut(0).get_mut(ch).expect("gamma width") += dgamma[ch];
+            *self.beta.grad.row_mut(0).get_mut(ch).expect("beta width") += dbeta[ch];
+        }
+
+        let mut grad_input = Matrix::zeros(grad_output.rows(), grad_output.cols());
+        if cache.batch_stats {
+            // Full batch-norm gradient (mean and variance depend on x).
+            for b in 0..grad_output.rows() {
+                let g = grad_output.row(b);
+                let xhat = cache.normalized.row(b);
+                let gi = grad_input.row_mut(b);
+                for gr in 0..groups {
+                    for ch in 0..c {
+                        let idx = gr * c + ch;
+                        let gamma = self.gamma.value.get(0, ch);
+                        gi[idx] = gamma * cache.inv_std[ch] / n
+                            * (n * g[idx] - dbeta[ch] - xhat[idx] * dgamma[ch]);
+                    }
+                }
+            }
+        } else {
+            // Running statistics are constants.
+            for b in 0..grad_output.rows() {
+                let g = grad_output.row(b);
+                let gi = grad_input.row_mut(b);
+                for gr in 0..groups {
+                    for ch in 0..c {
+                        let idx = gr * c + ch;
+                        gi[idx] = g[idx] * self.gamma.value.get(0, ch) * cache.inv_std[ch];
+                    }
+                }
+            }
+        }
+        Ok(grad_input)
+    }
+
+    fn update(&mut self, optimizer: &Optimizer) {
+        if !self.frozen {
+            self.gamma.step(optimizer);
+            self.beta.step(optimizer);
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        self.gamma.zero_grad();
+        self.beta.zero_grad();
+    }
+
+    fn set_frozen(&mut self, frozen: bool) {
+        self.frozen = frozen;
+    }
+
+    fn is_batch_norm(&self) -> bool {
+        true
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GlobalAvgPool1d
+// ---------------------------------------------------------------------------
+
+/// Global average pooling over time: `(batch, time * channels)` →
+/// `(batch, channels)`.
+#[derive(Debug, Clone)]
+pub struct GlobalAvgPool1d {
+    time: usize,
+    channels: usize,
+    batch: Option<usize>,
+}
+
+impl GlobalAvgPool1d {
+    /// Creates a pool for `time` steps of `channels` channels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for zero sizes.
+    pub fn new(time: usize, channels: usize) -> Result<Self> {
+        if time == 0 || channels == 0 {
+            return Err(NnError::InvalidConfig { what: "GlobalAvgPool1d sizes must be non-zero".into() });
+        }
+        Ok(Self { time, channels, batch: None })
+    }
+}
+
+impl Layer for GlobalAvgPool1d {
+    fn name(&self) -> &'static str {
+        "GlobalAvgPool1d"
+    }
+
+    fn forward(&mut self, input: &Matrix, _training: bool) -> Result<Matrix> {
+        if input.cols() != self.time * self.channels {
+            return Err(NnError::ShapeMismatch {
+                layer: "GlobalAvgPool1d",
+                expected: self.time * self.channels,
+                actual: input.cols(),
+            });
+        }
+        let mut out = Matrix::zeros(input.rows(), self.channels);
+        for b in 0..input.rows() {
+            let x = input.row(b);
+            let o = out.row_mut(b);
+            for t in 0..self.time {
+                for ch in 0..self.channels {
+                    o[ch] += x[t * self.channels + ch];
+                }
+            }
+            for o in o.iter_mut() {
+                *o /= self.time as f32;
+            }
+        }
+        self.batch = Some(input.rows());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix> {
+        let batch =
+            self.batch.ok_or(NnError::NoForwardCache { layer: "GlobalAvgPool1d" })?;
+        if grad_output.cols() != self.channels || grad_output.rows() != batch {
+            return Err(NnError::ShapeMismatch {
+                layer: "GlobalAvgPool1d",
+                expected: self.channels,
+                actual: grad_output.cols(),
+            });
+        }
+        let mut out = Matrix::zeros(batch, self.time * self.channels);
+        let scale = 1.0 / self.time as f32;
+        for b in 0..batch {
+            let g = grad_output.row(b);
+            let o = out.row_mut(b);
+            for t in 0..self.time {
+                for ch in 0..self.channels {
+                    o[t * self.channels + ch] = g[ch] * scale;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gradient reversal
+// ---------------------------------------------------------------------------
+
+/// Gradient-reversal layer (Ganin & Lempitsky): identity forward, `-λ`
+/// scaled gradient backward. MDANs trains its domain discriminators
+/// through this layer so the feature extractor learns *domain-invariant*
+/// features.
+#[derive(Debug, Clone)]
+pub struct GradReversal {
+    lambda: f32,
+    width: Option<usize>,
+}
+
+impl GradReversal {
+    /// Creates a reversal layer with coefficient `lambda`.
+    pub fn new(lambda: f32) -> Self {
+        Self { lambda, width: None }
+    }
+
+    /// Current reversal coefficient.
+    pub fn lambda(&self) -> f32 {
+        self.lambda
+    }
+
+    /// Re-tunes the reversal coefficient (commonly annealed during
+    /// adversarial training).
+    pub fn set_lambda(&mut self, lambda: f32) {
+        self.lambda = lambda;
+    }
+}
+
+impl Layer for GradReversal {
+    fn name(&self) -> &'static str {
+        "GradReversal"
+    }
+
+    fn forward(&mut self, input: &Matrix, _training: bool) -> Result<Matrix> {
+        self.width = Some(input.cols());
+        Ok(input.clone())
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix> {
+        let width = self.width.ok_or(NnError::NoForwardCache { layer: "GradReversal" })?;
+        if grad_output.cols() != width {
+            return Err(NnError::ShapeMismatch {
+                layer: "GradReversal",
+                expected: width,
+                actual: grad_output.cols(),
+            });
+        }
+        Ok(grad_output.scale(-self.lambda))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Central-difference numerical gradient of `f` at `x`.
+    fn numerical_grad(f: &mut dyn FnMut(&Matrix) -> f32, x: &Matrix, eps: f32) -> Matrix {
+        let mut grad = Matrix::zeros(x.rows(), x.cols());
+        for i in 0..x.rows() {
+            for j in 0..x.cols() {
+                let mut xp = x.clone();
+                xp.set(i, j, x.get(i, j) + eps);
+                let mut xm = x.clone();
+                xm.set(i, j, x.get(i, j) - eps);
+                grad.set(i, j, (f(&xp) - f(&xm)) / (2.0 * eps));
+            }
+        }
+        grad
+    }
+
+    /// Loss = sum of outputs; its gradient w.r.t. outputs is all-ones.
+    fn check_input_gradient(layer: &mut dyn Layer, x: &Matrix, training: bool, tol: f32) {
+        let out = layer.forward(x, training).unwrap();
+        let ones = Matrix::ones(out.rows(), out.cols());
+        let analytic = layer.backward(&ones).unwrap();
+        let mut f = |x: &Matrix| layer.forward(x, training).unwrap().as_slice().iter().sum::<f32>();
+        let numeric = numerical_grad(&mut f, x, 1e-3);
+        for (a, n) in analytic.as_slice().iter().zip(numeric.as_slice()) {
+            assert!(
+                (a - n).abs() < tol * (1.0 + n.abs()),
+                "{}: analytic {a} vs numeric {n}",
+                layer.name()
+            );
+        }
+    }
+
+    fn sample_input(rows: usize, cols: usize, seed: u64) -> Matrix {
+        init::normal_matrix(&mut init::rng(seed), rows, cols)
+    }
+
+    #[test]
+    fn dense_forward_known_values() {
+        let mut layer = Dense::new(2, 1, 0).unwrap();
+        layer.weight.value = Matrix::from_vec(2, 1, vec![2.0, 3.0]).unwrap();
+        layer.bias.value = Matrix::from_vec(1, 1, vec![1.0]).unwrap();
+        let out = layer.forward(&Matrix::from_vec(1, 2, vec![4.0, 5.0]).unwrap(), true).unwrap();
+        assert_eq!(out.get(0, 0), 2.0 * 4.0 + 3.0 * 5.0 + 1.0);
+    }
+
+    #[test]
+    fn dense_input_gradient_checks() {
+        let mut layer = Dense::new(5, 3, 1).unwrap();
+        check_input_gradient(&mut layer, &sample_input(4, 5, 2), true, 1e-2);
+    }
+
+    #[test]
+    fn dense_weight_gradient_checks() {
+        let mut layer = Dense::new(3, 2, 3).unwrap();
+        let x = sample_input(4, 3, 4);
+        let out = layer.forward(&x, true).unwrap();
+        let ones = Matrix::ones(out.rows(), out.cols());
+        layer.backward(&ones).unwrap();
+        let analytic = layer.weight.grad.clone();
+        // Perturb each weight and measure the loss change.
+        let mut numeric = Matrix::zeros(3, 2);
+        let eps = 1e-3;
+        for i in 0..3 {
+            for j in 0..2 {
+                let orig = layer.weight.value.get(i, j);
+                layer.weight.value.set(i, j, orig + eps);
+                let lp: f32 = layer.forward(&x, true).unwrap().as_slice().iter().sum();
+                layer.weight.value.set(i, j, orig - eps);
+                let lm: f32 = layer.forward(&x, true).unwrap().as_slice().iter().sum();
+                layer.weight.value.set(i, j, orig);
+                numeric.set(i, j, (lp - lm) / (2.0 * eps));
+            }
+        }
+        for (a, n) in analytic.as_slice().iter().zip(numeric.as_slice()) {
+            assert!((a - n).abs() < 1e-2 * (1.0 + n.abs()), "dW: {a} vs {n}");
+        }
+    }
+
+    #[test]
+    fn dense_rejects_bad_shapes() {
+        assert!(Dense::new(0, 2, 0).is_err());
+        let mut layer = Dense::new(2, 2, 0).unwrap();
+        assert!(layer.forward(&Matrix::zeros(1, 3), true).is_err());
+        assert!(layer.backward(&Matrix::zeros(1, 2)).is_err(), "backward before forward");
+    }
+
+    #[test]
+    fn dense_frozen_skips_update() {
+        let mut layer = Dense::new(2, 2, 0).unwrap();
+        let before = layer.weight.value.clone();
+        layer.forward(&sample_input(2, 2, 5), true).unwrap();
+        layer.backward(&Matrix::ones(2, 2)).unwrap();
+        layer.set_frozen(true);
+        layer.update(&Optimizer::sgd(0.5, 0.0));
+        assert_eq!(layer.weight.value, before);
+        layer.set_frozen(false);
+        layer.update(&Optimizer::sgd(0.5, 0.0));
+        assert_ne!(layer.weight.value, before);
+    }
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut relu = Relu::new();
+        let x = Matrix::from_vec(1, 4, vec![-1.0, 2.0, -3.0, 4.0]).unwrap();
+        let out = relu.forward(&x, true).unwrap();
+        assert_eq!(out.as_slice(), &[0.0, 2.0, 0.0, 4.0]);
+        let g = relu.backward(&Matrix::ones(1, 4)).unwrap();
+        assert_eq!(g.as_slice(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn conv1d_input_gradient_checks() {
+        let mut layer = Conv1d::new(6, 2, 3, 3, 7).unwrap();
+        check_input_gradient(&mut layer, &sample_input(2, 12, 8), true, 1e-2);
+    }
+
+    #[test]
+    fn conv1d_weight_gradient_checks() {
+        let mut layer = Conv1d::new(5, 2, 2, 2, 9).unwrap();
+        let x = sample_input(3, 10, 10);
+        let out = layer.forward(&x, true).unwrap();
+        layer.backward(&Matrix::ones(out.rows(), out.cols())).unwrap();
+        let analytic = layer.weight.grad.clone();
+        let eps = 1e-3;
+        for i in 0..layer.weight.value.rows() {
+            for j in 0..layer.weight.value.cols() {
+                let orig = layer.weight.value.get(i, j);
+                layer.weight.value.set(i, j, orig + eps);
+                let lp: f32 = layer.forward(&x, true).unwrap().as_slice().iter().sum();
+                layer.weight.value.set(i, j, orig - eps);
+                let lm: f32 = layer.forward(&x, true).unwrap().as_slice().iter().sum();
+                layer.weight.value.set(i, j, orig);
+                let numeric = (lp - lm) / (2.0 * eps);
+                let a = analytic.get(i, j);
+                assert!((a - numeric).abs() < 1e-2 * (1.0 + numeric.abs()), "dW[{i},{j}]: {a} vs {numeric}");
+            }
+        }
+    }
+
+    #[test]
+    fn conv1d_shapes_and_validation() {
+        assert!(Conv1d::new(4, 1, 1, 5, 0).is_err(), "kernel longer than window");
+        assert!(Conv1d::new(0, 1, 1, 1, 0).is_err());
+        let mut layer = Conv1d::new(8, 3, 4, 3, 0).unwrap();
+        assert_eq!(layer.out_time(), 6);
+        assert_eq!(layer.output_width(), 24);
+        let out = layer.forward(&sample_input(2, 24, 11), true).unwrap();
+        assert_eq!(out.shape(), (2, 24));
+        assert!(layer.forward(&Matrix::zeros(1, 23), true).is_err());
+    }
+
+    #[test]
+    fn conv1d_detects_constant_pattern() {
+        // A kernel of ones sums the window: check against a hand computation.
+        let mut layer = Conv1d::new(3, 1, 1, 2, 0).unwrap();
+        layer.weight.value = Matrix::from_vec(1, 2, vec![1.0, 1.0]).unwrap();
+        layer.bias.value = Matrix::zeros(1, 1);
+        let x = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]).unwrap();
+        let out = layer.forward(&x, true).unwrap();
+        assert_eq!(out.as_slice(), &[3.0, 5.0]);
+    }
+
+    #[test]
+    fn batchnorm_normalises_batch_statistics() {
+        let mut bn = BatchNorm1d::new(2).unwrap();
+        let x = Matrix::from_vec(4, 2, vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0]).unwrap();
+        let out = bn.forward(&x, true).unwrap();
+        for ch in 0..2 {
+            let col = out.col_to_vec(ch);
+            assert!(smore_tensor::vecops::mean(&col).abs() < 1e-5);
+            let var = smore_tensor::vecops::variance(&col);
+            assert!((var - 1.0).abs() < 0.05, "channel {ch} variance {var}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let mut bn = BatchNorm1d::new(1).unwrap();
+        // Train on data with mean 5 to move the running stats.
+        for _ in 0..200 {
+            bn.forward(&Matrix::from_vec(4, 1, vec![4.0, 5.0, 5.0, 6.0]).unwrap(), true).unwrap();
+        }
+        let out = bn.forward(&Matrix::from_vec(1, 1, vec![5.0]).unwrap(), false).unwrap();
+        assert!(out.get(0, 0).abs() < 0.1, "running mean should be ~5, got output {}", out.get(0, 0));
+    }
+
+    #[test]
+    fn batchnorm_input_gradient_checks_training() {
+        let mut bn = BatchNorm1d::new(3).unwrap();
+        check_input_gradient(&mut bn, &sample_input(5, 3, 13), true, 2e-2);
+    }
+
+    #[test]
+    fn batchnorm_input_gradient_checks_eval() {
+        let mut bn = BatchNorm1d::new(2).unwrap();
+        // Give the running stats some non-trivial values first.
+        bn.forward(&sample_input(8, 2, 14), true).unwrap();
+        check_input_gradient(&mut bn, &sample_input(4, 2, 15), false, 1e-2);
+    }
+
+    #[test]
+    fn batchnorm_grouped_layout() {
+        // (batch, time*channels) layout: 2 channels, 3 time steps.
+        let mut bn = BatchNorm1d::new(2).unwrap();
+        let x = sample_input(4, 6, 16);
+        let out = bn.forward(&x, true).unwrap();
+        assert_eq!(out.shape(), (4, 6));
+        // Per-channel mean over batch*time is ~0.
+        let mut m = [0.0f32; 2];
+        for b in 0..4 {
+            for t in 0..3 {
+                for ch in 0..2 {
+                    m[ch] += out.get(b, t * 2 + ch);
+                }
+            }
+        }
+        assert!(m.iter().all(|&v| (v / 12.0).abs() < 1e-5));
+        assert!(bn.forward(&Matrix::zeros(2, 5), true).is_err(), "width not multiple of channels");
+    }
+
+    #[test]
+    fn batchnorm_is_batch_norm() {
+        let bn = BatchNorm1d::new(2).unwrap();
+        assert!(bn.is_batch_norm());
+        assert!(!Relu::new().is_batch_norm());
+    }
+
+    #[test]
+    fn global_avg_pool_forward_backward() {
+        let mut pool = GlobalAvgPool1d::new(3, 2).unwrap();
+        // t-major layout: [t0c0, t0c1, t1c0, t1c1, t2c0, t2c1]
+        let x = Matrix::from_vec(1, 6, vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0]).unwrap();
+        let out = pool.forward(&x, true).unwrap();
+        assert_eq!(out.as_slice(), &[2.0, 20.0]);
+        let g = pool.backward(&Matrix::from_vec(1, 2, vec![3.0, 6.0]).unwrap()).unwrap();
+        assert_eq!(g.as_slice(), &[1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+        assert!(GlobalAvgPool1d::new(0, 1).is_err());
+    }
+
+    #[test]
+    fn grad_reversal_flips_and_scales() {
+        let mut grl = GradReversal::new(0.5);
+        let x = sample_input(2, 3, 17);
+        let out = grl.forward(&x, true).unwrap();
+        assert_eq!(out, x);
+        let g = grl.backward(&Matrix::ones(2, 3)).unwrap();
+        assert!(g.as_slice().iter().all(|&v| (v + 0.5).abs() < 1e-6));
+        grl.set_lambda(2.0);
+        assert_eq!(grl.lambda(), 2.0);
+        grl.forward(&x, true).unwrap();
+        let g = grl.backward(&Matrix::ones(2, 3)).unwrap();
+        assert!(g.as_slice().iter().all(|&v| (v + 2.0).abs() < 1e-6));
+    }
+}

@@ -1,0 +1,65 @@
+//! Neural-network substrate with manual backpropagation.
+//!
+//! The CNN-based domain-adaptation baselines of the SMORE evaluation —
+//! TENT (test-time entropy minimisation) and MDANs (multi-source domain
+//! adversarial networks) — need a small but real deep-learning stack. No
+//! framework is available offline, so this crate implements one from
+//! scratch:
+//!
+//! - [`layer`] — the [`Layer`](layer::Layer) trait plus Dense, Conv1d,
+//!   BatchNorm1d, ReLU, global average pooling and the gradient-reversal
+//!   layer MDANs' discriminators train through.
+//! - [`loss`] — softmax cross-entropy and the prediction-entropy objective
+//!   TENT minimises at test time.
+//! - [`optim`] — SGD with momentum and Adam, with per-parameter state.
+//! - [`network`] — a [`Sequential`](network::Sequential) container with
+//!   mini-batch training, plus the freeze/unfreeze controls TENT needs to
+//!   adapt only the BatchNorm affine parameters.
+//!
+//! Every layer's backward pass is validated against numerical gradients in
+//! the test suite.
+//!
+//! # Data layout
+//!
+//! A batch is a `(batch, time * channels)` [`smore_tensor::Matrix`]; each
+//! row flattens a window time-major (`t0c0, t0c1, …, t1c0, …`), matching
+//! `smore_data` windows flattened row by row.
+//!
+//! # Example
+//!
+//! ```
+//! use smore_nn::network::Sequential;
+//! use smore_nn::layer::{Dense, Relu};
+//! use smore_nn::optim::Optimizer;
+//! use smore_tensor::{init, Matrix};
+//!
+//! # fn main() -> Result<(), smore_nn::NnError> {
+//! let mut net = Sequential::new();
+//! net.push(Dense::new(4, 16, 1)?);
+//! net.push(Relu::new());
+//! net.push(Dense::new(16, 2, 2)?);
+//! let x = init::normal_matrix(&mut init::rng(0), 8, 4);
+//! let labels = vec![0, 1, 0, 1, 0, 1, 0, 1];
+//! let opt = Optimizer::sgd(0.1, 0.9);
+//! for _ in 0..10 {
+//!     net.train_batch(&x, &labels, &opt)?;
+//! }
+//! let acc = net.evaluate(&x, &labels)?;
+//! assert!(acc >= 0.5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+pub mod layer;
+pub mod loss;
+pub mod network;
+pub mod optim;
+pub mod param;
+
+pub use error::NnError;
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, NnError>;

@@ -1,0 +1,182 @@
+//! Losses: softmax cross-entropy and prediction entropy (TENT).
+
+use smore_tensor::{vecops, Matrix};
+
+use crate::{NnError, Result};
+
+/// Softmax followed by the class probabilities of each row.
+pub fn softmax_rows(logits: &Matrix) -> Matrix {
+    let mut probs = logits.clone();
+    for i in 0..probs.rows() {
+        vecops::softmax(probs.row_mut(i));
+    }
+    probs
+}
+
+/// Mean softmax cross-entropy loss and its gradient with respect to the
+/// logits (`(softmax - onehot) / batch`).
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] when the label count disagrees with
+/// the batch, the batch is empty, or a label exceeds the class count.
+///
+/// # Example
+///
+/// ```
+/// use smore_tensor::Matrix;
+///
+/// # fn main() -> Result<(), smore_nn::NnError> {
+/// let logits = Matrix::from_vec(1, 2, vec![10.0, -10.0])
+///     .map_err(smore_nn::NnError::from)?;
+/// let (loss, _grad) = smore_nn::loss::softmax_cross_entropy(&logits, &[0])?;
+/// assert!(loss < 1e-3, "confident correct prediction has near-zero loss");
+/// # Ok(())
+/// # }
+/// ```
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> Result<(f32, Matrix)> {
+    if logits.rows() != labels.len() || logits.rows() == 0 {
+        return Err(NnError::InvalidConfig {
+            what: format!("{} logit rows but {} labels", logits.rows(), labels.len()),
+        });
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= logits.cols()) {
+        return Err(NnError::InvalidConfig {
+            what: format!("label {bad} out of range for {} classes", logits.cols()),
+        });
+    }
+    let batch = logits.rows() as f32;
+    let mut grad = softmax_rows(logits);
+    let mut loss = 0.0f64;
+    for (i, &label) in labels.iter().enumerate() {
+        let p = grad.get(i, label).max(1e-12);
+        loss -= (p as f64).ln();
+        let row = grad.row_mut(i);
+        row[label] -= 1.0;
+        for g in row.iter_mut() {
+            *g /= batch;
+        }
+    }
+    Ok(((loss / batch as f64) as f32, grad))
+}
+
+/// Mean Shannon entropy of the softmax predictions and its gradient with
+/// respect to the logits — the objective TENT minimises at test time
+/// (confident predictions have low entropy).
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] for an empty batch.
+pub fn entropy_loss(logits: &Matrix) -> Result<(f32, Matrix)> {
+    if logits.rows() == 0 || logits.cols() == 0 {
+        return Err(NnError::InvalidConfig { what: "entropy of an empty batch".into() });
+    }
+    let batch = logits.rows() as f32;
+    let probs = softmax_rows(logits);
+    let mut grad = Matrix::zeros(logits.rows(), logits.cols());
+    let mut total = 0.0f64;
+    for i in 0..probs.rows() {
+        let p = probs.row(i);
+        let h = vecops::entropy(p);
+        total += h as f64;
+        let g = grad.row_mut(i);
+        for (j, &pj) in p.iter().enumerate() {
+            // dH/dz_j = -p_j (ln p_j + H)
+            let lnp = if pj > 0.0 { pj.ln() } else { 0.0 };
+            g[j] = -pj * (lnp + h) / batch;
+        }
+    }
+    Ok(((total / batch as f64) as f32, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smore_tensor::init;
+
+    fn numerical_grad(f: &mut dyn FnMut(&Matrix) -> f32, x: &Matrix, eps: f32) -> Matrix {
+        let mut grad = Matrix::zeros(x.rows(), x.cols());
+        for i in 0..x.rows() {
+            for j in 0..x.cols() {
+                let mut xp = x.clone();
+                xp.set(i, j, x.get(i, j) + eps);
+                let mut xm = x.clone();
+                xm.set(i, j, x.get(i, j) - eps);
+                grad.set(i, j, (f(&xp) - f(&xm)) / (2.0 * eps));
+            }
+        }
+        grad
+    }
+
+    #[test]
+    fn cross_entropy_perfect_and_wrong() {
+        let confident_right = Matrix::from_vec(1, 3, vec![20.0, 0.0, 0.0]).unwrap();
+        let (loss, _) = softmax_cross_entropy(&confident_right, &[0]).unwrap();
+        assert!(loss < 1e-6);
+        let confident_wrong = Matrix::from_vec(1, 3, vec![20.0, 0.0, 0.0]).unwrap();
+        let (loss, _) = softmax_cross_entropy(&confident_wrong, &[1]).unwrap();
+        assert!(loss > 10.0);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_checks() {
+        let logits = init::normal_matrix(&mut init::rng(1), 4, 3);
+        let labels = vec![0, 2, 1, 0];
+        let (_, analytic) = softmax_cross_entropy(&logits, &labels).unwrap();
+        let mut f = |x: &Matrix| softmax_cross_entropy(x, &labels).unwrap().0;
+        let numeric = numerical_grad(&mut f, &logits, 1e-3);
+        for (a, n) in analytic.as_slice().iter().zip(numeric.as_slice()) {
+            assert!((a - n).abs() < 1e-3, "CE grad: {a} vs {n}");
+        }
+    }
+
+    #[test]
+    fn cross_entropy_validates() {
+        let logits = Matrix::zeros(2, 3);
+        assert!(softmax_cross_entropy(&logits, &[0]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0, 5]).is_err());
+        assert!(softmax_cross_entropy(&Matrix::zeros(0, 3), &[]).is_err());
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        let uniform = Matrix::zeros(1, 4);
+        let (h, _) = entropy_loss(&uniform).unwrap();
+        assert!((h - (4.0f32).ln()).abs() < 1e-5);
+        let peaked = Matrix::from_vec(1, 4, vec![50.0, 0.0, 0.0, 0.0]).unwrap();
+        let (h, _) = entropy_loss(&peaked).unwrap();
+        assert!(h < 1e-3);
+    }
+
+    #[test]
+    fn entropy_gradient_checks() {
+        let logits = init::normal_matrix(&mut init::rng(2), 3, 4);
+        let (_, analytic) = entropy_loss(&logits).unwrap();
+        let mut f = |x: &Matrix| entropy_loss(x).unwrap().0;
+        let numeric = numerical_grad(&mut f, &logits, 1e-3);
+        for (a, n) in analytic.as_slice().iter().zip(numeric.as_slice()) {
+            assert!((a - n).abs() < 1e-3, "entropy grad: {a} vs {n}");
+        }
+    }
+
+    #[test]
+    fn entropy_descent_increases_confidence() {
+        // Stepping logits against the entropy gradient must reduce entropy.
+        let logits = Matrix::from_vec(1, 3, vec![0.5, 0.2, 0.1]).unwrap();
+        let (h0, grad) = entropy_loss(&logits).unwrap();
+        let mut stepped = logits.clone();
+        stepped.axpy(-1.0, &grad).unwrap();
+        let (h1, _) = entropy_loss(&stepped).unwrap();
+        assert!(h1 < h0, "entropy should drop: {h0} -> {h1}");
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions() {
+        let logits = init::normal_matrix(&mut init::rng(3), 5, 6);
+        let probs = softmax_rows(&logits);
+        for i in 0..5 {
+            let sum: f32 = probs.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Optimizers: SGD with momentum and Adam.
+
+/// Optimizer configuration applied uniformly to every trainable parameter
+/// (per-parameter state lives in [`crate::param::Param`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Optimizer {
+    /// Stochastic gradient descent with classical momentum.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+        /// Momentum coefficient (`0.0` disables momentum).
+        momentum: f32,
+    },
+    /// Adam (Kingma & Ba, 2015).
+    Adam {
+        /// Learning rate.
+        lr: f32,
+        /// First-moment decay.
+        beta1: f32,
+        /// Second-moment decay.
+        beta2: f32,
+        /// Numerical-stability epsilon.
+        eps: f32,
+    },
+}
+
+impl Optimizer {
+    /// SGD with the given learning rate and momentum.
+    pub fn sgd(lr: f32, momentum: f32) -> Self {
+        Optimizer::Sgd { lr, momentum }
+    }
+
+    /// Adam with standard betas (`0.9`, `0.999`) and `eps = 1e-8`.
+    pub fn adam(lr: f32) -> Self {
+        Optimizer::Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+    }
+
+    /// The configured learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        match *self {
+            Optimizer::Sgd { lr, .. } | Optimizer::Adam { lr, .. } => lr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Optimizer::sgd(0.1, 0.9).learning_rate(), 0.1);
+        let adam = Optimizer::adam(0.001);
+        assert_eq!(adam.learning_rate(), 0.001);
+        match adam {
+            Optimizer::Adam { beta1, beta2, eps, .. } => {
+                assert_eq!(beta1, 0.9);
+                assert_eq!(beta2, 0.999);
+                assert_eq!(eps, 1e-8);
+            }
+            _ => panic!("expected Adam"),
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Trainable parameters with their gradients and optimizer state.
+
+use smore_tensor::Matrix;
+
+use crate::optim::Optimizer;
+
+/// One trainable tensor: value, accumulated gradient and the per-element
+/// state stateful optimizers (momentum SGD, Adam) require.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Current parameter values.
+    pub value: Matrix,
+    /// Accumulated gradient of the loss with respect to `value`.
+    pub grad: Matrix,
+    velocity: Vec<f32>,
+    adam_m: Vec<f32>,
+    adam_v: Vec<f32>,
+    steps: usize,
+}
+
+impl Param {
+    /// Wraps an initial value as a trainable parameter.
+    pub fn new(value: Matrix) -> Self {
+        let n = value.len();
+        Self {
+            grad: Matrix::zeros(value.rows(), value.cols()),
+            value,
+            velocity: vec![0.0; n],
+            adam_m: vec![0.0; n],
+            adam_v: vec![0.0; n],
+            steps: 0,
+        }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.as_mut_slice().iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Applies one optimizer step using the accumulated gradient, then
+    /// leaves the gradient in place (callers decide when to zero it).
+    pub fn step(&mut self, optimizer: &Optimizer) {
+        self.steps += 1;
+        match *optimizer {
+            Optimizer::Sgd { lr, momentum } => {
+                for ((v, g), w) in self
+                    .velocity
+                    .iter_mut()
+                    .zip(self.grad.as_slice())
+                    .zip(self.value.as_mut_slice())
+                {
+                    *v = momentum * *v - lr * g;
+                    *w += *v;
+                }
+            }
+            Optimizer::Adam { lr, beta1, beta2, eps } => {
+                let t = self.steps as f32;
+                let bc1 = 1.0 - beta1.powf(t);
+                let bc2 = 1.0 - beta2.powf(t);
+                for (((m, v), g), w) in self
+                    .adam_m
+                    .iter_mut()
+                    .zip(self.adam_v.iter_mut())
+                    .zip(self.grad.as_slice())
+                    .zip(self.value.as_mut_slice())
+                {
+                    *m = beta1 * *m + (1.0 - beta1) * g;
+                    *v = beta2 * *v + (1.0 - beta2) * g * g;
+                    let m_hat = *m / bc1;
+                    let v_hat = *v / bc2;
+                    *w -= lr * m_hat / (v_hat.sqrt() + eps);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_without_momentum_is_plain_descent() {
+        let mut p = Param::new(Matrix::filled(1, 2, 1.0));
+        p.grad = Matrix::filled(1, 2, 0.5);
+        p.step(&Optimizer::sgd(0.1, 0.0));
+        assert!(p.value.as_slice().iter().all(|&w| (w - 0.95).abs() < 1e-6));
+    }
+
+    #[test]
+    fn sgd_momentum_accumulates() {
+        let mut p = Param::new(Matrix::filled(1, 1, 0.0));
+        p.grad = Matrix::filled(1, 1, 1.0);
+        let opt = Optimizer::sgd(0.1, 0.9);
+        p.step(&opt); // v = -0.1, w = -0.1
+        p.step(&opt); // v = -0.19, w = -0.29
+        assert!((p.value.get(0, 0) + 0.29).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_moves_against_gradient() {
+        let mut p = Param::new(Matrix::filled(1, 3, 1.0));
+        p.grad = Matrix::from_vec(1, 3, vec![1.0, -1.0, 0.0]).unwrap();
+        p.step(&Optimizer::adam(0.01));
+        assert!(p.value.get(0, 0) < 1.0);
+        assert!(p.value.get(0, 1) > 1.0);
+        assert!((p.value.get(0, 2) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Matrix::filled(2, 2, 1.0));
+        p.grad = Matrix::filled(2, 2, 3.0);
+        p.zero_grad();
+        assert!(p.grad.as_slice().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn adam_step_size_bounded_by_lr() {
+        // Adam's per-step movement is O(lr) regardless of gradient scale.
+        let mut p = Param::new(Matrix::filled(1, 1, 0.0));
+        p.grad = Matrix::filled(1, 1, 1e6);
+        p.step(&Optimizer::adam(0.01));
+        assert!(p.value.get(0, 0).abs() < 0.02);
+    }
+}

@@ -1,0 +1,115 @@
+//! End-to-end gradient checking: the analytic input gradient of a whole
+//! network (conv → BN → ReLU → pool → dense) against central differences
+//! through the composed loss.
+
+use smore_nn::layer::{BatchNorm1d, Conv1d, Dense, GlobalAvgPool1d, GradReversal, Relu};
+use smore_nn::loss;
+use smore_nn::network::Sequential;
+use smore_tensor::{init, Matrix};
+
+fn cnn(time: usize, channels: usize, classes: usize, seed: u64) -> Sequential {
+    let mut net = Sequential::new();
+    let conv = Conv1d::new(time, channels, 4, 3, seed).unwrap();
+    let out_time = conv.out_time();
+    net.push(conv);
+    net.push(BatchNorm1d::new(4).unwrap());
+    net.push(Relu::new());
+    net.push(GlobalAvgPool1d::new(out_time, 4).unwrap());
+    net.push(Dense::new(4, classes, seed + 1).unwrap());
+    net
+}
+
+fn ce_loss(net: &mut Sequential, x: &Matrix, labels: &[usize], training: bool) -> f32 {
+    let logits = net.forward(x, training).unwrap();
+    loss::softmax_cross_entropy(&logits, labels).unwrap().0
+}
+
+#[test]
+fn full_cnn_input_gradient_matches_numeric() {
+    let (time, channels, classes) = (8, 2, 3);
+    let mut net = cnn(time, channels, classes, 42);
+    let x = init::normal_matrix(&mut init::rng(7), 4, time * channels);
+    let labels = vec![0, 1, 2, 1];
+
+    // Analytic input gradient. BN uses batch statistics (training=true) and
+    // the numeric check perturbs through the same statistics.
+    let logits = net.forward(&x, true).unwrap();
+    let (_, grad_logits) = loss::softmax_cross_entropy(&logits, &labels).unwrap();
+    net.zero_grad();
+    let analytic = net.backward(&grad_logits).unwrap();
+
+    let eps = 1e-2;
+    let mut max_err = 0.0f32;
+    for i in 0..x.rows() {
+        for j in 0..x.cols() {
+            let mut xp = x.clone();
+            xp.set(i, j, x.get(i, j) + eps);
+            let mut xm = x.clone();
+            xm.set(i, j, x.get(i, j) - eps);
+            let numeric = (ce_loss(&mut net, &xp, &labels, true)
+                - ce_loss(&mut net, &xm, &labels, true))
+                / (2.0 * eps);
+            let a = analytic.get(i, j);
+            max_err = max_err.max((a - numeric).abs());
+            assert!(
+                (a - numeric).abs() < 5e-2 * (1.0 + numeric.abs()),
+                "input grad [{i},{j}]: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+    assert!(max_err < 0.1, "worst-case gradient error {max_err}");
+}
+
+#[test]
+fn grl_network_reverses_feature_gradient() {
+    // features -> GRL -> dense discriminator. The gradient arriving at the
+    // features must equal -λ times the gradient without the GRL.
+    let x = init::normal_matrix(&mut init::rng(9), 3, 4);
+    let labels = vec![0, 1, 0];
+
+    let mut with_grl = Sequential::new();
+    with_grl.push(GradReversal::new(0.7));
+    with_grl.push(Dense::new(4, 2, 5).unwrap());
+
+    let mut without = Sequential::new();
+    without.push(Dense::new(4, 2, 5).unwrap());
+
+    let logits_a = with_grl.forward(&x, true).unwrap();
+    let logits_b = without.forward(&x, true).unwrap();
+    assert_eq!(logits_a, logits_b, "GRL is identity in the forward pass");
+
+    let (_, grad) = loss::softmax_cross_entropy(&logits_a, &labels).unwrap();
+    let ga = with_grl.backward(&grad).unwrap();
+    let gb = without.backward(&grad).unwrap();
+    for (a, b) in ga.as_slice().iter().zip(gb.as_slice()) {
+        assert!((a + 0.7 * b).abs() < 1e-5, "GRL gradient: {a} vs -0.7*{b}");
+    }
+}
+
+#[test]
+fn cnn_trains_on_separable_waveforms() {
+    // Two waveform classes: slow vs fast square waves across 2 channels.
+    let (time, channels) = (16, 2);
+    let n = 40;
+    let mut x = Matrix::zeros(n, time * channels);
+    let mut labels = Vec::with_capacity(n);
+    let mut rng = init::rng(11);
+    for i in 0..n {
+        let class = i % 2;
+        let period = if class == 0 { 8 } else { 2 };
+        for t in 0..time {
+            for c in 0..channels {
+                let v = if (t / period) % 2 == 0 { 1.0 } else { -1.0 };
+                x.set(i, t * channels + c, v + 0.1 * init::standard_normal(&mut rng));
+            }
+        }
+        labels.push(class);
+    }
+    let mut net = cnn(time, channels, 2, 77);
+    let opt = smore_nn::optim::Optimizer::adam(0.01);
+    for _ in 0..60 {
+        net.train_epoch(&x, &labels, 10, &opt).unwrap();
+    }
+    let acc = net.evaluate(&x, &labels).unwrap();
+    assert!(acc > 0.9, "CNN should separate waveforms, got {acc}");
+}

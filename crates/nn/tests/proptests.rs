@@ -1,0 +1,88 @@
+//! Property-based tests for the neural-network substrate.
+
+use proptest::prelude::*;
+use smore_nn::layer::{Dense, GradReversal, Layer, Relu};
+use smore_nn::loss;
+use smore_tensor::{init, Matrix};
+
+fn finite_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-5.0f32..5.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v).expect("exact length"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dense_forward_is_affine(x in finite_matrix(3, 4), seed in any::<u64>(), a in -2.0f32..2.0) {
+        // f(a·x) - f(0) == a·(f(x) - f(0)) for a linear layer.
+        let mut layer = Dense::new(4, 2, seed).unwrap();
+        let zero = Matrix::zeros(3, 4);
+        let f0 = layer.forward(&zero, true).unwrap();
+        let fx = layer.forward(&x, true).unwrap();
+        let fax = layer.forward(&x.scale(a), true).unwrap();
+        for i in 0..3 {
+            for j in 0..2 {
+                let lhs = fax.get(i, j) - f0.get(i, j);
+                let rhs = a * (fx.get(i, j) - f0.get(i, j));
+                prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + rhs.abs()), "{lhs} vs {rhs}");
+            }
+        }
+    }
+
+    #[test]
+    fn relu_is_idempotent_and_nonnegative(x in finite_matrix(2, 8)) {
+        let mut relu = Relu::new();
+        let once = relu.forward(&x, true).unwrap();
+        let twice = relu.forward(&once, true).unwrap();
+        prop_assert_eq!(&once, &twice);
+        prop_assert!(once.as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn grl_forward_identity_backward_scaled(x in finite_matrix(2, 5), lambda in 0.0f32..3.0) {
+        let mut grl = GradReversal::new(lambda);
+        let out = grl.forward(&x, true).unwrap();
+        prop_assert_eq!(&out, &x);
+        let g = grl.backward(&Matrix::ones(2, 5)).unwrap();
+        prop_assert!(g.as_slice().iter().all(|&v| (v + lambda).abs() < 1e-6));
+    }
+
+    #[test]
+    fn cross_entropy_is_nonnegative_and_label_sensitive(seed in any::<u64>()) {
+        let logits = init::normal_matrix(&mut init::rng(seed), 4, 3);
+        let labels = vec![0usize, 1, 2, 0];
+        let (l, grad) = loss::softmax_cross_entropy(&logits, &labels).unwrap();
+        prop_assert!(l >= 0.0);
+        prop_assert_eq!(grad.shape(), logits.shape());
+        // Each gradient row sums to ~0 (softmax minus one-hot).
+        for i in 0..4 {
+            let s: f32 = grad.row(i).iter().sum();
+            prop_assert!(s.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn entropy_bounded_by_log_classes(seed in any::<u64>(), classes in 2usize..8) {
+        let logits = init::normal_matrix(&mut init::rng(seed), 3, classes);
+        let (h, _) = loss::entropy_loss(&logits).unwrap();
+        prop_assert!(h >= -1e-5);
+        prop_assert!(h <= (classes as f32).ln() + 1e-4);
+    }
+
+    #[test]
+    fn dense_gradient_descent_reduces_loss(seed in 0u64..500) {
+        let mut rng = init::rng(seed);
+        let x = init::normal_matrix(&mut rng, 8, 3);
+        let labels: Vec<usize> = (0..8).map(|i| i % 2).collect();
+        let mut layer = Dense::new(3, 2, seed).unwrap();
+        let logits = layer.forward(&x, true).unwrap();
+        let (before, grad) = loss::softmax_cross_entropy(&logits, &labels).unwrap();
+        layer.zero_grad();
+        layer.backward(&grad).unwrap();
+        layer.update(&smore_nn::optim::Optimizer::sgd(0.05, 0.0));
+        let logits = layer.forward(&x, true).unwrap();
+        let (after, _) = loss::softmax_cross_entropy(&logits, &labels).unwrap();
+        prop_assert!(after <= before + 1e-4, "one SGD step should not increase loss: {before} -> {after}");
+    }
+}

@@ -1,0 +1,163 @@
+//! Edge-platform cost models for the SMORE efficiency experiments.
+//!
+//! The paper measures inference latency and energy on a Raspberry Pi 3B+
+//! and an NVIDIA Jetson Nano (§4.1.1, Figure 6b). Those boards are not
+//! available here, so this crate substitutes *analytic device models*
+//! (DESIGN.md substitution #2): each algorithm exposes an operation
+//! profile (floating-point work + memory traffic) and each device a
+//! compute/bandwidth/power envelope; latency follows the roofline model
+//! and energy is latency × sustained power.
+//!
+//! Absolute numbers are estimates; the *relative* ordering the paper
+//! reports (HDC inference ≫ CNN-DA inference on-device, TENT paying a
+//! multiplicative adaptation overhead) derives from the op counts, which
+//! are modelled faithfully.
+//!
+//! # Example
+//!
+//! ```
+//! use smore_platform::{device, profiles, roofline_latency, energy};
+//!
+//! let pi = device::raspberry_pi_3b();
+//! // One SMORE inference on a USC-HAD-like window (8k dims, 4 domains).
+//! let profile = profiles::smore_infer(1, 126, 6, 8192, 3, 4, 12);
+//! let latency = roofline_latency(&profile, &pi);
+//! let joules = energy(latency, &pi);
+//! assert!(latency > 0.0 && joules > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod profiles;
+
+pub use device::DeviceSpec;
+
+/// An algorithm's resource demand: floating-point operations and bytes of
+/// memory traffic (a multiply-accumulate counts as two FLOPs).
+///
+/// `efficiency_mult` captures how well the workload's kernels exploit the
+/// device relative to its baseline efficiency: HDC's long contiguous
+/// vector loops vectorise nearly perfectly (`2.0`), plain CNN inference is
+/// the baseline (`1.0`), and training-style passes (backward strided
+/// access, optimizer bookkeeping — what TENT runs at test time) fall below
+/// it (`0.6`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct OpProfile {
+    /// Floating-point operations.
+    pub flops: f64,
+    /// Bytes moved to/from memory (streaming estimate).
+    pub bytes: f64,
+    /// Relative kernel efficiency (see type docs).
+    pub efficiency_mult: f64,
+}
+
+impl Default for OpProfile {
+    fn default() -> Self {
+        Self { flops: 0.0, bytes: 0.0, efficiency_mult: 1.0 }
+    }
+}
+
+impl OpProfile {
+    /// A profile with the given FLOPs and bytes at baseline efficiency.
+    pub fn new(flops: f64, bytes: f64) -> Self {
+        Self { flops, bytes, efficiency_mult: 1.0 }
+    }
+
+    /// Sets the relative kernel efficiency.
+    pub fn with_efficiency(mut self, efficiency_mult: f64) -> Self {
+        self.efficiency_mult = efficiency_mult;
+        self
+    }
+
+    /// Component-wise sum; the combined efficiency is the FLOP-weighted
+    /// average so mixing a fast and a slow phase stays meaningful.
+    pub fn plus(self, other: Self) -> Self {
+        let flops = self.flops + other.flops;
+        let efficiency_mult = if flops > 0.0 {
+            (self.flops * self.efficiency_mult + other.flops * other.efficiency_mult) / flops
+        } else {
+            1.0
+        };
+        Self { flops, bytes: self.bytes + other.bytes, efficiency_mult }
+    }
+
+    /// Scales the workload size (e.g. by a batch size or epoch count).
+    pub fn scaled(self, factor: f64) -> Self {
+        Self { flops: self.flops * factor, bytes: self.bytes * factor, ..self }
+    }
+}
+
+impl std::ops::Add for OpProfile {
+    type Output = OpProfile;
+
+    fn add(self, rhs: OpProfile) -> OpProfile {
+        self.plus(rhs)
+    }
+}
+
+/// Roofline latency estimate in seconds: the work is bound either by the
+/// device's effective compute throughput (scaled by the workload's kernel
+/// efficiency) or by its memory bandwidth, whichever is slower.
+pub fn roofline_latency(profile: &OpProfile, device: &DeviceSpec) -> f64 {
+    let compute_s = profile.flops / (device.effective_flops() * profile.efficiency_mult.max(1e-6));
+    let memory_s = profile.bytes / device.effective_bandwidth();
+    compute_s.max(memory_s)
+}
+
+/// Energy estimate in joules: latency × sustained board power.
+pub fn energy(latency_seconds: f64, device: &DeviceSpec) -> f64 {
+    latency_seconds * device.power_watts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_arithmetic() {
+        let a = OpProfile::new(10.0, 4.0);
+        let b = OpProfile::new(5.0, 1.0);
+        let sum = a + b;
+        assert_eq!(sum.flops, 15.0);
+        assert_eq!(sum.bytes, 5.0);
+        let scaled = a.scaled(3.0);
+        assert_eq!(scaled.flops, 30.0);
+        assert_eq!(scaled.bytes, 12.0);
+        assert_eq!(OpProfile::default().flops, 0.0);
+    }
+
+    #[test]
+    fn roofline_picks_the_binding_resource()
+    {
+        let device = device::raspberry_pi_3b();
+        // Compute-bound: enormous flops, no memory.
+        let compute = OpProfile::new(1e12, 0.0);
+        // Memory-bound: no flops, enormous traffic.
+        let memory = OpProfile::new(0.0, 1e12);
+        let tc = roofline_latency(&compute, &device);
+        let tm = roofline_latency(&memory, &device);
+        assert!(tc > 0.0 && tm > 0.0);
+        // Mixed work takes the max of the two bounds, not their sum.
+        let mixed = roofline_latency(&OpProfile::new(1e12, 1e12), &device);
+        assert!((mixed - tc.max(tm)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_scales_with_power() {
+        let pi = device::raspberry_pi_3b();
+        let xeon = device::xeon_silver_4310();
+        assert!(energy(1.0, &xeon) > energy(1.0, &pi), "120 W server burns more than 5 W board");
+        assert_eq!(energy(0.0, &pi), 0.0);
+    }
+
+    #[test]
+    fn faster_device_has_lower_latency() {
+        let profile = OpProfile::new(1e9, 1e6);
+        let pi = roofline_latency(&profile, &device::raspberry_pi_3b());
+        let nano = roofline_latency(&profile, &device::jetson_nano());
+        let xeon = roofline_latency(&profile, &device::xeon_silver_4310());
+        assert!(xeon < nano && nano < pi, "xeon {xeon} < nano {nano} < pi {pi}");
+    }
+}

@@ -1,0 +1,89 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for all fallible tensor operations.
+///
+/// Every public constructor and operation that can fail returns
+/// `Result<_, TensorError>`; the crate never panics on user input apart from
+/// indexing, which documents its panic conditions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// Two operands had incompatible shapes.
+    ShapeMismatch {
+        /// Shape of the left operand as `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        right: (usize, usize),
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// A buffer length did not match the requested dimensions.
+    LengthMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// A dimension argument was zero or otherwise invalid.
+    InvalidDimension {
+        /// Human-readable description of the invalid argument.
+        what: &'static str,
+    },
+    /// An operation encountered a non-finite value where finiteness is required.
+    NonFinite {
+        /// Name of the operation that rejected the value.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { left, right, op } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected} elements, got {actual}")
+            }
+            TensorError::InvalidDimension { what } => write!(f, "invalid dimension: {what}"),
+            TensorError::NonFinite { op } => write!(f, "non-finite value encountered in {op}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch { left: (2, 3), right: (4, 5), op: "matmul" };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("2x3"));
+        assert!(s.contains("4x5"));
+    }
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = TensorError::LengthMismatch { expected: 6, actual: 5 };
+        assert_eq!(e.to_string(), "length mismatch: expected 6 elements, got 5");
+    }
+
+    #[test]
+    fn display_invalid_dimension() {
+        let e = TensorError::InvalidDimension { what: "rows must be non-zero" };
+        assert!(e.to_string().contains("rows must be non-zero"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,152 @@
+//! Seeded random initialisation.
+//!
+//! Every source of randomness in the workspace flows through explicit `u64`
+//! seeds so experiments are reproducible bit-for-bit. Normal variates are
+//! produced by a Box–Muller transform to avoid depending on `rand_distr`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Matrix;
+
+/// Creates the workspace-standard RNG from a seed.
+///
+/// # Example
+///
+/// ```
+/// use rand::Rng;
+/// let mut a = smore_tensor::init::rng(7);
+/// let mut b = smore_tensor::init::rng(7);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Samples a standard normal variate using the Box–Muller transform.
+pub fn standard_normal(rng: &mut impl Rng) -> f32 {
+    // Box–Muller: u1 in (0,1] to keep ln() finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen::<f64>();
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+/// Fills a vector with `n` standard normal variates.
+pub fn normal_vec(rng: &mut impl Rng, n: usize) -> Vec<f32> {
+    (0..n).map(|_| standard_normal(rng)).collect()
+}
+
+/// Fills a vector with `n` uniform variates from `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi` (propagated from the RNG range check).
+pub fn uniform_vec(rng: &mut impl Rng, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Fills a vector with `n` Rademacher (±1) variates.
+pub fn bipolar_vec(rng: &mut impl Rng, n: usize) -> Vec<f32> {
+    (0..n).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect()
+}
+
+/// Matrix of standard normal variates.
+pub fn normal_matrix(rng: &mut impl Rng, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_vec(rows, cols, normal_vec(rng, rows * cols))
+        .expect("normal_vec produces exactly rows*cols elements")
+}
+
+/// Matrix of uniform variates from `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn uniform_matrix(rng: &mut impl Rng, rows: usize, cols: usize, lo: f32, hi: f32) -> Matrix {
+    Matrix::from_vec(rows, cols, uniform_vec(rng, rows * cols, lo, hi))
+        .expect("uniform_vec produces exactly rows*cols elements")
+}
+
+/// Matrix of Rademacher (±1) variates — the bipolar item memories of HDC.
+pub fn bipolar_matrix(rng: &mut impl Rng, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_vec(rows, cols, bipolar_vec(rng, rows * cols))
+        .expect("bipolar_vec produces exactly rows*cols elements")
+}
+
+/// Xavier/Glorot uniform initialisation for a dense layer `fan_in -> fan_out`.
+///
+/// Draws from `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`; the standard
+/// choice for the tanh/linear layers in the CNN baselines.
+pub fn xavier_uniform(rng: &mut impl Rng, fan_in: usize, fan_out: usize) -> Matrix {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform_matrix(rng, fan_in, fan_out, -a, a)
+}
+
+/// He (Kaiming) normal initialisation scaled for ReLU non-linearities.
+pub fn he_normal(rng: &mut impl Rng, fan_in: usize, fan_out: usize) -> Matrix {
+    let std = (2.0 / fan_in as f32).sqrt();
+    let mut m = normal_matrix(rng, fan_in, fan_out);
+    m.scale_inplace(std);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vecops;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let a = normal_vec(&mut rng(42), 16);
+        let b = normal_vec(&mut rng(42), 16);
+        assert_eq!(a, b);
+        let c = normal_vec(&mut rng(43), 16);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let v = normal_vec(&mut rng(1), 20_000);
+        let m = vecops::mean(&v);
+        let var = vecops::variance(&v);
+        assert!(m.abs() < 0.05, "mean {m} too far from 0");
+        assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let v = uniform_vec(&mut rng(2), 1000, -0.5, 0.5);
+        assert!(v.iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn bipolar_is_plus_minus_one_and_balanced() {
+        let v = bipolar_vec(&mut rng(3), 10_000);
+        assert!(v.iter().all(|&x| x == 1.0 || x == -1.0));
+        let balance = vecops::mean(&v);
+        assert!(balance.abs() < 0.05, "bipolar imbalance {balance}");
+    }
+
+    #[test]
+    fn random_bipolar_vectors_nearly_orthogonal() {
+        let mut r = rng(4);
+        let a = bipolar_vec(&mut r, 8192);
+        let b = bipolar_vec(&mut r, 8192);
+        let sim = vecops::cosine(&a, &b);
+        assert!(sim.abs() < 0.05, "random hypervectors should be near-orthogonal, got {sim}");
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let m = xavier_uniform(&mut rng(5), 64, 32);
+        let a = (6.0f32 / 96.0).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= a));
+        assert_eq!(m.shape(), (64, 32));
+    }
+
+    #[test]
+    fn he_normal_scale() {
+        let m = he_normal(&mut rng(6), 100, 50);
+        let var = vecops::variance(m.as_slice());
+        assert!((var - 0.02).abs() < 0.005, "He variance {var} should be near 2/fan_in = 0.02");
+    }
+}

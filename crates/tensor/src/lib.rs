@@ -1,0 +1,37 @@
+//! Minimal linear-algebra substrate for the SMORE reproduction.
+//!
+//! The crate provides exactly the numeric kernel the rest of the workspace
+//! needs — a row-major [`Matrix`] of `f32`, dense vector operations, seeded
+//! random initialisation and axis statistics — without pulling a general
+//! array library. Everything is deterministic given a seed and safe Rust.
+//!
+//! # Example
+//!
+//! ```
+//! use smore_tensor::{Matrix, vecops};
+//!
+//! # fn main() -> Result<(), smore_tensor::TensorError> {
+//! let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])?;
+//! let b = a.transpose();
+//! let c = a.matmul(&b)?; // 2x2
+//! assert_eq!(c.shape(), (2, 2));
+//! let sim = vecops::cosine(a.row(0), a.row(1));
+//! assert!(sim > 0.9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod matrix;
+pub mod init;
+pub mod parallel;
+pub mod stats;
+pub mod vecops;
+
+pub use error::TensorError;
+pub use matrix::Matrix;
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,164 @@
+//! Scoped-thread parallel helpers built on `crossbeam`.
+//!
+//! The workspace parallelises embarrassingly parallel loops — encoding
+//! thousands of windows, scoring query batches — by chunking the work across
+//! a small fixed thread pool. Results are written into disjoint output
+//! slices so no locking is required.
+
+use crossbeam::thread;
+
+/// Default number of worker threads: the available parallelism, capped at 8.
+///
+/// The cap keeps thread-spawn overhead negligible for the medium-sized
+/// batches this workspace processes.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+}
+
+/// Applies `f` to every (input, output) pair in parallel.
+///
+/// Inputs and outputs are zipped element-wise; the slice pair is split into
+/// contiguous chunks, one per worker. `f` must be `Sync` because all workers
+/// share it.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != outputs.len()` or if a worker thread panics.
+///
+/// # Example
+///
+/// ```
+/// let inputs = vec![1.0f32, 2.0, 3.0, 4.0];
+/// let mut outputs = vec![0.0f32; 4];
+/// smore_tensor::parallel::par_map_into(&inputs, &mut outputs, 2, |&x| x * 10.0);
+/// assert_eq!(outputs, vec![10.0, 20.0, 30.0, 40.0]);
+/// ```
+pub fn par_map_into<I, O, F>(inputs: &[I], outputs: &mut [O], threads: usize, f: F)
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    assert_eq!(inputs.len(), outputs.len(), "par_map_into: length mismatch");
+    let n = inputs.len();
+    if n == 0 {
+        return;
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        for (o, i) in outputs.iter_mut().zip(inputs) {
+            *o = f(i);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    thread::scope(|s| {
+        let mut rest_in = inputs;
+        let mut rest_out = &mut outputs[..];
+        while !rest_in.is_empty() {
+            let take = chunk.min(rest_in.len());
+            let (in_head, in_tail) = rest_in.split_at(take);
+            let (out_head, out_tail) = rest_out.split_at_mut(take);
+            rest_in = in_tail;
+            rest_out = out_tail;
+            let f = &f;
+            s.spawn(move |_| {
+                for (o, i) in out_head.iter_mut().zip(in_head) {
+                    *o = f(i);
+                }
+            });
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+/// Runs `f(start, chunk)` over disjoint chunks of `outputs` in parallel.
+///
+/// Useful when the work needs the global index of each element (e.g. filling
+/// row `i` of a result from sample `i`).
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn par_chunks_indexed<O, F>(outputs: &mut [O], threads: usize, f: F)
+where
+    O: Send,
+    F: Fn(usize, &mut [O]) + Sync,
+{
+    let n = outputs.len();
+    if n == 0 {
+        return;
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        f(0, outputs);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    thread::scope(|s| {
+        let mut start = 0usize;
+        let mut rest = &mut outputs[..];
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let f = &f;
+            let this_start = start;
+            start += take;
+            s.spawn(move |_| f(this_start, head));
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_serial() {
+        let inputs: Vec<f32> = (0..1000).map(|i| i as f32).collect();
+        let mut par = vec![0.0f32; 1000];
+        par_map_into(&inputs, &mut par, 4, |&x| x * x + 1.0);
+        let serial: Vec<f32> = inputs.iter().map(|&x| x * x + 1.0).collect();
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn par_map_single_thread_and_empty() {
+        let inputs = vec![2.0f32];
+        let mut out = vec![0.0f32];
+        par_map_into(&inputs, &mut out, 1, |&x| x + 1.0);
+        assert_eq!(out, vec![3.0]);
+
+        let empty_in: Vec<f32> = vec![];
+        let mut empty_out: Vec<f32> = vec![];
+        par_map_into(&empty_in, &mut empty_out, 4, |&x| x);
+        assert!(empty_out.is_empty());
+    }
+
+    #[test]
+    fn par_map_more_threads_than_items() {
+        let inputs = vec![1.0f32, 2.0];
+        let mut out = vec![0.0f32; 2];
+        par_map_into(&inputs, &mut out, 16, |&x| -x);
+        assert_eq!(out, vec![-1.0, -2.0]);
+    }
+
+    #[test]
+    fn par_chunks_indexed_sees_global_indices() {
+        let mut out = vec![0usize; 100];
+        par_chunks_indexed(&mut out, 4, |start, chunk| {
+            for (k, o) in chunk.iter_mut().enumerate() {
+                *o = start + k;
+            }
+        });
+        let expected: Vec<usize> = (0..100).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,211 @@
+//! Axis statistics and feature standardisation.
+//!
+//! The dataset pipeline fits per-channel statistics on training data and
+//! applies them to both splits, so normalisation can never leak information
+//! from the evaluation domain (the exact leak the paper's Figure 1(b)
+//! criticises standard k-fold for introducing at the *sampling* level).
+
+use crate::{Matrix, Result, TensorError};
+
+/// Per-column mean of a matrix (length = `cols`).
+pub fn col_mean(m: &Matrix) -> Vec<f32> {
+    let (rows, cols) = m.shape();
+    let mut acc = vec![0.0f64; cols];
+    for row in m.iter_rows() {
+        for (a, &x) in acc.iter_mut().zip(row) {
+            *a += x as f64;
+        }
+    }
+    let n = rows.max(1) as f64;
+    acc.into_iter().map(|a| (a / n) as f32).collect()
+}
+
+/// Per-column population standard deviation (length = `cols`).
+pub fn col_std(m: &Matrix) -> Vec<f32> {
+    let (rows, cols) = m.shape();
+    let means = col_mean(m);
+    let mut acc = vec![0.0f64; cols];
+    for row in m.iter_rows() {
+        for ((a, &x), &mu) in acc.iter_mut().zip(row).zip(&means) {
+            let d = x as f64 - mu as f64;
+            *a += d * d;
+        }
+    }
+    let n = rows.max(1) as f64;
+    acc.into_iter().map(|a| (a / n).sqrt() as f32).collect()
+}
+
+/// Per-column minimum (length = `cols`); `+inf` entries for an empty matrix.
+pub fn col_min(m: &Matrix) -> Vec<f32> {
+    let mut out = vec![f32::INFINITY; m.cols()];
+    for row in m.iter_rows() {
+        for (o, &x) in out.iter_mut().zip(row) {
+            if x < *o {
+                *o = x;
+            }
+        }
+    }
+    out
+}
+
+/// Per-column maximum (length = `cols`); `-inf` entries for an empty matrix.
+pub fn col_max(m: &Matrix) -> Vec<f32> {
+    let mut out = vec![f32::NEG_INFINITY; m.cols()];
+    for row in m.iter_rows() {
+        for (o, &x) in out.iter_mut().zip(row) {
+            if x > *o {
+                *o = x;
+            }
+        }
+    }
+    out
+}
+
+/// A fitted standardiser: `x -> (x - mean) / std` per column.
+///
+/// Columns with (near-)zero spread divide by `1.0` instead, leaving constant
+/// features centred but un-scaled.
+///
+/// # Example
+///
+/// ```
+/// use smore_tensor::{Matrix, stats::Standardizer};
+///
+/// # fn main() -> Result<(), smore_tensor::TensorError> {
+/// let train = Matrix::from_vec(3, 1, vec![0.0, 10.0, 20.0])?;
+/// let s = Standardizer::fit(&train);
+/// let z = s.transform(&train)?;
+/// assert!(z.col_to_vec(0).iter().sum::<f32>().abs() < 1e-5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Standardizer {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl Standardizer {
+    /// Fits per-column statistics on `train`.
+    pub fn fit(train: &Matrix) -> Self {
+        let mean = col_mean(train);
+        let std = col_std(train)
+            .into_iter()
+            .map(|s| if s > 1e-8 { s } else { 1.0 })
+            .collect();
+        Self { mean, std }
+    }
+
+    /// Number of features the standardiser was fitted on.
+    pub fn num_features(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Fitted per-column means.
+    pub fn mean(&self) -> &[f32] {
+        &self.mean
+    }
+
+    /// Fitted per-column standard deviations (zero-spread columns report 1.0).
+    pub fn std(&self) -> &[f32] {
+        &self.std
+    }
+
+    /// Applies the fitted transform to a new matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the column count differs
+    /// from the fitted feature count.
+    pub fn transform(&self, m: &Matrix) -> Result<Matrix> {
+        if m.cols() != self.mean.len() {
+            return Err(TensorError::ShapeMismatch {
+                left: m.shape(),
+                right: (1, self.mean.len()),
+                op: "standardize",
+            });
+        }
+        let mut out = m.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            for ((x, &mu), &sd) in row.iter_mut().zip(&self.mean).zip(&self.std) {
+                *x = (*x - mu) / sd;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_vec(3, 2, vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0]).unwrap()
+    }
+
+    #[test]
+    fn col_mean_known() {
+        assert_eq!(col_mean(&sample()), vec![2.0, 20.0]);
+    }
+
+    #[test]
+    fn col_std_known() {
+        let s = col_std(&sample());
+        let expected = (2.0f32 / 3.0).sqrt();
+        assert!((s[0] - expected).abs() < 1e-6);
+        assert!((s[1] - 10.0 * expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn col_min_max_known() {
+        assert_eq!(col_min(&sample()), vec![1.0, 10.0]);
+        assert_eq!(col_max(&sample()), vec![3.0, 30.0]);
+    }
+
+    #[test]
+    fn empty_matrix_stats() {
+        let m = Matrix::zeros(0, 3);
+        assert_eq!(col_mean(&m), vec![0.0, 0.0, 0.0]);
+        assert!(col_min(&m).iter().all(|x| x.is_infinite()));
+    }
+
+    #[test]
+    fn standardizer_zero_mean_unit_std() {
+        let m = sample();
+        let s = Standardizer::fit(&m);
+        let z = s.transform(&m).unwrap();
+        for j in 0..2 {
+            let col = z.col_to_vec(j);
+            assert!(crate::vecops::mean(&col).abs() < 1e-6);
+            assert!((crate::vecops::variance(&col) - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn standardizer_constant_column_safe() {
+        let m = Matrix::from_vec(3, 1, vec![5.0, 5.0, 5.0]).unwrap();
+        let s = Standardizer::fit(&m);
+        let z = s.transform(&m).unwrap();
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+        assert_eq!(s.std(), &[1.0]);
+    }
+
+    #[test]
+    fn standardizer_rejects_wrong_width() {
+        let s = Standardizer::fit(&sample());
+        let bad = Matrix::zeros(1, 3);
+        assert!(matches!(s.transform(&bad), Err(TensorError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn standardizer_applies_train_stats_to_test() {
+        let train = Matrix::from_vec(2, 1, vec![0.0, 2.0]).unwrap();
+        let test = Matrix::from_vec(1, 1, vec![4.0]).unwrap();
+        let s = Standardizer::fit(&train);
+        let z = s.transform(&test).unwrap();
+        // mean 1, std 1 => (4-1)/1 = 3
+        assert!((z.get(0, 0) - 3.0).abs() < 1e-6);
+    }
+}

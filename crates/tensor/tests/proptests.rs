@@ -1,0 +1,97 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use smore_tensor::{init, stats, vecops, Matrix};
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, len)
+}
+
+proptest! {
+    #[test]
+    fn dot_commutative(a in finite_vec(64), b in finite_vec(64)) {
+        let ab = vecops::dot(&a, &b);
+        let ba = vecops::dot(&b, &a);
+        prop_assert!((ab - ba).abs() <= 1e-3 * (1.0 + ab.abs()));
+    }
+
+    #[test]
+    fn cosine_bounded(a in finite_vec(32), b in finite_vec(32)) {
+        let c = vecops::cosine(&a, &b);
+        prop_assert!((-1.0 - 1e-5..=1.0 + 1e-5).contains(&c), "cosine {c} out of bounds");
+    }
+
+    #[test]
+    fn cosine_scale_invariant(a in finite_vec(32), b in finite_vec(32), s in 0.01f32..50.0) {
+        let c1 = vecops::cosine(&a, &b);
+        let scaled: Vec<f32> = a.iter().map(|&x| x * s).collect();
+        let c2 = vecops::cosine(&scaled, &b);
+        prop_assert!((c1 - c2).abs() < 1e-3, "cosine not scale invariant: {c1} vs {c2}");
+    }
+
+    #[test]
+    fn norm_triangle_inequality(a in finite_vec(32), b in finite_vec(32)) {
+        let sum: Vec<f32> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        prop_assert!(vecops::norm(&sum) <= vecops::norm(&a) + vecops::norm(&b) + 1e-3);
+    }
+
+    #[test]
+    fn softmax_is_distribution(mut a in finite_vec(16)) {
+        vecops::softmax(&mut a);
+        let sum: f32 = a.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(a.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn transpose_involution(rows in 1usize..8, cols in 1usize..8, seed in any::<u64>()) {
+        let m = init::normal_matrix(&mut init::rng(seed), rows, cols);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(seed in any::<u64>()) {
+        let mut r = init::rng(seed);
+        let a = init::normal_matrix(&mut r, 3, 4);
+        let b = init::normal_matrix(&mut r, 4, 2);
+        let c = init::normal_matrix(&mut r, 4, 2);
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn matmul_t_agrees_with_explicit_transpose(seed in any::<u64>()) {
+        let mut r = init::rng(seed);
+        let a = init::normal_matrix(&mut r, 5, 6);
+        let b = init::normal_matrix(&mut r, 3, 6);
+        let fast = a.matmul_t(&b).unwrap();
+        let slow = a.matmul(&b.transpose()).unwrap();
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn standardizer_roundtrip_shape(rows in 2usize..20, cols in 1usize..8, seed in any::<u64>()) {
+        let m = init::uniform_matrix(&mut init::rng(seed), rows, cols, -5.0, 5.0);
+        let s = stats::Standardizer::fit(&m);
+        let z = s.transform(&m).unwrap();
+        prop_assert_eq!(z.shape(), m.shape());
+        for j in 0..cols {
+            let col = z.col_to_vec(j);
+            prop_assert!(vecops::mean(&col).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn select_rows_preserves_content(seed in any::<u64>(), idx in prop::collection::vec(0usize..6, 1..10)) {
+        let m = init::normal_matrix(&mut init::rng(seed), 6, 3);
+        let s = m.select_rows(&idx);
+        for (k, &i) in idx.iter().enumerate() {
+            prop_assert_eq!(s.row(k), m.row(i));
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Edge deployment planning: estimate the latency and energy of SMORE and
+//! the CNN-based DA baselines on embedded platforms before shipping.
+//!
+//! ```text
+//! cargo run --release --example edge_deployment
+//! ```
+
+use smore_platform::{device, energy, profiles, roofline_latency};
+
+fn main() {
+    // Deployment scenario: a PAMAP2-class wearable workload — 27 sensor
+    // channels, 1.27 s windows at 100 Hz, 18 activities, SMORE trained on
+    // 3 source domains at d = 8192. One hour of monitoring produces one
+    // window per 0.635 s (50% overlap) ≈ 5669 windows.
+    let windows_per_hour = 5_669usize;
+    let (time, channels, classes, domains) = (127, 27, 18, 3);
+
+    println!("Deployment planning: {windows_per_hour} windows/hour (PAMAP2-class workload)\n");
+    for board in [device::raspberry_pi_3b(), device::jetson_nano(), device::xeon_silver_4310()] {
+        println!("== {} ({} W) ==", board.name, board.power_watts);
+        let scenarios = [
+            (
+                "SMORE (d=8192)",
+                profiles::smore_infer(windows_per_hour, time, channels, 8192, 3, domains, classes),
+            ),
+            (
+                "BaselineHD (d=8192)",
+                profiles::baseline_hd_infer(windows_per_hour, time * channels, 8192, classes),
+            ),
+            (
+                "TENT (10 adaptation steps)",
+                profiles::tent_infer(windows_per_hour, time, channels, 64, 64, 5, 256, classes, 10),
+            ),
+            (
+                "MDANs (forward only)",
+                profiles::mdan_infer(windows_per_hour, time, channels, 64, 64, 5, 256, classes),
+            ),
+        ];
+        for (name, profile) in scenarios {
+            let latency = roofline_latency(&profile, &board);
+            let joules = energy(latency, &board);
+            let duty_cycle = 100.0 * latency / 3600.0;
+            println!(
+                "  {name:<28} {latency:>8.1} s/hour of data  {joules:>8.1} J  ({duty_cycle:.2}% duty cycle)"
+            );
+        }
+        println!();
+    }
+    println!("A sub-1% duty cycle leaves the board asleep almost all the time — the");
+    println!("difference between a day and a week of battery for a wearable hub.");
+}

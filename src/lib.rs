@@ -1,0 +1,22 @@
+//! Umbrella crate for the SMORE (DAC 2024) reproduction workspace.
+//!
+//! This crate re-exports the member crates so the runnable examples under
+//! `examples/` and the integration tests under `tests/` can reach the whole
+//! system through a single dependency. Library users should depend on the
+//! individual crates directly:
+//!
+//! - [`smore`] — the paper's contribution (domain-adaptive HDC inference)
+//! - [`smore_hdc`] — hypervector algebra and the multi-sensor encoder
+//! - [`smore_data`] — synthetic multi-sensor time series datasets
+//! - [`smore_nn`] — the neural-network substrate used by the CNN baselines
+//! - [`smore_baselines`] — BaselineHD, DOMINO, TENT and MDANs
+//! - [`smore_platform`] — edge-device latency/energy models
+//! - [`smore_tensor`] — the linear-algebra substrate
+
+pub use smore;
+pub use smore_baselines;
+pub use smore_data;
+pub use smore_hdc;
+pub use smore_nn;
+pub use smore_platform;
+pub use smore_tensor;

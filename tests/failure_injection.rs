@@ -1,0 +1,165 @@
+//! Failure injection: malformed inputs must produce typed errors, never
+//! panics or silent corruption, across every public training/inference
+//! path.
+
+use smore::pipeline::{TaskMeta, WindowClassifier};
+use smore::{Smore, SmoreConfig, SmoreError};
+use smore_baselines::baseline_hd::{BaselineHd, BaselineHdConfig};
+use smore_data::generator::{generate, DomainSpec, GeneratorConfig};
+use smore_hdc::encoder::{EncoderConfig, MultiSensorEncoder};
+use smore_tensor::Matrix;
+
+fn dataset() -> smore_data::Dataset {
+    generate(&GeneratorConfig {
+        name: "failure".into(),
+        num_classes: 3,
+        channels: 2,
+        window_len: 16,
+        sample_rate_hz: 20.0,
+        domains: vec![
+            DomainSpec { subjects: vec![0], windows: 24 },
+            DomainSpec { subjects: vec![1], windows: 24 },
+            DomainSpec { subjects: vec![2], windows: 24 },
+        ],
+        shift_severity: 1.0,
+        seed: 3,
+    })
+    .unwrap()
+}
+
+fn smore_model() -> Smore {
+    Smore::new(
+        SmoreConfig::builder().dim(512).channels(2).num_classes(3).epochs(5).build().unwrap(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn nan_windows_do_not_poison_smore() {
+    let ds = dataset();
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    let (mut windows, labels, domains) = ds.gather(&idx);
+    // Inject NaN and infinity into several training windows.
+    windows[0].set(3, 0, f32::NAN);
+    windows[1].set(5, 1, f32::INFINITY);
+    windows[2].set(0, 0, f32::NEG_INFINITY);
+    let mut model = smore_model();
+    model.fit(&windows, &labels, &domains).unwrap();
+    let p = model.predict_window(&windows[0]).unwrap();
+    assert!(p.delta_max.is_finite(), "NaN input must not produce NaN similarity");
+    // A NaN query also survives.
+    let mut bad_query = windows[3].clone();
+    bad_query.map_inplace(|_| f32::NAN);
+    let p = model.predict_window(&bad_query).unwrap();
+    assert!(p.label < 3);
+}
+
+#[test]
+fn wrong_channel_count_is_a_typed_error() {
+    let ds = dataset();
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    let (windows, labels, domains) = ds.gather(&idx);
+    let mut model = smore_model();
+    model.fit(&windows, &labels, &domains).unwrap();
+    let wrong = Matrix::zeros(16, 5);
+    let err = model.predict_window(&wrong).unwrap_err();
+    assert!(matches!(err, SmoreError::Hdc(_)), "expected an HDC shape error, got {err}");
+}
+
+#[test]
+fn window_shorter_than_ngram_is_a_typed_error() {
+    let ds = dataset();
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    let (windows, labels, domains) = ds.gather(&idx);
+    let mut model = smore_model();
+    model.fit(&windows, &labels, &domains).unwrap();
+    let short = Matrix::zeros(2, 2); // trigram needs at least 3 steps
+    assert!(model.predict_window(&short).is_err());
+}
+
+#[test]
+fn single_domain_training_is_rejected() {
+    let ds = dataset();
+    let only_domain_zero = ds.domain_indices(0).unwrap();
+    let (windows, labels, domains) = ds.gather(&only_domain_zero);
+    let mut model = smore_model();
+    assert!(matches!(
+        model.fit(&windows, &labels, &domains),
+        Err(SmoreError::TooFewDomains { found: 1 })
+    ));
+}
+
+#[test]
+fn corrupt_labels_are_rejected_before_training_starts() {
+    let ds = dataset();
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    let (windows, mut labels, domains) = ds.gather(&idx);
+    labels[10] = 99;
+    let mut model = smore_model();
+    assert!(model.fit(&windows, &labels, &domains).is_err());
+    // The failed fit must not leave a half-fitted model behind.
+    assert!(!model.is_fitted());
+}
+
+#[test]
+fn degenerate_constant_windows_still_classify() {
+    // All-constant windows (dead sensor) must flow through quantisation,
+    // training and prediction without NaNs.
+    let meta = TaskMeta { num_classes: 2, num_domains: 2, channels: 2, window_len: 16 };
+    let windows: Vec<Matrix> = (0..24)
+        .map(|i| Matrix::filled(16, 2, if i % 2 == 0 { 1.0 } else { -1.0 }))
+        .collect();
+    let labels: Vec<usize> = (0..24).map(|i| i % 2).collect();
+    let domains: Vec<usize> = (0..24).map(|i| (i / 12) % 2).collect();
+    let mut model = Smore::new(
+        SmoreConfig::builder().dim(256).channels(2).num_classes(2).epochs(5).build().unwrap(),
+    )
+    .unwrap();
+    model.fit(&windows, &labels, &domains).unwrap();
+    let p = model.predict_window(&windows[0]).unwrap();
+    assert!(p.delta_max.is_finite());
+
+    // BaselineHD handles the same degenerate input.
+    let mut baseline = BaselineHd::new(BaselineHdConfig {
+        dim: 256,
+        epochs: 5,
+        ..BaselineHdConfig::default()
+    });
+    baseline.fit(&windows, &labels, &domains, &meta).unwrap();
+    let preds = baseline.predict(&windows[..4]).unwrap();
+    assert_eq!(preds.len(), 4);
+}
+
+#[test]
+fn encoder_rejects_impossible_configs_not_panics() {
+    for config in [
+        EncoderConfig { dim: 0, sensors: 2, ..EncoderConfig::default() },
+        EncoderConfig { dim: 64, sensors: 0, ..EncoderConfig::default() },
+        EncoderConfig { dim: 64, sensors: 1, ngram: 0, ..EncoderConfig::default() },
+        EncoderConfig { dim: 64, sensors: 1, levels: 1, ..EncoderConfig::default() },
+    ] {
+        assert!(MultiSensorEncoder::new(config).is_err());
+    }
+}
+
+#[test]
+fn empty_prediction_batch_is_fine() {
+    let ds = dataset();
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    let (windows, labels, domains) = ds.gather(&idx);
+    let mut model = smore_model();
+    model.fit(&windows, &labels, &domains).unwrap();
+    let predictions = model.predict_batch(&[]).unwrap();
+    assert!(predictions.is_empty());
+}
+
+#[test]
+fn mismatched_parallel_arrays_rejected_everywhere() {
+    let ds = dataset();
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    let (windows, labels, domains) = ds.gather(&idx);
+    let mut model = smore_model();
+    assert!(model.fit(&windows[..10], &labels, &domains).is_err());
+    assert!(model.fit(&windows, &labels[..10], &domains).is_err());
+    assert!(model.fit(&windows, &labels, &domains[..10]).is_err());
+}
