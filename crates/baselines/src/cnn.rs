@@ -46,7 +46,7 @@ impl Default for CnnConfig {
             epochs: 15,
             batch_size: 32,
             learning_rate: 0.003,
-            seed: 0xC4_4,
+            seed: 0xC44,
         }
     }
 }
@@ -66,8 +66,13 @@ pub fn build_feature_extractor(
 ) -> Result<Sequential, NnError> {
     let conv1 = Conv1d::new(time, channels, config.conv1_channels, config.kernel, config.seed)?;
     let t1 = conv1.out_time();
-    let conv2 =
-        Conv1d::new(t1, config.conv1_channels, config.conv2_channels, config.kernel, config.seed + 1)?;
+    let conv2 = Conv1d::new(
+        t1,
+        config.conv1_channels,
+        config.conv2_channels,
+        config.kernel,
+        config.seed + 1,
+    )?;
     let t2 = conv2.out_time();
     let mut net = Sequential::new();
     net.push(conv1);
@@ -141,8 +146,11 @@ impl CnnClassifier {
         let scaler = ChannelScaler::fit(windows);
         let x = scaler.transform(windows);
         let mut features = build_feature_extractor(meta.window_len, meta.channels, &self.config)?;
-        let mut head =
-            build_classifier_head(self.config.feature_width, meta.num_classes, self.config.seed + 3)?;
+        let mut head = build_classifier_head(
+            self.config.feature_width,
+            meta.num_classes,
+            self.config.seed + 3,
+        )?;
         let opt = Optimizer::adam(self.config.learning_rate);
         for _ in 0..self.config.epochs {
             let mut start = 0usize;
@@ -167,7 +175,11 @@ impl CnnClassifier {
         Ok(())
     }
 
-    pub(crate) fn logits(&mut self, windows: &[Matrix], training: bool) -> Result<Matrix, BoxError> {
+    pub(crate) fn logits(
+        &mut self,
+        windows: &[Matrix],
+        training: bool,
+    ) -> Result<Matrix, BoxError> {
         let state = self
             .state
             .as_mut()

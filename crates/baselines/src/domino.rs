@@ -105,15 +105,11 @@ impl Domino {
         let mut scores = vec![0.0f32; dim];
         let k = domain_models.len() as f32;
         for c in 0..classes {
-            for d in 0..dim {
-                let mean: f32 =
-                    normalized.iter().map(|m| m.get(c, d)).sum::<f32>() / k;
-                let var: f32 = normalized
-                    .iter()
-                    .map(|m| (m.get(c, d) - mean).powi(2))
-                    .sum::<f32>()
-                    / k;
-                scores[d] += var;
+            for (d, score) in scores.iter_mut().enumerate() {
+                let mean: f32 = normalized.iter().map(|m| m.get(c, d)).sum::<f32>() / k;
+                let var: f32 =
+                    normalized.iter().map(|m| (m.get(c, d) - mean).powi(2)).sum::<f32>() / k;
+                *score += var;
             }
         }
         scores
@@ -179,8 +175,7 @@ impl WindowClassifier for Domino {
             // Per-domain models expose domain-variant dimensions.
             let mut domain_models = Vec::with_capacity(tags.len());
             for &tag in &tags {
-                let idx: Vec<usize> =
-                    (0..domains.len()).filter(|&i| domains[i] == tag).collect();
+                let idx: Vec<usize> = (0..domains.len()).filter(|&i| domains[i] == tag).collect();
                 let sub = encoded.select_rows(&idx);
                 let sub_labels: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
                 let mut m = HdcClassifier::new(classifier_config.clone())?;
@@ -299,12 +294,8 @@ mod tests {
         let ma = HdcClassifier::from_class_hypervectors(a).unwrap();
         let mb = HdcClassifier::from_class_hypervectors(b).unwrap();
         let scores = Domino::dimension_variance(&[ma, mb], 8, 2);
-        let max_dim = scores
-            .iter()
-            .enumerate()
-            .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
-            .unwrap()
-            .0;
+        let max_dim =
+            scores.iter().enumerate().max_by(|x, y| x.1.partial_cmp(y.1).unwrap()).unwrap().0;
         assert_eq!(max_dim, 3, "dimension 3 should be the most domain-variant: {scores:?}");
     }
 

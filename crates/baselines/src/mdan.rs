@@ -121,11 +121,8 @@ impl WindowClassifier for Mdan {
         let cfg = &self.config.cnn;
         let scaler = ChannelScaler::fit(windows);
         let x = scaler.transform(windows);
-        let x_target = if target_windows.is_empty() {
-            None
-        } else {
-            Some(scaler.transform(target_windows))
-        };
+        let x_target =
+            if target_windows.is_empty() { None } else { Some(scaler.transform(target_windows)) };
 
         let mut features = build_feature_extractor(meta.window_len, meta.channels, cfg)?;
         let mut head = build_classifier_head(cfg.feature_width, meta.num_classes, cfg.seed + 3)?;
@@ -183,7 +180,7 @@ impl WindowClassifier for Mdan {
                     let batch = xs.vstack(&xtb)?;
                     // Domain labels: 0 = source-k, 1 = target.
                     let mut dlabels = vec![0usize; src_rows.len()];
-                    dlabels.extend(std::iter::repeat(1).take(tgt_rows.len()));
+                    dlabels.extend(std::iter::repeat_n(1, tgt_rows.len()));
 
                     let feats = features.forward(&batch, true)?;
                     let d = &mut discriminators[k];

@@ -34,7 +34,12 @@ pub struct TentConfig {
 impl Default for TentConfig {
     /// 10 adaptation steps at `lr = 1e-3` on batches of 64.
     fn default() -> Self {
-        Self { cnn: CnnConfig::default(), adaptation_steps: 10, adaptation_lr: 1e-3, batch_size: 64 }
+        Self {
+            cnn: CnnConfig::default(),
+            adaptation_steps: 10,
+            adaptation_lr: 1e-3,
+            batch_size: 64,
+        }
     }
 }
 

@@ -15,12 +15,9 @@ fn bench_encoding(c: &mut Criterion) {
     let window = usc_window();
     let mut group = c.benchmark_group("encode_window_usc");
     for dim in [2048usize, 8192] {
-        let encoder = MultiSensorEncoder::new(EncoderConfig {
-            dim,
-            sensors: 6,
-            ..EncoderConfig::default()
-        })
-        .unwrap();
+        let encoder =
+            MultiSensorEncoder::new(EncoderConfig { dim, sensors: 6, ..EncoderConfig::default() })
+                .unwrap();
         group.bench_with_input(BenchmarkId::new("multisensor", dim), &dim, |b, _| {
             b.iter(|| black_box(encoder.encode_window(black_box(&window)).unwrap()))
         });

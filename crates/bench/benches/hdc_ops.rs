@@ -17,12 +17,8 @@ fn bench_ops(c: &mut Criterion) {
     c.bench_function("bundle_8192", |bench| {
         bench.iter(|| black_box(a.bundle(black_box(&b)).unwrap()))
     });
-    c.bench_function("bind_8192", |bench| {
-        bench.iter(|| black_box(a.bind(black_box(&b)).unwrap()))
-    });
-    c.bench_function("permute_8192", |bench| {
-        bench.iter(|| black_box(a.permute(black_box(3))))
-    });
+    c.bench_function("bind_8192", |bench| bench.iter(|| black_box(a.bind(black_box(&b)).unwrap())));
+    c.bench_function("permute_8192", |bench| bench.iter(|| black_box(a.permute(black_box(3)))));
     c.bench_function("cosine_8192", |bench| {
         bench.iter(|| black_box(a.cosine(black_box(&b)).unwrap()))
     });

@@ -33,7 +33,9 @@ fn bench_training(c: &mut Criterion) {
     let domains: Vec<usize> = (0..n).map(|i| i % 4).collect();
     c.bench_function("descriptor_bundle_128x4096", |bench| {
         bench.iter(|| {
-            black_box(DomainDescriptors::build(black_box(&samples), black_box(&domains), 4).unwrap())
+            black_box(
+                DomainDescriptors::build(black_box(&samples), black_box(&domains), 4).unwrap(),
+            )
         })
     });
 

@@ -27,9 +27,8 @@ fn run(
     dataset: &smore_data::Dataset,
     make: impl Fn() -> Result<Smore, smore::SmoreError>,
 ) -> Result<f32, BoxError> {
-    let outcomes = pipeline::run_lodo_all(dataset, || {
-        Ok(Box::new(make()?) as Box<dyn WindowClassifier>)
-    })?;
+    let outcomes =
+        pipeline::run_lodo_all(dataset, || Ok(Box::new(make()?) as Box<dyn WindowClassifier>))?;
     Ok(pipeline::mean_accuracy(&outcomes))
 }
 
@@ -54,14 +53,13 @@ fn main() {
     .expect("levelflip");
     record("quantisation = LevelFlip", acc);
 
-    let acc = run(&dataset, || {
-        Smore::new(base(&profile, &dataset).range(RangeMode::PerWindow).build()?)
-    })
-    .expect("perwindow");
+    let acc =
+        run(&dataset, || Smore::new(base(&profile, &dataset).range(RangeMode::PerWindow).build()?))
+            .expect("perwindow");
     record("range = PerWindow (paper-literal)", acc);
 
-    let acc =
-        run(&dataset, || Smore::new(base(&profile, &dataset).center(false).build()?)).expect("nocenter");
+    let acc = run(&dataset, || Smore::new(base(&profile, &dataset).center(false).build()?))
+        .expect("nocenter");
     record("centring off", acc);
 
     let acc = run(&dataset, || {
@@ -71,10 +69,9 @@ fn main() {
     record("domain init = Independent (paper-literal)", acc);
 
     for power in [2.0f32, 4.0] {
-        let acc = run(&dataset, || {
-            Smore::new(base(&profile, &dataset).weight_power(power).build()?)
-        })
-        .expect("power");
+        let acc =
+            run(&dataset, || Smore::new(base(&profile, &dataset).weight_power(power).build()?))
+                .expect("power");
         record(&format!("weight power p = {power}"), acc);
     }
 

@@ -12,11 +12,7 @@ use smore_bench::{pct, print_table, BenchProfile};
 use smore_data::presets;
 
 fn baseline(dim: usize, epochs: usize) -> Result<Box<dyn WindowClassifier>, BoxError> {
-    Ok(Box::new(BaselineHd::new(BaselineHdConfig {
-        dim,
-        epochs,
-        ..BaselineHdConfig::default()
-    })))
+    Ok(Box::new(BaselineHd::new(BaselineHdConfig { dim, epochs, ..BaselineHdConfig::default() })))
 }
 
 fn main() {
@@ -26,11 +22,8 @@ fn main() {
     let k = dataset.meta().num_domains;
 
     // Left panel: accuracy vs dimensionality (paper sweeps 0.5k..6k).
-    let dims: &[usize] = if profile.full {
-        &[512, 1024, 2048, 4096, 6144]
-    } else {
-        &[512, 1024, 2048, 4096]
-    };
+    let dims: &[usize] =
+        if profile.full { &[512, 1024, 2048, 4096, 6144] } else { &[512, 1024, 2048, 4096] };
     let mut rows = Vec::new();
     for &dim in dims {
         let lodo = pipeline::run_lodo_all(&dataset, || baseline(dim, 20)).expect("lodo");

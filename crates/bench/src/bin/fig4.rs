@@ -24,7 +24,7 @@ fn main() {
         let mut rows = Vec::new();
         for (algo_name, factory) in &algorithms {
             eprintln!("[fig4] {name} / {algo_name} ...");
-            let outcomes = pipeline::run_lodo_all(&dataset, || factory()).expect("lodo run");
+            let outcomes = pipeline::run_lodo_all(&dataset, factory).expect("lodo run");
             let mut row = vec![algo_name.to_string()];
             for outcome in &outcomes {
                 row.push(pct(outcome.accuracy));
@@ -51,9 +51,12 @@ fn main() {
     let smore = mean_of("SMORE");
     println!("\n## Headline aggregates (average over datasets)\n");
     println!("SMORE:      {}", pct(smore));
-    for (algo, paper_delta) in
-        [("TENT", "comparable"), ("MDANs", "+1.98% in paper"), ("BaselineHD", "+20.25% in paper"), ("DOMINO", "+4.56% in paper")]
-    {
+    for (algo, paper_delta) in [
+        ("TENT", "comparable"),
+        ("MDANs", "+1.98% in paper"),
+        ("BaselineHD", "+20.25% in paper"),
+        ("DOMINO", "+4.56% in paper"),
+    ] {
         let other = mean_of(algo);
         println!(
             "vs {algo:<11} {} (SMORE {}{}; paper: {paper_delta})",

@@ -41,11 +41,7 @@ fn main() {
         .zip(per_delta.iter().zip(&ood_fraction))
         .map(|(&d, (&acc, &ood))| vec![format!("{d:.2}"), pct(acc), pct(ood)])
         .collect();
-    print_table(
-        "Mean LODO accuracy vs δ*",
-        &["δ*", "Accuracy", "OOD fraction"],
-        &rows,
-    );
+    print_table("Mean LODO accuracy vs δ*", &["δ*", "Accuracy", "OOD fraction"], &rows);
 
     let best = per_delta
         .iter()

@@ -24,8 +24,7 @@ fn main() {
         for (algo_name, factory) in &algorithms {
             eprintln!("[fig6a] {name} / {algo_name} ...");
             let mut classifier = factory().expect("factory");
-            let outcome =
-                pipeline::run_lodo(&dataset, classifier.as_mut(), 1).expect("lodo run");
+            let outcome = pipeline::run_lodo(&dataset, classifier.as_mut(), 1).expect("lodo run");
             rows.push(vec![
                 algo_name.to_string(),
                 secs(outcome.train_seconds),
@@ -35,11 +34,16 @@ fn main() {
             ]);
         }
         print_table(
-            &format!("{name}-like (held-out domain 2, {} train windows)", dataset.len() - dataset.domain_sizes()[1]),
+            &format!(
+                "{name}-like (held-out domain 2, {} train windows)",
+                dataset.len() - dataset.domain_sizes()[1]
+            ),
             &["Algorithm", "Train time", "Inference (total)", "Inference (per window)", "Accuracy"],
             &rows,
         );
     }
-    println!("\nPaper shape: SMORE trains 11.6x/18.8x faster than TENT/MDANs, infers 4.1x/4.6x faster,");
+    println!(
+        "\nPaper shape: SMORE trains 11.6x/18.8x faster than TENT/MDANs, infers 4.1x/4.6x faster,"
+    );
     println!("and DOMINO pays ~5.8x SMORE's training time for its dimension regeneration.");
 }

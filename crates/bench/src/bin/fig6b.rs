@@ -17,16 +17,36 @@ struct Workload {
     profile: OpProfile,
 }
 
-fn workloads(n: usize, time: usize, channels: usize, dim: usize, domains: usize, classes: usize, tent_steps: usize, conv: (usize, usize, usize), feat: usize) -> Vec<Workload> {
+#[allow(clippy::too_many_arguments)]
+fn workloads(
+    n: usize,
+    time: usize,
+    channels: usize,
+    dim: usize,
+    domains: usize,
+    classes: usize,
+    tent_steps: usize,
+    conv: (usize, usize, usize),
+    feat: usize,
+) -> Vec<Workload> {
     let (c1, c2, k) = conv;
     vec![
-        Workload { name: "TENT", profile: profiles::tent_infer(n, time, channels, c1, c2, k, feat, classes, tent_steps) },
-        Workload { name: "MDANs", profile: profiles::mdan_infer(n, time, channels, c1, c2, k, feat, classes) },
+        Workload {
+            name: "TENT",
+            profile: profiles::tent_infer(n, time, channels, c1, c2, k, feat, classes, tent_steps),
+        },
+        Workload {
+            name: "MDANs",
+            profile: profiles::mdan_infer(n, time, channels, c1, c2, k, feat, classes),
+        },
         Workload {
             name: "BaselineHD",
             profile: profiles::baseline_hd_infer(n, time * channels, dim, classes),
         },
-        Workload { name: "SMORE", profile: profiles::smore_infer(n, time, channels, dim, 3, domains, classes) },
+        Workload {
+            name: "SMORE",
+            profile: profiles::smore_infer(n, time, channels, dim, 3, domains, classes),
+        },
     ]
 }
 
@@ -40,9 +60,10 @@ fn main() {
 
     println!("# Figure 6(b): modelled edge inference latency and energy (PAMAP2, {n} queries)");
     for device in [device::raspberry_pi_3b(), device::jetson_nano()] {
-        for (scale_name, conv, feat) in
-            [("our CNN (16/32)", (16usize, 32usize, 5usize), 64usize), ("paper-scale CNN (64/64)", (64, 64, 5), 256)]
-        {
+        for (scale_name, conv, feat) in [
+            ("our CNN (16/32)", (16usize, 32usize, 5usize), 64usize),
+            ("paper-scale CNN (64/64)", (64, 64, 5), 256),
+        ] {
             let rows: Vec<Vec<String>> = workloads(
                 n,
                 time,

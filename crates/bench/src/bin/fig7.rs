@@ -41,9 +41,7 @@ fn main() {
         for (name, classifier) in classifiers.iter_mut() {
             eprintln!("[fig7] fraction {fraction:.1} / {name} ...");
             let t0 = Instant::now();
-            classifier
-                .fit_with_target(&train_w, &train_l, &train_d, &meta, &test_w)
-                .expect("fit");
+            classifier.fit_with_target(&train_w, &train_l, &train_d, &meta, &test_w).expect("fit");
             train_row.push(secs(t0.elapsed().as_secs_f64()));
             let t1 = Instant::now();
             classifier.predict(&test_w).expect("predict");

@@ -9,13 +9,13 @@ use smore_data::presets::{self, table1};
 
 fn main() {
     let profile = BenchProfile::from_args();
-    println!("# Table 1: dataset breakdowns ({} profile)", if profile.full { "full" } else { "fast" });
+    println!(
+        "# Table 1: dataset breakdowns ({} profile)",
+        if profile.full { "full" } else { "fast" }
+    );
 
-    let paper: [(&str, &[usize]); 3] = [
-        ("DSADS", &table1::DSADS),
-        ("USC-HAD", &table1::USC_HAD),
-        ("PAMAP2", &table1::PAMAP2),
-    ];
+    let paper: [(&str, &[usize]); 3] =
+        [("DSADS", &table1::DSADS), ("USC-HAD", &table1::USC_HAD), ("PAMAP2", &table1::PAMAP2)];
 
     for ((name, make), (_, paper_counts)) in presets::all().iter().zip(paper.iter()) {
         let dataset = make(&profile.preset).expect("preset generation");

@@ -68,10 +68,23 @@ impl BenchProfile {
         }
     }
 
-    /// Parses command-line arguments (`--full`, `--scale f`, `--seed n`).
+    /// Parses command-line arguments (`--full`, `--scale f`, `--seed n`,
+    /// `--dim n`); `--help`/`-h` prints usage and exits successfully.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
-        let mut profile = if args.iter().any(|a| a == "--full") { Self::full() } else { Self::fast() };
+        if args.iter().any(|a| a == "--help" || a == "-h") {
+            let bin = args.first().map(String::as_str).unwrap_or("bench");
+            println!("Usage: {bin} [--full] [--scale <f>] [--seed <n>] [--dim <n>]");
+            println!();
+            println!("Regenerates one table/figure of the SMORE (DAC 2024) evaluation.");
+            println!("  --full       Table 1 window budgets and d = 8k (hours of compute)");
+            println!("  --scale <f>  override the window-budget fraction (default: fast profile)");
+            println!("  --seed <n>   override the dataset seed");
+            println!("  --dim <n>    override the SMORE/BaselineHD dimensionality");
+            std::process::exit(0);
+        }
+        let mut profile =
+            if args.iter().any(|a| a == "--full") { Self::full() } else { Self::fast() };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -145,12 +158,15 @@ pub fn make_mdan(profile: &BenchProfile) -> Mdan {
     Mdan::new(MdanConfig { cnn: cnn_config(profile), ..MdanConfig::default() })
 }
 
+/// A factory producing a fresh classifier for one evaluation fold.
+pub type ClassifierFactory<'a> = Box<dyn Fn() -> Result<Box<dyn WindowClassifier>, BoxError> + 'a>;
+
 /// Factory for every algorithm in the paper's comparison, in its plotting
 /// order: TENT, MDANs, BaselineHD, DOMINO, SMORE.
 pub fn all_algorithms<'a>(
     dataset: &'a Dataset,
     profile: &'a BenchProfile,
-) -> Vec<(&'static str, Box<dyn Fn() -> Result<Box<dyn WindowClassifier>, BoxError> + 'a>)> {
+) -> Vec<(&'static str, ClassifierFactory<'a>)> {
     vec![
         ("TENT", Box::new(move || Ok(Box::new(make_tent(profile)) as Box<dyn WindowClassifier>))),
         ("MDANs", Box::new(move || Ok(Box::new(make_mdan(profile)) as Box<dyn WindowClassifier>))),
@@ -158,10 +174,15 @@ pub fn all_algorithms<'a>(
             "BaselineHD",
             Box::new(move || Ok(Box::new(make_baseline_hd(profile)) as Box<dyn WindowClassifier>)),
         ),
-        ("DOMINO", Box::new(move || Ok(Box::new(make_domino(profile)) as Box<dyn WindowClassifier>))),
+        (
+            "DOMINO",
+            Box::new(move || Ok(Box::new(make_domino(profile)) as Box<dyn WindowClassifier>)),
+        ),
         (
             "SMORE",
-            Box::new(move || Ok(Box::new(make_smore(dataset, profile)?) as Box<dyn WindowClassifier>)),
+            Box::new(move || {
+                Ok(Box::new(make_smore(dataset, profile)?) as Box<dyn WindowClassifier>)
+            }),
         ),
     ]
 }

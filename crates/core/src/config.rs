@@ -123,7 +123,10 @@ impl SmoreConfig {
         }
         if !self.delta_star.is_finite() || !(-1.0..=1.0).contains(&self.delta_star) {
             return Err(SmoreError::InvalidConfig {
-                what: format!("delta_star must be a cosine value in [-1, 1], got {}", self.delta_star),
+                what: format!(
+                    "delta_star must be a cosine value in [-1, 1], got {}",
+                    self.delta_star
+                ),
             });
         }
         if !(self.learning_rate > 0.0 && self.learning_rate <= 1.0) {
@@ -139,7 +142,10 @@ impl SmoreConfig {
         }
         if !(self.weight_power > 0.0 && self.weight_power.is_finite()) {
             return Err(SmoreError::InvalidConfig {
-                what: format!("weight_power must be positive and finite, got {}", self.weight_power),
+                what: format!(
+                    "weight_power must be positive and finite, got {}",
+                    self.weight_power
+                ),
             });
         }
         if let RangeMode::Fixed(ranges) = &self.range {

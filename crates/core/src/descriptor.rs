@@ -118,7 +118,10 @@ impl DomainDescriptors {
     pub fn bundle_into(&mut self, domain: usize, sample: &[f32]) -> Result<()> {
         if domain >= self.descriptors.rows() {
             return Err(SmoreError::InvalidConfig {
-                what: format!("domain tag {domain} out of range for {} domains", self.descriptors.rows()),
+                what: format!(
+                    "domain tag {domain} out of range for {} domains",
+                    self.descriptors.rows()
+                ),
             });
         }
         if sample.len() != self.descriptors.cols() {
@@ -151,8 +154,8 @@ mod tests {
         for i in 0..40 {
             let d = i % 2;
             let noise = init::normal_vec(&mut rng, dim);
-            for j in 0..dim {
-                encoded.set(i, j, protos.get(d, j) + 0.8 * noise[j]);
+            for (j, &e) in noise.iter().enumerate() {
+                encoded.set(i, j, protos.get(d, j) + 0.8 * e);
             }
             domains.push(d);
         }
@@ -164,10 +167,10 @@ mod tests {
         let (encoded, domains) = two_domain_fixture(1);
         let desc = DomainDescriptors::build(&encoded, &domains, 2).unwrap();
         let mut correct = 0;
-        for i in 0..encoded.rows() {
+        for (i, &domain) in domains.iter().enumerate() {
             let sims = desc.similarities(encoded.row(i));
             let best = if sims[0] >= sims[1] { 0 } else { 1 };
-            if best == domains[i] {
+            if best == domain {
                 correct += 1;
             }
         }
@@ -186,8 +189,7 @@ mod tests {
 
     #[test]
     fn descriptor_is_exact_bundle() {
-        let encoded =
-            Matrix::from_vec(3, 2, vec![1.0, 2.0, 10.0, 20.0, 0.5, 0.5]).unwrap();
+        let encoded = Matrix::from_vec(3, 2, vec![1.0, 2.0, 10.0, 20.0, 0.5, 0.5]).unwrap();
         let desc = DomainDescriptors::build(&encoded, &[0, 1, 0], 2).unwrap();
         assert_eq!(desc.as_matrix().row(0), &[1.5, 2.5]);
         assert_eq!(desc.as_matrix().row(1), &[10.0, 20.0]);

@@ -43,7 +43,9 @@ impl fmt::Display for SmoreError {
             SmoreError::TooFewDomains { found } => {
                 write!(f, "SMORE requires at least 2 source domains, found {found}")
             }
-            SmoreError::EmptyDomain { domain } => write!(f, "training domain {domain} has no samples"),
+            SmoreError::EmptyDomain { domain } => {
+                write!(f, "training domain {domain} has no samples")
+            }
             SmoreError::Hdc(e) => write!(f, "hdc error: {e}"),
             SmoreError::Data(e) => write!(f, "data error: {e}"),
             SmoreError::Tensor(e) => write!(f, "tensor error: {e}"),

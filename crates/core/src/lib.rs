@@ -60,12 +60,12 @@
 
 mod centering;
 mod config;
-mod error;
-mod smore_model;
 pub mod descriptor;
+mod error;
 pub mod metrics;
 pub mod ood;
 pub mod pipeline;
+mod smore_model;
 pub mod test_time;
 
 pub use centering::Centerer;

@@ -23,7 +23,9 @@ pub fn accuracy(predictions: &[usize], truth: &[usize]) -> Result<f32> {
         });
     }
     if predictions.is_empty() {
-        return Err(SmoreError::InvalidConfig { what: "cannot score an empty prediction set".into() });
+        return Err(SmoreError::InvalidConfig {
+            what: "cannot score an empty prediction set".into(),
+        });
     }
     let correct = predictions.iter().zip(truth).filter(|(p, t)| p == t).count();
     Ok(correct as f32 / predictions.len() as f32)
@@ -45,7 +47,11 @@ impl ConfusionMatrix {
     ///
     /// Returns [`SmoreError::InvalidConfig`] when lengths disagree, inputs
     /// are empty, `num_classes` is zero, or any label is out of range.
-    pub fn from_predictions(predictions: &[usize], truth: &[usize], num_classes: usize) -> Result<Self> {
+    pub fn from_predictions(
+        predictions: &[usize],
+        truth: &[usize],
+        num_classes: usize,
+    ) -> Result<Self> {
         if num_classes == 0 {
             return Err(SmoreError::InvalidConfig { what: "num_classes must be positive".into() });
         }

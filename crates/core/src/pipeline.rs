@@ -310,7 +310,8 @@ mod tests {
         // The paper's Figure 1(b) premise: shuffled k-fold leaks domains
         // into training and scores higher than honest LODO.
         let ds = dataset();
-        let lodo_mean = mean_accuracy(&run_lodo_all(&ds, || Ok(Box::new(small_smore(&dataset())))).unwrap());
+        let lodo_mean =
+            mean_accuracy(&run_lodo_all(&ds, || Ok(Box::new(small_smore(&dataset())))).unwrap());
         let kfold_accs = run_kfold(&ds, || Ok(Box::new(small_smore(&dataset()))), 3, 7).unwrap();
         let kfold_mean: f32 = kfold_accs.iter().sum::<f32>() / kfold_accs.len() as f32;
         assert!(

@@ -265,7 +265,12 @@ impl Smore {
     /// - [`SmoreError::TooFewDomains`] when fewer than two distinct domain
     ///   tags are present.
     /// - Encoder errors for malformed windows.
-    pub fn fit(&mut self, windows: &[Matrix], labels: &[usize], domains: &[usize]) -> Result<TrainReport> {
+    pub fn fit(
+        &mut self,
+        windows: &[Matrix],
+        labels: &[usize],
+        domains: &[usize],
+    ) -> Result<TrainReport> {
         if windows.is_empty() {
             return Err(SmoreError::InvalidConfig { what: "training set is empty".into() });
         }
@@ -345,8 +350,7 @@ impl Smore {
         let mut domain_models = Vec::with_capacity(tags.len());
         let mut domain_reports = Vec::with_capacity(tags.len());
         for (k, &tag) in tags.iter().enumerate() {
-            let idx: Vec<usize> =
-                (0..windows.len()).filter(|&i| local_domains[i] == k).collect();
+            let idx: Vec<usize> = (0..windows.len()).filter(|&i| local_domains[i] == k).collect();
             if idx.is_empty() {
                 return Err(SmoreError::EmptyDomain { domain: tag });
             }

@@ -80,11 +80,8 @@ pub fn ensemble_weights_powered(
     delta_star: f32,
     power: f32,
 ) -> Vec<f32> {
-    let delta_max = similarities
-        .iter()
-        .copied()
-        .filter(|s| s.is_finite())
-        .fold(f32::NEG_INFINITY, f32::max);
+    let delta_max =
+        similarities.iter().copied().filter(|s| s.is_finite()).fold(f32::NEG_INFINITY, f32::max);
     let clamp = |s: f32| if s.is_finite() && s > 0.0 { s } else { 0.0 };
     let sharpen = |s: f32| {
         let c = clamp(s);
@@ -169,11 +166,7 @@ mod tests {
         assert!(decision.is_ood);
         let mt = build_test_time_model(&[m1, m2], &decision, 0.9, 1.0).unwrap();
         // 0.5 * 1.0 + 0.25 * 2.0 = 1.0 everywhere.
-        assert!(mt
-            .class_hypervectors()
-            .as_slice()
-            .iter()
-            .all(|&x| (x - 1.0).abs() < 1e-6));
+        assert!(mt.class_hypervectors().as_slice().iter().all(|&x| (x - 1.0).abs() < 1e-6));
     }
 
     #[test]
@@ -184,18 +177,16 @@ mod tests {
         assert!(!decision.is_ood);
         let mt = build_test_time_model(&[m1, m2], &decision, 0.5, 1.0).unwrap();
         // Only m1 participates: 0.8 * 1.0 = 0.8.
-        assert!(mt
-            .class_hypervectors()
-            .as_slice()
-            .iter()
-            .all(|&x| (x - 0.8).abs() < 1e-6));
+        assert!(mt.class_hypervectors().as_slice().iter().all(|&x| (x - 0.8).abs() < 1e-6));
     }
 
     #[test]
     fn prediction_flows_through_ensemble() {
         let mut rng = init::rng(9);
-        let a = HdcClassifier::from_class_hypervectors(init::bipolar_matrix(&mut rng, 2, 512)).unwrap();
-        let b = HdcClassifier::from_class_hypervectors(init::bipolar_matrix(&mut rng, 2, 512)).unwrap();
+        let a =
+            HdcClassifier::from_class_hypervectors(init::bipolar_matrix(&mut rng, 2, 512)).unwrap();
+        let b =
+            HdcClassifier::from_class_hypervectors(init::bipolar_matrix(&mut rng, 2, 512)).unwrap();
         let query: Vec<f32> = a.class_hypervectors().row(1).to_vec();
         // Heavy weight on model a: prediction should match a's verdict.
         let decision = OodDetector::new(0.9).detect(vec![0.99, 0.01]);

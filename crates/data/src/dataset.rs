@@ -223,8 +223,14 @@ mod tests {
 
     fn tiny() -> Dataset {
         let windows = (0..6).map(|i| Matrix::filled(4, 1, i as f32)).collect();
-        Dataset::new(meta(), windows, vec![0, 1, 0, 1, 0, 1], vec![0, 0, 0, 1, 1, 1], vec![0, 0, 0, 1, 1, 1])
-            .unwrap()
+        Dataset::new(
+            meta(),
+            windows,
+            vec![0, 1, 0, 1, 0, 1],
+            vec![0, 0, 0, 1, 1, 1],
+            vec![0, 0, 0, 1, 1, 1],
+        )
+        .unwrap()
     }
 
     #[test]

@@ -89,14 +89,16 @@ pub fn generate(config: &GeneratorConfig) -> Result<Dataset> {
         return Err(DataError::InvalidConfig { what: "at least one domain is required".into() });
     }
     if config.domains.iter().any(|d| d.subjects.is_empty()) {
-        return Err(DataError::InvalidConfig { what: "every domain needs at least one subject".into() });
+        return Err(DataError::InvalidConfig {
+            what: "every domain needs at least one subject".into(),
+        });
     }
     if config.window_len < 4 {
         return Err(DataError::InvalidConfig {
             what: format!("window_len must be at least 4, got {}", config.window_len),
         });
     }
-    if !(config.sample_rate_hz > 0.0) {
+    if !matches!(config.sample_rate_hz.partial_cmp(&0.0), Some(std::cmp::Ordering::Greater)) {
         return Err(DataError::InvalidConfig {
             what: format!("sample_rate_hz must be positive, got {}", config.sample_rate_hz),
         });
@@ -164,8 +166,8 @@ pub fn generate(config: &GeneratorConfig) -> Result<Dataset> {
                     &mut rng,
                 );
                 let bias = effect.channel_bias()[ch];
-                for t in 0..config.window_len {
-                    window.set(t, ch, channel_buf[t] + bias);
+                for (t, &v) in channel_buf.iter().enumerate().take(config.window_len) {
+                    window.set(t, ch, v + bias);
                 }
             }
             windows.push(window);
@@ -247,23 +249,19 @@ mod tests {
         cfg.domains[0].subjects.clear();
         assert!(generate(&cfg).is_err());
 
-        let mut cfg = GeneratorConfig::default();
-        cfg.window_len = 2;
+        let cfg = GeneratorConfig { window_len: 2, ..GeneratorConfig::default() };
         assert!(generate(&cfg).is_err());
 
-        let mut cfg = GeneratorConfig::default();
-        cfg.sample_rate_hz = 0.0;
+        let cfg = GeneratorConfig { sample_rate_hz: 0.0, ..GeneratorConfig::default() };
         assert!(generate(&cfg).is_err());
 
-        let mut cfg = GeneratorConfig::default();
-        cfg.num_classes = 0;
+        let cfg = GeneratorConfig { num_classes: 0, ..GeneratorConfig::default() };
         assert!(generate(&cfg).is_err());
     }
 
     #[test]
     fn severity_zero_removes_intersubject_variation() {
-        let mut cfg = GeneratorConfig::default();
-        cfg.shift_severity = 0.0;
+        let cfg = GeneratorConfig { shift_severity: 0.0, ..GeneratorConfig::default() };
         // With severity 0 and the *same* class, two subjects differ only by
         // window phase and noise draws — their windows share the harmonic
         // structure. We check the per-domain mean energy is close.
@@ -277,14 +275,16 @@ mod tests {
         };
         let e0 = energy(&ds.domain_indices(0).unwrap());
         let e1 = energy(&ds.domain_indices(1).unwrap());
-        assert!((e0 - e1).abs() / e0.max(e1) < 0.1, "domains should match at severity 0: {e0} vs {e1}");
+        assert!(
+            (e0 - e1).abs() / e0.max(e1) < 0.1,
+            "domains should match at severity 0: {e0} vs {e1}"
+        );
     }
 
     #[test]
     fn severity_creates_domain_differences() {
-        let mut cfg = GeneratorConfig::default();
-        cfg.shift_severity = 2.0;
-        cfg.seed = 0xBEEF;
+        let cfg =
+            GeneratorConfig { shift_severity: 2.0, seed: 0xBEEF, ..GeneratorConfig::default() };
         let ds = generate(&cfg).unwrap();
         let energy = |idx: &[usize]| -> f32 {
             let mut acc = 0.0f32;
@@ -295,6 +295,9 @@ mod tests {
         };
         let e0 = energy(&ds.domain_indices(0).unwrap());
         let e1 = energy(&ds.domain_indices(1).unwrap());
-        assert!((e0 - e1).abs() / e0.max(e1) > 0.02, "domains too similar at severity 2: {e0} vs {e1}");
+        assert!(
+            (e0 - e1).abs() / e0.max(e1) > 0.02,
+            "domains too similar at severity 2: {e0} vs {e1}"
+        );
     }
 }

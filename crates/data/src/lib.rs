@@ -41,9 +41,9 @@
 
 #![warn(missing_docs)]
 
+pub mod activity;
 mod dataset;
 mod error;
-pub mod activity;
 pub mod generator;
 pub mod presets;
 pub mod signal;

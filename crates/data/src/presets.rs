@@ -33,7 +33,7 @@ pub struct PresetProfile {
 impl Default for PresetProfile {
     /// Full fidelity: Table 1 budgets, native window lengths.
     fn default() -> Self {
-        Self { scale: 1.0, time_downsample: 1, shift_severity: 1.0, seed: 0xDAC2_024 }
+        Self { scale: 1.0, time_downsample: 1, shift_severity: 1.0, seed: 0x0DAC_2024 }
     }
 }
 
@@ -173,9 +173,12 @@ pub fn pamap2(profile: &PresetProfile) -> Result<Dataset> {
     })
 }
 
+/// A preset constructor: builds a [`Dataset`] from a [`PresetProfile`].
+pub type PresetFn = fn(&PresetProfile) -> Result<Dataset>;
+
 /// All three presets as `(name, constructor)` pairs — convenient for
 /// iterating experiments over every dataset.
-pub fn all() -> [(&'static str, fn(&PresetProfile) -> Result<Dataset>); 3] {
+pub fn all() -> [(&'static str, PresetFn); 3] {
     [("DSADS", dsads), ("USC-HAD", usc_had), ("PAMAP2", pamap2)]
 }
 

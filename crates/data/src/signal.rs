@@ -156,8 +156,10 @@ mod tests {
         let mut rng = smore_tensor::init::rng(2);
         p.sample_into(&mut small, 100, 100.0, 1.0, 0.5, 0.0, 1.0, &mut rng);
         p.sample_into(&mut large, 100, 100.0, 1.0, 2.0, 0.0, 1.0, &mut rng);
-        let small_span = vecops::max(&small).unwrap() - small.iter().cloned().fold(f32::INFINITY, f32::min);
-        let large_span = vecops::max(&large).unwrap() - large.iter().cloned().fold(f32::INFINITY, f32::min);
+        let small_span =
+            vecops::max(&small).unwrap() - small.iter().cloned().fold(f32::INFINITY, f32::min);
+        let large_span =
+            vecops::max(&large).unwrap() - large.iter().cloned().fold(f32::INFINITY, f32::min);
         assert!(large_span > 3.0 * small_span, "amp scale 4x should widen span ~4x");
     }
 

@@ -73,12 +73,19 @@ pub fn lodo(dataset: &Dataset, held_out: usize) -> Result<(Vec<usize>, Vec<usize
 ///
 /// Returns [`DataError::InvalidSplit`] when `k < 2`, `fold >= k`, or the
 /// dataset has fewer than `k` windows.
-pub fn kfold(dataset: &Dataset, k: usize, fold: usize, seed: u64) -> Result<(Vec<usize>, Vec<usize>)> {
+pub fn kfold(
+    dataset: &Dataset,
+    k: usize,
+    fold: usize,
+    seed: u64,
+) -> Result<(Vec<usize>, Vec<usize>)> {
     if k < 2 {
         return Err(DataError::InvalidSplit { what: format!("k must be ≥ 2, got {k}") });
     }
     if fold >= k {
-        return Err(DataError::InvalidSplit { what: format!("fold {fold} out of range for k={k}") });
+        return Err(DataError::InvalidSplit {
+            what: format!("fold {fold} out of range for k={k}"),
+        });
     }
     if dataset.len() < k {
         return Err(DataError::InvalidSplit {
@@ -92,8 +99,7 @@ pub fn kfold(dataset: &Dataset, k: usize, fold: usize, seed: u64) -> Result<(Vec
     let start = fold * fold_size;
     let end = if fold == k - 1 { dataset.len() } else { start + fold_size };
     let test: Vec<usize> = indices[start..end].to_vec();
-    let train: Vec<usize> =
-        indices[..start].iter().chain(&indices[end..]).copied().collect();
+    let train: Vec<usize> = indices[..start].iter().chain(&indices[end..]).copied().collect();
     Ok((train, test))
 }
 

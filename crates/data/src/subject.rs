@@ -87,7 +87,8 @@ impl SubjectEffect {
             });
         }
         let mut rng = init::rng(seed ^ (0x5EED_0000 + subject_id as u64).wrapping_mul(0x9E37_79B9));
-        let mut group_rng = init::rng(seed ^ (0x6E0F_0000 + group as u64).wrapping_mul(0x85EB_CA6B));
+        let mut group_rng =
+            init::rng(seed ^ (0x6E0F_0000 + group as u64).wrapping_mul(0x85EB_CA6B));
         // 85% of each deviation is the group's; 15% is individual.
         let mixed = |g: &mut rand::rngs::StdRng, r: &mut rand::rngs::StdRng| {
             0.85 * init::standard_normal(g) + 0.15 * init::standard_normal(r)
@@ -101,12 +102,12 @@ impl SubjectEffect {
 
         let channel_gain = (0..channels)
             .map(|_| {
-                (base_gain * (1.0 + severity * 0.15 * mixed(&mut group_rng, &mut rng))).clamp(0.1, 4.0)
+                (base_gain * (1.0 + severity * 0.15 * mixed(&mut group_rng, &mut rng)))
+                    .clamp(0.1, 4.0)
             })
             .collect();
-        let channel_bias = (0..channels)
-            .map(|_| severity * 0.4 * mixed(&mut group_rng, &mut rng))
-            .collect();
+        let channel_bias =
+            (0..channels).map(|_| severity * 0.4 * mixed(&mut group_rng, &mut rng)).collect();
         let class_style = (0..num_classes)
             .map(|_| (1.0 + severity * 0.25 * mixed(&mut group_rng, &mut rng)).clamp(0.2, 3.0))
             .collect();

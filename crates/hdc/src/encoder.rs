@@ -124,7 +124,9 @@ impl MultiSensorEncoder {
             return Err(HdcError::InvalidConfig { what: "encoder dim must be positive".into() });
         }
         if config.sensors == 0 {
-            return Err(HdcError::InvalidConfig { what: "encoder needs at least one sensor".into() });
+            return Err(HdcError::InvalidConfig {
+                what: "encoder needs at least one sensor".into(),
+            });
         }
         if config.ngram == 0 {
             return Err(HdcError::InvalidConfig { what: "n-gram size must be positive".into() });
@@ -139,7 +141,9 @@ impl MultiSensorEncoder {
                     ),
                 });
             }
-            if let Some((lo, hi)) = ranges.iter().find(|(lo, hi)| !(lo < hi)) {
+            let not_increasing =
+                |lo: &f32, hi: &f32| !matches!(lo.partial_cmp(hi), Some(std::cmp::Ordering::Less));
+            if let Some((lo, hi)) = ranges.iter().find(|(lo, hi)| not_increasing(lo, hi)) {
                 return Err(HdcError::InvalidConfig {
                     what: format!("global range requires low < high, got ({lo}, {hi})"),
                 });
@@ -155,7 +159,8 @@ impl MultiSensorEncoder {
                 )
             })
             .collect::<Result<Vec<_>>>()?;
-        let signatures = SignatureMemory::new(config.sensors, config.dim, config.seed ^ 0xC0FF_EE00)?;
+        let signatures =
+            SignatureMemory::new(config.sensors, config.dim, config.seed ^ 0xC0FF_EE00)?;
         Ok(Self { config, level_memories, signatures })
     }
 
@@ -185,7 +190,10 @@ impl MultiSensorEncoder {
     pub fn encode_window(&self, window: &Matrix) -> Result<Hypervector> {
         let (t_total, cols) = window.shape();
         if cols != self.config.sensors {
-            return Err(HdcError::DimensionMismatch { expected: self.config.sensors, actual: cols });
+            return Err(HdcError::DimensionMismatch {
+                expected: self.config.sensors,
+                actual: cols,
+            });
         }
         let n = self.config.ngram;
         if t_total < n {

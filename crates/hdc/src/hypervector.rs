@@ -264,7 +264,10 @@ impl AsRef<[f32]> for Hypervector {
 /// # Ok(())
 /// # }
 /// ```
-pub fn bundle_all<'a>(dim: usize, hvs: impl Iterator<Item = &'a Hypervector>) -> Result<Hypervector> {
+pub fn bundle_all<'a>(
+    dim: usize,
+    hvs: impl Iterator<Item = &'a Hypervector>,
+) -> Result<Hypervector> {
     let mut acc = Hypervector::zeros(dim);
     for hv in hvs {
         acc.bundle_assign(hv)?;
@@ -340,7 +343,10 @@ mod tests {
     fn dimension_mismatch_is_reported() {
         let a = Hypervector::zeros(4);
         let b = Hypervector::zeros(5);
-        assert!(matches!(a.bundle(&b), Err(HdcError::DimensionMismatch { expected: 4, actual: 5 })));
+        assert!(matches!(
+            a.bundle(&b),
+            Err(HdcError::DimensionMismatch { expected: 4, actual: 5 })
+        ));
         assert!(a.bind(&b).is_err());
         assert!(a.cosine(&b).is_err());
         let mut a2 = a.clone();
@@ -371,7 +377,7 @@ mod tests {
         let empty = bundle_all(8, std::iter::empty()).unwrap();
         assert_eq!(empty, Hypervector::zeros(8));
 
-        let bad = vec![Hypervector::zeros(4)];
+        let bad = [Hypervector::zeros(4)];
         assert!(bundle_all(8, bad.iter()).is_err());
     }
 

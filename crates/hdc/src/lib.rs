@@ -36,9 +36,9 @@
 
 #![warn(missing_docs)]
 
+pub mod encoder;
 mod error;
 mod hypervector;
-pub mod encoder;
 pub mod memory;
 pub mod model;
 pub mod ngram;

@@ -47,13 +47,14 @@ impl ItemMemory {
     pub fn new(count: usize, dim: usize, seed: u64) -> Result<Self> {
         if count == 0 || dim == 0 {
             return Err(HdcError::InvalidConfig {
-                what: format!("ItemMemory requires count > 0 and dim > 0 (got count={count}, dim={dim})"),
+                what: format!(
+                    "ItemMemory requires count > 0 and dim > 0 (got count={count}, dim={dim})"
+                ),
             });
         }
         let mut rng = init::rng(seed);
-        let items = (0..count)
-            .map(|_| Hypervector::from_vec(init::bipolar_vec(&mut rng, dim)))
-            .collect();
+        let items =
+            (0..count).map(|_| Hypervector::from_vec(init::bipolar_vec(&mut rng, dim))).collect();
         Ok(Self { items, dim })
     }
 
@@ -78,10 +79,9 @@ impl ItemMemory {
     ///
     /// Returns [`HdcError::LabelOutOfRange`] when `index` exceeds the count.
     pub fn item(&self, index: usize) -> Result<&Hypervector> {
-        self.items.get(index).ok_or(HdcError::LabelOutOfRange {
-            label: index,
-            num_classes: self.items.len(),
-        })
+        self.items
+            .get(index)
+            .ok_or(HdcError::LabelOutOfRange { label: index, num_classes: self.items.len() })
     }
 
     /// Regenerates the given dimensions of every item with fresh random bits.
@@ -106,9 +106,18 @@ impl ItemMemory {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Quantization {
-    /// Paper-literal vector quantisation: the hypervector for a value is the
-    /// linear interpolation between the `H_min` and `H_max` anchors,
-    /// `H(y) = H_min + α (H_max − H_min)` with `α = (y − y_min)/(y_max − y_min)`.
+    /// Paper-literal vector quantisation: the hypervector for a value sits
+    /// on the similarity spectrum between the `H_min` and `H_max` anchors.
+    /// Each dimension `d` carries a fixed random threshold `u_d ∈ (0, 1)`;
+    /// `H(α)[d]` takes `H_max[d]` when `α ≥ u_d` and `H_min[d]` otherwise,
+    /// so codes stay bipolar (binding-safe) while the expected similarity to
+    /// `H_min` decays linearly in `α = (y − y_min)/(y_max − y_min)`. This is
+    /// the continuum limit of the level ladder (one level per dimension).
+    ///
+    /// A naive arithmetic lerp `H_min + α (H_max − H_min)` would zero the
+    /// disagreeing dimensions near `α = 0.5` and collapse every n-gram
+    /// product that touches a mid-range sample — bipolar thresholding is
+    /// what keeps the temporal binding informative.
     #[default]
     Interpolate,
     /// Thermometer-style level encoding: `levels` discrete codewords where
@@ -145,6 +154,9 @@ pub struct LevelMemory {
     h_min: Hypervector,
     h_max: Hypervector,
     levels: Vec<Hypervector>,
+    /// Per-dimension flip threshold `u_d ∈ (0, 1)` for `Interpolate`:
+    /// dimension `d` reads from `H_max` once `α ≥ u_d`.
+    thresholds: Vec<f32>,
     mode: Quantization,
     dim: usize,
 }
@@ -193,7 +205,16 @@ impl LevelMemory {
             levels_vec.push(current.clone());
         }
 
-        Ok(Self { h_min, h_max, levels: levels_vec, mode, dim })
+        // The same permutation defines the continuous thresholds: the
+        // dimension flipped at rank r switches to H_max once
+        // α ≥ (r + 0.5) / dim, so Interpolate is the ladder's continuum
+        // limit (one level per dimension) and codes stay bipolar.
+        let mut thresholds = vec![0.0f32; dim];
+        for (rank, &pos) in order.iter().enumerate() {
+            thresholds[pos] = (rank as f32 + 0.5) / dim as f32;
+        }
+
+        Ok(Self { h_min, h_max, levels: levels_vec, thresholds, mode, dim })
     }
 
     /// Dimensionality of the codebook.
@@ -227,8 +248,10 @@ impl LevelMemory {
         match self.mode {
             Quantization::Interpolate => {
                 let mut out = Vec::with_capacity(self.dim);
-                for (&lo, &hi) in self.h_min.as_slice().iter().zip(self.h_max.as_slice()) {
-                    out.push(lo + alpha * (hi - lo));
+                for ((&lo, &hi), &thr) in
+                    self.h_min.as_slice().iter().zip(self.h_max.as_slice()).zip(&self.thresholds)
+                {
+                    out.push(if alpha >= thr { hi } else { lo });
                 }
                 Hypervector::from_vec(out)
             }
@@ -249,8 +272,13 @@ impl LevelMemory {
         let alpha = if alpha.is_finite() { alpha.clamp(0.0, 1.0) } else { 0.5 };
         match self.mode {
             Quantization::Interpolate => {
-                for ((o, &lo), &hi) in out.iter_mut().zip(self.h_min.as_slice()).zip(self.h_max.as_slice()) {
-                    *o = lo + alpha * (hi - lo);
+                for (((o, &lo), &hi), &thr) in out
+                    .iter_mut()
+                    .zip(self.h_min.as_slice())
+                    .zip(self.h_max.as_slice())
+                    .zip(&self.thresholds)
+                {
+                    *o = if alpha >= thr { hi } else { lo };
                 }
             }
             Quantization::LevelFlip => {
@@ -362,11 +390,15 @@ mod tests {
         let mut m = ItemMemory::new(4, 64, 5).unwrap();
         let before: Vec<Hypervector> = (0..4).map(|i| m.item(i).unwrap().clone()).collect();
         m.regenerate_dims(&[0, 7], 99);
-        for i in 0..4 {
+        for (i, was) in before.iter().enumerate() {
             let after = m.item(i).unwrap();
             for d in 0..64 {
                 if d != 0 && d != 7 {
-                    assert_eq!(after.as_slice()[d], before[i].as_slice()[d], "dim {d} of item {i} changed");
+                    assert_eq!(
+                        after.as_slice()[d],
+                        was.as_slice()[d],
+                        "dim {d} of item {i} changed"
+                    );
                 }
                 assert!(after.as_slice()[d] == 1.0 || after.as_slice()[d] == -1.0);
             }
@@ -385,9 +417,8 @@ mod tests {
     #[test]
     fn interpolate_similarity_spectrum() {
         let m = LevelMemory::new(4096, 8, Quantization::Interpolate, 4).unwrap();
-        let sims: Vec<f32> = (0..=10)
-            .map(|i| m.encode(i as f32 / 10.0).cosine(m.h_min()).unwrap())
-            .collect();
+        let sims: Vec<f32> =
+            (0..=10).map(|i| m.encode(i as f32 / 10.0).cosine(m.h_min()).unwrap()).collect();
         for w in sims.windows(2) {
             assert!(w[1] <= w[0] + 1e-4, "similarity to H_min must decay monotonically: {sims:?}");
         }
@@ -399,9 +430,8 @@ mod tests {
         let m = LevelMemory::new(4096, 16, Quantization::LevelFlip, 5).unwrap();
         assert_eq!(&m.encode(0.0), m.h_min());
         assert_eq!(&m.encode(1.0), m.h_max());
-        let sims: Vec<f32> = (0..16)
-            .map(|i| m.encode(i as f32 / 15.0).cosine(m.h_min()).unwrap())
-            .collect();
+        let sims: Vec<f32> =
+            (0..16).map(|i| m.encode(i as f32 / 15.0).cosine(m.h_min()).unwrap()).collect();
         for w in sims.windows(2) {
             assert!(w[1] <= w[0] + 0.05, "LevelFlip similarity must decay: {sims:?}");
         }

@@ -104,7 +104,9 @@ impl HdcClassifier {
             return Err(HdcError::InvalidConfig { what: "classifier dim must be positive".into() });
         }
         if config.num_classes == 0 {
-            return Err(HdcError::InvalidConfig { what: "classifier needs at least one class".into() });
+            return Err(HdcError::InvalidConfig {
+                what: "classifier needs at least one class".into(),
+            });
         }
         if !(config.learning_rate > 0.0 && config.learning_rate <= 1.0) {
             return Err(HdcError::InvalidConfig {
@@ -210,7 +212,10 @@ impl HdcClassifier {
     /// from the model dimension.
     pub fn predict_batch(&self, samples: &Matrix, threads: usize) -> Result<Vec<usize>> {
         if samples.cols() != self.config.dim {
-            return Err(HdcError::DimensionMismatch { expected: self.config.dim, actual: samples.cols() });
+            return Err(HdcError::DimensionMismatch {
+                expected: self.config.dim,
+                actual: samples.cols(),
+            });
         }
         let mut out = vec![0usize; samples.rows()];
         parallel::par_chunks_indexed(&mut out, threads, |start, chunk| {
@@ -299,7 +304,9 @@ impl HdcClassifier {
             let correct = labels
                 .iter()
                 .enumerate()
-                .filter(|&(i, &l)| self.predict_one(samples.row(i)).map(|p| p == l).unwrap_or(false))
+                .filter(|&(i, &l)| {
+                    self.predict_one(samples.row(i)).map(|p| p == l).unwrap_or(false)
+                })
                 .count();
             report.train_accuracy.push(correct as f32 / labels.len() as f32);
             if updates == 0 {
@@ -346,7 +353,10 @@ impl HdcClassifier {
 
     fn check_dim(&self, sample: &[f32]) -> Result<()> {
         if sample.len() != self.config.dim {
-            return Err(HdcError::DimensionMismatch { expected: self.config.dim, actual: sample.len() });
+            return Err(HdcError::DimensionMismatch {
+                expected: self.config.dim,
+                actual: sample.len(),
+            });
         }
         Ok(())
     }
@@ -369,7 +379,13 @@ mod tests {
     }
 
     /// Samples clustered around `classes` random bipolar prototypes.
-    fn clustered(seed: u64, n: usize, dim: usize, classes: usize, noise: f32) -> (Matrix, Vec<usize>) {
+    fn clustered(
+        seed: u64,
+        n: usize,
+        dim: usize,
+        classes: usize,
+        noise: f32,
+    ) -> (Matrix, Vec<usize>) {
         let mut rng = init::rng(seed);
         let protos = init::bipolar_matrix(&mut rng, classes, dim);
         let mut samples = Matrix::zeros(n, dim);
@@ -377,8 +393,8 @@ mod tests {
         for i in 0..n {
             let c = i % classes;
             let eps = init::normal_vec(&mut rng, dim);
-            for j in 0..dim {
-                samples.set(i, j, protos.get(c, j) + noise * eps[j]);
+            for (j, &e) in eps.iter().enumerate() {
+                samples.set(i, j, protos.get(c, j) + noise * e);
             }
             labels.push(c);
         }
@@ -455,8 +471,7 @@ mod tests {
         let after_second = model.class_hypervectors().row(0).to_vec();
         // Second addition of the identical pattern contributes ~nothing.
         let first_norm = smore_tensor::vecops::norm(&after_first);
-        let diff: Vec<f32> =
-            after_second.iter().zip(&after_first).map(|(a, b)| a - b).collect();
+        let diff: Vec<f32> = after_second.iter().zip(&after_first).map(|(a, b)| a - b).collect();
         assert!(smore_tensor::vecops::norm(&diff) < 0.05 * first_norm);
     }
 
@@ -476,18 +491,18 @@ mod tests {
         let mut model = HdcClassifier::new(toy_config(256, 3)).unwrap();
         model.fit(&samples, &labels).unwrap();
         let batch = model.predict_batch(&samples, 4).unwrap();
-        for i in 0..samples.rows() {
-            assert_eq!(batch[i], model.predict_one(samples.row(i)).unwrap());
+        for (i, &predicted) in batch.iter().enumerate() {
+            assert_eq!(predicted, model.predict_one(samples.row(i)).unwrap());
         }
     }
 
     #[test]
     fn scores_shape_and_dimension_check() {
         let model = HdcClassifier::new(toy_config(16, 4)).unwrap();
-        let s = model.scores(&vec![0.0; 16]).unwrap();
+        let s = model.scores(&[0.0; 16]).unwrap();
         assert_eq!(s.len(), 4);
-        assert!(model.scores(&vec![0.0; 8]).is_err());
-        assert!(model.predict_one(&vec![0.0; 8]).is_err());
+        assert!(model.scores(&[0.0; 8]).is_err());
+        assert!(model.predict_one(&[0.0; 8]).is_err());
         let bad = Matrix::zeros(2, 8);
         assert!(model.predict_batch(&bad, 1).is_err());
     }
@@ -539,12 +554,9 @@ mod tests {
         let (samples, labels) = clustered(8, 30, 256, 2, 0.6);
         let mut base = HdcClassifier::new(toy_config(256, 2)).unwrap();
         base.fit(&samples, &labels).unwrap();
-        let mut specialised = HdcClassifier::from_class_hypervectors_with(
-            base.class_hypervectors().clone(),
-            0.1,
-            10,
-        )
-        .unwrap();
+        let mut specialised =
+            HdcClassifier::from_class_hypervectors_with(base.class_hypervectors().clone(), 0.1, 10)
+                .unwrap();
         let report = specialised.fit(&samples, &labels).unwrap();
         assert!(report.epochs_run >= 1);
         let acc = *report.train_accuracy.last().unwrap();

@@ -126,8 +126,8 @@ proptest! {
         for i in 0..n {
             let c = i % classes;
             let eps = init::normal_vec(&mut rng, dim);
-            for j in 0..dim {
-                samples.set(i, j, protos.get(c, j) + 1.0 * eps[j]);
+            for (j, &e) in eps.iter().enumerate() {
+                samples.set(i, j, protos.get(c, j) + 1.0 * e);
             }
             labels.push(c);
         }

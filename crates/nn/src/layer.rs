@@ -315,8 +315,7 @@ impl Layer for Conv1d {
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix> {
-        let input =
-            self.input_cache.as_ref().ok_or(NnError::NoForwardCache { layer: "Conv1d" })?;
+        let input = self.input_cache.as_ref().ok_or(NnError::NoForwardCache { layer: "Conv1d" })?;
         let (ot, oc, c, k) = (self.out_time(), self.out_channels, self.in_channels, self.kernel);
         if grad_output.cols() != ot * oc || grad_output.rows() != input.rows() {
             return Err(NnError::ShapeMismatch {
@@ -336,12 +335,8 @@ impl Layer for Conv1d {
                     if go == 0.0 {
                         continue;
                     }
-                    *self
-                        .bias
-                        .grad
-                        .row_mut(0)
-                        .get_mut(ch)
-                        .expect("bias width = out_channels") += go;
+                    *self.bias.grad.row_mut(0).get_mut(ch).expect("bias width = out_channels") +=
+                        go;
                     let w = self.weight.value.row(ch);
                     let dw = self.weight.grad.row_mut(ch);
                     let x_window = &x[t * c..(t + k) * c];
@@ -442,7 +437,7 @@ impl Layer for BatchNorm1d {
 
     fn forward(&mut self, input: &Matrix, training: bool) -> Result<Matrix> {
         let c = self.channels;
-        if input.cols() == 0 || input.cols() % c != 0 {
+        if input.cols() == 0 || !input.cols().is_multiple_of(c) {
             return Err(NnError::ShapeMismatch {
                 layer: "BatchNorm1d",
                 expected: c,
@@ -484,7 +479,10 @@ impl Layer for BatchNorm1d {
                 self.running_var[ch] =
                     (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var[ch] as f32;
             }
-            (mean.iter().map(|&m| m as f32).collect::<Vec<_>>(), var.iter().map(|&v| v as f32).collect::<Vec<_>>())
+            (
+                mean.iter().map(|&m| m as f32).collect::<Vec<_>>(),
+                var.iter().map(|&v| v as f32).collect::<Vec<_>>(),
+            )
         } else {
             (self.running_mean.clone(), self.running_var.clone())
         };
@@ -518,8 +516,7 @@ impl Layer for BatchNorm1d {
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix> {
-        let cache =
-            self.cache.as_ref().ok_or(NnError::NoForwardCache { layer: "BatchNorm1d" })?;
+        let cache = self.cache.as_ref().ok_or(NnError::NoForwardCache { layer: "BatchNorm1d" })?;
         let c = self.channels;
         if grad_output.shape() != cache.normalized.shape() {
             return Err(NnError::ShapeMismatch {
@@ -624,7 +621,9 @@ impl GlobalAvgPool1d {
     /// Returns [`NnError::InvalidConfig`] for zero sizes.
     pub fn new(time: usize, channels: usize) -> Result<Self> {
         if time == 0 || channels == 0 {
-            return Err(NnError::InvalidConfig { what: "GlobalAvgPool1d sizes must be non-zero".into() });
+            return Err(NnError::InvalidConfig {
+                what: "GlobalAvgPool1d sizes must be non-zero".into(),
+            });
         }
         Ok(Self { time, channels, batch: None })
     }
@@ -661,8 +660,7 @@ impl Layer for GlobalAvgPool1d {
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix> {
-        let batch =
-            self.batch.ok_or(NnError::NoForwardCache { layer: "GlobalAvgPool1d" })?;
+        let batch = self.batch.ok_or(NnError::NoForwardCache { layer: "GlobalAvgPool1d" })?;
         if grad_output.cols() != self.channels || grad_output.rows() != batch {
             return Err(NnError::ShapeMismatch {
                 layer: "GlobalAvgPool1d",
@@ -877,7 +875,10 @@ mod tests {
                 layer.weight.value.set(i, j, orig);
                 let numeric = (lp - lm) / (2.0 * eps);
                 let a = analytic.get(i, j);
-                assert!((a - numeric).abs() < 1e-2 * (1.0 + numeric.abs()), "dW[{i},{j}]: {a} vs {numeric}");
+                assert!(
+                    (a - numeric).abs() < 1e-2 * (1.0 + numeric.abs()),
+                    "dW[{i},{j}]: {a} vs {numeric}"
+                );
             }
         }
     }
@@ -926,7 +927,11 @@ mod tests {
             bn.forward(&Matrix::from_vec(4, 1, vec![4.0, 5.0, 5.0, 6.0]).unwrap(), true).unwrap();
         }
         let out = bn.forward(&Matrix::from_vec(1, 1, vec![5.0]).unwrap(), false).unwrap();
-        assert!(out.get(0, 0).abs() < 0.1, "running mean should be ~5, got output {}", out.get(0, 0));
+        assert!(
+            out.get(0, 0).abs() < 0.1,
+            "running mean should be ~5, got output {}",
+            out.get(0, 0)
+        );
     }
 
     #[test]
@@ -954,8 +959,8 @@ mod tests {
         let mut m = [0.0f32; 2];
         for b in 0..4 {
             for t in 0..3 {
-                for ch in 0..2 {
-                    m[ch] += out.get(b, t * 2 + ch);
+                for (ch, acc) in m.iter_mut().enumerate() {
+                    *acc += out.get(b, t * 2 + ch);
                 }
             }
         }

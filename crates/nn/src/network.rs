@@ -111,7 +111,12 @@ impl Sequential {
     /// # Errors
     ///
     /// Propagates forward/backward and loss errors.
-    pub fn train_batch(&mut self, x: &Matrix, labels: &[usize], optimizer: &Optimizer) -> Result<f32> {
+    pub fn train_batch(
+        &mut self,
+        x: &Matrix,
+        labels: &[usize],
+        optimizer: &Optimizer,
+    ) -> Result<f32> {
         let logits = self.forward(x, true)?;
         let (loss, grad) = loss::softmax_cross_entropy(&logits, labels)?;
         self.zero_grad();

@@ -129,8 +129,7 @@ mod tests {
     }
 
     #[test]
-    fn roofline_picks_the_binding_resource()
-    {
+    fn roofline_picks_the_binding_resource() {
         let device = device::raspberry_pi_3b();
         // Compute-bound: enormous flops, no memory.
         let compute = OpProfile::new(1e12, 0.0);

@@ -40,8 +40,7 @@ pub fn hdc_train(n: usize, dim: usize, classes: usize, epochs: usize) -> OpProfi
     let update = 2.0 * 2.0 * dim as f64;
     let per_pass = n as f64 * (score + 0.3 * update);
     let passes = 1.0 + epochs as f64;
-    OpProfile::new(per_pass * passes, per_pass * passes / 2.0 * F32)
-        .with_efficiency(HDC_EFFICIENCY)
+    OpProfile::new(per_pass * passes, per_pass * passes / 2.0 * F32).with_efficiency(HDC_EFFICIENCY)
 }
 
 /// SMORE inference on `n` queries (Algorithm 1): encode, `K` descriptor
@@ -79,6 +78,7 @@ pub fn baseline_hd_infer(n: usize, features: usize, dim: usize, classes: usize) 
 
 /// DOMINO training: `rounds + 1` rounds of full re-encode + global train +
 /// per-domain trains — the cost structure behind its slow training.
+#[allow(clippy::too_many_arguments)]
 pub fn domino_train(
     n: usize,
     time: usize,
@@ -246,7 +246,8 @@ mod tests {
         let pi = crate::device::raspberry_pi_3b();
         let n = 100;
         let smore = crate::roofline_latency(&smore_infer(n, USC.0, USC.1, 8192, 3, 4, 12), &pi);
-        let tent = crate::roofline_latency(&tent_infer(n, USC.0, USC.1, 16, 32, 5, 64, 12, 10), &pi);
+        let tent =
+            crate::roofline_latency(&tent_infer(n, USC.0, USC.1, 16, 32, 5, 64, 12, 10), &pi);
         assert!(tent > smore, "TENT ({tent:.3}s) should be slower than SMORE ({smore:.3}s)");
     }
 

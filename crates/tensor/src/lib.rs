@@ -24,8 +24,8 @@
 #![warn(missing_docs)]
 
 mod error;
-mod matrix;
 pub mod init;
+mod matrix;
 pub mod parallel;
 pub mod stats;
 pub mod vecops;

@@ -63,7 +63,9 @@ impl Matrix {
     /// Returns [`TensorError::InvalidDimension`] when `rows` is empty and
     /// [`TensorError::LengthMismatch`] when rows disagree in length.
     pub fn from_rows(rows: &[&[f32]]) -> Result<Self> {
-        let first = rows.first().ok_or(TensorError::InvalidDimension { what: "from_rows requires at least one row" })?;
+        let first = rows
+            .first()
+            .ok_or(TensorError::InvalidDimension { what: "from_rows requires at least one row" })?;
         let cols = first.len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for r in rows {
@@ -138,7 +140,12 @@ impl Matrix {
     /// Panics if `i >= rows` or `j >= cols`.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f32 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[i * self.cols + j]
     }
 
@@ -149,7 +156,12 @@ impl Matrix {
     /// Panics if `i >= rows` or `j >= cols`.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, value: f32) {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[i * self.cols + j] = value;
     }
 
@@ -391,7 +403,11 @@ impl Matrix {
 
     fn check_same_shape(&self, other: &Self, op: &'static str) -> Result<()> {
         if self.shape() != other.shape() {
-            return Err(TensorError::ShapeMismatch { left: self.shape(), right: other.shape(), op });
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape(),
+                right: other.shape(),
+                op,
+            });
         }
         Ok(())
     }

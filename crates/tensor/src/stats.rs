@@ -90,10 +90,7 @@ impl Standardizer {
     /// Fits per-column statistics on `train`.
     pub fn fit(train: &Matrix) -> Self {
         let mean = col_mean(train);
-        let std = col_std(train)
-            .into_iter()
-            .map(|s| if s > 1e-8 { s } else { 1.0 })
-            .collect();
+        let std = col_std(train).into_iter().map(|s| if s > 1e-8 { s } else { 1.0 }).collect();
         Self { mean, std }
     }
 

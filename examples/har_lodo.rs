@@ -53,12 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     }
     let baseline_mean = baseline_sum / domains as f32;
     let smore_mean = smore_sum / domains as f32;
-    println!(
-        "{:<10} {:>11.1}% {:>11.1}%",
-        "average",
-        100.0 * baseline_mean,
-        100.0 * smore_mean
-    );
+    println!("{:<10} {:>11.1}% {:>11.1}%", "average", 100.0 * baseline_mean, 100.0 * smore_mean);
     println!(
         "\nSMORE − BaselineHD: {:+.1} points under LODO (margins vary with the synthetic",
         100.0 * (smore_mean - baseline_mean)

@@ -26,21 +26,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Train on domains 0-2; domain 3 simulates a new user joining later.
     let (train, unseen) = split::lodo(&dataset, 3)?;
-    let mut model = Smore::new(
-        SmoreConfig::builder()
-            .dim(4096)
-            .channels(3)
-            .num_classes(4)
-            .build()?,
-    )?;
+    let mut model =
+        Smore::new(SmoreConfig::builder().dim(4096).channels(3).num_classes(4).build()?)?;
     model.fit_indices(&dataset, &train)?;
 
     // Calibrate δ* from the training data itself: set it just below the
     // 10th percentile of in-distribution δ_max, so ~90% of known-subject
     // windows pass while drifted data trips the detector.
     let (calib_w, _, _) = dataset.gather(&train);
-    let mut deltas: Vec<f32> =
-        model.predict_batch(&calib_w)?.iter().map(|p| p.delta_max).collect();
+    let mut deltas: Vec<f32> = model.predict_batch(&calib_w)?.iter().map(|p| p.delta_max).collect();
     deltas.sort_by(|a, b| a.partial_cmp(b).expect("finite similarities"));
     let delta_star = deltas[deltas.len() / 10];
     model.set_delta_star(delta_star)?;
@@ -51,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stream: Vec<usize> = known.iter().chain(unseen.iter().take(20)).copied().collect();
 
     println!("streaming 40 windows (first 20 from known subjects, last 20 from a new one):\n");
-    println!("{:>4}  {:>8}  {:>6}  {:>8}  {}", "#", "δ_max", "OOD?", "class", "closest domain");
+    println!("{:>4}  {:>8}  {:>6}  {:>8}  closest domain", "#", "δ_max", "OOD?", "class");
     let mut ood_known = 0usize;
     let mut ood_new = 0usize;
     for (i, &idx) in stream.iter().enumerate() {
@@ -77,10 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("{:-<50}", "");
         }
     }
-    println!(
-        "\nOOD rate: {}/20 on known subjects vs {}/20 on the new subject",
-        ood_known, ood_new
-    );
+    println!("\nOOD rate: {}/20 on known subjects vs {}/20 on the new subject", ood_known, ood_new);
     println!("A rising OOD rate is the deployment signal to collect/adapt for a new user.");
     Ok(())
 }

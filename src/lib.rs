@@ -12,6 +12,18 @@
 //! - [`smore_baselines`] — BaselineHD, DOMINO, TENT and MDANs
 //! - [`smore_platform`] — edge-device latency/energy models
 //! - [`smore_tensor`] — the linear-algebra substrate
+//!
+//! Every re-export resolves through this crate (compile-time check):
+//!
+//! ```
+//! let _ = smore_repro::smore::SmoreConfig::builder();
+//! let _ = smore_repro::smore_baselines::baseline_hd::BaselineHdConfig::default();
+//! let _ = smore_repro::smore_data::generator::GeneratorConfig::default();
+//! let _ = smore_repro::smore_hdc::Hypervector::zeros(4);
+//! let _ = smore_repro::smore_nn::optim::Optimizer::sgd(0.1, 0.9);
+//! let _ = smore_repro::smore_platform::device::raspberry_pi_3b();
+//! let _ = smore_repro::smore_tensor::Matrix::zeros(1, 1);
+//! ```
 
 pub use smore;
 pub use smore_baselines;

@@ -106,9 +106,8 @@ fn degenerate_constant_windows_still_classify() {
     // All-constant windows (dead sensor) must flow through quantisation,
     // training and prediction without NaNs.
     let meta = TaskMeta { num_classes: 2, num_domains: 2, channels: 2, window_len: 16 };
-    let windows: Vec<Matrix> = (0..24)
-        .map(|i| Matrix::filled(16, 2, if i % 2 == 0 { 1.0 } else { -1.0 }))
-        .collect();
+    let windows: Vec<Matrix> =
+        (0..24).map(|i| Matrix::filled(16, 2, if i % 2 == 0 { 1.0 } else { -1.0 })).collect();
     let labels: Vec<usize> = (0..24).map(|i| i % 2).collect();
     let domains: Vec<usize> = (0..24).map(|i| (i / 12) % 2).collect();
     let mut model = Smore::new(
@@ -120,11 +119,8 @@ fn degenerate_constant_windows_still_classify() {
     assert!(p.delta_max.is_finite());
 
     // BaselineHD handles the same degenerate input.
-    let mut baseline = BaselineHd::new(BaselineHdConfig {
-        dim: 256,
-        epochs: 5,
-        ..BaselineHdConfig::default()
-    });
+    let mut baseline =
+        BaselineHd::new(BaselineHdConfig { dim: 256, epochs: 5, ..BaselineHdConfig::default() });
     baseline.fit(&windows, &labels, &domains, &meta).unwrap();
     let preds = baseline.predict(&windows[..4]).unwrap();
     assert_eq!(preds.len(), 4);

@@ -5,10 +5,10 @@
 use smore::pipeline::{self, TaskMeta, WindowClassifier};
 use smore::{Smore, SmoreConfig};
 use smore_baselines::baseline_hd::{BaselineHd, BaselineHdConfig};
+use smore_baselines::cnn::CnnConfig;
 use smore_baselines::domino::{Domino, DominoConfig};
 use smore_baselines::mdan::{Mdan, MdanConfig};
 use smore_baselines::tent::{Tent, TentConfig};
-use smore_baselines::cnn::CnnConfig;
 use smore_data::presets::{self, PresetProfile};
 use smore_data::split;
 
@@ -69,21 +69,20 @@ fn smore_beats_pooled_and_tracks_baseline_hd_under_lodo() {
         model.fit_indices(&ds, &train).unwrap();
         let (train_w, train_l, _) = ds.gather(&train);
         let encoded = model.encode(&train_w).unwrap();
-        let mut pooled = smore_hdc::model::HdcClassifier::new(
-            smore_hdc::model::HdcClassifierConfig {
+        let mut pooled =
+            smore_hdc::model::HdcClassifier::new(smore_hdc::model::HdcClassifierConfig {
                 dim,
                 num_classes: ds.meta().num_classes,
                 learning_rate: 0.05,
                 epochs: 10,
-            },
-        )
-        .unwrap();
+            })
+            .unwrap();
         pooled.fit(&encoded, &train_l).unwrap();
         let (test_w, test_l, _) = ds.gather(&test);
         let test_enc = model.encode(&test_w).unwrap();
         let preds = pooled.predict_batch(&test_enc, 2).unwrap();
-        pooled_sum += preds.iter().zip(&test_l).filter(|(p, t)| p == t).count() as f32
-            / test_l.len() as f32;
+        pooled_sum +=
+            preds.iter().zip(&test_l).filter(|(p, t)| p == t).count() as f32 / test_l.len() as f32;
     }
     let pooled_mean = pooled_sum / ds.meta().num_domains as f32;
 
@@ -217,8 +216,8 @@ fn presets_feed_every_classifier_shape() {
     for (name, make) in presets::all() {
         let ds = make(&profile).unwrap();
         let mut model = small_smore(&ds, 512);
-        let outcome = pipeline::run_lodo(&ds, &mut model, 0)
-            .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+        let outcome =
+            pipeline::run_lodo(&ds, &mut model, 0).unwrap_or_else(|e| panic!("{name} failed: {e}"));
         assert!(outcome.accuracy > 0.0, "{name}: zero accuracy");
     }
 }

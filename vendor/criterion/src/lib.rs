@@ -1,0 +1,170 @@
+//! Vendored, offline subset of the `criterion` API.
+//!
+//! Provides [`Criterion`], [`Bencher::iter`], benchmark groups,
+//! [`BenchmarkId`], [`black_box`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurement is a plain warm-up + timed-batch
+//! wall-clock loop printing ns/iter — no statistics, plots or HTML reports —
+//! so `cargo bench` produces comparable numbers without any network
+//! dependency.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(400);
+const WARMUP_BUDGET: Duration = Duration::from_millis(100);
+
+/// Runs closures under a timing loop and prints per-iteration cost.
+pub struct Bencher {
+    nanos_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `f`, storing the mean wall-clock cost of one call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up while estimating the per-call cost.
+        let warm_start = Instant::now();
+        let mut calls = 0u64;
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            black_box(f());
+            calls += 1;
+        }
+        let per_call = warm_start.elapsed().as_secs_f64() / calls as f64;
+        let target = (MEASURE_BUDGET.as_secs_f64() / per_call.max(1e-9)).clamp(1.0, 1e7) as u64;
+
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.nanos_per_iter = elapsed.as_nanos() as f64 / target as f64;
+        self.iters = target;
+    }
+}
+
+/// Identifier for one parameterised benchmark within a group.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { name: parameter.to_string() }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group_name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.group_name, id.name);
+        self.criterion.run_one(&name, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under this group's namespace.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.group_name, id.into());
+        self.criterion.run_one(&name, &mut f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut bencher = Bencher { nanos_per_iter: 0.0, iters: 0 };
+        f(&mut bencher);
+        println!(
+            "{name:<48} {:>14} ns/iter  ({} iterations)",
+            format!("{:.1}", bencher.nanos_per_iter),
+            bencher.iters
+        );
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        self.run_one(name, &mut f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, group_name: name.into() }
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_add", |b| {
+            let mut acc = 0u64;
+            b.iter(|| {
+                acc = acc.wrapping_add(black_box(1));
+                acc
+            })
+        });
+        let mut group = c.benchmark_group("group");
+        group.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &n| {
+            b.iter(|| black_box(n) * 2)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,82 @@
+//! Vendored, offline subset of the `crossbeam` API: scoped threads.
+//!
+//! Only `crossbeam::thread::scope` / `Scope::spawn` are provided — the one
+//! surface `smore_tensor::parallel` uses — implemented on top of
+//! `std::thread::scope`, which has offered the same structured-concurrency
+//! guarantee since Rust 1.63.
+
+/// Scoped thread spawning, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+
+    /// The error half of [`scope`]'s result: the payload of a panicked
+    /// child thread.
+    pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle that can spawn threads borrowing from the caller.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives a
+        /// scope handle so workers can spawn nested workers.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || {
+                let handle = Scope { inner };
+                f(&handle)
+            })
+        }
+    }
+
+    /// Creates a scope in which threads borrowing `'env` data can be
+    /// spawned; all spawned threads are joined before `scope` returns.
+    ///
+    /// Unlike crossbeam (which collects child panics into the `Err` arm),
+    /// this implementation inherits `std::thread::scope` semantics and
+    /// resumes the panic on the caller thread, so the returned result is
+    /// always `Ok`. Callers that `.expect()` the result behave identically.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = vec![1, 2, 3, 4];
+        let mut out = vec![0; 4];
+        let result = thread::scope(|s| {
+            for (o, &x) in out.iter_mut().zip(&data) {
+                s.spawn(move |_| *o = x * 2);
+            }
+            42
+        })
+        .unwrap();
+        assert_eq!(result, 42);
+        assert_eq!(out, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn nested_spawn_compiles() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        thread::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| flag.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}

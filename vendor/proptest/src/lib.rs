@@ -1,0 +1,409 @@
+//! Vendored, offline subset of the `proptest` API.
+//!
+//! Implements the surface the workspace's property suites use — the
+//! [`proptest!`] macro, [`Strategy`] with [`Strategy::prop_map`], numeric
+//! range strategies, [`arbitrary`] via [`any`], `prop::collection::vec`,
+//! `prop::bool::ANY` and the `prop_assert*` family — as plain random search:
+//! each case draws fresh inputs from a deterministic per-test RNG. Failing
+//! inputs are reported but **not shrunk**.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A failed property check, carrying the formatted assertion message.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Outcome of a single property-test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A generator of random values of an associated type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps the produced value through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy adapter created by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(f32, f64, usize, u64, u32, u16, u8, i64, i32);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u64, u32, u16, u8, usize, i64, i32, i16, i8, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut StdRng) -> f32 {
+        // Finite, broad-but-tame magnitudes: property suites use this for
+        // "any reasonable float", not for subnormal/inf edge-case hunting.
+        rng.gen_range(-1.0e6f32..1.0e6)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        rng.gen_range(-1.0e9f64..1.0e9)
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing unconstrained values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// The `prop::` namespace (`prop::collection`, `prop::bool`, …).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Length specification for [`vec`]: a fixed `usize` or a
+        /// `Range<usize>`.
+        pub trait SizeRange {
+            /// Picks a concrete length.
+            fn pick(&self, rng: &mut StdRng) -> usize;
+        }
+
+        impl SizeRange for usize {
+            fn pick(&self, _rng: &mut StdRng) -> usize {
+                *self
+            }
+        }
+
+        impl SizeRange for std::ops::Range<usize> {
+            fn pick(&self, rng: &mut StdRng) -> usize {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl SizeRange for std::ops::RangeInclusive<usize> {
+            fn pick(&self, rng: &mut StdRng) -> usize {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        /// Strategy for `Vec<S::Value>` with element strategy `S`.
+        pub struct VecStrategy<S, L> {
+            element: S,
+            len: L,
+        }
+
+        impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let n = self.len.pick(rng);
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+
+        /// Vector strategy: `len` is a fixed length or a length range.
+        pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+            VecStrategy { element, len }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Strategy producing unbiased booleans.
+        pub struct AnyBool;
+
+        impl Strategy for AnyBool {
+            type Value = bool;
+            fn sample(&self, rng: &mut StdRng) -> bool {
+                rng.gen::<bool>()
+            }
+        }
+
+        /// The canonical boolean strategy.
+        pub const ANY: AnyBool = AnyBool;
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+/// Derives the deterministic base seed for a named property test.
+#[doc(hidden)]
+pub fn __test_seed(name: &str) -> u64 {
+    // An FNV-style fold over the test path (64-bit offset basis, non-standard
+    // multiplier) keeps seeds stable across runs and distinct across tests.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[doc(hidden)]
+pub fn __case_rng(base: u64, case: u32) -> StdRng {
+    StdRng::seed_from_u64(base ^ ((case as u64) << 32 | 0x9e37_79b9))
+}
+
+/// Declares property tests: each `fn` runs `cases` times with inputs drawn
+/// from the strategies named in its parameter list.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])+
+      fn $name:ident ( $($params:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])+
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let base = $crate::__test_seed(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let mut __proptest_rng = $crate::__case_rng(base, case);
+                let outcome: $crate::TestCaseResult = (|| {
+                    $crate::__proptest_bind!{ __proptest_rng, $($params)* }
+                    $body
+                    Ok(())
+                })();
+                if let Err(e) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name), case + 1, config.cases, e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, mut $name:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        let mut $name = $crate::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_bind!{ $rng $(, $($rest)*)? }
+    };
+    ($rng:ident, $name:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        let $name = $crate::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_bind!{ $rng $(, $($rest)*)? }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left), stringify!($right), l
+            )));
+        }
+    }};
+}
+
+/// Skips the current case (counted as passing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in -2.0f32..2.0, n in 1usize..10) {
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_len_and_map(v in prop::collection::vec(0.0f32..1.0, 5), mut w in prop::collection::vec(0usize..3, 1..4)) {
+            prop_assert_eq!(v.len(), 5);
+            prop_assert!(!w.is_empty() && w.len() < 4);
+            w.push(0);
+            prop_assert!(w.iter().all(|&x| x < 3));
+        }
+
+        #[test]
+        fn assume_skips(a in any::<u64>(), b in any::<u64>()) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+
+        #[test]
+        fn bool_any_compiles(flag in prop::bool::ANY) {
+            prop_assert!(flag || !flag);
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let strat = (1usize..4).prop_map(|n| vec![7u8; n]);
+        let mut rng = crate::__case_rng(crate::__test_seed("map"), 0);
+        let v = strat.sample(&mut rng);
+        assert!(!v.is_empty() && v.len() < 4);
+        assert!(v.iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        assert_eq!(crate::__test_seed("a::b"), crate::__test_seed("a::b"));
+        assert_ne!(crate::__test_seed("a::b"), crate::__test_seed("a::c"));
+    }
+}
