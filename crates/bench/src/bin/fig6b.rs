@@ -7,6 +7,11 @@
 //! channels) and the paper-scale HAR backbone (64/64 channels, 256-wide
 //! features) that the TensorFlow baselines of the original evaluation
 //! use — the relative ordering of the paper emerges at that scale.
+//!
+//! A "SMORE (packed)" row prices the quantized serving path of
+//! `smore_packed` (word-level binary arithmetic: XOR binding, popcount
+//! similarity), showing what the roofline looks like once hypervector ops
+//! stop being `f32` streams.
 
 use smore_bench::{print_table, BenchProfile};
 use smore_data::presets::table1;
@@ -46,6 +51,10 @@ fn workloads(
         Workload {
             name: "SMORE",
             profile: profiles::smore_infer(n, time, channels, dim, 3, domains, classes),
+        },
+        Workload {
+            name: "SMORE (packed)",
+            profile: profiles::packed_smore_infer(n, time, channels, dim, 3, domains, classes),
         },
     ]
 }

@@ -1,0 +1,214 @@
+//! Serving throughput: dense vs quantized (bit-packed) inference on the
+//! USC-HAD-like preset, plus the raw similarity-kernel comparison at the
+//! paper's dimensionality (`d = 8192`).
+//!
+//! Emits machine-readable JSON to `BENCH_throughput.json` so the perf
+//! trajectory is tracked across PRs. Schema: a list of entries with
+//! `op` (`predict` end-to-end window prediction, `similarity_d8192` raw
+//! kernel), `backend` (`dense` | `packed`), `windows_per_sec` (ops/sec for
+//! kernel rows) and `p50_ms`/`p95_ms` per-call latency percentiles.
+
+use std::time::Instant;
+
+use smore_bench::{make_smore, pct, print_table, BenchProfile};
+use smore_data::presets::usc_had;
+use smore_data::split;
+use smore_packed::PackedHypervector;
+use smore_tensor::{init, vecops};
+
+/// One measured row of the report.
+struct Entry {
+    op: &'static str,
+    backend: &'static str,
+    per_sec: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Per-call latency percentiles (p50, p95) in milliseconds.
+fn latency_percentiles(mut samples: Vec<f64>) -> (f64, f64) {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    (percentile(&samples, 0.50) * 1e3, percentile(&samples, 0.95) * 1e3)
+}
+
+/// Times `calls` invocations of `f`, returning (calls/sec, per-call
+/// latencies in seconds).
+fn time_calls(calls: usize, mut f: impl FnMut()) -> (f64, Vec<f64>) {
+    let mut latencies = Vec::with_capacity(calls);
+    let t0 = Instant::now();
+    for _ in 0..calls {
+        let t = Instant::now();
+        f();
+        latencies.push(t.elapsed().as_secs_f64());
+    }
+    let total = t0.elapsed().as_secs_f64();
+    (calls as f64 / total.max(1e-12), latencies)
+}
+
+/// Raw similarity kernels at `d = 8192`: dense cosine vs packed
+/// XOR+popcount. Each timed call batches `inner` kernel invocations so the
+/// per-call percentiles stay above timer resolution.
+fn similarity_entries() -> (Vec<Entry>, f64) {
+    let dim = 8192;
+    let inner = 64usize;
+    let calls = 300usize;
+    let a = init::bipolar_vec(&mut init::rng(1), dim);
+    let b = init::bipolar_vec(&mut init::rng(2), dim);
+    let pa = PackedHypervector::from_signs(&a);
+    let pb = PackedHypervector::from_signs(&b);
+
+    let mut sink = 0.0f32;
+    let (dense_calls_per_sec, dense_lat) = time_calls(calls, || {
+        for _ in 0..inner {
+            sink += vecops::cosine(&a, &b);
+        }
+    });
+    let mut packed_sink = 0usize;
+    let (packed_calls_per_sec, packed_lat) = time_calls(calls, || {
+        for _ in 0..inner {
+            packed_sink += pa.hamming(&pb).expect("dims agree");
+        }
+    });
+    assert!(sink.is_finite() && packed_sink > 0, "keep the kernels observable");
+
+    let dense_ops = dense_calls_per_sec * inner as f64;
+    let packed_ops = packed_calls_per_sec * inner as f64;
+    let speedup = packed_ops / dense_ops;
+    let (d50, d95) = latency_percentiles(dense_lat);
+    let (p50, p95) = latency_percentiles(packed_lat);
+    let entries = vec![
+        Entry {
+            op: "similarity_d8192",
+            backend: "dense",
+            per_sec: dense_ops,
+            p50_ms: d50 / inner as f64,
+            p95_ms: d95 / inner as f64,
+        },
+        Entry {
+            op: "similarity_d8192",
+            backend: "packed",
+            per_sec: packed_ops,
+            p50_ms: p50 / inner as f64,
+            p95_ms: p95 / inner as f64,
+        },
+    ];
+    (entries, speedup)
+}
+
+fn write_json(path: &str, preset: &str, dim: usize, entries: &[Entry]) -> std::io::Result<()> {
+    let rows: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            format!(
+                "    {{\"op\": \"{}\", \"backend\": \"{}\", \"windows_per_sec\": {:.2}, \
+                 \"p50_ms\": {:.6}, \"p95_ms\": {:.6}}}",
+                e.op, e.backend, e.per_sec, e.p50_ms, e.p95_ms
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"preset\": \"{preset}\",\n  \"dim\": {dim},\n  \"entries\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(path, json)
+}
+
+fn main() {
+    let profile = BenchProfile::from_args();
+    let dataset = usc_had(&profile.preset).expect("preset profile is valid");
+    let (train, test) = split::lodo(&dataset, 0).expect("dataset has domain 0");
+
+    println!("# Serving throughput: dense vs quantized (USC-HAD-like, d = {})", profile.dim);
+    println!(
+        "\ntraining dense SMORE on {} windows ({} held-out queries)...",
+        train.len(),
+        test.len()
+    );
+    let mut dense = make_smore(&dataset, &profile).expect("profile builds a valid model");
+    dense.fit_indices(&dataset, &train).expect("training succeeds");
+    let quantized = dense.quantize().expect("model is fitted");
+
+    let (windows, labels, _) = dataset.gather(&test);
+    let probe = windows.len().min(200);
+
+    // End-to-end accuracy sanity on the held-out domain.
+    let dense_eval = dense.evaluate(&windows, &labels).expect("evaluation succeeds");
+    let quant_eval = quantized.evaluate(&windows, &labels).expect("evaluation succeeds");
+
+    // Batch throughput (windows/sec) over the full held-out domain.
+    let t0 = Instant::now();
+    dense.predict_batch(&windows).expect("prediction succeeds");
+    let dense_wps = windows.len() as f64 / t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    quantized.predict_batch(&windows).expect("prediction succeeds");
+    let quant_wps = windows.len() as f64 / t0.elapsed().as_secs_f64();
+
+    // Per-window latency percentiles over a probe subset.
+    let mut dense_lat = Vec::with_capacity(probe);
+    let mut quant_lat = Vec::with_capacity(probe);
+    for w in &windows[..probe] {
+        let t = Instant::now();
+        dense.predict_window(w).expect("prediction succeeds");
+        dense_lat.push(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        quantized.predict_window(w).expect("prediction succeeds");
+        quant_lat.push(t.elapsed().as_secs_f64());
+    }
+    let (d50, d95) = latency_percentiles(dense_lat);
+    let (q50, q95) = latency_percentiles(quant_lat);
+
+    let (mut entries, kernel_speedup) = similarity_entries();
+    entries.insert(
+        0,
+        Entry { op: "predict", backend: "dense", per_sec: dense_wps, p50_ms: d50, p95_ms: d95 },
+    );
+    entries.insert(
+        1,
+        Entry { op: "predict", backend: "packed", per_sec: quant_wps, p50_ms: q50, p95_ms: q95 },
+    );
+
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|e| {
+            vec![
+                e.op.to_string(),
+                e.backend.to_string(),
+                format!("{:.1}", e.per_sec),
+                format!("{:.4} ms", e.p50_ms),
+                format!("{:.4} ms", e.p95_ms),
+            ]
+        })
+        .collect();
+    print_table("Throughput and latency", &["Op", "Backend", "windows/sec", "p50", "p95"], &rows);
+
+    println!(
+        "\nheld-out accuracy: dense {}, quantized {}",
+        pct(dense_eval.accuracy),
+        pct(quant_eval.accuracy)
+    );
+    println!("end-to-end speedup: {:.2}x windows/sec", quant_wps / dense_wps);
+    println!("similarity kernel (d = 8192): packed {kernel_speedup:.1}x faster than dense cosine");
+    println!(
+        "packed model footprint: {:.1} KiB (vs {:.1} KiB dense class+descriptor f32)",
+        quantized.storage_bytes() as f64 / 1024.0,
+        (quantized.num_domains()
+            * (quantized.config().num_classes + 1)
+            * quantized.dim()
+            * std::mem::size_of::<f32>()) as f64
+            / 1024.0
+    );
+
+    let out = "BENCH_throughput.json";
+    match write_json(out, "usc-had-like", profile.dim, &entries) {
+        Ok(()) => println!("\nwrote {out}"),
+        Err(e) => eprintln!("\nfailed to write {out}: {e}"),
+    }
+}

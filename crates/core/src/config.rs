@@ -97,6 +97,20 @@ pub struct SmoreConfig {
     pub seed: u64,
 }
 
+/// Validates an OOD threshold `δ*`: finite and on the cosine scale.
+///
+/// Shared by [`SmoreConfig::validate`], [`crate::Smore::set_delta_star`]
+/// and [`crate::QuantizedSmore::set_delta_star`] so dense and quantized
+/// models can never drift apart in what they accept.
+pub(crate) fn validate_delta_star(delta_star: f32) -> Result<()> {
+    if !delta_star.is_finite() || !(-1.0..=1.0).contains(&delta_star) {
+        return Err(SmoreError::InvalidConfig {
+            what: format!("delta_star must be a cosine value in [-1, 1], got {delta_star}"),
+        });
+    }
+    Ok(())
+}
+
 impl SmoreConfig {
     /// Starts a builder with calibrated defaults.
     pub fn builder() -> SmoreConfigBuilder {
@@ -121,14 +135,7 @@ impl SmoreConfig {
         if self.ngram == 0 {
             return Err(SmoreError::InvalidConfig { what: "ngram must be positive".into() });
         }
-        if !self.delta_star.is_finite() || !(-1.0..=1.0).contains(&self.delta_star) {
-            return Err(SmoreError::InvalidConfig {
-                what: format!(
-                    "delta_star must be a cosine value in [-1, 1], got {}",
-                    self.delta_star
-                ),
-            });
-        }
+        validate_delta_star(self.delta_star)?;
         if !(self.learning_rate > 0.0 && self.learning_rate <= 1.0) {
             return Err(SmoreError::InvalidConfig {
                 what: format!("learning_rate must be in (0, 1], got {}", self.learning_rate),

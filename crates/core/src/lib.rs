@@ -21,6 +21,12 @@
 //!    the domain-specific models — all of them for OOD queries, only the
 //!    sufficiently similar ones otherwise (Algorithm 1, Eq. 3).
 //!
+//! A fitted model can additionally be frozen into a bit-packed serving
+//! model with [`Smore::quantize`]: [`QuantizedSmore`] runs the whole of
+//! Algorithm 1 on one-bit-per-dimension hypervectors (XOR binding,
+//! popcount similarity) for a ~32× smaller footprint and an
+//! order-of-magnitude cheaper similarity kernel.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -65,12 +71,14 @@ mod error;
 pub mod metrics;
 pub mod ood;
 pub mod pipeline;
+mod quantized;
 mod smore_model;
 pub mod test_time;
 
 pub use centering::Centerer;
 pub use config::{DomainInit, RangeMode, SmoreConfig, SmoreConfigBuilder};
 pub use error::SmoreError;
+pub use quantized::QuantizedSmore;
 pub use smore_model::{EvalReport, Prediction, Smore, TrainReport};
 
 /// Result alias used across the crate.

@@ -1,0 +1,550 @@
+//! The quantized serving path: frozen SMORE models on bit-packed binary
+//! hypervectors.
+//!
+//! [`QuantizedSmore`] is produced by [`crate::Smore::quantize`] from a
+//! fitted dense model. Descriptors and encoder codebooks are sign-quantized
+//! to one bit per dimension; the domain class hypervectors keep three
+//! scaled sign planes ([`ResidualPacked`]) because their per-dimension
+//! magnitudes carry the ensemble vote margins. The whole of Algorithm 1
+//! then runs on word-level logic:
+//!
+//! - **Encoding** uses the packed n-gram encoder's *integer accumulator*,
+//!   which reproduces the dense accumulator exactly (every bipolar product
+//!   is `±1`); mean-centring folds into the threshold: the query bit is
+//!   `sign(acc_i − μ_i·‖acc‖)`, i.e. the exact sign the dense pipeline
+//!   would compute after centring and normalisation — no dense encode ever
+//!   runs.
+//! - **Descriptor similarity and OOD detection** are XOR+popcount. Sign
+//!   quantization distorts the cosine scale as `δ ↦ (2/π)·asin(δ)` (the
+//!   Gaussian sign-correlation identity); each measured similarity is put
+//!   back on the dense scale through the inverse map `sin(π/2 · s)`, so
+//!   the OOD threshold `δ*` and the Eq. 3 ensemble weights keep their
+//!   dense calibration.
+//! - **Test-time ensembling** (§3.6, Eq. 3) never materialises the
+//!   ensembled model: `dot(Q, Σ_k w_k C_k) = Σ_k w_k·dot(Q, C_k)`, so each
+//!   class score is a weighted sum of integer-accumulated popcount dots
+//!   (one per residual plane), normalised by the ensemble norm from a
+//!   precomputed `K × K` Gram matrix per class — the packed analog of the
+//!   dense per-query cosine.
+//!
+//! Model memory drops >10× (descriptors 32×) and similarity scoring
+//! replaces `3d` FLOPs with `d/64` XOR+popcount words per comparison.
+
+use std::f32::consts::FRAC_PI_2;
+use std::time::Instant;
+
+use smore_data::Dataset;
+use smore_hdc::encoder::MultiSensorEncoder;
+use smore_packed::{PackedHypervector, PackedNgramEncoder, ResidualPacked};
+use smore_tensor::{parallel, Matrix};
+
+use crate::config::SmoreConfig;
+use crate::ood::{OodDecision, OodDetector};
+use crate::smore_model::{ChannelStats, EvalReport, Fitted, Prediction};
+use crate::test_time::ensemble_weights_powered;
+use crate::{Result, SmoreError};
+
+/// Recovers a dense-cosine estimate from a sign-quantized similarity.
+///
+/// For jointly Gaussian components, `E[cos(sign x, sign y)] =
+/// (2/π)·asin(cos(x, y))` — sign quantization compresses similarities
+/// toward zero. Inverting the identity (`sin(π/2 · s)`) puts every
+/// measured packed similarity back on the dense cosine scale, so the OOD
+/// threshold `δ*` and the ensemble weights of Eq. 3 operate on the same
+/// numbers the dense pipeline would see.
+fn recover_cosine(packed_sim: f32) -> f32 {
+    (FRAC_PI_2 * packed_sim.clamp(-1.0, 1.0)).sin()
+}
+
+/// A frozen, bit-packed SMORE model for quantized serving.
+///
+/// Produced by [`Smore::quantize`](crate::Smore::quantize); exposes the
+/// same prediction surface ([`predict_window`](Self::predict_window),
+/// [`predict_batch`](Self::predict_batch), [`evaluate`](Self::evaluate))
+/// and returns the same [`Prediction`] type. `delta_max` and
+/// `domain_similarities` are reported on the recovered dense-cosine scale
+/// (see [`recover_cosine`]), so `δ*` keeps its dense calibration.
+///
+/// # Example
+///
+/// ```
+/// use smore::{Smore, SmoreConfig};
+/// use smore_data::generator::{generate, DomainSpec, GeneratorConfig};
+///
+/// # fn main() -> Result<(), smore::SmoreError> {
+/// let dataset = generate(&GeneratorConfig {
+///     domains: vec![
+///         DomainSpec { subjects: vec![0, 1], windows: 30 },
+///         DomainSpec { subjects: vec![2, 3], windows: 30 },
+///     ],
+///     ..GeneratorConfig::default()
+/// })
+/// .map_err(smore::SmoreError::from)?;
+/// let mut model = Smore::new(
+///     SmoreConfig::builder()
+///         .dim(512)
+///         .channels(dataset.meta().channels)
+///         .num_classes(dataset.meta().num_classes)
+///         .epochs(5)
+///         .build()?,
+/// )?;
+/// let all: Vec<usize> = (0..dataset.len()).collect();
+/// model.fit_indices(&dataset, &all)?;
+///
+/// let quantized = model.quantize()?;
+/// let p = quantized.predict_window(dataset.window(0))?;
+/// assert!(p.label < dataset.meta().num_classes);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuantizedSmore {
+    config: SmoreConfig,
+    scaler: ChannelStats,
+    encoder: PackedNgramEncoder,
+    /// Global training mean of the dense pipeline (`Centerer`), folded into
+    /// the packing threshold.
+    mean: Vec<f32>,
+    /// `[domain][class]` residual-binarized class hypervectors — a few
+    /// scaled sign planes each, so magnitudes survive quantization.
+    domain_classes: Vec<Vec<ResidualPacked>>,
+    descriptors: Vec<PackedHypervector>,
+    /// Per class `c`, the `K × K` Gram matrix `dot(C_j^c, C_k^c)` of the
+    /// quantized domain class hypervectors (row-major, `j·K + k`).
+    class_gram: Vec<Vec<f32>>,
+    domain_tags: Vec<usize>,
+}
+
+/// Sign planes per class hypervector: 3 bits/dim keeps the ensemble vote
+/// margins that pure sign quantization discards, while staying >10× below
+/// the dense `f32` footprint and fully inside popcount arithmetic.
+const CLASS_PLANES: usize = 3;
+
+impl QuantizedSmore {
+    pub(crate) fn from_fitted(
+        config: &SmoreConfig,
+        dense_encoder: &MultiSensorEncoder,
+        fitted: &Fitted,
+    ) -> Result<Self> {
+        let encoder = PackedNgramEncoder::from_dense(dense_encoder)?;
+        let domain_classes = fitted
+            .domain_models
+            .iter()
+            .map(|model| {
+                model
+                    .class_hypervectors()
+                    .iter_rows()
+                    .map(|row| ResidualPacked::from_dense(row, CLASS_PLANES))
+                    .collect::<smore_packed::Result<Vec<_>>>()
+            })
+            .collect::<smore_packed::Result<Vec<_>>>()?;
+        let descriptors: Vec<PackedHypervector> =
+            fitted.descriptors.as_matrix().iter_rows().map(PackedHypervector::from_signs).collect();
+        let k = domain_classes.len();
+        let class_gram = (0..config.num_classes)
+            .map(|c| {
+                let mut gram = vec![0.0f32; k * k];
+                for j in 0..k {
+                    for m in j..k {
+                        let dot = domain_classes[j][c].dot(&domain_classes[m][c])?;
+                        gram[j * k + m] = dot;
+                        gram[m * k + j] = dot;
+                    }
+                }
+                Ok(gram)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self {
+            config: config.clone(),
+            scaler: fitted.scaler.clone(),
+            encoder,
+            mean: fitted.centerer.mean().to_vec(),
+            descriptors,
+            class_gram,
+            domain_classes,
+            domain_tags: fitted.domain_tags.clone(),
+        })
+    }
+
+    /// The dense configuration the model was quantized from.
+    pub fn config(&self) -> &SmoreConfig {
+        &self.config
+    }
+
+    /// Hypervector dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    /// Number of source domains `K`.
+    pub fn num_domains(&self) -> usize {
+        self.domain_classes.len()
+    }
+
+    /// External domain tags, ordered by local model index.
+    pub fn domain_tags(&self) -> &[usize] {
+        &self.domain_tags
+    }
+
+    /// Re-tunes the OOD threshold `δ*` without re-quantizing. The value is
+    /// on the dense cosine scale — the same scale
+    /// [`crate::Smore::set_delta_star`] accepts — because packed
+    /// similarities are recovered onto it before thresholding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmoreError::InvalidConfig`] for a non-cosine value.
+    pub fn set_delta_star(&mut self, delta_star: f32) -> Result<()> {
+        crate::config::validate_delta_star(delta_star)?;
+        self.config.delta_star = delta_star;
+        Ok(())
+    }
+
+    /// Bytes held by the complete serving state: packed class hypervectors,
+    /// descriptors and encoder codebooks, plus the small dense epilogue
+    /// state the model cannot serve without (the `f32` centring mean, the
+    /// per-class Gram matrices and the channel scaler).
+    pub fn storage_bytes(&self) -> usize {
+        self.domain_classes
+            .iter()
+            .flat_map(|classes| classes.iter().map(ResidualPacked::storage_bytes))
+            .sum::<usize>()
+            + self.descriptors.iter().map(PackedHypervector::storage_bytes).sum::<usize>()
+            + self.encoder.storage_bytes()
+            + self.mean.len() * std::mem::size_of::<f32>()
+            + self.class_gram.iter().map(|g| g.len() * std::mem::size_of::<f32>()).sum::<usize>()
+            + self.scaler.storage_bytes()
+    }
+
+    /// Encodes one raw window straight into a packed query hypervector.
+    ///
+    /// The bit at dimension `i` is the sign of `acc_i − μ_i·‖acc‖` — the
+    /// exact sign the dense pipeline computes after scaling, encoding,
+    /// centring and normalising, obtained without any dense encode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoder errors for malformed windows.
+    pub fn encode_packed(&self, window: &Matrix) -> Result<PackedHypervector> {
+        let scaled = self.scaler.apply(window);
+        let counts = self.encoder.encode_counts(&scaled)?;
+        let norm = counts.iter().map(|&c| c as f64 * c as f64).sum::<f64>().sqrt() as f32;
+        let mut q = PackedHypervector::zeros(self.config.dim);
+        for (i, &c) in counts.iter().enumerate() {
+            if (c as f32) - self.mean[i] * norm < 0.0 {
+                q.set(i, true);
+            }
+        }
+        Ok(q)
+    }
+
+    /// Predicts one window — Algorithm 1 entirely on packed operations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoder errors for malformed windows.
+    pub fn predict_window(&self, window: &Matrix) -> Result<Prediction> {
+        let q = self.encode_packed(window)?;
+        Ok(self.predict_packed(&q))
+    }
+
+    /// Predicts a batch of windows in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoder errors for malformed windows.
+    pub fn predict_batch(&self, windows: &[Matrix]) -> Result<Vec<Prediction>> {
+        let mut out: Vec<Result<Prediction>> = (0..windows.len())
+            .map(|_| {
+                Ok(Prediction {
+                    label: 0,
+                    is_ood: false,
+                    delta_max: 0.0,
+                    best_domain: 0,
+                    domain_similarities: Vec::new(),
+                })
+            })
+            .collect();
+        parallel::par_map_into(windows, &mut out, self.config.threads, |w| self.predict_window(w));
+        out.into_iter().collect()
+    }
+
+    /// Predicts and scores a labelled evaluation set.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`predict_batch`](Self::predict_batch), plus
+    /// [`SmoreError::InvalidConfig`] for mismatched label counts.
+    pub fn evaluate(&self, windows: &[Matrix], labels: &[usize]) -> Result<EvalReport> {
+        if windows.len() != labels.len() || windows.is_empty() {
+            return Err(SmoreError::InvalidConfig {
+                what: format!("{} windows but {} labels", windows.len(), labels.len()),
+            });
+        }
+        let t0 = Instant::now();
+        let predictions = self.predict_batch(windows)?;
+        let infer_seconds = t0.elapsed().as_secs_f64();
+        let correct = predictions.iter().zip(labels).filter(|(p, &l)| p.label == l).count();
+        let ood = predictions.iter().filter(|p| p.is_ood).count();
+        Ok(EvalReport {
+            accuracy: correct as f32 / windows.len() as f32,
+            samples: windows.len(),
+            ood_fraction: ood as f32 / windows.len() as f32,
+            infer_seconds,
+        })
+    }
+
+    /// Convenience wrapper: evaluate on the rows of `dataset` selected by
+    /// `indices`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`evaluate`](Self::evaluate).
+    pub fn evaluate_indices(&self, dataset: &Dataset, indices: &[usize]) -> Result<EvalReport> {
+        let (windows, labels, _) = dataset.gather(indices);
+        self.evaluate(&windows, &labels)
+    }
+
+    /// Algorithm 1 on an already packed query.
+    fn predict_packed(&self, q: &PackedHypervector) -> Prediction {
+        // Popcount similarities, recovered onto the dense cosine scale so
+        // δ* and the Eq. 3 weights keep their dense calibration.
+        let sims: Vec<f32> = self
+            .descriptors
+            .iter()
+            .map(|u| {
+                recover_cosine(
+                    q.similarity(u).expect("descriptor dimension fixed at quantize time"),
+                )
+            })
+            .collect();
+        let decision: OodDecision = OodDetector::new(self.config.delta_star).detect(sims);
+        let weights = ensemble_weights_powered(
+            &decision.similarities,
+            decision.is_ood,
+            self.config.delta_star,
+            self.config.weight_power,
+        );
+
+        // Score against M_T = Σ_k w_k M_k without materialising it:
+        // dot(Q, Σ_k w_k C_k) = Σ_k w_k dot(Q, C_k), every dot a handful
+        // of popcount sweeps (one per residual plane); the per-class
+        // ensemble norm comes from the precomputed Gram.
+        let k = self.domain_classes.len();
+        let q_norm = (self.config.dim as f32).sqrt();
+        let mut best_label = 0usize;
+        let mut best_score = f32::NEG_INFINITY;
+        for class in 0..self.config.num_classes {
+            let mut dot_sum = 0.0f32;
+            for (classes, &w) in self.domain_classes.iter().zip(&weights) {
+                if w > 0.0 {
+                    let dot = classes[class]
+                        .dot_packed(q)
+                        .expect("query dimension fixed at quantize time");
+                    dot_sum += w * dot;
+                }
+            }
+            let gram = &self.class_gram[class];
+            let mut norm_sq = 0.0f32;
+            for (j, &wj) in weights.iter().enumerate() {
+                if wj <= 0.0 {
+                    continue;
+                }
+                for (m, &wm) in weights.iter().enumerate() {
+                    if wm > 0.0 {
+                        norm_sq += wj * wm * gram[j * k + m];
+                    }
+                }
+            }
+            let score = if norm_sq > 0.0 { dot_sum / (norm_sq.sqrt() * q_norm) } else { 0.0 };
+            if score > best_score {
+                best_score = score;
+                best_label = class;
+            }
+        }
+
+        Prediction {
+            label: best_label,
+            is_ood: decision.is_ood,
+            delta_max: decision.delta_max,
+            best_domain: self.domain_tags[decision.best_domain],
+            domain_similarities: decision.similarities,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Smore;
+    use smore_data::generator::{generate, DomainSpec, GeneratorConfig};
+    use smore_data::split;
+
+    fn small_config(channels: usize, classes: usize) -> SmoreConfig {
+        SmoreConfig::builder()
+            .dim(1024)
+            .channels(channels)
+            .num_classes(classes)
+            .epochs(10)
+            .threads(2)
+            .build()
+            .unwrap()
+    }
+
+    fn shifted_dataset(seed: u64) -> Dataset {
+        generate(&GeneratorConfig {
+            name: "quantized-test".into(),
+            num_classes: 4,
+            channels: 3,
+            window_len: 24,
+            sample_rate_hz: 25.0,
+            domains: vec![
+                DomainSpec { subjects: vec![0, 1], windows: 60 },
+                DomainSpec { subjects: vec![2, 3], windows: 60 },
+                DomainSpec { subjects: vec![4, 5], windows: 60 },
+                DomainSpec { subjects: vec![6, 7], windows: 60 },
+            ],
+            shift_severity: 0.8,
+            seed,
+        })
+        .unwrap()
+    }
+
+    fn fitted_model(ds: &Dataset, train: &[usize]) -> Smore {
+        let mut model = Smore::new(small_config(3, 4)).unwrap();
+        model.fit_indices(ds, train).unwrap();
+        model
+    }
+
+    #[test]
+    fn quantize_requires_a_fitted_model() {
+        let model = Smore::new(small_config(3, 4)).unwrap();
+        assert!(matches!(model.quantize(), Err(SmoreError::NotFitted)));
+    }
+
+    #[test]
+    fn quantized_model_reports_structure_and_footprint() {
+        let ds = shifted_dataset(1);
+        let (train, _) = split::lodo(&ds, 0).unwrap();
+        let dense = fitted_model(&ds, &train);
+        let q = dense.quantize().unwrap();
+        assert_eq!(q.num_domains(), 3);
+        assert_eq!(q.domain_tags(), &[1, 2, 3]);
+        assert_eq!(q.dim(), 1024);
+        // 3 domains × 4 classes of 3-plane residuals + 3 one-bit
+        // descriptors (1024 bits = 128 bytes per plane), plus the shared
+        // encoder codebooks.
+        assert!(q.storage_bytes() >= (3 * 4 * 3 + 3) * 128);
+        // The dense equivalent of just the models+descriptors is 15 × 4 KiB;
+        // the packed model including all codebooks must still be smaller.
+        assert!(q.storage_bytes() < 15 * 1024 * 4);
+    }
+
+    #[test]
+    fn quantized_predictions_agree_with_dense() {
+        let ds = shifted_dataset(2);
+        let (train, test) = split::lodo(&ds, 0).unwrap();
+        let dense = fitted_model(&ds, &train);
+        let quantized = dense.quantize().unwrap();
+        let windows: Vec<Matrix> = test[..60].iter().map(|&i| ds.window(i).clone()).collect();
+        let dp = dense.predict_batch(&windows).unwrap();
+        let qp = quantized.predict_batch(&windows).unwrap();
+        let agree = dp.iter().zip(&qp).filter(|(a, b)| a.label == b.label).count();
+        assert!(
+            agree as f32 / windows.len() as f32 >= 0.8,
+            "dense/quantized agreement {agree}/{} too low",
+            windows.len()
+        );
+    }
+
+    #[test]
+    fn quantized_accuracy_tracks_dense_on_source_domains() {
+        let ds = shifted_dataset(3);
+        let all: Vec<usize> = (0..ds.len()).collect();
+        let dense = fitted_model(&ds, &all);
+        let quantized = dense.quantize().unwrap();
+        let dense_eval = dense.evaluate_indices(&ds, &all).unwrap();
+        let quant_eval = quantized.evaluate_indices(&ds, &all).unwrap();
+        assert!(
+            quant_eval.accuracy >= dense_eval.accuracy - 0.1,
+            "quantized {} vs dense {}",
+            quant_eval.accuracy,
+            dense_eval.accuracy
+        );
+    }
+
+    #[test]
+    fn predict_batch_matches_predict_window() {
+        let ds = shifted_dataset(4);
+        let (train, test) = split::lodo(&ds, 1).unwrap();
+        let quantized = fitted_model(&ds, &train).quantize().unwrap();
+        let windows: Vec<Matrix> = test[..8].iter().map(|&i| ds.window(i).clone()).collect();
+        let batch = quantized.predict_batch(&windows).unwrap();
+        for (i, w) in windows.iter().enumerate() {
+            assert_eq!(batch[i], quantized.predict_window(w).unwrap());
+        }
+    }
+
+    #[test]
+    fn delta_star_extremes_control_ood_fraction() {
+        let ds = shifted_dataset(5);
+        let (train, test) = split::lodo(&ds, 2).unwrap();
+        let mut quantized = fitted_model(&ds, &train).quantize().unwrap();
+        let windows: Vec<Matrix> = test[..20].iter().map(|&i| ds.window(i).clone()).collect();
+        let labels: Vec<usize> = test[..20].iter().map(|&i| ds.label(i)).collect();
+
+        quantized.set_delta_star(-1.0).unwrap();
+        assert_eq!(quantized.evaluate(&windows, &labels).unwrap().ood_fraction, 0.0);
+        quantized.set_delta_star(1.0).unwrap();
+        assert!(quantized.evaluate(&windows, &labels).unwrap().ood_fraction > 0.9);
+        assert!(quantized.set_delta_star(1.5).is_err());
+        assert!(quantized.set_delta_star(f32::NAN).is_err());
+    }
+
+    #[test]
+    fn recover_cosine_inverts_the_sign_distortion() {
+        assert!((recover_cosine(0.0)).abs() < 1e-6);
+        assert!((recover_cosine(1.0) - 1.0).abs() < 1e-6);
+        assert!((recover_cosine(-1.0) + 1.0).abs() < 1e-6);
+        // Sign quantization compresses mid-range similarities toward zero;
+        // the recovery expands them back: sin(π/2·s) > s on (0, 1).
+        assert!(recover_cosine(0.5) > 0.5);
+        assert!(recover_cosine(0.5) < 0.8);
+        // Round trip with the forward map (2/π)·asin(δ).
+        let forward = |delta: f32| (2.0 / std::f32::consts::PI) * delta.asin();
+        for delta in [-0.9f32, -0.3, 0.1, 0.65, 0.99] {
+            assert!((recover_cosine(forward(delta)) - delta).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn reported_similarities_are_on_the_dense_scale() {
+        // A training-domain query's recovered δ_max should sit in the high
+        // dense-cosine range rather than the compressed packed range.
+        let ds = shifted_dataset(6);
+        let (train, _) = split::lodo(&ds, 0).unwrap();
+        let dense = fitted_model(&ds, &train);
+        let quantized = dense.quantize().unwrap();
+        let w = ds.window(train[0]);
+        let dp = dense.predict_window(w).unwrap();
+        let qp = quantized.predict_window(w).unwrap();
+        assert!(
+            (dp.delta_max - qp.delta_max).abs() < 0.2,
+            "recovered δ_max {} should track dense δ_max {}",
+            qp.delta_max,
+            dp.delta_max
+        );
+    }
+
+    #[test]
+    fn evaluate_validates() {
+        let ds = shifted_dataset(7);
+        let (train, _) = split::lodo(&ds, 0).unwrap();
+        let quantized = fitted_model(&ds, &train).quantize().unwrap();
+        assert!(quantized.evaluate(&[], &[]).is_err());
+        let w = vec![ds.window(0).clone()];
+        assert!(quantized.evaluate(&w, &[0, 1]).is_err());
+        // Malformed window (wrong sensor count) propagates an encoder error.
+        assert!(quantized.predict_window(&Matrix::zeros(24, 5)).is_err());
+    }
+}

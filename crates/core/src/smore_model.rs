@@ -62,13 +62,13 @@ pub struct EvalReport {
 }
 
 #[derive(Debug, Clone)]
-struct Fitted {
-    scaler: ChannelStats,
-    centerer: Centerer,
-    domain_models: Vec<HdcClassifier>,
-    descriptors: DomainDescriptors,
+pub(crate) struct Fitted {
+    pub(crate) scaler: ChannelStats,
+    pub(crate) centerer: Centerer,
+    pub(crate) domain_models: Vec<HdcClassifier>,
+    pub(crate) descriptors: DomainDescriptors,
     /// External domain tag for each local model index.
-    domain_tags: Vec<usize>,
+    pub(crate) domain_tags: Vec<usize>,
 }
 
 /// Per-channel standardisation statistics fitted on the training windows.
@@ -78,7 +78,7 @@ struct Fitted {
 /// scales do not monopolise the quantiser's resolution; SMORE does the
 /// same. Statistics come from training data only.
 #[derive(Debug, Clone, PartialEq)]
-struct ChannelStats {
+pub(crate) struct ChannelStats {
     mean: Vec<f32>,
     std: Vec<f32>,
 }
@@ -130,7 +130,11 @@ impl ChannelStats {
         Self { mean: vec![0.0; channels], std: vec![1.0; channels] }
     }
 
-    fn apply(&self, window: &Matrix) -> Matrix {
+    pub(crate) fn storage_bytes(&self) -> usize {
+        (self.mean.len() + self.std.len()) * std::mem::size_of::<f32>()
+    }
+
+    pub(crate) fn apply(&self, window: &Matrix) -> Matrix {
         let mut out = window.clone();
         for t in 0..out.rows() {
             for (c, v) in out.row_mut(t).iter_mut().enumerate() {
@@ -224,11 +228,7 @@ impl Smore {
     ///
     /// Returns [`SmoreError::InvalidConfig`] for a non-cosine value.
     pub fn set_delta_star(&mut self, delta_star: f32) -> Result<()> {
-        if !delta_star.is_finite() || !(-1.0..=1.0).contains(&delta_star) {
-            return Err(SmoreError::InvalidConfig {
-                what: format!("delta_star must be a cosine value in [-1, 1], got {delta_star}"),
-            });
-        }
+        crate::config::validate_delta_star(delta_star)?;
         self.config.delta_star = delta_star;
         Ok(())
     }
@@ -474,6 +474,21 @@ impl Smore {
     pub fn evaluate_indices(&self, dataset: &Dataset, indices: &[usize]) -> Result<EvalReport> {
         let (windows, labels, _) = dataset.gather(indices);
         self.evaluate(&windows, &labels)
+    }
+
+    /// Freezes the fitted model into a bit-packed [`QuantizedSmore`]
+    /// serving model: domain classifiers, descriptors and the encoder
+    /// codebooks are sign-quantized to one bit per dimension, and every
+    /// inference-time hypervector operation becomes word-level logic
+    /// (XOR binding, popcount similarity). See [`crate::QuantizedSmore`]
+    /// for the accuracy/latency tradeoff.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmoreError::NotFitted`] before training.
+    pub fn quantize(&self) -> Result<crate::QuantizedSmore> {
+        let fitted = self.state()?;
+        crate::QuantizedSmore::from_fitted(&self.config, &self.encoder, fitted)
     }
 
     /// Algorithm 1 on an already encoded-and-centred query.

@@ -179,6 +179,26 @@ impl MultiSensorEncoder {
         self.config.sensors
     }
 
+    /// The quantisation codebook of sensor `s` — exposed so alternative
+    /// backends (e.g. the bit-packed encoder of `smore_packed`) can derive
+    /// their codebooks from the exact same random anchors instead of
+    /// replicating the per-sensor seed derivation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::LabelOutOfRange`] for an unknown sensor.
+    pub fn level_memory(&self, sensor: usize) -> Result<&LevelMemory> {
+        self.level_memories.get(sensor).ok_or(HdcError::LabelOutOfRange {
+            label: sensor,
+            num_classes: self.level_memories.len(),
+        })
+    }
+
+    /// The per-sensor signature memory (see [`level_memory`](Self::level_memory)).
+    pub fn signature_memory(&self) -> &SignatureMemory {
+        &self.signatures
+    }
+
     /// Encodes one window (`T` rows of time steps, `m` columns of sensors).
     ///
     /// # Errors

@@ -1,0 +1,248 @@
+//! The bit-packed HDC classifier: popcount scoring against packed class
+//! hypervectors.
+//!
+//! [`PackedClassifier`] keeps the scoring contract of
+//! [`smore_hdc::model::HdcClassifier`] — [`scores`](PackedClassifier::scores)
+//! returns one cosine-scale similarity in `[−1, 1]` per class and
+//! prediction takes the argmax — but each score is a single XOR+popcount
+//! sweep over `d/64` words instead of a `3d`-FLOP cosine. Training stays in
+//! the dense domain; a packed classifier is *frozen* from a trained dense
+//! model via [`from_dense`](PackedClassifier::from_dense).
+
+use smore_hdc::model::HdcClassifier;
+use smore_hdc::HdcError;
+use smore_tensor::{parallel, vecops, Matrix};
+
+use crate::hypervector::PackedHypervector;
+use crate::Result;
+
+/// A frozen binary classifier: one packed hypervector per class.
+///
+/// # Example
+///
+/// ```
+/// use smore_packed::{PackedClassifier, PackedHypervector};
+///
+/// # fn main() -> Result<(), smore_hdc::HdcError> {
+/// let c0 = PackedHypervector::from_signs(&[1.0, 1.0, -1.0, -1.0]);
+/// let c1 = PackedHypervector::from_signs(&[-1.0, -1.0, 1.0, 1.0]);
+/// let model = PackedClassifier::new(vec![c0.clone(), c1])?;
+/// assert_eq!(model.predict_one(&c0)?, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedClassifier {
+    classes: Vec<PackedHypervector>,
+    dim: usize,
+}
+
+impl PackedClassifier {
+    /// Wraps packed class hypervectors (all must agree in dimension).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::EmptyInput`] for an empty class list and
+    /// [`HdcError::DimensionMismatch`] for disagreeing dimensions.
+    pub fn new(classes: Vec<PackedHypervector>) -> Result<Self> {
+        let first = classes.first().ok_or(HdcError::EmptyInput { what: "packed classes" })?;
+        let dim = first.dim();
+        if dim == 0 {
+            return Err(HdcError::InvalidConfig {
+                what: "packed classifier dim must be positive".into(),
+            });
+        }
+        if let Some(bad) = classes.iter().find(|c| c.dim() != dim) {
+            return Err(HdcError::DimensionMismatch { expected: dim, actual: bad.dim() });
+        }
+        Ok(Self { classes, dim })
+    }
+
+    /// Sign-quantizes every class hypervector of a trained dense model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidConfig`] for a zero-dimensional model
+    /// (unreachable through [`HdcClassifier`]'s own validation).
+    pub fn from_dense(model: &HdcClassifier) -> Result<Self> {
+        Self::from_rows(model.class_hypervectors())
+    }
+
+    /// Sign-quantizes the rows of a `(num_classes, dim)` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::EmptyInput`] for an empty matrix.
+    pub fn from_rows(rows: &Matrix) -> Result<Self> {
+        if rows.rows() == 0 {
+            return Err(HdcError::EmptyInput { what: "packed classes" });
+        }
+        Self::new(rows.iter_rows().map(PackedHypervector::from_signs).collect())
+    }
+
+    /// Hypervector dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of classes `n`.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The packed class hypervectors.
+    pub fn classes(&self) -> &[PackedHypervector] {
+        &self.classes
+    }
+
+    /// The packed hypervector of class `c`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::LabelOutOfRange`] for an unknown class.
+    pub fn class(&self, c: usize) -> Result<&PackedHypervector> {
+        self.classes
+            .get(c)
+            .ok_or(HdcError::LabelOutOfRange { label: c, num_classes: self.classes.len() })
+    }
+
+    /// Bytes held by the packed class hypervectors — `32×` smaller than the
+    /// dense `f32` class matrix.
+    pub fn storage_bytes(&self) -> usize {
+        self.classes.iter().map(PackedHypervector::storage_bytes).sum()
+    }
+
+    /// Raw Hamming distances of a query against every class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] on a dimension mismatch.
+    pub fn hamming_scores(&self, query: &PackedHypervector) -> Result<Vec<usize>> {
+        self.classes.iter().map(|c| query.hamming(c)).collect()
+    }
+
+    /// Cosine-scale similarity scores `1 − 2h/d` — the same contract as
+    /// [`HdcClassifier::scores`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] on a dimension mismatch.
+    pub fn scores(&self, query: &PackedHypervector) -> Result<Vec<f32>> {
+        self.classes.iter().map(|c| query.similarity(c)).collect()
+    }
+
+    /// Predicts the class with the highest similarity (lowest Hamming
+    /// distance; ties resolve to the lowest class index).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] on a dimension mismatch.
+    pub fn predict_one(&self, query: &PackedHypervector) -> Result<usize> {
+        let scores = self.scores(query)?;
+        Ok(vecops::argmax(&scores).unwrap_or(0))
+    }
+
+    /// Predicts a batch of packed queries in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] when any query disagrees in
+    /// dimension.
+    pub fn predict_batch(
+        &self,
+        queries: &[PackedHypervector],
+        threads: usize,
+    ) -> Result<Vec<usize>> {
+        let mut out: Vec<Result<usize>> = (0..queries.len()).map(|_| Ok(0)).collect();
+        parallel::par_map_into(queries, &mut out, threads, |q| self.predict_one(q));
+        out.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smore_tensor::init;
+
+    fn random_packed(seed: u64, dim: usize) -> PackedHypervector {
+        PackedHypervector::from_signs(&init::bipolar_vec(&mut init::rng(seed), dim))
+    }
+
+    #[test]
+    fn validation() {
+        assert!(matches!(PackedClassifier::new(vec![]), Err(HdcError::EmptyInput { .. })));
+        assert!(PackedClassifier::new(vec![PackedHypervector::zeros(0)]).is_err());
+        let a = PackedHypervector::zeros(64);
+        let b = PackedHypervector::zeros(128);
+        assert!(PackedClassifier::new(vec![a, b]).is_err());
+        assert!(PackedClassifier::from_rows(&Matrix::zeros(0, 8)).is_err());
+    }
+
+    #[test]
+    fn predicts_nearest_class() {
+        let protos: Vec<PackedHypervector> = (0..4).map(|c| random_packed(c, 2048)).collect();
+        let model = PackedClassifier::new(protos.clone()).unwrap();
+        assert_eq!(model.num_classes(), 4);
+        assert_eq!(model.dim(), 2048);
+        for (c, p) in protos.iter().enumerate() {
+            assert_eq!(model.predict_one(p).unwrap(), c);
+            let scores = model.scores(p).unwrap();
+            assert_eq!(scores[c], 1.0);
+            assert_eq!(model.hamming_scores(p).unwrap()[c], 0);
+        }
+        assert_eq!(model.class(0).unwrap(), &protos[0]);
+        assert!(model.class(9).is_err());
+        assert_eq!(model.storage_bytes(), 4 * 2048 / 8);
+    }
+
+    #[test]
+    fn from_dense_agrees_with_dense_on_bipolar_data() {
+        // On bipolar inputs sign quantization is lossless, so packed and
+        // dense scoring must pick identical classes.
+        let mut rng = init::rng(7);
+        let class_hvs = init::bipolar_matrix(&mut rng, 3, 1024);
+        let dense = HdcClassifier::from_class_hypervectors(class_hvs.clone()).unwrap();
+        let packed = PackedClassifier::from_dense(&dense).unwrap();
+        for i in 0..30 {
+            let q = init::bipolar_vec(&mut rng, 1024);
+            let dense_pred = dense.predict_one(&q).unwrap();
+            let packed_pred = packed.predict_one(&PackedHypervector::from_signs(&q)).unwrap();
+            assert_eq!(dense_pred, packed_pred, "query {i}");
+        }
+    }
+
+    #[test]
+    fn packed_scores_match_dense_cosine_on_bipolar_data() {
+        let mut rng = init::rng(8);
+        let class_hvs = init::bipolar_matrix(&mut rng, 2, 512);
+        let dense = HdcClassifier::from_class_hypervectors(class_hvs.clone()).unwrap();
+        let packed = PackedClassifier::from_dense(&dense).unwrap();
+        let q = init::bipolar_vec(&mut rng, 512);
+        let ds = dense.scores(&q).unwrap();
+        let ps = packed.scores(&PackedHypervector::from_signs(&q)).unwrap();
+        for (d, p) in ds.iter().zip(&ps) {
+            assert!((d - p).abs() < 1e-5, "dense {d} vs packed {p}");
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_predict_one() {
+        let model = PackedClassifier::new((0..3).map(|c| random_packed(c, 256)).collect()).unwrap();
+        let queries: Vec<PackedHypervector> =
+            (10..25).map(|seed| random_packed(seed, 256)).collect();
+        let batch = model.predict_batch(&queries, 4).unwrap();
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(batch[i], model.predict_one(q).unwrap());
+        }
+        assert!(model.predict_batch(&[], 2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let model = PackedClassifier::new(vec![random_packed(1, 64)]).unwrap();
+        let q = random_packed(2, 128);
+        assert!(model.scores(&q).is_err());
+        assert!(model.predict_one(&q).is_err());
+        assert!(model.predict_batch(&[q], 2).is_err());
+    }
+}

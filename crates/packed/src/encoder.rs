@@ -1,0 +1,389 @@
+//! The bit-packed multi-sensor n-gram encoder.
+//!
+//! [`PackedNgramEncoder`] mirrors [`smore_hdc::encoder::MultiSensorEncoder`]
+//! (paper §3.3, Fig. 3) in the binary domain:
+//!
+//! 1. **Vector quantisation** looks up a *packed* codeword from a
+//!    discretized level grid. The codewords are the sign-packed images of
+//!    the dense encoder's own `LevelMemory` codewords (which are bipolar,
+//!    so packing is lossless) — the only approximation relative to the
+//!    dense encoder is snapping the continuous `α` to the grid.
+//! 2. **Temporal n-gram binding** is XOR under bit-rotation
+//!    ([`PackedHypervector::rotate_into`]).
+//! 3. **Bundling** accumulates integer per-dimension counters — the exact
+//!    value the dense encoder accumulates in `f32`, since every product of
+//!    bipolar codewords is `±1`.
+//! 4. **Spatial integration** multiplies each sensor's counter vector by
+//!    its signature sign and sums across sensors — again exactly the dense
+//!    arithmetic, in integers.
+//!
+//! Because the integer accumulator reproduces the dense accumulator
+//! exactly (up to `α` discretization), thresholding it at zero yields the
+//! *sign of the dense encoding* — which is what every downstream packed
+//! similarity needs. [`encode_counts`](PackedNgramEncoder::encode_counts)
+//! exposes the raw counters so callers can apply an affine offset (e.g.
+//! mean-centring) before thresholding.
+
+use smore_hdc::encoder::{EncoderConfig, MultiSensorEncoder, ValueRange};
+use smore_hdc::HdcError;
+use smore_tensor::{parallel, Matrix};
+
+use crate::hypervector::PackedHypervector;
+use crate::Result;
+
+/// Bit-packed mirror of the dense multi-sensor encoder.
+///
+/// # Example
+///
+/// ```
+/// use smore_hdc::encoder::EncoderConfig;
+/// use smore_packed::PackedNgramEncoder;
+/// use smore_tensor::Matrix;
+///
+/// # fn main() -> Result<(), smore_hdc::HdcError> {
+/// let cfg = EncoderConfig { dim: 512, sensors: 2, ..EncoderConfig::default() };
+/// let encoder = PackedNgramEncoder::new(cfg)?;
+/// let window = Matrix::from_fn(16, 2, |t, s| ((t + s) as f32 * 0.4).sin());
+/// let hv = encoder.encode_window(&window)?;
+/// assert_eq!(hv.dim(), 512);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PackedNgramEncoder {
+    config: EncoderConfig,
+    /// `[sensor][level]` packed codewords on the discretized `α` grid.
+    codebooks: Vec<Vec<PackedHypervector>>,
+    /// Packed sensor signatures `G_i`.
+    signatures: Vec<PackedHypervector>,
+}
+
+impl PackedNgramEncoder {
+    /// Builds the packed encoder by constructing (and discarding) the dense
+    /// encoder for the same configuration, then packing its codebooks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the dense encoder's configuration validation.
+    pub fn new(config: EncoderConfig) -> Result<Self> {
+        let dense = MultiSensorEncoder::new(config)?;
+        Self::from_dense(&dense)
+    }
+
+    /// Packs the codebooks of an existing dense encoder, guaranteeing that
+    /// both encoders draw from identical random anchors (and therefore
+    /// agree wherever `α` lands exactly on the level grid).
+    ///
+    /// # Errors
+    ///
+    /// Propagates codebook access errors (internal wiring only).
+    pub fn from_dense(dense: &MultiSensorEncoder) -> Result<Self> {
+        let config = dense.config().clone();
+        let grid = config.levels.max(2);
+        let mut codebooks = Vec::with_capacity(config.sensors);
+        for s in 0..config.sensors {
+            let memory = dense.level_memory(s)?;
+            let levels = (0..grid)
+                .map(|l| {
+                    let alpha = l as f32 / (grid - 1) as f32;
+                    PackedHypervector::from_dense(&memory.encode(alpha))
+                })
+                .collect();
+            codebooks.push(levels);
+        }
+        let signatures = (0..config.sensors)
+            .map(|s| Ok(PackedHypervector::from_dense(dense.signature_memory().signature(s)?)))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self { config, codebooks, signatures })
+    }
+
+    /// The encoder configuration (shared with the dense encoder).
+    pub fn config(&self) -> &EncoderConfig {
+        &self.config
+    }
+
+    /// Hyperdimensional dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    /// Number of sensors `m`.
+    pub fn sensors(&self) -> usize {
+        self.config.sensors
+    }
+
+    /// Number of discrete quantisation levels on the packed grid.
+    pub fn grid_levels(&self) -> usize {
+        self.codebooks.first().map_or(0, Vec::len)
+    }
+
+    /// Bytes held by all packed codebooks and signatures.
+    pub fn storage_bytes(&self) -> usize {
+        self.codebooks
+            .iter()
+            .flat_map(|levels| levels.iter().map(PackedHypervector::storage_bytes))
+            .sum::<usize>()
+            + self.signatures.iter().map(PackedHypervector::storage_bytes).sum::<usize>()
+    }
+
+    /// Encodes one window into the raw integer accumulator — the packed
+    /// mirror of the dense encoder's pre-normalisation sum. `counts[i]`
+    /// equals the dense accumulator value at dimension `i` exactly, up to
+    /// the `α` grid snap.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as the dense
+    /// [`encode_window`](MultiSensorEncoder::encode_window): one column per
+    /// sensor, at least `ngram` time steps.
+    pub fn encode_counts(&self, window: &Matrix) -> Result<Vec<i32>> {
+        let (t_total, cols) = window.shape();
+        if cols != self.config.sensors {
+            return Err(HdcError::DimensionMismatch {
+                expected: self.config.sensors,
+                actual: cols,
+            });
+        }
+        let n = self.config.ngram;
+        if t_total < n {
+            return Err(HdcError::InvalidConfig {
+                what: format!("window of {t_total} steps is shorter than the n-gram size {n}"),
+            });
+        }
+        let d = self.config.dim;
+        let grid = self.grid_levels();
+        let mut acc = vec![0i32; d];
+        let mut sensor_counts = vec![0i32; d];
+        // Ring buffer of the last n level indices; scratch packed buffers
+        // for the n-gram product and the rotated operand.
+        let mut ring = vec![0usize; n];
+        let mut prod = PackedHypervector::zeros(d);
+        let mut rot = PackedHypervector::zeros(d);
+
+        for (s, codebook) in self.codebooks.iter().enumerate() {
+            let (lo, hi) = self.sensor_range(window, s);
+            let span = hi - lo;
+            sensor_counts.iter_mut().for_each(|c| *c = 0);
+            for t in 0..t_total {
+                let y = window.get(t, s);
+                let alpha = if span > 1e-12 { (y - lo) / span } else { 0.5 };
+                let alpha = if alpha.is_finite() { alpha.clamp(0.0, 1.0) } else { 0.5 };
+                ring[t % n] = ((alpha * (grid - 1) as f32).round() as usize).min(grid - 1);
+                if t + 1 >= n {
+                    // n-gram ending at step t: element at step t-j gets
+                    // rotation j (ρ^j), folded in by XOR binding.
+                    prod.words_mut().copy_from_slice(codebook[ring[t % n]].words());
+                    for j in 1..n {
+                        codebook[ring[(t - j) % n]].rotate_into(j % d.max(1), &mut rot);
+                        prod.xor_assign(&rot)?;
+                    }
+                    // Counter bundling: +1 for a +1 bit, −1 for a −1 bit.
+                    accumulate_words(&mut sensor_counts, prod.words(), d);
+                }
+            }
+            // Spatial integration: acc += G_s ∗ counts_s, where binding a
+            // signed counter with a ±1 signature is sign multiplication.
+            let signature = &self.signatures[s];
+            for (w, &word) in signature.words().iter().enumerate() {
+                let base = w * crate::hypervector::WORD_BITS;
+                let bits = crate::hypervector::WORD_BITS.min(d - base);
+                for b in 0..bits {
+                    let sign = 1 - 2 * ((word >> b) & 1) as i32;
+                    acc[base + b] += sign * sensor_counts[base + b];
+                }
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Encodes one window into a packed hypervector by majority threshold
+    /// (positive accumulator → `+1`, ties → `+1`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`encode_counts`](Self::encode_counts).
+    pub fn encode_window(&self, window: &Matrix) -> Result<PackedHypervector> {
+        let counts = self.encode_counts(window)?;
+        let mut out = PackedHypervector::zeros(self.config.dim);
+        for (i, &c) in counts.iter().enumerate() {
+            if c < 0 {
+                out.set(i, true);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Encodes a batch of windows in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`encode_window`](Self::encode_window) error.
+    pub fn encode_batch(
+        &self,
+        windows: &[Matrix],
+        threads: usize,
+    ) -> Result<Vec<PackedHypervector>> {
+        let mut results: Vec<Result<PackedHypervector>> =
+            (0..windows.len()).map(|_| Ok(PackedHypervector::zeros(0))).collect();
+        parallel::par_map_into(windows, &mut results, threads, |w| self.encode_window(w));
+        results.into_iter().collect()
+    }
+
+    fn sensor_range(&self, window: &Matrix, sensor: usize) -> (f32, f32) {
+        match &self.config.range {
+            ValueRange::PerWindow => {
+                let mut lo = f32::INFINITY;
+                let mut hi = f32::NEG_INFINITY;
+                for t in 0..window.rows() {
+                    let v = window.get(t, sensor);
+                    if v.is_finite() {
+                        lo = lo.min(v);
+                        hi = hi.max(v);
+                    }
+                }
+                if !lo.is_finite() || !hi.is_finite() {
+                    (0.0, 0.0)
+                } else {
+                    (lo, hi)
+                }
+            }
+            ValueRange::Global(ranges) => ranges[sensor],
+        }
+    }
+}
+
+/// `counts[i] += ±1` from packed sign bits (bit 1 ⇔ −1), word at a time.
+#[inline]
+fn accumulate_words(counts: &mut [i32], words: &[u64], dim: usize) {
+    for (w, &word) in words.iter().enumerate() {
+        let base = w * crate::hypervector::WORD_BITS;
+        let bits = crate::hypervector::WORD_BITS.min(dim - base);
+        for b in 0..bits {
+            counts[base + b] += 1 - 2 * ((word >> b) & 1) as i32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smore_hdc::memory::Quantization;
+
+    fn test_config(dim: usize, sensors: usize) -> EncoderConfig {
+        EncoderConfig { dim, sensors, ..EncoderConfig::default() }
+    }
+
+    fn sine_window(t_total: usize, sensors: usize, phase: f32) -> Matrix {
+        Matrix::from_fn(t_total, sensors, |t, s| (t as f32 * 0.37 + s as f32 * 1.3 + phase).sin())
+    }
+
+    #[test]
+    fn construction_mirrors_dense_validation() {
+        assert!(PackedNgramEncoder::new(test_config(0, 1)).is_err());
+        assert!(PackedNgramEncoder::new(test_config(64, 0)).is_err());
+        let enc = PackedNgramEncoder::new(test_config(256, 2)).unwrap();
+        assert_eq!(enc.dim(), 256);
+        assert_eq!(enc.sensors(), 2);
+        assert_eq!(enc.grid_levels(), enc.config().levels);
+        assert!(enc.storage_bytes() > 0);
+    }
+
+    #[test]
+    fn encode_validates_window_shape() {
+        let enc = PackedNgramEncoder::new(test_config(128, 2)).unwrap();
+        assert!(enc.encode_window(&sine_window(10, 3, 0.0)).is_err());
+        assert!(enc.encode_window(&sine_window(2, 2, 0.0)).is_err());
+    }
+
+    #[test]
+    fn packed_signs_match_dense_encoding_with_levelflip() {
+        // Under LevelFlip quantisation the dense encoder reads the same
+        // discrete codewords as the packed one, so the packed counters must
+        // reproduce the dense accumulator signs *exactly*.
+        let mut cfg = test_config(512, 2);
+        cfg.quantization = Quantization::LevelFlip;
+        cfg.normalize = false;
+        let dense = MultiSensorEncoder::new(cfg).unwrap();
+        let packed = PackedNgramEncoder::from_dense(&dense).unwrap();
+        let w = sine_window(24, 2, 0.3);
+        let dense_hv = dense.encode_window(&w).unwrap();
+        let counts = packed.encode_counts(&w).unwrap();
+        for (i, (&dv, &c)) in dense_hv.as_slice().iter().zip(&counts).enumerate() {
+            assert_eq!(dv, c as f32, "accumulator mismatch at dim {i}");
+        }
+    }
+
+    #[test]
+    fn packed_signs_track_dense_encoding_with_interpolate() {
+        // Continuous α snaps to the 64-level grid, so a small fraction of
+        // dims may disagree — but the overwhelming majority must match.
+        let cfg = test_config(2048, 2);
+        let dense = MultiSensorEncoder::new(cfg).unwrap();
+        let packed = PackedNgramEncoder::from_dense(&dense).unwrap();
+        let w = sine_window(30, 2, 0.0);
+        let dense_hv = dense.encode_window(&w).unwrap();
+        let packed_hv = packed.encode_window(&w).unwrap();
+        let dense_signs = PackedHypervector::from_dense(&dense_hv);
+        let agreement = 1.0 - dense_signs.hamming(&packed_hv).unwrap() as f32 / 2048.0;
+        assert!(agreement > 0.9, "sign agreement {agreement} too low");
+    }
+
+    #[test]
+    fn encoding_is_deterministic_and_seed_sensitive() {
+        let a = PackedNgramEncoder::new(test_config(256, 1)).unwrap();
+        let b = PackedNgramEncoder::new(test_config(256, 1)).unwrap();
+        let w = sine_window(12, 1, 0.5);
+        assert_eq!(a.encode_window(&w).unwrap(), b.encode_window(&w).unwrap());
+        let mut cfg = test_config(256, 1);
+        cfg.seed = 999;
+        let c = PackedNgramEncoder::new(cfg).unwrap();
+        assert_ne!(a.encode_window(&w).unwrap(), c.encode_window(&w).unwrap());
+    }
+
+    #[test]
+    fn similar_windows_encode_closer_than_distinct_ones() {
+        let enc = PackedNgramEncoder::new(test_config(4096, 2)).unwrap();
+        let h = enc.encode_window(&sine_window(30, 2, 0.0)).unwrap();
+        let h_close = enc.encode_window(&sine_window(30, 2, 0.02)).unwrap();
+        let far = Matrix::from_fn(30, 2, |t, s| if (t / 3 + s) % 2 == 0 { 1.0 } else { -1.0 });
+        let h_far = enc.encode_window(&far).unwrap();
+        let sim_close = h.similarity(&h_close).unwrap();
+        let sim_far = h.similarity(&h_far).unwrap();
+        assert!(sim_close > sim_far + 0.1, "close={sim_close}, far={sim_far}");
+    }
+
+    #[test]
+    fn nan_and_constant_windows_encode_finitely() {
+        let enc = PackedNgramEncoder::new(test_config(256, 1)).unwrap();
+        let mut w = sine_window(10, 1, 0.0);
+        w.set(4, 0, f32::NAN);
+        enc.encode_window(&w).unwrap();
+        let constant = Matrix::filled(10, 1, 3.5);
+        enc.encode_window(&constant).unwrap();
+    }
+
+    #[test]
+    fn encode_batch_matches_single_and_parallel_agree() {
+        let enc = PackedNgramEncoder::new(test_config(256, 2)).unwrap();
+        let windows: Vec<Matrix> = (0..9).map(|i| sine_window(15, 2, i as f32 * 0.3)).collect();
+        let batch1 = enc.encode_batch(&windows, 1).unwrap();
+        let batch4 = enc.encode_batch(&windows, 4).unwrap();
+        assert_eq!(batch1, batch4);
+        for (i, w) in windows.iter().enumerate() {
+            assert_eq!(batch1[i], enc.encode_window(w).unwrap());
+        }
+        assert!(enc.encode_batch(&[], 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn global_range_mode_is_respected() {
+        let mut cfg = test_config(512, 1);
+        cfg.range = ValueRange::Global(vec![(-1.0, 1.0)]);
+        let enc = PackedNgramEncoder::new(cfg).unwrap();
+        let small = Matrix::from_fn(12, 1, |t, _| 0.1 * (t as f32 * 0.5).sin());
+        let large = Matrix::from_fn(12, 1, |t, _| 0.9 * (t as f32 * 0.5).sin());
+        let hs = enc.encode_window(&small).unwrap();
+        let hl = enc.encode_window(&large).unwrap();
+        assert!(hs.similarity(&hl).unwrap() < 0.995, "amplitude must matter under global range");
+    }
+}

@@ -16,6 +16,74 @@ pub const HDC_EFFICIENCY: f64 = 2.0;
 /// access, optimizer state updates) — also what TENT runs per test batch.
 pub const TRAIN_EFFICIENCY: f64 = 0.6;
 
+/// Relative kernel efficiency of bit-packed binary loops: wide integer
+/// word operations (XOR, popcount, counter adds) sustain the same
+/// near-perfect vectorisation as the dense HDC streaming loops.
+pub const PACKED_EFFICIENCY: f64 = 2.0;
+
+/// Dimensions carried per machine word by the bit-packed backend.
+const WORD_DIMS: f64 = 64.0;
+
+/// Residual sign planes per class hypervector in the quantized serving
+/// path (mirrors `CLASS_PLANES` in `smore::QuantizedSmore`): each ensemble
+/// class dot costs one popcount sweep per plane, and class parameters
+/// stream at `CLASS_PLANES` bits per dimension.
+const CLASS_PLANES: f64 = 3.0;
+
+/// Bit-packed HDC encoding of `n` windows (`smore_packed`): per window,
+/// per channel, per time step — a codebook lookup (free), `ngram − 1`
+/// rotate+XOR word sweeps (4 word-ops per word each) and the integer
+/// counter bundling (2 ops/dim: bit extract + add); then the signature
+/// sign-merge (2 ops/dim per channel) and the centring threshold
+/// (3 ops/dim per window, including the accumulator norm).
+pub fn packed_encode(
+    n: usize,
+    time: usize,
+    channels: usize,
+    dim: usize,
+    ngram: usize,
+) -> OpProfile {
+    let words = dim as f64 / WORD_DIMS;
+    let per_step = 2.0 * dim as f64 + 4.0 * (ngram as f64 - 1.0) * words;
+    let per_channel = time as f64 * per_step + 2.0 * dim as f64;
+    let ops = n as f64 * (channels as f64 * per_channel + 3.0 * dim as f64);
+    // Traffic: packed codebooks stay cache-resident; per window the raw
+    // samples stream in, the i32 counter vector streams through once and
+    // a packed (dim/8-byte) hypervector streams out.
+    let bytes = n as f64 * ((time * channels) as f64 * F32 + dim as f64 * F32 + dim as f64 / 8.0);
+    OpProfile::new(ops, bytes).with_efficiency(PACKED_EFFICIENCY)
+}
+
+/// Quantized SMORE inference on `n` queries (Algorithm 1 entirely on
+/// packed operations): packed encode, `K` descriptor XOR+popcount
+/// similarities (2 word-ops per word), `K × classes` residual-plane
+/// popcount dots for the per-query test-time ensemble (one sweep per
+/// [`CLASS_PLANES`] plane) and the tiny `K²·classes` Gram epilogue — the
+/// word-level arithmetic behind the quantized serving savings.
+pub fn packed_smore_infer(
+    n: usize,
+    time: usize,
+    channels: usize,
+    dim: usize,
+    ngram: usize,
+    domains: usize,
+    classes: usize,
+) -> OpProfile {
+    let encode = packed_encode(n, time, channels, dim, ngram);
+    let words = dim as f64 / WORD_DIMS;
+    let descriptor = 2.0 * words * domains as f64;
+    let ensemble = 2.0 * words * domains as f64 * classes as f64 * CLASS_PLANES;
+    let epilogue = (domains * domains * classes) as f64;
+    let per_query = descriptor + ensemble + epilogue;
+    // Descriptors and the query stream at one bit per dimension; class
+    // parameters at CLASS_PLANES bits.
+    let bytes_per_query =
+        (domains as f64 + (domains * classes) as f64 * CLASS_PLANES + 1.0) * dim as f64 / 8.0;
+    encode
+        + OpProfile::new(n as f64 * per_query, n as f64 * bytes_per_query)
+            .with_efficiency(PACKED_EFFICIENCY)
+}
+
 /// HDC multi-sensor encoding of `n` windows (paper §3.3): per window, per
 /// channel, per time step — one quantiser interpolation (2 FLOPs/dim) and
 /// `ngram` shifted multiplies plus the bundle add (ngram + 1 FLOPs/dim),
@@ -249,6 +317,45 @@ mod tests {
         let tent =
             crate::roofline_latency(&tent_infer(n, USC.0, USC.1, 16, 32, 5, 64, 12, 10), &pi);
         assert!(tent > smore, "TENT ({tent:.3}s) should be slower than SMORE ({smore:.3}s)");
+    }
+
+    #[test]
+    fn packed_encode_is_cheaper_than_dense_encode() {
+        let dense = hdc_encode(100, USC.0, USC.1, 8192, 3);
+        let packed = packed_encode(100, USC.0, USC.1, 8192, 3);
+        assert!(
+            packed.flops < 0.5 * dense.flops,
+            "packed encode {} should be well under dense {}",
+            packed.flops,
+            dense.flops
+        );
+        assert!(packed.bytes < dense.bytes);
+    }
+
+    #[test]
+    fn packed_similarity_scoring_is_an_order_of_magnitude_cheaper() {
+        // Isolate the post-encode scoring work (descriptors + ensemble):
+        // word-level popcounts must undercut the dense f32 kernels by far
+        // more than the ≥5× acceptance bar.
+        let n = 100;
+        let dense_score = smore_infer(n, USC.0, USC.1, 8192, 3, 4, 12).flops
+            - hdc_encode(n, USC.0, USC.1, 8192, 3).flops;
+        let packed_score = packed_smore_infer(n, USC.0, USC.1, 8192, 3, 4, 12).flops
+            - packed_encode(n, USC.0, USC.1, 8192, 3).flops;
+        let ratio = dense_score / packed_score;
+        assert!(ratio > 5.0, "packed scoring speedup {ratio:.1}x below the 5x bar");
+    }
+
+    #[test]
+    fn packed_inference_wins_the_edge_roofline() {
+        // The fig6b-style claim: on a Raspberry Pi the quantized serving
+        // path is strictly faster than dense SMORE inference.
+        let pi = crate::device::raspberry_pi_3b();
+        let n = 100;
+        let dense = crate::roofline_latency(&smore_infer(n, USC.0, USC.1, 8192, 3, 4, 12), &pi);
+        let packed =
+            crate::roofline_latency(&packed_smore_infer(n, USC.0, USC.1, 8192, 3, 4, 12), &pi);
+        assert!(packed < dense, "packed {packed:.4}s should beat dense {dense:.4}s");
     }
 
     #[test]

@@ -7,12 +7,29 @@
 
 use crossbeam::thread;
 
-/// Default number of worker threads: the available parallelism, capped at 8.
+/// Default number of worker threads: the `SMORE_THREADS` environment
+/// variable when set to a parseable integer (clamped to at least 1), else
+/// the available parallelism, capped at 8.
 ///
-/// The cap keeps thread-spawn overhead negligible for the medium-sized
-/// batches this workspace processes.
+/// The env override lets single-CPU CI boxes and benchmark runs pin the
+/// thread count deterministically; the cap keeps thread-spawn overhead
+/// negligible for the medium-sized batches this workspace processes.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+    match parse_thread_override(std::env::var("SMORE_THREADS").ok().as_deref()) {
+        Some(n) => n,
+        None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8),
+    }
+}
+
+/// Parses a `SMORE_THREADS`-style override: trimmed decimal integer,
+/// clamped to `≥ 1`. Unset, empty or unparseable values yield `None` (fall
+/// back to the hardware default).
+pub fn parse_thread_override(raw: Option<&str>) -> Option<usize> {
+    let raw = raw?.trim();
+    if raw.is_empty() {
+        return None;
+    }
+    raw.parse::<usize>().ok().map(|n| n.max(1))
 }
 
 /// Applies `f` to every (input, output) pair in parallel.
@@ -160,5 +177,21 @@ mod tests {
     #[test]
     fn default_threads_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn thread_override_parsing() {
+        // Valid integers pass through.
+        assert_eq!(parse_thread_override(Some("4")), Some(4));
+        assert_eq!(parse_thread_override(Some(" 2 ")), Some(2), "whitespace is trimmed");
+        // Zero is clamped to one worker, never a panic downstream.
+        assert_eq!(parse_thread_override(Some("0")), Some(1));
+        // Unset / empty / garbage fall back to the hardware default.
+        assert_eq!(parse_thread_override(None), None);
+        assert_eq!(parse_thread_override(Some("")), None);
+        assert_eq!(parse_thread_override(Some("   ")), None);
+        assert_eq!(parse_thread_override(Some("eight")), None);
+        assert_eq!(parse_thread_override(Some("-3")), None);
+        assert_eq!(parse_thread_override(Some("2.5")), None);
     }
 }

@@ -10,6 +10,7 @@
 //! - [`smore_data`] — synthetic multi-sensor time series datasets
 //! - [`smore_nn`] — the neural-network substrate used by the CNN baselines
 //! - [`smore_baselines`] — BaselineHD, DOMINO, TENT and MDANs
+//! - [`smore_packed`] — the bit-packed binary inference engine
 //! - [`smore_platform`] — edge-device latency/energy models
 //! - [`smore_tensor`] — the linear-algebra substrate
 //!
@@ -21,6 +22,7 @@
 //! let _ = smore_repro::smore_data::generator::GeneratorConfig::default();
 //! let _ = smore_repro::smore_hdc::Hypervector::zeros(4);
 //! let _ = smore_repro::smore_nn::optim::Optimizer::sgd(0.1, 0.9);
+//! let _ = smore_repro::smore_packed::PackedHypervector::zeros(64);
 //! let _ = smore_repro::smore_platform::device::raspberry_pi_3b();
 //! let _ = smore_repro::smore_tensor::Matrix::zeros(1, 1);
 //! ```
@@ -30,5 +32,6 @@ pub use smore_baselines;
 pub use smore_data;
 pub use smore_hdc;
 pub use smore_nn;
+pub use smore_packed;
 pub use smore_platform;
 pub use smore_tensor;

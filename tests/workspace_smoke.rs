@@ -52,4 +52,16 @@ fn tiny_smore_trains_end_to_end_above_chance() {
     );
     assert_eq!(eval.samples, dataset.len());
     assert!(eval.ood_fraction <= 1.0);
+
+    // The quantized serving path must track the dense model through the
+    // same stack: freeze to bit-packed form and stay close on accuracy.
+    let quantized = model.quantize().unwrap();
+    let quant_eval = quantized.evaluate_indices(&dataset, &all).unwrap();
+    assert!(
+        quant_eval.accuracy >= eval.accuracy - 0.1,
+        "quantized accuracy {} collapsed vs dense {}",
+        quant_eval.accuracy,
+        eval.accuracy
+    );
+    assert!(quantized.storage_bytes() > 0);
 }
