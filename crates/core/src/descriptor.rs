@@ -108,6 +108,38 @@ impl DomainDescriptors {
             .collect()
     }
 
+    /// Appends a brand-new domain descriptor `U_{K+1}`: the bundle of the
+    /// given encoded samples. This is the online-enrolment counterpart of
+    /// [`build`](Self::build) — existing descriptors are untouched and the
+    /// new domain gets the next local index (`K`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmoreError::InvalidConfig`] when `encoded` is empty or its
+    /// width differs from the existing descriptor dimension.
+    pub fn push_domain(&mut self, encoded: &Matrix) -> Result<usize> {
+        if encoded.rows() == 0 {
+            return Err(SmoreError::InvalidConfig {
+                what: "cannot enrol a domain from zero samples".into(),
+            });
+        }
+        if encoded.cols() != self.descriptors.cols() {
+            return Err(SmoreError::InvalidConfig {
+                what: format!(
+                    "enrolment dimension {} differs from descriptor dimension {}",
+                    encoded.cols(),
+                    self.descriptors.cols()
+                ),
+            });
+        }
+        let mut bundle = Matrix::zeros(1, encoded.cols());
+        for i in 0..encoded.rows() {
+            vecops::axpy(1.0, encoded.row(i), bundle.row_mut(0));
+        }
+        self.descriptors = self.descriptors.vstack(&bundle)?;
+        Ok(self.descriptors.rows() - 1)
+    }
+
     /// Adds a single encoded sample into descriptor `domain` — the
     /// incremental form used by streaming updates.
     ///
@@ -196,6 +228,21 @@ mod tests {
         assert_eq!(desc.len(), 2);
         assert_eq!(desc.dim(), 2);
         assert!(!desc.is_empty());
+    }
+
+    #[test]
+    fn push_domain_appends_exact_bundle() {
+        let encoded = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let mut desc = DomainDescriptors::build(&encoded, &[0, 1], 2).unwrap();
+        let new_rows = Matrix::from_vec(2, 2, vec![0.5, 0.5, 1.5, -0.5]).unwrap();
+        let local = desc.push_domain(&new_rows).unwrap();
+        assert_eq!(local, 2);
+        assert_eq!(desc.len(), 3);
+        assert_eq!(desc.as_matrix().row(2), &[2.0, 0.0]);
+        // Existing descriptors untouched.
+        assert_eq!(desc.as_matrix().row(0), &[1.0, 2.0]);
+        assert!(desc.push_domain(&Matrix::zeros(0, 2)).is_err());
+        assert!(desc.push_domain(&Matrix::zeros(1, 5)).is_err());
     }
 
     #[test]

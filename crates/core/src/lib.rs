@@ -27,6 +27,13 @@
 //! popcount similarity) for a ~32× smaller footprint and an
 //! order-of-magnitude cheaper similarity kernel.
 //!
+//! Both models also adapt *online*: [`Smore::enroll_domain`] adds a new
+//! domain (descriptor + specialised model) to a fitted model without
+//! refitting, and [`QuantizedSmore::enroll_domain`] appends it to a frozen
+//! snapshot without re-quantizing. The `smore_stream` crate builds the
+//! full streaming deployment on these: OOD buffering, drift detection and
+//! atomic hot-swap of the serving snapshot.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -71,7 +78,7 @@ mod error;
 pub mod metrics;
 pub mod ood;
 pub mod pipeline;
-mod quantized;
+pub mod quantized;
 mod smore_model;
 pub mod test_time;
 
@@ -79,7 +86,7 @@ pub use centering::Centerer;
 pub use config::{DomainInit, RangeMode, SmoreConfig, SmoreConfigBuilder};
 pub use error::SmoreError;
 pub use quantized::QuantizedSmore;
-pub use smore_model::{EvalReport, Prediction, Smore, TrainReport};
+pub use smore_model::{EnrollReport, EvalReport, Prediction, Smore, TrainReport};
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, SmoreError>;

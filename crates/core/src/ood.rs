@@ -24,6 +24,20 @@ pub struct OodDecision {
     pub similarities: Vec<f32>,
 }
 
+/// The allocation-free core of an [`OodDecision`]: the verdict without the
+/// similarity vector. This is what the hot serving loops consume — the
+/// caller keeps ownership of its similarities and nothing is copied.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct OodVerdict {
+    /// Whether the query was declared out-of-distribution.
+    pub is_ood: bool,
+    /// The maximum descriptor similarity `δ_max`.
+    pub delta_max: f32,
+    /// Index of the most similar domain.
+    pub best_domain: usize,
+}
+
 /// The binary OOD classifier `Φ` parameterised by `δ*`.
 ///
 /// # Example
@@ -32,7 +46,7 @@ pub struct OodDecision {
 /// use smore::ood::OodDetector;
 ///
 /// let detector = OodDetector::new(0.5);
-/// let decision = detector.detect(vec![0.2, 0.4, 0.3]);
+/// let decision = detector.detect(&[0.2, 0.4, 0.3]);
 /// assert!(decision.is_ood, "best similarity 0.4 < δ* = 0.5");
 /// assert_eq!(decision.best_domain, 1);
 /// ```
@@ -53,22 +67,33 @@ impl OodDetector {
         self.delta_star
     }
 
-    /// Classifies a query given its descriptor similarities.
+    /// Classifies a query given its descriptor similarities, without
+    /// taking ownership of (or copying) them — the form the hot serving
+    /// loops use: borrow the similarity slice, keep the vector yourself.
     ///
-    /// An empty similarity vector is declared OOD with `δ_max = -1`
-    /// (no domain can claim the sample).
-    pub fn detect(&self, similarities: Vec<f32>) -> OodDecision {
-        match vecops::argmax(&similarities) {
+    /// An empty (or all-NaN) similarity slice is declared OOD with
+    /// `δ_max = -1` (no domain can claim the sample).
+    pub fn decide(&self, similarities: &[f32]) -> OodVerdict {
+        match vecops::argmax(similarities) {
             Some(best) => {
                 let delta_max = similarities[best];
-                OodDecision {
-                    is_ood: delta_max < self.delta_star,
-                    delta_max,
-                    best_domain: best,
-                    similarities,
-                }
+                OodVerdict { is_ood: delta_max < self.delta_star, delta_max, best_domain: best }
             }
-            None => OodDecision { is_ood: true, delta_max: -1.0, best_domain: 0, similarities },
+            None => OodVerdict { is_ood: true, delta_max: -1.0, best_domain: 0 },
+        }
+    }
+
+    /// Classifies a query and returns the full diagnostic record, cloning
+    /// the similarities into the [`OodDecision`]. Hot paths that already
+    /// own a similarity vector should call [`decide`](Self::decide)
+    /// instead and avoid the copy.
+    pub fn detect(&self, similarities: &[f32]) -> OodDecision {
+        let v = self.decide(similarities);
+        OodDecision {
+            is_ood: v.is_ood,
+            delta_max: v.delta_max,
+            best_domain: v.best_domain,
+            similarities: similarities.to_vec(),
         }
     }
 }
@@ -80,7 +105,7 @@ mod tests {
     #[test]
     fn in_distribution_above_threshold() {
         let d = OodDetector::new(0.5);
-        let decision = d.detect(vec![0.1, 0.8, 0.3]);
+        let decision = d.detect(&[0.1, 0.8, 0.3]);
         assert!(!decision.is_ood);
         assert_eq!(decision.best_domain, 1);
         assert!((decision.delta_max - 0.8).abs() < 1e-6);
@@ -90,15 +115,15 @@ mod tests {
     #[test]
     fn ood_below_threshold() {
         let d = OodDetector::new(0.5);
-        assert!(d.detect(vec![0.49, 0.2]).is_ood);
+        assert!(d.detect(&[0.49, 0.2]).is_ood);
         // Boundary: δ_max == δ* is *not* OOD (strict inequality in Alg. 1).
-        assert!(!d.detect(vec![0.5]).is_ood);
+        assert!(!d.detect(&[0.5]).is_ood);
     }
 
     #[test]
     fn empty_similarities_are_ood() {
         let d = OodDetector::new(0.3);
-        let decision = d.detect(vec![]);
+        let decision = d.detect(&[]);
         assert!(decision.is_ood);
         assert_eq!(decision.delta_max, -1.0);
     }
@@ -106,11 +131,23 @@ mod tests {
     #[test]
     fn nan_similarities_are_skipped() {
         let d = OodDetector::new(0.2);
-        let decision = d.detect(vec![f32::NAN, 0.4]);
+        let decision = d.detect(&[f32::NAN, 0.4]);
         assert_eq!(decision.best_domain, 1);
         assert!(!decision.is_ood);
-        let all_nan = d.detect(vec![f32::NAN]);
+        let all_nan = d.detect(&[f32::NAN]);
         assert!(all_nan.is_ood);
+    }
+
+    #[test]
+    fn decide_matches_detect_without_allocating() {
+        let d = OodDetector::new(0.4);
+        for sims in [vec![0.1, 0.7, 0.3], vec![], vec![f32::NAN, -0.5]] {
+            let verdict = d.decide(&sims);
+            let decision = d.detect(&sims);
+            assert_eq!(verdict.is_ood, decision.is_ood);
+            assert_eq!(verdict.delta_max, decision.delta_max);
+            assert_eq!(verdict.best_domain, decision.best_domain);
+        }
     }
 
     #[test]

@@ -39,7 +39,7 @@ use smore_packed::{PackedHypervector, PackedNgramEncoder, ResidualPacked};
 use smore_tensor::{parallel, Matrix};
 
 use crate::config::SmoreConfig;
-use crate::ood::{OodDecision, OodDetector};
+use crate::ood::{OodDetector, OodVerdict};
 use crate::smore_model::{ChannelStats, EvalReport, Fitted, Prediction};
 use crate::test_time::ensemble_weights_powered;
 use crate::{Result, SmoreError};
@@ -52,7 +52,11 @@ use crate::{Result, SmoreError};
 /// measured packed similarity back on the dense cosine scale, so the OOD
 /// threshold `δ*` and the ensemble weights of Eq. 3 operate on the same
 /// numbers the dense pipeline would see.
-fn recover_cosine(packed_sim: f32) -> f32 {
+///
+/// Out-of-range inputs are clamped to `[-1, 1]` first, so the output is
+/// always a valid cosine. The map is strictly monotone on the clamped
+/// domain (property-tested in `tests/proptests.rs`).
+pub fn recover_cosine(packed_sim: f32) -> f32 {
     (FRAC_PI_2 * packed_sim.clamp(-1.0, 1.0)).sin()
 }
 
@@ -164,6 +168,83 @@ impl QuantizedSmore {
             domain_classes,
             domain_tags: fitted.domain_tags.clone(),
         })
+    }
+
+    /// Appends a freshly enrolled domain to the frozen serving model
+    /// *without* re-quantizing the shared state: the new model's class
+    /// hypervectors are residual-binarized, the new descriptor is
+    /// sign-packed, and every per-class Gram matrix grows from `K × K` to
+    /// `(K+1) × (K+1)` by computing only the new row/column of dots. The
+    /// packed encoder codebooks, channel scaler and centring mean are
+    /// untouched — they were frozen by the original quantize and stay
+    /// valid because online enrolment never moves the encoder geometry.
+    ///
+    /// This is the cheap path behind streaming hot-swap: cloning the
+    /// snapshot and appending one domain costs `O(n·d)` instead of the
+    /// full-model re-quantization (which re-derives the encoder
+    /// codebooks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmoreError::InvalidConfig`] when the model shape or
+    /// descriptor dimension disagrees with the frozen configuration, or
+    /// the tag is already enrolled.
+    pub fn enroll_domain(
+        &mut self,
+        model: &smore_hdc::model::HdcClassifier,
+        descriptor: &[f32],
+        tag: usize,
+    ) -> Result<()> {
+        if model.dim() != self.config.dim || model.num_classes() != self.config.num_classes {
+            return Err(SmoreError::InvalidConfig {
+                what: format!(
+                    "enrolled model shape ({}, {}) disagrees with quantized model ({}, {})",
+                    model.num_classes(),
+                    model.dim(),
+                    self.config.num_classes,
+                    self.config.dim
+                ),
+            });
+        }
+        if descriptor.len() != self.config.dim {
+            return Err(SmoreError::InvalidConfig {
+                what: format!(
+                    "descriptor dimension {} disagrees with quantized dim {}",
+                    descriptor.len(),
+                    self.config.dim
+                ),
+            });
+        }
+        if self.domain_tags.contains(&tag) {
+            return Err(SmoreError::InvalidConfig {
+                what: format!("domain tag {tag} is already enrolled"),
+            });
+        }
+        let new_classes = model
+            .class_hypervectors()
+            .iter_rows()
+            .map(|row| ResidualPacked::from_dense(row, CLASS_PLANES))
+            .collect::<smore_packed::Result<Vec<_>>>()?;
+        let k = self.domain_classes.len();
+        for (c, gram) in self.class_gram.iter_mut().enumerate() {
+            let mut grown = vec![0.0f32; (k + 1) * (k + 1)];
+            for j in 0..k {
+                for m in 0..k {
+                    grown[j * (k + 1) + m] = gram[j * k + m];
+                }
+            }
+            for j in 0..k {
+                let dot = self.domain_classes[j][c].dot(&new_classes[c])?;
+                grown[j * (k + 1) + k] = dot;
+                grown[k * (k + 1) + j] = dot;
+            }
+            grown[k * (k + 1) + k] = new_classes[c].dot(&new_classes[c])?;
+            *gram = grown;
+        }
+        self.descriptors.push(PackedHypervector::from_signs(descriptor));
+        self.domain_classes.push(new_classes);
+        self.domain_tags.push(tag);
+        Ok(())
     }
 
     /// The dense configuration the model was quantized from.
@@ -318,10 +399,10 @@ impl QuantizedSmore {
                 )
             })
             .collect();
-        let decision: OodDecision = OodDetector::new(self.config.delta_star).detect(sims);
+        let verdict: OodVerdict = OodDetector::new(self.config.delta_star).decide(&sims);
         let weights = ensemble_weights_powered(
-            &decision.similarities,
-            decision.is_ood,
+            &sims,
+            verdict.is_ood,
             self.config.delta_star,
             self.config.weight_power,
         );
@@ -365,10 +446,10 @@ impl QuantizedSmore {
 
         Prediction {
             label: best_label,
-            is_ood: decision.is_ood,
-            delta_max: decision.delta_max,
-            best_domain: self.domain_tags[decision.best_domain],
-            domain_similarities: decision.similarities,
+            is_ood: verdict.is_ood,
+            delta_max: verdict.delta_max,
+            best_domain: self.domain_tags[verdict.best_domain],
+            domain_similarities: sims,
         }
     }
 }
@@ -499,6 +580,57 @@ mod tests {
         assert!(quantized.evaluate(&windows, &labels).unwrap().ood_fraction > 0.9);
         assert!(quantized.set_delta_star(1.5).is_err());
         assert!(quantized.set_delta_star(f32::NAN).is_err());
+    }
+
+    #[test]
+    fn enroll_domain_appends_and_matches_full_requantize() {
+        let ds = shifted_dataset(8);
+        let (train, test) = split::lodo(&ds, 0).unwrap();
+        let mut dense = fitted_model(&ds, &train);
+        let mut appended = dense.quantize().unwrap();
+
+        // Enrol the held-out domain online, then quantize both ways.
+        let (w, l, _) = ds.gather(&test[..40]);
+        dense.enroll_domain(&w, &l, 0).unwrap();
+        let new_model = dense.domain_models().unwrap().last().unwrap().clone();
+        let descriptors = dense.descriptors().unwrap().as_matrix().clone();
+        appended.enroll_domain(&new_model, descriptors.row(3), 0).unwrap();
+        let refrozen = dense.quantize().unwrap();
+
+        assert_eq!(appended.num_domains(), 4);
+        assert_eq!(appended.domain_tags(), refrozen.domain_tags());
+        // The appended snapshot and the full re-quantize agree exactly.
+        let windows: Vec<Matrix> = test[40..].iter().map(|&i| ds.window(i).clone()).collect();
+        let pa = appended.predict_batch(&windows).unwrap();
+        let pr = refrozen.predict_batch(&windows).unwrap();
+        assert_eq!(pa, pr, "incremental append must equal full re-quantization");
+    }
+
+    #[test]
+    fn enroll_domain_validates() {
+        let ds = shifted_dataset(9);
+        let (train, _) = split::lodo(&ds, 0).unwrap();
+        let dense = fitted_model(&ds, &train);
+        let mut quantized = dense.quantize().unwrap();
+        let model = dense.domain_models().unwrap()[0].clone();
+        let descriptor = dense.descriptors().unwrap().as_matrix().row(0).to_vec();
+        // Duplicate tag.
+        assert!(quantized.enroll_domain(&model, &descriptor, 1).is_err());
+        // Wrong descriptor dimension.
+        assert!(quantized.enroll_domain(&model, &descriptor[..100], 77).is_err());
+        // Wrong model shape.
+        let small = smore_hdc::model::HdcClassifier::new(smore_hdc::model::HdcClassifierConfig {
+            dim: 64,
+            num_classes: 4,
+            learning_rate: 0.05,
+            epochs: 1,
+        })
+        .unwrap();
+        assert!(quantized.enroll_domain(&small, &descriptor, 77).is_err());
+        // Valid append works and keeps serving.
+        quantized.enroll_domain(&model, &descriptor, 77).unwrap();
+        assert_eq!(quantized.num_domains(), 4);
+        quantized.predict_window(ds.window(0)).unwrap();
     }
 
     #[test]

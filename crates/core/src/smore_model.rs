@@ -10,7 +10,7 @@ use smore_tensor::{parallel, vecops, Matrix};
 use crate::centering::Centerer;
 use crate::config::{DomainInit, RangeMode, SmoreConfig};
 use crate::descriptor::DomainDescriptors;
-use crate::ood::{OodDecision, OodDetector};
+use crate::ood::{OodDetector, OodVerdict};
 use crate::test_time::ensemble_weights_powered;
 use crate::{Result, SmoreError};
 
@@ -45,6 +45,22 @@ pub struct TrainReport {
     pub train_seconds: f64,
     /// Per-domain `(external domain tag, fit report)`.
     pub domain_reports: Vec<(usize, FitReport)>,
+}
+
+/// Report returned by [`Smore::enroll_domain`].
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EnrollReport {
+    /// The external tag assigned to the enrolled domain.
+    pub tag: usize,
+    /// Number of windows the domain was enrolled from.
+    pub samples: usize,
+    /// Total number of source domains `K` after enrolment.
+    pub num_domains: usize,
+    /// Wall-clock seconds spent encoding + training the new domain model.
+    pub seconds: f64,
+    /// Fit report of the new domain-specific model.
+    pub fit_report: FitReport,
 }
 
 /// Report returned by [`Smore::evaluate`].
@@ -476,6 +492,83 @@ impl Smore {
         self.evaluate(&windows, &labels)
     }
 
+    /// Enrols a **new domain online** (§3.5–3.6 extended to streaming
+    /// deployment): bundles a fresh descriptor `U_{K+1}` from the given
+    /// windows and trains a new domain-specific model `M_{K+1}` with the
+    /// paper's adaptive update rule, *without* refitting the existing `K`
+    /// models. The encoder geometry (channel scaler, quantisation ranges,
+    /// centring mean) stays frozen from the original [`fit`](Self::fit),
+    /// so all descriptors and models remain mutually comparable.
+    ///
+    /// The new model is seeded from the average of the existing
+    /// domain-specific models (the online analog of
+    /// [`DomainInit::Shared`]) and then specialised on the enrolment
+    /// windows — which may carry self- or ensemble-produced labels in a
+    /// streaming deployment (see the `smore_stream` crate).
+    ///
+    /// # Errors
+    ///
+    /// - [`SmoreError::NotFitted`] before training.
+    /// - [`SmoreError::InvalidConfig`] for empty input, mismatched lengths,
+    ///   out-of-range labels, or a `tag` that is already enrolled.
+    /// - Encoder errors for malformed windows.
+    pub fn enroll_domain(
+        &mut self,
+        windows: &[Matrix],
+        labels: &[usize],
+        tag: usize,
+    ) -> Result<EnrollReport> {
+        self.state()?;
+        if windows.is_empty() {
+            return Err(SmoreError::InvalidConfig { what: "enrolment set is empty".into() });
+        }
+        if windows.len() != labels.len() {
+            return Err(SmoreError::InvalidConfig {
+                what: format!("{} windows but {} labels", windows.len(), labels.len()),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= self.config.num_classes) {
+            return Err(SmoreError::InvalidConfig {
+                what: format!("label {bad} out of range for {} classes", self.config.num_classes),
+            });
+        }
+        if self.state()?.domain_tags.contains(&tag) {
+            return Err(SmoreError::InvalidConfig {
+                what: format!("domain tag {tag} is already enrolled"),
+            });
+        }
+
+        let t0 = Instant::now();
+        let encoded = self.encode(windows)?;
+        let fitted = self.fitted.as_mut().expect("checked above");
+
+        // Seed M_{K+1} from the average of the existing models so the new
+        // model starts mutually coherent with the ensemble it will join.
+        let (classes, dim) = fitted.domain_models[0].class_hypervectors().shape();
+        let mut seed = Matrix::zeros(classes, dim);
+        let scale = 1.0 / fitted.domain_models.len() as f32;
+        for model in &fitted.domain_models {
+            seed.axpy(scale, model.class_hypervectors())?;
+        }
+        let mut model = HdcClassifier::from_class_hypervectors_with(
+            seed,
+            self.config.learning_rate,
+            self.config.epochs,
+        )?;
+        let fit_report = model.fit(&encoded, labels)?;
+
+        fitted.descriptors.push_domain(&encoded)?;
+        fitted.domain_models.push(model);
+        fitted.domain_tags.push(tag);
+        Ok(EnrollReport {
+            tag,
+            samples: windows.len(),
+            num_domains: fitted.domain_models.len(),
+            seconds: t0.elapsed().as_secs_f64(),
+            fit_report,
+        })
+    }
+
     /// Freezes the fitted model into a bit-packed [`QuantizedSmore`]
     /// serving model: domain classifiers, descriptors and the encoder
     /// codebooks are sign-quantized to one bit per dimension, and every
@@ -494,10 +587,12 @@ impl Smore {
     /// Algorithm 1 on an already encoded-and-centred query.
     fn predict_encoded(&self, fitted: &Fitted, q: &[f32]) -> Prediction {
         let sims = fitted.descriptors.similarities(q);
-        let decision: OodDecision = OodDetector::new(self.config.delta_star).detect(sims);
+        // `decide` borrows the similarities, so the vector flows into the
+        // returned `Prediction` without a copy.
+        let verdict: OodVerdict = OodDetector::new(self.config.delta_star).decide(&sims);
         let weights = ensemble_weights_powered(
-            &decision.similarities,
-            decision.is_ood,
+            &sims,
+            verdict.is_ood,
             self.config.delta_star,
             self.config.weight_power,
         );
@@ -525,10 +620,10 @@ impl Smore {
 
         Prediction {
             label: best_label,
-            is_ood: decision.is_ood,
-            delta_max: decision.delta_max,
-            best_domain: fitted.domain_tags[decision.best_domain],
-            domain_similarities: decision.similarities,
+            is_ood: verdict.is_ood,
+            delta_max: verdict.delta_max,
+            best_domain: fitted.domain_tags[verdict.best_domain],
+            domain_similarities: sims,
         }
     }
 
@@ -730,6 +825,65 @@ mod tests {
             train_delta > test_delta,
             "training domains should look more in-distribution: {train_delta} vs {test_delta}"
         );
+    }
+
+    #[test]
+    fn enroll_domain_adds_model_descriptor_and_tag() {
+        let ds = shifted_dataset(10);
+        let (train, test) = split::lodo(&ds, 3).unwrap();
+        let mut model = Smore::new(small_config(3, 4)).unwrap();
+        model.fit_indices(&ds, &train).unwrap();
+        assert_eq!(model.num_domains().unwrap(), 3);
+
+        let (w, l, _) = ds.gather(&test[..40]);
+        let report = model.enroll_domain(&w, &l, 3).unwrap();
+        assert_eq!(report.tag, 3);
+        assert_eq!(report.samples, 40);
+        assert_eq!(report.num_domains, 4);
+        assert!(report.seconds >= 0.0);
+        assert_eq!(model.num_domains().unwrap(), 4);
+        assert_eq!(model.domain_tags().unwrap(), &[0, 1, 2, 3]);
+        assert_eq!(model.descriptors().unwrap().len(), 4);
+        // Predictions now report four similarities and may claim the new tag.
+        let p = model.predict_window(ds.window(test[0])).unwrap();
+        assert_eq!(p.domain_similarities.len(), 4);
+    }
+
+    #[test]
+    fn enroll_domain_improves_accuracy_on_the_enrolled_domain() {
+        let ds = shifted_dataset(11);
+        let (train, test) = split::lodo(&ds, 0).unwrap();
+        let mut model = Smore::new(small_config(3, 4)).unwrap();
+        model.fit_indices(&ds, &train).unwrap();
+        let (buf_w, buf_l, _) = ds.gather(&test[..40]);
+        let (eval_w, eval_l, _) = ds.gather(&test[40..]);
+        let before = model.evaluate(&eval_w, &eval_l).unwrap().accuracy;
+        model.enroll_domain(&buf_w, &buf_l, 0).unwrap();
+        let after = model.evaluate(&eval_w, &eval_l).unwrap().accuracy;
+        assert!(
+            after >= before,
+            "enrolling ground-truth windows must not hurt the enrolled domain: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn enroll_domain_validates() {
+        let ds = shifted_dataset(12);
+        let (train, test) = split::lodo(&ds, 1).unwrap();
+        let mut unfitted = Smore::new(small_config(3, 4)).unwrap();
+        let (w, l, _) = ds.gather(&test[..8]);
+        assert!(matches!(unfitted.enroll_domain(&w, &l, 9), Err(SmoreError::NotFitted)));
+
+        let mut model = Smore::new(small_config(3, 4)).unwrap();
+        model.fit_indices(&ds, &train).unwrap();
+        assert!(model.enroll_domain(&[], &[], 9).is_err(), "empty enrolment");
+        assert!(model.enroll_domain(&w, &l[..4], 9).is_err(), "length mismatch");
+        let bad_labels = vec![99; w.len()];
+        assert!(model.enroll_domain(&w, &bad_labels, 9).is_err(), "label range");
+        assert!(model.enroll_domain(&w, &l, 0).is_err(), "tag 0 already enrolled");
+        // A failed enrolment leaves the model intact and usable.
+        assert_eq!(model.num_domains().unwrap(), 3);
+        model.predict_window(ds.window(test[0])).unwrap();
     }
 
     #[test]

@@ -39,7 +39,7 @@ use crate::Result;
 /// let mut rng = init::rng(5);
 /// let m1 = HdcClassifier::from_class_hypervectors(init::bipolar_matrix(&mut rng, 3, 64))?;
 /// let m2 = HdcClassifier::from_class_hypervectors(init::bipolar_matrix(&mut rng, 3, 64))?;
-/// let decision = OodDetector::new(0.5).detect(vec![0.4, 0.3]); // OOD
+/// let decision = OodDetector::new(0.5).detect(&[0.4, 0.3]); // OOD
 /// let mt = build_test_time_model(&[m1, m2], &decision, 0.5, 1.0)?;
 /// assert_eq!(mt.num_classes(), 3);
 /// # Ok(())
@@ -162,7 +162,7 @@ mod tests {
     fn test_time_model_is_weighted_sum() {
         let m1 = model_filled(1.0, 2, 4);
         let m2 = model_filled(2.0, 2, 4);
-        let decision = OodDetector::new(0.9).detect(vec![0.5, 0.25]); // OOD
+        let decision = OodDetector::new(0.9).detect(&[0.5, 0.25]); // OOD
         assert!(decision.is_ood);
         let mt = build_test_time_model(&[m1, m2], &decision, 0.9, 1.0).unwrap();
         // 0.5 * 1.0 + 0.25 * 2.0 = 1.0 everywhere.
@@ -173,7 +173,7 @@ mod tests {
     fn in_distribution_model_excludes_dissimilar_domains() {
         let m1 = model_filled(1.0, 2, 4);
         let m2 = model_filled(100.0, 2, 4);
-        let decision = OodDetector::new(0.5).detect(vec![0.8, 0.1]);
+        let decision = OodDetector::new(0.5).detect(&[0.8, 0.1]);
         assert!(!decision.is_ood);
         let mt = build_test_time_model(&[m1, m2], &decision, 0.5, 1.0).unwrap();
         // Only m1 participates: 0.8 * 1.0 = 0.8.
@@ -189,7 +189,7 @@ mod tests {
             HdcClassifier::from_class_hypervectors(init::bipolar_matrix(&mut rng, 2, 512)).unwrap();
         let query: Vec<f32> = a.class_hypervectors().row(1).to_vec();
         // Heavy weight on model a: prediction should match a's verdict.
-        let decision = OodDetector::new(0.9).detect(vec![0.99, 0.01]);
+        let decision = OodDetector::new(0.9).detect(&[0.99, 0.01]);
         let mt = build_test_time_model(&[a.clone(), b], &decision, 0.9, 1.0).unwrap();
         assert_eq!(mt.predict_one(&query).unwrap(), a.predict_one(&query).unwrap());
     }

@@ -21,6 +21,8 @@
 //! - [`split`] — leave-one-domain-out (LODO) and standard k-fold
 //!   cross-validation (the latter intentionally reproduces the data-leakage
 //!   semantics the paper's Figure 1(b) criticises).
+//! - [`stream`] — concept-drift streams for online/streaming evaluation:
+//!   domain switches, gradual sensor-gain drift and channel dropout.
 //! - [`window`] — overlapping segmentation of continuous recordings, for
 //!   pipelines that mirror the original preprocessing.
 //!
@@ -48,6 +50,7 @@ pub mod generator;
 pub mod presets;
 pub mod signal;
 pub mod split;
+pub mod stream;
 pub mod subject;
 pub mod window;
 

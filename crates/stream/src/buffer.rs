@@ -1,0 +1,131 @@
+//! A bounded ring buffer of out-of-distribution queries awaiting
+//! enrolment.
+
+use std::collections::VecDeque;
+
+use smore_tensor::Matrix;
+
+/// One buffered OOD query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferedQuery {
+    /// The raw sensor window (kept raw so enrolment re-encodes it through
+    /// the frozen pipeline).
+    pub window: Matrix,
+    /// The serving ensemble's label at ingest time (the self-label).
+    pub pseudo_label: usize,
+    /// Ground-truth label, when the deployment supplies one (delayed
+    /// annotation, user confirmation, …).
+    pub true_label: Option<usize>,
+    /// `δ_max` the query scored at ingest time.
+    pub delta_max: f32,
+    /// Stream step at which the query arrived.
+    pub step: usize,
+}
+
+/// Fixed-capacity FIFO of OOD queries: when full, the oldest query is
+/// evicted, so the buffer always holds the *most recent* evidence of the
+/// unseen distribution — exactly what enrolment should train on.
+#[derive(Debug, Clone)]
+pub struct OodBuffer {
+    queries: VecDeque<BufferedQuery>,
+    capacity: usize,
+}
+
+impl OodBuffer {
+    /// Creates an empty buffer holding at most `capacity` queries
+    /// (`capacity` is clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self { queries: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Number of buffered queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pushes a query, evicting the oldest when full. Returns whether an
+    /// eviction happened.
+    pub fn push(&mut self, query: BufferedQuery) -> bool {
+        let evicted = self.queries.len() == self.capacity;
+        if evicted {
+            self.queries.pop_front();
+        }
+        self.queries.push_back(query);
+        evicted
+    }
+
+    /// The buffered queries, oldest first.
+    pub fn queries(&self) -> impl Iterator<Item = &BufferedQuery> {
+        self.queries.iter()
+    }
+
+    /// Drains the buffer, returning all queries oldest-first.
+    pub fn drain(&mut self) -> Vec<BufferedQuery> {
+        self.queries.drain(..).collect()
+    }
+
+    /// Clears the buffer without returning the queries.
+    pub fn clear(&mut self) {
+        self.queries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(step: usize) -> BufferedQuery {
+        BufferedQuery {
+            window: Matrix::zeros(2, 2),
+            pseudo_label: 0,
+            true_label: None,
+            delta_max: 0.0,
+            step,
+        }
+    }
+
+    #[test]
+    fn fifo_eviction_keeps_most_recent() {
+        let mut buf = OodBuffer::new(3);
+        assert!(buf.is_empty());
+        assert!(!buf.push(q(0)));
+        assert!(!buf.push(q(1)));
+        assert!(!buf.push(q(2)));
+        assert!(buf.push(q(3)), "fourth push evicts");
+        assert_eq!(buf.len(), 3);
+        let steps: Vec<usize> = buf.queries().map(|b| b.step).collect();
+        assert_eq!(steps, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn drain_empties_oldest_first() {
+        let mut buf = OodBuffer::new(4);
+        for i in 0..4 {
+            buf.push(q(i));
+        }
+        let drained = buf.drain();
+        assert!(buf.is_empty());
+        assert_eq!(drained.iter().map(|b| b.step).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut buf = OodBuffer::new(0);
+        assert_eq!(buf.capacity(), 1);
+        buf.push(q(7));
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        assert!(buf.is_empty());
+    }
+}

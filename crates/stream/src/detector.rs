@@ -1,0 +1,132 @@
+//! Sustained-OOD drift detection.
+//!
+//! A single OOD query is an outlier; a *sustained block* of them means the
+//! input distribution has moved (§3.5's OOD test, aggregated over time).
+//! The detector keeps a sliding window of the last `window` per-query OOD
+//! flags and fires when the OOD fraction reaches `threshold` — but only
+//! once the window is full, so a cold start cannot fire on two samples,
+//! and never during a cooldown period (armed again after enrolment
+//! stabilises).
+
+use std::collections::VecDeque;
+
+/// Sliding-window drift detector over per-query OOD flags.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    recent: VecDeque<bool>,
+    window: usize,
+    threshold: f32,
+    ood_count: usize,
+    cooldown_remaining: usize,
+}
+
+impl DriftDetector {
+    /// Creates a detector that fires when at least `threshold` of the last
+    /// `window` queries were OOD. `window` is clamped to ≥ 1; `threshold`
+    /// to `(0, 1]`.
+    pub fn new(window: usize, threshold: f32) -> Self {
+        Self {
+            recent: VecDeque::with_capacity(window.max(1)),
+            window: window.max(1),
+            threshold: if threshold.is_finite() { threshold.clamp(f32::EPSILON, 1.0) } else { 1.0 },
+            ood_count: 0,
+            cooldown_remaining: 0,
+        }
+    }
+
+    /// Observes one query's OOD flag; returns `true` when drift fires.
+    ///
+    /// Firing does not reset the detector — call [`reset`](Self::reset)
+    /// (typically after a successful enrolment) to clear the window and
+    /// start a cooldown.
+    pub fn observe(&mut self, is_ood: bool) -> bool {
+        if self.recent.len() == self.window && self.recent.pop_front() == Some(true) {
+            self.ood_count -= 1;
+        }
+        self.recent.push_back(is_ood);
+        if is_ood {
+            self.ood_count += 1;
+        }
+        if self.cooldown_remaining > 0 {
+            self.cooldown_remaining -= 1;
+            return false;
+        }
+        self.recent.len() == self.window
+            && self.ood_count as f32 >= self.threshold * self.window as f32
+    }
+
+    /// Fraction of OOD flags in the current window (0 when empty).
+    pub fn ood_fraction(&self) -> f32 {
+        if self.recent.is_empty() {
+            0.0
+        } else {
+            self.ood_count as f32 / self.recent.len() as f32
+        }
+    }
+
+    /// Whether the detector is in a post-enrolment cooldown.
+    pub fn in_cooldown(&self) -> bool {
+        self.cooldown_remaining > 0
+    }
+
+    /// Clears the sliding window and suppresses firing for the next
+    /// `cooldown` observations — called after enrolment so the detector
+    /// re-arms on the *post-swap* distribution.
+    pub fn reset(&mut self, cooldown: usize) {
+        self.recent.clear();
+        self.ood_count = 0;
+        self.cooldown_remaining = cooldown;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_only_when_window_full_and_fraction_reached() {
+        let mut d = DriftDetector::new(4, 0.75);
+        assert!(!d.observe(true));
+        assert!(!d.observe(true));
+        assert!(!d.observe(true), "window not full yet");
+        assert!(d.observe(true), "4/4 ≥ 0.75");
+        // Sliding: one in-distribution sample drops the fraction to 3/4.
+        assert!(d.observe(false), "3/4 ≥ 0.75 still fires");
+        assert!(!d.observe(false), "2/4 < 0.75");
+        assert!((d.ood_fraction() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transient_outliers_do_not_fire() {
+        let mut d = DriftDetector::new(8, 0.5);
+        for i in 0..100 {
+            // Every 4th query OOD: 25% mass, never sustained.
+            assert!(!d.observe(i % 4 == 0), "fired at step {i}");
+        }
+    }
+
+    #[test]
+    fn reset_applies_cooldown_and_clears_window() {
+        let mut d = DriftDetector::new(2, 0.5);
+        assert!(!d.observe(true));
+        assert!(d.observe(true));
+        d.reset(3);
+        assert!(d.in_cooldown());
+        assert_eq!(d.ood_fraction(), 0.0);
+        // Cooldown swallows the next 3 observations even though they fill
+        // the window with OOD.
+        assert!(!d.observe(true));
+        assert!(!d.observe(true));
+        assert!(!d.observe(true));
+        assert!(!d.in_cooldown());
+        assert!(d.observe(true), "re-armed after cooldown");
+    }
+
+    #[test]
+    fn degenerate_parameters_are_clamped() {
+        let mut d = DriftDetector::new(0, f32::NAN);
+        // window 1, threshold 1.0: fires exactly on OOD observations.
+        assert!(d.observe(true));
+        assert!(!d.observe(false));
+    }
+}

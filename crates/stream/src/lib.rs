@@ -1,0 +1,79 @@
+//! Streaming domain adaptation for SMORE (§3.5–3.6 taken online).
+//!
+//! The batch pipeline (`smore`) learns `K` source domains once and serves
+//! them forever. Real deployments meet domains that did not exist at
+//! training time: a new user, a new sensor placement, a decaying gain. This
+//! crate closes that gap with a [`StreamingSmore`] session that wraps a
+//! fitted model and, per ingested window:
+//!
+//! 1. **serves** from a frozen bit-packed snapshot
+//!    ([`smore::QuantizedSmore`]) held behind an atomically swappable
+//!    [`SnapshotHandle`] — serving threads never block on adaptation;
+//! 2. **detects** out-of-distribution queries with the model's own
+//!    descriptor similarities (Algorithm 1's `δ_max < δ*`) and accumulates
+//!    persistently-OOD windows in a bounded [`OodBuffer`];
+//! 3. **fires** a [`DriftDetector`] when the recent OOD mass is sustained
+//!    — a transient outlier is not drift, a solid block of OOD queries is;
+//! 4. **enrols** a new domain online: the buffered windows are labelled
+//!    (self-labels from the serving ensemble, or delayed ground truth —
+//!    see [`LabelStrategy`]), bundled into a fresh descriptor `U_{K+1}`,
+//!    and trained into a new domain-specific model via the paper's
+//!    adaptive update rule ([`smore::Smore::enroll_domain`]); then the
+//!    serving snapshot is *appended to* (not re-quantized) and hot-swapped
+//!    ([`smore::QuantizedSmore::enroll_domain`]).
+//!
+//! Concept-drift input streams for exercising all of this live in
+//! [`smore_data::stream`].
+//!
+//! # Example
+//!
+//! ```
+//! use smore::{Smore, SmoreConfig};
+//! use smore_data::generator::{generate, DomainSpec, GeneratorConfig};
+//! use smore_data::split;
+//! use smore_stream::{StreamingConfig, StreamingSmore};
+//!
+//! # fn main() -> Result<(), smore::SmoreError> {
+//! let ds = generate(&GeneratorConfig {
+//!     domains: vec![
+//!         DomainSpec { subjects: vec![0, 1], windows: 40 },
+//!         DomainSpec { subjects: vec![2, 3], windows: 40 },
+//!         DomainSpec { subjects: vec![4, 5], windows: 40 },
+//!     ],
+//!     ..GeneratorConfig::default()
+//! })
+//! .map_err(smore::SmoreError::from)?;
+//! let (train, test) = split::lodo(&ds, 2)?;
+//! let mut model = Smore::new(
+//!     SmoreConfig::builder()
+//!         .dim(1024)
+//!         .channels(ds.meta().channels)
+//!         .num_classes(ds.meta().num_classes)
+//!         .epochs(5)
+//!         .build()?,
+//! )?;
+//! model.fit_indices(&ds, &train)?;
+//!
+//! let mut session = StreamingSmore::new(model, StreamingConfig::default())?;
+//! for &i in &test {
+//!     let outcome = session.ingest(ds.window(i))?;
+//!     assert!(outcome.prediction.label < ds.meta().num_classes);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod buffer;
+mod detector;
+mod session;
+mod snapshot;
+
+pub use buffer::{BufferedQuery, OodBuffer};
+pub use detector::DriftDetector;
+pub use session::{AdaptationEvent, LabelStrategy, StreamOutcome, StreamingConfig, StreamingSmore};
+pub use snapshot::SnapshotHandle;
+
+/// Result alias; streaming shares the core SMORE error vocabulary.
+pub type Result<T> = std::result::Result<T, smore::SmoreError>;

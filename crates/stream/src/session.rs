@@ -1,0 +1,697 @@
+//! The streaming adaptation session.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use smore::{Prediction, QuantizedSmore, Smore, SmoreError};
+use smore_tensor::Matrix;
+
+use crate::buffer::{BufferedQuery, OodBuffer};
+use crate::detector::DriftDetector;
+use crate::snapshot::SnapshotHandle;
+use crate::Result;
+
+/// Where enrolment labels come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LabelStrategy {
+    /// Self-labelling: train on the serving ensemble's own predictions at
+    /// ingest time (§3.6's test-time ensemble as the labeller). Fully
+    /// unsupervised — the honest streaming default.
+    #[default]
+    SelfLabel,
+    /// Delayed ground truth: use true labels supplied through
+    /// [`StreamingSmore::ingest_labelled`] when available (user
+    /// confirmation, annotation backfill), falling back to the self-label
+    /// for unlabelled queries.
+    Oracle,
+}
+
+/// Configuration of a [`StreamingSmore`] session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingConfig {
+    /// Capacity of the OOD ring buffer (oldest evicted first).
+    pub buffer_capacity: usize,
+    /// Sliding-window length of the drift detector.
+    pub drift_window: usize,
+    /// OOD fraction within the window at which drift fires.
+    pub drift_threshold: f32,
+    /// Minimum buffered OOD queries before enrolment may run.
+    pub min_enroll: usize,
+    /// Detector observations suppressed after each enrolment, so the
+    /// detector re-arms on the post-swap distribution.
+    pub cooldown: usize,
+    /// Upper bound on *online-enrolled* domains (guards unbounded model
+    /// growth under adversarial streams); further drift is still detected
+    /// and counted but no longer enrols.
+    pub max_enrolled_domains: usize,
+    /// Where enrolment labels come from.
+    pub label_strategy: LabelStrategy,
+    /// Recency horizon (in stream steps) for enrolment: when drift fires
+    /// at step `t`, only buffered queries with `step > t − enroll_horizon`
+    /// are enrolled (and counted toward [`min_enroll`](Self::min_enroll));
+    /// older entries are the low-`δ` tail of ordinary in-distribution
+    /// traffic, and training on them would duplicate existing domains
+    /// rather than capture the drift. Must be at least
+    /// [`drift_window`](Self::drift_window) so the evidence that fired the
+    /// detector is always enrollable.
+    pub enroll_horizon: usize,
+    /// Similarity threshold for *drift* purposes: a query with
+    /// `δ_max < drift_delta` counts toward the drift mass and enters the
+    /// enrolment buffer. `None` reuses the model's serving `δ*`. Set it
+    /// explicitly — or better, through
+    /// [`StreamingSmore::calibrate_drift_delta`] — when the serving
+    /// threshold is tuned for accuracy rather than drift sensitivity.
+    pub drift_delta: Option<f32>,
+}
+
+impl Default for StreamingConfig {
+    /// Buffer 256, drift window 48 at 70% OOD mass, ≥ 32 queries to enrol,
+    /// cooldown one window, a 192-step enrolment horizon, at most 8 online
+    /// domains, self-labelling.
+    fn default() -> Self {
+        Self {
+            buffer_capacity: 256,
+            drift_window: 48,
+            drift_threshold: 0.7,
+            min_enroll: 32,
+            cooldown: 48,
+            max_enrolled_domains: 8,
+            label_strategy: LabelStrategy::SelfLabel,
+            enroll_horizon: 192,
+            drift_delta: None,
+        }
+    }
+}
+
+impl StreamingConfig {
+    fn validate(&self) -> Result<()> {
+        if self.buffer_capacity == 0 {
+            return Err(SmoreError::InvalidConfig {
+                what: "buffer_capacity must be positive".into(),
+            });
+        }
+        if self.drift_window == 0 {
+            return Err(SmoreError::InvalidConfig { what: "drift_window must be positive".into() });
+        }
+        if !(self.drift_threshold > 0.0 && self.drift_threshold <= 1.0) {
+            return Err(SmoreError::InvalidConfig {
+                what: format!("drift_threshold must be in (0, 1], got {}", self.drift_threshold),
+            });
+        }
+        if self.min_enroll == 0 {
+            return Err(SmoreError::InvalidConfig { what: "min_enroll must be positive".into() });
+        }
+        if self.min_enroll > self.buffer_capacity {
+            return Err(SmoreError::InvalidConfig {
+                what: format!(
+                    "min_enroll ({}) exceeds buffer_capacity ({})",
+                    self.min_enroll, self.buffer_capacity
+                ),
+            });
+        }
+        if self.enroll_horizon < self.drift_window {
+            return Err(SmoreError::InvalidConfig {
+                what: format!(
+                    "enroll_horizon ({}) must cover drift_window ({})",
+                    self.enroll_horizon, self.drift_window
+                ),
+            });
+        }
+        if let Some(d) = self.drift_delta {
+            if !d.is_finite() || !(-1.0..=1.0).contains(&d) {
+                return Err(SmoreError::InvalidConfig {
+                    what: format!("drift_delta must be a cosine value in [-1, 1], got {d}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Record of one online enrolment (drift fired → domain added → snapshot
+/// swapped).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptationEvent {
+    /// External tag assigned to the enrolled domain.
+    pub tag: usize,
+    /// Stream step at which drift fired.
+    pub step: usize,
+    /// Number of buffered windows the domain was enrolled from.
+    pub enrolled_windows: usize,
+    /// Of those, how many carried ground-truth labels (Oracle strategy).
+    pub oracle_labelled: usize,
+    /// Wall-clock seconds for dense enrolment (encode + descriptor +
+    /// adaptive training).
+    pub enroll_seconds: f64,
+    /// Wall-clock seconds to append to the quantized snapshot and publish
+    /// the swap.
+    pub swap_seconds: f64,
+}
+
+/// Outcome of ingesting one window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamOutcome {
+    /// The serving snapshot's prediction (always produced, even when the
+    /// query is OOD — breadth beats purity, §3.6).
+    pub prediction: Prediction,
+    /// Whether the query was added to the OOD enrolment buffer.
+    pub buffered: bool,
+    /// The enrolment this query triggered, if drift fired on it.
+    pub adapted: Option<AdaptationEvent>,
+}
+
+/// A streaming adaptation session around a fitted [`Smore`] model.
+///
+/// See the [crate docs](crate) for the full lifecycle. The session owns
+/// the dense model (adaptation state) and a [`SnapshotHandle`] to the
+/// quantized serving model; [`serving_handle`](Self::serving_handle)
+/// clones can serve from other threads while the session adapts.
+#[derive(Debug)]
+pub struct StreamingSmore {
+    dense: Smore,
+    handle: SnapshotHandle,
+    config: StreamingConfig,
+    buffer: OodBuffer,
+    detector: DriftDetector,
+    drift_delta: f32,
+    next_tag: usize,
+    step: usize,
+    enrolled: usize,
+    events: Vec<AdaptationEvent>,
+}
+
+impl StreamingSmore {
+    /// Wraps a fitted model: quantizes the initial serving snapshot and
+    /// arms the drift detector.
+    ///
+    /// # Errors
+    ///
+    /// - [`SmoreError::NotFitted`] when `model` has not been fitted.
+    /// - [`SmoreError::InvalidConfig`] for invalid streaming parameters.
+    pub fn new(model: Smore, config: StreamingConfig) -> Result<Self> {
+        config.validate()?;
+        let snapshot = model.quantize()?;
+        let next_tag = model.domain_tags()?.iter().copied().max().unwrap_or(0) + 1;
+        Ok(Self {
+            handle: SnapshotHandle::new(snapshot),
+            buffer: OodBuffer::new(config.buffer_capacity),
+            detector: DriftDetector::new(config.drift_window, config.drift_threshold),
+            drift_delta: config.drift_delta.unwrap_or(model.config().delta_star),
+            next_tag,
+            step: 0,
+            enrolled: 0,
+            events: Vec::new(),
+            config,
+            dense: model,
+        })
+    }
+
+    /// Calibrates the drift threshold from known in-distribution traffic
+    /// (typically held-back training windows): `drift_delta` becomes the
+    /// `quantile` of their served `δ_max` distribution, so roughly
+    /// `quantile` of in-distribution traffic counts toward drift mass
+    /// while genuinely drifted traffic — whose `δ_max` distribution sits
+    /// lower — accumulates mass far faster. Returns the calibrated value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmoreError::InvalidConfig`] for an empty calibration set
+    /// or a quantile outside `(0, 1)`; propagates encoder errors.
+    pub fn calibrate_drift_delta(&mut self, windows: &[Matrix], quantile: f32) -> Result<f32> {
+        if windows.is_empty() {
+            return Err(SmoreError::InvalidConfig { what: "calibration set is empty".into() });
+        }
+        if !(quantile > 0.0 && quantile < 1.0) {
+            return Err(SmoreError::InvalidConfig {
+                what: format!("calibration quantile must be in (0, 1), got {quantile}"),
+            });
+        }
+        let snapshot = self.handle.load();
+        let mut deltas: Vec<f32> =
+            snapshot.predict_batch(windows)?.iter().map(|p| p.delta_max).collect();
+        deltas.sort_by(|a, b| a.partial_cmp(b).expect("similarities are finite"));
+        let idx = ((deltas.len() - 1) as f32 * quantile) as usize;
+        self.drift_delta = deltas[idx];
+        Ok(self.drift_delta)
+    }
+
+    /// The similarity threshold currently used for drift mass and
+    /// buffering (serving `δ*` unless configured or calibrated).
+    pub fn drift_delta(&self) -> f32 {
+        self.drift_delta
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &StreamingConfig {
+        &self.config
+    }
+
+    /// The dense (adaptation) model.
+    pub fn dense(&self) -> &Smore {
+        &self.dense
+    }
+
+    /// The current quantized serving snapshot.
+    pub fn snapshot(&self) -> Arc<QuantizedSmore> {
+        self.handle.load()
+    }
+
+    /// A cloneable handle serving threads can hold: every
+    /// [`SnapshotHandle::load`] observes the latest hot-swap without ever
+    /// blocking on adaptation.
+    pub fn serving_handle(&self) -> SnapshotHandle {
+        self.handle.clone()
+    }
+
+    /// Enrolments performed so far, in stream order.
+    pub fn events(&self) -> &[AdaptationEvent] {
+        &self.events
+    }
+
+    /// Number of queries currently buffered for enrolment.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// OOD fraction over the detector's current sliding window.
+    pub fn recent_ood_fraction(&self) -> f32 {
+        self.detector.ood_fraction()
+    }
+
+    /// Total windows ingested.
+    pub fn steps(&self) -> usize {
+        self.step
+    }
+
+    /// Ingests one unlabelled window: serve, buffer if OOD, adapt if drift
+    /// fires.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoder errors for malformed windows and enrolment
+    /// errors; a failed ingest does not corrupt the session.
+    pub fn ingest(&mut self, window: &Matrix) -> Result<StreamOutcome> {
+        self.observe(window, None)
+    }
+
+    /// Ingests one window with (possibly delayed) ground truth — the
+    /// [`LabelStrategy::Oracle`] path. Under
+    /// [`LabelStrategy::SelfLabel`] the label is recorded but ignored at
+    /// enrolment time.
+    ///
+    /// # Errors
+    ///
+    /// - [`SmoreError::InvalidConfig`] for an out-of-range label.
+    /// - Same conditions as [`ingest`](Self::ingest) otherwise.
+    pub fn ingest_labelled(&mut self, window: &Matrix, label: usize) -> Result<StreamOutcome> {
+        if label >= self.dense.config().num_classes {
+            return Err(SmoreError::InvalidConfig {
+                what: format!(
+                    "label {label} out of range for {} classes",
+                    self.dense.config().num_classes
+                ),
+            });
+        }
+        self.observe(window, Some(label))
+    }
+
+    /// Ingests a micro-batch in arrival order, returning one outcome per
+    /// window.
+    ///
+    /// # Errors
+    ///
+    /// Stops at (and propagates) the first failing window.
+    pub fn ingest_batch(&mut self, windows: &[Matrix]) -> Result<Vec<StreamOutcome>> {
+        windows.iter().map(|w| self.ingest(w)).collect()
+    }
+
+    fn observe(&mut self, window: &Matrix, true_label: Option<usize>) -> Result<StreamOutcome> {
+        // Serve from the quantized snapshot — the exact model external
+        // serving threads see.
+        let prediction = self.handle.load().predict_window(window)?;
+        let step = self.step;
+        self.step += 1;
+
+        // Drift bookkeeping uses the (possibly calibrated) drift threshold,
+        // which may differ from the serving δ* baked into `prediction`.
+        let buffered = prediction.delta_max < self.drift_delta;
+        if buffered {
+            self.buffer.push(BufferedQuery {
+                window: window.clone(),
+                pseudo_label: prediction.label,
+                true_label,
+                delta_max: prediction.delta_max,
+                step,
+            });
+        }
+
+        let fired = self.detector.observe(buffered);
+        // Only *recent* buffered queries count toward (and enter)
+        // enrolment: a long in-distribution stretch leaves its low-δ tail
+        // in the buffer, and training the new domain on that stale
+        // evidence would duplicate existing domains instead of capturing
+        // the drift that actually fired the detector.
+        let horizon_start = step.saturating_sub(self.config.enroll_horizon.saturating_sub(1));
+        let adapted = if fired && self.enrolled < self.config.max_enrolled_domains {
+            let recent = self.buffer.queries().filter(|q| q.step >= horizon_start).count();
+            if recent >= self.config.min_enroll {
+                let event = self.adapt(step, horizon_start)?;
+                self.detector.reset(self.config.cooldown);
+                Some(event)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        Ok(StreamOutcome { prediction, buffered, adapted })
+    }
+
+    /// Drift fired: enrol the recently-buffered windows as a new domain
+    /// and hot-swap the serving snapshot. Stale buffer entries (ingested
+    /// before `horizon_start`) are discarded, not enrolled.
+    fn adapt(&mut self, step: usize, horizon_start: usize) -> Result<AdaptationEvent> {
+        let mut queries = self.buffer.drain();
+        queries.retain(|q| q.step >= horizon_start);
+        let windows: Vec<Matrix> = queries.iter().map(|q| q.window.clone()).collect();
+        let use_oracle = self.config.label_strategy == LabelStrategy::Oracle;
+        let mut oracle_labelled = 0usize;
+        let labels: Vec<usize> = queries
+            .iter()
+            .map(|q| match (use_oracle, q.true_label) {
+                (true, Some(l)) => {
+                    oracle_labelled += 1;
+                    l
+                }
+                _ => q.pseudo_label,
+            })
+            .collect();
+
+        let tag = self.next_tag;
+        let report = self.dense.enroll_domain(&windows, &labels, tag)?;
+
+        // Append-only refresh of the serving snapshot: clone the current
+        // snapshot, add the one new domain, publish. Serving threads keep
+        // reading the old Arc until the publish lands.
+        let t1 = Instant::now();
+        let mut snapshot = (*self.handle.load()).clone();
+        let models = self.dense.domain_models()?;
+        let descriptors = self.dense.descriptors()?.as_matrix();
+        let new_local = models.len() - 1;
+        snapshot.enroll_domain(
+            models.last().expect("enroll_domain pushed a model"),
+            descriptors.row(new_local),
+            tag,
+        )?;
+        self.handle.publish(snapshot);
+        let swap_seconds = t1.elapsed().as_secs_f64();
+
+        self.next_tag += 1;
+        self.enrolled += 1;
+        let event = AdaptationEvent {
+            tag,
+            step,
+            enrolled_windows: report.samples,
+            oracle_labelled,
+            enroll_seconds: report.seconds,
+            swap_seconds,
+        };
+        self.events.push(event.clone());
+        Ok(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smore::SmoreConfig;
+    use smore_data::generator::{generate, DomainSpec, GeneratorConfig};
+    use smore_data::split;
+    use smore_data::stream::{concept_drift_stream, DriftSegment, StreamConfig};
+
+    fn shifted_dataset(seed: u64) -> smore_data::Dataset {
+        generate(&GeneratorConfig {
+            name: "session-test".into(),
+            num_classes: 4,
+            channels: 3,
+            window_len: 24,
+            sample_rate_hz: 25.0,
+            domains: vec![
+                DomainSpec { subjects: vec![0, 1], windows: 80 },
+                DomainSpec { subjects: vec![2, 3], windows: 80 },
+                DomainSpec { subjects: vec![4, 5], windows: 80 },
+                DomainSpec { subjects: vec![6, 7], windows: 80 },
+            ],
+            shift_severity: 1.2,
+            seed,
+        })
+        .unwrap()
+    }
+
+    /// The new-device scenario the drift tests exercise: the held-out
+    /// domain arrives with a 1.5× sensor gain (a miscalibrated unit), a
+    /// physically-grounded drift the frozen channel scaler cannot absorb.
+    fn drifted_segment(windows: usize) -> DriftSegment {
+        DriftSegment { domain: 3, windows, gain_ramp: Some((1.5, 1.5)), dropout_channel: None }
+    }
+
+    /// Builds a calibrated session on `ds` (train = domains 0–2) with the
+    /// given overrides; returns the session.
+    fn calibrated_session(
+        ds: &smore_data::Dataset,
+        train: &[usize],
+        config: StreamingConfig,
+    ) -> StreamingSmore {
+        let mut session = StreamingSmore::new(fitted(ds, train), config).unwrap();
+        let (calib_w, _, _) = ds.gather(train);
+        session.calibrate_drift_delta(&calib_w, 0.25).unwrap();
+        session
+    }
+
+    fn fitted(ds: &smore_data::Dataset, train: &[usize]) -> Smore {
+        let mut model = Smore::new(
+            SmoreConfig::builder()
+                .dim(1024)
+                .channels(3)
+                .num_classes(4)
+                .epochs(10)
+                .threads(2)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        model.fit_indices(ds, train).unwrap();
+        model
+    }
+
+    fn session_config() -> StreamingConfig {
+        StreamingConfig {
+            buffer_capacity: 128,
+            drift_window: 32,
+            drift_threshold: 0.5,
+            min_enroll: 24,
+            cooldown: 32,
+            ..StreamingConfig::default()
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let ds = shifted_dataset(1);
+        let (train, _) = split::lodo(&ds, 0).unwrap();
+        let model = fitted(&ds, &train);
+        for bad in [
+            StreamingConfig { buffer_capacity: 0, ..session_config() },
+            StreamingConfig { drift_window: 0, ..session_config() },
+            StreamingConfig { drift_threshold: 0.0, ..session_config() },
+            StreamingConfig { drift_threshold: 1.5, ..session_config() },
+            StreamingConfig { min_enroll: 0, ..session_config() },
+            StreamingConfig { min_enroll: 999, buffer_capacity: 64, ..session_config() },
+            StreamingConfig { drift_delta: Some(f32::NAN), ..session_config() },
+            StreamingConfig { drift_delta: Some(1.5), ..session_config() },
+            StreamingConfig { enroll_horizon: 8, drift_window: 32, ..session_config() },
+        ] {
+            assert!(StreamingSmore::new(model.clone(), bad).is_err());
+        }
+        // Calibration validation.
+        let mut session = StreamingSmore::new(model, session_config()).unwrap();
+        assert!(session.calibrate_drift_delta(&[], 0.25).is_err());
+        let w = vec![ds.window(0).clone()];
+        assert!(session.calibrate_drift_delta(&w, 0.0).is_err());
+        assert!(session.calibrate_drift_delta(&w, 1.0).is_err());
+        let dd = session.calibrate_drift_delta(&w, 0.5).unwrap();
+        assert_eq!(session.drift_delta(), dd);
+    }
+
+    #[test]
+    fn requires_a_fitted_model() {
+        let unfitted =
+            Smore::new(SmoreConfig::builder().dim(256).channels(3).num_classes(4).build().unwrap())
+                .unwrap();
+        assert!(matches!(
+            StreamingSmore::new(unfitted, StreamingConfig::default()),
+            Err(SmoreError::NotFitted)
+        ));
+    }
+
+    #[test]
+    fn in_distribution_stream_never_adapts() {
+        let ds = shifted_dataset(7);
+        let (train, _) = split::lodo(&ds, 3).unwrap();
+        let mut session = calibrated_session(&ds, &train, session_config());
+        let items = concept_drift_stream(
+            &ds,
+            &StreamConfig {
+                segments: vec![DriftSegment::plain(0, 40), DriftSegment::plain(1, 40)],
+                seed: 5,
+            },
+        )
+        .unwrap();
+        for item in &items {
+            let outcome = session.ingest(&item.window).unwrap();
+            assert!(outcome.adapted.is_none(), "no drift in source-domain traffic");
+        }
+        assert!(session.events().is_empty());
+        assert_eq!(session.steps(), 80);
+        assert_eq!(session.snapshot().num_domains(), 3);
+    }
+
+    #[test]
+    fn unseen_domain_triggers_enrolment_and_hot_swap() {
+        let ds = shifted_dataset(7);
+        let (train, _) = split::lodo(&ds, 3).unwrap();
+        let mut session = calibrated_session(&ds, &train, session_config());
+        let outside = session.serving_handle();
+        let before = outside.load();
+        assert_eq!(before.num_domains(), 3);
+
+        // 100 in-distribution windows, then the unseen user arrives on a
+        // 1.5×-gain device.
+        let items = concept_drift_stream(
+            &ds,
+            &StreamConfig {
+                segments: vec![DriftSegment::plain(0, 100), drifted_segment(140)],
+                seed: 7 ^ 0xAA,
+            },
+        )
+        .unwrap();
+        let mut adapted_at = None;
+        for item in &items {
+            let outcome = session.ingest(&item.window).unwrap();
+            if let Some(event) = outcome.adapted {
+                assert!(item.segment == 1, "no false fire on in-distribution traffic");
+                adapted_at = Some(event.step);
+                assert_eq!(event.tag, 3, "tags continue past the training tags");
+                assert!(event.enrolled_windows >= session.config().min_enroll);
+                assert!(event.enroll_seconds >= 0.0 && event.swap_seconds >= 0.0);
+                break;
+            }
+        }
+        assert!(adapted_at.is_some(), "sustained OOD traffic must fire the detector");
+        // Hot swap: the outside handle sees K+1 domains without being told,
+        // while the pre-swap Arc still serves the old model.
+        assert_eq!(outside.load().num_domains(), 4);
+        assert_eq!(before.num_domains(), 3);
+        assert_eq!(session.events().len(), 1);
+        assert_eq!(session.dense().num_domains().unwrap(), 4);
+    }
+
+    #[test]
+    fn cooldown_and_domain_cap_bound_enrolment() {
+        let ds = shifted_dataset(7);
+        let (train, _) = split::lodo(&ds, 3).unwrap();
+        let config = StreamingConfig { max_enrolled_domains: 1, cooldown: 8, ..session_config() };
+        let mut session = calibrated_session(&ds, &train, config);
+        let items = concept_drift_stream(
+            &ds,
+            &StreamConfig { segments: vec![drifted_segment(240)], seed: 7 ^ 0xAA },
+        )
+        .unwrap();
+        for item in &items {
+            session.ingest(&item.window).unwrap();
+        }
+        assert_eq!(session.events().len(), 1, "cap holds even under sustained drift");
+        assert_eq!(session.snapshot().num_domains(), 4);
+    }
+
+    #[test]
+    fn stale_buffer_entries_are_not_enrolled() {
+        // A long in-distribution stretch leaves its low-δ tail in the
+        // buffer; with a tight enrolment horizon only the fresh (drifted)
+        // evidence may be trained on.
+        let ds = shifted_dataset(7);
+        let (train, _) = split::lodo(&ds, 3).unwrap();
+        let horizon = 48usize;
+        let config = StreamingConfig { enroll_horizon: horizon, ..session_config() };
+        let mut session = calibrated_session(&ds, &train, config);
+        let items = concept_drift_stream(
+            &ds,
+            &StreamConfig {
+                // 300 in-distribution steps accumulate plenty of stale
+                // low-δ entries before the drift begins.
+                segments: vec![DriftSegment::plain(0, 300), drifted_segment(140)],
+                seed: 7 ^ 0xAA,
+            },
+        )
+        .unwrap();
+        let mut event = None;
+        let mut stale_buffered = 0usize;
+        for item in &items {
+            if item.step == 300 {
+                stale_buffered = session.buffered();
+            }
+            let outcome = session.ingest(&item.window).unwrap();
+            if outcome.adapted.is_some() && event.is_none() {
+                event = outcome.adapted;
+            }
+        }
+        let event = event.expect("drift fires after the in-distribution stretch");
+        assert!(stale_buffered > 0, "the in-distribution prefix must leave buffer entries");
+        assert!(
+            event.enrolled_windows <= horizon,
+            "enrolment drew {} windows from a {horizon}-step horizon",
+            event.enrolled_windows
+        );
+    }
+
+    #[test]
+    fn oracle_labels_are_used_when_configured() {
+        let ds = shifted_dataset(7);
+        let (train, _) = split::lodo(&ds, 3).unwrap();
+        let config = StreamingConfig { label_strategy: LabelStrategy::Oracle, ..session_config() };
+        let mut session = calibrated_session(&ds, &train, config);
+        let items = concept_drift_stream(
+            &ds,
+            &StreamConfig { segments: vec![drifted_segment(200)], seed: 7 ^ 0xAA },
+        )
+        .unwrap();
+        let mut event = None;
+        for item in &items {
+            let outcome = session.ingest_labelled(&item.window, item.label).unwrap();
+            if outcome.adapted.is_some() {
+                event = outcome.adapted;
+                break;
+            }
+        }
+        let event = event.expect("drift fires");
+        assert_eq!(
+            event.oracle_labelled, event.enrolled_windows,
+            "every buffered window carried ground truth"
+        );
+        // Label validation.
+        assert!(session.ingest_labelled(ds.window(0), 99).is_err());
+    }
+
+    #[test]
+    fn failed_ingest_leaves_session_usable() {
+        let ds = shifted_dataset(6);
+        let (train, _) = split::lodo(&ds, 3).unwrap();
+        let mut session = StreamingSmore::new(fitted(&ds, &train), session_config()).unwrap();
+        // Wrong channel count: typed error, not a panic.
+        assert!(session.ingest(&Matrix::zeros(24, 9)).is_err());
+        // The session keeps serving afterwards.
+        let outcome = session.ingest(ds.window(0)).unwrap();
+        assert!(outcome.prediction.label < 4);
+        assert_eq!(session.steps(), 1, "failed ingest does not consume a step");
+    }
+}

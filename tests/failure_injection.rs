@@ -3,10 +3,11 @@
 //! path.
 
 use smore::pipeline::{TaskMeta, WindowClassifier};
-use smore::{Smore, SmoreConfig, SmoreError};
+use smore::{QuantizedSmore, Smore, SmoreConfig, SmoreError};
 use smore_baselines::baseline_hd::{BaselineHd, BaselineHdConfig};
 use smore_data::generator::{generate, DomainSpec, GeneratorConfig};
 use smore_hdc::encoder::{EncoderConfig, MultiSensorEncoder};
+use smore_stream::{StreamingConfig, StreamingSmore};
 use smore_tensor::Matrix;
 
 fn dataset() -> smore_data::Dataset {
@@ -147,6 +148,101 @@ fn empty_prediction_batch_is_fine() {
     model.fit(&windows, &labels, &domains).unwrap();
     let predictions = model.predict_batch(&[]).unwrap();
     assert!(predictions.is_empty());
+}
+
+fn fitted_smore() -> Smore {
+    let ds = dataset();
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    let (windows, labels, domains) = ds.gather(&idx);
+    let mut model = smore_model();
+    model.fit(&windows, &labels, &domains).unwrap();
+    model
+}
+
+fn quantized_model() -> QuantizedSmore {
+    fitted_smore().quantize().unwrap()
+}
+
+#[test]
+fn nan_windows_do_not_poison_quantized_serving() {
+    let quantized = quantized_model();
+    let ds = dataset();
+    // NaN / ±∞ cells and an all-NaN query flow through packed encoding
+    // without panicking and produce finite similarities.
+    let mut w = ds.window(0).clone();
+    w.set(3, 0, f32::NAN);
+    w.set(5, 1, f32::INFINITY);
+    let p = quantized.predict_window(&w).unwrap();
+    assert!(p.delta_max.is_finite(), "NaN input must not produce NaN similarity");
+    assert!(p.label < 3);
+    let mut all_nan = ds.window(1).clone();
+    all_nan.map_inplace(|_| f32::NAN);
+    let p = quantized.predict_window(&all_nan).unwrap();
+    assert!(p.delta_max.is_finite());
+}
+
+#[test]
+fn quantized_rejects_malformed_windows_with_typed_errors() {
+    let quantized = quantized_model();
+    // Wrong channel count.
+    let err = quantized.predict_window(&Matrix::zeros(16, 5)).unwrap_err();
+    assert!(matches!(err, SmoreError::Hdc(_)), "expected an HDC shape error, got {err}");
+    // Window shorter than the trigram.
+    assert!(quantized.predict_window(&Matrix::zeros(2, 2)).is_err());
+    // Mixed batch: one bad window fails the batch with an error, no panic.
+    let ds = dataset();
+    let batch = vec![ds.window(0).clone(), Matrix::zeros(16, 7)];
+    assert!(quantized.predict_batch(&batch).is_err());
+}
+
+#[test]
+fn quantized_empty_batches_are_handled() {
+    let quantized = quantized_model();
+    assert!(quantized.predict_batch(&[]).unwrap().is_empty());
+    // Empty evaluation is a typed error (nothing to score), not a panic.
+    assert!(quantized.evaluate(&[], &[]).is_err());
+}
+
+#[test]
+fn streaming_session_survives_malformed_ingest() {
+    let ds = dataset();
+    let mut session = StreamingSmore::new(
+        fitted_smore(),
+        StreamingConfig {
+            buffer_capacity: 16,
+            drift_window: 8,
+            min_enroll: 4,
+            ..StreamingConfig::default()
+        },
+    )
+    .unwrap();
+    // Wrong channel count and too-short windows: typed errors.
+    assert!(matches!(session.ingest(&Matrix::zeros(16, 5)), Err(SmoreError::Hdc(_))));
+    assert!(session.ingest(&Matrix::zeros(2, 2)).is_err());
+    // NaN window: served, finite δ, no panic.
+    let mut nan_w = ds.window(0).clone();
+    nan_w.map_inplace(|_| f32::NAN);
+    let outcome = session.ingest(&nan_w).unwrap();
+    assert!(outcome.prediction.delta_max.is_finite());
+    // Out-of-range oracle label: typed error.
+    assert!(session.ingest_labelled(ds.window(0), 99).is_err());
+    // Empty micro-batch is fine; the session still serves afterwards.
+    assert!(session.ingest_batch(&[]).unwrap().is_empty());
+    let p = session.ingest(ds.window(0)).unwrap();
+    assert!(p.prediction.label < 3);
+    // Failed ingests consumed no steps; successful ones did.
+    assert_eq!(session.steps(), 2);
+}
+
+#[test]
+fn streaming_calibration_rejects_bad_inputs() {
+    let mut session = StreamingSmore::new(fitted_smore(), StreamingConfig::default()).unwrap();
+    assert!(session.calibrate_drift_delta(&[], 0.25).is_err());
+    let w = vec![dataset().window(0).clone()];
+    assert!(session.calibrate_drift_delta(&w, 1.0).is_err());
+    assert!(session.calibrate_drift_delta(&w, -0.5).is_err());
+    // A malformed calibration window propagates a typed error.
+    assert!(session.calibrate_drift_delta(&[Matrix::zeros(16, 9)], 0.25).is_err());
 }
 
 #[test]
