@@ -1,20 +1,29 @@
 //! Serving throughput: dense vs quantized (bit-packed) inference on the
-//! USC-HAD-like preset, plus the raw similarity-kernel comparison at the
-//! paper's dimensionality (`d = 8192`).
+//! USC-HAD-like preset, the raw encode path (dense vs the word-parallel
+//! packed path vs the retained reference recompute), plus the raw
+//! similarity-kernel comparison at the paper's dimensionality (`d = 8192`).
 //!
 //! Emits machine-readable JSON to `BENCH_throughput.json` so the perf
-//! trajectory is tracked across PRs. Schema: a list of entries with
-//! `op` (`predict` end-to-end window prediction, `similarity_d8192` raw
-//! kernel), `backend` (`dense` | `packed`), `windows_per_sec` (ops/sec for
-//! kernel rows) and `p50_ms`/`p95_ms` per-call latency percentiles.
+//! trajectory is tracked across PRs. Schema: a list of entries with `op`
+//! (`predict` end-to-end window prediction, `encode` raw window encoding,
+//! `similarity_d8192` raw kernel), `backend` (`dense` | `packed` |
+//! `packed_reference`), `windows_per_sec` (ops/sec for kernel rows) and
+//! `p50_ms`/`p95_ms` per-call latency percentiles. The `packed_reference`
+//! encode row is the pre-optimisation recompute path, kept as a measured
+//! baseline so the win of the sliding-bind + SWAR path stays auditable.
+//!
+//! `--op <all|predict|encode|similarity>` restricts the run to one op
+//! family (the CI smoke check uses `--op encode`, which needs no model
+//! training); partial runs do not rewrite `BENCH_throughput.json`.
 
 use std::time::Instant;
 
 use smore_bench::{make_smore, pct, print_table, BenchProfile};
 use smore_data::presets::usc_had;
 use smore_data::split;
-use smore_packed::PackedHypervector;
-use smore_tensor::{init, vecops};
+use smore_hdc::encoder::{EncoderConfig, MultiSensorEncoder};
+use smore_packed::{EncoderScratch, PackedHypervector, PackedNgramEncoder};
+use smore_tensor::{init, vecops, Matrix};
 
 /// One measured row of the report.
 struct Entry {
@@ -23,6 +32,44 @@ struct Entry {
     per_sec: f64,
     p50_ms: f64,
     p95_ms: f64,
+}
+
+/// Which op families to measure (`--op`, default all).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum OpFilter {
+    All,
+    Predict,
+    Encode,
+    Similarity,
+}
+
+impl OpFilter {
+    fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            if arg == "--op" {
+                return match it.next().map(String::as_str) {
+                    Some("predict") => Self::Predict,
+                    Some("encode") => Self::Encode,
+                    Some("similarity") => Self::Similarity,
+                    Some("all") => Self::All,
+                    other => {
+                        eprintln!(
+                            "--op needs a value of predict|encode|similarity|all, got {}",
+                            other.map_or_else(|| "nothing".into(), |o| format!("'{o}'"))
+                        );
+                        std::process::exit(2);
+                    }
+                };
+            }
+        }
+        Self::All
+    }
+
+    fn includes(self, op: Self) -> bool {
+        self == Self::All || self == op
+    }
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -51,6 +98,48 @@ fn time_calls(calls: usize, mut f: impl FnMut()) -> (f64, Vec<f64>) {
     }
     let total = t0.elapsed().as_secs_f64();
     (calls as f64 / total.max(1e-12), latencies)
+}
+
+/// Measures one encode backend over `windows`, cycling until `calls`
+/// encodes have been timed.
+fn encode_entry(
+    op_backend: &'static str,
+    windows: &[Matrix],
+    calls: usize,
+    mut encode: impl FnMut(&Matrix),
+) -> Entry {
+    let mut i = 0usize;
+    let (per_sec, lat) = time_calls(calls, || {
+        encode(&windows[i % windows.len()]);
+        i += 1;
+    });
+    let (p50, p95) = latency_percentiles(lat);
+    Entry { op: "encode", backend: op_backend, per_sec, p50_ms: p50, p95_ms: p95 }
+}
+
+/// Raw window encoding: dense vs the word-parallel packed path (scratch
+/// reuse) vs the retained reference recompute. Needs no trained model, so
+/// it doubles as the fast CI smoke for the bench path.
+fn encode_entries(windows: &[Matrix], dim: usize, channels: usize) -> Vec<Entry> {
+    let cfg = EncoderConfig { dim, sensors: channels, ..EncoderConfig::default() };
+    let dense_enc = MultiSensorEncoder::new(cfg).expect("encoder config is valid");
+    let packed_enc = PackedNgramEncoder::from_dense(&dense_enc).expect("packing always succeeds");
+    let calls = windows.len().clamp(64, 400);
+
+    let dense = encode_entry("dense", windows, calls, |w| {
+        let hv = dense_enc.encode_window(w).expect("window shape fixed");
+        assert!(hv.dim() > 0);
+    });
+    let mut scratch = EncoderScratch::new();
+    let mut out = PackedHypervector::zeros(dim);
+    let packed = encode_entry("packed", windows, calls, |w| {
+        packed_enc.encode_window_into(w, &mut scratch, &mut out).expect("window shape fixed");
+    });
+    let reference = encode_entry("packed_reference", windows, calls, |w| {
+        let counts = packed_enc.encode_counts_reference(w).expect("window shape fixed");
+        assert_eq!(counts.len(), dim);
+    });
+    vec![dense, packed, reference]
 }
 
 /// Raw similarity kernels at `d = 8192`: dense cosine vs packed
@@ -123,57 +212,102 @@ fn write_json(path: &str, preset: &str, dim: usize, entries: &[Entry]) -> std::i
 
 fn main() {
     let profile = BenchProfile::from_args();
+    let ops = OpFilter::from_args();
     let dataset = usc_had(&profile.preset).expect("preset profile is valid");
     let (train, test) = split::lodo(&dataset, 0).expect("dataset has domain 0");
-
-    println!("# Serving throughput: dense vs quantized (USC-HAD-like, d = {})", profile.dim);
-    println!(
-        "\ntraining dense SMORE on {} windows ({} held-out queries)...",
-        train.len(),
-        test.len()
-    );
-    let mut dense = make_smore(&dataset, &profile).expect("profile builds a valid model");
-    dense.fit_indices(&dataset, &train).expect("training succeeds");
-    let quantized = dense.quantize().expect("model is fitted");
-
     let (windows, labels, _) = dataset.gather(&test);
     let probe = windows.len().min(200);
+    let mut entries: Vec<Entry> = Vec::new();
 
-    // End-to-end accuracy sanity on the held-out domain.
-    let dense_eval = dense.evaluate(&windows, &labels).expect("evaluation succeeds");
-    let quant_eval = quantized.evaluate(&windows, &labels).expect("evaluation succeeds");
+    println!("# Serving throughput: dense vs quantized (USC-HAD-like, d = {})", profile.dim);
 
-    // Batch throughput (windows/sec) over the full held-out domain.
-    let t0 = Instant::now();
-    dense.predict_batch(&windows).expect("prediction succeeds");
-    let dense_wps = windows.len() as f64 / t0.elapsed().as_secs_f64();
-    let t0 = Instant::now();
-    quantized.predict_batch(&windows).expect("prediction succeeds");
-    let quant_wps = windows.len() as f64 / t0.elapsed().as_secs_f64();
+    if ops.includes(OpFilter::Predict) {
+        println!(
+            "\ntraining dense SMORE on {} windows ({} held-out queries)...",
+            train.len(),
+            test.len()
+        );
+        let mut dense = make_smore(&dataset, &profile).expect("profile builds a valid model");
+        dense.fit_indices(&dataset, &train).expect("training succeeds");
+        let quantized = dense.quantize().expect("model is fitted");
 
-    // Per-window latency percentiles over a probe subset.
-    let mut dense_lat = Vec::with_capacity(probe);
-    let mut quant_lat = Vec::with_capacity(probe);
-    for w in &windows[..probe] {
-        let t = Instant::now();
-        dense.predict_window(w).expect("prediction succeeds");
-        dense_lat.push(t.elapsed().as_secs_f64());
-        let t = Instant::now();
-        quantized.predict_window(w).expect("prediction succeeds");
-        quant_lat.push(t.elapsed().as_secs_f64());
+        // End-to-end accuracy sanity on the held-out domain.
+        let dense_eval = dense.evaluate(&windows, &labels).expect("evaluation succeeds");
+        let quant_eval = quantized.evaluate(&windows, &labels).expect("evaluation succeeds");
+
+        // Batch throughput (windows/sec) over the full held-out domain.
+        let t0 = Instant::now();
+        dense.predict_batch(&windows).expect("prediction succeeds");
+        let dense_wps = windows.len() as f64 / t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        quantized.predict_batch(&windows).expect("prediction succeeds");
+        let quant_wps = windows.len() as f64 / t0.elapsed().as_secs_f64();
+
+        // Per-window latency percentiles over a probe subset; the packed
+        // side serves through a reusable scratch, as a serving thread would.
+        let mut scratch = smore::ServeScratch::new();
+        let mut dense_lat = Vec::with_capacity(probe);
+        let mut quant_lat = Vec::with_capacity(probe);
+        for w in &windows[..probe] {
+            let t = Instant::now();
+            dense.predict_window(w).expect("prediction succeeds");
+            dense_lat.push(t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            quantized.predict_window_with(w, &mut scratch).expect("prediction succeeds");
+            quant_lat.push(t.elapsed().as_secs_f64());
+        }
+        let (d50, d95) = latency_percentiles(dense_lat);
+        let (q50, q95) = latency_percentiles(quant_lat);
+
+        entries.push(Entry {
+            op: "predict",
+            backend: "dense",
+            per_sec: dense_wps,
+            p50_ms: d50,
+            p95_ms: d95,
+        });
+        entries.push(Entry {
+            op: "predict",
+            backend: "packed",
+            per_sec: quant_wps,
+            p50_ms: q50,
+            p95_ms: q95,
+        });
+
+        println!(
+            "\nheld-out accuracy: dense {}, quantized {}",
+            pct(dense_eval.accuracy),
+            pct(quant_eval.accuracy)
+        );
+        println!("end-to-end speedup: {:.2}x windows/sec", quant_wps / dense_wps);
+        println!(
+            "packed model footprint: {:.1} KiB (vs {:.1} KiB dense class+descriptor f32)",
+            quantized.storage_bytes() as f64 / 1024.0,
+            (quantized.num_domains()
+                * (quantized.config().num_classes + 1)
+                * quantized.dim()
+                * std::mem::size_of::<f32>()) as f64
+                / 1024.0
+        );
     }
-    let (d50, d95) = latency_percentiles(dense_lat);
-    let (q50, q95) = latency_percentiles(quant_lat);
 
-    let (mut entries, kernel_speedup) = similarity_entries();
-    entries.insert(
-        0,
-        Entry { op: "predict", backend: "dense", per_sec: dense_wps, p50_ms: d50, p95_ms: d95 },
-    );
-    entries.insert(
-        1,
-        Entry { op: "predict", backend: "packed", per_sec: quant_wps, p50_ms: q50, p95_ms: q95 },
-    );
+    if ops.includes(OpFilter::Encode) {
+        let encode = encode_entries(&windows[..probe], profile.dim, dataset.meta().channels);
+        println!(
+            "\nencode speedup: {:.2}x over the reference recompute path ({:.2}x over dense)",
+            encode[1].per_sec / encode[2].per_sec,
+            encode[1].per_sec / encode[0].per_sec
+        );
+        entries.extend(encode);
+    }
+
+    if ops.includes(OpFilter::Similarity) {
+        let (sim_entries, kernel_speedup) = similarity_entries();
+        entries.extend(sim_entries);
+        println!(
+            "similarity kernel (d = 8192): packed {kernel_speedup:.1}x faster than dense cosine"
+        );
+    }
 
     let rows: Vec<Vec<String>> = entries
         .iter()
@@ -189,26 +323,13 @@ fn main() {
         .collect();
     print_table("Throughput and latency", &["Op", "Backend", "windows/sec", "p50", "p95"], &rows);
 
-    println!(
-        "\nheld-out accuracy: dense {}, quantized {}",
-        pct(dense_eval.accuracy),
-        pct(quant_eval.accuracy)
-    );
-    println!("end-to-end speedup: {:.2}x windows/sec", quant_wps / dense_wps);
-    println!("similarity kernel (d = 8192): packed {kernel_speedup:.1}x faster than dense cosine");
-    println!(
-        "packed model footprint: {:.1} KiB (vs {:.1} KiB dense class+descriptor f32)",
-        quantized.storage_bytes() as f64 / 1024.0,
-        (quantized.num_domains()
-            * (quantized.config().num_classes + 1)
-            * quantized.dim()
-            * std::mem::size_of::<f32>()) as f64
-            / 1024.0
-    );
-
-    let out = "BENCH_throughput.json";
-    match write_json(out, "usc-had-like", profile.dim, &entries) {
-        Ok(()) => println!("\nwrote {out}"),
-        Err(e) => eprintln!("\nfailed to write {out}: {e}"),
+    if ops == OpFilter::All {
+        let out = "BENCH_throughput.json";
+        match write_json(out, "usc-had-like", profile.dim, &entries) {
+            Ok(()) => println!("\nwrote {out}"),
+            Err(e) => eprintln!("\nfailed to write {out}: {e}"),
+        }
+    } else {
+        println!("\n(partial --op run: BENCH_throughput.json left untouched)");
     }
 }

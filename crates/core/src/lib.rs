@@ -85,7 +85,7 @@ pub mod test_time;
 pub use centering::Centerer;
 pub use config::{DomainInit, RangeMode, SmoreConfig, SmoreConfigBuilder};
 pub use error::SmoreError;
-pub use quantized::QuantizedSmore;
+pub use quantized::{QuantizedSmore, ServeScratch};
 pub use smore_model::{EnrollReport, EvalReport, Prediction, Smore, TrainReport};
 
 /// Result alias used across the crate.

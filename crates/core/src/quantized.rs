@@ -35,13 +35,13 @@ use std::time::Instant;
 
 use smore_data::Dataset;
 use smore_hdc::encoder::MultiSensorEncoder;
-use smore_packed::{PackedHypervector, PackedNgramEncoder, ResidualPacked};
+use smore_packed::{EncoderScratch, PackedHypervector, PackedNgramEncoder, ResidualPacked};
 use smore_tensor::{parallel, Matrix};
 
 use crate::config::SmoreConfig;
 use crate::ood::{OodDetector, OodVerdict};
 use crate::smore_model::{ChannelStats, EvalReport, Fitted, Prediction};
-use crate::test_time::ensemble_weights_powered;
+use crate::test_time::ensemble_weights_into;
 use crate::{Result, SmoreError};
 
 /// Recovers a dense-cosine estimate from a sign-quantized similarity.
@@ -58,6 +58,78 @@ use crate::{Result, SmoreError};
 /// domain (property-tested in `tests/proptests.rs`).
 pub fn recover_cosine(packed_sim: f32) -> f32 {
     (FRAC_PI_2 * packed_sim.clamp(-1.0, 1.0)).sin()
+}
+
+/// Caller-owned scratch for the quantized serving hot path.
+///
+/// Bundles every buffer one prediction needs — the scaled window, the
+/// encoder's [`EncoderScratch`], the packed query, the similarity and
+/// ensemble-weight vectors and the output [`Prediction`] — so
+/// [`QuantizedSmore::predict_window_with`] performs no heap allocation in
+/// steady state. Buffers size themselves lazily on first use and survive
+/// snapshot hot-swaps (an enrolled domain merely grows the similarity
+/// vectors once).
+///
+/// # Example
+///
+/// ```no_run
+/// # fn main() -> Result<(), smore::SmoreError> {
+/// # let quantized: smore::QuantizedSmore = unimplemented!();
+/// # let windows: Vec<smore_tensor::Matrix> = vec![];
+/// let mut scratch = smore::ServeScratch::new();
+/// for w in &windows {
+///     let p = quantized.predict_window_with(w, &mut scratch)?; // no allocation
+///     println!("label {}", p.label);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServeScratch {
+    encoder: EncoderScratch,
+    scaled: Matrix,
+    query: PackedHypervector,
+    sims: Vec<f32>,
+    weights: Vec<f32>,
+    prediction: Prediction,
+}
+
+impl ServeScratch {
+    /// An empty scratch; buffers are sized by the first prediction.
+    pub fn new() -> Self {
+        Self {
+            encoder: EncoderScratch::new(),
+            scaled: Matrix::default(),
+            query: PackedHypervector::zeros(0),
+            sims: Vec::new(),
+            weights: Vec::new(),
+            prediction: empty_prediction(),
+        }
+    }
+
+    /// The prediction produced by the most recent
+    /// [`QuantizedSmore::predict_window_with`] call.
+    pub fn prediction(&self) -> &Prediction {
+        &self.prediction
+    }
+}
+
+impl Default for ServeScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A structurally valid placeholder [`Prediction`] (overwritten before any
+/// caller observes it).
+fn empty_prediction() -> Prediction {
+    Prediction {
+        label: 0,
+        is_ood: false,
+        delta_max: 0.0,
+        best_domain: 0,
+        domain_similarities: Vec::new(),
+    }
 }
 
 /// A frozen, bit-packed SMORE model for quantized serving.
@@ -297,56 +369,148 @@ impl QuantizedSmore {
             + self.scaler.storage_bytes()
     }
 
-    /// Encodes one raw window straight into a packed query hypervector.
+    /// Encodes one raw window into the packed query held in `scratch` —
+    /// the allocation-free serving encode.
     ///
     /// The bit at dimension `i` is the sign of `acc_i − μ_i·‖acc‖` — the
     /// exact sign the dense pipeline computes after scaling, encoding,
     /// centring and normalising, obtained without any dense encode.
+    fn encode_query_into(&self, window: &Matrix, scratch: &mut ServeScratch) -> Result<()> {
+        self.scaler.apply_into(window, &mut scratch.scaled);
+        self.encoder.encode_counts_into(&scratch.scaled, &mut scratch.encoder)?;
+        let counts = scratch.encoder.counts();
+        let norm = counts.iter().map(|&c| c as f64 * c as f64).sum::<f64>().sqrt() as f32;
+        if scratch.query.dim() != self.config.dim {
+            scratch.query = PackedHypervector::zeros(self.config.dim);
+        }
+        let mean = &self.mean;
+        scratch.query.fill_with(|i| (counts[i] as f32) - mean[i] * norm < 0.0);
+        Ok(())
+    }
+
+    /// Encodes one raw window straight into a packed query hypervector.
+    ///
+    /// See [`encode_query_into`](Self::encode_query_into) for the
+    /// threshold semantics; this wrapper allocates — serving loops should
+    /// go through [`predict_window_with`](Self::predict_window_with).
     ///
     /// # Errors
     ///
     /// Propagates encoder errors for malformed windows.
     pub fn encode_packed(&self, window: &Matrix) -> Result<PackedHypervector> {
-        let scaled = self.scaler.apply(window);
-        let counts = self.encoder.encode_counts(&scaled)?;
-        let norm = counts.iter().map(|&c| c as f64 * c as f64).sum::<f64>().sqrt() as f32;
-        let mut q = PackedHypervector::zeros(self.config.dim);
-        for (i, &c) in counts.iter().enumerate() {
-            if (c as f32) - self.mean[i] * norm < 0.0 {
-                q.set(i, true);
-            }
-        }
-        Ok(q)
+        let mut scratch = ServeScratch::new();
+        self.encode_query_into(window, &mut scratch)?;
+        Ok(scratch.query)
     }
 
-    /// Predicts one window — Algorithm 1 entirely on packed operations.
+    /// Predicts one window — Algorithm 1 entirely on packed operations,
+    /// reusing caller-owned scratch so the steady-state hot path performs
+    /// no heap allocation. The returned reference points into `scratch`
+    /// (also readable later through [`ServeScratch::prediction`]); clone
+    /// it to keep the prediction past the next call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoder errors for malformed windows.
+    pub fn predict_window_with<'s>(
+        &self,
+        window: &Matrix,
+        scratch: &'s mut ServeScratch,
+    ) -> Result<&'s Prediction> {
+        self.encode_query_into(window, scratch)?;
+
+        // Popcount similarities, recovered onto the dense cosine scale so
+        // δ* and the Eq. 3 weights keep their dense calibration.
+        scratch.sims.clear();
+        for u in &self.descriptors {
+            let sim =
+                scratch.query.similarity(u).expect("descriptor dimension fixed at quantize time");
+            scratch.sims.push(recover_cosine(sim));
+        }
+        let verdict: OodVerdict = OodDetector::new(self.config.delta_star).decide(&scratch.sims);
+        ensemble_weights_into(
+            &scratch.sims,
+            verdict.is_ood,
+            self.config.delta_star,
+            self.config.weight_power,
+            &mut scratch.weights,
+        );
+
+        // Score against M_T = Σ_k w_k M_k without materialising it:
+        // dot(Q, Σ_k w_k C_k) = Σ_k w_k dot(Q, C_k), every dot a handful
+        // of popcount sweeps (one per residual plane); the per-class
+        // ensemble norm comes from the precomputed Gram.
+        let k = self.domain_classes.len();
+        let weights = &scratch.weights;
+        let q_norm = (self.config.dim as f32).sqrt();
+        let mut best_label = 0usize;
+        let mut best_score = f32::NEG_INFINITY;
+        for class in 0..self.config.num_classes {
+            let mut dot_sum = 0.0f32;
+            for (classes, &w) in self.domain_classes.iter().zip(weights) {
+                if w > 0.0 {
+                    let dot = classes[class]
+                        .dot_packed(&scratch.query)
+                        .expect("query dimension fixed at quantize time");
+                    dot_sum += w * dot;
+                }
+            }
+            let gram = &self.class_gram[class];
+            let mut norm_sq = 0.0f32;
+            for (j, &wj) in weights.iter().enumerate() {
+                if wj <= 0.0 {
+                    continue;
+                }
+                for (m, &wm) in weights.iter().enumerate() {
+                    if wm > 0.0 {
+                        norm_sq += wj * wm * gram[j * k + m];
+                    }
+                }
+            }
+            let score = if norm_sq > 0.0 { dot_sum / (norm_sq.sqrt() * q_norm) } else { 0.0 };
+            if score > best_score {
+                best_score = score;
+                best_label = class;
+            }
+        }
+
+        let prediction = &mut scratch.prediction;
+        prediction.label = best_label;
+        prediction.is_ood = verdict.is_ood;
+        prediction.delta_max = verdict.delta_max;
+        prediction.best_domain = self.domain_tags[verdict.best_domain];
+        prediction.domain_similarities.clear();
+        prediction.domain_similarities.extend_from_slice(&scratch.sims);
+        Ok(&scratch.prediction)
+    }
+
+    /// Predicts one window — the allocating convenience wrapper around
+    /// [`predict_window_with`](Self::predict_window_with).
     ///
     /// # Errors
     ///
     /// Propagates encoder errors for malformed windows.
     pub fn predict_window(&self, window: &Matrix) -> Result<Prediction> {
-        let q = self.encode_packed(window)?;
-        Ok(self.predict_packed(&q))
+        let mut scratch = ServeScratch::new();
+        Ok(self.predict_window_with(window, &mut scratch)?.clone())
     }
 
-    /// Predicts a batch of windows in parallel.
+    /// Predicts a batch of windows in parallel; every worker thread reuses
+    /// one [`ServeScratch`] across its whole chunk, so the per-window cost
+    /// is allocation-free encoding plus one output clone.
     ///
     /// # Errors
     ///
     /// Propagates encoder errors for malformed windows.
     pub fn predict_batch(&self, windows: &[Matrix]) -> Result<Vec<Prediction>> {
-        let mut out: Vec<Result<Prediction>> = (0..windows.len())
-            .map(|_| {
-                Ok(Prediction {
-                    label: 0,
-                    is_ood: false,
-                    delta_max: 0.0,
-                    best_domain: 0,
-                    domain_similarities: Vec::new(),
-                })
-            })
-            .collect();
-        parallel::par_map_into(windows, &mut out, self.config.threads, |w| self.predict_window(w));
+        let mut out: Vec<Result<Prediction>> =
+            (0..windows.len()).map(|_| Ok(empty_prediction())).collect();
+        parallel::par_chunks_indexed(&mut out, self.config.threads, |start, chunk| {
+            let mut scratch = ServeScratch::new();
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                *slot = self.predict_window_with(&windows[start + i], &mut scratch).cloned();
+            }
+        });
         out.into_iter().collect()
     }
 
@@ -384,73 +548,6 @@ impl QuantizedSmore {
     pub fn evaluate_indices(&self, dataset: &Dataset, indices: &[usize]) -> Result<EvalReport> {
         let (windows, labels, _) = dataset.gather(indices);
         self.evaluate(&windows, &labels)
-    }
-
-    /// Algorithm 1 on an already packed query.
-    fn predict_packed(&self, q: &PackedHypervector) -> Prediction {
-        // Popcount similarities, recovered onto the dense cosine scale so
-        // δ* and the Eq. 3 weights keep their dense calibration.
-        let sims: Vec<f32> = self
-            .descriptors
-            .iter()
-            .map(|u| {
-                recover_cosine(
-                    q.similarity(u).expect("descriptor dimension fixed at quantize time"),
-                )
-            })
-            .collect();
-        let verdict: OodVerdict = OodDetector::new(self.config.delta_star).decide(&sims);
-        let weights = ensemble_weights_powered(
-            &sims,
-            verdict.is_ood,
-            self.config.delta_star,
-            self.config.weight_power,
-        );
-
-        // Score against M_T = Σ_k w_k M_k without materialising it:
-        // dot(Q, Σ_k w_k C_k) = Σ_k w_k dot(Q, C_k), every dot a handful
-        // of popcount sweeps (one per residual plane); the per-class
-        // ensemble norm comes from the precomputed Gram.
-        let k = self.domain_classes.len();
-        let q_norm = (self.config.dim as f32).sqrt();
-        let mut best_label = 0usize;
-        let mut best_score = f32::NEG_INFINITY;
-        for class in 0..self.config.num_classes {
-            let mut dot_sum = 0.0f32;
-            for (classes, &w) in self.domain_classes.iter().zip(&weights) {
-                if w > 0.0 {
-                    let dot = classes[class]
-                        .dot_packed(q)
-                        .expect("query dimension fixed at quantize time");
-                    dot_sum += w * dot;
-                }
-            }
-            let gram = &self.class_gram[class];
-            let mut norm_sq = 0.0f32;
-            for (j, &wj) in weights.iter().enumerate() {
-                if wj <= 0.0 {
-                    continue;
-                }
-                for (m, &wm) in weights.iter().enumerate() {
-                    if wm > 0.0 {
-                        norm_sq += wj * wm * gram[j * k + m];
-                    }
-                }
-            }
-            let score = if norm_sq > 0.0 { dot_sum / (norm_sq.sqrt() * q_norm) } else { 0.0 };
-            if score > best_score {
-                best_score = score;
-                best_label = class;
-            }
-        }
-
-        Prediction {
-            label: best_label,
-            is_ood: verdict.is_ood,
-            delta_max: verdict.delta_max,
-            best_domain: self.domain_tags[verdict.best_domain],
-            domain_similarities: sims,
-        }
     }
 }
 
@@ -564,6 +661,36 @@ mod tests {
         for (i, w) in windows.iter().enumerate() {
             assert_eq!(batch[i], quantized.predict_window(w).unwrap());
         }
+    }
+
+    #[test]
+    fn scratch_serving_matches_allocating_path_across_hot_swap() {
+        let ds = shifted_dataset(10);
+        let (train, test) = split::lodo(&ds, 0).unwrap();
+        let mut dense = fitted_model(&ds, &train);
+        let mut quantized = dense.quantize().unwrap();
+        let mut scratch = ServeScratch::new();
+        for &i in &test[..10] {
+            let w = ds.window(i);
+            let with = quantized.predict_window_with(w, &mut scratch).unwrap().clone();
+            assert_eq!(with, quantized.predict_window(w).unwrap());
+            assert_eq!(scratch.prediction(), &with, "scratch retains the last prediction");
+        }
+        // Enrolment grows the similarity vectors; the same scratch keeps
+        // serving the swapped-in model.
+        let (w, l, _) = ds.gather(&test[..40]);
+        dense.enroll_domain(&w, &l, 0).unwrap();
+        let new_model = dense.domain_models().unwrap().last().unwrap().clone();
+        let descriptors = dense.descriptors().unwrap().as_matrix().clone();
+        quantized.enroll_domain(&new_model, descriptors.row(3), 0).unwrap();
+        for &i in &test[..10] {
+            let w = ds.window(i);
+            let p = quantized.predict_window_with(w, &mut scratch).unwrap().clone();
+            assert_eq!(p.domain_similarities.len(), 4);
+            assert_eq!(p, quantized.predict_window(w).unwrap());
+        }
+        // A malformed window reports through the scratch path too.
+        assert!(quantized.predict_window_with(&Matrix::zeros(24, 9), &mut scratch).is_err());
     }
 
     #[test]

@@ -151,7 +151,20 @@ impl ChannelStats {
     }
 
     pub(crate) fn apply(&self, window: &Matrix) -> Matrix {
-        let mut out = window.clone();
+        let mut out = Matrix::default();
+        self.apply_into(window, &mut out);
+        out
+    }
+
+    /// [`apply`](Self::apply) into a caller-owned buffer. When `out`
+    /// already has the window's shape, the copy reuses its storage and the
+    /// call is allocation-free — the serving-loop variant.
+    pub(crate) fn apply_into(&self, window: &Matrix, out: &mut Matrix) {
+        if out.shape() == window.shape() {
+            out.as_mut_slice().copy_from_slice(window.as_slice());
+        } else {
+            *out = window.clone();
+        }
         for t in 0..out.rows() {
             for (c, v) in out.row_mut(t).iter_mut().enumerate() {
                 if c < self.mean.len() {
@@ -159,7 +172,6 @@ impl ChannelStats {
                 }
             }
         }
-        out
     }
 
     fn apply_batch(&self, windows: &[Matrix]) -> Vec<Matrix> {

@@ -80,6 +80,21 @@ pub fn ensemble_weights_powered(
     delta_star: f32,
     power: f32,
 ) -> Vec<f32> {
+    let mut out = Vec::with_capacity(similarities.len());
+    ensemble_weights_into(similarities, is_ood, delta_star, power, &mut out);
+    out
+}
+
+/// [`ensemble_weights_powered`] into a caller-owned buffer (cleared and
+/// refilled; allocation-free once its capacity covers the domain count) —
+/// the serving-loop variant.
+pub fn ensemble_weights_into(
+    similarities: &[f32],
+    is_ood: bool,
+    delta_star: f32,
+    power: f32,
+    out: &mut Vec<f32>,
+) {
     let delta_max =
         similarities.iter().copied().filter(|s| s.is_finite()).fold(f32::NEG_INFINITY, f32::max);
     let clamp = |s: f32| if s.is_finite() && s > 0.0 { s } else { 0.0 };
@@ -92,15 +107,15 @@ pub fn ensemble_weights_powered(
             (c / delta_max).powf(power)
         }
     };
+    out.clear();
     if is_ood {
-        return similarities.iter().map(|&s| sharpen(s)).collect();
+        out.extend(similarities.iter().map(|&s| sharpen(s)));
+        return;
     }
-    let filtered: Vec<f32> =
-        similarities.iter().map(|&s| if s >= delta_star { sharpen(s) } else { 0.0 }).collect();
-    if filtered.iter().all(|&w| w == 0.0) {
-        similarities.iter().map(|&s| sharpen(s)).collect()
-    } else {
-        filtered
+    out.extend(similarities.iter().map(|&s| if s >= delta_star { sharpen(s) } else { 0.0 }));
+    if out.iter().all(|&w| w == 0.0) {
+        out.clear();
+        out.extend(similarities.iter().map(|&s| sharpen(s)));
     }
 }
 
@@ -112,6 +127,21 @@ mod tests {
 
     fn model_filled(value: f32, classes: usize, dim: usize) -> HdcClassifier {
         HdcClassifier::from_class_hypervectors(Matrix::filled(classes, dim, value)).unwrap()
+    }
+
+    #[test]
+    fn weights_into_reuses_the_buffer_and_matches_allocating_path() {
+        let mut buf = vec![9.0f32; 7]; // stale contents must be cleared
+        for (sims, is_ood, power) in [
+            (vec![0.6f32, 0.3, -0.2], true, 1.0),
+            (vec![0.6, 0.3, -0.2], false, 2.0),
+            (vec![0.1, 0.2], false, 1.0), // all below δ* → readmission path
+            (vec![f32::NAN, 0.5], true, 3.0),
+            (Vec::new(), true, 1.0),
+        ] {
+            ensemble_weights_into(&sims, is_ood, 0.45, power, &mut buf);
+            assert_eq!(buf, ensemble_weights_powered(&sims, is_ood, 0.45, power));
+        }
     }
 
     #[test]

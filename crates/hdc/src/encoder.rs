@@ -233,8 +233,7 @@ impl MultiSensorEncoder {
             // Per-sensor accumulation happens in a local buffer, then gets
             // signature-bound into the window accumulator.
             let mut local = vec![0.0f32; d];
-            for t in 0..t_total {
-                let y = window.get(t, s);
+            for (t, y) in window.col(s).enumerate() {
                 let alpha = if span > 1e-12 { (y - lo) / span } else { 0.5 };
                 let slot = t % n;
                 level_memory.encode_into(alpha, &mut ring[slot]);
@@ -300,8 +299,7 @@ impl MultiSensorEncoder {
             ValueRange::PerWindow => {
                 let mut lo = f32::INFINITY;
                 let mut hi = f32::NEG_INFINITY;
-                for t in 0..window.rows() {
-                    let v = window.get(t, sensor);
+                for v in window.col(sensor) {
                     if v.is_finite() {
                         lo = lo.min(v);
                         hi = hi.max(v);

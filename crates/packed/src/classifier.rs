@@ -11,7 +11,7 @@
 
 use smore_hdc::model::HdcClassifier;
 use smore_hdc::HdcError;
-use smore_tensor::{parallel, vecops, Matrix};
+use smore_tensor::{parallel, Matrix};
 
 use crate::hypervector::PackedHypervector;
 use crate::Result;
@@ -128,18 +128,45 @@ impl PackedClassifier {
     ///
     /// Returns [`HdcError::DimensionMismatch`] on a dimension mismatch.
     pub fn scores(&self, query: &PackedHypervector) -> Result<Vec<f32>> {
-        self.classes.iter().map(|c| query.similarity(c)).collect()
+        let mut out = Vec::with_capacity(self.classes.len());
+        self.score_into(query, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`scores`](Self::scores) into a caller-owned buffer (cleared and
+    /// refilled; allocation-free once its capacity covers the class
+    /// count) — the serving-loop variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] on a dimension mismatch;
+    /// `out` is left cleared or partially filled on error.
+    pub fn score_into(&self, query: &PackedHypervector, out: &mut Vec<f32>) -> Result<()> {
+        out.clear();
+        for c in &self.classes {
+            out.push(query.similarity(c)?);
+        }
+        Ok(())
     }
 
     /// Predicts the class with the highest similarity (lowest Hamming
-    /// distance; ties resolve to the lowest class index).
+    /// distance; ties resolve to the lowest class index). Runs directly on
+    /// raw Hamming distances — no score buffer is materialised.
     ///
     /// # Errors
     ///
     /// Returns [`HdcError::DimensionMismatch`] on a dimension mismatch.
     pub fn predict_one(&self, query: &PackedHypervector) -> Result<usize> {
-        let scores = self.scores(query)?;
-        Ok(vecops::argmax(&scores).unwrap_or(0))
+        let mut best = 0usize;
+        let mut best_hamming = usize::MAX;
+        for (c, class) in self.classes.iter().enumerate() {
+            let h = query.hamming(class)?;
+            if h < best_hamming {
+                best_hamming = h;
+                best = c;
+            }
+        }
+        Ok(best)
     }
 
     /// Predicts a batch of packed queries in parallel.
@@ -223,6 +250,20 @@ mod tests {
         for (d, p) in ds.iter().zip(&ps) {
             assert!((d - p).abs() < 1e-5, "dense {d} vs packed {p}");
         }
+    }
+
+    #[test]
+    fn score_into_reuses_the_buffer_and_matches_scores() {
+        let model = PackedClassifier::new((0..5).map(|c| random_packed(c, 512)).collect()).unwrap();
+        let mut buf = Vec::new();
+        for seed in 20..24 {
+            let q = random_packed(seed, 512);
+            model.score_into(&q, &mut buf).unwrap();
+            assert_eq!(buf, model.scores(&q).unwrap(), "seed {seed}");
+            assert_eq!(buf.len(), 5);
+        }
+        // Mismatched query reports the error through the `_into` path too.
+        assert!(model.score_into(&random_packed(9, 64), &mut buf).is_err());
     }
 
     #[test]

@@ -8,8 +8,7 @@
 //!    the dense encoder's own `LevelMemory` codewords (which are bipolar,
 //!    so packing is lossless) — the only approximation relative to the
 //!    dense encoder is snapping the continuous `α` to the grid.
-//! 2. **Temporal n-gram binding** is XOR under bit-rotation
-//!    ([`PackedHypervector::rotate_into`]).
+//! 2. **Temporal n-gram binding** is XOR under bit-rotation.
 //! 3. **Bundling** accumulates integer per-dimension counters — the exact
 //!    value the dense encoder accumulates in `f32`, since every product of
 //!    bipolar codewords is `±1`.
@@ -23,13 +22,138 @@
 //! similarity needs. [`encode_counts`](PackedNgramEncoder::encode_counts)
 //! exposes the raw counters so callers can apply an affine offset (e.g.
 //! mean-centring) before thresholding.
+//!
+//! # The word-parallel hot path
+//!
+//! The serving encode path performs the four stages above at 64 dimensions
+//! per instruction with zero steady-state allocations:
+//!
+//! - **Incremental sliding n-gram binding.** The bound product of the
+//!   window ending at step `t` is `P_t = c_t ⊕ ρ(c_{t−1}) ⊕ … ⊕
+//!   ρ^{n−1}(c_{t−n+1})`. Because the rotation `ρ` distributes over XOR,
+//!   the next window's product follows from the previous one as
+//!
+//!   ```text
+//!   P_{t+1} = ρ(P_t ⊕ ρ^{n−1}(c_{t−n+1})) ⊕ c_{t+1}
+//!   ```
+//!
+//!   — retire the oldest codeword (already at its final rotation, looked
+//!   up from a precomputed ρ^{n−1}-rotated codebook), advance every
+//!   surviving element one rotation in a single word-level shift, and fold
+//!   in the newest codeword: 2 XOR sweeps + 1 rotate per step, instead of
+//!   the `n−1` rotates + `n−1` XORs of a from-scratch fold.
+//!
+//! - **SWAR bit-sliced bundling.** Counter bundling goes through a
+//!   [`BitSliceAccumulator`]: a carry-save-adder plane stack that counts
+//!   all 64 bits of a word simultaneously (XOR = sum bit, AND = carry),
+//!   flushed into `i32` counters once per ~255 steps rather than
+//!   per-bit per step. Signature integration rides along for free — the
+//!   per-dimension sign flip `G_s[i] · P[i]` is one XOR fused into the
+//!   accumulator read ([`BitSliceAccumulator::absorb_bound`]), so no
+//!   per-sensor counter pass or post-hoc signature multiply remains.
+//!
+//! - **Caller-owned scratch.** [`EncoderScratch`] owns the ring, product,
+//!   rotation and counter buffers; the `*_into` entry points
+//!   ([`encode_counts_into`](PackedNgramEncoder::encode_counts_into),
+//!   [`encode_window_into`](PackedNgramEncoder::encode_window_into)) reuse
+//!   it across calls so steady-state encoding never touches the heap.
+//!
+//! The pre-optimisation recompute path is retained as
+//! [`encode_counts_reference`](PackedNgramEncoder::encode_counts_reference);
+//! the two are bit-exactly equal (property-tested in
+//! `tests/proptests.rs`).
 
 use smore_hdc::encoder::{EncoderConfig, MultiSensorEncoder, ValueRange};
 use smore_hdc::HdcError;
 use smore_tensor::{parallel, Matrix};
 
-use crate::hypervector::PackedHypervector;
+use crate::hypervector::{rotate_words_into, words_for, BitSliceAccumulator, PackedHypervector};
 use crate::Result;
+
+/// Caller-owned scratch space for the allocation-free encode path.
+///
+/// Holds the sliding-window ring, the running n-gram product, a rotation
+/// buffer, the SWAR bundling planes and the output counters. Buffers are
+/// (re)sized lazily on each encode, so one scratch can serve encoders of
+/// different dimensionalities; in steady state (same encoder, repeated
+/// calls) no resize — and therefore no allocation — occurs.
+///
+/// # Example
+///
+/// ```
+/// use smore_hdc::encoder::EncoderConfig;
+/// use smore_packed::{EncoderScratch, PackedHypervector, PackedNgramEncoder};
+/// use smore_tensor::Matrix;
+///
+/// # fn main() -> Result<(), smore_hdc::HdcError> {
+/// let cfg = EncoderConfig { dim: 256, sensors: 2, ..EncoderConfig::default() };
+/// let encoder = PackedNgramEncoder::new(cfg)?;
+/// let mut scratch = EncoderScratch::new();
+/// let mut query = PackedHypervector::zeros(256);
+/// for phase in 0..4 {
+///     let w = Matrix::from_fn(16, 2, |t, s| ((t + s) as f32 * 0.4 + phase as f32).sin());
+///     encoder.encode_window_into(&w, &mut scratch, &mut query)?; // no allocation
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EncoderScratch {
+    /// Level indices of the last `n` time steps.
+    ring: Vec<usize>,
+    /// Running n-gram product `P_t` (packed words).
+    prod: Vec<u64>,
+    /// Rotation double-buffer for the sliding advance.
+    rot: Vec<u64>,
+    /// SWAR carry-save bundling planes (signature folded in).
+    acc: BitSliceAccumulator,
+    /// Signed output counters (the packed mirror of the dense accumulator).
+    counts: Vec<i32>,
+}
+
+impl EncoderScratch {
+    /// An empty scratch; buffers are sized by the first encode call.
+    pub fn new() -> Self {
+        Self {
+            ring: Vec::new(),
+            prod: Vec::new(),
+            rot: Vec::new(),
+            acc: BitSliceAccumulator::new(0),
+            counts: Vec::new(),
+        }
+    }
+
+    /// The counters produced by the most recent
+    /// [`encode_counts_into`](PackedNgramEncoder::encode_counts_into).
+    pub fn counts(&self) -> &[i32] {
+        &self.counts
+    }
+
+    /// Sizes every buffer for one encode; a no-op (and allocation-free)
+    /// when the shape already matches.
+    fn prepare(&mut self, dim: usize, ngram: usize) {
+        let nw = words_for(dim);
+        self.ring.clear();
+        self.ring.resize(ngram, 0);
+        self.prod.clear();
+        self.prod.resize(nw, 0);
+        self.rot.clear();
+        self.rot.resize(nw, 0);
+        if self.acc.dim() == dim {
+            self.acc.reset();
+        } else {
+            self.acc = BitSliceAccumulator::new(dim);
+        }
+        self.counts.clear();
+        self.counts.resize(dim, 0);
+    }
+}
+
+impl Default for EncoderScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// Bit-packed mirror of the dense multi-sensor encoder.
 ///
@@ -54,6 +178,9 @@ pub struct PackedNgramEncoder {
     config: EncoderConfig,
     /// `[sensor][level]` packed codewords on the discretized `α` grid.
     codebooks: Vec<Vec<PackedHypervector>>,
+    /// The same codewords pre-rotated by `ρ^{n−1}` — the retirement
+    /// operand of the sliding-bind recurrence. Empty for unigrams.
+    codebooks_rot: Vec<Vec<PackedHypervector>>,
     /// Packed sensor signatures `G_i`.
     signatures: Vec<PackedHypervector>,
 }
@@ -78,12 +205,12 @@ impl PackedNgramEncoder {
     ///
     /// Propagates codebook access errors (internal wiring only).
     pub fn from_dense(dense: &MultiSensorEncoder) -> Result<Self> {
-        let config = dense.config().clone();
+        let config = dense.config();
         let grid = config.levels.max(2);
         let mut codebooks = Vec::with_capacity(config.sensors);
         for s in 0..config.sensors {
             let memory = dense.level_memory(s)?;
-            let levels = (0..grid)
+            let levels: Vec<PackedHypervector> = (0..grid)
                 .map(|l| {
                     let alpha = l as f32 / (grid - 1) as f32;
                     PackedHypervector::from_dense(&memory.encode(alpha))
@@ -94,7 +221,17 @@ impl PackedNgramEncoder {
         let signatures = (0..config.sensors)
             .map(|s| Ok(PackedHypervector::from_dense(dense.signature_memory().signature(s)?)))
             .collect::<Result<Vec<_>>>()?;
-        Ok(Self { config, codebooks, signatures })
+        // ρ^{n−1}-rotated copies feed the sliding-bind retirement step
+        // without a per-step rotate; unigrams never retire anything.
+        let codebooks_rot = if config.ngram > 1 {
+            codebooks
+                .iter()
+                .map(|levels| levels.iter().map(|c| c.rotate(config.ngram - 1)).collect())
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Ok(Self { config: config.clone(), codebooks, codebooks_rot, signatures })
     }
 
     /// The encoder configuration (shared with the dense encoder).
@@ -117,26 +254,20 @@ impl PackedNgramEncoder {
         self.codebooks.first().map_or(0, Vec::len)
     }
 
-    /// Bytes held by all packed codebooks and signatures.
+    /// Bytes held by all packed codebooks (including the ρ^{n−1}-rotated
+    /// sliding-bind copies) and signatures.
     pub fn storage_bytes(&self) -> usize {
         self.codebooks
             .iter()
+            .chain(&self.codebooks_rot)
             .flat_map(|levels| levels.iter().map(PackedHypervector::storage_bytes))
             .sum::<usize>()
             + self.signatures.iter().map(PackedHypervector::storage_bytes).sum::<usize>()
     }
 
-    /// Encodes one window into the raw integer accumulator — the packed
-    /// mirror of the dense encoder's pre-normalisation sum. `counts[i]`
-    /// equals the dense accumulator value at dimension `i` exactly, up to
-    /// the `α` grid snap.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as the dense
-    /// [`encode_window`](MultiSensorEncoder::encode_window): one column per
-    /// sensor, at least `ngram` time steps.
-    pub fn encode_counts(&self, window: &Matrix) -> Result<Vec<i32>> {
+    /// Validates the window shape shared by every encode entry point,
+    /// returning the number of time steps.
+    fn check_window(&self, window: &Matrix) -> Result<usize> {
         let (t_total, cols) = window.shape();
         if cols != self.config.sensors {
             return Err(HdcError::DimensionMismatch {
@@ -144,13 +275,110 @@ impl PackedNgramEncoder {
                 actual: cols,
             });
         }
-        let n = self.config.ngram;
-        if t_total < n {
+        if t_total < self.config.ngram {
             return Err(HdcError::InvalidConfig {
-                what: format!("window of {t_total} steps is shorter than the n-gram size {n}"),
+                what: format!(
+                    "window of {t_total} steps is shorter than the n-gram size {}",
+                    self.config.ngram
+                ),
             });
         }
+        Ok(t_total)
+    }
+
+    /// Encodes one window into the raw integer accumulator held in
+    /// `scratch` (read it back through [`EncoderScratch::counts`]) — the
+    /// packed mirror of the dense encoder's pre-normalisation sum.
+    /// `counts[i]` equals the dense accumulator value at dimension `i`
+    /// exactly, up to the `α` grid snap.
+    ///
+    /// This is the word-parallel hot path (sliding n-gram binding + SWAR
+    /// bundling, see the module docs); with a warm `scratch` it performs
+    /// no allocation.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as the dense
+    /// [`encode_window`](MultiSensorEncoder::encode_window): one column per
+    /// sensor, at least `ngram` time steps.
+    pub fn encode_counts_into(&self, window: &Matrix, scratch: &mut EncoderScratch) -> Result<()> {
+        self.check_window(window)?;
         let d = self.config.dim;
+        let n = self.config.ngram;
+        let grid = self.grid_levels();
+        scratch.prepare(d, n);
+
+        for (s, codebook) in self.codebooks.iter().enumerate() {
+            let (lo, hi) = self.sensor_range(window, s);
+            let span = hi - lo;
+            let sig = self.signatures[s].words();
+            for (t, y) in window.col(s).enumerate() {
+                let level = quantize_level(y, lo, span, grid);
+                let slot = t % n;
+                // The codeword retiring from the previous product (only
+                // meaningful once the ring has wrapped, t ≥ n).
+                let outgoing = scratch.ring[slot];
+                scratch.ring[slot] = level;
+                if t + 1 < n {
+                    continue;
+                }
+                if n == 1 {
+                    // Unigrams: the product *is* the codeword; bundle it
+                    // with the signature folded in.
+                    scratch.acc.absorb_bound(codebook[level].words(), sig);
+                    continue;
+                }
+                if t + 1 == n {
+                    // Seed the first product with a from-scratch fold:
+                    // element at step t−j gets rotation ρ^j.
+                    scratch.prod.copy_from_slice(codebook[level].words());
+                    for j in 1..n {
+                        rotate_words_into(
+                            codebook[scratch.ring[(t - j) % n]].words(),
+                            d,
+                            j % d,
+                            &mut scratch.rot,
+                        );
+                        xor_words(&mut scratch.prod, &scratch.rot);
+                    }
+                } else {
+                    // Slide: P ← ρ(P ⊕ ρ^{n−1}(c_out)) ⊕ c_in.
+                    xor_words(&mut scratch.prod, self.codebooks_rot[s][outgoing].words());
+                    rotate_words_into(&scratch.prod, d, 1, &mut scratch.rot);
+                    std::mem::swap(&mut scratch.prod, &mut scratch.rot);
+                    xor_words(&mut scratch.prod, codebook[level].words());
+                }
+                scratch.acc.absorb_bound(&scratch.prod, sig);
+            }
+        }
+        scratch.acc.counts_into(&mut scratch.counts);
+        Ok(())
+    }
+
+    /// Allocating wrapper around
+    /// [`encode_counts_into`](Self::encode_counts_into).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`encode_counts_into`](Self::encode_counts_into).
+    pub fn encode_counts(&self, window: &Matrix) -> Result<Vec<i32>> {
+        let mut scratch = EncoderScratch::new();
+        self.encode_counts_into(window, &mut scratch)?;
+        Ok(std::mem::take(&mut scratch.counts))
+    }
+
+    /// The pre-optimisation reference encoder: recomputes every n-gram
+    /// product from scratch (`n−1` rotates + XORs per step) and bundles
+    /// bit by bit. Kept as the ground truth the word-parallel path is
+    /// property-tested against; serving code should never call it.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`encode_counts`](Self::encode_counts).
+    pub fn encode_counts_reference(&self, window: &Matrix) -> Result<Vec<i32>> {
+        let t_total = self.check_window(window)?;
+        let d = self.config.dim;
+        let n = self.config.ngram;
         let grid = self.grid_levels();
         let mut acc = vec![0i32; d];
         let mut sensor_counts = vec![0i32; d];
@@ -165,10 +393,7 @@ impl PackedNgramEncoder {
             let span = hi - lo;
             sensor_counts.iter_mut().for_each(|c| *c = 0);
             for t in 0..t_total {
-                let y = window.get(t, s);
-                let alpha = if span > 1e-12 { (y - lo) / span } else { 0.5 };
-                let alpha = if alpha.is_finite() { alpha.clamp(0.0, 1.0) } else { 0.5 };
-                ring[t % n] = ((alpha * (grid - 1) as f32).round() as usize).min(grid - 1);
+                ring[t % n] = quantize_level(window.get(t, s), lo, span, grid);
                 if t + 1 >= n {
                     // n-gram ending at step t: element at step t-j gets
                     // rotation j (ρ^j), folded in by XOR binding.
@@ -197,35 +422,69 @@ impl PackedNgramEncoder {
     }
 
     /// Encodes one window into a packed hypervector by majority threshold
-    /// (positive accumulator → `+1`, ties → `+1`).
+    /// (positive accumulator → `+1`, ties → `+1`), reusing caller-owned
+    /// scratch and output buffers — the zero-allocation serving encode.
+    ///
+    /// `out` is resized (once) if its dimensionality disagrees.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`encode_counts_into`](Self::encode_counts_into).
+    pub fn encode_window_into(
+        &self,
+        window: &Matrix,
+        scratch: &mut EncoderScratch,
+        out: &mut PackedHypervector,
+    ) -> Result<()> {
+        self.encode_counts_into(window, scratch)?;
+        if out.dim() != self.config.dim {
+            *out = PackedHypervector::zeros(self.config.dim);
+        }
+        let counts = &scratch.counts;
+        out.fill_with(|i| counts[i] < 0);
+        Ok(())
+    }
+
+    /// Allocating wrapper around
+    /// [`encode_window_into`](Self::encode_window_into).
     ///
     /// # Errors
     ///
     /// Same conditions as [`encode_counts`](Self::encode_counts).
     pub fn encode_window(&self, window: &Matrix) -> Result<PackedHypervector> {
-        let counts = self.encode_counts(window)?;
+        let mut scratch = EncoderScratch::new();
         let mut out = PackedHypervector::zeros(self.config.dim);
-        for (i, &c) in counts.iter().enumerate() {
-            if c < 0 {
-                out.set(i, true);
-            }
-        }
+        self.encode_window_into(window, &mut scratch, &mut out)?;
         Ok(out)
     }
 
-    /// Encodes a batch of windows in parallel.
+    /// Encodes a batch of windows in parallel. Outputs are pre-sized and
+    /// written in place; each worker thread reuses one [`EncoderScratch`]
+    /// across its whole chunk.
     ///
     /// # Errors
     ///
-    /// Propagates the first [`encode_window`](Self::encode_window) error.
+    /// Propagates the first [`encode_window_into`](Self::encode_window_into)
+    /// error.
     pub fn encode_batch(
         &self,
         windows: &[Matrix],
         threads: usize,
     ) -> Result<Vec<PackedHypervector>> {
+        let dim = self.config.dim;
         let mut results: Vec<Result<PackedHypervector>> =
-            (0..windows.len()).map(|_| Ok(PackedHypervector::zeros(0))).collect();
-        parallel::par_map_into(windows, &mut results, threads, |w| self.encode_window(w));
+            windows.iter().map(|_| Ok(PackedHypervector::zeros(dim))).collect();
+        parallel::par_chunks_indexed(&mut results, threads, |start, chunk| {
+            let mut scratch = EncoderScratch::new();
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                if let Ok(out) = slot.as_mut() {
+                    if let Err(e) = self.encode_window_into(&windows[start + k], &mut scratch, out)
+                    {
+                        *slot = Err(e);
+                    }
+                }
+            }
+        });
         results.into_iter().collect()
     }
 
@@ -234,8 +493,7 @@ impl PackedNgramEncoder {
             ValueRange::PerWindow => {
                 let mut lo = f32::INFINITY;
                 let mut hi = f32::NEG_INFINITY;
-                for t in 0..window.rows() {
-                    let v = window.get(t, sensor);
+                for v in window.col(sensor) {
                     if v.is_finite() {
                         lo = lo.min(v);
                         hi = hi.max(v);
@@ -252,7 +510,25 @@ impl PackedNgramEncoder {
     }
 }
 
-/// `counts[i] += ±1` from packed sign bits (bit 1 ⇔ −1), word at a time.
+/// Snaps a raw sample onto the discretized `α` level grid (NaN and
+/// zero-span windows land mid-grid, matching the dense encoder).
+#[inline]
+fn quantize_level(y: f32, lo: f32, span: f32, grid: usize) -> usize {
+    let alpha = if span > 1e-12 { (y - lo) / span } else { 0.5 };
+    let alpha = if alpha.is_finite() { alpha.clamp(0.0, 1.0) } else { 0.5 };
+    ((alpha * (grid - 1) as f32).round() as usize).min(grid - 1)
+}
+
+/// `dst[w] ^= src[w]` — the word-level XOR bind over raw buffers.
+#[inline]
+fn xor_words(dst: &mut [u64], src: &[u64]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d ^= s;
+    }
+}
+
+/// `counts[i] += ±1` from packed sign bits (bit 1 ⇔ −1), bit by bit —
+/// reference-path bundling only.
 #[inline]
 fn accumulate_words(counts: &mut [i32], words: &[u64], dim: usize) {
     for (w, &word) in words.iter().enumerate() {
@@ -329,6 +605,47 @@ mod tests {
     }
 
     #[test]
+    fn sliding_swar_path_matches_reference_recompute() {
+        // The word-parallel serving path and the retained reference path
+        // must agree bit-exactly: same counters, every configuration.
+        for (dim, sensors, ngram) in
+            [(512, 2, 3), (192, 1, 1), (70, 2, 2), (130, 3, 5), (64, 1, 4), (256, 2, 6)]
+        {
+            let mut cfg = test_config(dim, sensors);
+            cfg.ngram = ngram;
+            let enc = PackedNgramEncoder::new(cfg).unwrap();
+            let w = sine_window(ngram + 17, sensors, 0.2);
+            assert_eq!(
+                enc.encode_counts(&w).unwrap(),
+                enc.encode_counts_reference(&w).unwrap(),
+                "dim {dim}, sensors {sensors}, ngram {ngram}"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_encodes() {
+        // One scratch across many windows — and across encoders of
+        // different shapes — produces the same hypervectors as fresh
+        // allocations.
+        let enc_a = PackedNgramEncoder::new(test_config(256, 2)).unwrap();
+        let enc_b = PackedNgramEncoder::new(test_config(192, 1)).unwrap();
+        let mut scratch = EncoderScratch::new();
+        let mut out_a = PackedHypervector::zeros(256);
+        let mut out_b = PackedHypervector::zeros(1);
+        for i in 0..5 {
+            let wa = sine_window(20, 2, i as f32 * 0.4);
+            enc_a.encode_window_into(&wa, &mut scratch, &mut out_a).unwrap();
+            assert_eq!(out_a, enc_a.encode_window(&wa).unwrap(), "window {i}");
+            let wb = sine_window(12, 1, i as f32 * 0.7);
+            enc_b.encode_window_into(&wb, &mut scratch, &mut out_b).unwrap();
+            assert_eq!(out_b, enc_b.encode_window(&wb).unwrap(), "window {i}");
+            assert_eq!(out_b.dim(), 192, "output resized to the encoder's dim");
+        }
+        assert_eq!(scratch.counts().len(), 192);
+    }
+
+    #[test]
     fn encoding_is_deterministic_and_seed_sensitive() {
         let a = PackedNgramEncoder::new(test_config(256, 1)).unwrap();
         let b = PackedNgramEncoder::new(test_config(256, 1)).unwrap();
@@ -373,6 +690,14 @@ mod tests {
             assert_eq!(batch1[i], enc.encode_window(w).unwrap());
         }
         assert!(enc.encode_batch(&[], 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn encode_batch_reports_bad_windows() {
+        let enc = PackedNgramEncoder::new(test_config(128, 2)).unwrap();
+        let good = sine_window(15, 2, 0.0);
+        let bad = sine_window(15, 3, 0.0);
+        assert!(enc.encode_batch(&[good, bad], 2).is_err());
     }
 
     #[test]

@@ -113,6 +113,24 @@ impl PackedHypervector {
         (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
     }
 
+    /// Overwrites every bit from a per-dimension predicate (`true` ⇔ −1),
+    /// building each storage word in a register before one store — the
+    /// allocation-free way to re-threshold an existing hypervector (e.g.
+    /// from an accumulator's counters) without per-bit
+    /// [`set`](Self::set) bounds checks. Padding bits stay zero.
+    pub fn fill_with(&mut self, mut neg: impl FnMut(usize) -> bool) {
+        let dim = self.dim;
+        for (w, word) in self.words.iter_mut().enumerate() {
+            let base = w * WORD_BITS;
+            let bits = WORD_BITS.min(dim - base);
+            let mut acc = 0u64;
+            for b in 0..bits {
+                acc |= u64::from(neg(base + b)) << b;
+            }
+            *word = acc;
+        }
+    }
+
     /// Writes bit `i` (`true` ⇔ −1).
     ///
     /// # Panics
@@ -215,41 +233,7 @@ impl PackedHypervector {
     /// Panics if `out.dim() != self.dim()`.
     pub fn rotate_into(&self, k: usize, out: &mut Self) {
         assert_eq!(out.dim, self.dim, "rotate_into: dimension mismatch");
-        let d = self.dim;
-        if d == 0 {
-            return;
-        }
-        let k = k % d;
-        if k == 0 {
-            out.words.copy_from_slice(&self.words);
-            return;
-        }
-        if d.is_multiple_of(WORD_BITS) {
-            // Word-rotate fast path: output word w takes its high bits from
-            // source word (w − k/64) and its low bits from the word before.
-            let nw = self.words.len();
-            let wshift = k / WORD_BITS;
-            let bshift = k % WORD_BITS;
-            for w in 0..nw {
-                let hi = self.words[(w + nw - wshift) % nw];
-                out.words[w] = if bshift == 0 {
-                    hi
-                } else {
-                    let lo = self.words[(w + nw - wshift - 1) % nw];
-                    (hi << bshift) | (lo >> (WORD_BITS - bshift))
-                };
-            }
-        } else {
-            // Ragged dimensions: bit-by-bit fallback (correctness over
-            // speed; every production dimensionality is word-aligned).
-            out.words.iter_mut().for_each(|w| *w = 0);
-            for i in 0..d {
-                if self.get(i) {
-                    let j = (i + k) % d;
-                    out.words[j / WORD_BITS] |= 1u64 << (j % WORD_BITS);
-                }
-            }
-        }
+        rotate_words_into(&self.words, self.dim, k, &mut out.words);
     }
 
     /// Inverse permutation: `unrotate(k)` undoes `rotate(k)`.
@@ -265,6 +249,260 @@ impl PackedHypervector {
             return Err(HdcError::DimensionMismatch { expected: self.dim, actual: other.dim });
         }
         Ok(())
+    }
+}
+
+/// Rotates the `dim`-bit ring held in `src` by `k` positions into `out`
+/// (bit `i` moves to `(i + k) mod dim`), preserving the zero-padding
+/// invariant of the final word. Operates on raw word buffers so encoder
+/// scratch space can rotate without materialising [`PackedHypervector`]s.
+///
+/// # Panics
+///
+/// Panics if `src` and `out` are not both `words_for(dim)` long.
+pub(crate) fn rotate_words_into(src: &[u64], dim: usize, k: usize, out: &mut [u64]) {
+    assert_eq!(src.len(), words_for(dim), "rotate_words_into: bad source length");
+    assert_eq!(out.len(), src.len(), "rotate_words_into: bad output length");
+    if dim == 0 {
+        return;
+    }
+    let k = k % dim;
+    if k == 0 {
+        out.copy_from_slice(src);
+        return;
+    }
+    if dim.is_multiple_of(WORD_BITS) {
+        let nw = src.len();
+        let wshift = k / WORD_BITS;
+        let bshift = k % WORD_BITS;
+        if wshift == 0 {
+            // Sub-word rotation (the sliding-bind hot case, k = 1): each
+            // output word is its own word shifted up, topped up from the
+            // previous word — no index arithmetic in the loop.
+            let mut prev = src[nw - 1];
+            for (o, &cur) in out.iter_mut().zip(src) {
+                *o = (cur << bshift) | (prev >> (WORD_BITS - bshift));
+                prev = cur;
+            }
+        } else {
+            // Word-rotate fast path: output word w takes its high bits from
+            // source word (w − k/64) and its low bits from the word before.
+            for (w, o) in out.iter_mut().enumerate() {
+                let hi = src[(w + nw - wshift) % nw];
+                *o = if bshift == 0 {
+                    hi
+                } else {
+                    let lo = src[(w + nw - wshift - 1) % nw];
+                    (hi << bshift) | (lo >> (WORD_BITS - bshift))
+                };
+            }
+        }
+    } else {
+        // Ragged dimensions: bit-by-bit fallback (correctness over
+        // speed; every production dimensionality is word-aligned).
+        out.iter_mut().for_each(|w| *w = 0);
+        for i in 0..dim {
+            if (src[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1 {
+                let j = (i + k) % dim;
+                out[j / WORD_BITS] |= 1u64 << (j % WORD_BITS);
+            }
+        }
+    }
+}
+
+/// Bit-plane counters per position: `planes[w * CSA_PLANES + j]` holds bit
+/// `j` of the running 1-bit count for every dimension in word `w`. Eight
+/// planes absorb up to `2^8 − 1` words between flushes.
+const CSA_PLANES: usize = 8;
+
+/// Words absorbable before the plane counters would overflow.
+const CSA_CAPACITY: u32 = (1 << CSA_PLANES) - 1;
+
+/// Word-parallel (SWAR) majority bundling through a carry-save-adder plane
+/// stack.
+///
+/// [`PackedAccumulator`] adds a hypervector by walking its 64 bits per word
+/// and bumping one `i32` counter each — `d` sequential adds per bundled
+/// vector. `BitSliceAccumulator` instead keeps the per-dimension count of
+/// absorbed 1-bits *bit-sliced* across [`CSA_PLANES`] planes: absorbing a
+/// word is a binary increment of 64 independent counters at once (`XOR` for
+/// the sum bit, `AND` for the carry), touching on average two plane words
+/// per absorbed word — ~64× less work than per-bit counting. Once the
+/// planes near capacity (or at the end), [`flush`](Self::flush) folds them
+/// into ordinary integer counters, so arbitrarily many vectors can be
+/// bundled.
+///
+/// The counter convention matches [`PackedAccumulator`]: a `+1` bit (0)
+/// contributes `+1`, a `−1` bit (1) contributes `−1`, and ties threshold to
+/// `+1`.
+///
+/// # Example
+///
+/// ```
+/// use smore_packed::{BitSliceAccumulator, PackedAccumulator, PackedHypervector};
+///
+/// # fn main() -> Result<(), smore_hdc::HdcError> {
+/// let a = PackedHypervector::from_signs(&[1.0, 1.0, -1.0]);
+/// let b = PackedHypervector::from_signs(&[1.0, -1.0, -1.0]);
+/// let mut swar = BitSliceAccumulator::new(3);
+/// let mut reference = PackedAccumulator::new(3);
+/// for hv in [&a, &b] {
+///     swar.absorb(hv)?;
+///     reference.accumulate(hv)?;
+/// }
+/// let mut counts = vec![0i32; 3];
+/// swar.counts_into(&mut counts);
+/// assert_eq!(&counts, reference.counts());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSliceAccumulator {
+    /// Word-major plane stack: `CSA_PLANES` counter bits per storage word.
+    planes: Vec<u64>,
+    /// Flushed per-dimension totals of absorbed 1-bits.
+    ones: Vec<i32>,
+    /// Words absorbed since the last flush (bounded by [`CSA_CAPACITY`]).
+    pending: u32,
+    /// Total words absorbed since the last reset.
+    absorbed: i32,
+    dim: usize,
+}
+
+impl BitSliceAccumulator {
+    /// A zeroed accumulator of dimension `dim`.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            planes: vec![0u64; words_for(dim) * CSA_PLANES],
+            ones: vec![0i32; dim],
+            pending: 0,
+            absorbed: 0,
+            dim,
+        }
+    }
+
+    /// Dimensionality of the accumulator.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of hypervectors absorbed since the last reset.
+    pub fn absorbed(&self) -> i32 {
+        self.absorbed
+    }
+
+    /// Clears all state for reuse without reallocating.
+    pub fn reset(&mut self) {
+        self.planes.iter_mut().for_each(|w| *w = 0);
+        self.ones.iter_mut().for_each(|c| *c = 0);
+        self.pending = 0;
+        self.absorbed = 0;
+    }
+
+    /// Absorbs one packed hypervector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] when dimensions differ.
+    pub fn absorb(&mut self, hv: &PackedHypervector) -> Result<()> {
+        if hv.dim() != self.dim {
+            return Err(HdcError::DimensionMismatch { expected: self.dim, actual: hv.dim() });
+        }
+        self.absorb_stream(hv.words().iter().copied());
+        Ok(())
+    }
+
+    /// Absorbs the *binding* `a ⊕ b` of two word buffers without
+    /// materialising it — the fused signature-integration primitive: binding
+    /// a ±1 bundle element with a ±1 signature is a per-dimension sign
+    /// flip, i.e. one XOR folded into the bundling read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` and `b` are not both `words_for(dim)` long.
+    pub fn absorb_bound(&mut self, a: &[u64], b: &[u64]) {
+        let nw = words_for(self.dim);
+        assert_eq!(a.len(), nw, "absorb_bound: bad operand length");
+        assert_eq!(b.len(), nw, "absorb_bound: bad operand length");
+        self.absorb_stream(a.iter().zip(b).map(|(&x, &y)| x ^ y));
+    }
+
+    /// The shared absorb core: one binary increment of 64 bit-sliced
+    /// counters per word — XOR is the sum bit, AND the carry into the next
+    /// plane; the carry chain dies after ~2 planes on average.
+    fn absorb_stream(&mut self, words: impl Iterator<Item = u64>) {
+        if self.pending == CSA_CAPACITY {
+            self.flush();
+        }
+        for (w, word) in words.enumerate() {
+            let mut carry = word;
+            let base = w * CSA_PLANES;
+            let mut j = 0usize;
+            while carry != 0 {
+                debug_assert!(j < CSA_PLANES, "plane overflow despite capacity flush");
+                let slot = &mut self.planes[base + j];
+                let next = *slot & carry;
+                *slot ^= carry;
+                carry = next;
+                j += 1;
+            }
+        }
+        self.pending += 1;
+        self.absorbed += 1;
+    }
+
+    /// Folds the pending plane counters into the integer `ones` totals and
+    /// zeroes the planes. Called automatically at capacity and by
+    /// [`counts_into`](Self::counts_into)/[`finish`](Self::finish); callers
+    /// never need it for correctness.
+    pub fn flush(&mut self) {
+        if self.pending == 0 {
+            return;
+        }
+        // Only planes that can be non-zero for `pending` absorbed words.
+        let used = (u32::BITS - self.pending.leading_zeros()) as usize;
+        let nw = words_for(self.dim);
+        for w in 0..nw {
+            let base_bit = w * WORD_BITS;
+            for (j, plane) in
+                self.planes[w * CSA_PLANES..w * CSA_PLANES + used].iter_mut().enumerate()
+            {
+                let mut word = *plane;
+                *plane = 0;
+                let weight = 1i32 << j;
+                while word != 0 {
+                    let b = word.trailing_zeros() as usize;
+                    self.ones[base_bit + b] += weight;
+                    word &= word - 1;
+                }
+            }
+        }
+        self.pending = 0;
+    }
+
+    /// Writes the signed majority counters (`absorbed − 2·ones`, matching
+    /// [`PackedAccumulator::counts`]) into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != dim`.
+    pub fn counts_into(&mut self, out: &mut [i32]) {
+        assert_eq!(out.len(), self.dim, "counts_into: bad output length");
+        self.flush();
+        for (o, &ones) in out.iter_mut().zip(&self.ones) {
+            *o = self.absorbed - 2 * ones;
+        }
+    }
+
+    /// Majority threshold, identical to [`PackedAccumulator::finish`]:
+    /// positive counters → `+1`, negative → `−1`, ties → `+1`.
+    pub fn finish(&mut self) -> PackedHypervector {
+        self.flush();
+        let mut out = PackedHypervector::zeros(self.dim);
+        let absorbed = self.absorbed;
+        let ones = &self.ones;
+        out.fill_with(|i| absorbed - 2 * ones[i] < 0);
+        out
     }
 }
 
@@ -507,6 +745,82 @@ mod tests {
         assert_eq!(words_for(64), 1);
         assert_eq!(words_for(65), 2);
         assert!(PackedHypervector::zeros(0).is_empty());
+    }
+
+    #[test]
+    fn bit_slice_accumulator_matches_packed_accumulator() {
+        for dim in [64usize, 256, 70, 5, 192] {
+            let mut swar = BitSliceAccumulator::new(dim);
+            let mut reference = PackedAccumulator::new(dim);
+            for seed in 0..10 {
+                let hv = random_packed(seed, dim);
+                swar.absorb(&hv).unwrap();
+                reference.accumulate(&hv).unwrap();
+            }
+            assert_eq!(swar.absorbed(), 10);
+            let mut counts = vec![0i32; dim];
+            swar.counts_into(&mut counts);
+            assert_eq!(counts.as_slice(), reference.counts(), "dim {dim}");
+            assert_eq!(swar.finish(), reference.finish(), "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn bit_slice_accumulator_flushes_past_capacity() {
+        // 600 absorbs force two automatic capacity flushes (capacity 255).
+        let dim = 128;
+        let mut swar = BitSliceAccumulator::new(dim);
+        let mut reference = PackedAccumulator::new(dim);
+        for seed in 0..600 {
+            let hv = random_packed(seed, dim);
+            swar.absorb(&hv).unwrap();
+            reference.accumulate(&hv).unwrap();
+        }
+        let mut counts = vec![0i32; dim];
+        swar.counts_into(&mut counts);
+        assert_eq!(counts.as_slice(), reference.counts());
+    }
+
+    #[test]
+    fn bit_slice_accumulator_bound_absorb_folds_signature() {
+        let dim = 256;
+        let a = random_packed(30, dim);
+        let sig = random_packed(31, dim);
+        let mut swar = BitSliceAccumulator::new(dim);
+        swar.absorb_bound(a.words(), sig.words());
+        let mut reference = PackedAccumulator::new(dim);
+        reference.accumulate(&a.xor(&sig).unwrap()).unwrap();
+        let mut counts = vec![0i32; dim];
+        swar.counts_into(&mut counts);
+        assert_eq!(counts.as_slice(), reference.counts());
+    }
+
+    #[test]
+    fn bit_slice_accumulator_reset_reuses_storage() {
+        let dim = 192;
+        let mut swar = BitSliceAccumulator::new(dim);
+        swar.absorb(&random_packed(40, dim)).unwrap();
+        swar.reset();
+        assert_eq!(swar.absorbed(), 0);
+        assert_eq!(swar.dim(), dim);
+        let mut counts = vec![1i32; dim];
+        swar.counts_into(&mut counts);
+        assert!(counts.iter().all(|&c| c == 0), "reset clears all counters");
+        // Ties after reset threshold to +1, like a fresh accumulator.
+        assert_eq!(swar.finish(), PackedHypervector::zeros(dim));
+        assert!(swar.absorb(&random_packed(41, 64)).is_err(), "dim mismatch still reported");
+    }
+
+    #[test]
+    fn fill_with_packs_words_and_preserves_padding() {
+        let mut a = PackedHypervector::zeros(70);
+        a.fill_with(|i| i % 3 == 0);
+        for i in 0..70 {
+            assert_eq!(a.get(i), i % 3 == 0, "bit {i}");
+        }
+        assert_eq!(a.words()[1] >> 6, 0, "padding must stay clear");
+        a.fill_with(|_| false);
+        assert_eq!(a.count_negatives(), 0);
     }
 
     #[test]

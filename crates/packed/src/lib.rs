@@ -20,9 +20,13 @@
 //! - [`PackedHypervector`] — the packed representation with XOR binding,
 //!   rotation and popcount Hamming similarity.
 //! - [`PackedAccumulator`] — counter-based majority bundling.
+//! - [`BitSliceAccumulator`] — word-parallel (SWAR) majority bundling
+//!   through carry-save-adder bit planes, ~64× less bundling work than the
+//!   per-bit counters.
 //! - [`PackedNgramEncoder`] — the multi-sensor temporal encoder of §3.3 on
 //!   packed codewords, exposing its integer accumulator for exact
-//!   sign-of-dense thresholding.
+//!   sign-of-dense thresholding; [`EncoderScratch`] makes the hot encode
+//!   path allocation-free.
 //! - [`PackedClassifier`] — popcount scoring with the same contract as the
 //!   dense `HdcClassifier`.
 //! - [`ResidualPacked`] — scaled multi-plane binarization (XNOR-Net-style)
@@ -61,8 +65,10 @@ mod hypervector;
 mod residual;
 
 pub use classifier::PackedClassifier;
-pub use encoder::PackedNgramEncoder;
-pub use hypervector::{words_for, PackedAccumulator, PackedHypervector, WORD_BITS};
+pub use encoder::{EncoderScratch, PackedNgramEncoder};
+pub use hypervector::{
+    words_for, BitSliceAccumulator, PackedAccumulator, PackedHypervector, WORD_BITS,
+};
 pub use residual::ResidualPacked;
 
 /// Result alias; the packed backend shares the dense HDC error vocabulary.

@@ -3,9 +3,12 @@
 //! the dense substrate, and dense-vs-packed classifier agreement.
 
 use proptest::prelude::*;
+use smore_hdc::encoder::EncoderConfig;
 use smore_hdc::model::HdcClassifier;
 use smore_hdc::Hypervector;
-use smore_packed::{PackedAccumulator, PackedClassifier, PackedHypervector};
+use smore_packed::{
+    EncoderScratch, PackedAccumulator, PackedClassifier, PackedHypervector, PackedNgramEncoder,
+};
 use smore_tensor::{init, Matrix};
 
 fn bipolar_hv(seed: u64, dim: usize) -> Vec<f32> {
@@ -159,5 +162,76 @@ proptest! {
             agree as f32 / queries as f32 >= 0.95,
             "agreement {}/{} below 95%", agree, queries
         );
+    }
+
+    #[test]
+    fn sliding_swar_encode_is_bit_exact_to_reference(
+        seed in any::<u64>(),
+        dim in 1usize..200,
+        sensors in 1usize..4,
+        ngram in 1usize..=6,
+        extra in 0usize..16,
+    ) {
+        // The incremental sliding-bind + SWAR-bundled serving path must
+        // reproduce the retained recompute path counter for counter —
+        // ragged (non-multiple-of-64) dims and every n-gram size included.
+        let cfg = EncoderConfig { dim, sensors, ngram, ..EncoderConfig::default() };
+        let enc = PackedNgramEncoder::new(cfg).unwrap();
+        let t_total = ngram + extra;
+        let mut rng = init::rng(seed);
+        let data = init::normal_vec(&mut rng, t_total * sensors);
+        let w = Matrix::from_vec(t_total, sensors, data).unwrap();
+        prop_assert_eq!(
+            enc.encode_counts(&w).unwrap(),
+            enc.encode_counts_reference(&w).unwrap()
+        );
+    }
+
+    #[test]
+    fn sliding_swar_encode_matches_reference_on_degenerate_windows(
+        seed in any::<u64>(),
+        dim in 1usize..150,
+        ngram in 1usize..=4,
+    ) {
+        let cfg = EncoderConfig { dim, sensors: 2, ngram, ..EncoderConfig::default() };
+        let enc = PackedNgramEncoder::new(cfg).unwrap();
+        let t_total = ngram + 9;
+
+        // Constant windows (zero span → mid-grid codeword everywhere).
+        let constant = Matrix::filled(t_total, 2, 2.5);
+        prop_assert_eq!(
+            enc.encode_counts(&constant).unwrap(),
+            enc.encode_counts_reference(&constant).unwrap()
+        );
+
+        // NaN-poisoned windows (non-finite samples snap mid-grid).
+        let mut rng = init::rng(seed);
+        let data = init::normal_vec(&mut rng, t_total * 2);
+        let mut w = Matrix::from_vec(t_total, 2, data).unwrap();
+        w.set((seed as usize) % t_total, (seed as usize) % 2, f32::NAN);
+        w.set((seed as usize / 7) % t_total, (seed as usize / 3) % 2, f32::INFINITY);
+        prop_assert_eq!(
+            enc.encode_counts(&w).unwrap(),
+            enc.encode_counts_reference(&w).unwrap()
+        );
+    }
+
+    #[test]
+    fn scratch_encode_window_matches_allocating_encode(
+        seed in any::<u64>(),
+        dim in 1usize..300,
+    ) {
+        // encode_window_into through a reused scratch ≡ fresh encode_window.
+        let cfg = EncoderConfig { dim, sensors: 2, ..EncoderConfig::default() };
+        let enc = PackedNgramEncoder::new(cfg).unwrap();
+        let mut scratch = EncoderScratch::new();
+        let mut out = PackedHypervector::zeros(dim);
+        let mut rng = init::rng(seed);
+        for _ in 0..3 {
+            let data = init::normal_vec(&mut rng, 24);
+            let w = Matrix::from_vec(12, 2, data).unwrap();
+            enc.encode_window_into(&w, &mut scratch, &mut out).unwrap();
+            prop_assert_eq!(&out, &enc.encode_window(&w).unwrap());
+        }
     }
 }

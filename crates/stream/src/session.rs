@@ -3,7 +3,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use smore::{Prediction, QuantizedSmore, Smore, SmoreError};
+use smore::{Prediction, QuantizedSmore, ServeScratch, Smore, SmoreError};
 use smore_tensor::Matrix;
 
 use crate::buffer::{BufferedQuery, OodBuffer};
@@ -173,6 +173,9 @@ pub struct StreamingSmore {
     config: StreamingConfig,
     buffer: OodBuffer,
     detector: DriftDetector,
+    /// Per-session serving scratch: the ingest hot loop encodes and scores
+    /// through it, so steady-state serving performs no heap allocation.
+    scratch: ServeScratch,
     drift_delta: f32,
     next_tag: usize,
     step: usize,
@@ -196,6 +199,7 @@ impl StreamingSmore {
             handle: SnapshotHandle::new(snapshot),
             buffer: OodBuffer::new(config.buffer_capacity),
             detector: DriftDetector::new(config.drift_window, config.drift_threshold),
+            scratch: ServeScratch::new(),
             drift_delta: config.drift_delta.unwrap_or(model.config().delta_star),
             next_tag,
             step: 0,
@@ -327,8 +331,10 @@ impl StreamingSmore {
 
     fn observe(&mut self, window: &Matrix, true_label: Option<usize>) -> Result<StreamOutcome> {
         // Serve from the quantized snapshot — the exact model external
-        // serving threads see.
-        let prediction = self.handle.load().predict_window(window)?;
+        // serving threads see — through the session's reusable scratch, so
+        // the serve step allocates nothing (the outcome's owned Prediction
+        // is the only copy made).
+        let prediction = self.handle.load().predict_window_with(window, &mut self.scratch)?.clone();
         let step = self.step;
         self.step += 1;
 

@@ -12,7 +12,7 @@
 
 use std::sync::{Arc, RwLock};
 
-use smore::{Prediction, QuantizedSmore};
+use smore::{Prediction, QuantizedSmore, ServeScratch};
 use smore_tensor::Matrix;
 
 use crate::Result;
@@ -56,6 +56,23 @@ impl SnapshotHandle {
     /// Propagates encoder errors for malformed windows.
     pub fn predict_window(&self, window: &Matrix) -> Result<Prediction> {
         self.load().predict_window(window)
+    }
+
+    /// Serves one window through a caller-owned [`ServeScratch`] — the
+    /// hot-loop variant for serving threads that hold one scratch each:
+    /// encoding and scoring reuse the scratch buffers across calls (and
+    /// across hot-swaps), so only the returned [`Prediction`] is
+    /// allocated.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoder errors for malformed windows.
+    pub fn predict_window_with(
+        &self,
+        window: &Matrix,
+        scratch: &mut ServeScratch,
+    ) -> Result<Prediction> {
+        Ok(self.load().predict_window_with(window, scratch)?.clone())
     }
 }
 
@@ -125,6 +142,23 @@ mod tests {
         let p = handle.predict_window(ds.window(0)).unwrap();
         assert!(p.label < ds.meta().num_classes);
         assert!(handle.predict_window(&Matrix::zeros(4, 99)).is_err());
+    }
+
+    #[test]
+    fn scratch_serving_survives_hot_swap() {
+        let (ds, mut dense, q) = quantized();
+        let handle = SnapshotHandle::new(q);
+        let mut scratch = ServeScratch::new();
+        let before = handle.predict_window_with(ds.window(0), &mut scratch).unwrap();
+        assert_eq!(before, handle.predict_window(ds.window(0)).unwrap());
+        // After a hot swap the same scratch serves the new model (its
+        // similarity buffers grow to the enrolled domain count).
+        let (w, l, _) = ds.gather(&(0..12).collect::<Vec<_>>());
+        dense.enroll_domain(&w, &l, 9).unwrap();
+        handle.publish(dense.quantize().unwrap());
+        let after = handle.predict_window_with(ds.window(0), &mut scratch).unwrap();
+        assert_eq!(after.domain_similarities.len(), 3);
+        assert_eq!(after, handle.predict_window(ds.window(0)).unwrap());
     }
 
     #[test]

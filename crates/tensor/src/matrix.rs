@@ -192,14 +192,30 @@ impl Matrix {
         self.data.chunks_exact(self.cols.max(1))
     }
 
+    /// Iterator over column `j`, top to bottom.
+    ///
+    /// Walks the row-major buffer with a fixed stride, so per-element
+    /// consumers pay neither the two-index bounds check nor the index
+    /// arithmetic of repeated [`get`](Self::get) calls — the column access
+    /// pattern of every encoder inner loop (one sensor = one column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols`.
+    pub fn col(&self, j: usize) -> impl Iterator<Item = f32> + '_ {
+        assert!(j < self.cols, "column {j} out of bounds for {} cols", self.cols);
+        // An empty matrix has no row 0 to start from; `min` keeps the
+        // slice start in bounds so the iterator is simply empty.
+        self.data[j.min(self.data.len())..].iter().step_by(self.cols).copied()
+    }
+
     /// Copies column `j` into a new vector.
     ///
     /// # Panics
     ///
     /// Panics if `j >= cols`.
     pub fn col_to_vec(&self, j: usize) -> Vec<f32> {
-        assert!(j < self.cols, "column {j} out of bounds for {} cols", self.cols);
-        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+        self.col(j).collect()
     }
 
     /// Returns a new matrix holding the selected rows, in order.
@@ -492,6 +508,30 @@ mod tests {
         let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
         assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
         assert_eq!(m.col_to_vec(2), vec![3.0, 6.0]);
+        assert_eq!(m.col(0).collect::<Vec<_>>(), vec![1.0, 4.0]);
+        assert_eq!(m.col(1).count(), 2);
+    }
+
+    #[test]
+    fn col_iterator_matches_get_everywhere() {
+        let m = Matrix::from_fn(5, 4, |i, j| (i * 4 + j) as f32);
+        for j in 0..4 {
+            let via_iter: Vec<f32> = m.col(j).collect();
+            let via_get: Vec<f32> = (0..5).map(|i| m.get(i, j)).collect();
+            assert_eq!(via_iter, via_get, "column {j}");
+        }
+        // Single-column and empty matrices.
+        let narrow = Matrix::from_vec(3, 1, vec![7.0, 8.0, 9.0]).unwrap();
+        assert_eq!(narrow.col(0).collect::<Vec<_>>(), vec![7.0, 8.0, 9.0]);
+        let empty = Matrix::zeros(0, 3);
+        assert_eq!(empty.col(2).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn col_out_of_bounds_panics() {
+        let m = Matrix::zeros(2, 2);
+        let _ = m.col(2);
     }
 
     #[test]
