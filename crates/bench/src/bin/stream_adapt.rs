@@ -13,7 +13,7 @@
 use std::time::Instant;
 
 use smore::{Smore, SmoreConfig};
-use smore_bench::{pct, print_table, secs};
+use smore_bench::{pct, predictor_accuracy, print_table, secs};
 use smore_data::generator::{generate, DomainSpec, GeneratorConfig};
 use smore_data::split;
 use smore_data::stream::{concept_drift_stream, DriftSegment, StreamConfig};
@@ -172,12 +172,15 @@ fn main() {
     );
     let detection_latency = detection_step - drift_onset;
 
-    // Pre/post accuracy on the same held-back evaluation tail.
+    // Pre/post accuracy on the same held-back evaluation tail, both
+    // scored through the unified Predictor interface (the pinned pre-swap
+    // snapshot vs the hot-swapped current one).
     let eval_w: Vec<_> =
         items.iter().filter(|i| i.segment == 2).map(|i| i.window.clone()).collect();
     let eval_l: Vec<_> = items.iter().filter(|i| i.segment == 2).map(|i| i.label).collect();
-    let pre = pre_snapshot.evaluate(&eval_w, &eval_l).expect("evaluation succeeds").accuracy;
-    let post = session.snapshot().evaluate(&eval_w, &eval_l).expect("evaluation succeeds").accuracy;
+    let pre = predictor_accuracy(&*pre_snapshot, &eval_w, &eval_l).expect("evaluation succeeds");
+    let post =
+        predictor_accuracy(&*session.snapshot(), &eval_w, &eval_l).expect("evaluation succeeds");
 
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
     let pick = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize] * 1e3;

@@ -1,24 +1,30 @@
 //! Serving throughput: dense vs quantized (bit-packed) inference on the
-//! USC-HAD-like preset, the raw encode path (dense vs the word-parallel
-//! packed path vs the retained reference recompute), plus the raw
-//! similarity-kernel comparison at the paper's dimensionality (`d = 8192`).
+//! USC-HAD-like preset — both measured through the unified
+//! [`smore::Predictor`] interface — the raw encode path (dense vs the
+//! word-parallel packed path vs the retained reference recompute), the raw
+//! similarity-kernel comparison at the paper's dimensionality
+//! (`d = 8192`), and the serving-fleet **cold start**: `.smore` artifact
+//! load plus first prediction.
 //!
 //! Emits machine-readable JSON to `BENCH_throughput.json` so the perf
 //! trajectory is tracked across PRs. Schema: a list of entries with `op`
 //! (`predict` end-to-end window prediction, `encode` raw window encoding,
-//! `similarity_d8192` raw kernel), `backend` (`dense` | `packed` |
-//! `packed_reference`), `windows_per_sec` (ops/sec for kernel rows) and
+//! `similarity_d8192` raw kernel, `cold_start` artifact load + first
+//! prediction), `backend` (`dense` | `packed` | `packed_reference`),
+//! `windows_per_sec` (ops/sec for kernel and cold-start rows) and
 //! `p50_ms`/`p95_ms` per-call latency percentiles. The `packed_reference`
 //! encode row is the pre-optimisation recompute path, kept as a measured
 //! baseline so the win of the sliding-bind + SWAR path stays auditable.
 //!
-//! `--op <all|predict|encode|similarity>` restricts the run to one op
-//! family (the CI smoke check uses `--op encode`, which needs no model
-//! training); partial runs do not rewrite `BENCH_throughput.json`.
+//! `--op <all|predict|encode|similarity|cold_start>` restricts the run to
+//! one op family (the CI smoke checks use `--op encode`, which needs no
+//! model training, and a scaled-down `--op cold_start`); partial runs do
+//! not rewrite `BENCH_throughput.json`.
 
 use std::time::Instant;
 
-use smore_bench::{make_smore, pct, print_table, BenchProfile};
+use smore::{Predictor, QuantizedSmore, ServeScratch};
+use smore_bench::{make_smore, pct, predictor_accuracy, print_table, BenchProfile};
 use smore_data::presets::usc_had;
 use smore_data::split;
 use smore_hdc::encoder::{EncoderConfig, MultiSensorEncoder};
@@ -41,6 +47,7 @@ enum OpFilter {
     Predict,
     Encode,
     Similarity,
+    ColdStart,
 }
 
 impl OpFilter {
@@ -53,10 +60,11 @@ impl OpFilter {
                     Some("predict") => Self::Predict,
                     Some("encode") => Self::Encode,
                     Some("similarity") => Self::Similarity,
+                    Some("cold_start") => Self::ColdStart,
                     Some("all") => Self::All,
                     other => {
                         eprintln!(
-                            "--op needs a value of predict|encode|similarity|all, got {}",
+                            "--op needs a value of predict|encode|similarity|cold_start|all, got {}",
                             other.map_or_else(|| "nothing".into(), |o| format!("'{o}'"))
                         );
                         std::process::exit(2);
@@ -98,6 +106,53 @@ fn time_calls(calls: usize, mut f: impl FnMut()) -> (f64, Vec<f64>) {
     }
     let total = t0.elapsed().as_secs_f64();
     (calls as f64 / total.max(1e-12), latencies)
+}
+
+/// Measures one serving backend end-to-end through the unified
+/// [`Predictor`] interface — the same code path for the dense and packed
+/// models (no per-backend match arms): batch windows/sec over the full
+/// held-out set plus per-window latency percentiles over the probe subset,
+/// served through one reusable scratch as a serving thread would.
+fn predict_entry(
+    backend_name: &'static str,
+    backend: &dyn Predictor,
+    windows: &[Matrix],
+    probe: usize,
+) -> Entry {
+    let t0 = Instant::now();
+    backend.predict_batch(windows).expect("prediction succeeds");
+    let per_sec = windows.len() as f64 / t0.elapsed().as_secs_f64();
+    let mut scratch = ServeScratch::new();
+    let mut latencies = Vec::with_capacity(probe);
+    for w in &windows[..probe] {
+        let t = Instant::now();
+        backend.predict_window_with(w, &mut scratch).expect("prediction succeeds");
+        latencies.push(t.elapsed().as_secs_f64());
+    }
+    let (p50, p95) = latency_percentiles(latencies);
+    Entry { op: "predict", backend: backend_name, per_sec, p50_ms: p50, p95_ms: p95 }
+}
+
+/// The serving-fleet cold start: one `.smore` artifact load
+/// ([`QuantizedSmore::load`]) plus the first prediction through a fresh
+/// scratch, per timed call. `windows_per_sec` is cold starts per second.
+fn cold_start_entry(quantized: &QuantizedSmore, window: &Matrix) -> Entry {
+    let path = std::env::temp_dir().join(format!("smore_coldstart_{}.smore", std::process::id()));
+    quantized.save(&path).expect("artifact write succeeds");
+    let artifact_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    let (per_sec, latencies) = time_calls(60, || {
+        let model = QuantizedSmore::load(&path).expect("artifact loads");
+        let mut scratch = ServeScratch::new();
+        let p = model.predict_window_with(window, &mut scratch).expect("prediction succeeds");
+        assert!(p.label < model.config().num_classes);
+    });
+    std::fs::remove_file(&path).ok();
+    let (p50, p95) = latency_percentiles(latencies);
+    println!(
+        "cold start: {:.1} KiB artifact, load + first prediction p50 {p50:.3} ms",
+        artifact_bytes as f64 / 1024.0
+    );
+    Entry { op: "cold_start", backend: "packed", per_sec, p50_ms: p50, p95_ms: p95 }
 }
 
 /// Measures one encode backend over `windows`, cycling until `calls`
@@ -221,7 +276,8 @@ fn main() {
 
     println!("# Serving throughput: dense vs quantized (USC-HAD-like, d = {})", profile.dim);
 
-    if ops.includes(OpFilter::Predict) {
+    // Predict and cold-start both need the trained model; train it once.
+    let trained = if ops.includes(OpFilter::Predict) || ops.includes(OpFilter::ColdStart) {
         println!(
             "\ntraining dense SMORE on {} windows ({} held-out queries)...",
             train.len(),
@@ -230,56 +286,25 @@ fn main() {
         let mut dense = make_smore(&dataset, &profile).expect("profile builds a valid model");
         dense.fit_indices(&dataset, &train).expect("training succeeds");
         let quantized = dense.quantize().expect("model is fitted");
+        Some((dense, quantized))
+    } else {
+        None
+    };
 
-        // End-to-end accuracy sanity on the held-out domain.
-        let dense_eval = dense.evaluate(&windows, &labels).expect("evaluation succeeds");
-        let quant_eval = quantized.evaluate(&windows, &labels).expect("evaluation succeeds");
-
-        // Batch throughput (windows/sec) over the full held-out domain.
-        let t0 = Instant::now();
-        dense.predict_batch(&windows).expect("prediction succeeds");
-        let dense_wps = windows.len() as f64 / t0.elapsed().as_secs_f64();
-        let t0 = Instant::now();
-        quantized.predict_batch(&windows).expect("prediction succeeds");
-        let quant_wps = windows.len() as f64 / t0.elapsed().as_secs_f64();
-
-        // Per-window latency percentiles over a probe subset; the packed
-        // side serves through a reusable scratch, as a serving thread would.
-        let mut scratch = smore::ServeScratch::new();
-        let mut dense_lat = Vec::with_capacity(probe);
-        let mut quant_lat = Vec::with_capacity(probe);
-        for w in &windows[..probe] {
-            let t = Instant::now();
-            dense.predict_window(w).expect("prediction succeeds");
-            dense_lat.push(t.elapsed().as_secs_f64());
-            let t = Instant::now();
-            quantized.predict_window_with(w, &mut scratch).expect("prediction succeeds");
-            quant_lat.push(t.elapsed().as_secs_f64());
+    if ops.includes(OpFilter::Predict) {
+        let (dense, quantized) = trained.as_ref().expect("trained above");
+        // Both backends route through the unified Predictor interface —
+        // accuracy sanity and the full measurement share one code path.
+        let backends: [(&'static str, &dyn Predictor); 2] =
+            [("dense", dense), ("packed", quantized)];
+        for (name, backend) in backends {
+            let accuracy =
+                predictor_accuracy(backend, &windows, &labels).expect("evaluation succeeds");
+            println!("held-out accuracy ({name}): {}", pct(accuracy));
+            entries.push(predict_entry(name, backend, &windows, probe));
         }
-        let (d50, d95) = latency_percentiles(dense_lat);
-        let (q50, q95) = latency_percentiles(quant_lat);
-
-        entries.push(Entry {
-            op: "predict",
-            backend: "dense",
-            per_sec: dense_wps,
-            p50_ms: d50,
-            p95_ms: d95,
-        });
-        entries.push(Entry {
-            op: "predict",
-            backend: "packed",
-            per_sec: quant_wps,
-            p50_ms: q50,
-            p95_ms: q95,
-        });
-
-        println!(
-            "\nheld-out accuracy: dense {}, quantized {}",
-            pct(dense_eval.accuracy),
-            pct(quant_eval.accuracy)
-        );
-        println!("end-to-end speedup: {:.2}x windows/sec", quant_wps / dense_wps);
+        let speedup = entries[entries.len() - 1].per_sec / entries[entries.len() - 2].per_sec;
+        println!("end-to-end speedup: {speedup:.2}x windows/sec");
         println!(
             "packed model footprint: {:.1} KiB (vs {:.1} KiB dense class+descriptor f32)",
             quantized.storage_bytes() as f64 / 1024.0,
@@ -289,6 +314,11 @@ fn main() {
                 * std::mem::size_of::<f32>()) as f64
                 / 1024.0
         );
+    }
+
+    if ops.includes(OpFilter::ColdStart) {
+        let (_, quantized) = trained.as_ref().expect("trained above");
+        entries.push(cold_start_entry(quantized, &windows[0]));
     }
 
     if ops.includes(OpFilter::Encode) {

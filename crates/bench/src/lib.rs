@@ -187,6 +187,24 @@ pub fn all_algorithms<'a>(
     ]
 }
 
+/// Accuracy of any serving backend on a labelled window set, through the
+/// unified [`smore::Predictor`] interface — dense, quantized and
+/// snapshot-handle backends all route through the same call instead of
+/// per-backend match arms.
+///
+/// # Errors
+///
+/// Propagates prediction errors (malformed windows, unfitted model).
+pub fn predictor_accuracy(
+    backend: &dyn smore::Predictor,
+    windows: &[smore_tensor::Matrix],
+    labels: &[usize],
+) -> Result<f32, BoxError> {
+    let predictions = backend.predict_batch(windows)?;
+    let correct = predictions.iter().zip(labels).filter(|(p, &l)| p.label == l).count();
+    Ok(correct as f32 / windows.len().max(1) as f32)
+}
+
 /// Prints a markdown-style table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n## {title}\n");

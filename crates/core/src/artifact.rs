@@ -1,0 +1,1149 @@
+//! Versioned, self-describing `.smore` model artifacts.
+//!
+//! Everything the repo could do before this module died with its process:
+//! a model trained on one machine could not be fanned out to a serving
+//! fleet, resumed for adaptation, or pinned as a regression fixture. The
+//! `.smore` format closes that gap for both serving surfaces:
+//!
+//! - [`QuantizedSmore::save`] / [`QuantizedSmore::load`] — the frozen
+//!   bit-packed serving model, **bit-exact** across the round trip: every
+//!   codebook word, residual plane, Gram entry and centring statistic is
+//!   stored verbatim (the pre-rotated sliding-bind codebooks included), so
+//!   a loaded snapshot reproduces the original's predictions to the bit.
+//! - [`Smore::save`] / [`Smore::load`] — the dense model needed to *resume
+//!   adaptation* (enrol new domains, re-quantize). Codebooks are not
+//!   stored: dense encoding is deterministic in the configuration seed, so
+//!   the encoder is rebuilt exactly from the config plus the fitted value
+//!   ranges.
+//!
+//! # Wire format
+//!
+//! Everything is little-endian. A 16-byte header —
+//!
+//! ```text
+//! magic "SMOREHDC" (8) | version u16 | kind u8 | reserved u8 | section_count u32
+//! ```
+//!
+//! — is followed by `section_count` sections, each
+//!
+//! ```text
+//! section_id u32 | payload_crc32 u32 | payload_len u64 | payload bytes
+//! ```
+//!
+//! Per-section CRC-32 (IEEE) catches bit rot and truncation before any
+//! payload is decoded; every length is bounds-checked against the buffer
+//! before allocation, so corrupt bytes produce
+//! [`SmoreError::CorruptArtifact`] — never a panic or an absurd
+//! allocation. Readers reject unknown section ids and unknown format
+//! versions outright (forward compatibility by refusal: a file written by
+//! a newer writer is reported as such, not misparsed), and a trailing-byte
+//! or duplicate-section container is likewise rejected.
+//!
+//! The format is hand-rolled rather than serde-derived deliberately: the
+//! build environment vendors all dependencies offline, and the payloads
+//! are raw `u64`/`f32` arrays for which an explicit layout is both the
+//! simplest and the only bit-exactness-auditable choice.
+
+use std::path::Path;
+use std::sync::OnceLock;
+
+use smore_hdc::encoder::{EncoderConfig, MultiSensorEncoder, ValueRange};
+use smore_hdc::memory::Quantization;
+use smore_hdc::model::HdcClassifier;
+use smore_packed::{PackedHypervector, PackedNgramEncoder, ResidualPacked};
+use smore_tensor::Matrix;
+
+use crate::centering::Centerer;
+use crate::config::{DomainInit, RangeMode, SmoreConfig};
+use crate::descriptor::DomainDescriptors;
+use crate::smore_model::{ChannelStats, Fitted, Smore};
+use crate::{QuantizedSmore, Result, SmoreError};
+
+/// Magic bytes opening every `.smore` artifact.
+pub const MAGIC: [u8; 8] = *b"SMOREHDC";
+
+/// Current artifact format version. Bump on any layout change; readers
+/// reject every version they were not built for.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// What a `.smore` artifact contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactKind {
+    /// A frozen [`QuantizedSmore`] serving model.
+    Quantized,
+    /// A fitted dense [`Smore`] (resumable for adaptation).
+    Dense,
+}
+
+impl ArtifactKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            ArtifactKind::Quantized => 1,
+            ArtifactKind::Dense => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self> {
+        match b {
+            1 => Ok(ArtifactKind::Quantized),
+            2 => Ok(ArtifactKind::Dense),
+            other => Err(SmoreError::corrupt("header", format!("unknown artifact kind {other}"))),
+        }
+    }
+}
+
+// Section ids. Shared sections first, then kind-specific ones.
+const SEC_CONFIG: u32 = 1;
+const SEC_SCALER: u32 = 2;
+const SEC_CENTERING: u32 = 3;
+const SEC_DOMAIN_TAGS: u32 = 4;
+const SEC_ENCODER_RANGE: u32 = 5;
+const SEC_PACKED_DESCRIPTORS: u32 = 16;
+const SEC_PACKED_CLASSES: u32 = 17;
+const SEC_CLASS_GRAM: u32 = 18;
+const SEC_PACKED_CODEBOOKS: u32 = 19;
+const SEC_PACKED_CODEBOOKS_ROT: u32 = 20;
+const SEC_PACKED_SIGNATURES: u32 = 21;
+const SEC_DENSE_DESCRIPTORS: u32 = 32;
+const SEC_DOMAIN_MODELS: u32 = 33;
+
+/// Human-readable section name for error context.
+fn section_name(id: u32) -> &'static str {
+    match id {
+        SEC_CONFIG => "config",
+        SEC_SCALER => "scaler",
+        SEC_CENTERING => "centering",
+        SEC_DOMAIN_TAGS => "domain_tags",
+        SEC_ENCODER_RANGE => "encoder_range",
+        SEC_PACKED_DESCRIPTORS => "packed_descriptors",
+        SEC_PACKED_CLASSES => "packed_classes",
+        SEC_CLASS_GRAM => "class_gram",
+        SEC_PACKED_CODEBOOKS => "packed_codebooks",
+        SEC_PACKED_CODEBOOKS_ROT => "packed_codebooks_rot",
+        SEC_PACKED_SIGNATURES => "packed_signatures",
+        SEC_DENSE_DESCRIPTORS => "dense_descriptors",
+        SEC_DOMAIN_MODELS => "domain_models",
+        _ => "unknown",
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the checksum
+/// of gzip/PNG, hand-rolled because no checksum crate is vendored.
+fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 == 1 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        table
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// Sniffs the header of artifact bytes: magic, version and kind — without
+/// decoding any section. Used to route a file to the right loader (e.g.
+/// `smore_stream::ServeEngine::from_artifact`) and by tooling.
+///
+/// # Errors
+///
+/// Returns [`SmoreError::CorruptArtifact`] for a short buffer, wrong
+/// magic, unsupported version or unknown kind byte.
+pub fn kind_of(bytes: &[u8]) -> Result<ArtifactKind> {
+    if bytes.len() < 16 {
+        return Err(SmoreError::corrupt(
+            "header",
+            format!("{} bytes is shorter than the 16-byte header", bytes.len()),
+        ));
+    }
+    if bytes[..8] != MAGIC {
+        return Err(SmoreError::corrupt("header", "bad magic (not a .smore artifact)"));
+    }
+    let version = u16::from_le_bytes([bytes[8], bytes[9]]);
+    if version != FORMAT_VERSION {
+        return Err(SmoreError::corrupt(
+            "header",
+            format!(
+                "format version {version} is not supported (this build reads {FORMAT_VERSION})"
+            ),
+        ));
+    }
+    if bytes[11] != 0 {
+        return Err(SmoreError::corrupt("header", "reserved header byte must be zero"));
+    }
+    ArtifactKind::from_byte(bytes[10])
+}
+
+// ---------------------------------------------------------------------------
+// Payload writer / reader primitives
+// ---------------------------------------------------------------------------
+
+/// Little-endian payload builder for one section.
+#[derive(Default)]
+struct Payload {
+    bytes: Vec<u8>,
+}
+
+impl Payload {
+    fn u8(&mut self, v: u8) {
+        self.bytes.push(v);
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn len_of(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn f32(&mut self, v: f32) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f32s(&mut self, vs: &[f32]) {
+        for &v in vs {
+            self.f32(v);
+        }
+    }
+
+    fn words(&mut self, ws: &[u64]) {
+        for &w in ws {
+            self.u64(w);
+        }
+    }
+}
+
+/// Bounds-checked little-endian reader over one section's payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    section: &'static str,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8], section: &'static str) -> Self {
+        Self { bytes, pos: 0, section }
+    }
+
+    fn corrupt(&self, reason: impl Into<String>) -> SmoreError {
+        SmoreError::corrupt(self.section, reason)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| self.corrupt(format!("payload truncated at byte {}", self.pos)))?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a u64 count/length and checks it fits in `usize`.
+    fn len(&mut self, what: &str) -> Result<usize> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| self.corrupt(format!("{what} count {v} overflows usize")))
+    }
+
+    /// Reads an item count and rejects it unless `count ×
+    /// min_bytes_per_item` still fits in the unread payload — so a
+    /// crafted count can never size an allocation beyond the artifact's
+    /// own byte length (a valid CRC is no protection: whoever writes the
+    /// file writes the checksum too).
+    fn count(&mut self, what: &str, min_bytes_per_item: usize) -> Result<usize> {
+        let n = self.len(what)?;
+        let remaining = self.bytes.len() - self.pos;
+        let need = n.checked_mul(min_bytes_per_item.max(1));
+        if need.is_none_or(|need| need > remaining) {
+            return Err(
+                self.corrupt(format!("{what} count {n} exceeds the {remaining}-byte payload"))
+            );
+        }
+        Ok(n)
+    }
+
+    fn f32(&mut self) -> Result<f32> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads `n` f32 values; the byte bound is checked *before* the
+    /// allocation, so corrupt counts cannot trigger huge allocations.
+    fn f32s(&mut self, n: usize) -> Result<Vec<f32>> {
+        let raw =
+            self.take(n.checked_mul(4).ok_or_else(|| self.corrupt("f32 run length overflows"))?)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+
+    /// Reads `n` u64 storage words (bounds-checked like [`f32s`](Self::f32s)).
+    fn words(&mut self, n: usize) -> Result<Vec<u64>> {
+        let raw =
+            self.take(n.checked_mul(8).ok_or_else(|| self.corrupt("word run length overflows"))?)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
+    }
+
+    /// Requires the payload to be fully consumed.
+    fn finish(self) -> Result<()> {
+        if self.pos != self.bytes.len() {
+            return Err(self.corrupt(format!(
+                "{} unread trailing bytes in payload",
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container
+// ---------------------------------------------------------------------------
+
+/// Assembles the header + section table around the given payloads.
+fn write_container(kind: ArtifactKind, sections: &[(u32, Vec<u8>)]) -> Vec<u8> {
+    let body: usize = sections.iter().map(|(_, p)| 16 + p.len()).sum();
+    let mut out = Vec::with_capacity(16 + body);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.push(kind.to_byte());
+    out.push(0); // reserved
+    out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    for (id, payload) in sections {
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(&crc32(payload).to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+/// A parsed section: `(id, payload)`.
+type Section<'a> = (u32, &'a [u8]);
+
+/// Walks the container: validates the header, every section's bounds and
+/// CRC, duplicate ids and trailing garbage. Returns `(kind, sections)`.
+fn parse_container(bytes: &[u8]) -> Result<(ArtifactKind, Vec<Section<'_>>)> {
+    let kind = kind_of(bytes)?;
+    let section_count = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
+    let mut sections: Vec<(u32, &[u8])> = Vec::with_capacity(section_count.min(64));
+    let mut pos = 16usize;
+    for i in 0..section_count {
+        let header = bytes.get(pos..pos + 16).ok_or_else(|| {
+            SmoreError::corrupt(
+                "section_table",
+                format!("truncated at section {i} of {section_count}"),
+            )
+        })?;
+        let id = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        let len = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+        let len = usize::try_from(len).map_err(|_| {
+            SmoreError::corrupt(section_name(id), format!("section length {len} overflows usize"))
+        })?;
+        pos += 16;
+        let payload = bytes.get(pos..pos + len).ok_or_else(|| {
+            SmoreError::corrupt(
+                section_name(id),
+                format!("payload of {len} bytes truncated ({} remain)", bytes.len() - pos),
+            )
+        })?;
+        if crc32(payload) != crc {
+            return Err(SmoreError::corrupt(section_name(id), "checksum mismatch"));
+        }
+        if sections.iter().any(|&(seen, _)| seen == id) {
+            return Err(SmoreError::corrupt(section_name(id), "duplicate section"));
+        }
+        sections.push((id, payload));
+        pos += len;
+    }
+    if pos != bytes.len() {
+        return Err(SmoreError::corrupt(
+            "container",
+            format!("{} trailing bytes after the last section", bytes.len() - pos),
+        ));
+    }
+    Ok((kind, sections))
+}
+
+/// Looks up a required section, rejecting the artifact when it is absent.
+fn require<'a>(sections: &[(u32, &'a [u8])], id: u32) -> Result<Cursor<'a>> {
+    sections
+        .iter()
+        .find(|&&(sid, _)| sid == id)
+        .map(|&(_, payload)| Cursor::new(payload, section_name(id)))
+        .ok_or_else(|| SmoreError::corrupt(section_name(id), "required section missing"))
+}
+
+/// Rejects any section id outside `allowed` — the forward-compatibility
+/// refusal: a file carrying sections this build does not understand was
+/// written by a different (likely newer) writer and must not be misparsed.
+fn reject_unknown(sections: &[(u32, &[u8])], allowed: &[u32]) -> Result<()> {
+    for &(id, _) in sections {
+        if !allowed.contains(&id) {
+            return Err(SmoreError::corrupt(
+                "container",
+                format!("unknown section id {id} (written by a newer format version?)"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Shared section codecs
+// ---------------------------------------------------------------------------
+
+fn encode_config(config: &SmoreConfig) -> Vec<u8> {
+    let mut p = Payload::default();
+    p.len_of(config.dim);
+    p.len_of(config.channels);
+    p.len_of(config.num_classes);
+    p.len_of(config.ngram);
+    p.len_of(config.levels);
+    p.len_of(config.epochs);
+    p.len_of(config.threads);
+    p.u64(config.seed);
+    p.f32(config.delta_star);
+    p.f32(config.learning_rate);
+    p.f32(config.weight_power);
+    p.u8(match config.quantization {
+        Quantization::Interpolate => 0,
+        Quantization::LevelFlip => 1,
+    });
+    p.u8(match config.domain_init {
+        DomainInit::Shared => 0,
+        DomainInit::Independent => 1,
+    });
+    p.u8(config.center as u8);
+    p.u8(config.standardize as u8);
+    match &config.range {
+        RangeMode::FitGlobal => p.u8(0),
+        RangeMode::PerWindow => p.u8(1),
+        RangeMode::Fixed(ranges) => {
+            p.u8(2);
+            p.len_of(ranges.len());
+            for &(lo, hi) in ranges {
+                p.f32(lo);
+                p.f32(hi);
+            }
+        }
+    }
+    p.bytes
+}
+
+fn decode_config(mut c: Cursor<'_>) -> Result<SmoreConfig> {
+    let dim = c.len("dim")?;
+    let channels = c.len("channels")?;
+    let num_classes = c.len("num_classes")?;
+    let ngram = c.len("ngram")?;
+    let levels = c.len("levels")?;
+    let epochs = c.len("epochs")?;
+    let threads = c.len("threads")?;
+    let seed = c.u64()?;
+    let delta_star = c.f32()?;
+    let learning_rate = c.f32()?;
+    let weight_power = c.f32()?;
+    let quantization = match c.u8()? {
+        0 => Quantization::Interpolate,
+        1 => Quantization::LevelFlip,
+        other => return Err(c.corrupt(format!("unknown quantization tag {other}"))),
+    };
+    let domain_init = match c.u8()? {
+        0 => DomainInit::Shared,
+        1 => DomainInit::Independent,
+        other => return Err(c.corrupt(format!("unknown domain_init tag {other}"))),
+    };
+    let center = c.u8()? != 0;
+    let standardize = c.u8()? != 0;
+    let range = match c.u8()? {
+        0 => RangeMode::FitGlobal,
+        1 => RangeMode::PerWindow,
+        2 => {
+            let n = c.len("fixed range")?;
+            let flat =
+                c.f32s(n.checked_mul(2).ok_or_else(|| c.corrupt("range count overflows"))?)?;
+            RangeMode::Fixed(flat.chunks_exact(2).map(|p| (p[0], p[1])).collect())
+        }
+        other => return Err(c.corrupt(format!("unknown range mode tag {other}"))),
+    };
+    let config = SmoreConfig {
+        dim,
+        channels,
+        num_classes,
+        ngram,
+        levels,
+        quantization,
+        range,
+        delta_star,
+        learning_rate,
+        epochs,
+        center,
+        standardize,
+        domain_init,
+        weight_power,
+        threads,
+        seed,
+    };
+    c.finish()?;
+    config
+        .validate()
+        .map_err(|e| SmoreError::corrupt("config", format!("decoded config is invalid: {e}")))?;
+    Ok(config)
+}
+
+fn encode_scaler(scaler: &ChannelStats) -> Vec<u8> {
+    let mut p = Payload::default();
+    p.len_of(scaler.mean.len());
+    p.f32s(&scaler.mean);
+    p.f32s(&scaler.std);
+    p.bytes
+}
+
+fn decode_scaler(mut c: Cursor<'_>, channels: usize) -> Result<ChannelStats> {
+    let n = c.len("channel")?;
+    if n != channels {
+        return Err(c.corrupt(format!("{n} channel statistics for {channels} channels")));
+    }
+    let mean = c.f32s(n)?;
+    let std = c.f32s(n)?;
+    c.finish()?;
+    Ok(ChannelStats { mean, std })
+}
+
+fn encode_mean(mean: &[f32]) -> Vec<u8> {
+    let mut p = Payload::default();
+    p.len_of(mean.len());
+    p.f32s(mean);
+    p.bytes
+}
+
+fn decode_mean(mut c: Cursor<'_>, dim: usize) -> Result<Vec<f32>> {
+    let n = c.len("mean")?;
+    if n != dim {
+        return Err(c.corrupt(format!("centring mean of dim {n} for a dim-{dim} model")));
+    }
+    let mean = c.f32s(n)?;
+    c.finish()?;
+    Ok(mean)
+}
+
+fn encode_tags(tags: &[usize]) -> Vec<u8> {
+    let mut p = Payload::default();
+    p.len_of(tags.len());
+    for &t in tags {
+        p.len_of(t);
+    }
+    p.bytes
+}
+
+fn decode_tags(mut c: Cursor<'_>, expected: usize) -> Result<Vec<usize>> {
+    let n = c.len("tag")?;
+    if n != expected {
+        return Err(c.corrupt(format!("{n} domain tags for {expected} domains")));
+    }
+    let tags: Vec<usize> = (0..n).map(|_| c.len("tag value")).collect::<Result<_>>()?;
+    c.finish()?;
+    let mut seen = tags.clone();
+    seen.sort_unstable();
+    seen.dedup();
+    if seen.len() != tags.len() {
+        return Err(SmoreError::corrupt("domain_tags", "duplicate domain tag"));
+    }
+    Ok(tags)
+}
+
+fn encode_value_range(range: &ValueRange) -> Vec<u8> {
+    let mut p = Payload::default();
+    match range {
+        ValueRange::PerWindow => p.u8(0),
+        ValueRange::Global(ranges) => {
+            p.u8(1);
+            p.len_of(ranges.len());
+            for &(lo, hi) in ranges {
+                p.f32(lo);
+                p.f32(hi);
+            }
+        }
+    }
+    p.bytes
+}
+
+fn decode_value_range(mut c: Cursor<'_>, sensors: usize) -> Result<ValueRange> {
+    let range = match c.u8()? {
+        0 => ValueRange::PerWindow,
+        1 => {
+            let n = c.len("range")?;
+            if n != sensors {
+                return Err(c.corrupt(format!("{n} value ranges for {sensors} sensors")));
+            }
+            let flat = c.f32s(2 * n)?;
+            ValueRange::Global(flat.chunks_exact(2).map(|p| (p[0], p[1])).collect())
+        }
+        other => return Err(c.corrupt(format!("unknown value range tag {other}"))),
+    };
+    c.finish()?;
+    Ok(range)
+}
+
+/// The exact [`EncoderConfig`] a model's encoder was built with: derived
+/// from the model config the same way [`SmoreConfig::encoder_config`]
+/// derives it, with the *fitted* value range substituted.
+fn encoder_config_with_range(config: &SmoreConfig, range: ValueRange) -> EncoderConfig {
+    EncoderConfig {
+        dim: config.dim,
+        sensors: config.channels,
+        ngram: config.ngram,
+        levels: config.levels,
+        quantization: config.quantization,
+        range,
+        normalize: true,
+        seed: config.seed,
+    }
+}
+
+fn encode_packed_vectors(vectors: &[PackedHypervector]) -> Vec<u8> {
+    let mut p = Payload::default();
+    p.len_of(vectors.len());
+    for v in vectors {
+        p.words(v.words());
+    }
+    p.bytes
+}
+
+fn decode_packed_vectors(
+    c: &mut Cursor<'_>,
+    count: usize,
+    dim: usize,
+) -> Result<Vec<PackedHypervector>> {
+    let words_per = smore_packed::words_for(dim);
+    // Guard the collect's pre-allocation: `count` vectors need `count ×
+    // words_per × 8` payload bytes, which must already be present.
+    let remaining = c.bytes.len() - c.pos;
+    if count.checked_mul(words_per.max(1) * 8).is_none_or(|need| need > remaining) {
+        return Err(
+            c.corrupt(format!("{count} packed vectors exceed the {remaining}-byte payload"))
+        );
+    }
+    (0..count)
+        .map(|_| {
+            let words = c.words(words_per)?;
+            PackedHypervector::from_words(dim, words).map_err(|e| c.corrupt(e.to_string()))
+        })
+        .collect()
+}
+
+fn encode_codebooks(codebooks: &[Vec<PackedHypervector>]) -> Vec<u8> {
+    let mut p = Payload::default();
+    p.len_of(codebooks.len());
+    p.len_of(codebooks.first().map_or(0, Vec::len));
+    for levels in codebooks {
+        for v in levels {
+            p.words(v.words());
+        }
+    }
+    p.bytes
+}
+
+fn decode_codebooks(mut c: Cursor<'_>, dim: usize) -> Result<Vec<Vec<PackedHypervector>>> {
+    let sensors = c.count("sensor", 1)?;
+    let levels = c.len("level")?;
+    let books = (0..sensors)
+        .map(|_| decode_packed_vectors(&mut c, levels, dim))
+        .collect::<Result<Vec<_>>>()?;
+    c.finish()?;
+    Ok(books)
+}
+
+// ---------------------------------------------------------------------------
+// QuantizedSmore
+// ---------------------------------------------------------------------------
+
+fn quantized_to_bytes(model: &QuantizedSmore) -> Vec<u8> {
+    let mut classes_payload = Payload::default();
+    classes_payload.len_of(model.domain_classes.len());
+    classes_payload.len_of(model.config.num_classes);
+    for domain in &model.domain_classes {
+        for class in domain {
+            classes_payload.u8(class.num_planes() as u8);
+            for (alpha, plane) in class.planes() {
+                classes_payload.f32(*alpha);
+                classes_payload.words(plane.words());
+            }
+        }
+    }
+    let mut gram_payload = Payload::default();
+    gram_payload.len_of(model.class_gram.len());
+    gram_payload.len_of(model.domain_classes.len());
+    for gram in &model.class_gram {
+        gram_payload.f32s(gram);
+    }
+    let sections = vec![
+        (SEC_CONFIG, encode_config(&model.config)),
+        (SEC_SCALER, encode_scaler(&model.scaler)),
+        (SEC_CENTERING, encode_mean(&model.mean)),
+        (SEC_DOMAIN_TAGS, encode_tags(&model.domain_tags)),
+        (SEC_ENCODER_RANGE, encode_value_range(&model.encoder.config().range)),
+        (SEC_PACKED_DESCRIPTORS, encode_packed_vectors(&model.descriptors)),
+        (SEC_PACKED_CLASSES, classes_payload.bytes),
+        (SEC_CLASS_GRAM, gram_payload.bytes),
+        (SEC_PACKED_CODEBOOKS, encode_codebooks(model.encoder.codebooks())),
+        (SEC_PACKED_CODEBOOKS_ROT, encode_codebooks(model.encoder.codebooks_rot())),
+        (SEC_PACKED_SIGNATURES, encode_packed_vectors(model.encoder.signatures())),
+    ];
+    write_container(ArtifactKind::Quantized, &sections)
+}
+
+fn quantized_from_bytes(bytes: &[u8]) -> Result<QuantizedSmore> {
+    let (kind, sections) = parse_container(bytes)?;
+    if kind != ArtifactKind::Quantized {
+        return Err(SmoreError::corrupt(
+            "header",
+            "artifact holds a dense model; load it with Smore::load (and quantize)",
+        ));
+    }
+    reject_unknown(
+        &sections,
+        &[
+            SEC_CONFIG,
+            SEC_SCALER,
+            SEC_CENTERING,
+            SEC_DOMAIN_TAGS,
+            SEC_ENCODER_RANGE,
+            SEC_PACKED_DESCRIPTORS,
+            SEC_PACKED_CLASSES,
+            SEC_CLASS_GRAM,
+            SEC_PACKED_CODEBOOKS,
+            SEC_PACKED_CODEBOOKS_ROT,
+            SEC_PACKED_SIGNATURES,
+        ],
+    )?;
+
+    let config = decode_config(require(&sections, SEC_CONFIG)?)?;
+    let dim = config.dim;
+    let scaler = decode_scaler(require(&sections, SEC_SCALER)?, config.channels)?;
+    let mean = decode_mean(require(&sections, SEC_CENTERING)?, dim)?;
+
+    // Classes: [domain][class] residual planes. Every domain carries at
+    // least one plane-count byte per class, which bounds the count (and
+    // therefore every allocation sized by it) by the payload length.
+    let mut c = require(&sections, SEC_PACKED_CLASSES)?;
+    let num_domains = c.count("domain", config.num_classes.max(1))?;
+    if num_domains < 2 {
+        return Err(c.corrupt(format!("{num_domains} domains; SMORE serves K >= 2")));
+    }
+    let num_classes = c.len("class")?;
+    if num_classes != config.num_classes {
+        return Err(c.corrupt(format!(
+            "{num_classes} classes per domain for a {}-class config",
+            config.num_classes
+        )));
+    }
+    let words_per = smore_packed::words_for(dim);
+    let mut domain_classes = Vec::with_capacity(num_domains);
+    for _ in 0..num_domains {
+        let mut classes = Vec::with_capacity(num_classes);
+        for _ in 0..num_classes {
+            let planes = c.u8()? as usize;
+            if planes == 0 {
+                return Err(c.corrupt("class hypervector with zero residual planes"));
+            }
+            let planes = (0..planes)
+                .map(|_| {
+                    let alpha = c.f32()?;
+                    let words = c.words(words_per)?;
+                    let plane = PackedHypervector::from_words(dim, words)
+                        .map_err(|e| c.corrupt(e.to_string()))?;
+                    Ok((alpha, plane))
+                })
+                .collect::<Result<Vec<_>>>()?;
+            classes
+                .push(ResidualPacked::from_planes(planes).map_err(|e| c.corrupt(e.to_string()))?);
+        }
+        domain_classes.push(classes);
+    }
+    c.finish()?;
+
+    // Per-class Gram matrices.
+    let mut c = require(&sections, SEC_CLASS_GRAM)?;
+    let gram_classes = c.len("class")?;
+    let gram_k = c.len("domain")?;
+    if gram_classes != num_classes || gram_k != num_domains {
+        return Err(c.corrupt(format!(
+            "gram shaped ({gram_classes} classes, K={gram_k}) for ({num_classes}, K={num_domains})"
+        )));
+    }
+    let class_gram =
+        (0..gram_classes).map(|_| c.f32s(gram_k * gram_k)).collect::<Result<Vec<_>>>()?;
+    c.finish()?;
+
+    // Descriptors.
+    let mut c = require(&sections, SEC_PACKED_DESCRIPTORS)?;
+    let n = c.len("descriptor")?;
+    if n != num_domains {
+        return Err(c.corrupt(format!("{n} descriptors for {num_domains} domains")));
+    }
+    let descriptors = decode_packed_vectors(&mut c, n, dim)?;
+    c.finish()?;
+
+    let domain_tags = decode_tags(require(&sections, SEC_DOMAIN_TAGS)?, num_domains)?;
+
+    // Encoder: stored codebooks verbatim (bit-exactness), validated by
+    // PackedNgramEncoder::from_parts.
+    let range = decode_value_range(require(&sections, SEC_ENCODER_RANGE)?, config.channels)?;
+    let codebooks = decode_codebooks(require(&sections, SEC_PACKED_CODEBOOKS)?, dim)?;
+    let codebooks_rot = decode_codebooks(require(&sections, SEC_PACKED_CODEBOOKS_ROT)?, dim)?;
+    let mut c = require(&sections, SEC_PACKED_SIGNATURES)?;
+    let n = c.len("signature")?;
+    let signatures = decode_packed_vectors(&mut c, n, dim)?;
+    c.finish()?;
+    let encoder = PackedNgramEncoder::from_parts(
+        encoder_config_with_range(&config, range),
+        codebooks,
+        codebooks_rot,
+        signatures,
+    )
+    .map_err(|e| SmoreError::corrupt("packed_codebooks", e.to_string()))?;
+
+    Ok(QuantizedSmore {
+        config,
+        scaler,
+        encoder,
+        mean,
+        domain_classes,
+        descriptors,
+        class_gram,
+        domain_tags,
+    })
+}
+
+impl QuantizedSmore {
+    /// Serializes the complete serving state to `.smore` artifact bytes.
+    /// The encoding is canonical: the same model always produces the same
+    /// bytes (locked by the golden-fixture test).
+    pub fn to_artifact_bytes(&self) -> Vec<u8> {
+        quantized_to_bytes(self)
+    }
+
+    /// Reconstructs a serving model from `.smore` artifact bytes. The
+    /// loaded model is **bit-identical** in behaviour to the one that was
+    /// saved: every prediction, score and similarity reproduces exactly
+    /// (property-tested in `tests/artifact.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmoreError::CorruptArtifact`] for anything other than a
+    /// well-formed quantized artifact of the supported
+    /// [`FORMAT_VERSION`] — wrong magic or kind, checksum mismatches,
+    /// truncation, unknown sections, or payloads that decode to an
+    /// inconsistent model.
+    pub fn from_artifact_bytes(bytes: &[u8]) -> Result<Self> {
+        quantized_from_bytes(bytes)
+    }
+
+    /// Saves the model as a `.smore` artifact file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmoreError::Io`] when writing fails.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        std::fs::write(path, self.to_artifact_bytes())
+            .map_err(|e| SmoreError::io(path.display().to_string(), &e))
+    }
+
+    /// Loads a model from a `.smore` artifact file.
+    ///
+    /// # Errors
+    ///
+    /// [`SmoreError::Io`] when reading fails; otherwise the conditions of
+    /// [`from_artifact_bytes`](Self::from_artifact_bytes).
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref();
+        let bytes =
+            std::fs::read(path).map_err(|e| SmoreError::io(path.display().to_string(), &e))?;
+        Self::from_artifact_bytes(&bytes)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dense Smore
+// ---------------------------------------------------------------------------
+
+fn dense_to_bytes(model: &Smore, fitted: &Fitted) -> Vec<u8> {
+    let mut models_payload = Payload::default();
+    models_payload.len_of(fitted.domain_models.len());
+    for m in fitted.domain_models.iter() {
+        models_payload.f32(m.config().learning_rate);
+        models_payload.len_of(m.config().epochs);
+        let hvs = m.class_hypervectors();
+        models_payload.len_of(hvs.rows());
+        models_payload.len_of(hvs.cols());
+        models_payload.f32s(hvs.as_slice());
+    }
+    let descriptors = fitted.descriptors.as_matrix();
+    let mut desc_payload = Payload::default();
+    desc_payload.len_of(descriptors.rows());
+    desc_payload.len_of(descriptors.cols());
+    desc_payload.f32s(descriptors.as_slice());
+
+    let sections = vec![
+        (SEC_CONFIG, encode_config(&model.config)),
+        (SEC_SCALER, encode_scaler(&fitted.scaler)),
+        (SEC_CENTERING, encode_mean(fitted.centerer.mean())),
+        (SEC_DOMAIN_TAGS, encode_tags(&fitted.domain_tags)),
+        (SEC_ENCODER_RANGE, encode_value_range(&model.encoder.config().range)),
+        (SEC_DENSE_DESCRIPTORS, desc_payload.bytes),
+        (SEC_DOMAIN_MODELS, models_payload.bytes),
+    ];
+    write_container(ArtifactKind::Dense, &sections)
+}
+
+fn dense_from_bytes(bytes: &[u8]) -> Result<Smore> {
+    let (kind, sections) = parse_container(bytes)?;
+    if kind != ArtifactKind::Dense {
+        return Err(SmoreError::corrupt(
+            "header",
+            "artifact holds a quantized model; load it with QuantizedSmore::load",
+        ));
+    }
+    reject_unknown(
+        &sections,
+        &[
+            SEC_CONFIG,
+            SEC_SCALER,
+            SEC_CENTERING,
+            SEC_DOMAIN_TAGS,
+            SEC_ENCODER_RANGE,
+            SEC_DENSE_DESCRIPTORS,
+            SEC_DOMAIN_MODELS,
+        ],
+    )?;
+
+    let config = decode_config(require(&sections, SEC_CONFIG)?)?;
+    let scaler = decode_scaler(require(&sections, SEC_SCALER)?, config.channels)?;
+    let mean = decode_mean(require(&sections, SEC_CENTERING)?, config.dim)?;
+
+    // Every model carries at least its 28-byte fixed header (lr, epochs,
+    // rows, cols), bounding the count before any allocation.
+    let mut c = require(&sections, SEC_DOMAIN_MODELS)?;
+    let num_domains = c.count("model", 28)?;
+    if num_domains < 2 {
+        return Err(c.corrupt(format!("{num_domains} domain models; SMORE serves K >= 2")));
+    }
+    let mut domain_models = Vec::with_capacity(num_domains);
+    for _ in 0..num_domains {
+        let learning_rate = c.f32()?;
+        let epochs = c.len("epochs")?;
+        let rows = c.len("class")?;
+        let cols = c.len("dim")?;
+        if rows != config.num_classes || cols != config.dim {
+            return Err(c.corrupt(format!(
+                "domain model shaped ({rows}, {cols}) for a ({}, {}) config",
+                config.num_classes, config.dim
+            )));
+        }
+        let data =
+            c.f32s(rows.checked_mul(cols).ok_or_else(|| c.corrupt("model size overflows"))?)?;
+        let hvs = Matrix::from_vec(rows, cols, data).map_err(|e| c.corrupt(e.to_string()))?;
+        let model = HdcClassifier::from_class_hypervectors_with(hvs, learning_rate, epochs)
+            .map_err(|e| c.corrupt(e.to_string()))?;
+        domain_models.push(model);
+    }
+    c.finish()?;
+
+    let mut c = require(&sections, SEC_DENSE_DESCRIPTORS)?;
+    let rows = c.len("descriptor")?;
+    let cols = c.len("dim")?;
+    if rows != num_domains || cols != config.dim {
+        return Err(c.corrupt(format!(
+            "descriptors shaped ({rows}, {cols}) for K={num_domains}, dim {}",
+            config.dim
+        )));
+    }
+    let data = c.f32s(rows.checked_mul(cols).ok_or_else(|| c.corrupt("size overflows"))?)?;
+    let descriptors = DomainDescriptors::from_matrix(
+        Matrix::from_vec(rows, cols, data).map_err(|e| c.corrupt(e.to_string()))?,
+    );
+    c.finish()?;
+
+    let domain_tags = decode_tags(require(&sections, SEC_DOMAIN_TAGS)?, num_domains)?;
+    let range = decode_value_range(require(&sections, SEC_ENCODER_RANGE)?, config.channels)?;
+
+    // Dense codebooks are not stored: construction is deterministic in the
+    // configuration seed, so rebuilding with the fitted range reproduces
+    // the original encoder exactly.
+    let encoder = MultiSensorEncoder::new(encoder_config_with_range(&config, range))
+        .map_err(|e| SmoreError::corrupt("encoder_range", e.to_string()))?;
+
+    Ok(Smore {
+        config,
+        encoder,
+        fitted: Some(Fitted {
+            scaler,
+            centerer: Centerer::from_mean(mean),
+            domain_models,
+            descriptors,
+            domain_tags,
+        }),
+    })
+}
+
+impl Smore {
+    /// Serializes the fitted dense model to `.smore` artifact bytes — the
+    /// form that can *resume adaptation* after loading (enrol new domains,
+    /// re-quantize, keep training).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmoreError::NotFitted`] before training.
+    pub fn to_artifact_bytes(&self) -> Result<Vec<u8>> {
+        let fitted = self.fitted.as_ref().ok_or(SmoreError::NotFitted)?;
+        Ok(dense_to_bytes(self, fitted))
+    }
+
+    /// Reconstructs a fitted dense model from `.smore` artifact bytes.
+    /// The encoder is rebuilt deterministically from the stored
+    /// configuration, so the loaded model's predictions equal the saved
+    /// model's exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmoreError::CorruptArtifact`] for anything other than a
+    /// well-formed dense artifact of the supported [`FORMAT_VERSION`].
+    pub fn from_artifact_bytes(bytes: &[u8]) -> Result<Self> {
+        dense_from_bytes(bytes)
+    }
+
+    /// Saves the fitted model as a `.smore` artifact file.
+    ///
+    /// # Errors
+    ///
+    /// [`SmoreError::NotFitted`] before training; [`SmoreError::Io`] when
+    /// writing fails.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        std::fs::write(path, self.to_artifact_bytes()?)
+            .map_err(|e| SmoreError::io(path.display().to_string(), &e))
+    }
+
+    /// Loads a fitted model from a `.smore` artifact file.
+    ///
+    /// # Errors
+    ///
+    /// [`SmoreError::Io`] when reading fails; otherwise the conditions of
+    /// [`from_artifact_bytes`](Self::from_artifact_bytes).
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref();
+        let bytes =
+            std::fs::read(path).map_err(|e| SmoreError::io(path.display().to_string(), &e))?;
+        Self::from_artifact_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn kind_of_validates_the_header() {
+        assert!(matches!(kind_of(b"short"), Err(SmoreError::CorruptArtifact { .. })));
+        let mut bytes = write_container(ArtifactKind::Quantized, &[]);
+        assert_eq!(kind_of(&bytes).unwrap(), ArtifactKind::Quantized);
+        bytes[0] ^= 0xFF;
+        assert!(kind_of(&bytes).is_err(), "bad magic");
+        let mut bytes = write_container(ArtifactKind::Dense, &[]);
+        bytes[8] = 99; // future version
+        let err = kind_of(&bytes).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+        let mut bytes = write_container(ArtifactKind::Dense, &[]);
+        bytes[10] = 7; // unknown kind
+        assert!(kind_of(&bytes).is_err());
+    }
+
+    #[test]
+    fn container_rejects_tampering() {
+        let sections = vec![(SEC_CONFIG, vec![1u8, 2, 3]), (SEC_SCALER, vec![9u8; 40])];
+        let bytes = write_container(ArtifactKind::Dense, &sections);
+        let (kind, parsed) = parse_container(&bytes).unwrap();
+        assert_eq!(kind, ArtifactKind::Dense);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0], (SEC_CONFIG, &[1u8, 2, 3][..]));
+
+        // Truncation anywhere in the body fails cleanly.
+        for cut in [bytes.len() - 1, bytes.len() - 20, 17, 16] {
+            assert!(
+                matches!(parse_container(&bytes[..cut]), Err(SmoreError::CorruptArtifact { .. })),
+                "cut at {cut}"
+            );
+        }
+        // A payload bit flip trips the section checksum.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x10;
+        let err = parse_container(&flipped).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        // Trailing garbage is rejected.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(parse_container(&padded).is_err());
+        // Duplicate sections are rejected.
+        let dup = write_container(
+            ArtifactKind::Dense,
+            &[(SEC_CONFIG, vec![1u8]), (SEC_CONFIG, vec![2u8])],
+        );
+        let err = parse_container(&dup).unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn unknown_sections_are_refused() {
+        let bytes = write_container(ArtifactKind::Quantized, &[(999, vec![0u8; 4])]);
+        let (_, sections) = parse_container(&bytes).unwrap();
+        let err = reject_unknown(&sections, &[SEC_CONFIG]).unwrap_err();
+        assert!(err.to_string().contains("unknown section id 999"), "{err}");
+    }
+
+    #[test]
+    fn cursor_bounds_and_trailing_checks() {
+        let mut c = Cursor::new(&[1, 0, 0, 0, 0, 0, 0, 0, 5], "test");
+        assert_eq!(c.u64().unwrap(), 1);
+        assert!(c.f32().is_err(), "only one byte left");
+        assert_eq!(c.u8().unwrap(), 5);
+        c.finish().unwrap();
+        let mut c = Cursor::new(&[0xFF; 8], "test");
+        // A huge count cannot allocate: the byte bound fails first.
+        let n = c.len("x").err();
+        assert!(n.is_some() || c.f32s(usize::MAX / 8).is_err());
+        let c = Cursor::new(&[1, 2], "test");
+        assert!(c.finish().is_err(), "unread bytes");
+    }
+}

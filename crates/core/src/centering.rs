@@ -30,7 +30,6 @@ use crate::{Result, SmoreError};
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Centerer {
     mean: Vec<f32>,
 }
@@ -53,6 +52,12 @@ impl Centerer {
     /// A no-op centerer (used when centring is disabled).
     pub fn identity(dim: usize) -> Self {
         Self { mean: vec![0.0; dim] }
+    }
+
+    /// Rebuilds a centerer around an already-fitted mean (the
+    /// artifact-load path).
+    pub(crate) fn from_mean(mean: Vec<f32>) -> Self {
+        Self { mean }
     }
 
     /// Dimensionality of the fitted mean.

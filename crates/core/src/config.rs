@@ -15,7 +15,6 @@ use crate::{Result, SmoreError};
 /// misaligned class boundaries that are strictly worse on every dataset we
 /// calibrated. Both are available; the ablation bench compares them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DomainInit {
     /// Initialise every domain model from a jointly trained shared model,
     /// then specialise per domain (calibrated default).
@@ -36,7 +35,6 @@ pub enum DomainInit {
 /// [`RangeMode::PerWindow`] remains available as the paper-literal
 /// ablation.
 #[derive(Debug, Clone, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum RangeMode {
     /// Fit per-sensor `(min, max)` ranges on the training windows at
     /// [`crate::Smore::fit`] time, widened by 5% on each side.
@@ -54,7 +52,6 @@ pub enum RangeMode {
 /// default matching the paper's setup (`d = 8k`, trigram encoding,
 /// `δ* = 0.3` for the centred similarity scale — see `delta_star`).
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SmoreConfig {
     /// Hypervector dimensionality `d` (paper: 8k).
     pub dim: usize,

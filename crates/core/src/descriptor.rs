@@ -29,7 +29,6 @@ use crate::{Result, SmoreError};
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DomainDescriptors {
     /// `(num_domains, dim)` — row `k` is `U_k`.
     descriptors: Matrix,
@@ -96,6 +95,12 @@ impl DomainDescriptors {
         &self.descriptors
     }
 
+    /// Rebuilds the descriptor set around an already-bundled matrix (the
+    /// artifact-load path; `build` is the fitting constructor).
+    pub(crate) fn from_matrix(descriptors: Matrix) -> Self {
+        Self { descriptors }
+    }
+
     /// Cosine similarities `δ(query, U_k)` for all `k`.
     ///
     /// # Panics
@@ -103,9 +108,23 @@ impl DomainDescriptors {
     /// Panics if the query dimension differs from the descriptor dimension
     /// (model wiring guarantees agreement).
     pub fn similarities(&self, query: &[f32]) -> Vec<f32> {
-        (0..self.descriptors.rows())
-            .map(|k| vecops::cosine(query, self.descriptors.row(k)))
-            .collect()
+        let mut out = Vec::with_capacity(self.descriptors.rows());
+        self.similarities_into(query, &mut out);
+        out
+    }
+
+    /// [`similarities`](Self::similarities) into a caller-owned buffer
+    /// (cleared and refilled; allocation-free once its capacity covers the
+    /// domain count) — the serving-loop variant.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`similarities`](Self::similarities).
+    pub fn similarities_into(&self, query: &[f32], out: &mut Vec<f32>) {
+        out.clear();
+        out.extend(
+            (0..self.descriptors.rows()).map(|k| vecops::cosine(query, self.descriptors.row(k))),
+        );
     }
 
     /// Appends a brand-new domain descriptor `U_{K+1}`: the bundle of the
@@ -132,11 +151,35 @@ impl DomainDescriptors {
                 ),
             });
         }
-        let mut bundle = Matrix::zeros(1, encoded.cols());
+        let mut bundle = vec![0.0f32; encoded.cols()];
         for i in 0..encoded.rows() {
-            vecops::axpy(1.0, encoded.row(i), bundle.row_mut(0));
+            vecops::axpy(1.0, encoded.row(i), &mut bundle);
         }
-        self.descriptors = self.descriptors.vstack(&bundle)?;
+        self.push_bundle(&bundle)
+    }
+
+    /// Appends an **already bundled** descriptor row `U_{K+1}` — the
+    /// counterpart of [`push_domain`](Self::push_domain) for callers that
+    /// computed the bundle elsewhere (e.g.
+    /// [`Smore::prepare_domain`](crate::Smore::prepare_domain), whose
+    /// output may be attached long after it was trained).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmoreError::InvalidConfig`] when the row width differs
+    /// from the existing descriptor dimension.
+    pub fn push_bundle(&mut self, bundle: &[f32]) -> Result<usize> {
+        if bundle.len() != self.descriptors.cols() {
+            return Err(SmoreError::InvalidConfig {
+                what: format!(
+                    "enrolment dimension {} differs from descriptor dimension {}",
+                    bundle.len(),
+                    self.descriptors.cols()
+                ),
+            });
+        }
+        let row = Matrix::from_vec(1, bundle.len(), bundle.to_vec())?;
+        self.descriptors = self.descriptors.vstack(&row)?;
         Ok(self.descriptors.rows() - 1)
     }
 

@@ -27,6 +27,23 @@ pub enum SmoreError {
         /// The offending domain tag.
         domain: usize,
     },
+    /// A filesystem operation on a model artifact failed.
+    Io {
+        /// Path of the artifact being read or written.
+        path: String,
+        /// The underlying I/O error, rendered (kept as a string so the
+        /// error stays `Clone + PartialEq`).
+        message: String,
+    },
+    /// A model artifact failed structural validation: bad magic, an
+    /// unsupported format version, a checksum mismatch, a truncated or
+    /// unknown section, or a payload that decodes to an invalid model.
+    CorruptArtifact {
+        /// The section (or header field) that failed validation.
+        section: String,
+        /// What was wrong with it.
+        reason: String,
+    },
     /// Underlying HDC failure.
     Hdc(HdcError),
     /// Underlying dataset failure.
@@ -46,6 +63,12 @@ impl fmt::Display for SmoreError {
             SmoreError::EmptyDomain { domain } => {
                 write!(f, "training domain {domain} has no samples")
             }
+            SmoreError::Io { path, message } => {
+                write!(f, "artifact i/o failed for {path}: {message}")
+            }
+            SmoreError::CorruptArtifact { section, reason } => {
+                write!(f, "corrupt .smore artifact (section {section}): {reason}")
+            }
             SmoreError::Hdc(e) => write!(f, "hdc error: {e}"),
             SmoreError::Data(e) => write!(f, "data error: {e}"),
             SmoreError::Tensor(e) => write!(f, "tensor error: {e}"),
@@ -61,6 +84,21 @@ impl Error for SmoreError {
             SmoreError::Tensor(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl SmoreError {
+    /// Wraps a [`std::io::Error`] hit while reading or writing the artifact
+    /// at `path`. (A `From` impl is impossible: `std::io::Error` is neither
+    /// `Clone` nor `PartialEq`, so the source is captured as rendered
+    /// text.)
+    pub fn io(path: impl Into<String>, error: &std::io::Error) -> Self {
+        SmoreError::Io { path: path.into(), message: error.to_string() }
+    }
+
+    /// Builds a [`SmoreError::CorruptArtifact`] for `section`.
+    pub fn corrupt(section: impl Into<String>, reason: impl Into<String>) -> Self {
+        SmoreError::CorruptArtifact { section: section.into(), reason: reason.into() }
     }
 }
 
@@ -97,6 +135,21 @@ mod tests {
         assert!(Error::source(&e).is_some());
         let e: SmoreError = TensorError::InvalidDimension { what: "z" }.into();
         assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn artifact_variants_render_their_context() {
+        let io = SmoreError::io(
+            "/tmp/m.smore",
+            &std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
+        assert!(io.to_string().contains("/tmp/m.smore"));
+        assert!(io.to_string().contains("gone"));
+        assert!(Error::source(&io).is_none(), "rendered source, no chained error");
+        let corrupt = SmoreError::corrupt("gram", "crc mismatch");
+        assert!(corrupt.to_string().contains("gram"));
+        assert!(corrupt.to_string().contains("crc mismatch"));
+        assert_eq!(corrupt.clone(), corrupt);
     }
 
     #[test]

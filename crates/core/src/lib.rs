@@ -29,10 +29,18 @@
 //!
 //! Both models also adapt *online*: [`Smore::enroll_domain`] adds a new
 //! domain (descriptor + specialised model) to a fitted model without
-//! refitting, and [`QuantizedSmore::enroll_domain`] appends it to a frozen
-//! snapshot without re-quantizing. The `smore_stream` crate builds the
-//! full streaming deployment on these: OOD buffering, drift detection and
-//! atomic hot-swap of the serving snapshot.
+//! refitting ([`Smore::prepare_domain`] is the non-mutating variant used
+//! by multi-tenant serving), and [`QuantizedSmore::enroll_domain`] appends
+//! it to a frozen snapshot without re-quantizing. The `smore_stream`
+//! crate builds the full streaming deployment on these: OOD buffering,
+//! drift detection, atomic hot-swap of the serving snapshot, and the
+//! multi-tenant `ServeEngine`.
+//!
+//! Every serving backend implements the unified [`Predictor`] trait, and
+//! both model forms persist as versioned `.smore` binary artifacts
+//! ([`artifact`]): [`QuantizedSmore::save`]/[`QuantizedSmore::load`] are
+//! bit-exact, [`Smore::save`]/[`Smore::load`] resume adaptation in a new
+//! process.
 //!
 //! # Quickstart
 //!
@@ -71,6 +79,7 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 mod centering;
 mod config;
 pub mod descriptor;
@@ -78,6 +87,7 @@ mod error;
 pub mod metrics;
 pub mod ood;
 pub mod pipeline;
+pub mod predictor;
 pub mod quantized;
 mod smore_model;
 pub mod test_time;
@@ -85,8 +95,9 @@ pub mod test_time;
 pub use centering::Centerer;
 pub use config::{DomainInit, RangeMode, SmoreConfig, SmoreConfigBuilder};
 pub use error::SmoreError;
-pub use quantized::{QuantizedSmore, ServeScratch};
-pub use smore_model::{EnrollReport, EvalReport, Prediction, Smore, TrainReport};
+pub use predictor::{Predictor, ServeScratch};
+pub use quantized::QuantizedSmore;
+pub use smore_model::{DomainEnrollment, EnrollReport, EvalReport, Prediction, Smore, TrainReport};
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, SmoreError>;

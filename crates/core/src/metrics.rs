@@ -33,7 +33,6 @@ pub fn accuracy(predictions: &[usize], truth: &[usize]) -> Result<f32> {
 
 /// A `(true class, predicted class)` contingency table.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ConfusionMatrix {
     num_classes: usize,
     /// Row-major counts: `counts[truth * num_classes + predicted]`.

@@ -12,7 +12,6 @@ use smore_tensor::vecops;
 
 /// The outcome of OOD detection for one query.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OodDecision {
     /// Whether the query was declared out-of-distribution.
     pub is_ood: bool,
@@ -28,7 +27,6 @@ pub struct OodDecision {
 /// similarity vector. This is what the hot serving loops consume — the
 /// caller keeps ownership of its similarities and nothing is copied.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OodVerdict {
     /// Whether the query was declared out-of-distribution.
     pub is_ood: bool,
@@ -51,7 +49,6 @@ pub struct OodVerdict {
 /// assert_eq!(decision.best_domain, 1);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OodDetector {
     delta_star: f32,
 }

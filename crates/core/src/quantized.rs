@@ -35,11 +35,12 @@ use std::time::Instant;
 
 use smore_data::Dataset;
 use smore_hdc::encoder::MultiSensorEncoder;
-use smore_packed::{EncoderScratch, PackedHypervector, PackedNgramEncoder, ResidualPacked};
-use smore_tensor::{parallel, Matrix};
+use smore_packed::{PackedHypervector, PackedNgramEncoder, ResidualPacked};
+use smore_tensor::{parallel, vecops, Matrix};
 
 use crate::config::SmoreConfig;
 use crate::ood::{OodDetector, OodVerdict};
+use crate::predictor::{empty_prediction, Predictor, ServeScratch};
 use crate::smore_model::{ChannelStats, EvalReport, Fitted, Prediction};
 use crate::test_time::ensemble_weights_into;
 use crate::{Result, SmoreError};
@@ -58,78 +59,6 @@ use crate::{Result, SmoreError};
 /// domain (property-tested in `tests/proptests.rs`).
 pub fn recover_cosine(packed_sim: f32) -> f32 {
     (FRAC_PI_2 * packed_sim.clamp(-1.0, 1.0)).sin()
-}
-
-/// Caller-owned scratch for the quantized serving hot path.
-///
-/// Bundles every buffer one prediction needs — the scaled window, the
-/// encoder's [`EncoderScratch`], the packed query, the similarity and
-/// ensemble-weight vectors and the output [`Prediction`] — so
-/// [`QuantizedSmore::predict_window_with`] performs no heap allocation in
-/// steady state. Buffers size themselves lazily on first use and survive
-/// snapshot hot-swaps (an enrolled domain merely grows the similarity
-/// vectors once).
-///
-/// # Example
-///
-/// ```no_run
-/// # fn main() -> Result<(), smore::SmoreError> {
-/// # let quantized: smore::QuantizedSmore = unimplemented!();
-/// # let windows: Vec<smore_tensor::Matrix> = vec![];
-/// let mut scratch = smore::ServeScratch::new();
-/// for w in &windows {
-///     let p = quantized.predict_window_with(w, &mut scratch)?; // no allocation
-///     println!("label {}", p.label);
-/// }
-/// # Ok(())
-/// # }
-/// ```
-#[derive(Debug, Clone)]
-pub struct ServeScratch {
-    encoder: EncoderScratch,
-    scaled: Matrix,
-    query: PackedHypervector,
-    sims: Vec<f32>,
-    weights: Vec<f32>,
-    prediction: Prediction,
-}
-
-impl ServeScratch {
-    /// An empty scratch; buffers are sized by the first prediction.
-    pub fn new() -> Self {
-        Self {
-            encoder: EncoderScratch::new(),
-            scaled: Matrix::default(),
-            query: PackedHypervector::zeros(0),
-            sims: Vec::new(),
-            weights: Vec::new(),
-            prediction: empty_prediction(),
-        }
-    }
-
-    /// The prediction produced by the most recent
-    /// [`QuantizedSmore::predict_window_with`] call.
-    pub fn prediction(&self) -> &Prediction {
-        &self.prediction
-    }
-}
-
-impl Default for ServeScratch {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-/// A structurally valid placeholder [`Prediction`] (overwritten before any
-/// caller observes it).
-fn empty_prediction() -> Prediction {
-    Prediction {
-        label: 0,
-        is_ood: false,
-        delta_max: 0.0,
-        best_domain: 0,
-        domain_similarities: Vec::new(),
-    }
 }
 
 /// A frozen, bit-packed SMORE model for quantized serving.
@@ -175,20 +104,20 @@ fn empty_prediction() -> Prediction {
 /// ```
 #[derive(Debug, Clone)]
 pub struct QuantizedSmore {
-    config: SmoreConfig,
-    scaler: ChannelStats,
-    encoder: PackedNgramEncoder,
+    pub(crate) config: SmoreConfig,
+    pub(crate) scaler: ChannelStats,
+    pub(crate) encoder: PackedNgramEncoder,
     /// Global training mean of the dense pipeline (`Centerer`), folded into
     /// the packing threshold.
-    mean: Vec<f32>,
+    pub(crate) mean: Vec<f32>,
     /// `[domain][class]` residual-binarized class hypervectors — a few
     /// scaled sign planes each, so magnitudes survive quantization.
-    domain_classes: Vec<Vec<ResidualPacked>>,
-    descriptors: Vec<PackedHypervector>,
+    pub(crate) domain_classes: Vec<Vec<ResidualPacked>>,
+    pub(crate) descriptors: Vec<PackedHypervector>,
     /// Per class `c`, the `K × K` Gram matrix `dot(C_j^c, C_k^c)` of the
     /// quantized domain class hypervectors (row-major, `j·K + k`).
-    class_gram: Vec<Vec<f32>>,
-    domain_tags: Vec<usize>,
+    pub(crate) class_gram: Vec<Vec<f32>>,
+    pub(crate) domain_tags: Vec<usize>,
 }
 
 /// Sign planes per class hypervector: 3 bits/dim keeps the ensemble vote
@@ -403,24 +332,13 @@ impl QuantizedSmore {
         Ok(scratch.query)
     }
 
-    /// Predicts one window — Algorithm 1 entirely on packed operations,
-    /// reusing caller-owned scratch so the steady-state hot path performs
-    /// no heap allocation. The returned reference points into `scratch`
-    /// (also readable later through [`ServeScratch::prediction`]); clone
-    /// it to keep the prediction past the next call.
-    ///
-    /// # Errors
-    ///
-    /// Propagates encoder errors for malformed windows.
-    pub fn predict_window_with<'s>(
-        &self,
-        window: &Matrix,
-        scratch: &'s mut ServeScratch,
-    ) -> Result<&'s Prediction> {
+    /// Encodes `window` into the packed query and computes the descriptor
+    /// similarities (recovered onto the dense cosine scale, so δ* and the
+    /// Eq. 3 weights keep their dense calibration) and ensemble weights
+    /// into `scratch`; returns the OOD verdict. Shared by the predict and
+    /// score entry points.
+    fn prepare_query(&self, window: &Matrix, scratch: &mut ServeScratch) -> Result<OodVerdict> {
         self.encode_query_into(window, scratch)?;
-
-        // Popcount similarities, recovered onto the dense cosine scale so
-        // δ* and the Eq. 3 weights keep their dense calibration.
         scratch.sims.clear();
         for u in &self.descriptors {
             let sim =
@@ -435,22 +353,24 @@ impl QuantizedSmore {
             self.config.weight_power,
             &mut scratch.weights,
         );
+        Ok(verdict)
+    }
 
-        // Score against M_T = Σ_k w_k M_k without materialising it:
-        // dot(Q, Σ_k w_k C_k) = Σ_k w_k dot(Q, C_k), every dot a handful
-        // of popcount sweeps (one per residual plane); the per-class
-        // ensemble norm comes from the precomputed Gram.
+    /// Scores a prepared packed query against `M_T = Σ_k w_k M_k` without
+    /// materialising it: `dot(Q, Σ_k w_k C_k) = Σ_k w_k dot(Q, C_k)`,
+    /// every dot a handful of popcount sweeps (one per residual plane);
+    /// the per-class ensemble norm comes from the precomputed Gram.
+    /// `scores` is cleared and refilled with one entry per class.
+    fn class_scores_into(&self, query: &PackedHypervector, weights: &[f32], scores: &mut Vec<f32>) {
         let k = self.domain_classes.len();
-        let weights = &scratch.weights;
         let q_norm = (self.config.dim as f32).sqrt();
-        let mut best_label = 0usize;
-        let mut best_score = f32::NEG_INFINITY;
+        scores.clear();
         for class in 0..self.config.num_classes {
             let mut dot_sum = 0.0f32;
             for (classes, &w) in self.domain_classes.iter().zip(weights) {
                 if w > 0.0 {
                     let dot = classes[class]
-                        .dot_packed(&scratch.query)
+                        .dot_packed(query)
                         .expect("query dimension fixed at quantize time");
                     dot_sum += w * dot;
                 }
@@ -467,12 +387,47 @@ impl QuantizedSmore {
                     }
                 }
             }
-            let score = if norm_sq > 0.0 { dot_sum / (norm_sq.sqrt() * q_norm) } else { 0.0 };
-            if score > best_score {
-                best_score = score;
-                best_label = class;
-            }
+            scores.push(if norm_sq > 0.0 { dot_sum / (norm_sq.sqrt() * q_norm) } else { 0.0 });
         }
+    }
+
+    /// Per-class ensemble scores for one window (the quantized
+    /// [`Predictor::score_into`] surface): `scores` is cleared and
+    /// refilled with `num_classes` entries; the predicted label is their
+    /// argmax.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoder errors for malformed windows.
+    pub fn score_into(
+        &self,
+        window: &Matrix,
+        scratch: &mut ServeScratch,
+        scores: &mut Vec<f32>,
+    ) -> Result<()> {
+        self.prepare_query(window, scratch)?;
+        self.class_scores_into(&scratch.query, &scratch.weights, scores);
+        Ok(())
+    }
+
+    /// Predicts one window — Algorithm 1 entirely on packed operations,
+    /// reusing caller-owned scratch so the steady-state hot path performs
+    /// no heap allocation. The returned reference points into `scratch`
+    /// (also readable later through [`ServeScratch::prediction`]); clone
+    /// it to keep the prediction past the next call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoder errors for malformed windows.
+    pub fn predict_window_with<'s>(
+        &self,
+        window: &Matrix,
+        scratch: &'s mut ServeScratch,
+    ) -> Result<&'s Prediction> {
+        let verdict = self.prepare_query(window, scratch)?;
+        let ServeScratch { query, weights, scores, .. } = &mut *scratch;
+        self.class_scores_into(query, weights, scores);
+        let best_label = vecops::argmax(scores).unwrap_or(0);
 
         let prediction = &mut scratch.prediction;
         prediction.label = best_label;
@@ -548,6 +503,39 @@ impl QuantizedSmore {
     pub fn evaluate_indices(&self, dataset: &Dataset, indices: &[usize]) -> Result<EvalReport> {
         let (windows, labels, _) = dataset.gather(indices);
         self.evaluate(&windows, &labels)
+    }
+}
+
+impl Predictor for QuantizedSmore {
+    fn num_classes(&self) -> usize {
+        self.config.num_classes
+    }
+
+    fn predict_window_with<'s>(
+        &self,
+        window: &Matrix,
+        scratch: &'s mut ServeScratch,
+    ) -> Result<&'s Prediction> {
+        QuantizedSmore::predict_window_with(self, window, scratch)
+    }
+
+    fn score_into(
+        &self,
+        window: &Matrix,
+        scratch: &mut ServeScratch,
+        scores: &mut Vec<f32>,
+    ) -> Result<()> {
+        QuantizedSmore::score_into(self, window, scratch, scores)
+    }
+
+    fn predict_window(&self, window: &Matrix) -> Result<Prediction> {
+        QuantizedSmore::predict_window(self, window)
+    }
+
+    /// Overrides the provided sequential batch with the thread-parallel
+    /// per-chunk-scratch implementation.
+    fn predict_batch(&self, windows: &[Matrix]) -> Result<Vec<Prediction>> {
+        QuantizedSmore::predict_batch(self, windows)
     }
 }
 

@@ -11,12 +11,12 @@ use crate::centering::Centerer;
 use crate::config::{DomainInit, RangeMode, SmoreConfig};
 use crate::descriptor::DomainDescriptors;
 use crate::ood::{OodDetector, OodVerdict};
-use crate::test_time::ensemble_weights_powered;
+use crate::predictor::{Predictor, ServeScratch};
+use crate::test_time::ensemble_weights_into;
 use crate::{Result, SmoreError};
 
 /// Outcome of one SMORE prediction, with its full domain context.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Prediction {
     /// Predicted class label.
     pub label: usize,
@@ -33,7 +33,6 @@ pub struct Prediction {
 
 /// Report returned by [`Smore::fit`].
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TrainReport {
     /// Number of training samples.
     pub samples: usize,
@@ -49,7 +48,6 @@ pub struct TrainReport {
 
 /// Report returned by [`Smore::enroll_domain`].
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EnrollReport {
     /// The external tag assigned to the enrolled domain.
     pub tag: usize,
@@ -63,9 +61,29 @@ pub struct EnrollReport {
     pub fit_report: FitReport,
 }
 
+/// A fully trained domain that has not been attached to a model yet — the
+/// output of [`Smore::prepare_domain`].
+///
+/// Produced without mutating the source model, so many tenants can prepare
+/// enrolments concurrently against one shared frozen [`Smore`] (the
+/// multi-tenant architecture of `smore_stream`) and attach the result to
+/// their own serving snapshot via
+/// [`QuantizedSmore::enroll_domain`](crate::QuantizedSmore::enroll_domain).
+#[derive(Debug, Clone)]
+pub struct DomainEnrollment {
+    /// The new domain-specific model `M_{K+1}`.
+    pub model: HdcClassifier,
+    /// The bundled domain descriptor `U_{K+1}` (encoded-and-centred
+    /// hypervector space).
+    pub descriptor: Vec<f32>,
+    /// Fit report of the new domain-specific model.
+    pub fit_report: FitReport,
+    /// Number of windows the domain was trained from.
+    pub samples: usize,
+}
+
 /// Report returned by [`Smore::evaluate`].
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EvalReport {
     /// Overall accuracy on the evaluation set.
     pub accuracy: f32,
@@ -95,8 +113,8 @@ pub(crate) struct Fitted {
 /// same. Statistics come from training data only.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct ChannelStats {
-    mean: Vec<f32>,
-    std: Vec<f32>,
+    pub(crate) mean: Vec<f32>,
+    pub(crate) std: Vec<f32>,
 }
 
 impl ChannelStats {
@@ -185,9 +203,9 @@ impl ChannelStats {
 /// runnable example.
 #[derive(Debug, Clone)]
 pub struct Smore {
-    config: SmoreConfig,
-    encoder: MultiSensorEncoder,
-    fitted: Option<Fitted>,
+    pub(crate) config: SmoreConfig,
+    pub(crate) encoder: MultiSensorEncoder,
+    pub(crate) fitted: Option<Fitted>,
 }
 
 impl Smore {
@@ -530,7 +548,56 @@ impl Smore {
         labels: &[usize],
         tag: usize,
     ) -> Result<EnrollReport> {
-        self.state()?;
+        if self.state()?.domain_tags.contains(&tag) {
+            return Err(SmoreError::InvalidConfig {
+                what: format!("domain tag {tag} is already enrolled"),
+            });
+        }
+        let t0 = Instant::now();
+        let prep = self.prepare_domain(windows, labels, &[])?;
+        let fitted = self.fitted.as_mut().expect("checked above");
+        fitted.descriptors.push_bundle(&prep.descriptor)?;
+        fitted.domain_models.push(prep.model);
+        fitted.domain_tags.push(tag);
+        Ok(EnrollReport {
+            tag,
+            samples: prep.samples,
+            num_domains: fitted.domain_models.len(),
+            seconds: t0.elapsed().as_secs_f64(),
+            fit_report: prep.fit_report,
+        })
+    }
+
+    /// Trains a new domain **without mutating this model** — the shared
+    /// core of [`enroll_domain`](Self::enroll_domain) and the per-tenant
+    /// enrolment path of the multi-tenant `smore_stream::ServeEngine`,
+    /// where many tenants prepare domains concurrently against one shared
+    /// frozen base model.
+    ///
+    /// The new model is seeded from the average of this model's
+    /// domain-specific models *plus* `extra_models` (a tenant's previously
+    /// enrolled personal domains, so repeat enrolments stay mutually
+    /// coherent with everything that tenant serves), then specialised on
+    /// the enrolment windows with the paper's adaptive update rule. The
+    /// returned [`DomainEnrollment`] carries the model and the bundled
+    /// descriptor `U_{K+1}`, ready for
+    /// [`QuantizedSmore::enroll_domain`](crate::QuantizedSmore::enroll_domain)
+    /// or [`DomainDescriptors::push_bundle`](crate::descriptor::DomainDescriptors::push_bundle).
+    ///
+    /// # Errors
+    ///
+    /// - [`SmoreError::NotFitted`] before training.
+    /// - [`SmoreError::InvalidConfig`] for empty input, mismatched
+    ///   lengths, out-of-range labels, or an `extra_models` shape that
+    ///   disagrees with the fitted models.
+    /// - Encoder errors for malformed windows.
+    pub fn prepare_domain(
+        &self,
+        windows: &[Matrix],
+        labels: &[usize],
+        extra_models: &[HdcClassifier],
+    ) -> Result<DomainEnrollment> {
+        let fitted = self.state()?;
         if windows.is_empty() {
             return Err(SmoreError::InvalidConfig { what: "enrolment set is empty".into() });
         }
@@ -544,22 +611,28 @@ impl Smore {
                 what: format!("label {bad} out of range for {} classes", self.config.num_classes),
             });
         }
-        if self.state()?.domain_tags.contains(&tag) {
+        if let Some(bad) = extra_models
+            .iter()
+            .find(|m| m.dim() != self.config.dim || m.num_classes() != self.config.num_classes)
+        {
             return Err(SmoreError::InvalidConfig {
-                what: format!("domain tag {tag} is already enrolled"),
+                what: format!(
+                    "extra model shape ({}, {}) disagrees with the fitted models ({}, {})",
+                    bad.num_classes(),
+                    bad.dim(),
+                    self.config.num_classes,
+                    self.config.dim
+                ),
             });
         }
-
-        let t0 = Instant::now();
         let encoded = self.encode(windows)?;
-        let fitted = self.fitted.as_mut().expect("checked above");
 
         // Seed M_{K+1} from the average of the existing models so the new
         // model starts mutually coherent with the ensemble it will join.
         let (classes, dim) = fitted.domain_models[0].class_hypervectors().shape();
         let mut seed = Matrix::zeros(classes, dim);
-        let scale = 1.0 / fitted.domain_models.len() as f32;
-        for model in &fitted.domain_models {
+        let scale = 1.0 / (fitted.domain_models.len() + extra_models.len()) as f32;
+        for model in fitted.domain_models.iter().chain(extra_models) {
             seed.axpy(scale, model.class_hypervectors())?;
         }
         let mut model = HdcClassifier::from_class_hypervectors_with(
@@ -569,16 +642,12 @@ impl Smore {
         )?;
         let fit_report = model.fit(&encoded, labels)?;
 
-        fitted.descriptors.push_domain(&encoded)?;
-        fitted.domain_models.push(model);
-        fitted.domain_tags.push(tag);
-        Ok(EnrollReport {
-            tag,
-            samples: windows.len(),
-            num_domains: fitted.domain_models.len(),
-            seconds: t0.elapsed().as_secs_f64(),
-            fit_report,
-        })
+        // Descriptor bundle U_{K+1} = Σ_i H_i over the enrolment windows.
+        let mut descriptor = vec![0.0f32; dim];
+        for i in 0..encoded.rows() {
+            vecops::axpy(1.0, encoded.row(i), &mut descriptor);
+        }
+        Ok(DomainEnrollment { model, descriptor, fit_report, samples: windows.len() })
     }
 
     /// Freezes the fitted model into a bit-packed [`QuantizedSmore`]
@@ -596,42 +665,53 @@ impl Smore {
         crate::QuantizedSmore::from_fitted(&self.config, &self.encoder, fitted)
     }
 
-    /// Algorithm 1 on an already encoded-and-centred query.
-    fn predict_encoded(&self, fitted: &Fitted, q: &[f32]) -> Prediction {
-        let sims = fitted.descriptors.similarities(q);
-        // `decide` borrows the similarities, so the vector flows into the
-        // returned `Prediction` without a copy.
-        let verdict: OodVerdict = OodDetector::new(self.config.delta_star).decide(&sims);
-        let weights = ensemble_weights_powered(
-            &sims,
+    /// Algorithm 1's scoring core on an encoded-and-centred query: fills
+    /// `sims` (descriptor similarities), `weights` (Eq. 3 ensemble
+    /// weights) and `scores` (per-class cosine against the test-time model
+    /// `M_T = Σ_k w_k M_k`, materialised class-by-class in the `ensemble`
+    /// buffer); returns the OOD verdict. Every buffer is cleared and
+    /// refilled, so warm callers allocate nothing.
+    fn score_encoded_into(
+        &self,
+        fitted: &Fitted,
+        q: &[f32],
+        sims: &mut Vec<f32>,
+        weights: &mut Vec<f32>,
+        ensemble: &mut Vec<f32>,
+        scores: &mut Vec<f32>,
+    ) -> OodVerdict {
+        fitted.descriptors.similarities_into(q, sims);
+        let verdict: OodVerdict = OodDetector::new(self.config.delta_star).decide(sims);
+        ensemble_weights_into(
+            sims,
             verdict.is_ood,
             self.config.delta_star,
             self.config.weight_power,
+            weights,
         );
-
-        // Score against the test-time model M_T = Σ_k w_k M_k without
-        // materialising it: build each ensembled class hypervector in a
-        // scratch buffer and take the cosine with the query.
-        let dim = self.config.dim;
-        let mut scratch = vec![0.0f32; dim];
-        let mut best_label = 0usize;
-        let mut best_score = f32::NEG_INFINITY;
+        ensemble.clear();
+        ensemble.resize(self.config.dim, 0.0);
+        scores.clear();
         for class in 0..self.config.num_classes {
-            scratch.iter_mut().for_each(|x| *x = 0.0);
-            for (model, &w) in fitted.domain_models.iter().zip(&weights) {
+            ensemble.iter_mut().for_each(|x| *x = 0.0);
+            for (model, &w) in fitted.domain_models.iter().zip(weights.iter()) {
                 if w > 0.0 {
-                    vecops::axpy(w, model.class_hypervectors().row(class), &mut scratch);
+                    vecops::axpy(w, model.class_hypervectors().row(class), ensemble);
                 }
             }
-            let score = vecops::cosine(q, &scratch);
-            if score > best_score {
-                best_score = score;
-                best_label = class;
-            }
+            scores.push(vecops::cosine(q, ensemble));
         }
+        verdict
+    }
 
+    /// Algorithm 1 on an already encoded-and-centred query.
+    fn predict_encoded(&self, fitted: &Fitted, q: &[f32]) -> Prediction {
+        let (mut sims, mut weights) = (Vec::new(), Vec::new());
+        let (mut ensemble, mut scores) = (Vec::new(), Vec::new());
+        let verdict =
+            self.score_encoded_into(fitted, q, &mut sims, &mut weights, &mut ensemble, &mut scores);
         Prediction {
-            label: best_label,
+            label: vecops::argmax(&scores).unwrap_or(0),
             is_ood: verdict.is_ood,
             delta_max: verdict.delta_max,
             best_domain: fitted.domain_tags[verdict.best_domain],
@@ -639,8 +719,109 @@ impl Smore {
         }
     }
 
+    /// Encodes one window into the scratch's dense query: channel
+    /// standardisation (into the reusable scaled buffer), dense n-gram
+    /// encoding and mean-centring.
+    fn encode_query_into(
+        &self,
+        fitted: &Fitted,
+        window: &Matrix,
+        scratch: &mut ServeScratch,
+    ) -> Result<()> {
+        fitted.scaler.apply_into(window, &mut scratch.scaled);
+        let hv = self.encoder.encode_window(&scratch.scaled)?;
+        scratch.dense_query.clear();
+        scratch.dense_query.extend_from_slice(hv.as_slice());
+        fitted.centerer.apply_one(&mut scratch.dense_query);
+        Ok(())
+    }
+
+    /// Predicts one window through caller-owned scratch — the dense
+    /// backend of the unified [`Predictor`] surface. The returned
+    /// reference points into `scratch`; clone it to keep the prediction
+    /// past the next call. (Unlike the quantized backend, the dense
+    /// encoder itself still allocates internally; the scratch removes the
+    /// scoring-side allocations.)
+    ///
+    /// # Errors
+    ///
+    /// - [`SmoreError::NotFitted`] before training.
+    /// - Encoder errors for malformed windows.
+    pub fn predict_window_with<'s>(
+        &self,
+        window: &Matrix,
+        scratch: &'s mut ServeScratch,
+    ) -> Result<&'s Prediction> {
+        let fitted = self.state()?;
+        self.encode_query_into(fitted, window, scratch)?;
+        let ServeScratch { dense_query, sims, weights, ensemble, scores, .. } = &mut *scratch;
+        let verdict = self.score_encoded_into(fitted, dense_query, sims, weights, ensemble, scores);
+        let prediction = &mut scratch.prediction;
+        prediction.label = vecops::argmax(&scratch.scores).unwrap_or(0);
+        prediction.is_ood = verdict.is_ood;
+        prediction.delta_max = verdict.delta_max;
+        prediction.best_domain = fitted.domain_tags[verdict.best_domain];
+        prediction.domain_similarities.clear();
+        prediction.domain_similarities.extend_from_slice(&scratch.sims);
+        Ok(&scratch.prediction)
+    }
+
+    /// Per-class ensemble scores for one window (the dense
+    /// [`Predictor::score_into`] surface): `scores` is cleared and
+    /// refilled with `num_classes` entries; the predicted label is their
+    /// argmax.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`predict_window_with`](Self::predict_window_with).
+    pub fn score_into(
+        &self,
+        window: &Matrix,
+        scratch: &mut ServeScratch,
+        scores: &mut Vec<f32>,
+    ) -> Result<()> {
+        let fitted = self.state()?;
+        self.encode_query_into(fitted, window, scratch)?;
+        let ServeScratch { dense_query, sims, weights, ensemble, .. } = &mut *scratch;
+        self.score_encoded_into(fitted, dense_query, sims, weights, ensemble, scores);
+        Ok(())
+    }
+
     fn state(&self) -> Result<&Fitted> {
         self.fitted.as_ref().ok_or(SmoreError::NotFitted)
+    }
+}
+
+impl Predictor for Smore {
+    fn num_classes(&self) -> usize {
+        self.config.num_classes
+    }
+
+    fn predict_window_with<'s>(
+        &self,
+        window: &Matrix,
+        scratch: &'s mut ServeScratch,
+    ) -> Result<&'s Prediction> {
+        Smore::predict_window_with(self, window, scratch)
+    }
+
+    fn score_into(
+        &self,
+        window: &Matrix,
+        scratch: &mut ServeScratch,
+        scores: &mut Vec<f32>,
+    ) -> Result<()> {
+        Smore::score_into(self, window, scratch, scores)
+    }
+
+    fn predict_window(&self, window: &Matrix) -> Result<Prediction> {
+        Smore::predict_window(self, window)
+    }
+
+    /// Overrides the provided sequential batch with the thread-parallel
+    /// implementation.
+    fn predict_batch(&self, windows: &[Matrix]) -> Result<Vec<Prediction>> {
+        Smore::predict_batch(self, windows)
     }
 }
 
@@ -876,6 +1057,42 @@ mod tests {
             after >= before,
             "enrolling ground-truth windows must not hurt the enrolled domain: {before} -> {after}"
         );
+    }
+
+    #[test]
+    fn prepare_domain_is_non_mutating_and_validates_extra_models() {
+        let ds = shifted_dataset(13);
+        let (train, test) = split::lodo(&ds, 0).unwrap();
+        let mut model = Smore::new(small_config(3, 4)).unwrap();
+        model.fit_indices(&ds, &train).unwrap();
+        let (w, l, _) = ds.gather(&test[..24]);
+
+        let prep = model.prepare_domain(&w, &l, &[]).unwrap();
+        assert_eq!(prep.samples, 24);
+        assert_eq!(prep.descriptor.len(), 1024);
+        assert_eq!(model.num_domains().unwrap(), 3, "prepare_domain must not mutate");
+        // enroll_domain attaches exactly what prepare_domain trains.
+        let mut enrolled = model.clone();
+        enrolled.enroll_domain(&w, &l, 99).unwrap();
+        assert_eq!(
+            enrolled.domain_models().unwrap().last().unwrap().class_hypervectors(),
+            prep.model.class_hypervectors()
+        );
+        // A tenant's own earlier models change the seeding.
+        let personal = model.prepare_domain(&w, &l, std::slice::from_ref(&prep.model)).unwrap();
+        assert_ne!(personal.model.class_hypervectors(), prep.model.class_hypervectors());
+        // Mis-shaped extra models are a typed up-front InvalidConfig.
+        let small = HdcClassifier::new(HdcClassifierConfig {
+            dim: 64,
+            num_classes: 4,
+            learning_rate: 0.05,
+            epochs: 1,
+        })
+        .unwrap();
+        assert!(matches!(
+            model.prepare_domain(&w, &l, &[small]),
+            Err(SmoreError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,389 @@
+//! Integration tests for the versioned `.smore` artifact format: bit-exact
+//! round trips (property-tested over random windows, ragged dimensions and
+//! enrolled domains), a committed golden fixture that fails the suite on
+//! silent format drift, and corruption coverage (truncation and bit flips
+//! must produce [`SmoreError::CorruptArtifact`], never a panic).
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use smore::artifact::{self, ArtifactKind, FORMAT_VERSION, MAGIC};
+use smore::{QuantizedSmore, ServeScratch, Smore, SmoreConfig, SmoreError};
+use smore_data::generator::{generate, DomainSpec, GeneratorConfig};
+use smore_data::Dataset;
+use smore_tensor::{init, Matrix};
+
+fn dataset(channels: usize, window_len: usize, seed: u64) -> Dataset {
+    generate(&GeneratorConfig {
+        name: "artifact-test".into(),
+        num_classes: 3,
+        channels,
+        window_len,
+        sample_rate_hz: 20.0,
+        domains: vec![
+            DomainSpec { subjects: vec![0], windows: 24 },
+            DomainSpec { subjects: vec![1], windows: 24 },
+            DomainSpec { subjects: vec![2], windows: 24 },
+        ],
+        shift_severity: 0.8,
+        seed,
+    })
+    .unwrap()
+}
+
+fn fitted(ds: &Dataset, dim: usize) -> Smore {
+    let mut model = Smore::new(
+        SmoreConfig::builder()
+            .dim(dim)
+            .channels(ds.meta().channels)
+            .num_classes(ds.meta().num_classes)
+            .epochs(5)
+            .threads(2)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let all: Vec<usize> = (0..ds.len()).collect();
+    model.fit_indices(ds, &all).unwrap();
+    model
+}
+
+/// `(dataset, dense, quantized, quantized-after-round-trip)` — built once;
+/// proptest cases only pay for scoring. `dim = 512` is word-aligned; the
+/// ragged fixture below covers the padded-tail bit paths.
+fn roundtrip_fixture() -> &'static (Dataset, Smore, QuantizedSmore, QuantizedSmore) {
+    static FIXTURE: OnceLock<(Dataset, Smore, QuantizedSmore, QuantizedSmore)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let ds = dataset(3, 16, 33);
+        let dense = fitted(&ds, 512);
+        let quantized = dense.quantize().unwrap();
+        let loaded = QuantizedSmore::from_artifact_bytes(&quantized.to_artifact_bytes()).unwrap();
+        (ds, dense, quantized, loaded)
+    })
+}
+
+/// A sensor-shaped window never seen by training.
+fn perturbed_window(ds: &Dataset, index: usize, gain: f32, noise_seed: u64) -> Matrix {
+    let mut rng = init::rng(noise_seed);
+    let base = ds.window(index % ds.len());
+    let noise = init::normal_matrix(&mut rng, base.rows(), base.cols());
+    let mut w = base.scale(gain);
+    w.axpy(0.05, &noise).unwrap();
+    w
+}
+
+/// Exact f32 bit-pattern equality of two score vectors.
+fn assert_bits_equal(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: score {i} differs: {x} vs {y}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn loaded_quantized_scores_are_bit_exact_on_random_windows(
+        index in 0usize..72,
+        gain in 0.25f32..2.0,
+        noise_seed in any::<u64>(),
+    ) {
+        let (ds, _, original, loaded) = roundtrip_fixture();
+        let w = perturbed_window(ds, index, gain, noise_seed);
+        let mut scratch = ServeScratch::new();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        original.score_into(&w, &mut scratch, &mut a).unwrap();
+        loaded.score_into(&w, &mut scratch, &mut b).unwrap();
+        assert_bits_equal(&a, &b, "quantized round trip");
+        let pa = original.predict_window(&w).unwrap();
+        let pb = loaded.predict_window(&w).unwrap();
+        prop_assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn loaded_dense_model_is_bit_exact_on_random_windows(
+        index in 0usize..72,
+        gain in 0.5f32..1.6,
+        noise_seed in any::<u64>(),
+    ) {
+        let (ds, dense, _, _) = roundtrip_fixture();
+        static LOADED: OnceLock<Smore> = OnceLock::new();
+        let loaded = LOADED.get_or_init(|| {
+            let (_, dense, _, _) = roundtrip_fixture();
+            Smore::from_artifact_bytes(&dense.to_artifact_bytes().unwrap()).unwrap()
+        });
+        let w = perturbed_window(ds, index, gain, noise_seed);
+        prop_assert_eq!(dense.predict_window(&w).unwrap(), loaded.predict_window(&w).unwrap());
+    }
+}
+
+#[test]
+fn quantized_round_trip_survives_ragged_dims_and_enrolment() {
+    // dim 200 leaves a 56-bit padded tail in every fourth word — the
+    // ragged paths of packing, rotation and artifact validation.
+    let ds = dataset(2, 12, 91);
+    let mut dense = fitted(&ds, 200);
+    let mut quantized = dense.quantize().unwrap();
+
+    let round = |q: &QuantizedSmore| QuantizedSmore::from_artifact_bytes(&q.to_artifact_bytes());
+    let windows: Vec<Matrix> = (0..24).map(|i| ds.window(i * 3).clone()).collect();
+    let loaded = round(&quantized).unwrap();
+    assert_eq!(
+        quantized.predict_batch(&windows).unwrap(),
+        loaded.predict_batch(&windows).unwrap(),
+        "ragged-dim round trip must be bit-exact"
+    );
+
+    // Enrol a domain online, then round-trip the grown model.
+    let idx: Vec<usize> = (48..72).collect();
+    let (w, l, _) = ds.gather(&idx);
+    dense.enroll_domain(&w, &l, 9).unwrap();
+    let models = dense.domain_models().unwrap();
+    let descriptors = dense.descriptors().unwrap().as_matrix().clone();
+    quantized.enroll_domain(models.last().unwrap(), descriptors.row(3), 9).unwrap();
+
+    let loaded = round(&quantized).unwrap();
+    assert_eq!(loaded.num_domains(), 4);
+    assert_eq!(loaded.domain_tags(), quantized.domain_tags());
+    assert_eq!(
+        quantized.predict_batch(&windows).unwrap(),
+        loaded.predict_batch(&windows).unwrap(),
+        "round trip with an enrolled domain must be bit-exact"
+    );
+    // And the loaded model accepts further enrolment (tags validated).
+    let mut grown = loaded;
+    assert!(grown.enroll_domain(models.last().unwrap(), descriptors.row(3), 9).is_err());
+}
+
+#[test]
+fn loaded_dense_model_resumes_adaptation() {
+    let ds = dataset(3, 16, 57);
+    let dense = fitted(&ds, 256);
+    let bytes = dense.to_artifact_bytes().unwrap();
+    let mut loaded = Smore::from_artifact_bytes(&bytes).unwrap();
+
+    // The canonical encoding makes "same model" checkable as byte equality.
+    assert_eq!(loaded.to_artifact_bytes().unwrap(), bytes, "re-save must be canonical");
+    assert_eq!(
+        dense.quantize().unwrap().to_artifact_bytes(),
+        loaded.quantize().unwrap().to_artifact_bytes(),
+        "quantizing the loaded model must equal quantizing the original"
+    );
+
+    // Resume adaptation: enrol on the loaded model.
+    let idx: Vec<usize> = (0..24).collect();
+    let (w, l, _) = ds.gather(&idx);
+    let report = loaded.enroll_domain(&w, &l, 42).unwrap();
+    assert_eq!(report.num_domains, 4);
+    assert!(loaded.predict_window(ds.window(0)).unwrap().domain_similarities.len() == 4);
+}
+
+#[test]
+fn unfitted_dense_model_refuses_to_save() {
+    let model =
+        Smore::new(SmoreConfig::builder().dim(128).channels(2).num_classes(3).build().unwrap())
+            .unwrap();
+    assert!(matches!(model.to_artifact_bytes(), Err(SmoreError::NotFitted)));
+    assert!(matches!(model.save("/tmp/never-written.smore"), Err(SmoreError::NotFitted)));
+}
+
+#[test]
+fn save_load_through_the_filesystem_and_io_errors() {
+    let ds = dataset(2, 12, 15);
+    let dense = fitted(&ds, 128);
+    let quantized = dense.quantize().unwrap();
+    let dir = std::env::temp_dir().join("smore_artifact_test");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let qpath = dir.join("model.smore");
+    quantized.save(&qpath).unwrap();
+    let loaded = QuantizedSmore::load(&qpath).unwrap();
+    let w = ds.window(5);
+    assert_eq!(quantized.predict_window(w).unwrap(), loaded.predict_window(w).unwrap());
+
+    let dpath = dir.join("dense.smore");
+    dense.save(&dpath).unwrap();
+    assert_eq!(Smore::load(&dpath).unwrap().domain_tags().unwrap(), dense.domain_tags().unwrap());
+
+    // Typed Io errors, with the offending path in the message.
+    let missing = dir.join("missing.smore");
+    for err in [
+        QuantizedSmore::load(&missing).unwrap_err(),
+        Smore::load(&missing).unwrap_err(),
+        quantized.save(dir.join("no-such-dir").join("x.smore")).unwrap_err(),
+    ] {
+        match err {
+            SmoreError::Io { path, .. } => assert!(path.contains("smore_artifact_test")),
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn kind_mismatch_is_a_typed_refusal() {
+    let (_, dense, quantized, _) = roundtrip_fixture();
+    let dense_bytes = dense.to_artifact_bytes().unwrap();
+    let quant_bytes = quantized.to_artifact_bytes();
+    assert_eq!(artifact::kind_of(&dense_bytes).unwrap(), ArtifactKind::Dense);
+    assert_eq!(artifact::kind_of(&quant_bytes).unwrap(), ArtifactKind::Quantized);
+    let err = QuantizedSmore::from_artifact_bytes(&dense_bytes).unwrap_err();
+    assert!(
+        matches!(&err, SmoreError::CorruptArtifact { .. })
+            && err.to_string().contains("Smore::load"),
+        "{err}"
+    );
+    let err = Smore::from_artifact_bytes(&quant_bytes).unwrap_err();
+    assert!(
+        matches!(&err, SmoreError::CorruptArtifact { .. })
+            && err.to_string().contains("QuantizedSmore::load"),
+        "{err}"
+    );
+}
+
+/// Every truncation of a valid artifact must fail with a typed error —
+/// never a panic, never a silent partial model.
+#[test]
+fn truncation_always_returns_corrupt_artifact() {
+    let (_, dense, quantized, _) = roundtrip_fixture();
+    for (bytes, is_dense) in
+        [(quantized.to_artifact_bytes(), false), (dense.to_artifact_bytes().unwrap(), true)]
+    {
+        // Dense cuts through the whole range plus every boundary-ish cut
+        // near the start where the header/section table lives.
+        let cuts = (0..64).chain((64..bytes.len()).step_by(97)).chain([bytes.len() - 1]);
+        for cut in cuts {
+            let r_quant = QuantizedSmore::from_artifact_bytes(&bytes[..cut]);
+            let r_dense = Smore::from_artifact_bytes(&bytes[..cut]);
+            let err = if is_dense { r_dense.err() } else { r_quant.err() };
+            match err {
+                Some(SmoreError::CorruptArtifact { .. }) => {}
+                other => panic!("cut at {cut}: expected CorruptArtifact, got {other:?}"),
+            }
+        }
+    }
+}
+
+/// Flipping any single bit of the artifact must be detected (section CRCs
+/// plus validated header/table fields) and reported as CorruptArtifact.
+#[test]
+fn single_bit_flips_always_return_corrupt_artifact() {
+    let (ds, _, quantized, _) = roundtrip_fixture();
+    let bytes = quantized.to_artifact_bytes();
+    let reference = quantized.predict_window(ds.window(0)).unwrap();
+    // Every byte of the 16-byte header + section table regions, then a
+    // stride through the payloads (every bit of every 131st byte).
+    let positions: Vec<usize> = (0..64).chain((64..bytes.len()).step_by(131)).collect();
+    for pos in positions {
+        for bit in 0..8 {
+            let mut flipped = bytes.clone();
+            flipped[pos] ^= 1 << bit;
+            match QuantizedSmore::from_artifact_bytes(&flipped) {
+                Err(SmoreError::CorruptArtifact { .. }) => {}
+                Err(other) => panic!("flip {pos}:{bit}: expected CorruptArtifact, got {other:?}"),
+                Ok(model) => panic!(
+                    "flip {pos}:{bit} loaded silently (prediction {:?} vs {:?})",
+                    model.predict_window(ds.window(0)),
+                    reference
+                ),
+            }
+        }
+    }
+}
+
+/// A crafted artifact whose section-internal *count* fields are huge must
+/// be rejected before any allocation is sized by them: a valid CRC is no
+/// protection (whoever writes the file writes the checksum too), so the
+/// tamper here recomputes the section checksum like an attacker would.
+#[test]
+fn huge_internal_counts_are_rejected_without_allocation() {
+    fn crc32(bytes: &[u8]) -> u32 {
+        let mut crc = 0xFFFF_FFFFu32;
+        for &b in bytes {
+            crc ^= b as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 == 1 { 0xEDB8_8320 ^ (crc >> 1) } else { crc >> 1 };
+            }
+        }
+        crc ^ 0xFFFF_FFFF
+    }
+    /// Overwrites the leading u64 count of section `id` and re-stamps its
+    /// CRC (container layout: 16-byte header, then per section a 16-byte
+    /// `id | crc | len` header followed by the payload).
+    fn patch_section_count(bytes: &[u8], id: u32, new_count: u64) -> Vec<u8> {
+        let mut out = bytes.to_vec();
+        let mut pos = 16usize;
+        while pos + 16 <= out.len() {
+            let sid = u32::from_le_bytes(out[pos..pos + 4].try_into().unwrap());
+            let len = u64::from_le_bytes(out[pos + 8..pos + 16].try_into().unwrap()) as usize;
+            let start = pos + 16;
+            if sid == id {
+                out[start..start + 8].copy_from_slice(&new_count.to_le_bytes());
+                let crc = crc32(&out[start..start + len]);
+                out[pos + 4..pos + 8].copy_from_slice(&crc.to_le_bytes());
+                return out;
+            }
+            pos = start + len;
+        }
+        panic!("section {id} not found");
+    }
+
+    let (_, dense, quantized, _) = roundtrip_fixture();
+    // Packed descriptors (16), classes (17) and codebooks (19).
+    for id in [16u32, 17, 19] {
+        let patched = patch_section_count(&quantized.to_artifact_bytes(), id, 1 << 62);
+        assert!(
+            matches!(
+                QuantizedSmore::from_artifact_bytes(&patched),
+                Err(SmoreError::CorruptArtifact { .. })
+            ),
+            "huge count in section {id} must be a typed corruption error"
+        );
+    }
+    // Dense domain models (33).
+    let patched = patch_section_count(&dense.to_artifact_bytes().unwrap(), 33, 1 << 62);
+    assert!(matches!(
+        Smore::from_artifact_bytes(&patched),
+        Err(SmoreError::CorruptArtifact { .. })
+    ));
+}
+
+/// The committed golden fixture: regenerating the artifact from the same
+/// deterministic training run must reproduce the committed bytes exactly,
+/// and the committed bytes must load into a model that predicts exactly
+/// like the freshly trained one. Any silent format drift — layout, CRC,
+/// section set, canonical encoding, or a behavioural change in
+/// training/quantization — fails here first.
+///
+/// Regenerate (after an *intentional* format bump) with:
+/// `SMORE_REGEN_GOLDEN=1 cargo test -p smore --test artifact golden`.
+#[test]
+fn golden_fixture_locks_the_format() {
+    let ds = dataset(2, 12, 77);
+    let dense = fitted(&ds, 128);
+    let quantized = dense.quantize().unwrap();
+    let bytes = quantized.to_artifact_bytes();
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/quantized_v1.smore");
+    if std::env::var_os("SMORE_REGEN_GOLDEN").is_some() {
+        std::fs::write(path, &bytes).unwrap();
+    }
+    let committed = std::fs::read(path).expect("golden fixture tests/fixtures/quantized_v1.smore");
+    assert_eq!(&committed[..8], MAGIC.as_slice());
+    assert_eq!(u16::from_le_bytes([committed[8], committed[9]]), FORMAT_VERSION);
+    assert_eq!(
+        committed, bytes,
+        "freshly written artifact differs from the committed golden fixture — the format (or \
+         deterministic training) drifted; if intentional, bump FORMAT_VERSION and regenerate \
+         with SMORE_REGEN_GOLDEN=1"
+    );
+
+    let loaded = QuantizedSmore::from_artifact_bytes(&committed).unwrap();
+    let windows: Vec<Matrix> = (0..12).map(|i| ds.window(i * 6).clone()).collect();
+    assert_eq!(
+        loaded.predict_batch(&windows).unwrap(),
+        quantized.predict_batch(&windows).unwrap(),
+        "the committed fixture must serve bit-identically to the in-memory model"
+    );
+}

@@ -30,7 +30,6 @@ use crate::{DataError, Result};
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ActivityModel {
     num_classes: usize,
     channels: usize,

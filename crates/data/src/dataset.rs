@@ -4,7 +4,6 @@ use crate::{DataError, Result};
 
 /// Static description of a generated dataset.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DatasetMeta {
     /// Human-readable dataset name (e.g. `"usc-had-like"`).
     pub name: String,
@@ -39,7 +38,6 @@ pub struct DatasetMeta {
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Dataset {
     meta: DatasetMeta,
     windows: Vec<Matrix>,

@@ -9,7 +9,6 @@ use crate::{DataError, Dataset, DatasetMeta, Result};
 
 /// One domain: a group of subjects and a window budget (paper Table 1).
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DomainSpec {
     /// Global subject IDs belonging to this domain.
     pub subjects: Vec<usize>,
@@ -19,7 +18,6 @@ pub struct DomainSpec {
 
 /// Full configuration for [`generate`].
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GeneratorConfig {
     /// Dataset name recorded in the metadata.
     pub name: String,

@@ -18,7 +18,6 @@ use crate::{DataError, Dataset, Result};
 
 /// Scaling profile applied to a preset.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PresetProfile {
     /// Fraction of the Table 1 window budget to generate (`0 < scale ≤ 1`).
     pub scale: f32,

@@ -12,7 +12,6 @@ use smore_tensor::init;
 
 /// One harmonic component: `amplitude * sin(2π * freq_mult * f0 * t + phase)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Harmonic {
     /// Multiplier applied to the pattern's base frequency.
     pub freq_mult: f32,
@@ -24,7 +23,6 @@ pub struct Harmonic {
 
 /// The generative pattern for one (activity class, sensor channel) pair.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ChannelPattern {
     /// Base frequency of the activity on this channel, in Hz.
     pub base_freq_hz: f32,

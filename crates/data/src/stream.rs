@@ -27,7 +27,6 @@ use crate::{DataError, Dataset, Result};
 /// One contiguous stretch of the stream, drawn from a single domain of the
 /// base dataset with an optional drift transform.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DriftSegment {
     /// Domain of the base dataset this segment samples from.
     pub domain: usize,
@@ -51,7 +50,6 @@ impl DriftSegment {
 
 /// Configuration for [`concept_drift_stream`].
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StreamConfig {
     /// The segments, in arrival order.
     pub segments: Vec<DriftSegment>,
@@ -61,7 +59,6 @@ pub struct StreamConfig {
 
 /// One window of the stream, tagged with its provenance.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StreamItem {
     /// The (possibly drift-transformed) sensor window.
     pub window: Matrix,

@@ -29,7 +29,6 @@ use crate::{DataError, Result};
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SubjectEffect {
     subject_id: usize,
     /// Multiplicative gain per channel (sensor fit, body composition).

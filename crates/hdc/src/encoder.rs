@@ -23,7 +23,6 @@ use crate::{HdcError, Hypervector, Result};
 
 /// How raw values are normalised into the quantiser's `[0, 1]` range.
 #[derive(Debug, Clone, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ValueRange {
     /// Paper-literal: each sensor is normalised by the minimum and maximum
     /// value it takes *within the current window* (Fig. 3 assigns `H_max`
@@ -47,7 +46,6 @@ pub enum ValueRange {
 /// assert_eq!(cfg.ngram, 3);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EncoderConfig {
     /// Hyperdimensional space dimensionality `d` (paper default: 8k).
     pub dim: usize,

@@ -35,7 +35,6 @@ use crate::{HdcError, Result};
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Hypervector {
     data: Vec<f32>,
 }

@@ -32,7 +32,6 @@ use crate::{HdcError, Hypervector, Result};
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ItemMemory {
     items: Vec<Hypervector>,
     dim: usize,
@@ -104,7 +103,6 @@ impl ItemMemory {
 
 /// Quantisation strategy for continuous signal values (paper §3.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Quantization {
     /// Paper-literal vector quantisation: the hypervector for a value sits
     /// on the similarity spectrum between the `H_min` and `H_max` anchors.
@@ -149,7 +147,6 @@ pub enum Quantization {
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LevelMemory {
     h_min: Hypervector,
     h_max: Hypervector,
@@ -317,7 +314,6 @@ impl LevelMemory {
 /// and bundles across sensors: `Σ_i G_i ∗ H_i`. Signatures are random and
 /// bipolar, so different sensors land in nearly orthogonal subspaces.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SignatureMemory {
     inner: ItemMemory,
 }

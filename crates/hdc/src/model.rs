@@ -21,7 +21,6 @@ use crate::{HdcError, Result};
 
 /// Configuration for [`HdcClassifier`].
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HdcClassifierConfig {
     /// Hypervector dimensionality `d`.
     pub dim: usize,
@@ -42,7 +41,6 @@ impl Default for HdcClassifierConfig {
 
 /// Report returned by [`HdcClassifier::fit`].
 #[derive(Debug, Clone, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FitReport {
     /// Number of refinement epochs actually run (early-stops when an epoch
     /// makes no update).
@@ -86,7 +84,6 @@ pub struct FitReport {
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HdcClassifier {
     class_hvs: Matrix,
     config: HdcClassifierConfig,

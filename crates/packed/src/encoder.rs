@@ -234,9 +234,110 @@ impl PackedNgramEncoder {
         Ok(Self { config: config.clone(), codebooks, codebooks_rot, signatures })
     }
 
+    /// Reassembles an encoder from raw parts — the artifact-load path, the
+    /// inverse of the [`codebooks`](Self::codebooks) /
+    /// [`codebooks_rot`](Self::codebooks_rot) /
+    /// [`signatures`](Self::signatures) accessors. No codebook is derived
+    /// or re-rotated: the caller-provided words are served verbatim, which
+    /// is what makes artifact loading bit-exact (and fast — no dense
+    /// encoder is ever built).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidConfig`] when any shape disagrees with
+    /// `config`: codebook/signature count vs `sensors`, level count vs the
+    /// `levels` grid, per-vector dimensionality vs `dim`, a missing (or
+    /// spurious) pre-rotated codebook for the configured `ngram`, or a
+    /// [`ValueRange::Global`] range list of the wrong length.
+    pub fn from_parts(
+        config: EncoderConfig,
+        codebooks: Vec<Vec<PackedHypervector>>,
+        codebooks_rot: Vec<Vec<PackedHypervector>>,
+        signatures: Vec<PackedHypervector>,
+    ) -> Result<Self> {
+        if config.dim == 0 || config.sensors == 0 || config.ngram == 0 {
+            return Err(HdcError::InvalidConfig {
+                what: "encoder dim, sensors and ngram must all be positive".into(),
+            });
+        }
+        if let ValueRange::Global(ranges) = &config.range {
+            if ranges.len() != config.sensors {
+                return Err(HdcError::InvalidConfig {
+                    what: format!(
+                        "global range has {} pairs for {} sensors",
+                        ranges.len(),
+                        config.sensors
+                    ),
+                });
+            }
+        }
+        let grid = config.levels.max(2);
+        let check_books = |books: &[Vec<PackedHypervector>], what: &str| -> Result<()> {
+            if books.len() != config.sensors {
+                return Err(HdcError::InvalidConfig {
+                    what: format!(
+                        "{what}: {} codebooks for {} sensors",
+                        books.len(),
+                        config.sensors
+                    ),
+                });
+            }
+            for levels in books {
+                if levels.len() != grid {
+                    return Err(HdcError::InvalidConfig {
+                        what: format!("{what}: {} levels on a {grid}-level grid", levels.len()),
+                    });
+                }
+                if let Some(bad) = levels.iter().find(|c| c.dim() != config.dim) {
+                    return Err(HdcError::InvalidConfig {
+                        what: format!("{what}: codeword dim {} != {}", bad.dim(), config.dim),
+                    });
+                }
+            }
+            Ok(())
+        };
+        check_books(&codebooks, "codebooks")?;
+        if config.ngram > 1 {
+            check_books(&codebooks_rot, "pre-rotated codebooks")?;
+        } else if !codebooks_rot.is_empty() {
+            return Err(HdcError::InvalidConfig {
+                what: "unigram encoders carry no pre-rotated codebooks".into(),
+            });
+        }
+        if signatures.len() != config.sensors || signatures.iter().any(|s| s.dim() != config.dim) {
+            return Err(HdcError::InvalidConfig {
+                what: format!(
+                    "{} signatures (dim {:?}) for {} sensors of dim {}",
+                    signatures.len(),
+                    signatures.first().map(PackedHypervector::dim),
+                    config.sensors,
+                    config.dim
+                ),
+            });
+        }
+        Ok(Self { config, codebooks, codebooks_rot, signatures })
+    }
+
     /// The encoder configuration (shared with the dense encoder).
     pub fn config(&self) -> &EncoderConfig {
         &self.config
+    }
+
+    /// The packed per-sensor quantisation codebooks (`[sensor][level]`) —
+    /// raw access for model artifacts; see [`from_parts`](Self::from_parts).
+    pub fn codebooks(&self) -> &[Vec<PackedHypervector>] {
+        &self.codebooks
+    }
+
+    /// The ρ^{n−1}-pre-rotated codebooks feeding the sliding-bind
+    /// retirement step (empty for unigram encoders).
+    pub fn codebooks_rot(&self) -> &[Vec<PackedHypervector>] {
+        &self.codebooks_rot
+    }
+
+    /// The packed per-sensor signatures `G_i`.
+    pub fn signatures(&self) -> &[PackedHypervector] {
+        &self.signatures
     }
 
     /// Hyperdimensional dimensionality `d`.

@@ -71,6 +71,33 @@ impl PackedHypervector {
         Self::from_signs(hv.as_slice())
     }
 
+    /// Reconstructs a packed hypervector from its raw storage words — the
+    /// artifact-load path, the inverse of [`words`](Self::words).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidConfig`] when the word count does not
+    /// match `dim` or the final word violates the zero-padding invariant
+    /// (both indicate corrupted or foreign bytes, not a usable vector).
+    pub fn from_words(dim: usize, words: Vec<u64>) -> Result<Self> {
+        if words.len() != words_for(dim) {
+            return Err(HdcError::InvalidConfig {
+                what: format!(
+                    "{} storage words cannot carry {dim} dimensions (need {})",
+                    words.len(),
+                    words_for(dim)
+                ),
+            });
+        }
+        let tail_bits = dim % WORD_BITS;
+        if tail_bits != 0 && words[words.len() - 1] >> tail_bits != 0 {
+            return Err(HdcError::InvalidConfig {
+                what: format!("padding bits beyond dimension {dim} must be zero"),
+            });
+        }
+        Ok(Self { words, dim })
+    }
+
     /// Expands back to a dense bipolar hypervector (`bit → ∓1`).
     pub fn to_dense(&self) -> Hypervector {
         Hypervector::from_vec((0..self.dim).map(|i| if self.get(i) { -1.0 } else { 1.0 }).collect())

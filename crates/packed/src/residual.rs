@@ -87,6 +87,39 @@ impl ResidualPacked {
         Ok(Self { planes: out, dim })
     }
 
+    /// Reassembles a residual-binarized vector from its `(scale, sign
+    /// plane)` pairs — the artifact-load path, the inverse of
+    /// [`planes`](Self::planes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidConfig`] for an empty plane list,
+    /// zero-dimensional or mismatched planes, or a non-finite scale.
+    pub fn from_planes(planes: Vec<(f32, PackedHypervector)>) -> Result<Self> {
+        let Some((_, first)) = planes.first() else {
+            return Err(HdcError::InvalidConfig {
+                what: "residual vector needs at least one plane".into(),
+            });
+        };
+        let dim = first.dim();
+        if dim == 0 {
+            return Err(HdcError::InvalidConfig {
+                what: "residual planes must be non-empty".into(),
+            });
+        }
+        if let Some((alpha, plane)) =
+            planes.iter().find(|(alpha, plane)| plane.dim() != dim || !alpha.is_finite())
+        {
+            return Err(HdcError::InvalidConfig {
+                what: format!(
+                    "invalid residual plane: scale {alpha}, dim {} (expected {dim})",
+                    plane.dim()
+                ),
+            });
+        }
+        Ok(Self { planes, dim })
+    }
+
     /// Dimensionality of the approximated vector.
     pub fn dim(&self) -> usize {
         self.dim

@@ -2,7 +2,6 @@
 
 /// A compute platform's envelope: effective throughput, bandwidth, power.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DeviceSpec {
     /// Human-readable platform name.
     pub name: String,

@@ -43,7 +43,6 @@ pub use device::DeviceSpec;
 /// access, optimizer bookkeeping — what TENT runs at test time) fall below
 /// it (`0.6`).
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OpProfile {
     /// Floating-point operations.
     pub flops: f64,

@@ -1,0 +1,590 @@
+//! Multi-tenant serving: one model, a million users.
+//!
+//! [`StreamingSmore`](crate::StreamingSmore) binds one adaptation loop to
+//! one serving snapshot — the single-stream deployment. Real fleets look
+//! different: **one** trained model serves millions of users, and each
+//! user drifts (or doesn't) independently — a miscalibrated watch here, a
+//! new sensor placement there. Duplicating the model per user is a
+//! non-starter; sharing one mutable model across users would let one
+//! user's drift corrupt everyone else's predictions.
+//!
+//! [`ServeEngine`] resolves this with shared immutable state plus
+//! per-tenant overlays:
+//!
+//! - The engine holds the **base** state behind `Arc`s: the frozen
+//!   [`QuantizedSmore`] serving snapshot (loaded once — typically from a
+//!   `.smore` artifact via [`ServeEngine::from_artifact`]) and the fitted
+//!   dense [`Smore`] used to *train* tenant enrolments
+//!   ([`Smore::prepare_domain`] never mutates it, so no locking exists
+//!   anywhere on the serve path).
+//! - Each [`TenantSession`] owns only its own adaptation state: OOD
+//!   buffer, drift detector, serving scratch and — only after its drift
+//!   detector has actually fired — a **personal snapshot**: the base
+//!   snapshot cloned once and appended with the tenant's enrolled domains
+//!   (copy-on-adapt). Tenants that never drift (the overwhelming
+//!   majority) serve from the shared snapshot and cost a few KiB each.
+//!
+//! Sessions are `Send`, so a server hands one to each connection/actor;
+//! the engine itself is cheap to share behind an `Arc`.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use smore::artifact::{self, ArtifactKind};
+use smore::{QuantizedSmore, ServeScratch, Smore, SmoreError};
+use smore_hdc::model::HdcClassifier;
+use smore_tensor::Matrix;
+
+use crate::adapt::{AdaptationState, EnrollmentPlan};
+use crate::session::{AdaptationEvent, StreamOutcome, StreamingConfig};
+use crate::Result;
+
+/// Served `δ_max` quantile over a calibration set — the shared core of
+/// [`StreamingSmore::calibrate_drift_delta`](crate::StreamingSmore::calibrate_drift_delta)
+/// and [`ServeEngine::calibrate_drift_delta`].
+pub(crate) fn drift_delta_quantile(
+    model: &QuantizedSmore,
+    windows: &[Matrix],
+    quantile: f32,
+) -> Result<f32> {
+    if windows.is_empty() {
+        return Err(SmoreError::InvalidConfig { what: "calibration set is empty".into() });
+    }
+    if !(quantile > 0.0 && quantile < 1.0) {
+        return Err(SmoreError::InvalidConfig {
+            what: format!("calibration quantile must be in (0, 1), got {quantile}"),
+        });
+    }
+    let mut deltas: Vec<f32> = model.predict_batch(windows)?.iter().map(|p| p.delta_max).collect();
+    deltas.sort_by(|a, b| a.partial_cmp(b).expect("similarities are finite"));
+    let idx = ((deltas.len() - 1) as f32 * quantile) as usize;
+    Ok(deltas[idx])
+}
+
+/// The multi-tenant serving engine (see the [module docs](self)).
+///
+/// # Example
+///
+/// ```no_run
+/// use smore_stream::{ServeEngine, StreamingConfig};
+///
+/// # fn main() -> Result<(), smore::SmoreError> {
+/// // One artifact load; every tenant shares the resulting snapshot.
+/// let engine = ServeEngine::from_artifact("model.smore", StreamingConfig::default())?;
+/// let mut alice = engine.session();
+/// let mut bob = engine.session();
+/// # let window = smore_tensor::Matrix::zeros(24, 3);
+/// alice.ingest(&window)?; // tenants adapt independently
+/// bob.ingest(&window)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ServeEngine {
+    /// The fitted dense model — frozen; tenants train enrolments against
+    /// it through the non-mutating [`Smore::prepare_domain`].
+    dense: Arc<Smore>,
+    /// The shared serving snapshot every non-personalized tenant reads.
+    base: Arc<QuantizedSmore>,
+    config: StreamingConfig,
+    drift_delta: f32,
+    /// First tag for tenant-enrolled domains (base tags come before it).
+    next_tag: usize,
+    /// Monotone tenant-id source.
+    tenants: AtomicUsize,
+}
+
+impl ServeEngine {
+    /// Builds an engine around a fitted dense model: quantizes the shared
+    /// base snapshot once and freezes the dense model for tenant
+    /// enrolment.
+    ///
+    /// # Errors
+    ///
+    /// - [`SmoreError::NotFitted`] when `model` has not been fitted.
+    /// - [`SmoreError::InvalidConfig`] for invalid streaming parameters.
+    pub fn new(model: Smore, config: StreamingConfig) -> Result<Self> {
+        config.validate()?;
+        let base = model.quantize()?;
+        let next_tag = model.domain_tags()?.iter().copied().max().unwrap_or(0) + 1;
+        let drift_delta = config.drift_delta.unwrap_or(model.config().delta_star);
+        Ok(Self {
+            dense: Arc::new(model),
+            base: Arc::new(base),
+            config,
+            drift_delta,
+            next_tag,
+            tenants: AtomicUsize::new(0),
+        })
+    }
+
+    /// Loads a **dense** `.smore` artifact (written by [`Smore::save`])
+    /// and builds the engine from it — the "train once, fan out to a
+    /// serving fleet" entry point: one artifact read, one quantize, any
+    /// number of tenants.
+    ///
+    /// # Errors
+    ///
+    /// - [`SmoreError::Io`] when reading fails.
+    /// - [`SmoreError::CorruptArtifact`] for a malformed artifact.
+    /// - [`SmoreError::InvalidConfig`] when the artifact holds a frozen
+    ///   quantized model: per-tenant adaptation needs the dense model —
+    ///   serve a frozen snapshot directly via [`QuantizedSmore::load`].
+    pub fn from_artifact(path: impl AsRef<Path>, config: StreamingConfig) -> Result<Self> {
+        let path = path.as_ref();
+        let bytes =
+            std::fs::read(path).map_err(|e| SmoreError::io(path.display().to_string(), &e))?;
+        match artifact::kind_of(&bytes)? {
+            ArtifactKind::Dense => Self::new(Smore::from_artifact_bytes(&bytes)?, config),
+            ArtifactKind::Quantized => Err(SmoreError::InvalidConfig {
+                what: format!(
+                    "{} holds a frozen quantized model; per-tenant adaptation needs the dense \
+                     artifact (Smore::save). Serve a frozen snapshot with QuantizedSmore::load \
+                     instead.",
+                    path.display()
+                ),
+            }),
+        }
+    }
+
+    /// Calibrates the drift threshold from known in-distribution traffic,
+    /// exactly like
+    /// [`StreamingSmore::calibrate_drift_delta`](crate::StreamingSmore::calibrate_drift_delta).
+    /// Calibrate **before** spawning sessions: existing sessions keep the
+    /// threshold they were created with.
+    ///
+    /// # Errors
+    ///
+    /// [`SmoreError::InvalidConfig`] for an empty calibration set or a
+    /// quantile outside `(0, 1)`; propagates encoder errors.
+    pub fn calibrate_drift_delta(&mut self, windows: &[Matrix], quantile: f32) -> Result<f32> {
+        self.drift_delta = drift_delta_quantile(&self.base, windows, quantile)?;
+        Ok(self.drift_delta)
+    }
+
+    /// The shared base serving snapshot.
+    pub fn base_snapshot(&self) -> Arc<QuantizedSmore> {
+        Arc::clone(&self.base)
+    }
+
+    /// The frozen dense model tenant enrolments are trained against.
+    pub fn dense(&self) -> &Smore {
+        &self.dense
+    }
+
+    /// The streaming configuration every new session starts from.
+    pub fn config(&self) -> &StreamingConfig {
+        &self.config
+    }
+
+    /// The drift threshold new sessions start with.
+    pub fn drift_delta(&self) -> f32 {
+        self.drift_delta
+    }
+
+    /// Number of tenant sessions created so far.
+    pub fn tenants_created(&self) -> usize {
+        self.tenants.load(Ordering::Relaxed)
+    }
+
+    /// Opens a fresh tenant session sharing the engine's base state. The
+    /// session owns all of its adaptation machinery and is `Send` — hand
+    /// it to the tenant's connection/actor thread.
+    pub fn session(&self) -> TenantSession {
+        TenantSession {
+            id: self.tenants.fetch_add(1, Ordering::Relaxed),
+            dense: Arc::clone(&self.dense),
+            base: Arc::clone(&self.base),
+            personal: None,
+            personal_models: Vec::new(),
+            scratch: ServeScratch::new(),
+            state: AdaptationState::new(self.config.clone(), self.drift_delta, self.next_tag),
+        }
+    }
+}
+
+/// One tenant's streaming session over the shared engine state (see the
+/// [module docs](self)).
+///
+/// Serves from the shared base snapshot until this tenant's own drift
+/// detector fires; then the base is cloned **once**, the tenant's new
+/// domain is appended to the clone, and all later serving (and further
+/// enrolments) go through that personal snapshot. Other tenants never
+/// observe any of it.
+#[derive(Debug)]
+pub struct TenantSession {
+    id: usize,
+    dense: Arc<Smore>,
+    base: Arc<QuantizedSmore>,
+    /// Copy-on-adapt overlay: `None` until the first enrolment.
+    personal: Option<QuantizedSmore>,
+    /// Dense models of this tenant's enrolled domains — kept so repeat
+    /// enrolments seed from base *and* personal models alike.
+    personal_models: Vec<HdcClassifier>,
+    scratch: ServeScratch,
+    state: AdaptationState,
+}
+
+impl TenantSession {
+    /// The engine-assigned tenant id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The model this tenant currently serves from (shared base, or the
+    /// personal overlay once adapted).
+    pub fn serving_model(&self) -> &QuantizedSmore {
+        self.personal.as_ref().unwrap_or(&self.base)
+    }
+
+    /// Whether this tenant has enrolled at least one personal domain (and
+    /// therefore owns a personal snapshot).
+    pub fn is_personalized(&self) -> bool {
+        self.personal.is_some()
+    }
+
+    /// Domains in this tenant's serving model (base `K` + personal).
+    pub fn num_domains(&self) -> usize {
+        self.serving_model().num_domains()
+    }
+
+    /// Enrolments this tenant performed, in stream order.
+    pub fn events(&self) -> &[AdaptationEvent] {
+        self.state.events()
+    }
+
+    /// Total windows this tenant ingested.
+    pub fn steps(&self) -> usize {
+        self.state.steps()
+    }
+
+    /// Queries currently buffered for enrolment.
+    pub fn buffered(&self) -> usize {
+        self.state.buffered()
+    }
+
+    /// The drift threshold this session runs with.
+    pub fn drift_delta(&self) -> f32 {
+        self.state.drift_delta()
+    }
+
+    /// OOD fraction over this tenant's detector window.
+    pub fn recent_ood_fraction(&self) -> f32 {
+        self.state.ood_fraction()
+    }
+
+    /// Ingests one unlabelled window: serve, buffer if OOD, adapt (into
+    /// the personal overlay) if drift fires.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoder errors for malformed windows and enrolment
+    /// errors; a failed ingest does not corrupt the session.
+    pub fn ingest(&mut self, window: &Matrix) -> Result<StreamOutcome> {
+        self.observe(window, None)
+    }
+
+    /// Ingests one window with ground truth — the
+    /// [`LabelStrategy::Oracle`](crate::LabelStrategy::Oracle) path.
+    ///
+    /// # Errors
+    ///
+    /// - [`SmoreError::InvalidConfig`] for an out-of-range label.
+    /// - Same conditions as [`ingest`](Self::ingest) otherwise.
+    pub fn ingest_labelled(&mut self, window: &Matrix, label: usize) -> Result<StreamOutcome> {
+        let num_classes = self.dense.config().num_classes;
+        if label >= num_classes {
+            return Err(SmoreError::InvalidConfig {
+                what: format!("label {label} out of range for {num_classes} classes"),
+            });
+        }
+        self.observe(window, Some(label))
+    }
+
+    /// Ingests a micro-batch in arrival order.
+    ///
+    /// # Errors
+    ///
+    /// Stops at (and propagates) the first failing window.
+    pub fn ingest_batch(&mut self, windows: &[Matrix]) -> Result<Vec<StreamOutcome>> {
+        windows.iter().map(|w| self.ingest(w)).collect()
+    }
+
+    fn observe(&mut self, window: &Matrix, true_label: Option<usize>) -> Result<StreamOutcome> {
+        // Serve through the session scratch from whichever snapshot this
+        // tenant currently owns a view of — no lock, no Arc clone.
+        let serving = self.personal.as_ref().unwrap_or(&self.base);
+        let prediction = serving.predict_window_with(window, &mut self.scratch)?.clone();
+        let outcome = self.state.observe(window, &prediction, true_label);
+        let adapted = match outcome.plan {
+            Some(plan) => Some(self.adapt(plan)?),
+            None => None,
+        };
+        Ok(StreamOutcome { prediction, buffered: outcome.buffered, adapted })
+    }
+
+    /// Drift fired for this tenant: train the new domain against the
+    /// shared frozen dense model (plus this tenant's earlier personal
+    /// models), then append it to the personal snapshot — materialised
+    /// from the base by a one-time clone on first adaptation.
+    fn adapt(&mut self, plan: EnrollmentPlan) -> Result<AdaptationEvent> {
+        let t0 = Instant::now();
+        let prep = self.dense.prepare_domain(&plan.windows, &plan.labels, &self.personal_models)?;
+        let enroll_seconds = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let had_personal = self.personal.is_some();
+        let mut personal = match self.personal.take() {
+            Some(p) => p,
+            None => (*self.base).clone(),
+        };
+        if let Err(e) = personal.enroll_domain(&prep.model, &prep.descriptor, plan.tag) {
+            // Keep the session serving exactly what it served before.
+            self.personal = had_personal.then_some(personal);
+            return Err(e);
+        }
+        self.personal = Some(personal);
+        self.personal_models.push(prep.model);
+        let swap_seconds = t1.elapsed().as_secs_f64();
+
+        let event = AdaptationEvent {
+            tag: plan.tag,
+            step: plan.step,
+            enrolled_windows: prep.samples,
+            oracle_labelled: plan.oracle_labelled,
+            enroll_seconds,
+            swap_seconds,
+        };
+        self.state.record(event.clone());
+        Ok(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smore::SmoreConfig;
+    use smore_data::generator::{generate, DomainSpec, GeneratorConfig};
+    use smore_data::split;
+    use smore_data::stream::{concept_drift_stream, DriftSegment, StreamConfig};
+
+    fn shifted_dataset(seed: u64) -> smore_data::Dataset {
+        generate(&GeneratorConfig {
+            name: "engine-test".into(),
+            num_classes: 4,
+            channels: 3,
+            window_len: 24,
+            sample_rate_hz: 25.0,
+            domains: (0..4)
+                .map(|d| DomainSpec { subjects: vec![2 * d, 2 * d + 1], windows: 80 })
+                .collect(),
+            shift_severity: 1.2,
+            seed,
+        })
+        .unwrap()
+    }
+
+    fn fitted(ds: &smore_data::Dataset, train: &[usize]) -> Smore {
+        let mut model = Smore::new(
+            SmoreConfig::builder()
+                .dim(1024)
+                .channels(3)
+                .num_classes(4)
+                .epochs(10)
+                .threads(2)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        model.fit_indices(ds, train).unwrap();
+        model
+    }
+
+    fn engine_config() -> StreamingConfig {
+        StreamingConfig {
+            buffer_capacity: 128,
+            drift_window: 32,
+            drift_threshold: 0.5,
+            min_enroll: 24,
+            cooldown: 32,
+            label_strategy: crate::LabelStrategy::Oracle,
+            ..StreamingConfig::default()
+        }
+    }
+
+    /// The calibrated 1.5×-gain new-user scenario from the streaming
+    /// regression tests.
+    fn drifted_segment(windows: usize) -> DriftSegment {
+        DriftSegment { domain: 3, windows, gain_ramp: Some((1.5, 1.5)), dropout_channel: None }
+    }
+
+    fn calibrated_engine(ds: &smore_data::Dataset, train: &[usize]) -> ServeEngine {
+        let mut engine = ServeEngine::new(fitted(ds, train), engine_config()).unwrap();
+        let (calib_w, _, _) = ds.gather(train);
+        engine.calibrate_drift_delta(&calib_w, 0.25).unwrap();
+        engine
+    }
+
+    #[test]
+    fn engine_validates_inputs() {
+        let ds = shifted_dataset(7);
+        let (train, _) = split::lodo(&ds, 3).unwrap();
+        let model = fitted(&ds, &train);
+        let bad = StreamingConfig { buffer_capacity: 0, ..engine_config() };
+        assert!(ServeEngine::new(model.clone(), bad).is_err());
+        let unfitted =
+            Smore::new(SmoreConfig::builder().dim(256).channels(3).num_classes(4).build().unwrap())
+                .unwrap();
+        assert!(matches!(ServeEngine::new(unfitted, engine_config()), Err(SmoreError::NotFitted)));
+        // Calibration validation flows through the shared helper.
+        let mut engine = ServeEngine::new(model, engine_config()).unwrap();
+        assert!(engine.calibrate_drift_delta(&[], 0.25).is_err());
+        let w = vec![ds.window(0).clone()];
+        assert!(engine.calibrate_drift_delta(&w, 0.0).is_err());
+        assert!(engine.calibrate_drift_delta(&w, 1.0).is_err());
+    }
+
+    #[test]
+    fn tenants_share_the_base_until_they_drift() {
+        let ds = shifted_dataset(7);
+        let (train, _) = split::lodo(&ds, 3).unwrap();
+        let engine = calibrated_engine(&ds, &train);
+        assert_eq!(engine.tenants_created(), 0);
+
+        let mut steady = engine.session();
+        let mut drifter = engine.session();
+        assert_eq!((steady.id(), drifter.id()), (0, 1));
+        assert_eq!(engine.tenants_created(), 2);
+
+        // Steady tenant sees only in-distribution traffic (the exact
+        // stream the session regression test pins as non-firing).
+        let calm = concept_drift_stream(
+            &ds,
+            &StreamConfig {
+                segments: vec![DriftSegment::plain(0, 40), DriftSegment::plain(1, 40)],
+                seed: 5,
+            },
+        )
+        .unwrap();
+        // The drifting tenant is the calibrated 1.5×-gain new user.
+        let stormy = concept_drift_stream(
+            &ds,
+            &StreamConfig {
+                segments: vec![DriftSegment::plain(0, 100), drifted_segment(140)],
+                seed: 7 ^ 0xAA,
+            },
+        )
+        .unwrap();
+
+        for item in &calm {
+            let outcome = steady.ingest_labelled(&item.window, item.label).unwrap();
+            assert!(outcome.adapted.is_none());
+        }
+        let mut adapted = false;
+        for item in &stormy {
+            let outcome = drifter.ingest_labelled(&item.window, item.label).unwrap();
+            if outcome.adapted.is_some() {
+                adapted = true;
+                assert_eq!(item.segment, 1, "no false fire on in-distribution traffic");
+            }
+        }
+        assert!(adapted, "sustained drift must fire the tenant's detector");
+
+        // Isolation: the drifter personalized (possibly re-enrolling under
+        // sustained drift, its later domains seeded from its earlier ones);
+        // the steady tenant and the engine's base are untouched.
+        assert!(drifter.is_personalized());
+        assert!(!drifter.events().is_empty());
+        assert_eq!(drifter.num_domains(), 3 + drifter.events().len());
+        assert!(!steady.is_personalized(), "copy-on-adapt must not touch other tenants");
+        assert_eq!(steady.num_domains(), 3);
+        assert_eq!(engine.base_snapshot().num_domains(), 3);
+        assert_eq!(engine.dense().num_domains().unwrap(), 3, "shared dense model stays frozen");
+
+        // A fresh session still starts from the shared base.
+        let fresh = engine.session();
+        assert!(!fresh.is_personalized());
+        assert_eq!(fresh.num_domains(), 3);
+    }
+
+    #[test]
+    fn tenant_adaptation_improves_that_tenants_accuracy() {
+        let ds = shifted_dataset(7);
+        let (train, _) = split::lodo(&ds, 3).unwrap();
+        let engine = calibrated_engine(&ds, &train);
+        let mut tenant = engine.session();
+        let items = concept_drift_stream(
+            &ds,
+            &StreamConfig {
+                segments: vec![
+                    DriftSegment::plain(0, 100),
+                    drifted_segment(140),
+                    drifted_segment(100),
+                ],
+                seed: 7 ^ 0xAA,
+            },
+        )
+        .unwrap();
+        for item in items.iter().filter(|i| i.segment < 2) {
+            tenant.ingest_labelled(&item.window, item.label).unwrap();
+        }
+        assert!(tenant.is_personalized(), "drift fires on the 1.5×-gain user");
+        let eval_w: Vec<_> =
+            items.iter().filter(|i| i.segment == 2).map(|i| i.window.clone()).collect();
+        let eval_l: Vec<_> = items.iter().filter(|i| i.segment == 2).map(|i| i.label).collect();
+        let pre = engine.base_snapshot().evaluate(&eval_w, &eval_l).unwrap().accuracy;
+        let post = tenant.serving_model().evaluate(&eval_w, &eval_l).unwrap().accuracy;
+        assert!(
+            post - pre >= 0.10,
+            "tenant accuracy {post} must beat the shared base {pre} by >= 10 points"
+        );
+    }
+
+    #[test]
+    fn failed_ingest_leaves_tenant_usable() {
+        let ds = shifted_dataset(6);
+        let (train, _) = split::lodo(&ds, 3).unwrap();
+        let engine = ServeEngine::new(fitted(&ds, &train), engine_config()).unwrap();
+        let mut tenant = engine.session();
+        assert!(tenant.ingest(&Matrix::zeros(24, 9)).is_err());
+        let outcome = tenant.ingest(ds.window(0)).unwrap();
+        assert!(outcome.prediction.label < 4);
+        assert_eq!(tenant.steps(), 1, "failed ingest does not consume a step");
+        // Label validation.
+        assert!(tenant.ingest_labelled(ds.window(0), 99).is_err());
+    }
+
+    #[test]
+    fn from_artifact_requires_the_dense_kind() {
+        let ds = shifted_dataset(6);
+        let (train, _) = split::lodo(&ds, 3).unwrap();
+        let model = fitted(&ds, &train);
+        let dir = std::env::temp_dir().join("smore_engine_test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Quantized artifact: typed refusal pointing to QuantizedSmore::load.
+        let qpath = dir.join("frozen.smore");
+        model.quantize().unwrap().save(&qpath).unwrap();
+        let err = ServeEngine::from_artifact(&qpath, engine_config()).unwrap_err();
+        assert!(err.to_string().contains("QuantizedSmore::load"), "{err}");
+
+        // Dense artifact round trip: the engine's base equals a direct
+        // quantize of the original model, bit for bit.
+        let dpath = dir.join("dense.smore");
+        model.save(&dpath).unwrap();
+        let engine = ServeEngine::from_artifact(&dpath, engine_config()).unwrap();
+        let windows: Vec<Matrix> = (0..10).map(|i| ds.window(i).clone()).collect();
+        let from_artifact = engine.base_snapshot().predict_batch(&windows).unwrap();
+        let from_memory = model.quantize().unwrap().predict_batch(&windows).unwrap();
+        assert_eq!(from_artifact, from_memory, "artifact-loaded engine serves bit-identically");
+
+        // Missing file is a typed Io error.
+        assert!(matches!(
+            ServeEngine::from_artifact(dir.join("absent.smore"), engine_config()),
+            Err(SmoreError::Io { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -25,6 +25,11 @@
 //! Concept-drift input streams for exercising all of this live in
 //! [`smore_data::stream`].
 //!
+//! For fleet deployments — one model shared by many independently
+//! drifting users — see [`ServeEngine`]/[`TenantSession`] in [`engine`]:
+//! one `.smore` artifact load, one `Arc`-shared base snapshot, per-tenant
+//! drift detection with copy-on-adapt personal snapshots.
+//!
 //! # Example
 //!
 //! ```
@@ -65,13 +70,16 @@
 
 #![warn(missing_docs)]
 
+mod adapt;
 mod buffer;
 mod detector;
+pub mod engine;
 mod session;
 mod snapshot;
 
 pub use buffer::{BufferedQuery, OodBuffer};
 pub use detector::DriftDetector;
+pub use engine::{ServeEngine, TenantSession};
 pub use session::{AdaptationEvent, LabelStrategy, StreamOutcome, StreamingConfig, StreamingSmore};
 pub use snapshot::SnapshotHandle;
 

@@ -6,8 +6,7 @@ use std::time::Instant;
 use smore::{Prediction, QuantizedSmore, ServeScratch, Smore, SmoreError};
 use smore_tensor::Matrix;
 
-use crate::buffer::{BufferedQuery, OodBuffer};
-use crate::detector::DriftDetector;
+use crate::adapt::{AdaptationState, EnrollmentPlan};
 use crate::snapshot::SnapshotHandle;
 use crate::Result;
 
@@ -84,7 +83,7 @@ impl Default for StreamingConfig {
 }
 
 impl StreamingConfig {
-    fn validate(&self) -> Result<()> {
+    pub(crate) fn validate(&self) -> Result<()> {
         if self.buffer_capacity == 0 {
             return Err(SmoreError::InvalidConfig {
                 what: "buffer_capacity must be positive".into(),
@@ -170,17 +169,12 @@ pub struct StreamOutcome {
 pub struct StreamingSmore {
     dense: Smore,
     handle: SnapshotHandle,
-    config: StreamingConfig,
-    buffer: OodBuffer,
-    detector: DriftDetector,
     /// Per-session serving scratch: the ingest hot loop encodes and scores
     /// through it, so steady-state serving performs no heap allocation.
     scratch: ServeScratch,
-    drift_delta: f32,
-    next_tag: usize,
-    step: usize,
-    enrolled: usize,
-    events: Vec<AdaptationEvent>,
+    /// The shared drift state machine (buffer, detector, step/event
+    /// bookkeeping) — the same one `TenantSession` drives.
+    state: AdaptationState,
 }
 
 impl StreamingSmore {
@@ -195,17 +189,11 @@ impl StreamingSmore {
         config.validate()?;
         let snapshot = model.quantize()?;
         let next_tag = model.domain_tags()?.iter().copied().max().unwrap_or(0) + 1;
+        let drift_delta = config.drift_delta.unwrap_or(model.config().delta_star);
         Ok(Self {
             handle: SnapshotHandle::new(snapshot),
-            buffer: OodBuffer::new(config.buffer_capacity),
-            detector: DriftDetector::new(config.drift_window, config.drift_threshold),
             scratch: ServeScratch::new(),
-            drift_delta: config.drift_delta.unwrap_or(model.config().delta_star),
-            next_tag,
-            step: 0,
-            enrolled: 0,
-            events: Vec::new(),
-            config,
+            state: AdaptationState::new(config, drift_delta, next_tag),
             dense: model,
         })
     }
@@ -222,32 +210,21 @@ impl StreamingSmore {
     /// Returns [`SmoreError::InvalidConfig`] for an empty calibration set
     /// or a quantile outside `(0, 1)`; propagates encoder errors.
     pub fn calibrate_drift_delta(&mut self, windows: &[Matrix], quantile: f32) -> Result<f32> {
-        if windows.is_empty() {
-            return Err(SmoreError::InvalidConfig { what: "calibration set is empty".into() });
-        }
-        if !(quantile > 0.0 && quantile < 1.0) {
-            return Err(SmoreError::InvalidConfig {
-                what: format!("calibration quantile must be in (0, 1), got {quantile}"),
-            });
-        }
         let snapshot = self.handle.load();
-        let mut deltas: Vec<f32> =
-            snapshot.predict_batch(windows)?.iter().map(|p| p.delta_max).collect();
-        deltas.sort_by(|a, b| a.partial_cmp(b).expect("similarities are finite"));
-        let idx = ((deltas.len() - 1) as f32 * quantile) as usize;
-        self.drift_delta = deltas[idx];
-        Ok(self.drift_delta)
+        let delta = crate::engine::drift_delta_quantile(&snapshot, windows, quantile)?;
+        self.state.set_drift_delta(delta);
+        Ok(delta)
     }
 
     /// The similarity threshold currently used for drift mass and
     /// buffering (serving `δ*` unless configured or calibrated).
     pub fn drift_delta(&self) -> f32 {
-        self.drift_delta
+        self.state.drift_delta()
     }
 
     /// The session configuration.
     pub fn config(&self) -> &StreamingConfig {
-        &self.config
+        self.state.config()
     }
 
     /// The dense (adaptation) model.
@@ -269,22 +246,22 @@ impl StreamingSmore {
 
     /// Enrolments performed so far, in stream order.
     pub fn events(&self) -> &[AdaptationEvent] {
-        &self.events
+        self.state.events()
     }
 
     /// Number of queries currently buffered for enrolment.
     pub fn buffered(&self) -> usize {
-        self.buffer.len()
+        self.state.buffered()
     }
 
     /// OOD fraction over the detector's current sliding window.
     pub fn recent_ood_fraction(&self) -> f32 {
-        self.detector.ood_fraction()
+        self.state.ood_fraction()
     }
 
     /// Total windows ingested.
     pub fn steps(&self) -> usize {
-        self.step
+        self.state.steps()
     }
 
     /// Ingests one unlabelled window: serve, buffer if OOD, adapt if drift
@@ -335,66 +312,18 @@ impl StreamingSmore {
         // the serve step allocates nothing (the outcome's owned Prediction
         // is the only copy made).
         let prediction = self.handle.load().predict_window_with(window, &mut self.scratch)?.clone();
-        let step = self.step;
-        self.step += 1;
-
-        // Drift bookkeeping uses the (possibly calibrated) drift threshold,
-        // which may differ from the serving δ* baked into `prediction`.
-        let buffered = prediction.delta_max < self.drift_delta;
-        if buffered {
-            self.buffer.push(BufferedQuery {
-                window: window.clone(),
-                pseudo_label: prediction.label,
-                true_label,
-                delta_max: prediction.delta_max,
-                step,
-            });
-        }
-
-        let fired = self.detector.observe(buffered);
-        // Only *recent* buffered queries count toward (and enter)
-        // enrolment: a long in-distribution stretch leaves its low-δ tail
-        // in the buffer, and training the new domain on that stale
-        // evidence would duplicate existing domains instead of capturing
-        // the drift that actually fired the detector.
-        let horizon_start = step.saturating_sub(self.config.enroll_horizon.saturating_sub(1));
-        let adapted = if fired && self.enrolled < self.config.max_enrolled_domains {
-            let recent = self.buffer.queries().filter(|q| q.step >= horizon_start).count();
-            if recent >= self.config.min_enroll {
-                let event = self.adapt(step, horizon_start)?;
-                self.detector.reset(self.config.cooldown);
-                Some(event)
-            } else {
-                None
-            }
-        } else {
-            None
+        let outcome = self.state.observe(window, &prediction, true_label);
+        let adapted = match outcome.plan {
+            Some(plan) => Some(self.adapt(plan)?),
+            None => None,
         };
-        Ok(StreamOutcome { prediction, buffered, adapted })
+        Ok(StreamOutcome { prediction, buffered: outcome.buffered, adapted })
     }
 
-    /// Drift fired: enrol the recently-buffered windows as a new domain
-    /// and hot-swap the serving snapshot. Stale buffer entries (ingested
-    /// before `horizon_start`) are discarded, not enrolled.
-    fn adapt(&mut self, step: usize, horizon_start: usize) -> Result<AdaptationEvent> {
-        let mut queries = self.buffer.drain();
-        queries.retain(|q| q.step >= horizon_start);
-        let windows: Vec<Matrix> = queries.iter().map(|q| q.window.clone()).collect();
-        let use_oracle = self.config.label_strategy == LabelStrategy::Oracle;
-        let mut oracle_labelled = 0usize;
-        let labels: Vec<usize> = queries
-            .iter()
-            .map(|q| match (use_oracle, q.true_label) {
-                (true, Some(l)) => {
-                    oracle_labelled += 1;
-                    l
-                }
-                _ => q.pseudo_label,
-            })
-            .collect();
-
-        let tag = self.next_tag;
-        let report = self.dense.enroll_domain(&windows, &labels, tag)?;
+    /// Drift fired: enrol the planned windows as a new domain and hot-swap
+    /// the serving snapshot.
+    fn adapt(&mut self, plan: EnrollmentPlan) -> Result<AdaptationEvent> {
+        let report = self.dense.enroll_domain(&plan.windows, &plan.labels, plan.tag)?;
 
         // Append-only refresh of the serving snapshot: clone the current
         // snapshot, add the one new domain, publish. Serving threads keep
@@ -407,22 +336,20 @@ impl StreamingSmore {
         snapshot.enroll_domain(
             models.last().expect("enroll_domain pushed a model"),
             descriptors.row(new_local),
-            tag,
+            plan.tag,
         )?;
         self.handle.publish(snapshot);
         let swap_seconds = t1.elapsed().as_secs_f64();
 
-        self.next_tag += 1;
-        self.enrolled += 1;
         let event = AdaptationEvent {
-            tag,
-            step,
+            tag: plan.tag,
+            step: plan.step,
             enrolled_windows: report.samples,
-            oracle_labelled,
+            oracle_labelled: plan.oracle_labelled,
             enroll_seconds: report.seconds,
             swap_seconds,
         };
-        self.events.push(event.clone());
+        self.state.record(event.clone());
         Ok(event)
     }
 }

@@ -12,7 +12,7 @@
 
 use std::sync::{Arc, RwLock};
 
-use smore::{Prediction, QuantizedSmore, ServeScratch};
+use smore::{Prediction, Predictor, QuantizedSmore, ServeScratch};
 use smore_tensor::Matrix;
 
 use crate::Result;
@@ -47,32 +47,40 @@ impl SnapshotHandle {
     pub fn publish(&self, snapshot: QuantizedSmore) {
         *self.slot.write().expect("snapshot lock poisoned") = Arc::new(snapshot);
     }
+}
 
-    /// Serves one window from the current snapshot — the per-query
-    /// convenience wrapper (`load` + predict).
-    ///
-    /// # Errors
-    ///
-    /// Propagates encoder errors for malformed windows.
-    pub fn predict_window(&self, window: &Matrix) -> Result<Prediction> {
-        self.load().predict_window(window)
+/// Serving through the unified [`Predictor`] surface: every call `load`s
+/// the current snapshot first, so a handle held by a serving thread
+/// observes hot-swaps between calls without re-coordination. The scratch
+/// survives swaps (its similarity buffers grow once when a swap enrolled a
+/// domain).
+impl Predictor for SnapshotHandle {
+    fn num_classes(&self) -> usize {
+        self.load().config().num_classes
     }
 
-    /// Serves one window through a caller-owned [`ServeScratch`] — the
-    /// hot-loop variant for serving threads that hold one scratch each:
-    /// encoding and scoring reuse the scratch buffers across calls (and
-    /// across hot-swaps), so only the returned [`Prediction`] is
-    /// allocated.
-    ///
-    /// # Errors
-    ///
-    /// Propagates encoder errors for malformed windows.
-    pub fn predict_window_with(
+    fn predict_window_with<'s>(
+        &self,
+        window: &Matrix,
+        scratch: &'s mut ServeScratch,
+    ) -> Result<&'s Prediction> {
+        let snapshot = self.load();
+        snapshot.predict_window_with(window, scratch)
+    }
+
+    fn score_into(
         &self,
         window: &Matrix,
         scratch: &mut ServeScratch,
-    ) -> Result<Prediction> {
-        Ok(self.load().predict_window_with(window, scratch)?.clone())
+        scores: &mut Vec<f32>,
+    ) -> Result<()> {
+        self.load().score_into(window, scratch, scores)
+    }
+
+    fn predict_batch(&self, windows: &[Matrix]) -> Result<Vec<Prediction>> {
+        // One load for the whole batch: a mid-batch hot-swap must never
+        // tear the batch across two models.
+        self.load().predict_batch(windows)
     }
 }
 
@@ -149,14 +157,14 @@ mod tests {
         let (ds, mut dense, q) = quantized();
         let handle = SnapshotHandle::new(q);
         let mut scratch = ServeScratch::new();
-        let before = handle.predict_window_with(ds.window(0), &mut scratch).unwrap();
+        let before = handle.predict_window_with(ds.window(0), &mut scratch).unwrap().clone();
         assert_eq!(before, handle.predict_window(ds.window(0)).unwrap());
         // After a hot swap the same scratch serves the new model (its
         // similarity buffers grow to the enrolled domain count).
         let (w, l, _) = ds.gather(&(0..12).collect::<Vec<_>>());
         dense.enroll_domain(&w, &l, 9).unwrap();
         handle.publish(dense.quantize().unwrap());
-        let after = handle.predict_window_with(ds.window(0), &mut scratch).unwrap();
+        let after = handle.predict_window_with(ds.window(0), &mut scratch).unwrap().clone();
         assert_eq!(after.domain_similarities.len(), 3);
         assert_eq!(after, handle.predict_window(ds.window(0)).unwrap());
     }

@@ -80,7 +80,6 @@ pub fn col_max(m: &Matrix) -> Vec<f32> {
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Standardizer {
     mean: Vec<f32>,
     std: Vec<f32>,
