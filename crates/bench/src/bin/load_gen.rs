@@ -1,0 +1,485 @@
+//! Load generator for the `smore_serve` network front-end.
+//!
+//! Simulates a fleet of concurrent tenants (default 1200) multiplexed
+//! over a handful of pipelined connections and measures serving
+//! throughput and tail latency in three scenarios:
+//!
+//! - `steady_coalesced` — every tenant predicts against the shared base
+//!   snapshot with micro-batch coalescing on (the production setting);
+//! - `steady_uncoalesced` — identical traffic with `batch_max = 1`, the
+//!   coalescing ablation;
+//! - `enrolment_storm` — 10% of the fleet drifts at once (held-out-domain
+//!   windows streamed as labelled ingests) while the rest keep
+//!   predicting; reported latencies are the *steady* tenants' predicts —
+//!   the tail they see while the workers run online enrolments next to
+//!   them.
+//!
+//! By default each scenario starts an in-process server (fresh worker
+//! state, per-scenario metrics) around one shared trained engine;
+//! `--connect ADDR` points the steady scenario at an external
+//! `smore_serve` instead (CI smoke-runs the loopback pair this way).
+//!
+//! ```text
+//! cargo run --release --bin load_gen                  # full run, writes BENCH_serve.json
+//! cargo run --release --bin load_gen -- --smoke       # seconds-scale CI check, no JSON
+//! cargo run --release --bin load_gen -- --connect 127.0.0.1:7878 --smoke
+//! ```
+
+use std::collections::HashMap;
+use std::net::TcpListener;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+use smore_data::Dataset;
+use smore_serve::{serve, synthetic, ErrorCode, Response, ServeClient, ServeConfig, ServerMetrics};
+use smore_stream::ServeEngine;
+use smore_tensor::Matrix;
+
+struct Args {
+    tenants: usize,
+    connections: usize,
+    requests_per_tenant: usize,
+    storm_ingests: usize,
+    inflight: usize,
+    dim: usize,
+    seed: u64,
+    workers: usize,
+    out: String,
+    smoke: bool,
+    connect: Option<String>,
+}
+
+impl Args {
+    fn parse() -> Self {
+        let mut args = Args {
+            tenants: 1200,
+            connections: 4,
+            requests_per_tenant: 5,
+            storm_ingests: 56,
+            inflight: 32,
+            dim: 1024,
+            seed: 7,
+            workers: 2,
+            out: "BENCH_serve.json".into(),
+            smoke: false,
+            connect: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(arg) = it.next() {
+            let mut val = |flag: &str| -> String {
+                it.next().unwrap_or_else(|| {
+                    eprintln!("{flag} needs a value");
+                    std::process::exit(2);
+                })
+            };
+            match arg.as_str() {
+                "--tenants" => args.tenants = val("--tenants").parse().expect("--tenants"),
+                "--connections" => {
+                    args.connections = val("--connections").parse().expect("--connections")
+                }
+                "--requests-per-tenant" => {
+                    args.requests_per_tenant =
+                        val("--requests-per-tenant").parse().expect("--requests-per-tenant")
+                }
+                "--storm-ingests" => {
+                    args.storm_ingests = val("--storm-ingests").parse().expect("--storm-ingests")
+                }
+                "--inflight" => args.inflight = val("--inflight").parse().expect("--inflight"),
+                "--dim" => args.dim = val("--dim").parse().expect("--dim"),
+                "--seed" => args.seed = val("--seed").parse().expect("--seed"),
+                "--workers" => args.workers = val("--workers").parse().expect("--workers"),
+                "--out" => args.out = val("--out"),
+                "--smoke" => args.smoke = true,
+                "--connect" => args.connect = Some(val("--connect")),
+                "--help" | "-h" => {
+                    println!(
+                        "load_gen: drive a smore_serve front-end with a simulated tenant fleet.\n\
+                         \n\
+                         --tenants N              fleet size (default 1200)\n\
+                         --connections N          pipelined client connections (default 4)\n\
+                         --requests-per-tenant N  predicts per steady tenant (default 5)\n\
+                         --storm-ingests N        labelled ingests per drifting tenant (default 56)\n\
+                         --inflight N             max pipelined requests per connection (default 32)\n\
+                         --dim N                  hypervector dimension for --synthetic training\n\
+                         --seed N                 fleet seed (default 7)\n\
+                         --workers N              in-process server workers (default 2)\n\
+                         --out PATH               JSON output (default BENCH_serve.json)\n\
+                         --smoke                  tiny fleet, skip the JSON write\n\
+                         --connect ADDR           drive an external server (steady scenario only)"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown argument '{other}' (try --help)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if args.smoke {
+            args.tenants = args.tenants.min(64);
+            args.connections = args.connections.min(2);
+            args.requests_per_tenant = args.requests_per_tenant.min(2);
+            args.storm_ingests = args.storm_ingests.min(40);
+        }
+        args
+    }
+}
+
+/// One scripted request. `Predict` indexes the fleet dataset; `Ingest`
+/// indexes the synthesized 1.5×-hot drift pool (with its oracle label).
+enum Op {
+    Predict { tenant: u64, window: usize },
+    Ingest { tenant: u64, window: usize },
+}
+
+/// Latency + error tallies from one connection thread.
+#[derive(Default)]
+struct ConnStats {
+    predict_ms: Vec<f64>,
+    ingest_ms: Vec<f64>,
+    overloaded: u64,
+    rejected: u64,
+}
+
+impl ConnStats {
+    fn absorb(&mut self, other: ConnStats) {
+        self.predict_ms.extend(other.predict_ms);
+        self.ingest_ms.extend(other.ingest_ms);
+        self.overloaded += other.overloaded;
+        self.rejected += other.rejected;
+    }
+}
+
+/// Drives one connection through its scripted ops with up to `inflight`
+/// requests pipelined, timestamping each request at flush.
+fn drive_connection(
+    addr: &str,
+    ds: &Dataset,
+    drift: &[(Matrix, usize)],
+    ops: &[Op],
+    inflight: usize,
+) -> Result<ConnStats, Box<dyn std::error::Error + Send + Sync>> {
+    let mut client = ServeClient::connect(addr)?;
+    let mut stats = ConnStats::default();
+    let mut pending: HashMap<u64, (Instant, bool)> = HashMap::new();
+
+    let receive_one = |client: &mut ServeClient,
+                       pending: &mut HashMap<u64, (Instant, bool)>,
+                       stats: &mut ConnStats|
+     -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+        let (id, response) = client.recv()?;
+        let Some((sent, is_predict)) = pending.remove(&id) else {
+            return Err(format!("response for unknown request id {id}").into());
+        };
+        match response {
+            Response::Prediction(_) => {
+                let ms = sent.elapsed().as_secs_f64() * 1e3;
+                if is_predict {
+                    stats.predict_ms.push(ms);
+                } else {
+                    stats.ingest_ms.push(ms);
+                }
+            }
+            Response::Error { code: ErrorCode::Overloaded, .. } => stats.overloaded += 1,
+            Response::Error { code, message } => {
+                stats.rejected += 1;
+                if stats.rejected <= 3 {
+                    eprintln!("rejected request: {code:?}: {message}");
+                }
+            }
+            Response::Pong => return Err("unsolicited pong".into()),
+        }
+        Ok(())
+    };
+
+    for op in ops {
+        while pending.len() >= inflight {
+            receive_one(&mut client, &mut pending, &mut stats)?;
+        }
+        let (id, is_predict) = match op {
+            Op::Predict { tenant, window } => {
+                (client.send_predict(*tenant, ds.window(*window))?, true)
+            }
+            Op::Ingest { tenant, window } => {
+                let (w, label) = &drift[*window];
+                (client.send_ingest(*tenant, w, Some(*label as u32))?, false)
+            }
+        };
+        client.flush()?;
+        pending.insert(id, (Instant::now(), is_predict));
+    }
+    while !pending.is_empty() {
+        receive_one(&mut client, &mut pending, &mut stats)?;
+    }
+    Ok(stats)
+}
+
+/// Runs one scenario: splits `ops` round-robin across connections, drives
+/// them concurrently, merges the stats.
+fn run_scenario(
+    addr: &str,
+    ds: &Dataset,
+    drift: &[(Matrix, usize)],
+    ops: Vec<Vec<Op>>,
+    inflight: usize,
+) -> (ConnStats, f64) {
+    let t0 = Instant::now();
+    let mut merged = ConnStats::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ops
+            .iter()
+            .map(|conn_ops| {
+                scope.spawn(move || drive_connection(addr, ds, drift, conn_ops, inflight))
+            })
+            .collect();
+        for handle in handles {
+            match handle.join().expect("connection thread never panics") {
+                Ok(stats) => merged.absorb(stats),
+                Err(e) => {
+                    eprintln!("connection failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    });
+    (merged, t0.elapsed().as_secs_f64())
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+struct ScenarioResult {
+    name: &'static str,
+    batch_max: usize,
+    requests: usize,
+    wall_secs: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    overloaded: u64,
+    coalesced_batches: u64,
+    coalesced_windows: u64,
+    adaptations: u64,
+}
+
+impl ScenarioResult {
+    fn from_stats(
+        name: &'static str,
+        batch_max: usize,
+        stats: &mut ConnStats,
+        wall_secs: f64,
+        metrics: Option<&ServerMetrics>,
+    ) -> Self {
+        // Storm reports the steady tenants' predict tail; steady scenarios
+        // have no ingests at all.
+        stats.predict_ms.sort_by(|a, b| a.total_cmp(b));
+        let requests = stats.predict_ms.len() + stats.ingest_ms.len();
+        let load = |c: &std::sync::atomic::AtomicU64| c.load(Ordering::Relaxed);
+        Self {
+            name,
+            batch_max,
+            requests,
+            wall_secs,
+            p50_ms: percentile(&stats.predict_ms, 0.50),
+            p95_ms: percentile(&stats.predict_ms, 0.95),
+            p99_ms: percentile(&stats.predict_ms, 0.99),
+            overloaded: stats.overloaded,
+            coalesced_batches: metrics.map_or(0, |m| load(&m.coalesced_batches)),
+            coalesced_windows: metrics.map_or(0, |m| load(&m.coalesced_windows)),
+            adaptations: metrics.map_or(0, |m| load(&m.adaptations)),
+        }
+    }
+
+    fn throughput_rps(&self) -> f64 {
+        self.requests as f64 / self.wall_secs.max(1e-12)
+    }
+
+    fn report(&self) {
+        println!(
+            "  {:<20} {:>6} req in {:>6.2}s = {:>8.0} req/s | predict p50 {:>7.3} ms  \
+             p95 {:>7.3} ms  p99 {:>7.3} ms | overloaded {} | coalesced {}/{} | adaptations {}",
+            self.name,
+            self.requests,
+            self.wall_secs,
+            self.throughput_rps(),
+            self.p50_ms,
+            self.p95_ms,
+            self.p99_ms,
+            self.overloaded,
+            self.coalesced_windows,
+            self.coalesced_batches,
+            self.adaptations,
+        );
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "    {{\n      \"name\": \"{}\",\n      \"batch_max\": {},\n      \"requests\": {},\n      \
+             \"wall_secs\": {:.3},\n      \"throughput_rps\": {:.1},\n      \"predict_p50_ms\": {:.4},\n      \
+             \"predict_p95_ms\": {:.4},\n      \"predict_p99_ms\": {:.4},\n      \"overloaded\": {},\n      \
+             \"coalesced_batches\": {},\n      \"coalesced_windows\": {},\n      \"adaptations\": {}\n    }}",
+            self.name,
+            self.batch_max,
+            self.requests,
+            self.wall_secs,
+            self.throughput_rps(),
+            self.p50_ms,
+            self.p95_ms,
+            self.p99_ms,
+            self.overloaded,
+            self.coalesced_batches,
+            self.coalesced_windows,
+            self.adaptations,
+        )
+    }
+}
+
+/// Scripted steady traffic: every tenant sends `requests_per_tenant`
+/// predicts of in-distribution windows, interleaved across the fleet.
+fn steady_ops(args: &Args, train_windows: &[usize]) -> Vec<Vec<Op>> {
+    let mut per_conn: Vec<Vec<Op>> = (0..args.connections).map(|_| Vec::new()).collect();
+    for round in 0..args.requests_per_tenant {
+        for tenant in 0..args.tenants {
+            let w = train_windows[(tenant * 13 + round * 7) % train_windows.len()];
+            per_conn[tenant % args.connections]
+                .push(Op::Predict { tenant: tenant as u64, window: w });
+        }
+    }
+    per_conn
+}
+
+/// Scripted storm: the first 10% of tenants stream the 1.5×-hot drift
+/// pool as labelled ingests (the enrolment storm); the rest keep
+/// predicting. Each drifting tenant walks the pool sequentially from a
+/// tenant-specific offset — enrolment needs a *sustained* drifted stream,
+/// not scattered samples.
+fn storm_ops(args: &Args, train_windows: &[usize], drift_len: usize) -> Vec<Vec<Op>> {
+    let drifting = (args.tenants / 10).max(1);
+    let mut per_conn: Vec<Vec<Op>> = (0..args.connections).map(|_| Vec::new()).collect();
+    let rounds = args.storm_ingests.max(args.requests_per_tenant);
+    for round in 0..rounds {
+        for tenant in 0..args.tenants {
+            let conn = tenant % args.connections;
+            if tenant < drifting {
+                if round < args.storm_ingests {
+                    let w = (tenant * 11 + round) % drift_len;
+                    per_conn[conn].push(Op::Ingest { tenant: tenant as u64, window: w });
+                }
+            } else if round < args.requests_per_tenant {
+                let w = train_windows[(tenant * 13 + round * 7) % train_windows.len()];
+                per_conn[conn].push(Op::Predict { tenant: tenant as u64, window: w });
+            }
+        }
+    }
+    per_conn
+}
+
+fn in_process(
+    engine: &Arc<ServeEngine>,
+    args: &Args,
+    batch_max: usize,
+    ds: &Dataset,
+    drift: &[(Matrix, usize)],
+    ops: Vec<Vec<Op>>,
+) -> (ConnStats, f64, Arc<ServerMetrics>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let config = ServeConfig { workers: args.workers, batch_max, ..ServeConfig::default() };
+    let server = serve(Arc::clone(engine), listener, config).expect("server starts");
+    let addr = server.local_addr().to_string();
+    let (stats, wall) = run_scenario(&addr, ds, drift, ops, args.inflight);
+    let metrics = server.metrics_arc();
+    server.shutdown();
+    (stats, wall, metrics)
+}
+
+fn write_json(path: &str, args: &Args, results: &[ScenarioResult]) -> std::io::Result<()> {
+    let scenarios: Vec<String> = results.iter().map(ScenarioResult::json).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"dataset\": \"serve-fleet\",\n  \"dim\": {},\n  \
+         \"tenants\": {},\n  \"drifting_tenants\": {},\n  \"connections\": {},\n  \"workers\": {},\n  \
+         \"inflight_per_connection\": {},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        args.dim,
+        args.tenants,
+        (args.tenants / 10).max(1),
+        args.connections,
+        args.workers,
+        args.inflight,
+        scenarios.join(",\n"),
+    );
+    std::fs::write(path, json)
+}
+
+fn main() {
+    let args = Args::parse();
+    println!(
+        "load_gen: {} tenants over {} connections (inflight {}), dim {}, seed {}",
+        args.tenants, args.connections, args.inflight, args.dim, args.seed
+    );
+
+    let ds = synthetic::dataset(args.seed).expect("fleet dataset generates");
+    let train_windows: Vec<usize> =
+        (0..ds.len()).filter(|&i| ds.domain(i) != synthetic::DRIFT_DOMAIN).collect();
+    let drift_pool =
+        synthetic::drift_stream(&ds, 256, args.seed ^ 0xD1F7).expect("drift pool synthesizes");
+
+    if let Some(addr) = &args.connect {
+        // External server: steady traffic only (its coalescing config is
+        // whatever it was started with; no in-process metrics).
+        println!("driving external server at {addr}");
+        let ops = steady_ops(&args, &train_windows);
+        let (mut stats, wall) = run_scenario(addr, &ds, &drift_pool, ops, args.inflight);
+        let result = ScenarioResult::from_stats("remote_steady", 0, &mut stats, wall, None);
+        result.report();
+        if stats.rejected > 0 {
+            eprintln!(
+                "{} requests were rejected — is the server on the same fleet recipe?",
+                stats.rejected
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    println!("training the shared fleet engine...");
+    let t0 = Instant::now();
+    let (_, engine) = synthetic::engine(args.seed, args.dim).expect("fleet engine trains");
+    let engine = Arc::new(engine);
+    println!("trained in {:.1}s", t0.elapsed().as_secs_f64());
+
+    let mut results = Vec::new();
+    for (name, batch_max) in [("steady_coalesced", 32usize), ("steady_uncoalesced", 1usize)] {
+        let ops = steady_ops(&args, &train_windows);
+        let (mut stats, wall, metrics) =
+            in_process(&engine, &args, batch_max, &ds, &drift_pool, ops);
+        let result = ScenarioResult::from_stats(name, batch_max, &mut stats, wall, Some(&metrics));
+        result.report();
+        results.push(result);
+    }
+    {
+        let ops = storm_ops(&args, &train_windows, drift_pool.len());
+        let (mut stats, wall, metrics) = in_process(&engine, &args, 32, &ds, &drift_pool, ops);
+        let result =
+            ScenarioResult::from_stats("enrolment_storm", 32, &mut stats, wall, Some(&metrics));
+        result.report();
+        assert!(result.adaptations > 0, "the storm must actually fire enrolments");
+        results.push(result);
+    }
+
+    if args.smoke {
+        println!("smoke mode: skipping the JSON write");
+        return;
+    }
+    match write_json(&args.out, &args, &results) {
+        Ok(()) => println!("wrote {}", args.out),
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", args.out);
+            std::process::exit(1);
+        }
+    }
+}

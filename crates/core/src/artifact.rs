@@ -45,7 +45,6 @@
 //! simplest and the only bit-exactness-auditable choice.
 
 use std::path::Path;
-use std::sync::OnceLock;
 
 use smore_hdc::encoder::{EncoderConfig, MultiSensorEncoder, ValueRange};
 use smore_hdc::memory::Quantization;
@@ -127,27 +126,9 @@ fn section_name(id: u32) -> &'static str {
     }
 }
 
-/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the checksum
-/// of gzip/PNG, hand-rolled because no checksum crate is vendored.
-fn crc32(bytes: &[u8]) -> u32 {
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    let table = TABLE.get_or_init(|| {
-        let mut table = [0u32; 256];
-        for (i, slot) in table.iter_mut().enumerate() {
-            let mut c = i as u32;
-            for _ in 0..8 {
-                c = if c & 1 == 1 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
-            }
-            *slot = c;
-        }
-        table
-    });
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
-    }
-    crc ^ 0xFFFF_FFFF
-}
+// CRC-32 now lives in the shared wire module so the `smore_serve`
+// network protocol frames and this container checksum identically.
+use crate::wire::crc32;
 
 /// Sniffs the header of artifact bytes: magic, version and kind — without
 /// decoding any section. Used to route a file to the right loader (e.g.
@@ -1065,13 +1046,6 @@ impl Smore {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn crc32_matches_known_vectors() {
-        // The canonical IEEE check value.
-        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b""), 0);
-    }
 
     #[test]
     fn kind_of_validates_the_header() {

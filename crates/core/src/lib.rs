@@ -91,6 +91,7 @@ pub mod predictor;
 pub mod quantized;
 mod smore_model;
 pub mod test_time;
+pub mod wire;
 
 pub use centering::Centerer;
 pub use config::{DomainInit, RangeMode, SmoreConfig, SmoreConfigBuilder};

@@ -1,0 +1,226 @@
+//! A blocking client for the SMORE wire protocol.
+//!
+//! [`ServeClient`] supports two calling styles over one connection:
+//!
+//! - **Synchronous** ([`predict`](ServeClient::predict),
+//!   [`ingest`](ServeClient::ingest), [`ping`](ServeClient::ping)): one
+//!   request in flight, the response returned in place. Simple, but the
+//!   server's micro-batch coalescing sees at most one request from this
+//!   connection at a time.
+//! - **Pipelined** ([`send_predict`](ServeClient::send_predict) /
+//!   [`send_ingest`](ServeClient::send_ingest), then
+//!   [`flush`](ServeClient::flush) and [`recv`](ServeClient::recv)):
+//!   many requests in flight, responses correlated by the echoed request
+//!   id. This is what the load generator uses — coalescing only batches
+//!   what is actually concurrent.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use smore_tensor::Matrix;
+
+use crate::protocol::{
+    decode_response, encode_request, read_frame, ErrorCode, FrameRead, Request, Response,
+    WirePrediction,
+};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (or the server hung up mid-frame).
+    Io(io::Error),
+    /// The server's bytes failed structural validation.
+    Malformed(String),
+    /// The server answered with an error response.
+    Server {
+        /// Failure class reported by the server.
+        code: ErrorCode,
+        /// The server's message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Malformed(m) => write!(f, "malformed server frame: {m}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One connection to a SMORE serving front-end.
+#[derive(Debug)]
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+impl ServeClient {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        Ok(Self { reader: BufReader::new(read_half), writer: BufWriter::new(stream), next_id: 0 })
+    }
+
+    fn send(&mut self, request: &Request) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.writer.write_all(&encode_request(id, request))?;
+        Ok(id)
+    }
+
+    /// Queues a pipelined predict; returns the request id to correlate
+    /// the response. Call [`flush`](Self::flush) before blocking on
+    /// [`recv`](Self::recv).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn send_predict(&mut self, tenant_id: u64, window: &Matrix) -> io::Result<u64> {
+        self.send(&Request::Predict { tenant_id, window: window.clone() })
+    }
+
+    /// Queues a pipelined ingest (label = delayed ground truth for the
+    /// oracle strategy).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn send_ingest(
+        &mut self,
+        tenant_id: u64,
+        window: &Matrix,
+        label: Option<u32>,
+    ) -> io::Result<u64> {
+        self.send(&Request::Ingest { tenant_id, label, window: window.clone() })
+    }
+
+    /// Flushes queued pipelined requests to the socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Blocks for the next response frame; returns `(request_id,
+    /// response)`. Error *responses* (e.g. `Overloaded`) are returned as
+    /// [`Response::Error`] values, not `Err` — pipelined callers decide
+    /// per request.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on transport failure or server hang-up;
+    /// [`ClientError::Malformed`] when the server's bytes fail
+    /// validation.
+    pub fn recv(&mut self) -> Result<(u64, Response), ClientError> {
+        match read_frame(&mut self.reader)? {
+            FrameRead::Closed => Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))),
+            FrameRead::Oversized { declared } | FrameRead::Runt { declared } => {
+                Err(ClientError::Malformed(format!("server framed {declared} bytes")))
+            }
+            FrameRead::Payload(payload) => {
+                decode_response(&payload).map_err(|bad| ClientError::Malformed(bad.message))
+            }
+        }
+    }
+
+    fn round_trip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let id = self.send(request)?;
+        self.flush()?;
+        loop {
+            let (got, response) = self.recv()?;
+            if got == id || got == crate::protocol::UNKNOWN_REQUEST_ID {
+                return Ok(response);
+            }
+            // A response to an earlier pipelined request; synchronous
+            // callers after pipelined use must drain first — drop it.
+        }
+    }
+
+    fn expect_prediction(response: Response) -> Result<WirePrediction, ClientError> {
+        match response {
+            Response::Prediction(p) => Ok(p),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Malformed(format!("expected a prediction, got {other:?}"))),
+        }
+    }
+
+    /// Synchronous predict: send, flush, block for the prediction.
+    ///
+    /// # Errors
+    ///
+    /// Transport / framing errors, or [`ClientError::Server`] when the
+    /// server answers with an error response.
+    pub fn predict(
+        &mut self,
+        tenant_id: u64,
+        window: &Matrix,
+    ) -> Result<WirePrediction, ClientError> {
+        let response = self.round_trip(&Request::Predict { tenant_id, window: window.clone() })?;
+        Self::expect_prediction(response)
+    }
+
+    /// Synchronous ingest.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`predict`](Self::predict).
+    pub fn ingest(
+        &mut self,
+        tenant_id: u64,
+        window: &Matrix,
+        label: Option<u32>,
+    ) -> Result<WirePrediction, ClientError> {
+        let response =
+            self.round_trip(&Request::Ingest { tenant_id, label, window: window.clone() })?;
+        Self::expect_prediction(response)
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport / framing errors; a non-Pong answer is
+    /// [`ClientError::Malformed`].
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(ClientError::Malformed(format!("expected pong, got {other:?}"))),
+        }
+    }
+
+    /// Sends pre-encoded raw bytes — the corruption tests' entry point
+    /// for hostile frames.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.writer.write_all(bytes)?;
+        self.writer.flush()
+    }
+}

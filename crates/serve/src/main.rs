@@ -1,0 +1,176 @@
+//! `smore_serve` — the SMORE network serving daemon.
+//!
+//! ```text
+//! smore_serve --synthetic [--addr 127.0.0.1:7878] [--dim 1024]
+//! smore_serve --artifact model.smore [--addr ...]
+//!             [--workers N] [--batch-max N] [--batch-deadline-us N]
+//!             [--queue-cap N] [--duration-secs N] [--seed N]
+//! ```
+//!
+//! `--synthetic` trains the canonical synthetic fleet model in-process
+//! (seconds) — the mode CI and the load generator use. `--artifact`
+//! serves a dense `.smore` artifact written by `Smore::save`.
+//! `--duration-secs 0` (default) serves until killed.
+
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Duration;
+
+use smore_serve::{serve, synthetic, ServeConfig};
+use smore_stream::ServeEngine;
+
+struct Args {
+    addr: String,
+    synthetic: bool,
+    artifact: Option<String>,
+    dim: usize,
+    seed: u64,
+    workers: Option<usize>,
+    batch_max: Option<usize>,
+    batch_deadline_us: Option<u64>,
+    queue_cap: Option<usize>,
+    duration_secs: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: smore_serve (--synthetic | --artifact <model.smore>) [--addr HOST:PORT] \
+         [--dim N] [--seed N] [--workers N] [--batch-max N] [--batch-deadline-us N] \
+         [--queue-cap N] [--duration-secs N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    let Some(raw) = it.next() else {
+        eprintln!("{flag} needs a value");
+        usage();
+    };
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: cannot parse '{raw}'");
+        usage();
+    })
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".into(),
+        synthetic: false,
+        artifact: None,
+        dim: 1024,
+        seed: 7,
+        workers: None,
+        batch_max: None,
+        batch_deadline_us: None,
+        queue_cap: None,
+        duration_secs: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => args.addr = parse(&mut it, "--addr"),
+            "--synthetic" => args.synthetic = true,
+            "--artifact" => args.artifact = Some(parse(&mut it, "--artifact")),
+            "--dim" => args.dim = parse(&mut it, "--dim"),
+            "--seed" => args.seed = parse(&mut it, "--seed"),
+            "--workers" => args.workers = Some(parse(&mut it, "--workers")),
+            "--batch-max" => args.batch_max = Some(parse(&mut it, "--batch-max")),
+            "--batch-deadline-us" => {
+                args.batch_deadline_us = Some(parse(&mut it, "--batch-deadline-us"))
+            }
+            "--queue-cap" => args.queue_cap = Some(parse(&mut it, "--queue-cap")),
+            "--duration-secs" => args.duration_secs = parse(&mut it, "--duration-secs"),
+            "--help" | "-h" => {
+                println!(
+                    "smore_serve: network serving front-end for the SMORE multi-tenant engine.\n\
+                     Speaks the length-prefixed CRC-framed binary protocol in smore_serve::protocol.\n\
+                     \n\
+                     usage: smore_serve (--synthetic | --artifact <model.smore>) [--addr HOST:PORT]\n\
+                            [--dim N] [--seed N] [--workers N] [--batch-max N]\n\
+                            [--batch-deadline-us N] [--queue-cap N] [--duration-secs N]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                usage();
+            }
+        }
+    }
+    if args.synthetic == args.artifact.is_some() {
+        eprintln!("exactly one of --synthetic / --artifact is required");
+        usage();
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+
+    let engine = if args.synthetic {
+        println!("training the synthetic fleet model (seed {}, d = {})...", args.seed, args.dim);
+        let (_, engine) = synthetic::engine(args.seed, args.dim).unwrap_or_else(|e| {
+            eprintln!("synthetic engine failed: {e}");
+            std::process::exit(1);
+        });
+        engine
+    } else {
+        let path = args.artifact.as_deref().expect("checked in parse_args");
+        println!("loading dense artifact {path}...");
+        ServeEngine::from_artifact(path, synthetic::streaming_config()).unwrap_or_else(|e| {
+            eprintln!("artifact load failed: {e}");
+            std::process::exit(1);
+        })
+    };
+
+    let mut config = ServeConfig::default();
+    if let Some(w) = args.workers {
+        config.workers = w;
+    }
+    if let Some(b) = args.batch_max {
+        config.batch_max = b;
+    }
+    if let Some(us) = args.batch_deadline_us {
+        config.batch_deadline = Duration::from_micros(us);
+    }
+    if let Some(q) = args.queue_cap {
+        config.queue_capacity = q;
+    }
+
+    let listener = TcpListener::bind(&args.addr).unwrap_or_else(|e| {
+        eprintln!("cannot bind {}: {e}", args.addr);
+        std::process::exit(1);
+    });
+    let server = serve(Arc::new(engine), listener, config.clone()).unwrap_or_else(|e| {
+        eprintln!("server start failed: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "serving on {} ({} workers, batch_max {}, deadline {:?}, queue {})",
+        server.local_addr(),
+        config.workers,
+        config.batch_max,
+        config.batch_deadline,
+        config.queue_capacity
+    );
+
+    if args.duration_secs == 0 {
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(Duration::from_secs(args.duration_secs));
+    let m = server.metrics_arc();
+    server.shutdown();
+    println!(
+        "served {} predictions ({} coalesced into {} batches), {} adaptations, \
+         {} overloaded, {} protocol errors over {} connections",
+        m.served.load(std::sync::atomic::Ordering::Relaxed),
+        m.coalesced_windows.load(std::sync::atomic::Ordering::Relaxed),
+        m.coalesced_batches.load(std::sync::atomic::Ordering::Relaxed),
+        m.adaptations.load(std::sync::atomic::Ordering::Relaxed),
+        m.overloaded.load(std::sync::atomic::Ordering::Relaxed),
+        m.protocol_errors.load(std::sync::atomic::Ordering::Relaxed),
+        m.connections.load(std::sync::atomic::Ordering::Relaxed),
+    );
+}

@@ -1,0 +1,547 @@
+//! The serving front-end: accept loop, per-tenant sharding, micro-batch
+//! coalescing and admission control.
+//!
+//! # Architecture
+//!
+//! ```text
+//!            ┌──────────────┐   bounded sync_channel   ┌──────────────┐
+//! TCP ──────▶│ conn reader  │──── hash(tenant) % W ───▶│  worker 0    │
+//!            │ (one/conn)   │                          │  sessions:   │
+//!            │              │◀──── encoded frames ─────│  tenant →    │
+//!            └─────┬────────┘      (reply channel)     │  TenantSession│
+//!                  ▼                                   └──────────────┘
+//!            ┌──────────────┐                          ┌──────────────┐
+//!            │ conn writer  │                          │  worker 1…W  │
+//!            └──────────────┘                          └──────────────┘
+//! ```
+//!
+//! - **Sharding.** Every tenant id hashes to exactly one worker, so that
+//!   tenant's [`TenantSession`] — OOD buffer, drift detector, serve
+//!   scratch, personal snapshot — lives on one thread for its whole
+//!   lifetime: core-local state, no locks, no cross-thread migration.
+//! - **Coalescing.** A worker drains its queue into a micro-batch (flush
+//!   on [`ServeConfig::batch_max`] or [`ServeConfig::batch_deadline`]).
+//!   Predict requests for tenants still serving the *shared base
+//!   snapshot* — the overwhelming majority in a real fleet — are answered
+//!   by **one** [`Predictor::predict_batch`] call across tenants;
+//!   personalized tenants and stateful ingests are served individually
+//!   through their own sessions.
+//! - **Backpressure.** Worker queues are bounded `sync_channel`s. When a
+//!   shard's queue is full the connection thread answers
+//!   [`ErrorCode::Overloaded`] immediately instead of buffering without
+//!   bound — admission control at the door, not OOM later.
+//! - **Isolation.** A request the model refuses (bad shape, bad label)
+//!   answers [`ErrorCode::Rejected`] with the model's message; a frame
+//!   the protocol refuses answers [`ErrorCode::Malformed`] /
+//!   [`ErrorCode::TooLarge`] / [`ErrorCode::UnknownTag`]. The connection
+//!   — and every other tenant — keeps serving through all of them.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use smore::{ServeScratch, SmoreError};
+use smore_stream::{ServeEngine, TenantSession};
+use smore_tensor::Matrix;
+
+use crate::protocol::{
+    decode_request, encode_response, read_frame, ErrorCode, FrameRead, Request, Response,
+    WirePrediction, UNKNOWN_REQUEST_ID,
+};
+use crate::Result;
+
+/// Tuning knobs for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker (shard) count. Each worker owns the sessions of the tenants
+    /// that hash to it.
+    pub workers: usize,
+    /// Bounded depth of each worker's queue — the admission-control
+    /// limit. A full queue answers `Overloaded`.
+    pub queue_capacity: usize,
+    /// Micro-batch flush size; `1` disables coalescing.
+    pub batch_max: usize,
+    /// Micro-batch flush deadline: how long a worker waits for more
+    /// requests after the first one before serving a short batch.
+    pub batch_deadline: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(2, usize::from);
+        Self {
+            workers: cores.max(2),
+            queue_capacity: 256,
+            batch_max: 32,
+            batch_deadline: Duration::from_micros(500),
+        }
+    }
+}
+
+impl ServeConfig {
+    fn validate(&self) -> Result<()> {
+        if self.workers == 0 || self.queue_capacity == 0 || self.batch_max == 0 {
+            return Err(SmoreError::InvalidConfig {
+                what: format!(
+                    "workers ({}), queue_capacity ({}) and batch_max ({}) must all be >= 1",
+                    self.workers, self.queue_capacity, self.batch_max
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Monotone counters exported by a running server (all `Relaxed`; read
+/// them for reporting, not synchronization).
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Requests answered with a prediction.
+    pub served: AtomicU64,
+    /// Micro-batches answered through one shared-base `predict_batch`.
+    pub coalesced_batches: AtomicU64,
+    /// Windows inside those coalesced batches.
+    pub coalesced_windows: AtomicU64,
+    /// Requests refused by admission control.
+    pub overloaded: AtomicU64,
+    /// Frames answered with a protocol error.
+    pub protocol_errors: AtomicU64,
+    /// Online enrolments fired by ingests.
+    pub adaptations: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+}
+
+impl ServerMetrics {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// One queued unit of work for a shard worker.
+struct Job {
+    request_id: u64,
+    tenant_id: u64,
+    kind: JobKind,
+    reply: Sender<Vec<u8>>,
+}
+
+enum JobKind {
+    Predict(Matrix),
+    Ingest { label: Option<u32>, window: Matrix },
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`shutdown`](Self::shutdown).
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    metrics: Arc<ServerMetrics>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (resolves `:0` binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live server counters.
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// Shared handle to the live server counters.
+    pub fn metrics_arc(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Stops accepting, drains the workers and joins every server thread.
+    /// Established connections are closed as their reader threads observe
+    /// the stop flag or EOF.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Nudge the blocking accept loop awake.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Starts serving `engine` on `listener` with `config`. Returns
+/// immediately; serving happens on background threads until
+/// [`ServerHandle::shutdown`].
+///
+/// # Errors
+///
+/// [`SmoreError::InvalidConfig`] for a zero worker count, queue capacity
+/// or batch size.
+pub fn serve(
+    engine: Arc<ServeEngine>,
+    listener: TcpListener,
+    config: ServeConfig,
+) -> Result<ServerHandle> {
+    config.validate()?;
+    let addr = listener.local_addr().map_err(|e| SmoreError::io("listener", &e))?;
+    let metrics = Arc::new(ServerMetrics::default());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut worker_handles = Vec::with_capacity(config.workers);
+    let mut queues: Vec<SyncSender<Job>> = Vec::with_capacity(config.workers);
+    for shard in 0..config.workers {
+        let (tx, rx) = mpsc::sync_channel(config.queue_capacity);
+        queues.push(tx);
+        let engine = Arc::clone(&engine);
+        let metrics = Arc::clone(&metrics);
+        let worker_stop = Arc::clone(&stop);
+        let cfg = config.clone();
+        worker_handles.push(
+            std::thread::Builder::new()
+                .name(format!("smore-worker-{shard}"))
+                .spawn(move || worker_loop(engine, rx, cfg, metrics, worker_stop))
+                .expect("spawning a worker thread succeeds"),
+        );
+    }
+
+    let accept_metrics = Arc::clone(&metrics);
+    let accept_stop = Arc::clone(&stop);
+    let accept_thread = std::thread::Builder::new()
+        .name("smore-accept".into())
+        .spawn(move || {
+            // Dropping `queues` when this loop exits closes every worker
+            // queue once in-flight jobs (which hold clones) finish.
+            let queues = queues;
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                ServerMetrics::bump(&accept_metrics.connections);
+                let queues = queues.clone();
+                let metrics = Arc::clone(&accept_metrics);
+                let stop = Arc::clone(&accept_stop);
+                let _ = std::thread::Builder::new()
+                    .name("smore-conn".into())
+                    .spawn(move || connection_loop(stream, &queues, &metrics, &stop));
+            }
+        })
+        .expect("spawning the accept thread succeeds");
+
+    Ok(ServerHandle {
+        addr,
+        metrics,
+        stop,
+        accept_thread: Some(accept_thread),
+        workers: worker_handles,
+    })
+}
+
+/// Stable tenant → shard assignment.
+fn shard_of(tenant_id: u64, workers: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    tenant_id.hash(&mut h);
+    (h.finish() % workers as u64) as usize
+}
+
+/// One connection: a reader loop on this thread plus a writer thread
+/// draining the reply channel. Responses come from whichever worker
+/// served each request; the reply channel serializes them onto the
+/// socket.
+fn connection_loop(
+    stream: TcpStream,
+    queues: &[SyncSender<Job>],
+    metrics: &Arc<ServerMetrics>,
+    stop: &Arc<AtomicBool>,
+) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    let (reply_tx, reply_rx): (Sender<Vec<u8>>, Receiver<Vec<u8>>) = mpsc::channel();
+    let writer = std::thread::Builder::new()
+        .name("smore-conn-writer".into())
+        .spawn(move || writer_loop(write_half, reply_rx))
+        .expect("spawning a connection writer succeeds");
+
+    let mut reader = BufReader::new(stream);
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let frame = match read_frame(&mut reader) {
+            Ok(FrameRead::Closed) | Err(_) => break,
+            Ok(FrameRead::Oversized { declared }) => {
+                ServerMetrics::bump(&metrics.protocol_errors);
+                let resp = Response::Error {
+                    code: ErrorCode::TooLarge,
+                    message: format!(
+                        "declared frame length {declared} exceeds the {} byte cap",
+                        crate::protocol::MAX_FRAME_LEN
+                    ),
+                };
+                if reply_tx.send(encode_response(UNKNOWN_REQUEST_ID, &resp)).is_err() {
+                    break;
+                }
+                continue;
+            }
+            Ok(FrameRead::Runt { declared }) => {
+                ServerMetrics::bump(&metrics.protocol_errors);
+                let resp = Response::Error {
+                    code: ErrorCode::Malformed,
+                    message: format!("declared frame length {declared} cannot hold a message"),
+                };
+                if reply_tx.send(encode_response(UNKNOWN_REQUEST_ID, &resp)).is_err() {
+                    break;
+                }
+                continue;
+            }
+            Ok(FrameRead::Payload(payload)) => payload,
+        };
+
+        let (request_id, request) = match decode_request(&frame) {
+            Ok(decoded) => decoded,
+            Err(bad) => {
+                ServerMetrics::bump(&metrics.protocol_errors);
+                let resp = Response::Error { code: bad.code, message: bad.message };
+                if reply_tx.send(encode_response(bad.request_id, &resp)).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+
+        let (tenant_id, kind) = match request {
+            Request::Ping => {
+                if reply_tx.send(encode_response(request_id, &Response::Pong)).is_err() {
+                    break;
+                }
+                continue;
+            }
+            Request::Predict { tenant_id, window } => (tenant_id, JobKind::Predict(window)),
+            Request::Ingest { tenant_id, label, window } => {
+                (tenant_id, JobKind::Ingest { label, window })
+            }
+        };
+
+        let shard = shard_of(tenant_id, queues.len());
+        let job = Job { request_id, tenant_id, kind, reply: reply_tx.clone() };
+        match queues[shard].try_send(job) {
+            Ok(()) => {}
+            Err(TrySendError::Full(job)) => {
+                // Admission control: answer now, buffer nothing.
+                ServerMetrics::bump(&metrics.overloaded);
+                let resp = Response::Error {
+                    code: ErrorCode::Overloaded,
+                    message: format!("shard {shard} queue is full; retry with backoff"),
+                };
+                if job.reply.send(encode_response(request_id, &resp)).is_err() {
+                    break;
+                }
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+    // Dropping our reply sender lets the writer drain in-flight worker
+    // responses and exit once the last job's clone is gone.
+    drop(reply_tx);
+    let _ = writer.join();
+}
+
+fn writer_loop(stream: TcpStream, replies: Receiver<Vec<u8>>) {
+    let mut writer = BufWriter::new(stream);
+    while let Ok(frame) = replies.recv() {
+        if writer.write_all(&frame).is_err() {
+            return;
+        }
+        // Coalesce any already-queued responses into one flush.
+        while let Ok(frame) = replies.try_recv() {
+            if writer.write_all(&frame).is_err() {
+                return;
+            }
+        }
+        if writer.flush().is_err() {
+            return;
+        }
+    }
+}
+
+/// One shard: owns every hashed-here tenant's session, coalesces the
+/// queue into micro-batches, serves, replies.
+fn worker_loop(
+    engine: Arc<ServeEngine>,
+    queue: Receiver<Job>,
+    config: ServeConfig,
+    metrics: Arc<ServerMetrics>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut sessions: HashMap<u64, TenantSession> = HashMap::new();
+    let mut scratch = ServeScratch::new();
+    let mut batch: Vec<Job> = Vec::with_capacity(config.batch_max);
+
+    loop {
+        // Wait for the first job, re-checking the stop flag so shutdown
+        // never deadlocks on queue senders still held by live connection
+        // threads. A closed queue also means shutdown.
+        let first = loop {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            match queue.recv_timeout(Duration::from_millis(25)) {
+                Ok(job) => break job,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        };
+        batch.push(first);
+        if config.batch_max > 1 {
+            let deadline = Instant::now() + config.batch_deadline;
+            while batch.len() < config.batch_max {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                match queue.recv_timeout(deadline - now) {
+                    Ok(job) => batch.push(job),
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        }
+        serve_batch(&engine, &mut sessions, &mut scratch, &mut batch, &metrics);
+        batch.clear();
+    }
+}
+
+fn prediction_response(p: &smore::Prediction, buffered: bool, adapted: bool) -> Response {
+    Response::Prediction(WirePrediction {
+        label: p.label as u32,
+        is_ood: p.is_ood,
+        delta_max: p.delta_max,
+        best_domain: p.best_domain as u32,
+        buffered,
+        adapted,
+    })
+}
+
+fn model_error_response(err: &SmoreError) -> Response {
+    Response::Error { code: ErrorCode::Rejected, message: err.to_string() }
+}
+
+/// Serves one coalesced micro-batch. Shared-base predicts go through one
+/// `predict_batch`; everything else is served per tenant session.
+fn serve_batch(
+    engine: &Arc<ServeEngine>,
+    sessions: &mut HashMap<u64, TenantSession>,
+    scratch: &mut ServeScratch,
+    batch: &mut Vec<Job>,
+    metrics: &Arc<ServerMetrics>,
+) {
+    // Partition: a Predict for a tenant with no personal snapshot is
+    // answerable from the shared base — coalescable across tenants.
+    let mut base_jobs: Vec<Job> = Vec::new();
+    let mut stateful: Vec<Job> = Vec::new();
+    for job in batch.drain(..) {
+        let on_base = matches!(job.kind, JobKind::Predict(_))
+            && sessions.get(&job.tenant_id).is_none_or(|s| !s.is_personalized());
+        if on_base {
+            base_jobs.push(job);
+        } else {
+            stateful.push(job);
+        }
+    }
+
+    if !base_jobs.is_empty() {
+        let base = engine.base_snapshot();
+        if base_jobs.len() == 1 {
+            // No cross-tenant coalescing possible; serve through the
+            // worker scratch without the batch machinery.
+            let job = &base_jobs[0];
+            let JobKind::Predict(window) = &job.kind else { unreachable!("partitioned above") };
+            let response = match base.predict_window_with(window, scratch) {
+                Ok(p) => {
+                    ServerMetrics::bump(&metrics.served);
+                    prediction_response(p, false, false)
+                }
+                Err(e) => model_error_response(&e),
+            };
+            let _ = job.reply.send(encode_response(job.request_id, &response));
+        } else {
+            let windows: Vec<Matrix> = base_jobs
+                .iter()
+                .map(|j| match &j.kind {
+                    JobKind::Predict(w) => w.clone(),
+                    JobKind::Ingest { .. } => unreachable!("partitioned above"),
+                })
+                .collect();
+            match base.predict_batch(&windows) {
+                Ok(predictions) => {
+                    ServerMetrics::bump(&metrics.coalesced_batches);
+                    metrics.coalesced_windows.fetch_add(windows.len() as u64, Ordering::Relaxed);
+                    metrics.served.fetch_add(windows.len() as u64, Ordering::Relaxed);
+                    for (job, p) in base_jobs.iter().zip(&predictions) {
+                        let _ = job.reply.send(encode_response(
+                            job.request_id,
+                            &prediction_response(p, false, false),
+                        ));
+                    }
+                }
+                Err(_) => {
+                    // One bad window fails a whole batch call; fall back
+                    // to per-window serving so its neighbours still get
+                    // answers and only the offender gets the error.
+                    for job in &base_jobs {
+                        let JobKind::Predict(window) = &job.kind else { unreachable!() };
+                        let response = match base.predict_window_with(window, scratch) {
+                            Ok(p) => {
+                                ServerMetrics::bump(&metrics.served);
+                                prediction_response(p, false, false)
+                            }
+                            Err(e) => model_error_response(&e),
+                        };
+                        let _ = job.reply.send(encode_response(job.request_id, &response));
+                    }
+                }
+            }
+        }
+    }
+
+    for job in stateful {
+        let session = sessions.entry(job.tenant_id).or_insert_with(|| engine.session());
+        let response = match job.kind {
+            JobKind::Predict(window) => match session.predict_window(&window) {
+                Ok(p) => {
+                    ServerMetrics::bump(&metrics.served);
+                    prediction_response(p, false, false)
+                }
+                Err(e) => model_error_response(&e),
+            },
+            JobKind::Ingest { label, window } => {
+                let outcome = match label {
+                    Some(l) => session.ingest_labelled(&window, l as usize),
+                    None => session.ingest(&window),
+                };
+                match outcome {
+                    Ok(o) => {
+                        ServerMetrics::bump(&metrics.served);
+                        if o.adapted.is_some() {
+                            ServerMetrics::bump(&metrics.adaptations);
+                        }
+                        prediction_response(&o.prediction, o.buffered, o.adapted.is_some())
+                    }
+                    Err(e) => model_error_response(&e),
+                }
+            }
+        };
+        let _ = job.reply.send(encode_response(job.request_id, &response));
+    }
+}

@@ -1,0 +1,169 @@
+//! End-to-end serving over real loopback sockets: wire predictions must
+//! match direct in-process serving, drifting tenants must personalize
+//! through `Ingest`, and admission control must answer `Overloaded`
+//! instead of buffering without bound.
+
+use std::net::TcpListener;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use smore_data::Dataset;
+use smore_serve::{serve, synthetic, ErrorCode, Response, ServeClient, ServeConfig, ServerHandle};
+use smore_stream::ServeEngine;
+
+/// One trained fleet shared by every test in this file (training
+/// dominates test wall-clock; the engine itself is immutable — tenant
+/// state lives in each server's workers).
+fn fleet() -> &'static (Dataset, Arc<ServeEngine>) {
+    static FLEET: OnceLock<(Dataset, Arc<ServeEngine>)> = OnceLock::new();
+    FLEET.get_or_init(|| {
+        let (ds, engine) = synthetic::engine(11, 512).expect("synthetic fleet trains");
+        (ds, Arc::new(engine))
+    })
+}
+
+fn start(config: ServeConfig) -> (ServerHandle, Dataset) {
+    let (ds, engine) = fleet();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let server = serve(Arc::clone(engine), listener, config).expect("server starts");
+    (server, ds.clone())
+}
+
+#[test]
+fn wire_predictions_match_direct_serving() {
+    let (server, ds) = start(ServeConfig { workers: 2, ..ServeConfig::default() });
+    let (_, engine) = fleet();
+    let base = engine.base_snapshot();
+
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+    client.ping().expect("ping");
+    for (i, idx) in (0..ds.len()).step_by(17).enumerate() {
+        let window = ds.window(idx);
+        let direct = base.predict_window(window).expect("direct predict");
+        let wire = client.predict(i as u64, window).expect("wire predict");
+        assert_eq!(wire.label as usize, direct.label, "window {idx}");
+        assert_eq!(wire.is_ood, direct.is_ood, "window {idx}");
+        assert_eq!(wire.best_domain as usize, direct.best_domain, "window {idx}");
+        assert!((wire.delta_max - direct.delta_max).abs() < 1e-6, "window {idx}");
+        assert!(!wire.buffered && !wire.adapted, "stateless predicts never touch a session");
+    }
+    assert!(server.metrics().served.load(std::sync::atomic::Ordering::Relaxed) > 0);
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_predicts_coalesce_into_shared_base_batches() {
+    let (server, ds) = start(ServeConfig {
+        workers: 1,
+        batch_max: 16,
+        batch_deadline: Duration::from_millis(5),
+        ..ServeConfig::default()
+    });
+
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+    let total = 64usize;
+    let mut expected_ids = Vec::new();
+    for i in 0..total {
+        let id =
+            client.send_predict(1000 + i as u64, ds.window(i % ds.len())).expect("queue predict");
+        expected_ids.push(id);
+    }
+    client.flush().expect("flush");
+    let mut answered = 0usize;
+    while answered < total {
+        let (id, response) = client.recv().expect("response");
+        assert!(expected_ids.contains(&id));
+        assert!(matches!(response, Response::Prediction(_)), "got {response:?}");
+        answered += 1;
+    }
+
+    let m = server.metrics();
+    let batches = m.coalesced_batches.load(std::sync::atomic::Ordering::Relaxed);
+    let windows = m.coalesced_windows.load(std::sync::atomic::Ordering::Relaxed);
+    assert!(batches > 0, "pipelined same-connection predicts must coalesce");
+    assert!(windows > batches, "coalesced batches must hold more than one window each");
+    server.shutdown();
+}
+
+#[test]
+fn drifting_tenant_personalizes_through_wire_ingest() {
+    let (server, ds) = start(ServeConfig { workers: 1, ..ServeConfig::default() });
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+
+    // Feed the tenant the calibrated drift stream (1.5×-hot held-out
+    // windows) with oracle labels — exactly what a drifted deployment
+    // streams back. Sustained low δ_max must fire enrolment.
+    let drift = synthetic::drift_stream(&ds, 160, 42).expect("drift stream");
+    assert!(drift.len() >= 64, "need a real drift stream");
+
+    let tenant = 77u64;
+    let mut adapted = false;
+    for (window, label) in &drift {
+        let p = client.ingest(tenant, window, Some(*label as u32)).expect("wire ingest");
+        if p.adapted {
+            adapted = true;
+            break;
+        }
+    }
+    assert!(adapted, "a tenant streaming drifted windows must trigger enrolment");
+    assert!(server.metrics().adaptations.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+
+    // The personalized tenant keeps serving (now through its own session).
+    let p = client.predict(tenant, &drift[0].0).expect("post-adaptation predict");
+    assert!(p.label < 4);
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_answers_overloaded_not_oom() {
+    // One worker, a queue of one, no coalescing: a pipelined burst must
+    // overflow admission control and get explicit Overloaded responses
+    // while every request still gets exactly one answer.
+    let (server, ds) = start(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        batch_max: 1,
+        batch_deadline: Duration::from_micros(1),
+    });
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+
+    let total = 400usize;
+    for i in 0..total {
+        client.send_predict(i as u64, ds.window(i % ds.len())).expect("queue predict");
+    }
+    client.flush().expect("flush");
+
+    let mut predictions = 0usize;
+    let mut overloaded = 0usize;
+    for _ in 0..total {
+        match client.recv().expect("every request gets exactly one response").1 {
+            Response::Prediction(_) => predictions += 1,
+            Response::Error { code: ErrorCode::Overloaded, .. } => overloaded += 1,
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert_eq!(predictions + overloaded, total);
+    assert!(overloaded > 0, "a 400-deep burst into a queue of 1 must trip admission control");
+    assert!(predictions > 0, "admission control must shed load, not stop serving");
+    assert_eq!(
+        server.metrics().overloaded.load(std::sync::atomic::Ordering::Relaxed),
+        overloaded as u64
+    );
+    server.shutdown();
+}
+
+#[test]
+fn tenants_shard_across_workers_and_share_the_base() {
+    let (server, ds) = start(ServeConfig { workers: 3, ..ServeConfig::default() });
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+    // 32 tenants spread across 3 shards all serve the same base snapshot:
+    // identical windows give identical predictions regardless of shard.
+    let window = ds.window(3);
+    let reference = client.predict(0, window).expect("tenant 0");
+    for tenant in 1..32u64 {
+        let p = client.predict(tenant, window).expect("tenant predict");
+        assert_eq!(p.label, reference.label, "tenant {tenant}");
+        assert_eq!(p.delta_max, reference.delta_max, "tenant {tenant}");
+    }
+    server.shutdown();
+}

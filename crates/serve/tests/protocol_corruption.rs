@@ -1,0 +1,197 @@
+//! Socket-level corruption sweep: hostile bytes on a live connection
+//! must be answered with clean typed errors — never a worker death, an
+//! allocation sized by the attacker, or a poisoned server. After every
+//! attack the same connection (where framing allows) and the server as a
+//! whole must keep serving.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, OnceLock};
+
+use smore::wire::crc32;
+use smore_data::Dataset;
+use smore_serve::protocol::{encode_request, MAX_FRAME_LEN, UNKNOWN_REQUEST_ID};
+use smore_serve::{
+    serve, synthetic, ErrorCode, Request, Response, ServeClient, ServeConfig, ServerHandle,
+};
+use smore_stream::ServeEngine;
+
+fn fleet() -> &'static (Dataset, Arc<ServeEngine>) {
+    static FLEET: OnceLock<(Dataset, Arc<ServeEngine>)> = OnceLock::new();
+    FLEET.get_or_init(|| {
+        let (ds, engine) = synthetic::engine(13, 256).expect("synthetic fleet trains");
+        (ds, Arc::new(engine))
+    })
+}
+
+fn start() -> (ServerHandle, Dataset) {
+    let (ds, engine) = fleet();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let server =
+        serve(Arc::clone(engine), listener, ServeConfig { workers: 1, ..ServeConfig::default() })
+            .expect("server starts");
+    (server, ds.clone())
+}
+
+/// Builds a sealed frame with arbitrary tag + body — the attacker's
+/// version of `protocol::seal`.
+fn raw_frame(tag: u8, request_id: u64, body: &[u8]) -> Vec<u8> {
+    let mut inner = vec![tag];
+    inner.extend_from_slice(&request_id.to_le_bytes());
+    inner.extend_from_slice(body);
+    let mut out = ((4 + inner.len()) as u32).to_le_bytes().to_vec();
+    out.extend_from_slice(&crc32(&inner).to_le_bytes());
+    out.extend_from_slice(&inner);
+    out
+}
+
+fn expect_error(client: &mut ServeClient, want_code: ErrorCode, want_id: u64) -> String {
+    let (id, response) = client.recv().expect("server answers the hostile frame");
+    assert_eq!(id, want_id);
+    match response {
+        Response::Error { code, message } => {
+            assert_eq!(code, want_code, "{message}");
+            message
+        }
+        other => panic!("expected an error response, got {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_length_prefix_is_refused_without_allocation() {
+    let (server, ds) = start();
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+
+    // Declare a frame just over the cap and actually send that many
+    // bytes: the server must drain it in bounded chunks (never allocate
+    // the declared length) and answer TooLarge.
+    let declared = MAX_FRAME_LEN + 1;
+    let mut bytes = (declared as u32).to_le_bytes().to_vec();
+    bytes.extend_from_slice(&vec![0xA5u8; declared]);
+    client.send_raw(&bytes).expect("send oversized frame");
+    let message = expect_error(&mut client, ErrorCode::TooLarge, UNKNOWN_REQUEST_ID);
+    assert!(message.contains("exceeds"), "{message}");
+
+    // Same connection keeps serving.
+    client.ping().expect("connection survives an oversized frame");
+    let p = client.predict(1, ds.window(0)).expect("predict after oversized frame");
+    assert!(p.label < 4);
+    server.shutdown();
+}
+
+#[test]
+fn runt_length_prefix_is_refused() {
+    let (server, _) = start();
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+
+    // Declared length too small to hold CRC + tag + id.
+    let mut bytes = 6u32.to_le_bytes().to_vec();
+    bytes.extend_from_slice(&[0u8; 6]);
+    client.send_raw(&bytes).expect("send runt frame");
+    expect_error(&mut client, ErrorCode::Malformed, UNKNOWN_REQUEST_ID);
+    client.ping().expect("connection survives a runt frame");
+    server.shutdown();
+}
+
+#[test]
+fn bit_flips_are_caught_by_the_crc() {
+    let (server, ds) = start();
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+
+    let good = encode_request(9, &Request::Predict { tenant_id: 5, window: ds.window(0).clone() });
+    // Flip one bit at a sweep of payload positions (CRC field, tag, id,
+    // tenant, shape, values) — each must come back Malformed with the id
+    // withheld, and the connection must stay usable.
+    for byte in (8..good.len()).step_by(7) {
+        let mut corrupt = good.clone();
+        corrupt[byte] ^= 0x04;
+        client.send_raw(&corrupt).expect("send corrupt frame");
+        expect_error(&mut client, ErrorCode::Malformed, UNKNOWN_REQUEST_ID);
+    }
+    let p = client.predict(5, ds.window(0)).expect("predict after the bit-flip sweep");
+    assert!(p.label < 4);
+    assert!(server.metrics().protocol_errors.load(std::sync::atomic::Ordering::Relaxed) > 0);
+    server.shutdown();
+}
+
+#[test]
+fn unknown_tag_answers_unknown_tag_with_the_echoed_id() {
+    let (server, _) = start();
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+
+    client.send_raw(&raw_frame(0x5C, 4242, &[])).expect("send unknown tag");
+    let message = expect_error(&mut client, ErrorCode::UnknownTag, 4242);
+    assert!(message.contains("0x5C"), "{message}");
+    client.ping().expect("connection survives an unknown tag");
+    server.shutdown();
+}
+
+#[test]
+fn hostile_window_counts_never_size_an_allocation() {
+    let (server, ds) = start();
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+
+    // A predict declaring a 4096×4096 window backed by 8 floats: the
+    // byte bound must trip before any allocation, echoing the id.
+    let mut body = 7u64.to_le_bytes().to_vec();
+    body.extend_from_slice(&4096u32.to_le_bytes());
+    body.extend_from_slice(&4096u32.to_le_bytes());
+    body.extend_from_slice(&[0u8; 32]);
+    client.send_raw(&raw_frame(0x01, 31, &body)).expect("send hostile count");
+    let message = expect_error(&mut client, ErrorCode::Malformed, 31);
+    assert!(message.contains("exceeds"), "{message}");
+
+    // Shape outside the cap entirely.
+    let mut body = 7u64.to_le_bytes().to_vec();
+    body.extend_from_slice(&u32::MAX.to_le_bytes());
+    body.extend_from_slice(&1u32.to_le_bytes());
+    client.send_raw(&raw_frame(0x01, 32, &body)).expect("send hostile shape");
+    let message = expect_error(&mut client, ErrorCode::Malformed, 32);
+    assert!(message.contains("outside"), "{message}");
+
+    let p = client.predict(7, ds.window(1)).expect("worker survives hostile counts");
+    assert!(p.label < 4);
+    server.shutdown();
+}
+
+#[test]
+fn truncated_frame_kills_only_its_own_connection() {
+    let (server, ds) = start();
+
+    // A connection that dies mid-frame (declared 64 bytes, sent 10) is
+    // simply dropped — but the server and other connections keep serving.
+    {
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect raw");
+        let mut bytes = 64u32.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[1u8; 10]);
+        stream.write_all(&bytes).expect("send truncated frame");
+        stream.flush().expect("flush");
+    } // dropped: EOF mid-frame on the server's reader
+
+    let mut client = ServeClient::connect(server.local_addr()).expect("fresh connection");
+    client.ping().expect("server survives a torn connection");
+    let p = client.predict(2, ds.window(2)).expect("predict after torn connection");
+    assert!(p.label < 4);
+    server.shutdown();
+}
+
+#[test]
+fn label_out_of_range_is_rejected_not_fatal() {
+    let (server, ds) = start();
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+
+    // Structurally valid ingest whose label the model refuses: the worker
+    // must answer Rejected (model vocabulary), not die.
+    let err = client
+        .ingest(3, ds.window(0), Some(999))
+        .expect_err("label 999 of 4 classes must be rejected");
+    match err {
+        smore_serve::ClientError::Server { code, message } => {
+            assert_eq!(code, ErrorCode::Rejected, "{message}");
+        }
+        other => panic!("expected a server rejection, got {other}"),
+    }
+    let p = client.predict(3, ds.window(0)).expect("worker survives a rejected label");
+    assert!(p.label < 4);
+    server.shutdown();
+}

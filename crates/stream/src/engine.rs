@@ -57,10 +57,41 @@ pub(crate) fn drift_delta_quantile(
             what: format!("calibration quantile must be in (0, 1), got {quantile}"),
         });
     }
+    // A NaN-poisoned window must fail calibration loudly, not fold
+    // garbage into the served threshold (the packed encoder quantizes
+    // non-finite values into arbitrary level bins, so its δ_max would be
+    // finite nonsense rather than NaN).
+    for (i, window) in windows.iter().enumerate() {
+        if !window.as_slice().iter().all(|v| v.is_finite()) {
+            return Err(SmoreError::InvalidConfig {
+                what: format!(
+                    "calibration window {i} contains a non-finite value; drift δ must be \
+                     calibrated on finite in-distribution traffic"
+                ),
+            });
+        }
+    }
     let mut deltas: Vec<f32> = model.predict_batch(windows)?.iter().map(|p| p.delta_max).collect();
-    deltas.sort_by(|a, b| a.partial_cmp(b).expect("similarities are finite"));
-    let idx = ((deltas.len() - 1) as f32 * quantile) as usize;
-    Ok(deltas[idx])
+    // Defense in depth: a non-finite similarity is a model bug, but the
+    // serving path must answer with an error, never a panic.
+    if let Some(i) = deltas.iter().position(|d| !d.is_finite()) {
+        return Err(SmoreError::InvalidConfig {
+            what: format!("calibration window {i} produced a non-finite δ_max ({})", deltas[i]),
+        });
+    }
+    // total_cmp is a total order — no panicking partial_cmp on the
+    // serving path even if the finiteness guards above ever change.
+    deltas.sort_by(f32::total_cmp);
+    Ok(deltas[nearest_rank_index(deltas.len(), quantile)])
+}
+
+/// Nearest-rank index (ties rounded *up*) of `quantile` over `n` sorted
+/// samples. The previous `as usize` cast floored, biasing the calibrated
+/// drift δ low on small calibration sets — n=10, q=0.9 selected index 8,
+/// not 9. Exactly representable products (e.g. 8 × 0.25) stay exact in
+/// f64, so ceil never over-rounds them.
+fn nearest_rank_index(n: usize, quantile: f32) -> usize {
+    (((n - 1) as f64 * f64::from(quantile)).ceil() as usize).min(n - 1)
 }
 
 /// The multi-tenant serving engine (see the [module docs](self)).
@@ -275,6 +306,19 @@ impl TenantSession {
         self.state.ood_fraction()
     }
 
+    /// Serves one window through this tenant's current snapshot and
+    /// session scratch **without** touching adaptation state — the
+    /// read-only fast path network front-ends use for pure predict
+    /// requests (no OOD buffering, no drift accounting, no step count).
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoder errors for malformed windows.
+    pub fn predict_window(&mut self, window: &Matrix) -> Result<&smore::Prediction> {
+        let serving = self.personal.as_ref().unwrap_or(&self.base);
+        serving.predict_window_with(window, &mut self.scratch)
+    }
+
     /// Ingests one unlabelled window: serve, buffer if OOD, adapt (into
     /// the personal overlay) if drift fires.
     ///
@@ -444,6 +488,44 @@ mod tests {
         let w = vec![ds.window(0).clone()];
         assert!(engine.calibrate_drift_delta(&w, 0.0).is_err());
         assert!(engine.calibrate_drift_delta(&w, 1.0).is_err());
+    }
+
+    #[test]
+    fn quantile_index_uses_nearest_rank_not_truncation() {
+        // The motivating case: `as usize` floored 8.1 to 8.
+        assert_eq!(nearest_rank_index(10, 0.9), 9);
+        assert_eq!(nearest_rank_index(10, 0.5), 5);
+        assert_eq!(nearest_rank_index(10, 0.25), 3);
+        // Exactly representable products are not over-rounded.
+        assert_eq!(nearest_rank_index(9, 0.25), 2);
+        assert_eq!(nearest_rank_index(5, 0.5), 2);
+        // Degenerate sizes stay in bounds.
+        assert_eq!(nearest_rank_index(1, 0.9), 0);
+        assert_eq!(nearest_rank_index(2, 0.99), 1);
+    }
+
+    #[test]
+    fn calibration_rejects_non_finite_windows_instead_of_panicking() {
+        let ds = shifted_dataset(7);
+        let (train, _) = split::lodo(&ds, 3).unwrap();
+        let mut engine = ServeEngine::new(fitted(&ds, &train), engine_config()).unwrap();
+        let mut windows: Vec<Matrix> = (0..6).map(|i| ds.window(i).clone()).collect();
+
+        // One NaN cell in one calibration window: a typed error, not the
+        // old partial_cmp panic (and not a silently-poisoned threshold).
+        windows[3].set(5, 1, f32::NAN);
+        let err = engine.calibrate_drift_delta(&windows, 0.5).unwrap_err();
+        assert!(matches!(err, SmoreError::InvalidConfig { .. }), "{err}");
+        assert!(err.to_string().contains("non-finite"), "{err}");
+
+        // Infinity is rejected the same way.
+        windows[3].set(5, 1, f32::INFINITY);
+        assert!(engine.calibrate_drift_delta(&windows, 0.5).is_err());
+
+        // Restoring finiteness restores calibration.
+        windows[3].set(5, 1, 0.0);
+        let delta = engine.calibrate_drift_delta(&windows, 0.5).unwrap();
+        assert!(delta.is_finite());
     }
 
     #[test]

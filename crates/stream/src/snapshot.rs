@@ -39,13 +39,23 @@ impl SnapshotHandle {
     /// enough to clone the `Arc`; the returned snapshot stays valid (and
     /// immutable) however long the caller keeps it, even across a
     /// concurrent [`publish`](Self::publish).
+    ///
+    /// Lock poisoning is deliberately ignored: the slot only ever holds a
+    /// fully-built `Arc<QuantizedSmore>` and the swap in
+    /// [`publish`](Self::publish) is a single pointer store, so a thread
+    /// that panicked while holding the guard cannot have left the slot
+    /// torn. Recovering the guard keeps every serving thread alive; the
+    /// old `.expect("snapshot lock poisoned")` turned one panicking
+    /// publisher into a permanent fleet-wide outage.
     pub fn load(&self) -> Arc<QuantizedSmore> {
-        Arc::clone(&self.slot.read().expect("snapshot lock poisoned"))
+        Arc::clone(&self.slot.read().unwrap_or_else(std::sync::PoisonError::into_inner))
     }
 
-    /// Atomically replaces the serving snapshot.
+    /// Atomically replaces the serving snapshot. Recovers a poisoned
+    /// guard for the same reason as [`load`](Self::load): the slot is
+    /// always a valid snapshot, so publishing over it stays safe.
     pub fn publish(&self, snapshot: QuantizedSmore) {
-        *self.slot.write().expect("snapshot lock poisoned") = Arc::new(snapshot);
+        *self.slot.write().unwrap_or_else(std::sync::PoisonError::into_inner) = Arc::new(snapshot);
     }
 }
 
@@ -167,6 +177,35 @@ mod tests {
         let after = handle.predict_window_with(ds.window(0), &mut scratch).unwrap().clone();
         assert_eq!(after.domain_similarities.len(), 3);
         assert_eq!(after, handle.predict_window(ds.window(0)).unwrap());
+    }
+
+    #[test]
+    fn serving_survives_a_poisoned_publisher() {
+        let (ds, mut dense, q) = quantized();
+        let handle = SnapshotHandle::new(q);
+
+        // A publisher that panics while holding the write guard poisons
+        // the lock. The slot still holds the last fully-published
+        // snapshot, so every serving thread must carry on.
+        let poisoner = handle.clone();
+        let outcome = std::thread::spawn(move || {
+            let _guard = poisoner.slot.write().unwrap();
+            panic!("publisher crashed mid-publish");
+        })
+        .join();
+        assert!(outcome.is_err(), "publisher thread must have panicked");
+        assert!(handle.slot.is_poisoned(), "the panic must actually poison the lock");
+
+        // load() recovers the guard and serves the pre-crash snapshot.
+        assert_eq!(handle.load().num_domains(), 2);
+        let p = handle.predict_window(ds.window(0)).unwrap();
+        assert!(p.label < ds.meta().num_classes);
+
+        // publish() also recovers: the fleet can hot-swap past the crash.
+        let (w, l, _) = ds.gather(&(0..12).collect::<Vec<_>>());
+        dense.enroll_domain(&w, &l, 9).unwrap();
+        handle.publish(dense.quantize().unwrap());
+        assert_eq!(handle.load().num_domains(), 3);
     }
 
     #[test]

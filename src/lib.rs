@@ -12,6 +12,8 @@
 //! - [`smore_baselines`] — BaselineHD, DOMINO, TENT and MDANs
 //! - [`smore_packed`] — the bit-packed binary inference engine
 //! - [`smore_platform`] — edge-device latency/energy models
+//! - [`smore_serve`] — the network serving front-end: binary wire
+//!   protocol, tenant sharding, micro-batch coalescing, admission control
 //! - [`smore_stream`] — streaming adaptation: drift detection, online
 //!   domain enrolment, quantized snapshot hot-swap
 //! - [`smore_tensor`] — the linear-algebra substrate
@@ -26,6 +28,7 @@
 //! let _ = smore_repro::smore_nn::optim::Optimizer::sgd(0.1, 0.9);
 //! let _ = smore_repro::smore_packed::PackedHypervector::zeros(64);
 //! let _ = smore_repro::smore_platform::device::raspberry_pi_3b();
+//! let _ = smore_repro::smore_serve::ServeConfig::default();
 //! let _ = smore_repro::smore_stream::StreamingConfig::default();
 //! let _ = smore_repro::smore_tensor::Matrix::zeros(1, 1);
 //! ```
@@ -37,5 +40,6 @@ pub use smore_hdc;
 pub use smore_nn;
 pub use smore_packed;
 pub use smore_platform;
+pub use smore_serve;
 pub use smore_stream;
 pub use smore_tensor;
