@@ -32,7 +32,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use smore_data::Dataset;
-use smore_serve::{serve, synthetic, ErrorCode, Response, ServeClient, ServeConfig, ServerMetrics};
+use smore_obs::{AtomicHistogram, EventJournal, HistogramSnapshot};
+use smore_serve::{
+    serve, synthetic, ErrorCode, Response, ServeClient, ServeConfig, ServerMetrics, StatsSnapshot,
+};
 use smore_stream::ServeEngine;
 use smore_tensor::Matrix;
 
@@ -133,19 +136,26 @@ enum Op {
     Ingest { tenant: u64, window: usize },
 }
 
-/// Latency + error tallies from one connection thread.
+/// End-to-end latency histograms shared by every connection thread in a
+/// scenario — the same lock-free log2 histograms the server's per-stage
+/// telemetry uses, so client- and server-side quantiles come from one
+/// nearest-rank implementation.
+#[derive(Default)]
+struct LatencyHists {
+    predict: AtomicHistogram,
+    ingest: AtomicHistogram,
+}
+
+/// Error tallies from one connection thread (latencies go straight into
+/// the scenario's shared [`LatencyHists`]).
 #[derive(Default)]
 struct ConnStats {
-    predict_ms: Vec<f64>,
-    ingest_ms: Vec<f64>,
     overloaded: u64,
     rejected: u64,
 }
 
 impl ConnStats {
     fn absorb(&mut self, other: ConnStats) {
-        self.predict_ms.extend(other.predict_ms);
-        self.ingest_ms.extend(other.ingest_ms);
         self.overloaded += other.overloaded;
         self.rejected += other.rejected;
     }
@@ -159,6 +169,7 @@ fn drive_connection(
     drift: &[(Matrix, usize)],
     ops: &[Op],
     inflight: usize,
+    hists: &LatencyHists,
 ) -> Result<ConnStats, Box<dyn std::error::Error + Send + Sync>> {
     let mut client = ServeClient::connect(addr)?;
     let mut stats = ConnStats::default();
@@ -174,11 +185,11 @@ fn drive_connection(
         };
         match response {
             Response::Prediction(_) => {
-                let ms = sent.elapsed().as_secs_f64() * 1e3;
+                let nanos = u64::try_from(sent.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 if is_predict {
-                    stats.predict_ms.push(ms);
+                    hists.predict.record(nanos);
                 } else {
-                    stats.ingest_ms.push(ms);
+                    hists.ingest.record(nanos);
                 }
             }
             Response::Error { code: ErrorCode::Overloaded, .. } => stats.overloaded += 1,
@@ -188,7 +199,9 @@ fn drive_connection(
                     eprintln!("rejected request: {code:?}: {message}");
                 }
             }
-            Response::Pong => return Err("unsolicited pong".into()),
+            Response::Pong | Response::Stats(_) => {
+                return Err("unsolicited pong/stats response".into())
+            }
         }
         Ok(())
     };
@@ -223,14 +236,16 @@ fn run_scenario(
     drift: &[(Matrix, usize)],
     ops: Vec<Vec<Op>>,
     inflight: usize,
-) -> (ConnStats, f64) {
+) -> (ConnStats, LatencyHists, f64) {
     let t0 = Instant::now();
     let mut merged = ConnStats::default();
+    let hists = LatencyHists::default();
     std::thread::scope(|scope| {
         let handles: Vec<_> = ops
             .iter()
             .map(|conn_ops| {
-                scope.spawn(move || drive_connection(addr, ds, drift, conn_ops, inflight))
+                let hists = &hists;
+                scope.spawn(move || drive_connection(addr, ds, drift, conn_ops, inflight, hists))
             })
             .collect();
         for handle in handles {
@@ -243,15 +258,12 @@ fn run_scenario(
             }
         }
     });
-    (merged, t0.elapsed().as_secs_f64())
+    let wall = t0.elapsed().as_secs_f64();
+    (merged, hists, wall)
 }
 
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+fn quantile_ms(snap: &HistogramSnapshot, q: f64) -> f64 {
+    snap.quantile(q) as f64 / 1e6
 }
 
 struct ScenarioResult {
@@ -266,33 +278,40 @@ struct ScenarioResult {
     coalesced_batches: u64,
     coalesced_windows: u64,
     adaptations: u64,
+    /// The server's per-stage latency histograms at scenario end
+    /// (nanoseconds), scraped from its telemetry registry.
+    stages: Vec<(String, HistogramSnapshot)>,
 }
 
 impl ScenarioResult {
     fn from_stats(
         name: &'static str,
         batch_max: usize,
-        stats: &mut ConnStats,
+        stats: &ConnStats,
+        hists: &LatencyHists,
         wall_secs: f64,
         metrics: Option<&ServerMetrics>,
+        server_stats: Option<&StatsSnapshot>,
     ) -> Self {
         // Storm reports the steady tenants' predict tail; steady scenarios
         // have no ingests at all.
-        stats.predict_ms.sort_by(|a, b| a.total_cmp(b));
-        let requests = stats.predict_ms.len() + stats.ingest_ms.len();
+        let predict = hists.predict.snapshot();
+        let ingest = hists.ingest.snapshot();
+        let requests = (predict.count + ingest.count) as usize;
         let load = |c: &std::sync::atomic::AtomicU64| c.load(Ordering::Relaxed);
         Self {
             name,
             batch_max,
             requests,
             wall_secs,
-            p50_ms: percentile(&stats.predict_ms, 0.50),
-            p95_ms: percentile(&stats.predict_ms, 0.95),
-            p99_ms: percentile(&stats.predict_ms, 0.99),
+            p50_ms: quantile_ms(&predict, 0.50),
+            p95_ms: quantile_ms(&predict, 0.95),
+            p99_ms: quantile_ms(&predict, 0.99),
             overloaded: stats.overloaded,
             coalesced_batches: metrics.map_or(0, |m| load(&m.coalesced_batches)),
             coalesced_windows: metrics.map_or(0, |m| load(&m.coalesced_windows)),
             adaptations: metrics.map_or(0, |m| load(&m.adaptations)),
+            stages: server_stats.map_or_else(Vec::new, |s| s.stages.clone()),
         }
     }
 
@@ -319,11 +338,28 @@ impl ScenarioResult {
     }
 
     fn json(&self) -> String {
+        let stages: Vec<String> = self
+            .stages
+            .iter()
+            .map(|(name, h)| {
+                format!(
+                    "        \"{}\": {{ \"count\": {}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \
+                     \"p99_ms\": {:.4}, \"sum_ms\": {:.3} }}",
+                    name,
+                    h.count,
+                    quantile_ms(h, 0.50),
+                    quantile_ms(h, 0.95),
+                    quantile_ms(h, 0.99),
+                    h.sum as f64 / 1e6,
+                )
+            })
+            .collect();
         format!(
             "    {{\n      \"name\": \"{}\",\n      \"batch_max\": {},\n      \"requests\": {},\n      \
              \"wall_secs\": {:.3},\n      \"throughput_rps\": {:.1},\n      \"predict_p50_ms\": {:.4},\n      \
              \"predict_p95_ms\": {:.4},\n      \"predict_p99_ms\": {:.4},\n      \"overloaded\": {},\n      \
-             \"coalesced_batches\": {},\n      \"coalesced_windows\": {},\n      \"adaptations\": {}\n    }}",
+             \"coalesced_batches\": {},\n      \"coalesced_windows\": {},\n      \"adaptations\": {},\n      \
+             \"server_stages\": {{\n{}\n      }}\n    }}",
             self.name,
             self.batch_max,
             self.requests,
@@ -336,6 +372,7 @@ impl ScenarioResult {
             self.coalesced_batches,
             self.coalesced_windows,
             self.adaptations,
+            stages.join(",\n"),
         )
     }
 }
@@ -387,15 +424,16 @@ fn in_process(
     ds: &Dataset,
     drift: &[(Matrix, usize)],
     ops: Vec<Vec<Op>>,
-) -> (ConnStats, f64, Arc<ServerMetrics>) {
+) -> (ConnStats, LatencyHists, f64, Arc<ServerMetrics>, StatsSnapshot) {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let config = ServeConfig { workers: args.workers, batch_max, ..ServeConfig::default() };
     let server = serve(Arc::clone(engine), listener, config).expect("server starts");
     let addr = server.local_addr().to_string();
-    let (stats, wall) = run_scenario(&addr, ds, drift, ops, args.inflight);
+    let (stats, hists, wall) = run_scenario(&addr, ds, drift, ops, args.inflight);
     let metrics = server.metrics_arc();
+    let server_stats = server.stats();
     server.shutdown();
-    (stats, wall, metrics)
+    (stats, hists, wall, metrics, server_stats)
 }
 
 fn write_json(path: &str, args: &Args, results: &[ScenarioResult]) -> std::io::Result<()> {
@@ -433,9 +471,33 @@ fn main() {
         // whatever it was started with; no in-process metrics).
         println!("driving external server at {addr}");
         let ops = steady_ops(&args, &train_windows);
-        let (mut stats, wall) = run_scenario(addr, &ds, &drift_pool, ops, args.inflight);
-        let result = ScenarioResult::from_stats("remote_steady", 0, &mut stats, wall, None);
+        let (stats, hists, wall) = run_scenario(addr, &ds, &drift_pool, ops, args.inflight);
+        // Scrape the server's telemetry over the wire: the snapshot must
+        // decode (versioned frame) and account for at least the
+        // predictions this run just received.
+        let mut client = ServeClient::connect(addr).expect("stats connection");
+        let remote = client.stats().expect("wire stats snapshot decodes");
+        let result = ScenarioResult::from_stats(
+            "remote_steady",
+            0,
+            &stats,
+            &hists,
+            wall,
+            None,
+            Some(&remote),
+        );
         result.report();
+        let answered = hists.predict.snapshot().count;
+        let served = remote.counter("requests_served").unwrap_or(0);
+        println!(
+            "server stats: served {served}, {} stage histograms, journal pushed {}",
+            remote.stages.len(),
+            remote.journal.pushed
+        );
+        assert!(
+            served >= answered,
+            "server reports {served} served but this run received {answered} predictions"
+        );
         if stats.rejected > 0 {
             eprintln!(
                 "{} requests were rejected — is the server on the same fleet recipe?",
@@ -448,26 +510,60 @@ fn main() {
 
     println!("training the shared fleet engine...");
     let t0 = Instant::now();
-    let (_, engine) = synthetic::engine(args.seed, args.dim).expect("fleet engine trains");
+    let (_, mut engine) = synthetic::engine(args.seed, args.dim).expect("fleet engine trains");
+    // Big enough that a full enrolment storm never wraps the ring — the
+    // storm assertion below demands exact event accounting.
+    engine.set_journal(Arc::new(EventJournal::new(32_768)));
     let engine = Arc::new(engine);
     println!("trained in {:.1}s", t0.elapsed().as_secs_f64());
 
     let mut results = Vec::new();
     for (name, batch_max) in [("steady_coalesced", 32usize), ("steady_uncoalesced", 1usize)] {
         let ops = steady_ops(&args, &train_windows);
-        let (mut stats, wall, metrics) =
+        let (stats, hists, wall, metrics, server_stats) =
             in_process(&engine, &args, batch_max, &ds, &drift_pool, ops);
-        let result = ScenarioResult::from_stats(name, batch_max, &mut stats, wall, Some(&metrics));
+        let result = ScenarioResult::from_stats(
+            name,
+            batch_max,
+            &stats,
+            &hists,
+            wall,
+            Some(&metrics),
+            Some(&server_stats),
+        );
         result.report();
         results.push(result);
     }
     {
         let ops = storm_ops(&args, &train_windows, drift_pool.len());
-        let (mut stats, wall, metrics) = in_process(&engine, &args, 32, &ds, &drift_pool, ops);
-        let result =
-            ScenarioResult::from_stats("enrolment_storm", 32, &mut stats, wall, Some(&metrics));
+        let (stats, hists, wall, metrics, server_stats) =
+            in_process(&engine, &args, 32, &ds, &drift_pool, ops);
+        let result = ScenarioResult::from_stats(
+            "enrolment_storm",
+            32,
+            &stats,
+            &hists,
+            wall,
+            Some(&metrics),
+            Some(&server_stats),
+        );
         result.report();
         assert!(result.adaptations > 0, "the storm must actually fire enrolments");
+        // Telemetry must account for the storm it just watched: every
+        // enrolment the engine reports appears in the journal (exact when
+        // nothing wrapped or was dropped under contention).
+        let enrolments = server_stats.counter("adaptations").unwrap_or(0);
+        let journal = &server_stats.journal;
+        let finished = journal.count_of(smore_serve::EventKind::EnrollFinished);
+        if journal.dropped == 0 && journal.pushed <= journal.capacity as u64 {
+            assert_eq!(
+                finished as u64, enrolments,
+                "journal holds {finished} enroll_finished events but the server reports \
+                 {enrolments} adaptations"
+            );
+        } else {
+            assert!(finished > 0, "a wrapped journal must still hold recent enrolments");
+        }
         results.push(result);
     }
 

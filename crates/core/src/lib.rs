@@ -96,7 +96,7 @@ pub mod wire;
 pub use centering::Centerer;
 pub use config::{DomainInit, RangeMode, SmoreConfig, SmoreConfigBuilder};
 pub use error::SmoreError;
-pub use predictor::{Predictor, ServeScratch};
+pub use predictor::{PredictTimings, Predictor, ServeScratch};
 pub use quantized::QuantizedSmore;
 pub use smore_model::{DomainEnrollment, EnrollReport, EvalReport, Prediction, Smore, TrainReport};
 

@@ -1,6 +1,37 @@
-//! Classification metrics: accuracy, confusion matrices, macro-F1.
+//! Classification metrics: accuracy, confusion matrices, macro-F1, and the
+//! shared nearest-rank quantile index.
 
 use crate::{Result, SmoreError};
+
+/// Index of the nearest-rank `quantile` in a sorted sample of `n` items.
+///
+/// Computes `ceil((n - 1) * q)` clamped to `n - 1`, so `q = 0.5` over ten
+/// samples picks index 5 (not 4) and any `q > 0` over two samples picks the
+/// larger one. Every quantile consumer in the workspace — drift-delta
+/// calibration, the load generator, and histogram snapshots — routes through
+/// this one function so the old truncation bias (`as usize` flooring the
+/// rank) cannot silently return in any caller.
+///
+/// `n == 0` returns 0; callers must not index an empty slice with it.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(smore::metrics::nearest_rank_index(10, 0.9), 9);
+/// assert_eq!(smore::metrics::nearest_rank_index(10, 0.5), 5);
+/// assert_eq!(smore::metrics::nearest_rank_index(2, 0.99), 1);
+/// ```
+#[must_use]
+pub fn nearest_rank_index(n: usize, quantile: f64) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let rank = ((n - 1) as f64 * quantile).ceil();
+    if rank <= 0.0 {
+        return 0;
+    }
+    (rank as usize).min(n - 1)
+}
 
 /// Fraction of predictions equal to the ground truth.
 ///
@@ -147,6 +178,23 @@ mod tests {
         assert_eq!(accuracy(&[0, 0], &[1, 1]).unwrap(), 0.0);
         assert!(accuracy(&[0], &[0, 1]).is_err());
         assert!(accuracy(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn quantile_index_uses_nearest_rank_not_truncation() {
+        // ceil((n-1)*q), not floor — the PR 6 fix, now shared.
+        assert_eq!(nearest_rank_index(10, 0.9), 9);
+        assert_eq!(nearest_rank_index(10, 0.5), 5);
+        assert_eq!(nearest_rank_index(10, 0.25), 3);
+        assert_eq!(nearest_rank_index(9, 0.25), 2);
+        assert_eq!(nearest_rank_index(5, 0.5), 2);
+        assert_eq!(nearest_rank_index(1, 0.9), 0);
+        assert_eq!(nearest_rank_index(2, 0.99), 1);
+        assert_eq!(nearest_rank_index(0, 0.5), 0);
+        assert_eq!(nearest_rank_index(100, 0.0), 0);
+        assert_eq!(nearest_rank_index(100, 1.0), 99);
+        // Negative quantiles clamp to 0 instead of wrapping.
+        assert_eq!(nearest_rank_index(10, -0.5), 0);
     }
 
     #[test]

@@ -63,6 +63,36 @@ pub struct ServeScratch {
     pub(crate) scores: Vec<f32>,
     /// The last prediction, exposed through [`prediction`](Self::prediction).
     pub(crate) prediction: Prediction,
+    /// Per-stage wall time of the last prediction, exposed through
+    /// [`timings`](Self::timings).
+    pub(crate) timings: PredictTimings,
+}
+
+/// Per-stage wall time of one prediction, split at the encode/score
+/// boundary of Algorithm 1.
+///
+/// Populated by [`QuantizedSmore`](crate::QuantizedSmore)'s
+/// `predict_window_with` (the serving backend); the dense reference
+/// pipeline leaves it zeroed. Telemetry layers read it from
+/// [`ServeScratch::timings`] after each call — three `Instant::now()`
+/// reads per prediction, negligible against the tens of microseconds a
+/// packed predict costs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredictTimings {
+    /// Nanoseconds spent standardising + encoding the window into a packed
+    /// query (including the SWAR bundling and sign threshold).
+    pub encode_nanos: u64,
+    /// Nanoseconds spent on descriptor similarities, ensemble weighting and
+    /// per-class scoring.
+    pub score_nanos: u64,
+}
+
+impl PredictTimings {
+    /// Sums another timing sample into this one (for batch accumulation).
+    pub fn accumulate(&mut self, other: PredictTimings) {
+        self.encode_nanos += other.encode_nanos;
+        self.score_nanos += other.score_nanos;
+    }
 }
 
 impl ServeScratch {
@@ -78,6 +108,7 @@ impl ServeScratch {
             ensemble: Vec::new(),
             scores: Vec::new(),
             prediction: empty_prediction(),
+            timings: PredictTimings::default(),
         }
     }
 
@@ -91,6 +122,12 @@ impl ServeScratch {
     /// before the first call).
     pub fn scores(&self) -> &[f32] {
         &self.scores
+    }
+
+    /// Encode/score wall time of the most recent quantized prediction
+    /// (zeroed for backends that do not instrument their stages).
+    pub fn timings(&self) -> PredictTimings {
+        self.timings
     }
 }
 

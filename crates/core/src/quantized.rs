@@ -40,7 +40,7 @@ use smore_tensor::{parallel, vecops, Matrix};
 
 use crate::config::SmoreConfig;
 use crate::ood::{OodDetector, OodVerdict};
-use crate::predictor::{empty_prediction, Predictor, ServeScratch};
+use crate::predictor::{empty_prediction, PredictTimings, Predictor, ServeScratch};
 use crate::smore_model::{ChannelStats, EvalReport, Fitted, Prediction};
 use crate::test_time::ensemble_weights_into;
 use crate::{Result, SmoreError};
@@ -59,6 +59,11 @@ use crate::{Result, SmoreError};
 /// domain (property-tested in `tests/proptests.rs`).
 pub fn recover_cosine(packed_sim: f32) -> f32 {
     (FRAC_PI_2 * packed_sim.clamp(-1.0, 1.0)).sin()
+}
+
+/// Duration → whole nanoseconds, saturating at `u64::MAX` (584 years).
+fn clamped_nanos(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// A frozen, bit-packed SMORE model for quantized serving.
@@ -338,7 +343,9 @@ impl QuantizedSmore {
     /// into `scratch`; returns the OOD verdict. Shared by the predict and
     /// score entry points.
     fn prepare_query(&self, window: &Matrix, scratch: &mut ServeScratch) -> Result<OodVerdict> {
+        let encode_start = Instant::now();
         self.encode_query_into(window, scratch)?;
+        scratch.timings.encode_nanos = clamped_nanos(encode_start.elapsed());
         scratch.sims.clear();
         for u in &self.descriptors {
             let sim =
@@ -424,10 +431,15 @@ impl QuantizedSmore {
         window: &Matrix,
         scratch: &'s mut ServeScratch,
     ) -> Result<&'s Prediction> {
+        let total_start = Instant::now();
         let verdict = self.prepare_query(window, scratch)?;
         let ServeScratch { query, weights, scores, .. } = &mut *scratch;
         self.class_scores_into(query, weights, scores);
         let best_label = vecops::argmax(scores).unwrap_or(0);
+        // Everything past the encode — descriptor similarity, OOD verdict,
+        // Eq. 3 weights, per-class scoring — is the "score" stage.
+        scratch.timings.score_nanos =
+            clamped_nanos(total_start.elapsed()).saturating_sub(scratch.timings.encode_nanos);
 
         let prediction = &mut scratch.prediction;
         prediction.label = best_label;
@@ -467,6 +479,44 @@ impl QuantizedSmore {
             }
         });
         out.into_iter().collect()
+    }
+
+    /// [`predict_batch`](Self::predict_batch) plus the summed per-stage
+    /// wall time across every window in the batch (each worker thread
+    /// accumulates its own scratch timings; the totals are merged with two
+    /// relaxed atomic adds per thread). Telemetry layers divide by
+    /// `windows.len()` to charge a batch-mean encode/score cost per window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoder errors for malformed windows.
+    pub fn predict_batch_timed(
+        &self,
+        windows: &[Matrix],
+    ) -> Result<(Vec<Prediction>, PredictTimings)> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let mut out: Vec<Result<Prediction>> =
+            (0..windows.len()).map(|_| Ok(empty_prediction())).collect();
+        let encode_total = AtomicU64::new(0);
+        let score_total = AtomicU64::new(0);
+        parallel::par_chunks_indexed(&mut out, self.config.threads, |start, chunk| {
+            let mut scratch = ServeScratch::new();
+            let mut local = PredictTimings::default();
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                *slot = self.predict_window_with(&windows[start + i], &mut scratch).cloned();
+                local.accumulate(scratch.timings());
+            }
+            encode_total.fetch_add(local.encode_nanos, Ordering::Relaxed);
+            score_total.fetch_add(local.score_nanos, Ordering::Relaxed);
+        });
+        let predictions: Result<Vec<Prediction>> = out.into_iter().collect();
+        Ok((
+            predictions?,
+            PredictTimings {
+                encode_nanos: encode_total.into_inner(),
+                score_nanos: score_total.into_inner(),
+            },
+        ))
     }
 
     /// Predicts and scores a labelled evaluation set.

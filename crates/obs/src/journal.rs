@@ -1,0 +1,322 @@
+//! A lock-free ring journal of structured adaptation events.
+//!
+//! Serving keeps counters for *how much*; the journal answers *what
+//! happened, to whom, when*: every OOD window, drift firing, enrolment,
+//! snapshot swap, personalization and overload shed is recorded with its
+//! tenant id and step. The ring holds the most recent `capacity` events;
+//! older ones are overwritten (writers never block on readers) and a
+//! `dropped` counter accounts for writes lost to claim contention.
+//!
+//! ## Concurrency
+//!
+//! Each slot is an independent seqlock built from plain `AtomicU64`s — no
+//! `unsafe` anywhere:
+//!
+//! - A writer claims a global index with one `fetch_add` on `head`, then
+//!   CASes the slot's sequence word from "published at my index minus one
+//!   lap" to "writing at my index" (odd). Only the CAS winner stores the
+//!   six data words, then publishes with a release store of the even
+//!   sequence. A writer that loses the CAS (a stalled predecessor, or a
+//!   faster writer a full lap ahead) drops its event and counts it —
+//!   nothing ever spins.
+//! - A reader loads the sequence, copies the data words, fences, and
+//!   re-checks the sequence: any concurrent overwrite flips the sequence
+//!   first, so a torn copy is detected and discarded rather than returned.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+/// What happened. Codes are stable wire values — new kinds append only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A serving window fell below the OOD similarity threshold and was
+    /// buffered for adaptation. `a` = buffer occupancy after the push.
+    OodWindow = 1,
+    /// The drift detector crossed its OOD-fraction threshold.
+    /// `a` = buffered windows at firing time.
+    DriftFired = 2,
+    /// An enrolment began. `a` = windows in the enrolment set,
+    /// `b` = how many carried oracle labels.
+    EnrollStart = 3,
+    /// An enrolment finished and produced a candidate domain.
+    /// `a` = windows enrolled, `nanos` = wall time of the model build.
+    EnrollFinished = 4,
+    /// A new snapshot was published to the serving path.
+    /// `nanos` = wall time of the swap itself.
+    SnapshotSwap = 5,
+    /// A tenant transitioned from the shared base model to a personal
+    /// snapshot. `a` = enrolled domains the personal snapshot now holds.
+    Personalized = 6,
+    /// A request was shed by admission control. `a` = shard index.
+    OverloadShed = 7,
+}
+
+impl EventKind {
+    /// Decodes a wire code; `None` for codes this build does not know.
+    #[must_use]
+    pub fn from_code(code: u64) -> Option<EventKind> {
+        Some(match code {
+            1 => EventKind::OodWindow,
+            2 => EventKind::DriftFired,
+            3 => EventKind::EnrollStart,
+            4 => EventKind::EnrollFinished,
+            5 => EventKind::SnapshotSwap,
+            6 => EventKind::Personalized,
+            7 => EventKind::OverloadShed,
+            _ => return None,
+        })
+    }
+
+    /// Stable snake_case name (used in text exposition).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::OodWindow => "ood_window",
+            EventKind::DriftFired => "drift_fired",
+            EventKind::EnrollStart => "enroll_start",
+            EventKind::EnrollFinished => "enroll_finished",
+            EventKind::SnapshotSwap => "snapshot_swap",
+            EventKind::Personalized => "personalized",
+            EventKind::OverloadShed => "overload_shed",
+        }
+    }
+}
+
+/// One journal entry. `a`, `b` and `nanos` are kind-specific payloads
+/// (documented on each [`EventKind`] variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// What happened.
+    pub kind: EventKind,
+    /// The tenant it happened to (0 for engine-wide events).
+    pub tenant: u64,
+    /// The tenant's observation step at the time.
+    pub step: u64,
+    /// First kind-specific payload word.
+    pub a: u64,
+    /// Second kind-specific payload word.
+    pub b: u64,
+    /// Kind-specific duration payload, in nanoseconds.
+    pub nanos: u64,
+}
+
+const WORDS: usize = 6;
+
+#[derive(Debug)]
+struct Slot {
+    /// 0 = never written; odd `2i+1` = writing at global index `i`;
+    /// even `2i+2` = published at global index `i`.
+    seq: AtomicU64,
+    words: [AtomicU64; WORDS],
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot { seq: AtomicU64::new(0), words: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+/// A fixed-capacity, lock-free ring of the most recent [`Event`]s.
+///
+/// # Example
+///
+/// ```
+/// use smore_obs::{Event, EventJournal, EventKind};
+///
+/// let journal = EventJournal::new(64);
+/// journal.push(Event {
+///     kind: EventKind::DriftFired,
+///     tenant: 7,
+///     step: 120,
+///     a: 32,
+///     b: 0,
+///     nanos: 0,
+/// });
+/// let snap = journal.snapshot();
+/// assert_eq!(snap.pushed, 1);
+/// assert_eq!(snap.events[0].tenant, 7);
+/// ```
+#[derive(Debug)]
+pub struct EventJournal {
+    slots: Box<[Slot]>,
+    mask: u64,
+    head: AtomicU64,
+    pushed: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl EventJournal {
+    /// A journal holding the most recent `capacity` events; `capacity` is
+    /// rounded up to a power of two (minimum 2).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.next_power_of_two().max(2);
+        Self {
+            slots: (0..capacity).map(|_| Slot::new()).collect(),
+            mask: capacity as u64 - 1,
+            head: AtomicU64::new(0),
+            pushed: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Ring capacity (events retained).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events successfully published since creation.
+    #[must_use]
+    pub fn pushed(&self) -> u64 {
+        self.pushed.load(Ordering::Relaxed)
+    }
+
+    /// Events lost to slot-claim contention (never to readers).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Records an event; wait-free, returns whether it was published.
+    pub fn push(&self, event: Event) -> bool {
+        let index = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(index & self.mask) as usize];
+        let capacity = self.slots.len() as u64;
+        // The slot last held the event one lap behind us (or nothing).
+        let expected = if index >= capacity { 2 * (index - capacity) + 2 } else { 0 };
+        let writing = 2 * index + 1;
+        if slot
+            .seq
+            .compare_exchange(expected, writing, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            // A stalled predecessor still owns the slot, or a writer a full
+            // lap ahead already claimed it. Drop rather than spin or tear.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let values = [event.kind as u64, event.tenant, event.step, event.a, event.b, event.nanos];
+        for (word, value) in slot.words.iter().zip(values) {
+            word.store(value, Ordering::Relaxed);
+        }
+        slot.seq.store(2 * index + 2, Ordering::Release);
+        self.pushed.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Copies out the currently retained events, oldest first. Slots being
+    /// overwritten mid-copy are detected via their sequence word and
+    /// skipped — a returned event is never torn.
+    #[must_use]
+    pub fn snapshot(&self) -> JournalSnapshot {
+        let head = self.head.load(Ordering::Acquire);
+        let capacity = self.slots.len() as u64;
+        let start = head.saturating_sub(capacity);
+        let mut events = Vec::with_capacity((head - start) as usize);
+        for index in start..head {
+            let slot = &self.slots[(index & self.mask) as usize];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq != 2 * index + 2 {
+                continue; // unpublished, in-flight, or already overwritten
+            }
+            let words: [u64; WORDS] =
+                std::array::from_fn(|w| slot.words[w].load(Ordering::Relaxed));
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) != seq {
+                continue; // overwritten while copying — discard the torn read
+            }
+            let Some(kind) = EventKind::from_code(words[0]) else { continue };
+            events.push(Event {
+                kind,
+                tenant: words[1],
+                step: words[2],
+                a: words[3],
+                b: words[4],
+                nanos: words[5],
+            });
+        }
+        JournalSnapshot {
+            pushed: self.pushed(),
+            dropped: self.dropped(),
+            capacity: self.capacity(),
+            events,
+        }
+    }
+}
+
+/// A point-in-time copy of the journal: totals plus the retained tail.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JournalSnapshot {
+    /// Events successfully published since creation.
+    pub pushed: u64,
+    /// Events lost to claim contention.
+    pub dropped: u64,
+    /// Ring capacity of the source journal.
+    pub capacity: usize,
+    /// Retained events, oldest first.
+    pub events: Vec<Event>,
+}
+
+impl JournalSnapshot {
+    /// How many retained events match `kind`.
+    #[must_use]
+    pub fn count_of(&self, kind: EventKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, tenant: u64, step: u64) -> Event {
+        Event { kind, tenant, step, a: step + 1, b: step + 2, nanos: step + 3 }
+    }
+
+    #[test]
+    fn preserves_order_and_payloads() {
+        let j = EventJournal::new(8);
+        for step in 0..5 {
+            assert!(j.push(ev(EventKind::OodWindow, 42, step)));
+        }
+        let snap = j.snapshot();
+        assert_eq!(snap.pushed, 5);
+        assert_eq!(snap.dropped, 0);
+        assert_eq!(snap.capacity, 8);
+        assert_eq!(snap.events.len(), 5);
+        for (i, e) in snap.events.iter().enumerate() {
+            assert_eq!(*e, ev(EventKind::OodWindow, 42, i as u64));
+        }
+    }
+
+    #[test]
+    fn wrap_around_keeps_most_recent() {
+        let j = EventJournal::new(4);
+        for step in 0..10 {
+            j.push(ev(EventKind::DriftFired, 1, step));
+        }
+        let snap = j.snapshot();
+        assert_eq!(snap.pushed, 10);
+        let steps: Vec<u64> = snap.events.iter().map(|e| e.step).collect();
+        assert_eq!(steps, [6, 7, 8, 9], "ring retains exactly the last `capacity` events");
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(EventJournal::new(0).capacity(), 2);
+        assert_eq!(EventJournal::new(3).capacity(), 4);
+        assert_eq!(EventJournal::new(64).capacity(), 64);
+    }
+
+    #[test]
+    fn count_of_filters_kinds() {
+        let j = EventJournal::new(8);
+        j.push(ev(EventKind::EnrollStart, 1, 0));
+        j.push(ev(EventKind::EnrollFinished, 1, 1));
+        j.push(ev(EventKind::EnrollFinished, 2, 2));
+        let snap = j.snapshot();
+        assert_eq!(snap.count_of(EventKind::EnrollFinished), 2);
+        assert_eq!(snap.count_of(EventKind::SnapshotSwap), 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! A leveled, `SMORE_LOG`-gated structured logger.
+//!
+//! Serving binaries used to `eprintln!` straight from worker and
+//! connection threads, interleaving garbage on stderr at high QPS. This
+//! logger gates every line behind a process-wide level (read once from the
+//! `SMORE_LOG` environment variable — `error`, `warn`, `info`, `debug` or
+//! `trace`; default `warn`) and writes each record with a single
+//! `eprintln!` call, so concurrent lines never interleave mid-record.
+//!
+//! The level check is one relaxed atomic load; a disabled record never
+//! formats its arguments.
+//!
+//! # Example
+//!
+//! ```
+//! smore_obs::log::set_level(smore_obs::Level::Info);
+//! smore_obs::info!("server", "listening on {}", "127.0.0.1:7878");
+//! smore_obs::debug!("server", "this line is suppressed at info level");
+//! ```
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Once;
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// The process or a connection is in trouble.
+    Error = 0,
+    /// Unexpected but survivable (the default gate).
+    Warn = 1,
+    /// Lifecycle landmarks: startup, shutdown, model loads.
+    Info = 2,
+    /// Per-event serving detail (adaptations, sheds).
+    Debug = 3,
+    /// Everything, including per-request noise.
+    Trace = 4,
+}
+
+impl Level {
+    fn parse(s: &str) -> Option<Level> {
+        Some(match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Level::Error,
+            "warn" | "warning" => Level::Warn,
+            "info" => Level::Info,
+            "debug" => Level::Debug,
+            "trace" => Level::Trace,
+            _ => return None,
+        })
+    }
+
+    fn tag(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Warn as u8);
+static INIT: Once = Once::new();
+
+/// The active level, initialising from `SMORE_LOG` on first use.
+pub fn level() -> Level {
+    INIT.call_once(|| {
+        if let Some(parsed) = std::env::var("SMORE_LOG").ok().as_deref().and_then(Level::parse) {
+            LEVEL.store(parsed as u8, Ordering::Relaxed);
+        }
+    });
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        3 => Level::Debug,
+        _ => Level::Trace,
+    }
+}
+
+/// Overrides the level programmatically (wins over `SMORE_LOG`).
+pub fn set_level(new: Level) {
+    INIT.call_once(|| {});
+    LEVEL.store(new as u8, Ordering::Relaxed);
+}
+
+/// Whether records at `at` currently pass the gate.
+#[must_use]
+pub fn enabled(at: Level) -> bool {
+    at <= level()
+}
+
+/// Writes one record — use the [`error!`](crate::error) /
+/// [`warn!`](crate::warn) / [`info!`](crate::info) /
+/// [`debug!`](crate::debug) / [`trace!`](crate::trace) macros instead,
+/// which skip argument formatting when the level is disabled.
+pub fn write(at: Level, target: &str, args: std::fmt::Arguments<'_>) {
+    // One eprintln per record keeps concurrent lines whole.
+    eprintln!("[{} {}] {}", at.tag(), target, args);
+}
+
+/// Logs at a given level; the five leveled macros expand to this.
+#[macro_export]
+macro_rules! log_at {
+    ($level:expr, $target:expr, $($arg:tt)+) => {{
+        let level = $level;
+        if $crate::log::enabled(level) {
+            $crate::log::write(level, $target, format_args!($($arg)+));
+        }
+    }};
+}
+
+/// Logs at [`Level::Error`](crate::Level::Error).
+#[macro_export]
+macro_rules! error {
+    ($target:expr, $($arg:tt)+) => { $crate::log_at!($crate::Level::Error, $target, $($arg)+) };
+}
+
+/// Logs at [`Level::Warn`](crate::Level::Warn).
+#[macro_export]
+macro_rules! warn {
+    ($target:expr, $($arg:tt)+) => { $crate::log_at!($crate::Level::Warn, $target, $($arg)+) };
+}
+
+/// Logs at [`Level::Info`](crate::Level::Info).
+#[macro_export]
+macro_rules! info {
+    ($target:expr, $($arg:tt)+) => { $crate::log_at!($crate::Level::Info, $target, $($arg)+) };
+}
+
+/// Logs at [`Level::Debug`](crate::Level::Debug).
+#[macro_export]
+macro_rules! debug {
+    ($target:expr, $($arg:tt)+) => { $crate::log_at!($crate::Level::Debug, $target, $($arg)+) };
+}
+
+/// Logs at [`Level::Trace`](crate::Level::Trace).
+#[macro_export]
+macro_rules! trace {
+    ($target:expr, $($arg:tt)+) => { $crate::log_at!($crate::Level::Trace, $target, $($arg)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_known_levels_case_insensitively() {
+        assert_eq!(Level::parse("ERROR"), Some(Level::Error));
+        assert_eq!(Level::parse(" warn "), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("Info"), Some(Level::Info));
+        assert_eq!(Level::parse("debug"), Some(Level::Debug));
+        assert_eq!(Level::parse("trace"), Some(Level::Trace));
+        assert_eq!(Level::parse("verbose"), None);
+        assert_eq!(Level::parse(""), None);
+    }
+
+    #[test]
+    fn set_level_gates_enabled() {
+        set_level(Level::Info);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_level(Level::Error);
+        assert!(!enabled(Level::Warn));
+        set_level(Level::Trace);
+        assert!(enabled(Level::Trace));
+        // Restore the default for other tests in this process.
+        set_level(Level::Warn);
+    }
+}

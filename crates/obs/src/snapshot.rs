@@ -1,0 +1,330 @@
+//! Versioned stats snapshots: the payload of the serving protocol's
+//! `Stats` request, and its human/Prometheus-style text exposition.
+//!
+//! A [`StatsSnapshot`] is deliberately self-describing — named counters,
+//! named gauges, named stage histograms — so the wire format never changes
+//! when a serving layer adds a metric, and `smore_obs` never needs to know
+//! the serving vocabulary. The binary encoding reuses [`smore::wire`]
+//! (little-endian, length-prefixed strings, trailing-byte rejection) under
+//! a leading version word.
+//!
+//! ## Frame layout (version 1)
+//!
+//! ```text
+//! u16 version
+//! u32 n_counters,  n × { str_lp name, u64 value }
+//! u32 n_gauges,    n × { str_lp name, u64 f64_bits }
+//! u32 n_stages,    n × { str_lp name, u64 sum, u32 n_buckets, n_buckets × u64 }
+//! u64 journal_pushed, u64 journal_dropped, u32 journal_capacity
+//! u32 n_events,    n × { u8 kind, u64 tenant, u64 step, u64 a, u64 b, u64 nanos }
+//! ```
+
+use smore::wire::{WireError, WireReader, WireWriter};
+
+use crate::hist::HistogramSnapshot;
+use crate::journal::{Event, EventKind, JournalSnapshot};
+
+/// Version word leading every encoded snapshot.
+pub const STATS_VERSION: u16 = 1;
+
+/// A point-in-time view of a serving process: counters, gauges, per-stage
+/// latency histograms, and the adaptation journal tail.
+///
+/// # Example
+///
+/// ```
+/// use smore_obs::StatsSnapshot;
+///
+/// let mut snap = StatsSnapshot::new();
+/// snap.counters.push(("requests_served".into(), 12345));
+/// snap.gauges.push(("tenants_personalized".into(), 7.0));
+/// let decoded = StatsSnapshot::decode(&snap.encode()).unwrap();
+/// assert_eq!(decoded.counter("requests_served"), Some(12345));
+/// assert!(decoded.render_text().contains("smore_requests_served 12345"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsSnapshot {
+    /// Monotonic counters, e.g. `requests_served`.
+    pub counters: Vec<(String, u64)>,
+    /// Instantaneous values, e.g. `ood_fraction_recent`.
+    pub gauges: Vec<(String, f64)>,
+    /// Per-stage latency histograms (nanoseconds), keyed by stage name.
+    pub stages: Vec<(String, HistogramSnapshot)>,
+    /// The adaptation journal: totals plus the retained event tail.
+    pub journal: JournalSnapshot,
+}
+
+impl StatsSnapshot {
+    /// An empty snapshot.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a counter by name.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge by name.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Looks up a stage histogram by name.
+    #[must_use]
+    pub fn stage(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.stages.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Encodes the snapshot into the versioned binary frame body.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u16(STATS_VERSION);
+        w.u32(self.counters.len() as u32);
+        for (name, value) in &self.counters {
+            w.str_lp(name);
+            w.u64(*value);
+        }
+        w.u32(self.gauges.len() as u32);
+        for (name, value) in &self.gauges {
+            w.str_lp(name);
+            w.u64(value.to_bits());
+        }
+        w.u32(self.stages.len() as u32);
+        for (name, hist) in &self.stages {
+            w.str_lp(name);
+            w.u64(hist.sum);
+            w.u32(hist.buckets.len() as u32);
+            for &b in &hist.buckets {
+                w.u64(b);
+            }
+        }
+        w.u64(self.journal.pushed);
+        w.u64(self.journal.dropped);
+        w.u32(self.journal.capacity as u32);
+        w.u32(self.journal.events.len() as u32);
+        for e in &self.journal.events {
+            w.u8(e.kind as u8);
+            w.u64(e.tenant);
+            w.u64(e.step);
+            w.u64(e.a);
+            w.u64(e.b);
+            w.u64(e.nanos);
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a snapshot frame body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncation, trailing bytes, unknown
+    /// version or unknown event kinds — a corrupt frame never yields a
+    /// partially-filled snapshot.
+    pub fn decode(bytes: &[u8]) -> Result<StatsSnapshot, WireError> {
+        let mut r = WireReader::new(bytes, "stats snapshot");
+        let version = r.u16()?;
+        if version != STATS_VERSION {
+            return Err(r.malformed(format!(
+                "unsupported stats version {version} (this build speaks {STATS_VERSION})"
+            )));
+        }
+        let n = r.count("counter", 12)?;
+        let mut counters = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = r.str_lp()?;
+            counters.push((name, r.u64()?));
+        }
+        let n = r.count("gauge", 12)?;
+        let mut gauges = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = r.str_lp()?;
+            gauges.push((name, f64::from_bits(r.u64()?)));
+        }
+        let n = r.count("stage histogram", 16)?;
+        let mut stages = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = r.str_lp()?;
+            let sum = r.u64()?;
+            let n_buckets = r.count("histogram bucket", 8)?;
+            if n_buckets > crate::hist::NUM_BUCKETS {
+                return Err(r.malformed(format!(
+                    "{n_buckets} histogram buckets exceeds the maximum {}",
+                    crate::hist::NUM_BUCKETS
+                )));
+            }
+            let mut buckets = Vec::with_capacity(n_buckets);
+            for _ in 0..n_buckets {
+                buckets.push(r.u64()?);
+            }
+            let count = buckets.iter().sum();
+            stages.push((name, HistogramSnapshot { count, sum, buckets }));
+        }
+        let pushed = r.u64()?;
+        let dropped = r.u64()?;
+        let capacity = r.u32()? as usize;
+        let n = r.count("journal event", 41)?;
+        let mut events = Vec::with_capacity(n);
+        for _ in 0..n {
+            let code = u64::from(r.u8()?);
+            let kind = EventKind::from_code(code)
+                .ok_or_else(|| r.malformed(format!("unknown event kind code {code}")))?;
+            events.push(Event {
+                kind,
+                tenant: r.u64()?,
+                step: r.u64()?,
+                a: r.u64()?,
+                b: r.u64()?,
+                nanos: r.u64()?,
+            });
+        }
+        r.finish()?;
+        Ok(StatsSnapshot {
+            counters,
+            gauges,
+            stages,
+            journal: JournalSnapshot { pushed, dropped, capacity, events },
+        })
+    }
+
+    /// Prometheus-style text exposition: one `smore_`-prefixed line per
+    /// counter and gauge, per-stage quantile/count/sum lines, journal
+    /// totals, and a human-readable tail of recent adaptation events.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "smore_{name} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "smore_{name} {value}");
+        }
+        for (name, hist) in &self.stages {
+            for (label, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+                let _ = writeln!(
+                    out,
+                    "smore_stage_nanos{{stage=\"{name}\",quantile=\"{label}\"}} {}",
+                    hist.quantile(q)
+                );
+            }
+            let _ = writeln!(out, "smore_stage_count{{stage=\"{name}\"}} {}", hist.count);
+            let _ = writeln!(out, "smore_stage_sum_nanos{{stage=\"{name}\"}} {}", hist.sum);
+        }
+        let _ = writeln!(out, "smore_journal_pushed {}", self.journal.pushed);
+        let _ = writeln!(out, "smore_journal_dropped {}", self.journal.dropped);
+        for e in &self.journal.events {
+            let _ = writeln!(
+                out,
+                "# event kind={} tenant={} step={} a={} b={} nanos={}",
+                e.kind.name(),
+                e.tenant,
+                e.step,
+                e.a,
+                e.b,
+                e.nanos
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StatsSnapshot {
+        let hist = {
+            let h = crate::AtomicHistogram::new();
+            h.record(5);
+            h.record(5000);
+            h.record(123_456);
+            h.snapshot()
+        };
+        StatsSnapshot {
+            counters: vec![("requests_served".into(), 42), ("overloaded".into(), 3)],
+            gauges: vec![("ood_fraction_recent".into(), 0.125), ("nan_gauge".into(), f64::NAN)],
+            stages: vec![("encode".into(), hist.clone()), ("score".into(), hist)],
+            journal: JournalSnapshot {
+                pushed: 9,
+                dropped: 1,
+                capacity: 64,
+                events: vec![Event {
+                    kind: EventKind::Personalized,
+                    tenant: 3,
+                    step: 77,
+                    a: 1,
+                    b: 0,
+                    nanos: 1_000,
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn round_trips_bit_exactly() {
+        let snap = sample();
+        let decoded = StatsSnapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded.counters, snap.counters);
+        assert_eq!(decoded.stages, snap.stages);
+        assert_eq!(decoded.journal, snap.journal);
+        // NaN gauges survive as bit patterns (PartialEq on f64 would fail).
+        assert_eq!(decoded.gauges[0], snap.gauges[0]);
+        assert!(decoded.gauges[1].1.is_nan());
+        assert_eq!(decoded.counter("overloaded"), Some(3));
+        assert_eq!(decoded.gauge("ood_fraction_recent"), Some(0.125));
+        assert_eq!(decoded.stage("encode").unwrap().count, 3);
+        assert!(decoded.stage("missing").is_none());
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = StatsSnapshot::new();
+        assert_eq!(StatsSnapshot::decode(&snap.encode()).unwrap(), snap);
+    }
+
+    #[test]
+    fn rejects_unknown_version_truncation_and_trailing_bytes() {
+        let mut bytes = sample().encode();
+        assert!(StatsSnapshot::decode(&bytes[..bytes.len() - 1]).is_err(), "truncated");
+        bytes.push(0);
+        assert!(StatsSnapshot::decode(&bytes).is_err(), "trailing byte");
+        bytes.pop();
+        bytes[0] = 0xFF;
+        bytes[1] = 0xFF;
+        assert!(StatsSnapshot::decode(&bytes).is_err(), "unknown version");
+    }
+
+    #[test]
+    fn rejects_unknown_event_kind() {
+        let mut snap = sample();
+        snap.journal.events.clear();
+        let mut bytes = snap.encode();
+        // Append one event with an invalid kind code by re-encoding by hand.
+        let fixed = bytes.len() - 4; // n_events trailer
+        bytes.truncate(fixed);
+        let mut w = WireWriter::new();
+        w.u32(1);
+        w.u8(0xEE); // no such kind
+        for _ in 0..5 {
+            w.u64(0);
+        }
+        bytes.extend_from_slice(&w.into_bytes());
+        let err = StatsSnapshot::decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("unknown event kind"), "{err}");
+    }
+
+    #[test]
+    fn render_text_is_line_oriented() {
+        let text = sample().render_text();
+        assert!(text.contains("smore_requests_served 42"));
+        assert!(text.contains("smore_ood_fraction_recent 0.125"));
+        assert!(text.contains("stage=\"encode\",quantile=\"p99\""));
+        assert!(text.contains("smore_journal_pushed 9"));
+        assert!(text.contains("# event kind=personalized tenant=3"));
+    }
+}

@@ -1,0 +1,150 @@
+//! Telemetry correctness under contention: the histogram drops no counts
+//! and its quantiles bound the true sample quantiles; the journal survives
+//! wrap-around and concurrent read/write without tearing.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use smore_obs::{bucket_of, AtomicHistogram, Event, EventJournal, EventKind};
+
+#[test]
+fn contended_histogram_drops_nothing_and_bounds_quantiles() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 50_000;
+    let hist = Arc::new(AtomicHistogram::new());
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let hist = Arc::clone(&hist);
+        handles.push(std::thread::spawn(move || {
+            // Deterministic per-thread LCG so the union of all samples is
+            // reproducible without sharing state between threads.
+            let mut state = 0x9E37_79B9_u64.wrapping_mul(t + 1) | 1;
+            let mut local = Vec::with_capacity(PER_THREAD as usize);
+            for _ in 0..PER_THREAD {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let sample = state >> 40; // ~0..16.7M, a realistic nanos range
+                hist.record(sample);
+                local.push(sample);
+            }
+            local
+        }));
+    }
+    let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+    all.sort_unstable();
+
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, THREADS * PER_THREAD, "every concurrent record must land");
+    assert_eq!(snap.sum, all.iter().sum::<u64>(), "running sum must not lose updates");
+    for q in [0.5, 0.95, 0.99] {
+        let truth = all[smore::metrics::nearest_rank_index(all.len(), q)];
+        let reported = snap.quantile(q);
+        assert!(reported >= truth, "q={q}: reported {reported} understates true {truth}");
+        assert_eq!(
+            bucket_of(reported),
+            bucket_of(truth),
+            "q={q}: reported {reported} not within one bucket of true {truth}"
+        );
+    }
+}
+
+#[test]
+fn journal_wraps_and_never_returns_torn_events() {
+    const WRITERS: u64 = 4;
+    const PER_WRITER: u64 = 40_000;
+    // Small capacity forces continuous wrap-around while readers scan.
+    let journal = Arc::new(EventJournal::new(32));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Writers tag every word of an event with the same (writer, i) pair,
+    // so any torn mix of two writes is detectable by cross-checking words.
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let journal = Arc::clone(&journal);
+            std::thread::spawn(move || {
+                let mut published = 0u64;
+                for i in 0..PER_WRITER {
+                    let stamp = w * PER_WRITER + i;
+                    if journal.push(Event {
+                        kind: EventKind::OodWindow,
+                        tenant: w,
+                        step: stamp,
+                        a: stamp.wrapping_mul(3),
+                        b: stamp.wrapping_mul(5),
+                        nanos: stamp.wrapping_mul(7),
+                    }) {
+                        published += 1;
+                    }
+                }
+                published
+            })
+        })
+        .collect();
+
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let journal = Arc::clone(&journal);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut seen = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for e in journal.snapshot().events {
+                        // An untorn event's payload words are all derived
+                        // from the same stamp.
+                        assert_eq!(e.kind, EventKind::OodWindow);
+                        assert_eq!(e.a, e.step.wrapping_mul(3), "torn event: {e:?}");
+                        assert_eq!(e.b, e.step.wrapping_mul(5), "torn event: {e:?}");
+                        assert_eq!(e.nanos, e.step.wrapping_mul(7), "torn event: {e:?}");
+                        assert_eq!(e.tenant, e.step / PER_WRITER, "torn event: {e:?}");
+                        seen += 1;
+                    }
+                }
+                seen
+            })
+        })
+        .collect();
+
+    let published: u64 = writers.into_iter().map(|h| h.join().unwrap()).sum();
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().unwrap();
+    }
+
+    // Every attempted push is accounted for: published or counted dropped.
+    assert_eq!(journal.pushed(), published);
+    assert_eq!(journal.pushed() + journal.dropped(), WRITERS * PER_WRITER);
+    assert!(journal.pushed() > 0, "contention must not drop everything");
+
+    // After quiescence the ring holds the freshest published events and a
+    // full snapshot is readable.
+    let snap = journal.snapshot();
+    assert!(!snap.events.is_empty());
+    assert!(snap.events.len() <= journal.capacity());
+    for pair in snap.events.windows(2) {
+        // Oldest-first scan order (per-writer stamps interleave, but the
+        // publication indices the scan follows are strictly increasing, so
+        // the same writer's events stay ordered).
+        if pair[0].tenant == pair[1].tenant {
+            assert!(pair[0].step < pair[1].step);
+        }
+    }
+}
+
+#[test]
+fn single_threaded_journal_accounts_for_every_push() {
+    let journal = EventJournal::new(16);
+    for i in 0..1000 {
+        assert!(journal.push(Event {
+            kind: EventKind::SnapshotSwap,
+            tenant: 1,
+            step: i,
+            a: 0,
+            b: 0,
+            nanos: 5,
+        }));
+    }
+    assert_eq!(journal.pushed(), 1000);
+    assert_eq!(journal.dropped(), 0);
+    let snap = journal.snapshot();
+    assert_eq!(snap.events.len(), 16);
+    assert_eq!(snap.events.last().unwrap().step, 999);
+}

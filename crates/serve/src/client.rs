@@ -17,6 +17,7 @@
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
+use smore_obs::StatsSnapshot;
 use smore_tensor::Matrix;
 
 use crate::protocol::{
@@ -210,6 +211,26 @@ impl ServeClient {
         match self.round_trip(&Request::Ping)? {
             Response::Pong => Ok(()),
             other => Err(ClientError::Malformed(format!("expected pong, got {other:?}"))),
+        }
+    }
+
+    /// Scrapes the server's telemetry: counters, gauges, per-stage
+    /// latency histograms and the adaptation journal tail. Answered on
+    /// the server's connection thread, so it works even while every
+    /// worker queue is refusing admission.
+    ///
+    /// # Errors
+    ///
+    /// Transport / framing errors; [`ClientError::Malformed`] when the
+    /// snapshot bytes fail to decode (e.g. a version this build does not
+    /// speak).
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats(bytes) => {
+                StatsSnapshot::decode(&bytes).map_err(|e| ClientError::Malformed(e.to_string()))
+            }
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Malformed(format!("expected stats, got {other:?}"))),
         }
     }
 

@@ -21,6 +21,12 @@
 //!   buffering without bound.
 //! - [`client`] — a blocking client with synchronous and pipelined
 //!   calling styles.
+//! - Telemetry throughout (built on `smore_obs`): every request is timed
+//!   per pipeline stage into lock-free histograms, adaptation lifecycle
+//!   and overload-shed events land in a shared journal, and a `Stats`
+//!   wire request scrapes the whole registry as a versioned
+//!   [`StatsSnapshot`] ([`ServerHandle::stats`] /
+//!   [`ServeClient::stats`](client::ServeClient::stats)).
 //! - [`synthetic`] — the canonical synthetic fleet recipe shared by the
 //!   `smore_serve --synthetic` binary, the `load_gen` bench and the
 //!   tests.
@@ -51,10 +57,14 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 pub mod synthetic;
+mod telemetry;
 
 pub use client::{ClientError, ServeClient};
 pub use protocol::{ErrorCode, Request, Response, WirePrediction};
 pub use server::{serve, ServeConfig, ServerHandle, ServerMetrics};
+// The telemetry vocabulary a `Stats` scrape decodes into, re-exported so
+// clients need not depend on `smore_obs` directly.
+pub use smore_obs::{EventKind, StatsSnapshot};
 
 /// Result alias; the front-end shares the core SMORE error vocabulary.
 pub type Result<T> = std::result::Result<T, smore::SmoreError>;

@@ -5,19 +5,28 @@
 //! smore_serve --artifact model.smore [--addr ...]
 //!             [--workers N] [--batch-max N] [--batch-deadline-us N]
 //!             [--queue-cap N] [--duration-secs N] [--seed N]
+//!             [--stats-every N]
 //! ```
 //!
 //! `--synthetic` trains the canonical synthetic fleet model in-process
 //! (seconds) — the mode CI and the load generator use. `--artifact`
 //! serves a dense `.smore` artifact written by `Smore::save`.
-//! `--duration-secs 0` (default) serves until killed.
+//! `--duration-secs 0` (default) serves until killed. `--stats-every N`
+//! dumps the telemetry snapshot (text exposition) to stdout every N
+//! seconds. Diagnostics go through the `SMORE_LOG`-leveled logger
+//! (default `warn`; set `SMORE_LOG=info` for startup/shutdown chatter,
+//! `SMORE_LOG=debug` for per-connection protocol errors).
 
 use std::net::TcpListener;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use smore_obs::{error, info, EventJournal};
 use smore_serve::{serve, synthetic, ServeConfig};
 use smore_stream::ServeEngine;
+
+/// Ring capacity for the engine-attached adaptation journal.
+const JOURNAL_CAPACITY: usize = 4096;
 
 struct Args {
     addr: String,
@@ -30,13 +39,14 @@ struct Args {
     batch_deadline_us: Option<u64>,
     queue_cap: Option<usize>,
     duration_secs: u64,
+    stats_every_secs: u64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: smore_serve (--synthetic | --artifact <model.smore>) [--addr HOST:PORT] \
          [--dim N] [--seed N] [--workers N] [--batch-max N] [--batch-deadline-us N] \
-         [--queue-cap N] [--duration-secs N]"
+         [--queue-cap N] [--duration-secs N] [--stats-every N]"
     );
     std::process::exit(2);
 }
@@ -64,6 +74,7 @@ fn parse_args() -> Args {
         batch_deadline_us: None,
         queue_cap: None,
         duration_secs: 0,
+        stats_every_secs: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -80,6 +91,7 @@ fn parse_args() -> Args {
             }
             "--queue-cap" => args.queue_cap = Some(parse(&mut it, "--queue-cap")),
             "--duration-secs" => args.duration_secs = parse(&mut it, "--duration-secs"),
+            "--stats-every" => args.stats_every_secs = parse(&mut it, "--stats-every"),
             "--help" | "-h" => {
                 println!(
                     "smore_serve: network serving front-end for the SMORE multi-tenant engine.\n\
@@ -87,7 +99,11 @@ fn parse_args() -> Args {
                      \n\
                      usage: smore_serve (--synthetic | --artifact <model.smore>) [--addr HOST:PORT]\n\
                             [--dim N] [--seed N] [--workers N] [--batch-max N]\n\
-                            [--batch-deadline-us N] [--queue-cap N] [--duration-secs N]"
+                            [--batch-deadline-us N] [--queue-cap N] [--duration-secs N]\n\
+                            [--stats-every N]\n\
+                     \n\
+                     --stats-every N  print the telemetry snapshot every N seconds\n\
+                     SMORE_LOG=LEVEL  error|warn|info|debug|trace diagnostics (default warn)"
                 );
                 std::process::exit(0);
             }
@@ -107,21 +123,28 @@ fn parse_args() -> Args {
 fn main() {
     let args = parse_args();
 
-    let engine = if args.synthetic {
-        println!("training the synthetic fleet model (seed {}, d = {})...", args.seed, args.dim);
+    let mut engine = if args.synthetic {
+        info!(
+            "serve",
+            "training the synthetic fleet model (seed {}, d = {})...", args.seed, args.dim
+        );
         let (_, engine) = synthetic::engine(args.seed, args.dim).unwrap_or_else(|e| {
-            eprintln!("synthetic engine failed: {e}");
+            error!("serve", "synthetic engine failed: {e}");
             std::process::exit(1);
         });
         engine
     } else {
         let path = args.artifact.as_deref().expect("checked in parse_args");
-        println!("loading dense artifact {path}...");
+        info!("serve", "loading dense artifact {path}...");
         ServeEngine::from_artifact(path, synthetic::streaming_config()).unwrap_or_else(|e| {
-            eprintln!("artifact load failed: {e}");
+            error!("serve", "artifact load failed: {e}");
             std::process::exit(1);
         })
     };
+    // Engine-attached journal: tenant lifecycle events (OOD, drift,
+    // enrolments, swaps) and the server's shed events share one ring,
+    // scrapeable over the wire.
+    engine.set_journal(Arc::new(EventJournal::new(JOURNAL_CAPACITY)));
 
     let mut config = ServeConfig::default();
     if let Some(w) = args.workers {
@@ -138,14 +161,15 @@ fn main() {
     }
 
     let listener = TcpListener::bind(&args.addr).unwrap_or_else(|e| {
-        eprintln!("cannot bind {}: {e}", args.addr);
+        error!("serve", "cannot bind {}: {e}", args.addr);
         std::process::exit(1);
     });
     let server = serve(Arc::new(engine), listener, config.clone()).unwrap_or_else(|e| {
-        eprintln!("server start failed: {e}");
+        error!("serve", "server start failed: {e}");
         std::process::exit(1);
     });
-    println!(
+    info!(
+        "serve",
         "serving on {} ({} workers, batch_max {}, deadline {:?}, queue {})",
         server.local_addr(),
         config.workers,
@@ -154,15 +178,36 @@ fn main() {
         config.queue_capacity
     );
 
-    if args.duration_secs == 0 {
-        loop {
-            std::thread::sleep(Duration::from_secs(3600));
+    // One loop drives both the serve deadline and the periodic stats
+    // dump; without either it just sleeps in long slices.
+    let deadline =
+        (args.duration_secs > 0).then(|| Instant::now() + Duration::from_secs(args.duration_secs));
+    let tick = if args.stats_every_secs > 0 {
+        Duration::from_secs(args.stats_every_secs)
+    } else {
+        Duration::from_secs(3600)
+    };
+    loop {
+        let mut sleep = tick;
+        if let Some(d) = deadline {
+            let now = Instant::now();
+            if now >= d {
+                break;
+            }
+            sleep = sleep.min(d - now);
+        }
+        std::thread::sleep(sleep);
+        if args.stats_every_secs > 0 {
+            // The stats dump is the binary's requested output, not a
+            // diagnostic — it stays on stdout regardless of SMORE_LOG.
+            print!("{}", server.stats().render_text());
         }
     }
-    std::thread::sleep(Duration::from_secs(args.duration_secs));
+
     let m = server.metrics_arc();
     server.shutdown();
-    println!(
+    info!(
+        "serve",
         "served {} predictions ({} coalesced into {} batches), {} adaptations, \
          {} overloaded, {} protocol errors over {} connections",
         m.served.load(std::sync::atomic::Ordering::Relaxed),

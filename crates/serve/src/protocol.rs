@@ -46,9 +46,11 @@ pub const UNKNOWN_REQUEST_ID: u64 = u64::MAX;
 const TAG_PREDICT: u8 = 0x01;
 const TAG_INGEST: u8 = 0x02;
 const TAG_PING: u8 = 0x03;
+const TAG_STATS: u8 = 0x04;
 // Response tags.
 const TAG_PREDICTION: u8 = 0x81;
 const TAG_PONG: u8 = 0x82;
+const TAG_STATS_RESP: u8 = 0x83;
 const TAG_ERROR: u8 = 0xEE;
 
 /// Machine-readable failure class carried by an error response.
@@ -117,6 +119,10 @@ pub enum Request {
     /// Liveness probe; answered with [`Response::Pong`] without touching
     /// a worker queue.
     Ping,
+    /// Telemetry scrape; answered with [`Response::Stats`] on the
+    /// connection thread — like [`Request::Ping`] it never enters a worker
+    /// queue, so an overloaded server still answers its own diagnosis.
+    Stats,
 }
 
 /// The serving result carried by [`Response::Prediction`] — a compact
@@ -145,6 +151,11 @@ pub enum Response {
     Prediction(WirePrediction),
     /// Answer to [`Request::Ping`].
     Pong,
+    /// Answer to [`Request::Stats`]: one encoded
+    /// [`smore_obs::StatsSnapshot`] frame body (versioned; decode with
+    /// [`smore_obs::StatsSnapshot::decode`]). Carried opaquely so the
+    /// protocol layer never chases the telemetry vocabulary.
+    Stats(Vec<u8>),
     /// The request failed; the connection stays usable.
     Error {
         /// Failure class.
@@ -215,6 +226,7 @@ pub fn encode_request(request_id: u64, request: &Request) -> Vec<u8> {
             write_window(w, window);
         }),
         Request::Ping => seal(TAG_PING, request_id, |_| {}),
+        Request::Stats => seal(TAG_STATS, request_id, |_| {}),
     }
 }
 
@@ -230,6 +242,10 @@ pub fn encode_response(request_id: u64, response: &Response) -> Vec<u8> {
             w.u8(p.adapted as u8);
         }),
         Response::Pong => seal(TAG_PONG, request_id, |_| {}),
+        Response::Stats(snapshot) => seal(TAG_STATS_RESP, request_id, |w| {
+            w.u32(snapshot.len() as u32);
+            w.bytes(snapshot);
+        }),
         Response::Error { code, message } => seal(TAG_ERROR, request_id, |w| {
             w.u8(code.to_byte());
             w.str_lp(message);
@@ -369,6 +385,7 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), BadFrame> {
             Request::Ingest { tenant_id, label, window }
         }
         TAG_PING => Request::Ping,
+        TAG_STATS => Request::Stats,
         other => {
             return Err(BadFrame {
                 request_id,
@@ -407,6 +424,10 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), BadFrame> {
             })
         }
         TAG_PONG => Response::Pong,
+        TAG_STATS_RESP => {
+            let n = r.count("snapshot byte", 1).map_err(malformed)?;
+            Response::Stats(r.take(n).map_err(malformed)?.to_vec())
+        }
         TAG_ERROR => {
             let code_byte = r.u8().map_err(malformed)?;
             let code = ErrorCode::from_byte(code_byte).ok_or_else(|| BadFrame {
@@ -455,6 +476,7 @@ mod tests {
         round_trip_request(Request::Ingest { tenant_id: 7, label: Some(3), window: window() });
         round_trip_request(Request::Ingest { tenant_id: 1, label: None, window: window() });
         round_trip_request(Request::Ping);
+        round_trip_request(Request::Stats);
     }
 
     #[test]
@@ -469,6 +491,8 @@ mod tests {
                 adapted: false,
             }),
             Response::Pong,
+            Response::Stats(vec![0x01, 0x00, 0xAB, 0xCD]),
+            Response::Stats(Vec::new()),
             Response::Error { code: ErrorCode::Overloaded, message: "queue full".into() },
         ];
         for response in cases {

@@ -48,6 +48,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use smore::{ServeScratch, SmoreError};
+use smore_obs::{debug, Event, EventJournal, EventKind, Stage, StageSet, StatsSnapshot};
 use smore_stream::{ServeEngine, TenantSession};
 use smore_tensor::Matrix;
 
@@ -55,7 +56,16 @@ use crate::protocol::{
     decode_request, encode_response, read_frame, ErrorCode, FrameRead, Request, Response,
     WirePrediction, UNKNOWN_REQUEST_ID,
 };
+use crate::telemetry::Telemetry;
 use crate::Result;
+
+/// Capacity of the journal `serve` creates when the engine has none
+/// attached (power of two; holds a full enrolment storm's events).
+const DEFAULT_JOURNAL_CAPACITY: usize = 4096;
+
+fn nanos_of(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Tuning knobs for [`serve`].
 #[derive(Debug, Clone)]
@@ -117,6 +127,8 @@ pub struct ServerMetrics {
     pub adaptations: AtomicU64,
     /// Connections accepted.
     pub connections: AtomicU64,
+    /// Telemetry scrapes answered.
+    pub stats_requests: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -131,6 +143,11 @@ struct Job {
     tenant_id: u64,
     kind: JobKind,
     reply: Sender<Vec<u8>>,
+    /// When admission control accepted the job — `queue_wait` starts here.
+    accepted: Instant,
+    /// When the owning worker dequeued it — `coalesce_wait` starts here.
+    /// Initialised to `accepted`; overwritten at dequeue.
+    dequeued: Instant,
 }
 
 enum JobKind {
@@ -144,6 +161,7 @@ enum JobKind {
 pub struct ServerHandle {
     addr: SocketAddr,
     metrics: Arc<ServerMetrics>,
+    telemetry: Arc<Telemetry>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
@@ -163,6 +181,15 @@ impl ServerHandle {
     /// Shared handle to the live server counters.
     pub fn metrics_arc(&self) -> Arc<ServerMetrics> {
         Arc::clone(&self.metrics)
+    }
+
+    /// A point-in-time telemetry snapshot: counters, occupancy gauges,
+    /// per-stage latency histograms and the adaptation journal tail —
+    /// the same aggregation a wire [`Request::Stats`] scrape receives.
+    ///
+    /// [`Request::Stats`]: crate::protocol::Request::Stats
+    pub fn stats(&self) -> StatsSnapshot {
+        self.telemetry.snapshot(&self.metrics)
     }
 
     /// Stops accepting, drains the workers and joins every server thread.
@@ -198,6 +225,14 @@ pub fn serve(
     let addr = listener.local_addr().map_err(|e| SmoreError::io("listener", &e))?;
     let metrics = Arc::new(ServerMetrics::default());
     let stop = Arc::new(AtomicBool::new(false));
+    // Share the engine's journal when one was attached (set_journal before
+    // Arc-wrapping) so tenant lifecycle events and the server's shed
+    // events land in one ring; otherwise run a server-local journal.
+    let journal = engine
+        .journal()
+        .cloned()
+        .unwrap_or_else(|| Arc::new(EventJournal::new(DEFAULT_JOURNAL_CAPACITY)));
+    let telemetry = Arc::new(Telemetry::new(config.workers, journal));
 
     let mut worker_handles = Vec::with_capacity(config.workers);
     let mut queues: Vec<SyncSender<Job>> = Vec::with_capacity(config.workers);
@@ -206,17 +241,19 @@ pub fn serve(
         queues.push(tx);
         let engine = Arc::clone(&engine);
         let metrics = Arc::clone(&metrics);
+        let telemetry = Arc::clone(&telemetry);
         let worker_stop = Arc::clone(&stop);
         let cfg = config.clone();
         worker_handles.push(
             std::thread::Builder::new()
                 .name(format!("smore-worker-{shard}"))
-                .spawn(move || worker_loop(engine, rx, cfg, metrics, worker_stop))
+                .spawn(move || worker_loop(engine, rx, cfg, metrics, telemetry, shard, worker_stop))
                 .expect("spawning a worker thread succeeds"),
         );
     }
 
     let accept_metrics = Arc::clone(&metrics);
+    let accept_telemetry = Arc::clone(&telemetry);
     let accept_stop = Arc::clone(&stop);
     let accept_thread = std::thread::Builder::new()
         .name("smore-accept".into())
@@ -232,10 +269,11 @@ pub fn serve(
                 ServerMetrics::bump(&accept_metrics.connections);
                 let queues = queues.clone();
                 let metrics = Arc::clone(&accept_metrics);
+                let telemetry = Arc::clone(&accept_telemetry);
                 let stop = Arc::clone(&accept_stop);
                 let _ = std::thread::Builder::new()
                     .name("smore-conn".into())
-                    .spawn(move || connection_loop(stream, &queues, &metrics, &stop));
+                    .spawn(move || connection_loop(stream, &queues, &metrics, &telemetry, &stop));
             }
         })
         .expect("spawning the accept thread succeeds");
@@ -243,6 +281,7 @@ pub fn serve(
     Ok(ServerHandle {
         addr,
         metrics,
+        telemetry,
         stop,
         accept_thread: Some(accept_thread),
         workers: worker_handles,
@@ -264,13 +303,15 @@ fn connection_loop(
     stream: TcpStream,
     queues: &[SyncSender<Job>],
     metrics: &Arc<ServerMetrics>,
+    telemetry: &Arc<Telemetry>,
     stop: &Arc<AtomicBool>,
 ) {
     let Ok(write_half) = stream.try_clone() else { return };
     let (reply_tx, reply_rx): (Sender<Vec<u8>>, Receiver<Vec<u8>>) = mpsc::channel();
+    let writer_telemetry = Arc::clone(telemetry);
     let writer = std::thread::Builder::new()
         .name("smore-conn-writer".into())
-        .spawn(move || writer_loop(write_half, reply_rx))
+        .spawn(move || writer_loop(write_half, reply_rx, &writer_telemetry))
         .expect("spawning a connection writer succeeds");
 
     let mut reader = BufReader::new(stream);
@@ -308,10 +349,14 @@ fn connection_loop(
             Ok(FrameRead::Payload(payload)) => payload,
         };
 
-        let (request_id, request) = match decode_request(&frame) {
+        let decode_span = telemetry.conn.time(Stage::Decode);
+        let decoded = decode_request(&frame);
+        let nanos = decode_span.stop();
+        let (request_id, request) = match decoded {
             Ok(decoded) => decoded,
             Err(bad) => {
                 ServerMetrics::bump(&metrics.protocol_errors);
+                debug!("serve", "protocol error after {nanos} ns decode: {}", bad.message);
                 let resp = Response::Error { code: bad.code, message: bad.message };
                 if reply_tx.send(encode_response(bad.request_id, &resp)).is_err() {
                     break;
@@ -327,6 +372,16 @@ fn connection_loop(
                 }
                 continue;
             }
+            Request::Stats => {
+                // Answered on the connection thread, like Ping: a scrape
+                // must get through even when every worker queue is full.
+                ServerMetrics::bump(&metrics.stats_requests);
+                let snapshot = telemetry.snapshot(metrics).encode();
+                if reply_tx.send(encode_response(request_id, &Response::Stats(snapshot))).is_err() {
+                    break;
+                }
+                continue;
+            }
             Request::Predict { tenant_id, window } => (tenant_id, JobKind::Predict(window)),
             Request::Ingest { tenant_id, label, window } => {
                 (tenant_id, JobKind::Ingest { label, window })
@@ -334,12 +389,28 @@ fn connection_loop(
         };
 
         let shard = shard_of(tenant_id, queues.len());
-        let job = Job { request_id, tenant_id, kind, reply: reply_tx.clone() };
+        let accepted = Instant::now();
+        let job = Job {
+            request_id,
+            tenant_id,
+            kind,
+            reply: reply_tx.clone(),
+            accepted,
+            dequeued: accepted,
+        };
         match queues[shard].try_send(job) {
             Ok(()) => {}
             Err(TrySendError::Full(job)) => {
                 // Admission control: answer now, buffer nothing.
                 ServerMetrics::bump(&metrics.overloaded);
+                telemetry.journal.push(Event {
+                    kind: EventKind::OverloadShed,
+                    tenant: tenant_id,
+                    step: 0,
+                    a: shard as u64,
+                    b: queues.len() as u64,
+                    nanos: 0,
+                });
                 let resp = Response::Error {
                     code: ErrorCode::Overloaded,
                     message: format!("shard {shard} queue is full; retry with backoff"),
@@ -357,9 +428,13 @@ fn connection_loop(
     let _ = writer.join();
 }
 
-fn writer_loop(stream: TcpStream, replies: Receiver<Vec<u8>>) {
+fn writer_loop(stream: TcpStream, replies: Receiver<Vec<u8>>, telemetry: &Telemetry) {
     let mut writer = BufWriter::new(stream);
     while let Ok(frame) = replies.recv() {
+        // One reply span per write burst: everything already queued goes
+        // out under one buffered write + flush.
+        let mut frames = 1u64;
+        let burst = Instant::now();
         if writer.write_all(&frame).is_err() {
             return;
         }
@@ -368,10 +443,12 @@ fn writer_loop(stream: TcpStream, replies: Receiver<Vec<u8>>) {
             if writer.write_all(&frame).is_err() {
                 return;
             }
+            frames += 1;
         }
         if writer.flush().is_err() {
             return;
         }
+        telemetry.conn.record_n(Stage::Reply, nanos_of(burst.elapsed()) / frames, frames);
     }
 }
 
@@ -382,11 +459,19 @@ fn worker_loop(
     queue: Receiver<Job>,
     config: ServeConfig,
     metrics: Arc<ServerMetrics>,
+    telemetry: Arc<Telemetry>,
+    shard: usize,
     stop: Arc<AtomicBool>,
 ) {
     let mut sessions: HashMap<u64, TenantSession> = HashMap::new();
     let mut scratch = ServeScratch::new();
     let mut batch: Vec<Job> = Vec::with_capacity(config.batch_max);
+    let stages = &telemetry.shards[shard];
+    let dequeue = |stages: &StageSet, mut job: Job| -> Job {
+        stages.record(Stage::QueueWait, nanos_of(job.accepted.elapsed()));
+        job.dequeued = Instant::now();
+        job
+    };
 
     loop {
         // Wait for the first job, re-checking the stop flag so shutdown
@@ -402,7 +487,7 @@ fn worker_loop(
                 Err(RecvTimeoutError::Disconnected) => return,
             }
         };
-        batch.push(first);
+        batch.push(dequeue(stages, first));
         if config.batch_max > 1 {
             let deadline = Instant::now() + config.batch_deadline;
             while batch.len() < config.batch_max {
@@ -411,14 +496,31 @@ fn worker_loop(
                     break;
                 }
                 match queue.recv_timeout(deadline - now) {
-                    Ok(job) => batch.push(job),
+                    Ok(job) => batch.push(dequeue(stages, job)),
                     Err(RecvTimeoutError::Timeout) => break,
                     Err(RecvTimeoutError::Disconnected) => break,
                 }
             }
         }
-        serve_batch(&engine, &mut sessions, &mut scratch, &mut batch, &metrics);
+        serve_batch(&engine, &mut sessions, &mut scratch, &mut batch, &metrics, stages);
         batch.clear();
+
+        // Occupancy gauges: overwrite this shard's slots after each batch.
+        // One pass over the session map costs microseconds against a
+        // batch's milliseconds of scoring.
+        let gauges = &telemetry.gauges[shard];
+        let mut personalized = 0u64;
+        let mut buffered = 0u64;
+        let mut ood_micros = 0u64;
+        for session in sessions.values() {
+            personalized += u64::from(session.is_personalized());
+            buffered += session.buffered() as u64;
+            ood_micros += (f64::from(session.recent_ood_fraction()) * 1e6) as u64;
+        }
+        gauges.sessions.store(sessions.len() as u64, Ordering::Relaxed);
+        gauges.personalized.store(personalized, Ordering::Relaxed);
+        gauges.buffered_windows.store(buffered, Ordering::Relaxed);
+        gauges.ood_fraction_micros.store(ood_micros, Ordering::Relaxed);
     }
 }
 
@@ -445,7 +547,13 @@ fn serve_batch(
     scratch: &mut ServeScratch,
     batch: &mut Vec<Job>,
     metrics: &Arc<ServerMetrics>,
+    stages: &StageSet,
 ) {
+    // Every job's coalesce wait ends here, whichever path serves it.
+    for job in batch.iter() {
+        stages.record(Stage::CoalesceWait, nanos_of(job.dequeued.elapsed()));
+    }
+
     // Partition: a Predict for a tenant with no personal snapshot is
     // answerable from the shared base — coalescable across tenants.
     let mut base_jobs: Vec<Job> = Vec::new();
@@ -474,6 +582,11 @@ fn serve_batch(
                 }
                 Err(e) => model_error_response(&e),
             };
+            if matches!(response, Response::Prediction(_)) {
+                let t = scratch.timings();
+                stages.record(Stage::Encode, t.encode_nanos);
+                stages.record(Stage::Score, t.score_nanos);
+            }
             let _ = job.reply.send(encode_response(job.request_id, &response));
         } else {
             let windows: Vec<Matrix> = base_jobs
@@ -483,11 +596,17 @@ fn serve_batch(
                     JobKind::Ingest { .. } => unreachable!("partitioned above"),
                 })
                 .collect();
-            match base.predict_batch(&windows) {
-                Ok(predictions) => {
+            match base.predict_batch_timed(&windows) {
+                Ok((predictions, timings)) => {
                     ServerMetrics::bump(&metrics.coalesced_batches);
                     metrics.coalesced_windows.fetch_add(windows.len() as u64, Ordering::Relaxed);
                     metrics.served.fetch_add(windows.len() as u64, Ordering::Relaxed);
+                    // Charge each window the batch mean of its stage — the
+                    // per-window split inside one parallel batch call is
+                    // not observable, the totals are.
+                    let n = windows.len() as u64;
+                    stages.record_n(Stage::Encode, timings.encode_nanos / n, n);
+                    stages.record_n(Stage::Score, timings.score_nanos / n, n);
                     for (job, p) in base_jobs.iter().zip(&predictions) {
                         let _ = job.reply.send(encode_response(
                             job.request_id,
@@ -508,6 +627,11 @@ fn serve_batch(
                             }
                             Err(e) => model_error_response(&e),
                         };
+                        if matches!(response, Response::Prediction(_)) {
+                            let t = scratch.timings();
+                            stages.record(Stage::Encode, t.encode_nanos);
+                            stages.record(Stage::Score, t.score_nanos);
+                        }
                         let _ = job.reply.send(encode_response(job.request_id, &response));
                     }
                 }
@@ -516,7 +640,8 @@ fn serve_batch(
     }
 
     for job in stateful {
-        let session = sessions.entry(job.tenant_id).or_insert_with(|| engine.session());
+        let session =
+            sessions.entry(job.tenant_id).or_insert_with(|| engine.session_for(job.tenant_id));
         let response = match job.kind {
             JobKind::Predict(window) => match session.predict_window(&window) {
                 Ok(p) => {
@@ -542,6 +667,11 @@ fn serve_batch(
                 }
             }
         };
+        if matches!(response, Response::Prediction(_)) {
+            let t = session.last_timings();
+            stages.record(Stage::Encode, t.encode_nanos);
+            stages.record(Stage::Score, t.score_nanos);
+        }
         let _ = job.reply.send(encode_response(job.request_id, &response));
     }
 }

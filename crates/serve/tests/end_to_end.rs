@@ -8,16 +8,22 @@ use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use smore_data::Dataset;
-use smore_serve::{serve, synthetic, ErrorCode, Response, ServeClient, ServeConfig, ServerHandle};
+use smore_obs::EventJournal;
+use smore_serve::{
+    serve, synthetic, ErrorCode, EventKind, Response, ServeClient, ServeConfig, ServerHandle,
+};
 use smore_stream::ServeEngine;
 
 /// One trained fleet shared by every test in this file (training
 /// dominates test wall-clock; the engine itself is immutable — tenant
-/// state lives in each server's workers).
+/// state lives in each server's workers). The attached journal is
+/// likewise shared: every server started from this fleet pushes its
+/// adaptation events into the same ring.
 fn fleet() -> &'static (Dataset, Arc<ServeEngine>) {
     static FLEET: OnceLock<(Dataset, Arc<ServeEngine>)> = OnceLock::new();
     FLEET.get_or_init(|| {
-        let (ds, engine) = synthetic::engine(11, 512).expect("synthetic fleet trains");
+        let (ds, mut engine) = synthetic::engine(11, 512).expect("synthetic fleet trains");
+        engine.set_journal(Arc::new(EventJournal::new(4096)));
         (ds, Arc::new(engine))
     })
 }
@@ -108,9 +114,102 @@ fn drifting_tenant_personalizes_through_wire_ingest() {
     assert!(adapted, "a tenant streaming drifted windows must trigger enrolment");
     assert!(server.metrics().adaptations.load(std::sync::atomic::Ordering::Relaxed) >= 1);
 
+    // The enrolment the wire reported must be visible in the scraped
+    // journal, attributed to this tenant.
+    let stats = client.stats().expect("stats scrape");
+    let finished = stats.journal.count_of(EventKind::EnrollFinished);
+    assert!(finished >= 1, "the journal must record the enrolment just observed");
+    assert!(
+        stats
+            .journal
+            .events
+            .iter()
+            .any(|e| e.kind == EventKind::EnrollFinished && e.tenant == tenant),
+        "the enrolment event must carry the drifting tenant's id"
+    );
+
     // The personalized tenant keeps serving (now through its own session).
     let p = client.predict(tenant, &drift[0].0).expect("post-adaptation predict");
     assert!(p.label < 4);
+    server.shutdown();
+}
+
+#[test]
+fn stats_snapshot_accounts_for_served_requests() {
+    let (server, ds) = start(ServeConfig { workers: 2, ..ServeConfig::default() });
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+
+    let total = 40u64;
+    for i in 0..total {
+        client.predict(i, ds.window(i as usize % ds.len())).expect("wire predict");
+    }
+
+    // Scrape over the wire: the versioned snapshot frame must decode and
+    // its totals must equal what this client just observed.
+    let stats = client.stats().expect("stats scrape decodes");
+    assert_eq!(
+        stats.counter("requests_served"),
+        Some(total),
+        "served counter must match the predicts answered"
+    );
+    assert_eq!(stats.counter("stats_requests"), Some(1));
+    assert_eq!(stats.counter("protocol_errors"), Some(0));
+    assert_eq!(stats.gauge("workers"), Some(2.0));
+
+    // Per-stage histograms: every predict passes once through each
+    // pipeline stage, so the stage counts reconcile with the counter.
+    for stage in ["encode", "score", "queue_wait", "coalesce_wait"] {
+        let h = stats.stage(stage).unwrap_or_else(|| panic!("stage {stage} present"));
+        assert_eq!(h.count, total, "stage {stage} must see every predict exactly once");
+        assert!(h.quantile(0.50) <= h.quantile(0.99), "stage {stage} quantiles ordered");
+    }
+    // Decode also sees the Stats frame itself; Reply counts only what the
+    // writer has flushed by scrape time (>= the answered predicts).
+    let decode = stats.stage("decode").expect("decode stage");
+    assert!(decode.count >= total, "decode must time every inbound frame");
+    assert!(decode.sum > 0, "decode nanos must accumulate");
+    let reply = stats.stage("reply").expect("reply stage");
+    assert!(reply.count >= total, "every answered predict was written before the scrape");
+
+    // The in-process handle sees the same registry the wire serves.
+    let local = server.stats();
+    assert_eq!(local.counter("requests_served"), Some(total));
+    server.shutdown();
+}
+
+#[test]
+fn stats_never_shed_under_overload() {
+    // Same saturation setup as the overload test: the Stats request must
+    // be answered inline on the connection thread even while workers shed.
+    let (server, ds) = start(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        batch_max: 1,
+        batch_deadline: Duration::from_micros(1),
+    });
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+
+    let total = 300usize;
+    for i in 0..total {
+        client.send_predict(i as u64, ds.window(i % ds.len())).expect("queue predict");
+    }
+    client.flush().expect("flush");
+    let mut diag = ServeClient::connect(server.local_addr()).expect("second connection");
+    let stats = diag.stats().expect("an overloaded server still answers its own diagnosis");
+    assert!(stats.counter("requests_served").is_some());
+    for _ in 0..total {
+        client.recv().expect("every request still gets exactly one response");
+    }
+
+    // Shed events landed in the shared journal (this config must shed).
+    let after = diag.stats().expect("second scrape");
+    if after.counter("overloaded").unwrap_or(0) > 0 {
+        assert!(
+            after.journal.count_of(EventKind::OverloadShed) > 0
+                || after.journal.pushed > after.journal.capacity as u64,
+            "shed requests must be journaled"
+        );
+    }
     server.shutdown();
 }
 

@@ -42,6 +42,10 @@ pub(crate) struct EnrollmentPlan {
 pub(crate) struct ObserveOutcome {
     /// Whether the query entered the OOD enrolment buffer.
     pub(crate) buffered: bool,
+    /// Whether the drift detector crossed its threshold on this window —
+    /// true even when no enrolment follows (too little recent evidence, or
+    /// the enrolment cap is exhausted), so telemetry sees every firing.
+    pub(crate) drift_fired: bool,
     /// A decided enrolment (drift fired with enough recent evidence); the
     /// caller trains/attaches the domain and then calls
     /// [`AdaptationState::record`].
@@ -145,7 +149,7 @@ impl AdaptationState {
         } else {
             None
         };
-        ObserveOutcome { buffered, plan }
+        ObserveOutcome { buffered, drift_fired: fired, plan }
     }
 
     /// Drains the buffer into an enrolment plan, keeping only queries

@@ -35,6 +35,7 @@ use std::time::Instant;
 use smore::artifact::{self, ArtifactKind};
 use smore::{QuantizedSmore, ServeScratch, Smore, SmoreError};
 use smore_hdc::model::HdcClassifier;
+use smore_obs::{Event, EventJournal, EventKind};
 use smore_tensor::Matrix;
 
 use crate::adapt::{AdaptationState, EnrollmentPlan};
@@ -82,16 +83,19 @@ pub(crate) fn drift_delta_quantile(
     // total_cmp is a total order — no panicking partial_cmp on the
     // serving path even if the finiteness guards above ever change.
     deltas.sort_by(f32::total_cmp);
-    Ok(deltas[nearest_rank_index(deltas.len(), quantile)])
+    // The shared nearest-rank helper (ties rounded *up*) — the local copy
+    // this crate used to carry floored the rank via `as usize`, biasing the
+    // calibrated drift δ low on small calibration sets.
+    Ok(deltas[smore::metrics::nearest_rank_index(deltas.len(), f64::from(quantile))])
 }
 
-/// Nearest-rank index (ties rounded *up*) of `quantile` over `n` sorted
-/// samples. The previous `as usize` cast floored, biasing the calibrated
-/// drift δ low on small calibration sets — n=10, q=0.9 selected index 8,
-/// not 9. Exactly representable products (e.g. 8 × 0.25) stay exact in
-/// f64, so ceil never over-rounds them.
-fn nearest_rank_index(n: usize, quantile: f32) -> usize {
-    (((n - 1) as f64 * f64::from(quantile)).ceil() as usize).min(n - 1)
+/// Seconds → whole nanoseconds for journal payloads (saturating).
+pub(crate) fn seconds_to_nanos(seconds: f64) -> u64 {
+    if seconds <= 0.0 {
+        0
+    } else {
+        (seconds * 1e9).min(u64::MAX as f64) as u64
+    }
 }
 
 /// The multi-tenant serving engine (see the [module docs](self)).
@@ -125,6 +129,9 @@ pub struct ServeEngine {
     next_tag: usize,
     /// Monotone tenant-id source.
     tenants: AtomicUsize,
+    /// Adaptation journal handed to every session created after
+    /// [`set_journal`](Self::set_journal); `None` disables event emission.
+    journal: Option<Arc<EventJournal>>,
 }
 
 impl ServeEngine {
@@ -148,6 +155,7 @@ impl ServeEngine {
             drift_delta,
             next_tag,
             tenants: AtomicUsize::new(0),
+            journal: None,
         })
     }
 
@@ -220,18 +228,47 @@ impl ServeEngine {
         self.tenants.load(Ordering::Relaxed)
     }
 
+    /// Attaches an adaptation journal: every session created **after**
+    /// this call records its lifecycle (OOD windows, drift firings,
+    /// enrolments, snapshot swaps, personalization) into it with the
+    /// session's tenant id. Existing sessions are unaffected.
+    pub fn set_journal(&mut self, journal: Arc<EventJournal>) {
+        self.journal = Some(journal);
+    }
+
+    /// The attached adaptation journal, if any.
+    pub fn journal(&self) -> Option<&Arc<EventJournal>> {
+        self.journal.as_ref()
+    }
+
     /// Opens a fresh tenant session sharing the engine's base state. The
     /// session owns all of its adaptation machinery and is `Send` — hand
     /// it to the tenant's connection/actor thread.
     pub fn session(&self) -> TenantSession {
+        let id = self.tenants.fetch_add(1, Ordering::Relaxed);
+        self.session_with_id(id)
+    }
+
+    /// Opens a session attributed to a caller-chosen tenant id — the
+    /// serving front-end passes the wire protocol's tenant id here so
+    /// journal events carry the id the operator knows, not the engine's
+    /// internal counter. Still counts toward
+    /// [`tenants_created`](Self::tenants_created).
+    pub fn session_for(&self, tenant: u64) -> TenantSession {
+        self.tenants.fetch_add(1, Ordering::Relaxed);
+        self.session_with_id(tenant as usize)
+    }
+
+    fn session_with_id(&self, id: usize) -> TenantSession {
         TenantSession {
-            id: self.tenants.fetch_add(1, Ordering::Relaxed),
+            id,
             dense: Arc::clone(&self.dense),
             base: Arc::clone(&self.base),
             personal: None,
             personal_models: Vec::new(),
             scratch: ServeScratch::new(),
             state: AdaptationState::new(self.config.clone(), self.drift_delta, self.next_tag),
+            journal: self.journal.clone(),
         }
     }
 }
@@ -256,6 +293,8 @@ pub struct TenantSession {
     personal_models: Vec<HdcClassifier>,
     scratch: ServeScratch,
     state: AdaptationState,
+    /// Engine-attached adaptation journal (`None` = telemetry off).
+    journal: Option<Arc<EventJournal>>,
 }
 
 impl TenantSession {
@@ -304,6 +343,13 @@ impl TenantSession {
     /// OOD fraction over this tenant's detector window.
     pub fn recent_ood_fraction(&self) -> f32 {
         self.state.ood_fraction()
+    }
+
+    /// Encode/score split of the most recent predict or ingest served
+    /// through this session's scratch — the serving front-end's source for
+    /// per-stage latency histograms on the stateful path.
+    pub fn last_timings(&self) -> smore::PredictTimings {
+        self.scratch.timings()
     }
 
     /// Serves one window through this tenant's current snapshot and
@@ -356,14 +402,39 @@ impl TenantSession {
         windows.iter().map(|w| self.ingest(w)).collect()
     }
 
+    /// Records one lifecycle event with this tenant's attribution.
+    fn emit(&self, kind: EventKind, step: usize, a: u64, b: u64, nanos: u64) {
+        if let Some(journal) = &self.journal {
+            journal.push(Event { kind, tenant: self.id as u64, step: step as u64, a, b, nanos });
+        }
+    }
+
     fn observe(&mut self, window: &Matrix, true_label: Option<usize>) -> Result<StreamOutcome> {
         // Serve through the session scratch from whichever snapshot this
         // tenant currently owns a view of — no lock, no Arc clone.
         let serving = self.personal.as_ref().unwrap_or(&self.base);
         let prediction = serving.predict_window_with(window, &mut self.scratch)?.clone();
         let outcome = self.state.observe(window, &prediction, true_label);
+        if self.journal.is_some() {
+            let step = self.state.steps().saturating_sub(1);
+            if outcome.buffered {
+                self.emit(EventKind::OodWindow, step, self.state.buffered() as u64, 0, 0);
+            }
+            if outcome.drift_fired {
+                self.emit(EventKind::DriftFired, step, self.state.buffered() as u64, 0, 0);
+            }
+        }
         let adapted = match outcome.plan {
-            Some(plan) => Some(self.adapt(plan)?),
+            Some(plan) => {
+                self.emit(
+                    EventKind::EnrollStart,
+                    plan.step,
+                    plan.windows.len() as u64,
+                    plan.oracle_labelled as u64,
+                    0,
+                );
+                Some(self.adapt(plan)?)
+            }
             None => None,
         };
         Ok(StreamOutcome { prediction, buffered: outcome.buffered, adapted })
@@ -392,6 +463,18 @@ impl TenantSession {
         self.personal = Some(personal);
         self.personal_models.push(prep.model);
         let swap_seconds = t1.elapsed().as_secs_f64();
+
+        self.emit(
+            EventKind::EnrollFinished,
+            plan.step,
+            prep.samples as u64,
+            plan.oracle_labelled as u64,
+            seconds_to_nanos(enroll_seconds),
+        );
+        self.emit(EventKind::SnapshotSwap, plan.step, 0, 0, seconds_to_nanos(swap_seconds));
+        if !had_personal {
+            self.emit(EventKind::Personalized, plan.step, self.personal_models.len() as u64, 0, 0);
+        }
 
         let event = AdaptationEvent {
             tag: plan.tag,
@@ -492,7 +575,10 @@ mod tests {
 
     #[test]
     fn quantile_index_uses_nearest_rank_not_truncation() {
-        // The motivating case: `as usize` floored 8.1 to 8.
+        // The motivating case: `as usize` floored 8.1 to 8. Calibration now
+        // routes through the one shared workspace helper — pin the behavior
+        // at this call site too.
+        use smore::metrics::nearest_rank_index;
         assert_eq!(nearest_rank_index(10, 0.9), 9);
         assert_eq!(nearest_rank_index(10, 0.5), 5);
         assert_eq!(nearest_rank_index(10, 0.25), 3);
@@ -589,6 +675,68 @@ mod tests {
         let fresh = engine.session();
         assert!(!fresh.is_personalized());
         assert_eq!(fresh.num_domains(), 3);
+    }
+
+    #[test]
+    fn journal_accounts_for_every_enrolment() {
+        use smore_obs::{EventJournal, EventKind};
+
+        let ds = shifted_dataset(7);
+        let (train, _) = split::lodo(&ds, 3).unwrap();
+        let mut engine = calibrated_engine(&ds, &train);
+        // Capacity comfortably above the event volume of this run, so
+        // nothing wraps and the tail is a complete account.
+        let journal = Arc::new(EventJournal::new(4096));
+        engine.set_journal(Arc::clone(&journal));
+        assert!(engine.journal().is_some());
+
+        let stormy = concept_drift_stream(
+            &ds,
+            &StreamConfig {
+                segments: vec![DriftSegment::plain(0, 100), drifted_segment(140)],
+                seed: 7 ^ 0xAA,
+            },
+        )
+        .unwrap();
+        let mut drifter = engine.session();
+        let mut steady = engine.session();
+        for item in &stormy {
+            drifter.ingest_labelled(&item.window, item.label).unwrap();
+        }
+        for item in stormy.iter().filter(|i| i.segment == 0) {
+            steady.ingest_labelled(&item.window, item.label).unwrap();
+        }
+        assert!(drifter.is_personalized());
+
+        let snap = journal.snapshot();
+        assert_eq!(journal.dropped(), 0, "single-threaded run must not drop");
+        assert_eq!(snap.events.len() as u64, journal.pushed(), "nothing wrapped");
+
+        // Every enrolment the engine reports appears in the journal —
+        // started, finished, and followed by a snapshot swap.
+        let enrolments = drifter.events().len() + steady.events().len();
+        assert!(enrolments > 0);
+        assert_eq!(snap.count_of(EventKind::EnrollStart), enrolments);
+        assert_eq!(snap.count_of(EventKind::EnrollFinished), enrolments);
+        assert_eq!(snap.count_of(EventKind::SnapshotSwap), enrolments);
+        assert_eq!(snap.count_of(EventKind::Personalized), 1, "only the drifter personalizes");
+        assert!(snap.count_of(EventKind::DriftFired) >= enrolments);
+        assert!(snap.count_of(EventKind::OodWindow) >= engine.config().min_enroll);
+
+        // Attribution: every enrolment event carries the drifter's id; the
+        // enrolled-window payload matches the engine's own record.
+        let finished: Vec<_> =
+            snap.events.iter().filter(|e| e.kind == EventKind::EnrollFinished).collect();
+        for (event, record) in finished.iter().zip(drifter.events()) {
+            assert_eq!(event.tenant, drifter.id() as u64);
+            assert_eq!(event.a, record.enrolled_windows as u64);
+            assert_eq!(event.step, record.step as u64);
+        }
+        // The steady tenant never journals an enrolment.
+        assert!(snap
+            .events
+            .iter()
+            .all(|e| e.kind == EventKind::OodWindow || e.tenant == drifter.id() as u64));
     }
 
     #[test]

@@ -4,9 +4,11 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use smore::{Prediction, QuantizedSmore, ServeScratch, Smore, SmoreError};
+use smore_obs::{Event, EventJournal, EventKind};
 use smore_tensor::Matrix;
 
 use crate::adapt::{AdaptationState, EnrollmentPlan};
+use crate::engine::seconds_to_nanos;
 use crate::snapshot::SnapshotHandle;
 use crate::Result;
 
@@ -175,6 +177,9 @@ pub struct StreamingSmore {
     /// The shared drift state machine (buffer, detector, step/event
     /// bookkeeping) — the same one `TenantSession` drives.
     state: AdaptationState,
+    /// Attached adaptation journal (`None` = telemetry off). Single-stream
+    /// sessions record under tenant id 0.
+    journal: Option<Arc<EventJournal>>,
 }
 
 impl StreamingSmore {
@@ -195,7 +200,22 @@ impl StreamingSmore {
             scratch: ServeScratch::new(),
             state: AdaptationState::new(config, drift_delta, next_tag),
             dense: model,
+            journal: None,
         })
+    }
+
+    /// Attaches an adaptation journal; the session records its lifecycle
+    /// (OOD windows, drift firings, enrolments, snapshot swaps) into it
+    /// under tenant id 0.
+    pub fn attach_journal(&mut self, journal: Arc<EventJournal>) {
+        self.journal = Some(journal);
+    }
+
+    /// Records one lifecycle event.
+    fn emit(&self, kind: EventKind, step: usize, a: u64, b: u64, nanos: u64) {
+        if let Some(journal) = &self.journal {
+            journal.push(Event { kind, tenant: 0, step: step as u64, a, b, nanos });
+        }
     }
 
     /// Calibrates the drift threshold from known in-distribution traffic
@@ -313,8 +333,26 @@ impl StreamingSmore {
         // is the only copy made).
         let prediction = self.handle.load().predict_window_with(window, &mut self.scratch)?.clone();
         let outcome = self.state.observe(window, &prediction, true_label);
+        if self.journal.is_some() {
+            let step = self.state.steps().saturating_sub(1);
+            if outcome.buffered {
+                self.emit(EventKind::OodWindow, step, self.state.buffered() as u64, 0, 0);
+            }
+            if outcome.drift_fired {
+                self.emit(EventKind::DriftFired, step, self.state.buffered() as u64, 0, 0);
+            }
+        }
         let adapted = match outcome.plan {
-            Some(plan) => Some(self.adapt(plan)?),
+            Some(plan) => {
+                self.emit(
+                    EventKind::EnrollStart,
+                    plan.step,
+                    plan.windows.len() as u64,
+                    plan.oracle_labelled as u64,
+                    0,
+                );
+                Some(self.adapt(plan)?)
+            }
             None => None,
         };
         Ok(StreamOutcome { prediction, buffered: outcome.buffered, adapted })
@@ -340,6 +378,15 @@ impl StreamingSmore {
         )?;
         self.handle.publish(snapshot);
         let swap_seconds = t1.elapsed().as_secs_f64();
+
+        self.emit(
+            EventKind::EnrollFinished,
+            plan.step,
+            report.samples as u64,
+            plan.oracle_labelled as u64,
+            seconds_to_nanos(report.seconds),
+        );
+        self.emit(EventKind::SnapshotSwap, plan.step, 0, 0, seconds_to_nanos(swap_seconds));
 
         let event = AdaptationEvent {
             tag: plan.tag,
