@@ -16,19 +16,30 @@
 //! encode row is the pre-optimisation recompute path, kept as a measured
 //! baseline so the win of the sliding-bind + SWAR path stays auditable.
 //!
-//! `--op <all|predict|encode|similarity|cold_start>` restricts the run to
-//! one op family (the CI smoke checks use `--op encode`, which needs no
-//! model training, and a scaled-down `--op cold_start`); partial runs do
-//! not rewrite `BENCH_throughput.json`.
+//! The **tenant-state** op measures the fleet economics of personalized
+//! tenants: resident bytes of a chained delta overlay vs the full-clone
+//! alternative, the suspended `DeltaV1` artifact size, and the lazy
+//! rehydrate latency (artifact bytes → serving session → first
+//! prediction). Full runs write those numbers to
+//! `BENCH_tenant_state.json` alongside `BENCH_throughput.json`.
+//!
+//! `--op <all|predict|encode|similarity|cold_start|tenant_state>`
+//! restricts the run to one op family (the CI smoke checks use
+//! `--op encode`, which needs no model training, plus scaled-down
+//! `--op cold_start` and `--op tenant_state`); partial runs do not
+//! rewrite either committed JSON.
 
 use std::time::Instant;
 
-use smore::{Predictor, QuantizedSmore, ServeScratch};
+use smore::{Predictor, QuantizedSmore, ServeScratch, Smore, SmoreConfig};
 use smore_bench::{make_smore, pct, predictor_accuracy, print_table, BenchProfile};
+use smore_data::generator::{generate, DomainSpec, GeneratorConfig};
 use smore_data::presets::usc_had;
 use smore_data::split;
+use smore_data::stream::{concept_drift_stream, DriftSegment, StreamConfig};
 use smore_hdc::encoder::{EncoderConfig, MultiSensorEncoder};
 use smore_packed::{EncoderScratch, PackedHypervector, PackedNgramEncoder};
+use smore_stream::{LabelStrategy, ServeEngine, StreamingConfig};
 use smore_tensor::{init, vecops, Matrix};
 
 /// One measured row of the report.
@@ -48,6 +59,7 @@ enum OpFilter {
     Encode,
     Similarity,
     ColdStart,
+    TenantState,
 }
 
 impl OpFilter {
@@ -61,10 +73,12 @@ impl OpFilter {
                     Some("encode") => Self::Encode,
                     Some("similarity") => Self::Similarity,
                     Some("cold_start") => Self::ColdStart,
+                    Some("tenant_state") => Self::TenantState,
                     Some("all") => Self::All,
                     other => {
                         eprintln!(
-                            "--op needs a value of predict|encode|similarity|cold_start|all, got {}",
+                            "--op needs a value of \
+                             predict|encode|similarity|cold_start|tenant_state|all, got {}",
                             other.map_or_else(|| "nothing".into(), |o| format!("'{o}'"))
                         );
                         std::process::exit(2);
@@ -153,6 +167,160 @@ fn cold_start_entry(quantized: &QuantizedSmore, window: &Matrix) -> Entry {
         artifact_bytes as f64 / 1024.0
     );
     Entry { op: "cold_start", backend: "packed", per_sec, p50_ms: p50, p95_ms: p95 }
+}
+
+/// Fleet tenant-state economics for one personalized tenant.
+struct TenantStateReport {
+    dim: usize,
+    /// Bytes the shared base snapshot keeps resident (paid once per
+    /// process, whatever the tenant count).
+    base_resident_bytes: usize,
+    /// Resident bytes of the tenant's chained delta overlay.
+    delta_resident_bytes: usize,
+    /// Bytes of the suspended `DeltaV1` artifact an evicted tenant costs.
+    delta_artifact_bytes: usize,
+    /// Domains the tenant enrolled during the drift stream.
+    delta_domains: usize,
+    hydrate_per_sec: f64,
+    hydrate_p50_ms: f64,
+    hydrate_p95_ms: f64,
+}
+
+impl TenantStateReport {
+    /// What the pre-delta design kept resident per personalized tenant: a
+    /// full clone of the base plus the enrolled growth.
+    fn full_clone_resident_bytes(&self) -> usize {
+        self.base_resident_bytes + self.delta_resident_bytes
+    }
+
+    /// Projected bytes for 1M tenants with 100k personalized: everyone
+    /// evicted to their archive (base-only tenants cost nothing), plus the
+    /// one shared base.
+    fn fleet_1m_gib(&self) -> f64 {
+        (100_000 * self.delta_artifact_bytes + self.base_resident_bytes) as f64
+            / (1u64 << 30) as f64
+    }
+}
+
+/// Builds a calibrated serving engine on the streaming-benchmark recipe
+/// (train on domains 0–2, domain 3 arrives mid-stream on a 1.5×-gain
+/// device), personalizes one tenant, then measures delta residency,
+/// `DeltaV1` artifact size and the suspend → rehydrate → first-prediction
+/// path. `--scale` shrinks the training budget for CI smokes.
+fn tenant_state_report(profile: &BenchProfile) -> TenantStateReport {
+    let per_domain = ((80.0 * f64::from(profile.preset.scale)).round() as usize).max(24);
+    let ds = generate(&GeneratorConfig {
+        name: "tenant-state".into(),
+        num_classes: 4,
+        channels: 3,
+        window_len: 24,
+        sample_rate_hz: 25.0,
+        domains: (0..4)
+            .map(|d| DomainSpec { subjects: vec![2 * d, 2 * d + 1], windows: per_domain })
+            .collect(),
+        shift_severity: 1.2,
+        seed: 7,
+    })
+    .expect("generator config is valid");
+    let (train, _) = split::lodo(&ds, 3).expect("dataset has domain 3");
+    let mut dense = Smore::new(
+        SmoreConfig::builder()
+            .dim(profile.dim)
+            .channels(3)
+            .num_classes(4)
+            .epochs(10)
+            .build()
+            .expect("config is valid"),
+    )
+    .expect("config is valid");
+    println!("\ntraining tenant-state engine on {} windows (d = {})...", train.len(), profile.dim);
+    dense.fit_indices(&ds, &train).expect("training succeeds");
+    let mut engine = ServeEngine::new(
+        dense,
+        StreamingConfig {
+            buffer_capacity: 128,
+            drift_window: 32,
+            drift_threshold: 0.5,
+            min_enroll: 24,
+            cooldown: 32,
+            label_strategy: LabelStrategy::Oracle,
+            ..StreamingConfig::default()
+        },
+    )
+    .expect("streaming config is valid");
+    let (calib_w, _, _) = ds.gather(&train);
+    engine.calibrate_drift_delta(&calib_w, 0.25).expect("calibration succeeds");
+
+    let items = concept_drift_stream(
+        &ds,
+        &StreamConfig {
+            segments: vec![
+                DriftSegment::plain(0, 100),
+                DriftSegment {
+                    domain: 3,
+                    windows: 140,
+                    gain_ramp: Some((1.5, 1.5)),
+                    dropout_channel: None,
+                },
+            ],
+            seed: 7 ^ 0xAA,
+        },
+    )
+    .expect("stream config is valid");
+    let mut tenant = engine.session_for(1);
+    for item in &items {
+        tenant.ingest_labelled(&item.window, item.label).expect("ingest succeeds");
+    }
+    assert!(tenant.is_personalized(), "calibrated drift stream must personalize the tenant");
+
+    let base_resident_bytes = engine.base_snapshot().storage_bytes();
+    let delta_resident_bytes = tenant.delta_storage_bytes();
+    let delta_domains = tenant.delta().map_or(0, |d| d.num_domains());
+    let probe = items.iter().find(|i| i.segment == 1).expect("stream has a drifted segment");
+    let bytes = tenant.suspend().expect("personalized tenant suspends to delta bytes");
+
+    // Lazy rehydrate, as the session store does it on a cache miss:
+    // archived bytes → chained session → first prediction.
+    let (hydrate_per_sec, latencies) = time_calls(60, || {
+        let mut session = engine.resume_session(1, &bytes).expect("delta resumes on its base");
+        let p = session.predict_window(&probe.window).expect("prediction succeeds");
+        assert!(p.label < 4);
+    });
+    let (hydrate_p50_ms, hydrate_p95_ms) = latency_percentiles(latencies);
+
+    TenantStateReport {
+        dim: profile.dim,
+        base_resident_bytes,
+        delta_resident_bytes,
+        delta_artifact_bytes: bytes.len(),
+        delta_domains,
+        hydrate_per_sec,
+        hydrate_p50_ms,
+        hydrate_p95_ms,
+    }
+}
+
+fn write_tenant_state_json(path: &str, r: &TenantStateReport) -> std::io::Result<()> {
+    let json = format!(
+        "{{\n  \"dim\": {},\n  \"base_resident_bytes\": {},\n  \
+         \"full_clone_resident_bytes\": {},\n  \"delta_resident_bytes\": {},\n  \
+         \"delta_artifact_bytes\": {},\n  \"delta_domains\": {},\n  \
+         \"clone_over_delta_ratio\": {:.2},\n  \"hydrate_per_sec\": {:.2},\n  \
+         \"hydrate_p50_ms\": {:.6},\n  \"hydrate_p95_ms\": {:.6},\n  \
+         \"fleet_1m_tenants_100k_personalized_gib\": {:.3}\n}}\n",
+        r.dim,
+        r.base_resident_bytes,
+        r.full_clone_resident_bytes(),
+        r.delta_resident_bytes,
+        r.delta_artifact_bytes,
+        r.delta_domains,
+        r.full_clone_resident_bytes() as f64 / r.delta_resident_bytes.max(1) as f64,
+        r.hydrate_per_sec,
+        r.hydrate_p50_ms,
+        r.hydrate_p95_ms,
+        r.fleet_1m_gib(),
+    );
+    std::fs::write(path, json)
 }
 
 /// Measures one encode backend over `windows`, cycling until `calls`
@@ -339,6 +507,37 @@ fn main() {
         );
     }
 
+    let tenant_state = if ops.includes(OpFilter::TenantState) {
+        let report = tenant_state_report(&profile);
+        let kib = |b: usize| format!("{:.1} KiB", b as f64 / 1024.0);
+        print_table(
+            "Tenant state: delta overlay vs full clone",
+            &["What", "Bytes"],
+            &[
+                vec!["full clone resident".into(), kib(report.full_clone_resident_bytes())],
+                vec![
+                    format!("delta resident ({} domains)", report.delta_domains),
+                    kib(report.delta_resident_bytes),
+                ],
+                vec!["delta artifact (evicted)".into(), kib(report.delta_artifact_bytes)],
+            ],
+        );
+        println!(
+            "\nhydrate (artifact -> session -> first prediction): p50 {:.3} ms, p95 {:.3} ms \
+             ({:.0}/sec)",
+            report.hydrate_p50_ms, report.hydrate_p95_ms, report.hydrate_per_sec
+        );
+        println!(
+            "fleet projection: 1M tenants, 100k personalized-and-evicted = {:.2} GiB archived \
+             (+ one {} shared base)",
+            report.fleet_1m_gib(),
+            kib(report.base_resident_bytes)
+        );
+        Some(report)
+    } else {
+        None
+    };
+
     let rows: Vec<Vec<String>> = entries
         .iter()
         .map(|e| {
@@ -359,7 +558,13 @@ fn main() {
             Ok(()) => println!("\nwrote {out}"),
             Err(e) => eprintln!("\nfailed to write {out}: {e}"),
         }
+        let out = "BENCH_tenant_state.json";
+        match write_tenant_state_json(out, tenant_state.as_ref().expect("measured on all-op runs"))
+        {
+            Ok(()) => println!("wrote {out}"),
+            Err(e) => eprintln!("failed to write {out}: {e}"),
+        }
     } else {
-        println!("\n(partial --op run: BENCH_throughput.json left untouched)");
+        println!("\n(partial --op run: committed BENCH json left untouched)");
     }
 }

@@ -72,6 +72,10 @@ pub enum ArtifactKind {
     Quantized,
     /// A fitted dense [`Smore`] (resumable for adaptation).
     Dense,
+    /// A per-tenant [`SnapshotDelta`] overlay (`DeltaV1`): only the
+    /// tenant's enrolled domains + session metadata, chained onto a
+    /// shared base at load time.
+    Delta,
 }
 
 impl ArtifactKind {
@@ -79,6 +83,7 @@ impl ArtifactKind {
         match self {
             ArtifactKind::Quantized => 1,
             ArtifactKind::Dense => 2,
+            ArtifactKind::Delta => 3,
         }
     }
 
@@ -86,6 +91,7 @@ impl ArtifactKind {
         match b {
             1 => Ok(ArtifactKind::Quantized),
             2 => Ok(ArtifactKind::Dense),
+            3 => Ok(ArtifactKind::Delta),
             other => Err(SmoreError::corrupt("header", format!("unknown artifact kind {other}"))),
         }
     }
@@ -105,6 +111,9 @@ const SEC_PACKED_CODEBOOKS_ROT: u32 = 20;
 const SEC_PACKED_SIGNATURES: u32 = 21;
 const SEC_DENSE_DESCRIPTORS: u32 = 32;
 const SEC_DOMAIN_MODELS: u32 = 33;
+const SEC_DELTA_META: u32 = 48;
+const SEC_DELTA_DOMAINS: u32 = 49;
+const SEC_DELTA_RECORDS: u32 = 50;
 
 /// Human-readable section name for error context.
 fn section_name(id: u32) -> &'static str {
@@ -122,6 +131,9 @@ fn section_name(id: u32) -> &'static str {
         SEC_PACKED_SIGNATURES => "packed_signatures",
         SEC_DENSE_DESCRIPTORS => "dense_descriptors",
         SEC_DOMAIN_MODELS => "domain_models",
+        SEC_DELTA_META => "delta_meta",
+        SEC_DELTA_DOMAINS => "delta_domains",
+        SEC_DELTA_RECORDS => "delta_records",
         _ => "unknown",
     }
 }
@@ -989,6 +1001,183 @@ fn dense_from_bytes(bytes: &[u8]) -> Result<Smore> {
             domain_tags,
         }),
     })
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotDelta (DeltaV1)
+// ---------------------------------------------------------------------------
+
+use crate::delta::{DeltaDomain, DeltaEnrollmentRecord, DeltaMeta, SnapshotDelta};
+
+fn delta_to_bytes(delta: &SnapshotDelta) -> Vec<u8> {
+    let mut meta = Payload::default();
+    meta.len_of(delta.dim);
+    meta.len_of(delta.num_classes);
+    meta.len_of(delta.base_domains);
+    meta.len_of(delta.base_tags.len());
+    for &t in &delta.base_tags {
+        meta.len_of(t);
+    }
+    meta.len_of(delta.meta.next_tag);
+    meta.len_of(delta.meta.steps);
+
+    let mut domains = Payload::default();
+    domains.len_of(delta.domains.len());
+    for domain in &delta.domains {
+        domains.len_of(domain.tag);
+        domains.words(domain.descriptor.words());
+        for class in &domain.classes {
+            domains.u8(class.num_planes() as u8);
+            for (alpha, plane) in class.planes() {
+                domains.f32(*alpha);
+                domains.words(plane.words());
+            }
+        }
+        for row in &domain.gram_rows {
+            domains.f32s(row);
+        }
+    }
+
+    let mut records = Payload::default();
+    records.len_of(delta.meta.records.len());
+    for r in &delta.meta.records {
+        records.len_of(r.tag);
+        records.len_of(r.step);
+        records.len_of(r.enrolled_windows);
+        records.len_of(r.oracle_labelled);
+        records.u64(r.enroll_nanos);
+        records.u64(r.swap_nanos);
+    }
+
+    let sections = vec![
+        (SEC_DELTA_META, meta.bytes),
+        (SEC_DELTA_DOMAINS, domains.bytes),
+        (SEC_DELTA_RECORDS, records.bytes),
+    ];
+    write_container(ArtifactKind::Delta, &sections)
+}
+
+fn delta_from_bytes(bytes: &[u8]) -> Result<SnapshotDelta> {
+    let (kind, sections) = parse_container(bytes)?;
+    if kind != ArtifactKind::Delta {
+        return Err(SmoreError::corrupt(
+            "header",
+            "artifact is not a tenant delta; quantized models load with QuantizedSmore::load, \
+             dense models with Smore::load",
+        ));
+    }
+    reject_unknown(&sections, &[SEC_DELTA_META, SEC_DELTA_DOMAINS, SEC_DELTA_RECORDS])?;
+
+    let mut c = require(&sections, SEC_DELTA_META)?;
+    let dim = c.len("dim")?;
+    let num_classes = c.len("num_classes")?;
+    let base_domains = c.len("base_domains")?;
+    if dim == 0 || num_classes == 0 || base_domains < 2 {
+        return Err(c.corrupt(format!(
+            "delta over dim={dim}, classes={num_classes}, K={base_domains}; SMORE serves \
+             dim >= 1, classes >= 1, K >= 2"
+        )));
+    }
+    let n_tags = c.count("base tag", 8)?;
+    if n_tags != base_domains {
+        return Err(c.corrupt(format!("{n_tags} base tags for {base_domains} base domains")));
+    }
+    let base_tags: Vec<usize> =
+        (0..n_tags).map(|_| c.len("base tag value")).collect::<Result<_>>()?;
+    let next_tag = c.len("next_tag")?;
+    let steps = c.len("steps")?;
+    c.finish()?;
+
+    // Delta domains: each carries at least its tag, its packed descriptor
+    // and one plane-count byte per class — bounding the count (and every
+    // allocation sized by it) by the payload length.
+    let words_per = smore_packed::words_for(dim);
+    let mut c = require(&sections, SEC_DELTA_DOMAINS)?;
+    let num_domains = c.count("delta domain", 8 + words_per * 8 + num_classes)?;
+    let mut domains: Vec<DeltaDomain> = Vec::with_capacity(num_domains);
+    for i in 0..num_domains {
+        let tag = c.len("tag")?;
+        if base_tags.contains(&tag) || domains.iter().any(|d| d.tag == tag) {
+            return Err(c.corrupt(format!("duplicate domain tag {tag}")));
+        }
+        let descriptor = PackedHypervector::from_words(dim, c.words(words_per)?)
+            .map_err(|e| c.corrupt(e.to_string()))?;
+        let mut classes = Vec::with_capacity(num_classes);
+        for _ in 0..num_classes {
+            let planes = c.u8()? as usize;
+            if planes == 0 {
+                return Err(c.corrupt("class hypervector with zero residual planes"));
+            }
+            let planes = (0..planes)
+                .map(|_| {
+                    let alpha = c.f32()?;
+                    let words = c.words(words_per)?;
+                    let plane = PackedHypervector::from_words(dim, words)
+                        .map_err(|e| c.corrupt(e.to_string()))?;
+                    Ok((alpha, plane))
+                })
+                .collect::<Result<Vec<_>>>()?;
+            classes
+                .push(ResidualPacked::from_planes(planes).map_err(|e| c.corrupt(e.to_string()))?);
+        }
+        // Growth row `i` holds one dot per earlier domain (base + prior
+        // deltas) plus the self-dot.
+        let row_len = base_domains + i + 1;
+        let gram_rows =
+            (0..num_classes).map(|_| c.f32s(row_len)).collect::<Result<Vec<Vec<f32>>>>()?;
+        domains.push(DeltaDomain { tag, classes, descriptor, gram_rows });
+    }
+    c.finish()?;
+
+    let mut c = require(&sections, SEC_DELTA_RECORDS)?;
+    let n_records = c.count("enrolment record", 48)?;
+    let records = (0..n_records)
+        .map(|_| {
+            Ok(DeltaEnrollmentRecord {
+                tag: c.len("record tag")?,
+                step: c.len("record step")?,
+                enrolled_windows: c.len("record windows")?,
+                oracle_labelled: c.len("record oracle count")?,
+                enroll_nanos: c.u64()?,
+                swap_nanos: c.u64()?,
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    c.finish()?;
+
+    Ok(SnapshotDelta {
+        base_domains,
+        dim,
+        num_classes,
+        base_tags,
+        domains,
+        meta: DeltaMeta { next_tag, steps, records },
+    })
+}
+
+impl SnapshotDelta {
+    /// Serializes the delta to `DeltaV1` `.smore` artifact bytes — the
+    /// tiny per-tenant artifact the eviction layer archives. The encoding
+    /// is canonical: the same delta always produces the same bytes.
+    pub fn to_artifact_bytes(&self) -> Vec<u8> {
+        delta_to_bytes(self)
+    }
+
+    /// Reconstructs a delta from `DeltaV1` artifact bytes. Chaining the
+    /// result onto the base it was built over (validated by
+    /// [`SnapshotDelta::matches_base`] /
+    /// [`crate::DeltaSmore::new`]) serves **bit-identically** to the
+    /// delta that was saved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmoreError::CorruptArtifact`] for anything other than a
+    /// well-formed delta artifact of the supported [`FORMAT_VERSION`] —
+    /// wrong magic or kind, checksum mismatches, truncation, unknown or
+    /// duplicate sections, or payloads that decode inconsistently.
+    pub fn from_artifact_bytes(bytes: &[u8]) -> Result<Self> {
+        delta_from_bytes(bytes)
+    }
 }
 
 impl Smore {

@@ -1,0 +1,620 @@
+//! Compact per-tenant snapshot deltas and the chained base+delta scorer.
+//!
+//! Copy-on-adapt personalization (PR 5) cloned the whole shared
+//! [`QuantizedSmore`] per drifting tenant — ~480 KiB each, dominated by
+//! the encoder codebooks and base class planes the clone shares with
+//! every other tenant anyway. At the ROADMAP's million-tenant scale that
+//! is ~half a terabyte of duplicated state.
+//!
+//! A [`SnapshotDelta`] stores only what a tenant actually *adds* to the
+//! base: per enrolled domain, the residual-binarized class planes, the
+//! sign-packed descriptor, and the Gram *growth* — the new row of dots
+//! each enrolment appends to every per-class Gram matrix. [`DeltaSmore`]
+//! then serves base + delta chained, without ever materialising the
+//! combined model:
+//!
+//! - descriptor similarities walk the base descriptors then the delta
+//!   descriptors, in enrolment order — the exact sequence the full clone
+//!   holds after the same enrolments;
+//! - the Eq. 3 class score needs `dot(Q, C_k)` per domain (base planes
+//!   come from the shared model, delta planes from the overlay) and the
+//!   ensemble norm `Σ w_j w_m ⟨C_j, C_m⟩`, whose Gram entries route to
+//!   the base matrix when both domains are base domains and to the later
+//!   domain's stored growth row otherwise.
+//!
+//! Every floating-point operation happens in the same order on the same
+//! values as the full-clone path, so chained predictions are **bit-exact**
+//! with it (property-tested in `tests/proptests.rs`).
+//!
+//! Deltas also persist: [`SnapshotDelta::to_artifact_bytes`] writes a
+//! `DeltaV1` `.smore` container (see [`crate::artifact`]) a few KiB in
+//! size — including the enrolment history ([`DeltaMeta`]) a rehydrated
+//! session needs to keep seeding repeat enrolments correctly — which is
+//! what lets `smore_stream`'s eviction layer park an idle personalized
+//! tenant for ~3 orders of magnitude less memory than a resident clone.
+
+use std::time::Instant;
+
+use smore_hdc::model::HdcClassifier;
+use smore_packed::{PackedHypervector, ResidualPacked};
+use smore_tensor::{parallel, vecops, Matrix};
+
+use crate::ood::{OodDetector, OodVerdict};
+use crate::predictor::{empty_prediction, Predictor, ServeScratch};
+use crate::quantized::{clamped_nanos, recover_cosine, CLASS_PLANES};
+use crate::smore_model::{EvalReport, Prediction};
+use crate::test_time::ensemble_weights_into;
+use crate::{QuantizedSmore, Result, SmoreError};
+
+/// One enrolment a tenant performed, as persisted in a `DeltaV1`
+/// artifact. Mirrors `smore_stream`'s `AdaptationEvent` with durations in
+/// integer nanoseconds (the artifact stores no floats it does not have
+/// to), so an evicted-then-rehydrated session keeps its full history.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaEnrollmentRecord {
+    /// The domain tag this enrolment created.
+    pub tag: usize,
+    /// Stream step at which the enrolment fired.
+    pub step: usize,
+    /// Windows trained into the new domain.
+    pub enrolled_windows: usize,
+    /// How many of them carried oracle labels.
+    pub oracle_labelled: usize,
+    /// Wall time of the model build, in nanoseconds.
+    pub enroll_nanos: u64,
+    /// Wall time of the snapshot append/swap, in nanoseconds.
+    pub swap_nanos: u64,
+}
+
+/// Session metadata carried by a delta so rehydration resumes adaptation
+/// where eviction paused it: the tag counter, the step counter and the
+/// enrolment history (which seeds repeat enrolments).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaMeta {
+    /// The next domain tag this tenant would enrol under.
+    pub next_tag: usize,
+    /// Total windows the tenant had ingested at suspend time.
+    pub steps: usize,
+    /// Every enrolment performed so far, in stream order.
+    pub records: Vec<DeltaEnrollmentRecord>,
+}
+
+/// One enrolled domain's contribution on top of the base model.
+#[derive(Debug, Clone)]
+pub struct DeltaDomain {
+    pub(crate) tag: usize,
+    /// Residual-binarized class hypervectors, one per class.
+    pub(crate) classes: Vec<ResidualPacked>,
+    /// The sign-packed domain descriptor `U`.
+    pub(crate) descriptor: PackedHypervector,
+    /// Per class, this domain's Gram growth row: `⟨C_j, C_new⟩` for every
+    /// earlier domain `j` (base first, then prior delta domains, in
+    /// order) followed by the self-dot — exactly the dots the full-clone
+    /// `enroll_domain` computes, in the same order.
+    pub(crate) gram_rows: Vec<Vec<f32>>,
+}
+
+impl DeltaDomain {
+    /// The external tag this domain was enrolled under.
+    pub fn tag(&self) -> usize {
+        self.tag
+    }
+}
+
+/// A tenant's personal state as a compact overlay on a shared base
+/// [`QuantizedSmore`] (see the [module docs](self)).
+#[derive(Debug, Clone)]
+pub struct SnapshotDelta {
+    /// Shape of the base this delta extends, pinned at creation so a
+    /// delta can never be chained onto the wrong base.
+    pub(crate) base_domains: usize,
+    pub(crate) dim: usize,
+    pub(crate) num_classes: usize,
+    pub(crate) base_tags: Vec<usize>,
+    pub(crate) domains: Vec<DeltaDomain>,
+    /// Session metadata persisted alongside the model state.
+    pub meta: DeltaMeta,
+}
+
+impl SnapshotDelta {
+    /// An empty delta pinned to `base`'s shape.
+    pub fn new(base: &QuantizedSmore) -> Self {
+        Self {
+            base_domains: base.domain_classes.len(),
+            dim: base.config.dim,
+            num_classes: base.config.num_classes,
+            base_tags: base.domain_tags.clone(),
+            domains: Vec::new(),
+            meta: DeltaMeta::default(),
+        }
+    }
+
+    /// Enrolled delta domains (excluding the base's).
+    pub fn num_domains(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Whether no domain has been enrolled yet.
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// Tags of the enrolled delta domains, in enrolment order.
+    pub fn tags(&self) -> impl Iterator<Item = usize> + '_ {
+        self.domains.iter().map(|d| d.tag)
+    }
+
+    /// Verifies this delta extends exactly `base` (same shape and base
+    /// tags) — chaining a delta onto a different base would silently
+    /// misscore every window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmoreError::InvalidConfig`] on any mismatch.
+    pub fn matches_base(&self, base: &QuantizedSmore) -> Result<()> {
+        if self.base_domains != base.domain_classes.len()
+            || self.dim != base.config.dim
+            || self.num_classes != base.config.num_classes
+            || self.base_tags != base.domain_tags
+        {
+            return Err(SmoreError::InvalidConfig {
+                what: format!(
+                    "delta built over base (K={}, dim={}, classes={}) cannot chain onto base \
+                     (K={}, dim={}, classes={})",
+                    self.base_domains,
+                    self.dim,
+                    self.num_classes,
+                    base.domain_classes.len(),
+                    base.config.dim,
+                    base.config.num_classes
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Appends a freshly enrolled domain — the delta analog of
+    /// [`QuantizedSmore::enroll_domain`]. The class hypervectors are
+    /// residual-binarized with the same plane count, the descriptor is
+    /// sign-packed, and the Gram growth row is computed with the exact
+    /// dots (in the exact order) the full-clone growth performs, so
+    /// chained scoring stays bit-exact with it. On error the delta is
+    /// unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmoreError::InvalidConfig`] when the model shape or
+    /// descriptor dimension disagrees with the base, the tag is already
+    /// enrolled (in base or delta), or the delta does not extend `base`.
+    pub fn enroll_domain(
+        &mut self,
+        base: &QuantizedSmore,
+        model: &HdcClassifier,
+        descriptor: &[f32],
+        tag: usize,
+    ) -> Result<()> {
+        self.matches_base(base)?;
+        if model.dim() != self.dim || model.num_classes() != self.num_classes {
+            return Err(SmoreError::InvalidConfig {
+                what: format!(
+                    "enrolled model shape ({}, {}) disagrees with quantized model ({}, {})",
+                    model.num_classes(),
+                    model.dim(),
+                    self.num_classes,
+                    self.dim
+                ),
+            });
+        }
+        if descriptor.len() != self.dim {
+            return Err(SmoreError::InvalidConfig {
+                what: format!(
+                    "descriptor dimension {} disagrees with quantized dim {}",
+                    descriptor.len(),
+                    self.dim
+                ),
+            });
+        }
+        if self.base_tags.contains(&tag) || self.domains.iter().any(|d| d.tag == tag) {
+            return Err(SmoreError::InvalidConfig {
+                what: format!("domain tag {tag} is already enrolled"),
+            });
+        }
+        let new_classes = model
+            .class_hypervectors()
+            .iter_rows()
+            .map(|row| ResidualPacked::from_dense(row, CLASS_PLANES))
+            .collect::<smore_packed::Result<Vec<_>>>()?;
+        let mut gram_rows = Vec::with_capacity(self.num_classes);
+        for (c, new_class) in new_classes.iter().enumerate() {
+            let mut row = Vec::with_capacity(self.base_domains + self.domains.len() + 1);
+            for j in 0..self.base_domains {
+                row.push(base.domain_classes[j][c].dot(new_class)?);
+            }
+            for earlier in &self.domains {
+                row.push(earlier.classes[c].dot(new_class)?);
+            }
+            row.push(new_class.dot(new_class)?);
+            gram_rows.push(row);
+        }
+        self.domains.push(DeltaDomain {
+            tag,
+            classes: new_classes,
+            descriptor: PackedHypervector::from_signs(descriptor),
+            gram_rows,
+        });
+        Ok(())
+    }
+
+    /// Bytes this delta holds resident: packed class planes, descriptors,
+    /// Gram growth rows, tags and enrolment records. This is the number
+    /// the eviction layer budgets against — it excludes everything shared
+    /// with the base.
+    pub fn storage_bytes(&self) -> usize {
+        self.domains
+            .iter()
+            .map(|d| {
+                d.classes.iter().map(ResidualPacked::storage_bytes).sum::<usize>()
+                    + d.descriptor.storage_bytes()
+                    + d.gram_rows
+                        .iter()
+                        .map(|r| r.len() * std::mem::size_of::<f32>())
+                        .sum::<usize>()
+                    + std::mem::size_of::<usize>()
+            })
+            .sum::<usize>()
+            + self.base_tags.len() * std::mem::size_of::<usize>()
+            + self.meta.records.len() * std::mem::size_of::<DeltaEnrollmentRecord>()
+    }
+
+    /// Rebuilds approximate dense classifiers for the enrolled domains
+    /// from their residual planes — what a rehydrated session hands to
+    /// [`crate::Smore::prepare_domain`] so *repeat* enrolments keep
+    /// seeding from the tenant's earlier domains. The reconstruction is
+    /// the residual planes' dense sum: exact up to the quantization the
+    /// planes already applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmoreError::InvalidConfig`] when a stored plane set does
+    /// not reassemble into a `(num_classes, dim)` classifier.
+    pub fn dense_models(&self, learning_rate: f32, epochs: usize) -> Result<Vec<HdcClassifier>> {
+        self.domains
+            .iter()
+            .map(|domain| {
+                let mut data = Vec::with_capacity(self.num_classes * self.dim);
+                for class in &domain.classes {
+                    data.extend_from_slice(class.to_dense().as_slice());
+                }
+                let hvs = Matrix::from_vec(self.num_classes, self.dim, data)
+                    .map_err(|e| SmoreError::InvalidConfig { what: e.to_string() })?;
+                HdcClassifier::from_class_hypervectors_with(hvs, learning_rate, epochs)
+                    .map_err(|e| SmoreError::InvalidConfig { what: e.to_string() })
+            })
+            .collect()
+    }
+}
+
+/// The chained base+delta serving view: scores exactly like the full
+/// clone the delta replaces, while borrowing both halves (see the
+/// [module docs](self)).
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaSmore<'a> {
+    base: &'a QuantizedSmore,
+    delta: &'a SnapshotDelta,
+}
+
+impl<'a> DeltaSmore<'a> {
+    /// Chains `delta` over `base`, validating that the delta was built
+    /// for exactly this base.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmoreError::InvalidConfig`] when the delta's pinned base
+    /// shape or tags disagree with `base`.
+    pub fn new(base: &'a QuantizedSmore, delta: &'a SnapshotDelta) -> Result<Self> {
+        delta.matches_base(base)?;
+        Ok(Self { base, delta })
+    }
+
+    /// Total domains served: base `K` plus the delta's.
+    pub fn num_domains(&self) -> usize {
+        self.base.domain_classes.len() + self.delta.domains.len()
+    }
+
+    /// External tag of the domain at chained index `index` (base domains
+    /// first, then delta domains in enrolment order).
+    fn domain_tag(&self, index: usize) -> usize {
+        let base_k = self.delta.base_domains;
+        if index < base_k {
+            self.base.domain_tags[index]
+        } else {
+            self.delta.domains[index - base_k].tag
+        }
+    }
+
+    /// Gram entry `⟨C_j, C_m⟩` for class `class` over the chained domain
+    /// indexing: both-base entries come from the base matrix (copied
+    /// verbatim by the full-clone growth, so the values are identical);
+    /// any entry involving a delta domain comes from the *later* domain's
+    /// stored growth row.
+    fn gram(&self, class: usize, j: usize, m: usize) -> f32 {
+        let base_k = self.delta.base_domains;
+        let (lo, hi) = if j <= m { (j, m) } else { (m, j) };
+        if hi < base_k {
+            self.base.class_gram[class][j * base_k + m]
+        } else {
+            self.delta.domains[hi - base_k].gram_rows[class][lo]
+        }
+    }
+
+    /// Chained [`QuantizedSmore::prepare_query`] twin: one shared encode,
+    /// then descriptor similarities over base descriptors followed by
+    /// delta descriptors — the order the full clone holds them in.
+    fn prepare_query(&self, window: &Matrix, scratch: &mut ServeScratch) -> Result<OodVerdict> {
+        let encode_start = Instant::now();
+        self.base.encode_query_into(window, scratch)?;
+        scratch.timings.encode_nanos = clamped_nanos(encode_start.elapsed());
+        scratch.sims.clear();
+        let delta_descriptors = self.delta.domains.iter().map(|d| &d.descriptor);
+        for u in self.base.descriptors.iter().chain(delta_descriptors) {
+            let sim =
+                scratch.query.similarity(u).expect("descriptor dimension fixed at quantize time");
+            scratch.sims.push(recover_cosine(sim));
+        }
+        let verdict = OodDetector::new(self.base.config.delta_star).decide(&scratch.sims);
+        ensemble_weights_into(
+            &scratch.sims,
+            verdict.is_ood,
+            self.base.config.delta_star,
+            self.base.config.weight_power,
+            &mut scratch.weights,
+        );
+        Ok(verdict)
+    }
+
+    /// Chained Eq. 3 scoring — the same accumulations in the same order
+    /// as the full clone's `class_scores_into`, with class planes and
+    /// Gram entries routed to whichever half owns them.
+    fn class_scores_into(&self, query: &PackedHypervector, weights: &[f32], scores: &mut Vec<f32>) {
+        let base_k = self.delta.base_domains;
+        let k = base_k + self.delta.domains.len();
+        let q_norm = (self.base.config.dim as f32).sqrt();
+        scores.clear();
+        for class in 0..self.base.config.num_classes {
+            let mut dot_sum = 0.0f32;
+            for (j, &w) in weights.iter().take(k).enumerate() {
+                if w > 0.0 {
+                    let plane = if j < base_k {
+                        &self.base.domain_classes[j][class]
+                    } else {
+                        &self.delta.domains[j - base_k].classes[class]
+                    };
+                    let dot =
+                        plane.dot_packed(query).expect("query dimension fixed at quantize time");
+                    dot_sum += w * dot;
+                }
+            }
+            let mut norm_sq = 0.0f32;
+            for (j, &wj) in weights.iter().take(k).enumerate() {
+                if wj <= 0.0 {
+                    continue;
+                }
+                for (m, &wm) in weights.iter().take(k).enumerate() {
+                    if wm > 0.0 {
+                        norm_sq += wj * wm * self.gram(class, j, m);
+                    }
+                }
+            }
+            scores.push(if norm_sq > 0.0 { dot_sum / (norm_sq.sqrt() * q_norm) } else { 0.0 });
+        }
+    }
+
+    /// Per-class ensemble scores for one window — the chained analog of
+    /// [`QuantizedSmore::score_into`], bit-exact with the full clone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoder errors for malformed windows.
+    pub fn score_into(
+        &self,
+        window: &Matrix,
+        scratch: &mut ServeScratch,
+        scores: &mut Vec<f32>,
+    ) -> Result<()> {
+        self.prepare_query(window, scratch)?;
+        self.class_scores_into(&scratch.query, &scratch.weights, scores);
+        Ok(())
+    }
+
+    /// Predicts one window through caller-owned scratch — Algorithm 1
+    /// chained over base + delta, bit-exact with the full-clone snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoder errors for malformed windows.
+    pub fn predict_window_with<'s>(
+        &self,
+        window: &Matrix,
+        scratch: &'s mut ServeScratch,
+    ) -> Result<&'s Prediction> {
+        let total_start = Instant::now();
+        let verdict = self.prepare_query(window, scratch)?;
+        let ServeScratch { query, weights, scores, .. } = &mut *scratch;
+        self.class_scores_into(query, weights, scores);
+        let best_label = vecops::argmax(scores).unwrap_or(0);
+        scratch.timings.score_nanos =
+            clamped_nanos(total_start.elapsed()).saturating_sub(scratch.timings.encode_nanos);
+
+        let prediction = &mut scratch.prediction;
+        prediction.label = best_label;
+        prediction.is_ood = verdict.is_ood;
+        prediction.delta_max = verdict.delta_max;
+        prediction.best_domain = self.domain_tag(verdict.best_domain);
+        prediction.domain_similarities.clear();
+        prediction.domain_similarities.extend_from_slice(&scratch.sims);
+        Ok(&scratch.prediction)
+    }
+
+    /// Predicts one window — the allocating convenience wrapper.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoder errors for malformed windows.
+    pub fn predict_window(&self, window: &Matrix) -> Result<Prediction> {
+        let mut scratch = ServeScratch::new();
+        Ok(self.predict_window_with(window, &mut scratch)?.clone())
+    }
+
+    /// Thread-parallel batch prediction, chunked exactly like
+    /// [`QuantizedSmore::predict_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoder errors for malformed windows.
+    pub fn predict_batch(&self, windows: &[Matrix]) -> Result<Vec<Prediction>> {
+        let mut out: Vec<Result<Prediction>> =
+            (0..windows.len()).map(|_| Ok(empty_prediction())).collect();
+        parallel::par_chunks_indexed(&mut out, self.base.config.threads, |start, chunk| {
+            let mut scratch = ServeScratch::new();
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                *slot = self.predict_window_with(&windows[start + i], &mut scratch).cloned();
+            }
+        });
+        out.into_iter().collect()
+    }
+
+    /// Predicts and scores a labelled evaluation set.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`predict_batch`](Self::predict_batch), plus
+    /// [`SmoreError::InvalidConfig`] for mismatched label counts.
+    pub fn evaluate(&self, windows: &[Matrix], labels: &[usize]) -> Result<EvalReport> {
+        if windows.len() != labels.len() || windows.is_empty() {
+            return Err(SmoreError::InvalidConfig {
+                what: format!("{} windows but {} labels", windows.len(), labels.len()),
+            });
+        }
+        let t0 = Instant::now();
+        let predictions = self.predict_batch(windows)?;
+        let infer_seconds = t0.elapsed().as_secs_f64();
+        let correct = predictions.iter().zip(labels).filter(|(p, &l)| p.label == l).count();
+        let ood = predictions.iter().filter(|p| p.is_ood).count();
+        Ok(EvalReport {
+            accuracy: correct as f32 / windows.len() as f32,
+            samples: windows.len(),
+            ood_fraction: ood as f32 / windows.len() as f32,
+            infer_seconds,
+        })
+    }
+}
+
+impl Predictor for DeltaSmore<'_> {
+    fn num_classes(&self) -> usize {
+        self.base.config.num_classes
+    }
+
+    fn predict_window_with<'s>(
+        &self,
+        window: &Matrix,
+        scratch: &'s mut ServeScratch,
+    ) -> Result<&'s Prediction> {
+        DeltaSmore::predict_window_with(self, window, scratch)
+    }
+
+    fn score_into(
+        &self,
+        window: &Matrix,
+        scratch: &mut ServeScratch,
+        scores: &mut Vec<f32>,
+    ) -> Result<()> {
+        DeltaSmore::score_into(self, window, scratch, scores)
+    }
+
+    fn predict_window(&self, window: &Matrix) -> Result<Prediction> {
+        DeltaSmore::predict_window(self, window)
+    }
+
+    fn predict_batch(&self, windows: &[Matrix]) -> Result<Vec<Prediction>> {
+        DeltaSmore::predict_batch(self, windows)
+    }
+}
+
+/// What a tenant currently serves from: the shared base directly, or the
+/// base chained with the tenant's personal delta. Borrowed per call, so
+/// holding one never clones model state.
+#[derive(Debug, Clone, Copy)]
+pub enum ServingModel<'a> {
+    /// The shared base snapshot (tenant never personalized).
+    Base(&'a QuantizedSmore),
+    /// Base + personal delta, scored chained.
+    Chained(DeltaSmore<'a>),
+}
+
+impl ServingModel<'_> {
+    /// Domains this view serves (base `K`, plus the delta's if chained).
+    pub fn num_domains(&self) -> usize {
+        match self {
+            ServingModel::Base(base) => base.num_domains(),
+            ServingModel::Chained(chained) => chained.num_domains(),
+        }
+    }
+
+    /// Predicts and scores a labelled evaluation set.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QuantizedSmore::evaluate`].
+    pub fn evaluate(&self, windows: &[Matrix], labels: &[usize]) -> Result<EvalReport> {
+        match self {
+            ServingModel::Base(base) => base.evaluate(windows, labels),
+            ServingModel::Chained(chained) => chained.evaluate(windows, labels),
+        }
+    }
+}
+
+impl Predictor for ServingModel<'_> {
+    fn num_classes(&self) -> usize {
+        match self {
+            ServingModel::Base(base) => base.config.num_classes,
+            ServingModel::Chained(chained) => chained.num_classes(),
+        }
+    }
+
+    fn predict_window_with<'s>(
+        &self,
+        window: &Matrix,
+        scratch: &'s mut ServeScratch,
+    ) -> Result<&'s Prediction> {
+        match self {
+            ServingModel::Base(base) => base.predict_window_with(window, scratch),
+            ServingModel::Chained(chained) => chained.predict_window_with(window, scratch),
+        }
+    }
+
+    fn score_into(
+        &self,
+        window: &Matrix,
+        scratch: &mut ServeScratch,
+        scores: &mut Vec<f32>,
+    ) -> Result<()> {
+        match self {
+            ServingModel::Base(base) => base.score_into(window, scratch, scores),
+            ServingModel::Chained(chained) => chained.score_into(window, scratch, scores),
+        }
+    }
+
+    fn predict_window(&self, window: &Matrix) -> Result<Prediction> {
+        match self {
+            ServingModel::Base(base) => base.predict_window(window),
+            ServingModel::Chained(chained) => chained.predict_window(window),
+        }
+    }
+
+    fn predict_batch(&self, windows: &[Matrix]) -> Result<Vec<Prediction>> {
+        match self {
+            ServingModel::Base(base) => base.predict_batch(windows),
+            ServingModel::Chained(chained) => chained.predict_batch(windows),
+        }
+    }
+}

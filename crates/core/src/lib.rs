@@ -82,6 +82,7 @@
 pub mod artifact;
 mod centering;
 mod config;
+pub mod delta;
 pub mod descriptor;
 mod error;
 pub mod metrics;
@@ -95,6 +96,7 @@ pub mod wire;
 
 pub use centering::Centerer;
 pub use config::{DomainInit, RangeMode, SmoreConfig, SmoreConfigBuilder};
+pub use delta::{DeltaEnrollmentRecord, DeltaMeta, DeltaSmore, ServingModel, SnapshotDelta};
 pub use error::SmoreError;
 pub use predictor::{PredictTimings, Predictor, ServeScratch};
 pub use quantized::QuantizedSmore;

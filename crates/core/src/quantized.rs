@@ -62,7 +62,7 @@ pub fn recover_cosine(packed_sim: f32) -> f32 {
 }
 
 /// Duration → whole nanoseconds, saturating at `u64::MAX` (584 years).
-fn clamped_nanos(d: std::time::Duration) -> u64 {
+pub(crate) fn clamped_nanos(d: std::time::Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
@@ -128,7 +128,7 @@ pub struct QuantizedSmore {
 /// Sign planes per class hypervector: 3 bits/dim keeps the ensemble vote
 /// margins that pure sign quantization discards, while staying >10× below
 /// the dense `f32` footprint and fully inside popcount arithmetic.
-const CLASS_PLANES: usize = 3;
+pub(crate) const CLASS_PLANES: usize = 3;
 
 impl QuantizedSmore {
     pub(crate) fn from_fitted(
@@ -309,7 +309,11 @@ impl QuantizedSmore {
     /// The bit at dimension `i` is the sign of `acc_i − μ_i·‖acc‖` — the
     /// exact sign the dense pipeline computes after scaling, encoding,
     /// centring and normalising, obtained without any dense encode.
-    fn encode_query_into(&self, window: &Matrix, scratch: &mut ServeScratch) -> Result<()> {
+    pub(crate) fn encode_query_into(
+        &self,
+        window: &Matrix,
+        scratch: &mut ServeScratch,
+    ) -> Result<()> {
         self.scaler.apply_into(window, &mut scratch.scaled);
         self.encoder.encode_counts_into(&scratch.scaled, &mut scratch.encoder)?;
         let counts = scratch.encoder.counts();

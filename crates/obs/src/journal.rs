@@ -49,6 +49,15 @@ pub enum EventKind {
     Personalized = 6,
     /// A request was shed by admission control. `a` = shard index.
     OverloadShed = 7,
+    /// A resident tenant session was evicted by the LRU layer.
+    /// `a` = delta bytes archived (0 when the session held no personal
+    /// state and was simply dropped), `b` = resident sessions after the
+    /// eviction, `nanos` = wall time of the delta serialization.
+    SessionEvicted = 8,
+    /// An evicted tenant's session was rehydrated from its archived
+    /// delta on its next request. `a` = delta bytes read, `b` = enrolled
+    /// delta domains restored, `nanos` = wall time of the rehydration.
+    SessionHydrated = 9,
 }
 
 impl EventKind {
@@ -63,6 +72,8 @@ impl EventKind {
             5 => EventKind::SnapshotSwap,
             6 => EventKind::Personalized,
             7 => EventKind::OverloadShed,
+            8 => EventKind::SessionEvicted,
+            9 => EventKind::SessionHydrated,
             _ => return None,
         })
     }
@@ -78,6 +89,8 @@ impl EventKind {
             EventKind::SnapshotSwap => "snapshot_swap",
             EventKind::Personalized => "personalized",
             EventKind::OverloadShed => "overload_shed",
+            EventKind::SessionEvicted => "session_evicted",
+            EventKind::SessionHydrated => "session_hydrated",
         }
     }
 }

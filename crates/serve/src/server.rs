@@ -16,9 +16,16 @@
 //! ```
 //!
 //! - **Sharding.** Every tenant id hashes to exactly one worker, so that
-//!   tenant's [`TenantSession`] — OOD buffer, drift detector, serve
-//!   scratch, personal snapshot — lives on one thread for its whole
-//!   lifetime: core-local state, no locks, no cross-thread migration.
+//!   tenant's [`TenantSession`](smore_stream::TenantSession) — OOD
+//!   buffer, drift detector, serve scratch, personal delta — lives on one
+//!   thread for its whole lifetime: core-local state, no locks, no
+//!   cross-thread migration.
+//! - **Bounded residency.** Each worker keeps its sessions in a
+//!   [`SessionStore`] capped by [`ServeConfig::max_sessions_per_shard`]
+//!   and [`ServeConfig::max_delta_bytes_per_shard`]: least-recently-used
+//!   tenants are evicted — personalized ones suspend to compact `DeltaV1`
+//!   delta artifacts — and lazily rehydrated on their next request. A
+//!   tenant-id scan can no longer grow a worker's memory without bound.
 //! - **Coalescing.** A worker drains its queue into a micro-batch (flush
 //!   on [`ServeConfig::batch_max`] or [`ServeConfig::batch_deadline`]).
 //!   Predict requests for tenants still serving the *shared base
@@ -37,7 +44,6 @@
 //!   — and every other tenant — keeps serving through all of them.
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -49,7 +55,7 @@ use std::time::{Duration, Instant};
 
 use smore::{ServeScratch, SmoreError};
 use smore_obs::{debug, Event, EventJournal, EventKind, Stage, StageSet, StatsSnapshot};
-use smore_stream::{ServeEngine, TenantSession};
+use smore_stream::{ServeEngine, SessionStore};
 use smore_tensor::Matrix;
 
 use crate::protocol::{
@@ -81,6 +87,14 @@ pub struct ServeConfig {
     /// Micro-batch flush deadline: how long a worker waits for more
     /// requests after the first one before serving a short batch.
     pub batch_deadline: Duration,
+    /// Resident [`TenantSession`](smore_stream::TenantSession)s each
+    /// worker keeps before LRU-evicting — the bound that fixes the old
+    /// grow-forever session map.
+    pub max_sessions_per_shard: usize,
+    /// Resident personalized-state bytes each worker keeps before
+    /// LRU-evicting (evicted tenants park as compact delta artifacts and
+    /// rehydrate on their next request).
+    pub max_delta_bytes_per_shard: usize,
 }
 
 impl Default for ServeConfig {
@@ -91,6 +105,8 @@ impl Default for ServeConfig {
             queue_capacity: 256,
             batch_max: 32,
             batch_deadline: Duration::from_micros(500),
+            max_sessions_per_shard: 4096,
+            max_delta_bytes_per_shard: 64 << 20,
         }
     }
 }
@@ -103,6 +119,11 @@ impl ServeConfig {
                     "workers ({}), queue_capacity ({}) and batch_max ({}) must all be >= 1",
                     self.workers, self.queue_capacity, self.batch_max
                 ),
+            });
+        }
+        if self.max_sessions_per_shard == 0 {
+            return Err(SmoreError::InvalidConfig {
+                what: "max_sessions_per_shard must be >= 1".into(),
             });
         }
         Ok(())
@@ -129,6 +150,10 @@ pub struct ServerMetrics {
     pub connections: AtomicU64,
     /// Telemetry scrapes answered.
     pub stats_requests: AtomicU64,
+    /// Resident sessions evicted by the per-shard LRU layer.
+    pub sessions_evicted: AtomicU64,
+    /// Evicted sessions rehydrated from their archived deltas.
+    pub sessions_hydrated: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -463,10 +488,18 @@ fn worker_loop(
     shard: usize,
     stop: Arc<AtomicBool>,
 ) {
-    let mut sessions: HashMap<u64, TenantSession> = HashMap::new();
+    let mut sessions = SessionStore::new(
+        Arc::clone(&engine),
+        config.max_sessions_per_shard,
+        config.max_delta_bytes_per_shard,
+    )
+    .expect("serve() validated the session caps");
     let mut scratch = ServeScratch::new();
     let mut batch: Vec<Job> = Vec::with_capacity(config.batch_max);
     let stages = &telemetry.shards[shard];
+    // Store counters are cumulative; the worker forwards per-batch diffs
+    // into the server-wide monotone metrics.
+    let (mut seen_evictions, mut seen_hydrations) = (0u64, 0u64);
     let dequeue = |stages: &StageSet, mut job: Job| -> Job {
         stages.record(Stage::QueueWait, nanos_of(job.accepted.elapsed()));
         job.dequeued = Instant::now();
@@ -505,14 +538,24 @@ fn worker_loop(
         serve_batch(&engine, &mut sessions, &mut scratch, &mut batch, &metrics, stages);
         batch.clear();
 
-        // Occupancy gauges: overwrite this shard's slots after each batch.
-        // One pass over the session map costs microseconds against a
+        // Forward the store's eviction/hydration counters as diffs.
+        let evictions = sessions.evictions();
+        metrics.sessions_evicted.fetch_add(evictions - seen_evictions, Ordering::Relaxed);
+        seen_evictions = evictions;
+        let hydrations = sessions.hydrations();
+        metrics.sessions_hydrated.fetch_add(hydrations - seen_hydrations, Ordering::Relaxed);
+        seen_hydrations = hydrations;
+
+        // Occupancy gauges: overwrite this shard's slots after each batch,
+        // walking only the *resident* sessions — an evicted session stops
+        // counting the moment it leaves the store, so the gauges can never
+        // go stale on session drop. One pass costs microseconds against a
         // batch's milliseconds of scoring.
         let gauges = &telemetry.gauges[shard];
         let mut personalized = 0u64;
         let mut buffered = 0u64;
         let mut ood_micros = 0u64;
-        for session in sessions.values() {
+        for session in sessions.sessions() {
             personalized += u64::from(session.is_personalized());
             buffered += session.buffered() as u64;
             ood_micros += (f64::from(session.recent_ood_fraction()) * 1e6) as u64;
@@ -521,6 +564,11 @@ fn worker_loop(
         gauges.personalized.store(personalized, Ordering::Relaxed);
         gauges.buffered_windows.store(buffered, Ordering::Relaxed);
         gauges.ood_fraction_micros.store(ood_micros, Ordering::Relaxed);
+        gauges.archived_tenants.store(sessions.archived_tenants() as u64, Ordering::Relaxed);
+        gauges.archived_bytes.store(sessions.archived_bytes() as u64, Ordering::Relaxed);
+        gauges
+            .resident_delta_bytes
+            .store(sessions.resident_delta_bytes() as u64, Ordering::Relaxed);
     }
 }
 
@@ -543,7 +591,7 @@ fn model_error_response(err: &SmoreError) -> Response {
 /// `predict_batch`; everything else is served per tenant session.
 fn serve_batch(
     engine: &Arc<ServeEngine>,
-    sessions: &mut HashMap<u64, TenantSession>,
+    sessions: &mut SessionStore,
     scratch: &mut ServeScratch,
     batch: &mut Vec<Job>,
     metrics: &Arc<ServerMetrics>,
@@ -554,13 +602,19 @@ fn serve_batch(
         stages.record(Stage::CoalesceWait, nanos_of(job.dequeued.elapsed()));
     }
 
-    // Partition: a Predict for a tenant with no personal snapshot is
-    // answerable from the shared base — coalescable across tenants.
+    // Partition: a Predict for a tenant with no personal state is
+    // answerable from the shared base — coalescable across tenants. An
+    // evicted-but-personalized tenant has *archived* state, so it must
+    // take the stateful path and rehydrate; only a tenant that is neither
+    // resident-personalized nor archived is truly on the base.
     let mut base_jobs: Vec<Job> = Vec::new();
     let mut stateful: Vec<Job> = Vec::new();
     for job in batch.drain(..) {
         let on_base = matches!(job.kind, JobKind::Predict(_))
-            && sessions.get(&job.tenant_id).is_none_or(|s| !s.is_personalized());
+            && match sessions.get(job.tenant_id) {
+                Some(s) => !s.is_personalized(),
+                None => !sessions.has_archived(job.tenant_id),
+            };
         if on_base {
             base_jobs.push(job);
         } else {
@@ -640,38 +694,50 @@ fn serve_batch(
     }
 
     for job in stateful {
-        let session =
-            sessions.entry(job.tenant_id).or_insert_with(|| engine.session_for(job.tenant_id));
-        let response = match job.kind {
-            JobKind::Predict(window) => match session.predict_window(&window) {
-                Ok(p) => {
-                    ServerMetrics::bump(&metrics.served);
-                    prediction_response(p, false, false)
-                }
-                Err(e) => model_error_response(&e),
-            },
-            JobKind::Ingest { label, window } => {
-                let outcome = match label {
-                    Some(l) => session.ingest_labelled(&window, l as usize),
-                    None => session.ingest(&window),
-                };
-                match outcome {
-                    Ok(o) => {
+        let Job { request_id, tenant_id, kind, reply, .. } = job;
+        // The store makes the session resident first (fresh off the base,
+        // or rehydrated from its archived delta), runs the closure, then
+        // re-enforces the residency caps against the other tenants.
+        let served = sessions.with_session(tenant_id, |session| {
+            let response = match kind {
+                JobKind::Predict(window) => match session.predict_window(&window) {
+                    Ok(p) => {
                         ServerMetrics::bump(&metrics.served);
-                        if o.adapted.is_some() {
-                            ServerMetrics::bump(&metrics.adaptations);
-                        }
-                        prediction_response(&o.prediction, o.buffered, o.adapted.is_some())
+                        prediction_response(p, false, false)
                     }
                     Err(e) => model_error_response(&e),
+                },
+                JobKind::Ingest { label, window } => {
+                    let outcome = match label {
+                        Some(l) => session.ingest_labelled(&window, l as usize),
+                        None => session.ingest(&window),
+                    };
+                    match outcome {
+                        Ok(o) => {
+                            ServerMetrics::bump(&metrics.served);
+                            if o.adapted.is_some() {
+                                ServerMetrics::bump(&metrics.adaptations);
+                            }
+                            prediction_response(&o.prediction, o.buffered, o.adapted.is_some())
+                        }
+                        Err(e) => model_error_response(&e),
+                    }
                 }
-            }
+            };
+            let timings =
+                matches!(response, Response::Prediction(_)).then(|| session.last_timings());
+            (response, timings)
+        });
+        let (response, timings) = match served {
+            Ok(out) => out,
+            // Rehydration failed (corrupt archive, base mismatch): a typed
+            // refusal for this tenant; every other tenant keeps serving.
+            Err(e) => (model_error_response(&e), None),
         };
-        if matches!(response, Response::Prediction(_)) {
-            let t = session.last_timings();
+        if let Some(t) = timings {
             stages.record(Stage::Encode, t.encode_nanos);
             stages.record(Stage::Score, t.score_nanos);
         }
-        let _ = job.reply.send(encode_response(job.request_id, &response));
+        let _ = reply.send(encode_response(request_id, &response));
     }
 }

@@ -30,6 +30,13 @@ pub(crate) struct ShardGauges {
     /// millionths — integer so the hot path never touches floats; the
     /// scrape divides by the session count.
     pub(crate) ood_fraction_micros: AtomicU64,
+    /// Evicted tenants parked as archived delta artifacts on this shard.
+    pub(crate) archived_tenants: AtomicU64,
+    /// Bytes those archived deltas occupy.
+    pub(crate) archived_bytes: AtomicU64,
+    /// Resident personalized-state bytes counted against the shard's
+    /// eviction budget.
+    pub(crate) resident_delta_bytes: AtomicU64,
 }
 
 /// All telemetry state for one running server (see the module docs).
@@ -71,17 +78,25 @@ impl Telemetry {
             ("adaptations".into(), load(&metrics.adaptations)),
             ("connections".into(), load(&metrics.connections)),
             ("stats_requests".into(), load(&metrics.stats_requests)),
+            ("sessions_evicted".into(), load(&metrics.sessions_evicted)),
+            ("sessions_hydrated".into(), load(&metrics.sessions_hydrated)),
         ];
 
         let mut sessions = 0u64;
         let mut personalized = 0u64;
         let mut buffered = 0u64;
         let mut ood_micros = 0u64;
+        let mut archived = 0u64;
+        let mut archived_bytes = 0u64;
+        let mut resident_delta_bytes = 0u64;
         for g in &self.gauges {
             sessions += load(&g.sessions);
             personalized += load(&g.personalized);
             buffered += load(&g.buffered_windows);
             ood_micros += load(&g.ood_fraction_micros);
+            archived += load(&g.archived_tenants);
+            archived_bytes += load(&g.archived_bytes);
+            resident_delta_bytes += load(&g.resident_delta_bytes);
         }
         let ood_recent =
             if sessions == 0 { 0.0 } else { ood_micros as f64 / 1e6 / sessions as f64 };
@@ -91,6 +106,9 @@ impl Telemetry {
             ("buffered_windows".into(), buffered as f64),
             ("ood_fraction_recent".into(), ood_recent),
             ("workers".into(), self.shards.len() as f64),
+            ("tenants_archived".into(), archived as f64),
+            ("archived_delta_bytes".into(), archived_bytes as f64),
+            ("resident_delta_bytes".into(), resident_delta_bytes as f64),
         ];
 
         for stage in Stage::ALL {

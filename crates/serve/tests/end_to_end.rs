@@ -11,6 +11,7 @@ use smore_data::Dataset;
 use smore_obs::EventJournal;
 use smore_serve::{
     serve, synthetic, ErrorCode, EventKind, Response, ServeClient, ServeConfig, ServerHandle,
+    StatsSnapshot,
 };
 use smore_stream::ServeEngine;
 
@@ -186,6 +187,7 @@ fn stats_never_shed_under_overload() {
         queue_capacity: 1,
         batch_max: 1,
         batch_deadline: Duration::from_micros(1),
+        ..ServeConfig::default()
     });
     let mut client = ServeClient::connect(server.local_addr()).expect("connect");
 
@@ -223,6 +225,7 @@ fn full_queue_answers_overloaded_not_oom() {
         queue_capacity: 1,
         batch_max: 1,
         batch_deadline: Duration::from_micros(1),
+        ..ServeConfig::default()
     });
     let mut client = ServeClient::connect(server.local_addr()).expect("connect");
 
@@ -248,6 +251,82 @@ fn full_queue_answers_overloaded_not_oom() {
         server.metrics().overloaded.load(std::sync::atomic::Ordering::Relaxed),
         overloaded as u64
     );
+    server.shutdown();
+}
+
+/// Workers publish gauges after replying, so a scrape can race one batch
+/// behind — poll until the condition holds (or fail loudly).
+fn scrape_until(
+    client: &mut ServeClient,
+    what: &str,
+    cond: impl Fn(&StatsSnapshot) -> bool,
+) -> StatsSnapshot {
+    for _ in 0..500 {
+        let stats = client.stats().expect("stats scrape");
+        if cond(&stats) {
+            return stats;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("stats never reflected: {what}");
+}
+
+#[test]
+fn session_churn_is_bounded_archived_and_rehydrated_on_the_wire() {
+    // A shard capped at 8 resident sessions: tenant churn beyond the cap
+    // must evict (never grow without bound), a personalized tenant must be
+    // archived rather than lost, and its next request must rehydrate it —
+    // all of it visible in one stats scrape.
+    let (server, ds) =
+        start(ServeConfig { workers: 1, max_sessions_per_shard: 8, ..ServeConfig::default() });
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+
+    // Personalize tenant 5 through wire ingest (the calibrated drift
+    // stream from the adaptation test).
+    let drift = synthetic::drift_stream(&ds, 160, 42).expect("drift stream");
+    let tenant = 5u64;
+    let mut adapted = false;
+    for (window, label) in &drift {
+        if client.ingest(tenant, window, Some(*label as u32)).expect("wire ingest").adapted {
+            adapted = true;
+            break;
+        }
+    }
+    assert!(adapted, "drift stream must personalize the tenant");
+    let probe = &drift[0].0;
+    let before = client.predict(tenant, probe).expect("personalized predict");
+
+    // Churn 100 other tenants through the shard via the stateful path.
+    for t in 100..200u64 {
+        client.ingest(t, ds.window(t as usize % ds.len()), None).expect("churn ingest");
+    }
+    let stats = scrape_until(&mut client, "eviction of the personalized tenant", |s| {
+        s.counter("sessions_evicted").unwrap_or(0) >= 1
+            && s.gauge("tenants_archived").unwrap_or(0.0) >= 1.0
+    });
+    // The leak fix: the resident gauge respects the cap under churn. The
+    // stale-gauge fix: evicted sessions stop counting the moment they
+    // leave, so personalized drops to zero while the tenant is archived.
+    assert!(
+        stats.gauge("tenant_sessions").expect("sessions gauge") <= 8.0,
+        "resident sessions must stay within the shard cap"
+    );
+    assert_eq!(stats.gauge("tenants_personalized"), Some(0.0));
+    assert!(stats.gauge("archived_delta_bytes").expect("archive gauge") > 0.0);
+    assert!(stats.journal.count_of(EventKind::SessionEvicted) >= 1);
+
+    // The evicted tenant's next request transparently rehydrates it, and
+    // the rehydrated overlay serves bit-identically.
+    let after = client.predict(tenant, probe).expect("rehydrated predict");
+    assert_eq!(after.label, before.label);
+    assert_eq!(after.best_domain, before.best_domain);
+    assert_eq!(after.delta_max, before.delta_max, "rehydration must be bit-exact");
+    let stats = scrape_until(&mut client, "rehydration of the archived tenant", |s| {
+        s.counter("sessions_hydrated").unwrap_or(0) >= 1 && s.gauge("tenants_archived") == Some(0.0)
+    });
+    assert_eq!(stats.gauge("archived_delta_bytes"), Some(0.0));
+    assert_eq!(stats.gauge("tenants_personalized"), Some(1.0));
+    assert!(stats.journal.count_of(EventKind::SessionHydrated) >= 1);
     server.shutdown();
 }
 

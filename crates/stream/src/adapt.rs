@@ -80,8 +80,38 @@ impl AdaptationState {
         }
     }
 
+    /// Rebuilds the state machine of a suspended session from its
+    /// persisted metadata: the tag/step counters and the enrolment history
+    /// pick up exactly where eviction paused them, while the OOD buffer
+    /// and drift detector restart empty — buffered windows are
+    /// deliberately *not* persisted (they are raw tenant sensor data, and
+    /// re-accumulating a drift verdict is cheap next to storing them).
+    pub(crate) fn resume(
+        config: StreamingConfig,
+        drift_delta: f32,
+        next_tag: usize,
+        step: usize,
+        events: Vec<AdaptationEvent>,
+    ) -> Self {
+        Self {
+            buffer: OodBuffer::new(config.buffer_capacity),
+            detector: DriftDetector::new(config.drift_window, config.drift_threshold),
+            drift_delta,
+            next_tag,
+            step,
+            enrolled: events.len(),
+            events,
+            config,
+        }
+    }
+
     pub(crate) fn config(&self) -> &StreamingConfig {
         &self.config
+    }
+
+    /// The tag the next enrolment will be filed under.
+    pub(crate) fn next_tag(&self) -> usize {
+        self.next_tag
     }
 
     pub(crate) fn drift_delta(&self) -> f32 {

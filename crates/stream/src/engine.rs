@@ -19,10 +19,20 @@
 //!   anywhere on the serve path).
 //! - Each [`TenantSession`] owns only its own adaptation state: OOD
 //!   buffer, drift detector, serving scratch and — only after its drift
-//!   detector has actually fired — a **personal snapshot**: the base
-//!   snapshot cloned once and appended with the tenant's enrolled domains
-//!   (copy-on-adapt). Tenants that never drift (the overwhelming
-//!   majority) serve from the shared snapshot and cost a few KiB each.
+//!   detector has actually fired — a **personal delta**
+//!   ([`smore::SnapshotDelta`]): just the tenant's enrolled class planes,
+//!   descriptors and Gram growth, scored *chained* onto the shared base
+//!   ([`smore::DeltaSmore`]) bit-exactly as if the base had been cloned
+//!   and appended to. Tenants that never drift (the overwhelming
+//!   majority) serve from the shared snapshot and cost a few KiB each;
+//!   personalized tenants cost KiB, not a full model copy.
+//!
+//! Idle sessions do not have to stay resident at all:
+//! [`TenantSession::suspend`] serializes the delta into a tiny `DeltaV1`
+//! `.smore` artifact and [`ServeEngine::resume_session`] rebuilds the
+//! session from it — tag counter, step counter and enrolment history
+//! included — which is what [`SessionStore`](crate::SessionStore) builds
+//! its LRU evict/rehydrate layer on.
 //!
 //! Sessions are `Send`, so a server hands one to each connection/actor;
 //! the engine itself is cheap to share behind an `Arc`.
@@ -33,7 +43,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use smore::artifact::{self, ArtifactKind};
-use smore::{QuantizedSmore, ServeScratch, Smore, SmoreError};
+use smore::{
+    DeltaEnrollmentRecord, DeltaSmore, QuantizedSmore, ServeScratch, ServingModel, Smore,
+    SmoreError, SnapshotDelta,
+};
 use smore_hdc::model::HdcClassifier;
 use smore_obs::{Event, EventJournal, EventKind};
 use smore_tensor::Matrix;
@@ -185,6 +198,13 @@ impl ServeEngine {
                     path.display()
                 ),
             }),
+            ArtifactKind::Delta => Err(SmoreError::InvalidConfig {
+                what: format!(
+                    "{} holds a per-tenant delta overlay, not a model; load the dense base \
+                     artifact here and hand the delta to ServeEngine::resume_session.",
+                    path.display()
+                ),
+            }),
         }
     }
 
@@ -264,12 +284,80 @@ impl ServeEngine {
             id,
             dense: Arc::clone(&self.dense),
             base: Arc::clone(&self.base),
-            personal: None,
+            delta: None,
             personal_models: Vec::new(),
             scratch: ServeScratch::new(),
             state: AdaptationState::new(self.config.clone(), self.drift_delta, self.next_tag),
             journal: self.journal.clone(),
         }
+    }
+
+    /// Rebuilds a suspended tenant session from the `DeltaV1` artifact
+    /// bytes [`TenantSession::suspend`] produced: the personal delta is
+    /// chained back onto this engine's base, the tag/step counters and
+    /// enrolment history resume where eviction paused them, and repeat
+    /// enrolments keep seeding from the tenant's earlier domains (rebuilt
+    /// from their stored residual planes). Counts toward
+    /// [`tenants_created`](Self::tenants_created) like any session.
+    ///
+    /// # Errors
+    ///
+    /// - [`SmoreError::CorruptArtifact`] for malformed delta bytes.
+    /// - [`SmoreError::InvalidConfig`] when the delta was built over a
+    ///   different base than this engine serves.
+    pub fn resume_session(&self, tenant: u64, bytes: &[u8]) -> Result<TenantSession> {
+        let delta = SnapshotDelta::from_artifact_bytes(bytes)?;
+        delta.matches_base(&self.base)?;
+        let dense_config = self.dense.config();
+        let personal_models =
+            delta.dense_models(dense_config.learning_rate, dense_config.epochs)?;
+        let events: Vec<AdaptationEvent> = delta
+            .meta
+            .records
+            .iter()
+            .map(|r| AdaptationEvent {
+                tag: r.tag,
+                step: r.step,
+                enrolled_windows: r.enrolled_windows,
+                oracle_labelled: r.oracle_labelled,
+                enroll_seconds: r.enroll_nanos as f64 / 1e9,
+                swap_seconds: r.swap_nanos as f64 / 1e9,
+            })
+            .collect();
+        // A delta written before any enrolment carries tag 0; never let a
+        // stale counter reuse a base tag.
+        let next_tag = delta.meta.next_tag.max(self.next_tag);
+        let steps = delta.meta.steps;
+        self.tenants.fetch_add(1, Ordering::Relaxed);
+        Ok(TenantSession {
+            id: tenant as usize,
+            dense: Arc::clone(&self.dense),
+            base: Arc::clone(&self.base),
+            delta: Some(delta),
+            personal_models,
+            scratch: ServeScratch::new(),
+            state: AdaptationState::resume(
+                self.config.clone(),
+                self.drift_delta,
+                next_tag,
+                steps,
+                events,
+            ),
+            journal: self.journal.clone(),
+        })
+    }
+}
+
+/// Borrows the serving view for a session's current state — a free
+/// function over the two disjoint fields so callers can keep `&mut`
+/// access to the rest of the session (the scratch) while serving.
+fn serving_view<'a>(
+    base: &'a QuantizedSmore,
+    delta: &'a Option<SnapshotDelta>,
+) -> Result<ServingModel<'a>> {
+    match delta {
+        Some(delta) => Ok(ServingModel::Chained(DeltaSmore::new(base, delta)?)),
+        None => Ok(ServingModel::Base(base)),
     }
 }
 
@@ -277,17 +365,19 @@ impl ServeEngine {
 /// [module docs](self)).
 ///
 /// Serves from the shared base snapshot until this tenant's own drift
-/// detector fires; then the base is cloned **once**, the tenant's new
-/// domain is appended to the clone, and all later serving (and further
-/// enrolments) go through that personal snapshot. Other tenants never
+/// detector fires; then the tenant's new domain goes into a compact
+/// personal [`SnapshotDelta`] — only the enrolled class planes,
+/// descriptor and Gram growth — and all later serving (and further
+/// enrolments) chain base + delta ([`DeltaSmore`]), bit-exact with a full
+/// base clone but ~3 orders of magnitude smaller. Other tenants never
 /// observe any of it.
 #[derive(Debug)]
 pub struct TenantSession {
     id: usize,
     dense: Arc<Smore>,
     base: Arc<QuantizedSmore>,
-    /// Copy-on-adapt overlay: `None` until the first enrolment.
-    personal: Option<QuantizedSmore>,
+    /// Personal overlay: `None` until the first enrolment.
+    delta: Option<SnapshotDelta>,
     /// Dense models of this tenant's enrolled domains — kept so repeat
     /// enrolments seed from base *and* personal models alike.
     personal_models: Vec<HdcClassifier>,
@@ -303,21 +393,49 @@ impl TenantSession {
         self.id
     }
 
-    /// The model this tenant currently serves from (shared base, or the
-    /// personal overlay once adapted).
-    pub fn serving_model(&self) -> &QuantizedSmore {
-        self.personal.as_ref().unwrap_or(&self.base)
+    /// The model this tenant currently serves from: the shared base, or
+    /// base + personal delta chained once adapted. Borrowed per call —
+    /// taking this view clones nothing.
+    pub fn serving_model(&self) -> ServingModel<'_> {
+        serving_view(&self.base, &self.delta)
+            .expect("session delta is built over the session's own base")
     }
 
     /// Whether this tenant has enrolled at least one personal domain (and
-    /// therefore owns a personal snapshot).
+    /// therefore owns a personal delta).
     pub fn is_personalized(&self) -> bool {
-        self.personal.is_some()
+        self.delta.as_ref().is_some_and(|d| !d.is_empty())
+    }
+
+    /// The tenant's personal delta, if any enrolment has happened.
+    pub fn delta(&self) -> Option<&SnapshotDelta> {
+        self.delta.as_ref()
+    }
+
+    /// Resident bytes of the tenant's personal state (0 until the first
+    /// enrolment) — what the eviction layer budgets against.
+    pub fn delta_storage_bytes(&self) -> usize {
+        self.delta.as_ref().map_or(0, SnapshotDelta::storage_bytes)
     }
 
     /// Domains in this tenant's serving model (base `K` + personal).
     pub fn num_domains(&self) -> usize {
         self.serving_model().num_domains()
+    }
+
+    /// Suspends this session into its persistent form: `Some(bytes)` of a
+    /// `DeltaV1` `.smore` artifact when the tenant has personal state
+    /// (delta domains plus tag/step counters and enrolment history),
+    /// `None` when it has none worth keeping — a never-personalized
+    /// session is fully reconstructed by [`ServeEngine::session_for`].
+    pub fn suspend(mut self) -> Option<Vec<u8>> {
+        let steps = self.state.steps();
+        let next_tag = self.state.next_tag();
+        self.delta.as_mut().map(|delta| {
+            delta.meta.steps = steps;
+            delta.meta.next_tag = next_tag;
+            delta.to_artifact_bytes()
+        })
     }
 
     /// Enrolments this tenant performed, in stream order.
@@ -361,7 +479,8 @@ impl TenantSession {
     ///
     /// Propagates encoder errors for malformed windows.
     pub fn predict_window(&mut self, window: &Matrix) -> Result<&smore::Prediction> {
-        let serving = self.personal.as_ref().unwrap_or(&self.base);
+        use smore::Predictor;
+        let serving = serving_view(&self.base, &self.delta)?;
         serving.predict_window_with(window, &mut self.scratch)
     }
 
@@ -410,9 +529,10 @@ impl TenantSession {
     }
 
     fn observe(&mut self, window: &Matrix, true_label: Option<usize>) -> Result<StreamOutcome> {
-        // Serve through the session scratch from whichever snapshot this
-        // tenant currently owns a view of — no lock, no Arc clone.
-        let serving = self.personal.as_ref().unwrap_or(&self.base);
+        use smore::Predictor;
+        // Serve through the session scratch from whichever view this
+        // tenant currently owns — no lock, no Arc clone, no model copy.
+        let serving = serving_view(&self.base, &self.delta)?;
         let prediction = serving.predict_window_with(window, &mut self.scratch)?.clone();
         let outcome = self.state.observe(window, &prediction, true_label);
         if self.journal.is_some() {
@@ -442,27 +562,34 @@ impl TenantSession {
 
     /// Drift fired for this tenant: train the new domain against the
     /// shared frozen dense model (plus this tenant's earlier personal
-    /// models), then append it to the personal snapshot — materialised
-    /// from the base by a one-time clone on first adaptation.
+    /// models), then append it to the personal delta — only the new class
+    /// planes, descriptor and Gram growth; the base is never copied.
     fn adapt(&mut self, plan: EnrollmentPlan) -> Result<AdaptationEvent> {
         let t0 = Instant::now();
         let prep = self.dense.prepare_domain(&plan.windows, &plan.labels, &self.personal_models)?;
         let enroll_seconds = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
-        let had_personal = self.personal.is_some();
-        let mut personal = match self.personal.take() {
-            Some(p) => p,
-            None => (*self.base).clone(),
-        };
-        if let Err(e) = personal.enroll_domain(&prep.model, &prep.descriptor, plan.tag) {
-            // Keep the session serving exactly what it served before.
-            self.personal = had_personal.then_some(personal);
+        let had_personal = self.delta.is_some();
+        let mut delta = self.delta.take().unwrap_or_else(|| SnapshotDelta::new(&self.base));
+        if let Err(e) = delta.enroll_domain(&self.base, &prep.model, &prep.descriptor, plan.tag) {
+            // The delta is unchanged on error; keep the session serving
+            // exactly what it served before (a fresh empty one is dropped).
+            self.delta = had_personal.then_some(delta);
             return Err(e);
         }
-        self.personal = Some(personal);
-        self.personal_models.push(prep.model);
         let swap_seconds = t1.elapsed().as_secs_f64();
+        delta.meta.next_tag = plan.tag + 1;
+        delta.meta.records.push(DeltaEnrollmentRecord {
+            tag: plan.tag,
+            step: plan.step,
+            enrolled_windows: prep.samples,
+            oracle_labelled: plan.oracle_labelled,
+            enroll_nanos: seconds_to_nanos(enroll_seconds),
+            swap_nanos: seconds_to_nanos(swap_seconds),
+        });
+        self.delta = Some(delta);
+        self.personal_models.push(prep.model);
 
         self.emit(
             EventKind::EnrollFinished,
@@ -784,6 +911,78 @@ mod tests {
         assert_eq!(tenant.steps(), 1, "failed ingest does not consume a step");
         // Label validation.
         assert!(tenant.ingest_labelled(ds.window(0), 99).is_err());
+    }
+
+    #[test]
+    fn suspend_resume_round_trips_personal_state() {
+        use smore::Predictor;
+
+        let ds = shifted_dataset(7);
+        let (train, _) = split::lodo(&ds, 3).unwrap();
+        let engine = calibrated_engine(&ds, &train);
+
+        // A base-only session has nothing worth suspending.
+        assert!(engine.session().suspend().is_none());
+
+        let mut tenant = engine.session_for(42);
+        let items = concept_drift_stream(
+            &ds,
+            &StreamConfig {
+                segments: vec![DriftSegment::plain(0, 100), drifted_segment(140)],
+                seed: 7 ^ 0xAA,
+            },
+        )
+        .unwrap();
+        for item in &items {
+            tenant.ingest_labelled(&item.window, item.label).unwrap();
+        }
+        assert!(tenant.is_personalized());
+
+        let eval: Vec<Matrix> =
+            items.iter().filter(|i| i.segment == 1).map(|i| i.window.clone()).collect();
+        let before = tenant.serving_model().predict_batch(&eval).unwrap();
+        let events = tenant.events().to_vec();
+        let (steps, domains) = (tenant.steps(), tenant.num_domains());
+
+        let bytes = tenant.suspend().expect("personalized session suspends to delta bytes");
+        assert!(bytes.len() < 32 << 10, "delta artifact is KiB-scale, got {}", bytes.len());
+
+        let resumed = engine.resume_session(42, &bytes).unwrap();
+        assert_eq!(resumed.id(), 42);
+        assert!(resumed.is_personalized());
+        assert_eq!(resumed.steps(), steps);
+        assert_eq!(resumed.num_domains(), domains);
+        assert_eq!(resumed.events().len(), events.len());
+        for (a, b) in resumed.events().iter().zip(&events) {
+            assert_eq!(
+                (a.tag, a.step, a.enrolled_windows, a.oracle_labelled),
+                (b.tag, b.step, b.enrolled_windows, b.oracle_labelled)
+            );
+        }
+        let after = resumed.serving_model().predict_batch(&eval).unwrap();
+        assert_eq!(after, before, "resume must not move one bit of the serving path");
+
+        // Malformed bytes are refused typed.
+        let mut bad = bytes.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 1;
+        assert!(matches!(engine.resume_session(42, &bad), Err(SmoreError::CorruptArtifact { .. })));
+        // A delta built over a differently-shaped base is refused before it
+        // can chain onto the wrong model.
+        let mut other_model = Smore::new(
+            SmoreConfig::builder()
+                .dim(512)
+                .channels(3)
+                .num_classes(4)
+                .epochs(4)
+                .threads(2)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        other_model.fit_indices(&ds, &train).unwrap();
+        let other = ServeEngine::new(other_model, engine_config()).unwrap();
+        assert!(matches!(other.resume_session(42, &bytes), Err(SmoreError::InvalidConfig { .. })));
     }
 
     #[test]

@@ -28,7 +28,10 @@
 //! For fleet deployments — one model shared by many independently
 //! drifting users — see [`ServeEngine`]/[`TenantSession`] in [`engine`]:
 //! one `.smore` artifact load, one `Arc`-shared base snapshot, per-tenant
-//! drift detection with copy-on-adapt personal snapshots.
+//! drift detection with compact personal deltas chained onto the base.
+//! [`SessionStore`] in [`store`] bounds how many of those sessions stay
+//! resident: least-recently-used tenants are suspended to tiny `DeltaV1`
+//! artifacts and lazily rehydrated on their next request.
 //!
 //! # Example
 //!
@@ -76,12 +79,14 @@ mod detector;
 pub mod engine;
 mod session;
 mod snapshot;
+pub mod store;
 
 pub use buffer::{BufferedQuery, OodBuffer};
 pub use detector::DriftDetector;
 pub use engine::{ServeEngine, TenantSession};
 pub use session::{AdaptationEvent, LabelStrategy, StreamOutcome, StreamingConfig, StreamingSmore};
 pub use snapshot::SnapshotHandle;
+pub use store::SessionStore;
 
 /// Result alias; streaming shares the core SMORE error vocabulary.
 pub type Result<T> = std::result::Result<T, smore::SmoreError>;

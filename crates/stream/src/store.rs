@@ -1,0 +1,618 @@
+//! Bounded resident-session store: LRU eviction to compact delta
+//! artifacts, lazy rehydration on the tenant's next request.
+//!
+//! A serving worker used to keep every [`TenantSession`] it had ever
+//! opened in an unbounded map — fine for a demo fleet, an OOM time bomb
+//! at the ROADMAP's million-tenant scale. [`SessionStore`] is the
+//! replacement: a fixed budget of resident sessions and resident
+//! personalized bytes, with everything over budget *suspended* rather
+//! than lost.
+//!
+//! - **Access** goes through [`SessionStore::with_session`]: resident
+//!   sessions are served in place; an evicted tenant is transparently
+//!   rebuilt from its archived `DeltaV1` bytes
+//!   ([`ServeEngine::resume_session`]) before the closure runs; an
+//!   unknown tenant gets a fresh session off the shared base.
+//! - **Eviction** pops least-recently-used sessions (never the one being
+//!   accessed) whenever either cap is exceeded. A personalized session
+//!   suspends to its compact delta artifact — KiB against the ~half-MiB a
+//!   resident full-model clone used to pin — and a never-personalized
+//!   session is simply dropped, because the engine can rebuild it from
+//!   nothing.
+//!
+//! Every eviction and rehydration is journalled
+//! ([`EventKind::SessionEvicted`] / [`EventKind::SessionHydrated`]) when
+//! the engine carries a journal, so the serving telemetry sees churn the
+//! same way it sees drift.
+//!
+//! The store is single-owner by design (each serve worker shards tenants
+//! and owns one store) — no locks anywhere.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::time::Instant;
+
+use smore::SmoreError;
+use smore_obs::{Event, EventKind};
+
+use crate::engine::{ServeEngine, TenantSession};
+use crate::Result;
+
+/// Duration → whole nanoseconds, saturating.
+fn elapsed_nanos(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// One resident session plus its LRU and byte bookkeeping.
+#[derive(Debug)]
+struct Entry {
+    session: TenantSession,
+    /// The monotone access tick keying this entry in the LRU index.
+    tick: u64,
+    /// Personal-state bytes counted toward the store's byte budget at the
+    /// tenant's last access.
+    delta_bytes: usize,
+}
+
+/// A bounded, LRU-evicting map from tenant id to resident
+/// [`TenantSession`] (see the [module docs](self)).
+#[derive(Debug)]
+pub struct SessionStore {
+    engine: Arc<ServeEngine>,
+    max_sessions: usize,
+    max_delta_bytes: usize,
+    resident: HashMap<u64, Entry>,
+    /// LRU index: access tick → tenant. Ticks are unique, so the smallest
+    /// key is always the least recently used resident.
+    lru: BTreeMap<u64, u64>,
+    /// Suspended personal state of evicted tenants, as `DeltaV1` bytes.
+    archived: HashMap<u64, Vec<u8>>,
+    resident_delta_bytes: usize,
+    archived_bytes: usize,
+    tick: u64,
+    evictions: u64,
+    hydrations: u64,
+}
+
+impl SessionStore {
+    /// A store over `engine` holding at most `max_sessions` resident
+    /// sessions and at most `max_delta_bytes` of resident personalized
+    /// state (both enforced after every access; the session being
+    /// accessed is never evicted by its own access).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmoreError::InvalidConfig`] when `max_sessions` is zero.
+    pub fn new(
+        engine: Arc<ServeEngine>,
+        max_sessions: usize,
+        max_delta_bytes: usize,
+    ) -> Result<Self> {
+        if max_sessions == 0 {
+            return Err(SmoreError::InvalidConfig {
+                what: "session store needs max_sessions >= 1".into(),
+            });
+        }
+        Ok(Self {
+            engine,
+            max_sessions,
+            max_delta_bytes,
+            resident: HashMap::new(),
+            lru: BTreeMap::new(),
+            archived: HashMap::new(),
+            resident_delta_bytes: 0,
+            archived_bytes: 0,
+            tick: 0,
+            evictions: 0,
+            hydrations: 0,
+        })
+    }
+
+    /// The shared engine sessions are opened against.
+    pub fn engine(&self) -> &Arc<ServeEngine> {
+        &self.engine
+    }
+
+    /// Resident sessions right now.
+    pub fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Whether no session is resident.
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty()
+    }
+
+    /// The resident-session cap.
+    pub fn max_sessions(&self) -> usize {
+        self.max_sessions
+    }
+
+    /// The resident personalized-byte cap.
+    pub fn max_delta_bytes(&self) -> usize {
+        self.max_delta_bytes
+    }
+
+    /// Resident personal-state bytes currently counted against the byte
+    /// cap.
+    pub fn resident_delta_bytes(&self) -> usize {
+        self.resident_delta_bytes
+    }
+
+    /// Evicted tenants whose personal state is parked as delta bytes.
+    pub fn archived_tenants(&self) -> usize {
+        self.archived.len()
+    }
+
+    /// Total archived delta bytes.
+    pub fn archived_bytes(&self) -> usize {
+        self.archived_bytes
+    }
+
+    /// Sessions evicted since creation.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Sessions rehydrated from archived deltas since creation.
+    pub fn hydrations(&self) -> u64 {
+        self.hydrations
+    }
+
+    /// Whether `tenant` currently holds a resident session.
+    pub fn is_resident(&self, tenant: u64) -> bool {
+        self.resident.contains_key(&tenant)
+    }
+
+    /// Whether `tenant` is evicted with archived personal state — i.e. it
+    /// would rehydrate (not start fresh) on its next access.
+    pub fn has_archived(&self, tenant: u64) -> bool {
+        self.archived.contains_key(&tenant)
+    }
+
+    /// The archived delta bytes for `tenant`, if any.
+    pub fn archived_delta(&self, tenant: u64) -> Option<&[u8]> {
+        self.archived.get(&tenant).map(Vec::as_slice)
+    }
+
+    /// Iterates the resident sessions (unspecified order) — the gauge
+    /// scrape surface.
+    pub fn sessions(&self) -> impl Iterator<Item = &TenantSession> {
+        self.resident.values().map(|e| &e.session)
+    }
+
+    /// Peeks at `tenant`'s resident session **without** touching LRU
+    /// order or rehydrating — for routing decisions (is this tenant
+    /// answerable from the shared base?), not for serving.
+    pub fn get(&self, tenant: u64) -> Option<&TenantSession> {
+        self.resident.get(&tenant).map(|e| &e.session)
+    }
+
+    /// Runs `f` against `tenant`'s session, making it resident first if
+    /// needed: rehydrated from its archived delta, or opened fresh off
+    /// the shared base. Afterwards the tenant's byte accounting is
+    /// refreshed (the closure may have enrolled a domain) and the LRU
+    /// caps are enforced against every *other* resident.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rehydration failures (corrupt archived bytes, base
+    /// mismatch); the archived bytes are kept for inspection and the
+    /// closure never runs.
+    pub fn with_session<T>(
+        &mut self,
+        tenant: u64,
+        f: impl FnOnce(&mut TenantSession) -> T,
+    ) -> Result<T> {
+        self.touch(tenant)?;
+        let entry = self.resident.get_mut(&tenant).expect("touched tenant is resident");
+        let out = f(&mut entry.session);
+        let bytes = entry.session.delta_storage_bytes();
+        self.resident_delta_bytes = self.resident_delta_bytes - entry.delta_bytes + bytes;
+        entry.delta_bytes = bytes;
+        self.evict_to_caps(tenant);
+        Ok(out)
+    }
+
+    /// Makes `tenant` resident and most-recently-used.
+    fn touch(&mut self, tenant: u64) -> Result<()> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(entry) = self.resident.get_mut(&tenant) {
+            self.lru.remove(&entry.tick);
+            entry.tick = tick;
+            self.lru.insert(tick, tenant);
+            return Ok(());
+        }
+        let session = match self.archived.remove(&tenant) {
+            Some(bytes) => {
+                let t0 = Instant::now();
+                match self.engine.resume_session(tenant, &bytes) {
+                    Ok(session) => {
+                        self.archived_bytes -= bytes.len();
+                        self.hydrations += 1;
+                        self.emit(Event {
+                            kind: EventKind::SessionHydrated,
+                            tenant,
+                            step: session.steps() as u64,
+                            a: bytes.len() as u64,
+                            b: session.delta().map_or(0, |d| d.num_domains()) as u64,
+                            nanos: elapsed_nanos(t0),
+                        });
+                        session
+                    }
+                    Err(e) => {
+                        // Keep the bytes: the operator can still extract
+                        // or repair them; serving just fails typed.
+                        self.archived.insert(tenant, bytes);
+                        return Err(e);
+                    }
+                }
+            }
+            None => self.engine.session_for(tenant),
+        };
+        let delta_bytes = session.delta_storage_bytes();
+        self.resident_delta_bytes += delta_bytes;
+        self.resident.insert(tenant, Entry { session, tick, delta_bytes });
+        self.lru.insert(tick, tenant);
+        Ok(())
+    }
+
+    /// Evicts least-recently-used residents until both caps hold.
+    /// `protect` (the tenant just accessed — always the newest tick) is
+    /// never evicted; when it is the only resident, a byte budget it
+    /// exceeds on its own is tolerated rather than thrashed on.
+    fn evict_to_caps(&mut self, protect: u64) {
+        while self.resident.len() > self.max_sessions
+            || self.resident_delta_bytes > self.max_delta_bytes
+        {
+            let Some((&tick, &tenant)) = self.lru.iter().next() else { break };
+            if tenant == protect {
+                break;
+            }
+            self.evict_entry(tick, tenant);
+        }
+    }
+
+    /// Suspends and removes one resident: personalized sessions archive
+    /// their delta bytes, base-only sessions vanish (the engine rebuilds
+    /// them from nothing).
+    fn evict_entry(&mut self, tick: u64, tenant: u64) {
+        self.lru.remove(&tick);
+        let Some(entry) = self.resident.remove(&tenant) else { return };
+        self.resident_delta_bytes -= entry.delta_bytes;
+        let step = entry.session.steps() as u64;
+        let t0 = Instant::now();
+        let archived = entry.session.suspend();
+        let nanos = elapsed_nanos(t0);
+        let archived_len = archived.as_ref().map_or(0, Vec::len);
+        if let Some(bytes) = archived {
+            self.archived_bytes += bytes.len();
+            if let Some(stale) = self.archived.insert(tenant, bytes) {
+                self.archived_bytes -= stale.len();
+            }
+        }
+        self.evictions += 1;
+        self.emit(Event {
+            kind: EventKind::SessionEvicted,
+            tenant,
+            step,
+            a: archived_len as u64,
+            b: self.resident.len() as u64,
+            nanos,
+        });
+    }
+
+    /// Journals `event` when the engine carries a journal.
+    fn emit(&self, event: Event) {
+        if let Some(journal) = self.engine.journal() {
+            journal.push(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::OnceLock;
+
+    use smore::{Smore, SmoreConfig};
+    use smore_data::generator::{generate, DomainSpec, GeneratorConfig};
+    use smore_data::split;
+    use smore_data::stream::{concept_drift_stream, DriftSegment, StreamConfig, StreamItem};
+    use smore_obs::EventJournal;
+    use smore_tensor::Matrix;
+
+    use super::*;
+    use crate::{LabelStrategy, StreamingConfig};
+
+    fn shifted_dataset(seed: u64) -> smore_data::Dataset {
+        generate(&GeneratorConfig {
+            name: "store-test".into(),
+            num_classes: 4,
+            channels: 3,
+            window_len: 24,
+            sample_rate_hz: 25.0,
+            domains: (0..4)
+                .map(|d| DomainSpec { subjects: vec![2 * d, 2 * d + 1], windows: 80 })
+                .collect(),
+            shift_severity: 1.2,
+            seed,
+        })
+        .unwrap()
+    }
+
+    fn engine_config() -> StreamingConfig {
+        StreamingConfig {
+            buffer_capacity: 128,
+            drift_window: 32,
+            drift_threshold: 0.5,
+            min_enroll: 24,
+            cooldown: 32,
+            label_strategy: LabelStrategy::Oracle,
+            ..StreamingConfig::default()
+        }
+    }
+
+    fn calibrated_engine(ds: &smore_data::Dataset, train: &[usize]) -> ServeEngine {
+        let mut model = Smore::new(
+            SmoreConfig::builder()
+                .dim(1024)
+                .channels(3)
+                .num_classes(4)
+                .epochs(10)
+                .threads(2)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        model.fit_indices(ds, train).unwrap();
+        let mut engine = ServeEngine::new(model, engine_config()).unwrap();
+        let (calib_w, _, _) = ds.gather(train);
+        engine.calibrate_drift_delta(&calib_w, 0.25).unwrap();
+        engine
+    }
+
+    /// One calibrated engine + dataset shared by the journal-free tests —
+    /// each test opens its own store over it.
+    fn fixture() -> &'static (smore_data::Dataset, Arc<ServeEngine>) {
+        static FIXTURE: OnceLock<(smore_data::Dataset, Arc<ServeEngine>)> = OnceLock::new();
+        FIXTURE.get_or_init(|| {
+            let ds = shifted_dataset(7);
+            let (train, _) = split::lodo(&ds, 3).unwrap();
+            let engine = calibrated_engine(&ds, &train);
+            (ds, Arc::new(engine))
+        })
+    }
+
+    /// The calibrated 1.5×-gain new-user stream the engine tests pin as
+    /// reliably firing the drift detector.
+    fn stormy(ds: &smore_data::Dataset) -> Vec<StreamItem> {
+        concept_drift_stream(
+            ds,
+            &StreamConfig {
+                segments: vec![
+                    DriftSegment::plain(0, 100),
+                    DriftSegment {
+                        domain: 3,
+                        windows: 140,
+                        gain_ramp: Some((1.5, 1.5)),
+                        dropout_channel: None,
+                    },
+                ],
+                seed: 7 ^ 0xAA,
+            },
+        )
+        .unwrap()
+    }
+
+    /// Drives `tenant` through `items` until it personalizes.
+    fn personalize(store: &mut SessionStore, tenant: u64, items: &[StreamItem]) {
+        for item in items {
+            store
+                .with_session(tenant, |s| s.ingest_labelled(&item.window, item.label).map(|_| ()))
+                .unwrap()
+                .unwrap();
+        }
+        assert!(
+            store.with_session(tenant, |s| s.is_personalized()).unwrap(),
+            "drift stream must personalize tenant {tenant}"
+        );
+    }
+
+    #[test]
+    fn store_requires_a_positive_session_cap() {
+        let (_, engine) = fixture();
+        let err = SessionStore::new(Arc::clone(engine), 0, 1024).unwrap_err();
+        assert!(matches!(err, SmoreError::InvalidConfig { .. }), "{err}");
+        assert!(err.to_string().contains("max_sessions"), "{err}");
+    }
+
+    /// The leak regression: a worker that meets 10k distinct tenants must
+    /// hold at most `max_sessions` of them resident at any point — the old
+    /// unbounded `HashMap` kept all 10k alive forever.
+    #[test]
+    fn churn_of_ten_thousand_tenants_stays_bounded() {
+        let (ds, engine) = fixture();
+        let cap = 64;
+        let mut store = SessionStore::new(Arc::clone(engine), cap, usize::MAX).unwrap();
+        let window = ds.window(0);
+        for tenant in 0..10_000u64 {
+            let label =
+                store.with_session(tenant, |s| s.predict_window(window).unwrap().label).unwrap();
+            assert!(label < 4);
+            assert!(store.len() <= cap, "resident sessions exceeded the cap at tenant {tenant}");
+        }
+        assert_eq!(store.len(), cap);
+        assert_eq!(store.evictions(), 10_000 - cap as u64);
+        assert_eq!(store.hydrations(), 0);
+        assert_eq!(store.archived_tenants(), 0, "base-only sessions drop, they never archive");
+        assert_eq!(store.resident_delta_bytes(), 0);
+        assert!(store.is_resident(9_999));
+        assert!(!store.is_resident(0));
+        // An evicted base-only tenant simply starts fresh off the shared
+        // base — nothing was worth keeping.
+        assert_eq!(store.with_session(0, |s| s.steps()).unwrap(), 0);
+    }
+
+    /// The byte budget is enforced independently of the session cap: an
+    /// idle personalized tenant is suspended to its archive as soon as its
+    /// resident delta bytes cannot be afforded, while base-only traffic
+    /// keeps flowing.
+    #[test]
+    fn byte_budget_evicts_idle_personalized_tenants() {
+        let (ds, engine) = fixture();
+        let mut store = SessionStore::new(Arc::clone(engine), 16, 1).unwrap();
+        personalize(&mut store, 1, &stormy(ds));
+
+        // The tenant just accessed is protected even while over budget on
+        // its own — tolerate, don't thrash.
+        assert!(store.is_resident(1));
+        assert!(store.resident_delta_bytes() > 1);
+
+        // The next tenant's access makes tenant 1 evictable.
+        let window = ds.window(0);
+        store.with_session(2, |s| s.predict_window(window).unwrap().label).unwrap();
+        assert!(!store.is_resident(1), "over-budget personalized tenant must be suspended");
+        assert!(store.has_archived(1), "suspension must archive the personal delta");
+        assert_eq!(store.resident_delta_bytes(), 0);
+        assert!(store.is_resident(2));
+    }
+
+    /// The full churn lifecycle for a personalized tenant: enrol → evict →
+    /// rehydrate → enrol again. Serving after rehydration is bit-exact
+    /// with serving before eviction, enrolment history survives, and the
+    /// second enrolment continues the tag sequence instead of reusing one.
+    #[test]
+    fn personalized_tenant_survives_eviction_and_reenrols_after_rehydration() {
+        let ds = shifted_dataset(7);
+        let (train, _) = split::lodo(&ds, 3).unwrap();
+        let mut engine = calibrated_engine(&ds, &train);
+        let journal = Arc::new(EventJournal::new(4096));
+        engine.set_journal(Arc::clone(&journal));
+        let mut store = SessionStore::new(Arc::new(engine), 3, usize::MAX).unwrap();
+
+        let items = stormy(&ds);
+        personalize(&mut store, 1, &items);
+        let eval: Vec<Matrix> =
+            items.iter().filter(|i| i.segment == 1).take(24).map(|i| i.window.clone()).collect();
+        let (events_before, steps_before, domains_before, before) = store
+            .with_session(1, |s| {
+                let preds: Vec<_> =
+                    eval.iter().map(|w| s.predict_window(w).unwrap().clone()).collect();
+                (s.events().to_vec(), s.steps(), s.num_domains(), preds)
+            })
+            .unwrap();
+        assert!(!events_before.is_empty());
+
+        // Three other tenants push tenant 1 over the session cap.
+        let window = ds.window(0);
+        for tenant in 2..=5 {
+            store.with_session(tenant, |s| s.predict_window(window).unwrap().label).unwrap();
+        }
+        assert!(!store.is_resident(1));
+        assert!(store.has_archived(1), "evicting a personalized tenant must keep its delta");
+        let archived = store.archived_delta(1).unwrap().len();
+        assert!(archived > 0, "personal state serializes to a non-empty artifact");
+        assert!(archived < 32 << 10, "delta artifact stays KiB-scale, got {archived} bytes");
+        assert_eq!(store.archived_bytes(), archived);
+
+        // Next access transparently rehydrates — nothing moved a bit.
+        let (events_after, steps_after, domains_after, after) = store
+            .with_session(1, |s| {
+                let preds: Vec<_> =
+                    eval.iter().map(|w| s.predict_window(w).unwrap().clone()).collect();
+                (s.events().to_vec(), s.steps(), s.num_domains(), preds)
+            })
+            .unwrap();
+        assert_eq!(store.hydrations(), 1);
+        assert!(!store.has_archived(1));
+        assert_eq!(store.archived_bytes(), 0);
+        assert_eq!(after, before, "rehydrated serving must be bit-exact with pre-eviction");
+        assert_eq!(steps_after, steps_before, "step counter must survive suspension");
+        assert_eq!(domains_after, domains_before);
+        assert_eq!(events_after.len(), events_before.len());
+        for (a, b) in events_after.iter().zip(&events_before) {
+            assert_eq!(
+                (a.tag, a.step, a.enrolled_windows, a.oracle_labelled),
+                (b.tag, b.step, b.enrolled_windows, b.oracle_labelled),
+                "enrolment history must survive suspension"
+            );
+        }
+
+        // A second, different drift (other source domain, harsher gain, a
+        // dead channel) must fire again — and its tag must extend the
+        // sequence, not reuse one.
+        let second = concept_drift_stream(
+            &ds,
+            &StreamConfig {
+                segments: vec![DriftSegment {
+                    domain: 2,
+                    windows: 140,
+                    gain_ramp: Some((2.4, 2.4)),
+                    dropout_channel: Some(1),
+                }],
+                seed: 99,
+            },
+        )
+        .unwrap();
+        let mut new_tags = Vec::new();
+        for item in &second {
+            let adapted = store
+                .with_session(1, |s| s.ingest_labelled(&item.window, item.label).map(|o| o.adapted))
+                .unwrap()
+                .unwrap();
+            if let Some(event) = adapted {
+                new_tags.push(event.tag);
+            }
+        }
+        assert!(!new_tags.is_empty(), "fresh drift after rehydration must enrol again");
+        let prev_max = events_before.iter().map(|e| e.tag).max().unwrap();
+        assert!(
+            new_tags.iter().all(|t| *t > prev_max),
+            "post-rehydration tags {new_tags:?} must continue past {prev_max}"
+        );
+
+        // The whole lifecycle is journalled with the tenant's id.
+        let snap = journal.snapshot();
+        assert!(snap.count_of(EventKind::SessionEvicted) >= 1);
+        assert_eq!(snap.count_of(EventKind::SessionHydrated), 1);
+        let hydrated = snap.events.iter().find(|e| e.kind == EventKind::SessionHydrated).unwrap();
+        assert_eq!(hydrated.tenant, 1);
+        assert_eq!(hydrated.a, archived as u64, "hydration event carries the bytes read");
+        assert!(hydrated.b >= 1, "hydration event carries the domains restored");
+        let evicted = snap
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::SessionEvicted && e.tenant == 1)
+            .unwrap();
+        assert_eq!(evicted.a, archived as u64, "eviction event carries the bytes archived");
+    }
+
+    /// Corrupt archived bytes fail typed on rehydration and stay archived
+    /// for inspection; other tenants keep serving.
+    #[test]
+    fn corrupt_archive_fails_typed_and_is_kept() {
+        let (ds, engine) = fixture();
+        let mut store = SessionStore::new(Arc::clone(engine), 2, usize::MAX).unwrap();
+        personalize(&mut store, 1, &stormy(ds));
+
+        // Evict tenant 1, then sabotage its archive.
+        let window = ds.window(0);
+        for tenant in 2..=4 {
+            store.with_session(tenant, |s| s.predict_window(window).unwrap().label).unwrap();
+        }
+        assert!(store.has_archived(1));
+        let mut bytes = store.archived_delta(1).unwrap().to_vec();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        store.archived.insert(1, bytes);
+
+        let err = store.with_session(1, |s| s.steps()).unwrap_err();
+        assert!(matches!(err, SmoreError::CorruptArtifact { .. }), "{err}");
+        assert!(store.has_archived(1), "failed hydration must keep the bytes for inspection");
+        assert!(!store.is_resident(1));
+        assert_eq!(store.hydrations(), 0);
+        // The store still serves everyone else.
+        store.with_session(2, |s| s.predict_window(window).unwrap().label).unwrap();
+    }
+}
