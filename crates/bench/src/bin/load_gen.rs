@@ -51,6 +51,7 @@ struct Args {
     out: String,
     smoke: bool,
     connect: Option<String>,
+    storm: bool,
 }
 
 impl Args {
@@ -67,6 +68,7 @@ impl Args {
             out: "BENCH_serve.json".into(),
             smoke: false,
             connect: None,
+            storm: false,
         };
         let mut it = std::env::args().skip(1);
         while let Some(arg) = it.next() {
@@ -95,6 +97,7 @@ impl Args {
                 "--out" => args.out = val("--out"),
                 "--smoke" => args.smoke = true,
                 "--connect" => args.connect = Some(val("--connect")),
+                "--storm" => args.storm = true,
                 "--help" | "-h" => {
                     println!(
                         "load_gen: drive a smore_serve front-end with a simulated tenant fleet.\n\
@@ -109,7 +112,11 @@ impl Args {
                          --workers N              in-process server workers (default 2)\n\
                          --out PATH               JSON output (default BENCH_serve.json)\n\
                          --smoke                  tiny fleet, skip the JSON write\n\
-                         --connect ADDR           drive an external server (steady scenario only)"
+                         --connect ADDR           drive an external server (steady traffic)\n\
+                         --storm                  with --connect: drive the enrolment storm\n\
+                                                  instead (personalizes 10% of the fleet, so\n\
+                                                  a --state-dir server accumulates durable\n\
+                                                  tenant state)"
                     );
                     std::process::exit(0);
                 }
@@ -467,27 +474,39 @@ fn main() {
         synthetic::drift_stream(&ds, 256, args.seed ^ 0xD1F7).expect("drift pool synthesizes");
 
     if let Some(addr) = &args.connect {
-        // External server: steady traffic only (its coalescing config is
-        // whatever it was started with; no in-process metrics).
-        println!("driving external server at {addr}");
-        let ops = steady_ops(&args, &train_windows);
+        // External server: its coalescing config is whatever it was
+        // started with; no in-process metrics. `--storm` swaps the steady
+        // script for the enrolment storm, personalizing 10% of the fleet —
+        // the traffic the CI kill/restart smoke uses to land durable
+        // tenant state in a `--state-dir` server before killing it.
+        let (name, ops) = if args.storm {
+            println!("driving external server at {addr} (enrolment storm)");
+            let mut ops = storm_ops(&args, &train_windows, drift_pool.len());
+            // Churn wave after the storm: one ingest per steady tenant
+            // materializes a session, pushing the personalized drifting
+            // tenants out through the LRU — against a `--state-dir`
+            // server their deltas land in the durable archive, which the
+            // kill/restart smoke depends on having on disk before the
+            // kill.
+            let drifting = (args.tenants / 10).max(1);
+            for tenant in drifting..args.tenants {
+                ops[tenant % args.connections]
+                    .push(Op::Ingest { tenant: tenant as u64, window: tenant % drift_pool.len() });
+            }
+            ("remote_storm", ops)
+        } else {
+            println!("driving external server at {addr}");
+            ("remote_steady", steady_ops(&args, &train_windows))
+        };
         let (stats, hists, wall) = run_scenario(addr, &ds, &drift_pool, ops, args.inflight);
         // Scrape the server's telemetry over the wire: the snapshot must
         // decode (versioned frame) and account for at least the
-        // predictions this run just received.
+        // requests this run just received.
         let mut client = ServeClient::connect(addr).expect("stats connection");
         let remote = client.stats().expect("wire stats snapshot decodes");
-        let result = ScenarioResult::from_stats(
-            "remote_steady",
-            0,
-            &stats,
-            &hists,
-            wall,
-            None,
-            Some(&remote),
-        );
+        let result = ScenarioResult::from_stats(name, 0, &stats, &hists, wall, None, Some(&remote));
         result.report();
-        let answered = hists.predict.snapshot().count;
+        let answered = hists.predict.snapshot().count + hists.ingest.snapshot().count;
         let served = remote.counter("requests_served").unwrap_or(0);
         println!(
             "server stats: served {served}, {} stage histograms, journal pushed {}",
@@ -498,6 +517,13 @@ fn main() {
             served >= answered,
             "server reports {served} served but this run received {answered} predictions"
         );
+        if args.storm {
+            let adaptations = remote.counter("adaptations").unwrap_or(0);
+            assert!(
+                adaptations > 0,
+                "the storm must fire enrolments on the remote server (same --seed fleet?)"
+            );
+        }
         if stats.rejected > 0 {
             eprintln!(
                 "{} requests were rejected — is the server on the same fleet recipe?",

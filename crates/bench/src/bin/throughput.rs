@@ -39,7 +39,7 @@ use smore_data::split;
 use smore_data::stream::{concept_drift_stream, DriftSegment, StreamConfig};
 use smore_hdc::encoder::{EncoderConfig, MultiSensorEncoder};
 use smore_packed::{EncoderScratch, PackedHypervector, PackedNgramEncoder};
-use smore_stream::{LabelStrategy, ServeEngine, StreamingConfig};
+use smore_stream::{FlushPolicy, LabelStrategy, ServeEngine, StateDir, StreamingConfig};
 use smore_tensor::{init, vecops, Matrix};
 
 /// One measured row of the report.
@@ -184,6 +184,17 @@ struct TenantStateReport {
     hydrate_per_sec: f64,
     hydrate_p50_ms: f64,
     hydrate_p95_ms: f64,
+    /// Durable-archive write of the delta artifact under
+    /// `FlushPolicy::OnEvict` (atomic temp + rename, no fsync) — the cost
+    /// an eviction pays on the default policy.
+    archive_write_p50_ms: f64,
+    /// The same write under `FlushPolicy::Sync` (fsync file + dir per
+    /// write) — the crash-durability premium.
+    archive_fsync_p50_ms: f64,
+    /// Archived tenant files the recovery scan indexed.
+    recovery_scan_files: usize,
+    /// Wall-clock of one cold `StateDir::open` over those files.
+    recovery_scan_ms: f64,
 }
 
 impl TenantStateReport {
@@ -288,6 +299,46 @@ fn tenant_state_report(profile: &BenchProfile) -> TenantStateReport {
     });
     let (hydrate_p50_ms, hydrate_p95_ms) = latency_percentiles(latencies);
 
+    // Flush-policy overhead: the durable-archive write an eviction pays,
+    // per policy, over the real delta artifact just suspended (repeated
+    // evictions of one tenant — the atomic rename replaces the file).
+    let scratch = std::env::temp_dir().join(format!("smore_bench_state_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let mut on_evict = StateDir::open(scratch.join("on_evict"), FlushPolicy::OnEvict, |_| true)
+        .expect("scratch state dir opens");
+    let (_, lat) = time_calls(60, || on_evict.write(1, &bytes).expect("archive write succeeds"));
+    let (archive_write_p50_ms, _) = latency_percentiles(lat);
+    let mut sync = StateDir::open(scratch.join("sync"), FlushPolicy::Sync, |_| true)
+        .expect("scratch state dir opens");
+    let (_, lat) = time_calls(60, || sync.write(1, &bytes).expect("archive fsync succeeds"));
+    let (archive_fsync_p50_ms, _) = latency_percentiles(lat);
+
+    // Recovery-scan cost: a restart over a fleet's worth of archived
+    // tenants — every file's header is validated and indexed before the
+    // server takes traffic. Committed runs (the fast profile and up)
+    // measure the canonical 100k-tenant archive; sub-fast smoke scales
+    // shrink the fleet with the rest of the budget.
+    let recovery_scan_files = if profile.preset.scale >= 0.1 {
+        100_000
+    } else {
+        ((100_000.0 * f64::from(profile.preset.scale)).round() as usize).max(1_000)
+    };
+    println!("archiving {recovery_scan_files} tenants for the recovery-scan measurement...");
+    let fleet_dir = scratch.join("fleet");
+    let mut fleet = StateDir::open(&fleet_dir, FlushPolicy::OnEvict, |_| true)
+        .expect("scratch state dir opens");
+    for tenant in 0..recovery_scan_files as u64 {
+        fleet.write(tenant, &bytes).expect("archive write succeeds");
+    }
+    drop(fleet);
+    let t0 = Instant::now();
+    let recovered =
+        StateDir::open(&fleet_dir, FlushPolicy::OnEvict, |_| true).expect("recovery scan succeeds");
+    let recovery_scan_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(recovered.len(), recovery_scan_files, "the scan must index every archived tenant");
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&scratch);
+
     TenantStateReport {
         dim: profile.dim,
         base_resident_bytes,
@@ -297,6 +348,10 @@ fn tenant_state_report(profile: &BenchProfile) -> TenantStateReport {
         hydrate_per_sec,
         hydrate_p50_ms,
         hydrate_p95_ms,
+        archive_write_p50_ms,
+        archive_fsync_p50_ms,
+        recovery_scan_files,
+        recovery_scan_ms,
     }
 }
 
@@ -307,6 +362,8 @@ fn write_tenant_state_json(path: &str, r: &TenantStateReport) -> std::io::Result
          \"delta_artifact_bytes\": {},\n  \"delta_domains\": {},\n  \
          \"clone_over_delta_ratio\": {:.2},\n  \"hydrate_per_sec\": {:.2},\n  \
          \"hydrate_p50_ms\": {:.6},\n  \"hydrate_p95_ms\": {:.6},\n  \
+         \"archive_write_p50_ms\": {:.6},\n  \"archive_fsync_p50_ms\": {:.6},\n  \
+         \"recovery_scan_files\": {},\n  \"recovery_scan_ms\": {:.3},\n  \
          \"fleet_1m_tenants_100k_personalized_gib\": {:.3}\n}}\n",
         r.dim,
         r.base_resident_bytes,
@@ -318,6 +375,10 @@ fn write_tenant_state_json(path: &str, r: &TenantStateReport) -> std::io::Result
         r.hydrate_per_sec,
         r.hydrate_p50_ms,
         r.hydrate_p95_ms,
+        r.archive_write_p50_ms,
+        r.archive_fsync_p50_ms,
+        r.recovery_scan_files,
+        r.recovery_scan_ms,
         r.fleet_1m_gib(),
     );
     std::fs::write(path, json)
@@ -526,6 +587,15 @@ fn main() {
             "\nhydrate (artifact -> session -> first prediction): p50 {:.3} ms, p95 {:.3} ms \
              ({:.0}/sec)",
             report.hydrate_p50_ms, report.hydrate_p95_ms, report.hydrate_per_sec
+        );
+        println!(
+            "durable archive write: p50 {:.3} ms on_evict, {:.3} ms sync (fsync premium \
+             {:.2}x); recovery scan of {} archived tenants: {:.1} ms",
+            report.archive_write_p50_ms,
+            report.archive_fsync_p50_ms,
+            report.archive_fsync_p50_ms / report.archive_write_p50_ms.max(1e-9),
+            report.recovery_scan_files,
+            report.recovery_scan_ms
         );
         println!(
             "fleet projection: 1M tenants, 100k personalized-and-evicted = {:.2} GiB archived \

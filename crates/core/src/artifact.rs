@@ -65,6 +65,12 @@ pub const MAGIC: [u8; 8] = *b"SMOREHDC";
 /// reject every version they were not built for.
 pub const FORMAT_VERSION: u16 = 1;
 
+/// Length of the fixed artifact header in bytes — the prefix
+/// [`kind_of`] needs to sniff a file without reading its payload (e.g.
+/// the state-dir recovery scan validating thousands of per-tenant delta
+/// files with one small read each).
+pub const HEADER_LEN: usize = 16;
+
 /// What a `.smore` artifact contains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ArtifactKind {

@@ -44,6 +44,14 @@ pub enum SmoreError {
         /// What was wrong with it.
         reason: String,
     },
+    /// The host refused an operating-system resource the serving stack
+    /// needs (a worker thread, a socket) — distinct from [`Io`](Self::Io)
+    /// because no artifact path is involved and the caller's recovery is
+    /// capacity planning, not file repair.
+    Resource {
+        /// What could not be obtained, with the OS error rendered in.
+        what: String,
+    },
     /// Underlying HDC failure.
     Hdc(HdcError),
     /// Underlying dataset failure.
@@ -68,6 +76,9 @@ impl fmt::Display for SmoreError {
             }
             SmoreError::CorruptArtifact { section, reason } => {
                 write!(f, "corrupt .smore artifact (section {section}): {reason}")
+            }
+            SmoreError::Resource { what } => {
+                write!(f, "os resource unavailable: {what}")
             }
             SmoreError::Hdc(e) => write!(f, "hdc error: {e}"),
             SmoreError::Data(e) => write!(f, "data error: {e}"),
@@ -99,6 +110,12 @@ impl SmoreError {
     /// Builds a [`SmoreError::CorruptArtifact`] for `section`.
     pub fn corrupt(section: impl Into<String>, reason: impl Into<String>) -> Self {
         SmoreError::CorruptArtifact { section: section.into(), reason: reason.into() }
+    }
+
+    /// Wraps an OS refusal (thread spawn, socket) as
+    /// [`SmoreError::Resource`].
+    pub fn resource(what: impl Into<String>, error: &std::io::Error) -> Self {
+        SmoreError::Resource { what: format!("{}: {error}", what.into()) }
     }
 }
 
@@ -150,6 +167,13 @@ mod tests {
         assert!(corrupt.to_string().contains("gram"));
         assert!(corrupt.to_string().contains("crc mismatch"));
         assert_eq!(corrupt.clone(), corrupt);
+        let res = SmoreError::resource(
+            "spawning worker thread 3",
+            &std::io::Error::new(std::io::ErrorKind::WouldBlock, "EAGAIN"),
+        );
+        assert!(res.to_string().contains("worker thread 3"));
+        assert!(res.to_string().contains("EAGAIN"));
+        assert!(Error::source(&res).is_none());
     }
 
     #[test]

@@ -58,6 +58,14 @@ pub enum EventKind {
     /// delta on its next request. `a` = delta bytes read, `b` = enrolled
     /// delta domains restored, `nanos` = wall time of the rehydration.
     SessionHydrated = 9,
+    /// A serving worker thread panicked and was respawned by its
+    /// supervisor with the shard queue intact. `a` = shard index,
+    /// `b` = respawn count for that shard so far.
+    WorkerPanic = 10,
+    /// An archived tenant-state artifact failed validation (torn write,
+    /// bit rot, foreign base) and was quarantined on disk — renamed, not
+    /// deleted. `a` = artifact bytes.
+    StateQuarantined = 11,
 }
 
 impl EventKind {
@@ -74,6 +82,8 @@ impl EventKind {
             7 => EventKind::OverloadShed,
             8 => EventKind::SessionEvicted,
             9 => EventKind::SessionHydrated,
+            10 => EventKind::WorkerPanic,
+            11 => EventKind::StateQuarantined,
             _ => return None,
         })
     }
@@ -91,6 +101,8 @@ impl EventKind {
             EventKind::OverloadShed => "overload_shed",
             EventKind::SessionEvicted => "session_evicted",
             EventKind::SessionHydrated => "session_hydrated",
+            EventKind::WorkerPanic => "worker_panic",
+            EventKind::StateQuarantined => "state_quarantined",
         }
     }
 }

@@ -16,6 +16,7 @@
 
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use smore_obs::StatsSnapshot;
 use smore_tensor::Matrix;
@@ -61,12 +62,40 @@ impl From<io::Error> for ClientError {
     }
 }
 
+/// Backoff schedule for [`ServeClient::predict_retrying`] /
+/// [`ServeClient::ingest_retrying`]: retries apply **only** to
+/// [`ErrorCode::Overloaded`] refusals — the one error the server
+/// explicitly asks the client to retry — with exponential, jittered
+/// delays so a refused fleet does not re-synchronize into the same
+/// full queue.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts, the first included (`1` disables retrying).
+    pub attempts: u32,
+    /// Delay before the first retry; doubles per retry.
+    pub base_delay: Duration,
+    /// Cap on the (pre-jitter) delay.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 5,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(50),
+        }
+    }
+}
+
 /// One connection to a SMORE serving front-end.
 #[derive(Debug)]
 pub struct ServeClient {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     next_id: u64,
+    /// xorshift64* state feeding retry jitter — no clock, no new deps.
+    jitter_state: u64,
 }
 
 impl ServeClient {
@@ -79,7 +108,31 @@ impl ServeClient {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let read_half = stream.try_clone()?;
-        Ok(Self { reader: BufReader::new(read_half), writer: BufWriter::new(stream), next_id: 0 })
+        // Seed jitter from the ephemeral local port: cheap, distinct per
+        // connection, deterministic within one.
+        let seed = match stream.local_addr() {
+            Ok(addr) => u64::from(addr.port()) | 0x9E37_79B9_7F4A_7C15,
+            Err(_) => 0x9E37_79B9_7F4A_7C15,
+        };
+        Ok(Self {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+            next_id: 0,
+            jitter_state: seed,
+        })
+    }
+
+    /// Sets (or clears) the socket read/write timeout. With a timeout
+    /// set, a stalled or dead server surfaces as [`ClientError::Io`]
+    /// within the bound instead of blocking a caller forever.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket option failure (e.g. a zero duration).
+    pub fn set_io_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        let stream = self.reader.get_ref();
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)
     }
 
     fn send(&mut self, request: &Request) -> io::Result<u64> {
@@ -199,6 +252,74 @@ impl ServeClient {
         let response =
             self.round_trip(&Request::Ingest { tenant_id, label, window: window.clone() })?;
         Self::expect_prediction(response)
+    }
+
+    /// [`predict`](Self::predict) with `Overloaded`-aware retry: an
+    /// admission-control refusal sleeps an exponentially-growing,
+    /// jittered delay and tries again, up to [`RetryPolicy::attempts`].
+    /// Every other error — transport, protocol, model rejection — is
+    /// returned immediately; retrying cannot fix those.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`predict`](Self::predict); the final
+    /// `Overloaded` is returned when every attempt was refused.
+    pub fn predict_retrying(
+        &mut self,
+        tenant_id: u64,
+        window: &Matrix,
+        policy: RetryPolicy,
+    ) -> Result<WirePrediction, ClientError> {
+        self.with_retry(policy, |c| c.predict(tenant_id, window))
+    }
+
+    /// [`ingest`](Self::ingest) with `Overloaded`-aware retry (see
+    /// [`predict_retrying`](Self::predict_retrying)).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ingest`](Self::ingest).
+    pub fn ingest_retrying(
+        &mut self,
+        tenant_id: u64,
+        window: &Matrix,
+        label: Option<u32>,
+        policy: RetryPolicy,
+    ) -> Result<WirePrediction, ClientError> {
+        self.with_retry(policy, |c| c.ingest(tenant_id, window, label))
+    }
+
+    fn with_retry(
+        &mut self,
+        policy: RetryPolicy,
+        mut call: impl FnMut(&mut Self) -> Result<WirePrediction, ClientError>,
+    ) -> Result<WirePrediction, ClientError> {
+        let attempts = policy.attempts.max(1);
+        let mut delay = policy.base_delay;
+        for attempt in 1..=attempts {
+            match call(self) {
+                Err(ClientError::Server { code: ErrorCode::Overloaded, .. })
+                    if attempt < attempts =>
+                {
+                    std::thread::sleep(self.jittered(delay));
+                    delay = (delay * 2).min(policy.max_delay);
+                }
+                outcome => return outcome,
+            }
+        }
+        unreachable!("the final attempt always returns")
+    }
+
+    /// Scales `delay` by a factor in `[0.5, 1.5)` from the xorshift64*
+    /// stream, de-synchronizing a fleet of refused clients.
+    fn jittered(&mut self, delay: Duration) -> Duration {
+        let mut x = self.jitter_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter_state = x;
+        let unit = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+        delay.mul_f64(0.5 + unit)
     }
 
     /// Liveness probe.

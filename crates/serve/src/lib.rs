@@ -59,12 +59,14 @@ pub mod server;
 pub mod synthetic;
 mod telemetry;
 
-pub use client::{ClientError, ServeClient};
+pub use client::{ClientError, RetryPolicy, ServeClient};
 pub use protocol::{ErrorCode, Request, Response, WirePrediction};
-pub use server::{serve, ServeConfig, ServerHandle, ServerMetrics};
+pub use server::{serve, ChaosConfig, ServeConfig, ServerHandle, ServerMetrics};
 // The telemetry vocabulary a `Stats` scrape decodes into, re-exported so
 // clients need not depend on `smore_obs` directly.
 pub use smore_obs::{EventKind, StatsSnapshot};
+// The durable-archive vocabulary `ServeConfig::state_dir` configures.
+pub use smore_stream::FlushPolicy;
 
 /// Result alias; the front-end shares the core SMORE error vocabulary.
 pub type Result<T> = std::result::Result<T, smore::SmoreError>;

@@ -4,7 +4,9 @@
 //! smore_serve --synthetic [--addr 127.0.0.1:7878] [--dim 1024]
 //! smore_serve --artifact model.smore [--addr ...]
 //!             [--workers N] [--batch-max N] [--batch-deadline-us N]
-//!             [--queue-cap N] [--duration-secs N] [--seed N]
+//!             [--queue-cap N] [--max-sessions-per-shard N]
+//!             [--state-dir PATH] [--flush-policy sync|on_evict]
+//!             [--io-timeout-ms N] [--duration-secs N] [--seed N]
 //!             [--stats-every N]
 //! ```
 //!
@@ -18,11 +20,12 @@
 //! `SMORE_LOG=debug` for per-connection protocol errors).
 
 use std::net::TcpListener;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use smore_obs::{error, info, EventJournal};
-use smore_serve::{serve, synthetic, ServeConfig};
+use smore_serve::{serve, synthetic, FlushPolicy, ServeConfig};
 use smore_stream::ServeEngine;
 
 /// Ring capacity for the engine-attached adaptation journal.
@@ -38,6 +41,10 @@ struct Args {
     batch_max: Option<usize>,
     batch_deadline_us: Option<u64>,
     queue_cap: Option<usize>,
+    max_sessions_per_shard: Option<usize>,
+    state_dir: Option<PathBuf>,
+    flush_policy: Option<FlushPolicy>,
+    io_timeout_ms: Option<u64>,
     duration_secs: u64,
     stats_every_secs: u64,
 }
@@ -46,7 +53,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: smore_serve (--synthetic | --artifact <model.smore>) [--addr HOST:PORT] \
          [--dim N] [--seed N] [--workers N] [--batch-max N] [--batch-deadline-us N] \
-         [--queue-cap N] [--duration-secs N] [--stats-every N]"
+         [--queue-cap N] [--max-sessions-per-shard N] [--state-dir PATH] \
+         [--flush-policy sync|on_evict] [--io-timeout-ms N] [--duration-secs N] \
+         [--stats-every N]"
     );
     std::process::exit(2);
 }
@@ -73,6 +82,10 @@ fn parse_args() -> Args {
         batch_max: None,
         batch_deadline_us: None,
         queue_cap: None,
+        max_sessions_per_shard: None,
+        state_dir: None,
+        flush_policy: None,
+        io_timeout_ms: None,
         duration_secs: 0,
         stats_every_secs: 0,
     };
@@ -90,6 +103,21 @@ fn parse_args() -> Args {
                 args.batch_deadline_us = Some(parse(&mut it, "--batch-deadline-us"))
             }
             "--queue-cap" => args.queue_cap = Some(parse(&mut it, "--queue-cap")),
+            "--max-sessions-per-shard" => {
+                args.max_sessions_per_shard = Some(parse(&mut it, "--max-sessions-per-shard"))
+            }
+            "--state-dir" => {
+                args.state_dir = Some(PathBuf::from(parse::<String>(&mut it, "--state-dir")))
+            }
+            "--flush-policy" => {
+                let raw: String = parse(&mut it, "--flush-policy");
+                let Ok(policy) = FlushPolicy::parse(&raw) else {
+                    eprintln!("--flush-policy: expected 'sync' or 'on_evict', got '{raw}'");
+                    usage();
+                };
+                args.flush_policy = Some(policy);
+            }
+            "--io-timeout-ms" => args.io_timeout_ms = Some(parse(&mut it, "--io-timeout-ms")),
             "--duration-secs" => args.duration_secs = parse(&mut it, "--duration-secs"),
             "--stats-every" => args.stats_every_secs = parse(&mut it, "--stats-every"),
             "--help" | "-h" => {
@@ -99,11 +127,17 @@ fn parse_args() -> Args {
                      \n\
                      usage: smore_serve (--synthetic | --artifact <model.smore>) [--addr HOST:PORT]\n\
                             [--dim N] [--seed N] [--workers N] [--batch-max N]\n\
-                            [--batch-deadline-us N] [--queue-cap N] [--duration-secs N]\n\
-                            [--stats-every N]\n\
+                            [--batch-deadline-us N] [--queue-cap N] [--max-sessions-per-shard N]\n\
+                            [--state-dir PATH] [--flush-policy sync|on_evict] [--io-timeout-ms N]\n\
+                            [--duration-secs N] [--stats-every N]\n\
                      \n\
-                     --stats-every N  print the telemetry snapshot every N seconds\n\
-                     SMORE_LOG=LEVEL  error|warn|info|debug|trace diagnostics (default warn)"
+                     --state-dir PATH     durable tenant-state directory: evicted/drained\n\
+                                          sessions persist here and survive restarts\n\
+                     --flush-policy P     sync (fsync per archive write) or on_evict\n\
+                                          (default; fsync deferred to drain)\n\
+                     --io-timeout-ms N    per-connection socket read/write timeout\n\
+                     --stats-every N      print the telemetry snapshot every N seconds\n\
+                     SMORE_LOG=LEVEL      error|warn|info|debug|trace diagnostics (default warn)"
                 );
                 std::process::exit(0);
             }
@@ -159,6 +193,18 @@ fn main() {
     if let Some(q) = args.queue_cap {
         config.queue_capacity = q;
     }
+    if let Some(s) = args.max_sessions_per_shard {
+        config.max_sessions_per_shard = s;
+    }
+    if let Some(dir) = args.state_dir {
+        config.state_dir = Some(dir);
+    }
+    if let Some(policy) = args.flush_policy {
+        config.flush_policy = policy;
+    }
+    if let Some(ms) = args.io_timeout_ms {
+        config.io_timeout = Some(Duration::from_millis(ms));
+    }
 
     let listener = TcpListener::bind(&args.addr).unwrap_or_else(|e| {
         error!("serve", "cannot bind {}: {e}", args.addr);
@@ -170,12 +216,16 @@ fn main() {
     });
     info!(
         "serve",
-        "serving on {} ({} workers, batch_max {}, deadline {:?}, queue {})",
+        "serving on {} ({} workers, batch_max {}, deadline {:?}, queue {}, state {})",
         server.local_addr(),
         config.workers,
         config.batch_max,
         config.batch_deadline,
-        config.queue_capacity
+        config.queue_capacity,
+        match &config.state_dir {
+            Some(dir) => format!("{} ({})", dir.display(), config.flush_policy.name()),
+            None => "in-memory".into(),
+        }
     );
 
     // One loop drives both the serve deadline and the periodic stats

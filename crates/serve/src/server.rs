@@ -47,6 +47,8 @@ use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc};
@@ -54,8 +56,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use smore::{ServeScratch, SmoreError};
-use smore_obs::{debug, Event, EventJournal, EventKind, Stage, StageSet, StatsSnapshot};
-use smore_stream::{ServeEngine, SessionStore};
+use smore_obs::{
+    debug, error, warn, Event, EventJournal, EventKind, Stage, StageSet, StatsSnapshot,
+};
+use smore_stream::{FlushPolicy, ServeEngine, SessionStore, StateDir};
 use smore_tensor::Matrix;
 
 use crate::protocol::{
@@ -95,6 +99,36 @@ pub struct ServeConfig {
     /// LRU-evicting (evicted tenants park as compact delta artifacts and
     /// rehydrate on their next request).
     pub max_delta_bytes_per_shard: usize,
+    /// Durable tenant-state directory. When set, each worker backs its
+    /// eviction archive with per-tenant files here
+    /// ([`smore_stream::StateDir`]), recovers them on startup, and
+    /// [`ServerHandle::shutdown`] drains every resident personalized
+    /// session to it — restart → bit-exact predictions. `None` keeps the
+    /// PR 8 in-memory archive (state dies with the process).
+    pub state_dir: Option<PathBuf>,
+    /// When archive writes are fsynced (only meaningful with
+    /// [`state_dir`](Self::state_dir); see [`FlushPolicy`]).
+    pub flush_policy: FlushPolicy,
+    /// Socket read/write timeout applied to every accepted connection,
+    /// so a stalled peer cannot pin a connection thread forever; the
+    /// connection is closed when it trips. `None` (default) never times
+    /// out — PR 7 wire behaviour.
+    pub io_timeout: Option<Duration>,
+    /// Fault-injection hooks for the chaos harness. Default: all off.
+    pub chaos: ChaosConfig,
+}
+
+/// Deterministic fault-injection hooks ([`ServeConfig::chaos`]) — the
+/// levers `crates/serve/tests/chaos.rs` pulls. All off by default; a
+/// production config never sets them.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosConfig {
+    /// Panic the owning worker when a batch contains this tenant —
+    /// exercises the supervision/respawn path.
+    pub panic_on_tenant: Option<u64>,
+    /// Sleep this long per batched job before serving — makes queues
+    /// back up deterministically to exercise `Overloaded` retry paths.
+    pub stall_per_job: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -107,6 +141,10 @@ impl Default for ServeConfig {
             batch_deadline: Duration::from_micros(500),
             max_sessions_per_shard: 4096,
             max_delta_bytes_per_shard: 64 << 20,
+            state_dir: None,
+            flush_policy: FlushPolicy::default(),
+            io_timeout: None,
+            chaos: ChaosConfig::default(),
         }
     }
 }
@@ -124,6 +162,11 @@ impl ServeConfig {
         if self.max_sessions_per_shard == 0 {
             return Err(SmoreError::InvalidConfig {
                 what: "max_sessions_per_shard must be >= 1".into(),
+            });
+        }
+        if self.io_timeout == Some(Duration::ZERO) {
+            return Err(SmoreError::InvalidConfig {
+                what: "io_timeout must be positive (use None to disable)".into(),
             });
         }
         Ok(())
@@ -154,6 +197,19 @@ pub struct ServerMetrics {
     pub sessions_evicted: AtomicU64,
     /// Evicted sessions rehydrated from their archived deltas.
     pub sessions_hydrated: AtomicU64,
+    /// Worker threads that panicked and were respawned by supervision.
+    pub worker_panics: AtomicU64,
+    /// Personalized sessions suspended to the state dir by graceful
+    /// drain.
+    pub sessions_drained: AtomicU64,
+    /// Tenant-state files recovered from the state dir by directory
+    /// scans (startup and worker respawns).
+    pub state_recovered: AtomicU64,
+    /// Tenant-state files quarantined — torn, corrupt or unresumable.
+    pub state_quarantined: AtomicU64,
+    /// Archive writes the state dir refused; the state fell back to
+    /// memory.
+    pub state_write_failures: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -188,6 +244,9 @@ pub struct ServerHandle {
     metrics: Arc<ServerMetrics>,
     telemetry: Arc<Telemetry>,
     stop: Arc<AtomicBool>,
+    /// Whether workers run the graceful drain phase when they observe
+    /// `stop` — cleared by [`abort`](Self::abort) to simulate a crash.
+    drain: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -219,8 +278,26 @@ impl ServerHandle {
 
     /// Stops accepting, drains the workers and joins every server thread.
     /// Established connections are closed as their reader threads observe
-    /// the stop flag or EOF.
+    /// the stop flag or EOF. With [`ServeConfig::state_dir`] set, each
+    /// worker first serves its already-queued jobs, then suspends every
+    /// resident personalized session to the state dir and fsyncs — a
+    /// restart over the same directory rehydrates them bit-exactly.
     pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    /// Stops the server **without** the graceful drain phase — the
+    /// crash-simulation path for the fault-injection harness (threads of
+    /// a live process cannot be `SIGKILL`ed individually). Sessions still
+    /// resident are *not* suspended to the state dir; only state already
+    /// evicted (and flushed, per [`FlushPolicy`]) survives — exactly the
+    /// durability a real unclean kill leaves behind.
+    pub fn abort(mut self) {
+        self.drain.store(false, Ordering::SeqCst);
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Nudge the blocking accept loop awake.
         let _ = TcpStream::connect(self.addr);
@@ -240,16 +317,25 @@ impl ServerHandle {
 /// # Errors
 ///
 /// [`SmoreError::InvalidConfig`] for a zero worker count, queue capacity
-/// or batch size.
+/// or batch size; [`SmoreError::Io`] when
+/// [`ServeConfig::state_dir`] cannot be created;
+/// [`SmoreError::Resource`] when the OS refuses a server thread (every
+/// already-spawned thread is stopped and joined before returning).
 pub fn serve(
     engine: Arc<ServeEngine>,
     listener: TcpListener,
     config: ServeConfig,
 ) -> Result<ServerHandle> {
     config.validate()?;
+    if let Some(dir) = &config.state_dir {
+        // Fail fast on an uncreatable state dir; per-write failures later
+        // degrade to the in-memory overflow instead of failing startup.
+        std::fs::create_dir_all(dir).map_err(|e| SmoreError::io(dir.display().to_string(), &e))?;
+    }
     let addr = listener.local_addr().map_err(|e| SmoreError::io("listener", &e))?;
     let metrics = Arc::new(ServerMetrics::default());
     let stop = Arc::new(AtomicBool::new(false));
+    let drain = Arc::new(AtomicBool::new(true));
     // Share the engine's journal when one was attached (set_journal before
     // Arc-wrapping) so tenant lifecycle events and the server's shed
     // events land in one ring; otherwise run a server-local journal.
@@ -258,6 +344,19 @@ pub fn serve(
         .cloned()
         .unwrap_or_else(|| Arc::new(EventJournal::new(DEFAULT_JOURNAL_CAPACITY)));
     let telemetry = Arc::new(Telemetry::new(config.workers, journal));
+
+    // A failed spawn unwinds everything spawned so far: stop flag up,
+    // queues dropped (workers drain out on Disconnected), threads joined
+    // — the caller gets a typed error and no orphan threads.
+    let unwind = |worker_handles: Vec<JoinHandle<()>>,
+                  queues: Vec<SyncSender<Job>>,
+                  stop: &Arc<AtomicBool>| {
+        stop.store(true, Ordering::SeqCst);
+        drop(queues);
+        for handle in worker_handles {
+            let _ = handle.join();
+        }
+    };
 
     let mut worker_handles = Vec::with_capacity(config.workers);
     let mut queues: Vec<SyncSender<Job>> = Vec::with_capacity(config.workers);
@@ -268,46 +367,74 @@ pub fn serve(
         let metrics = Arc::clone(&metrics);
         let telemetry = Arc::clone(&telemetry);
         let worker_stop = Arc::clone(&stop);
+        let worker_drain = Arc::clone(&drain);
         let cfg = config.clone();
-        worker_handles.push(
-            std::thread::Builder::new()
-                .name(format!("smore-worker-{shard}"))
-                .spawn(move || worker_loop(engine, rx, cfg, metrics, telemetry, shard, worker_stop))
-                .expect("spawning a worker thread succeeds"),
-        );
+        let spawned =
+            std::thread::Builder::new().name(format!("smore-worker-{shard}")).spawn(move || {
+                supervise_worker(
+                    &engine,
+                    &rx,
+                    &cfg,
+                    &metrics,
+                    &telemetry,
+                    shard,
+                    &worker_stop,
+                    &worker_drain,
+                );
+            });
+        match spawned {
+            Ok(handle) => worker_handles.push(handle),
+            Err(e) => {
+                unwind(worker_handles, queues, &stop);
+                return Err(SmoreError::resource(format!("spawning worker thread {shard}"), &e));
+            }
+        }
     }
 
     let accept_metrics = Arc::clone(&metrics);
     let accept_telemetry = Arc::clone(&telemetry);
     let accept_stop = Arc::clone(&stop);
-    let accept_thread = std::thread::Builder::new()
-        .name("smore-accept".into())
-        .spawn(move || {
-            // Dropping `queues` when this loop exits closes every worker
-            // queue once in-flight jobs (which hold clones) finish.
-            let queues = queues;
-            for stream in listener.incoming() {
-                if accept_stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
-                ServerMetrics::bump(&accept_metrics.connections);
-                let queues = queues.clone();
-                let metrics = Arc::clone(&accept_metrics);
-                let telemetry = Arc::clone(&accept_telemetry);
-                let stop = Arc::clone(&accept_stop);
-                let _ = std::thread::Builder::new()
-                    .name("smore-conn".into())
-                    .spawn(move || connection_loop(stream, &queues, &metrics, &telemetry, &stop));
+    let io_timeout = config.io_timeout;
+    let accept_thread = std::thread::Builder::new().name("smore-accept".into()).spawn(move || {
+        // Dropping `queues` when this loop exits closes every worker
+        // queue once in-flight jobs (which hold clones) finish.
+        let queues = queues;
+        for stream in listener.incoming() {
+            if accept_stop.load(Ordering::SeqCst) {
+                break;
             }
-        })
-        .expect("spawning the accept thread succeeds");
+            let Ok(stream) = stream else { continue };
+            // A stalled peer trips these and the connection closes
+            // instead of pinning its threads forever.
+            if let Some(timeout) = io_timeout {
+                let _ = stream.set_read_timeout(Some(timeout));
+                let _ = stream.set_write_timeout(Some(timeout));
+            }
+            ServerMetrics::bump(&accept_metrics.connections);
+            let queues = queues.clone();
+            let metrics = Arc::clone(&accept_metrics);
+            let telemetry = Arc::clone(&accept_telemetry);
+            let stop = Arc::clone(&accept_stop);
+            let _ = std::thread::Builder::new()
+                .name("smore-conn".into())
+                .spawn(move || connection_loop(stream, &queues, &metrics, &telemetry, &stop));
+        }
+    });
+    let accept_thread = match accept_thread {
+        Ok(handle) => handle,
+        Err(e) => {
+            // `queues` moved into the failed closure and is already gone.
+            unwind(worker_handles, Vec::new(), &stop);
+            return Err(SmoreError::resource("spawning the accept thread", &e));
+        }
+    };
 
     Ok(ServerHandle {
         addr,
         metrics,
         telemetry,
         stop,
+        drain,
         accept_thread: Some(accept_thread),
         workers: worker_handles,
     })
@@ -334,10 +461,18 @@ fn connection_loop(
     let Ok(write_half) = stream.try_clone() else { return };
     let (reply_tx, reply_rx): (Sender<Vec<u8>>, Receiver<Vec<u8>>) = mpsc::channel();
     let writer_telemetry = Arc::clone(telemetry);
-    let writer = std::thread::Builder::new()
+    let writer = match std::thread::Builder::new()
         .name("smore-conn-writer".into())
         .spawn(move || writer_loop(write_half, reply_rx, &writer_telemetry))
-        .expect("spawning a connection writer succeeds");
+    {
+        Ok(handle) => handle,
+        Err(e) => {
+            // Thread exhaustion: shed this connection (the peer sees a
+            // clean close and can retry) instead of killing the server.
+            warn!("serve", "dropping a connection: cannot spawn its writer thread: {e}");
+            return;
+        }
+    };
 
     let mut reader = BufReader::new(stream);
     loop {
@@ -477,47 +612,193 @@ fn writer_loop(stream: TcpStream, replies: Receiver<Vec<u8>>, telemetry: &Teleme
     }
 }
 
-/// One shard: owns every hashed-here tenant's session, coalesces the
-/// queue into micro-batches, serves, replies.
-fn worker_loop(
-    engine: Arc<ServeEngine>,
-    queue: Receiver<Job>,
-    config: ServeConfig,
-    metrics: Arc<ServerMetrics>,
-    telemetry: Arc<Telemetry>,
+/// Renders a panic payload for the supervision log line.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
+}
+
+/// The failure-domain boundary around one shard: runs [`worker_loop`]
+/// under `catch_unwind`; a panic loses only that worker's *resident*
+/// sessions (their last archived state, if any, is re-scanned from the
+/// state dir) — the queue, its in-flight jobs and every other shard
+/// survive, and the loop respawns the worker in place. Each panic is
+/// counted, journalled and logged.
+#[allow(clippy::too_many_arguments)]
+fn supervise_worker(
+    engine: &Arc<ServeEngine>,
+    queue: &Receiver<Job>,
+    config: &ServeConfig,
+    metrics: &Arc<ServerMetrics>,
+    telemetry: &Arc<Telemetry>,
     shard: usize,
-    stop: Arc<AtomicBool>,
+    stop: &Arc<AtomicBool>,
+    drain: &Arc<AtomicBool>,
 ) {
-    let mut sessions = SessionStore::new(
-        Arc::clone(&engine),
-        config.max_sessions_per_shard,
-        config.max_delta_bytes_per_shard,
-    )
-    .expect("serve() validated the session caps");
+    let mut respawns = 0u64;
+    loop {
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            worker_loop(engine, queue, config, metrics, telemetry, shard, stop, drain);
+        }));
+        match run {
+            Ok(()) => break,
+            Err(payload) => {
+                respawns += 1;
+                ServerMetrics::bump(&metrics.worker_panics);
+                telemetry.journal.push(Event {
+                    kind: EventKind::WorkerPanic,
+                    tenant: 0,
+                    step: 0,
+                    a: shard as u64,
+                    b: respawns,
+                    nanos: 0,
+                });
+                error!(
+                    "serve",
+                    "worker {shard} panicked ({}); respawning with its queue intact",
+                    panic_message(payload.as_ref())
+                );
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                // A deterministic crash loop must not spin a core.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Builds the shard's session store: persistent over
+/// [`ServeConfig::state_dir`] when set (with this shard's ownership
+/// filter, so a restart with a different worker count still assigns
+/// every recovered file to exactly one worker), in-memory otherwise —
+/// including as the degraded fallback when the state dir cannot be
+/// opened, because serving beats durability.
+fn open_store(engine: &Arc<ServeEngine>, config: &ServeConfig, shard: usize) -> SessionStore {
+    let caps = (config.max_sessions_per_shard, config.max_delta_bytes_per_shard);
+    if let Some(dir) = &config.state_dir {
+        let workers = config.workers;
+        match StateDir::open(dir, config.flush_policy, move |tenant| {
+            shard_of(tenant, workers) == shard
+        }) {
+            Ok(state) => {
+                return SessionStore::new_persistent(Arc::clone(engine), caps.0, caps.1, state)
+                    .expect("serve() validated the session caps");
+            }
+            Err(e) => {
+                error!(
+                    "serve",
+                    "worker {shard} cannot open state dir {} ({e}); \
+                     serving with a volatile in-memory archive",
+                    dir.display()
+                );
+            }
+        }
+    }
+    SessionStore::new(Arc::clone(engine), caps.0, caps.1)
+        .expect("serve() validated the session caps")
+}
+
+/// Store counters already forwarded into [`ServerMetrics`] — the store's
+/// counters are cumulative per instance, so the worker forwards diffs.
+#[derive(Default)]
+struct ForwardedCounters {
+    evictions: u64,
+    hydrations: u64,
+    recovered: u64,
+    quarantined: u64,
+    write_failures: u64,
+}
+
+fn forward_store_counters(
+    seen: &mut ForwardedCounters,
+    sessions: &SessionStore,
+    metrics: &ServerMetrics,
+) {
+    let forward = |counter: &AtomicU64, now: u64, seen: &mut u64| {
+        counter.fetch_add(now.saturating_sub(*seen), Ordering::Relaxed);
+        *seen = now;
+    };
+    forward(&metrics.sessions_evicted, sessions.evictions(), &mut seen.evictions);
+    forward(&metrics.sessions_hydrated, sessions.hydrations(), &mut seen.hydrations);
+    forward(&metrics.state_recovered, sessions.state_recovered(), &mut seen.recovered);
+    forward(&metrics.state_quarantined, sessions.state_quarantined(), &mut seen.quarantined);
+    forward(
+        &metrics.state_write_failures,
+        sessions.state_write_failures(),
+        &mut seen.write_failures,
+    );
+}
+
+/// Occupancy gauges: overwrite this shard's slots, walking only the
+/// *resident* sessions — an evicted session stops counting the moment
+/// it leaves the store, so the gauges can never go stale on session
+/// drop. One pass costs microseconds against a batch's milliseconds of
+/// scoring.
+fn refresh_gauges(telemetry: &Telemetry, shard: usize, sessions: &SessionStore) {
+    let gauges = &telemetry.gauges[shard];
+    let mut personalized = 0u64;
+    let mut buffered = 0u64;
+    let mut ood_micros = 0u64;
+    for session in sessions.sessions() {
+        personalized += u64::from(session.is_personalized());
+        buffered += session.buffered() as u64;
+        ood_micros += (f64::from(session.recent_ood_fraction()) * 1e6) as u64;
+    }
+    gauges.sessions.store(sessions.len() as u64, Ordering::Relaxed);
+    gauges.personalized.store(personalized, Ordering::Relaxed);
+    gauges.buffered_windows.store(buffered, Ordering::Relaxed);
+    gauges.ood_fraction_micros.store(ood_micros, Ordering::Relaxed);
+    gauges.archived_tenants.store(sessions.archived_tenants() as u64, Ordering::Relaxed);
+    gauges.archived_bytes.store(sessions.archived_bytes() as u64, Ordering::Relaxed);
+    gauges.resident_delta_bytes.store(sessions.resident_delta_bytes() as u64, Ordering::Relaxed);
+}
+
+/// One shard: owns every hashed-here tenant's session, coalesces the
+/// queue into micro-batches, serves, replies. On shutdown (with `drain`
+/// still set) it serves the jobs already queued, then suspends every
+/// resident session to the state dir so nothing personalized is lost.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    engine: &Arc<ServeEngine>,
+    queue: &Receiver<Job>,
+    config: &ServeConfig,
+    metrics: &Arc<ServerMetrics>,
+    telemetry: &Arc<Telemetry>,
+    shard: usize,
+    stop: &Arc<AtomicBool>,
+    drain: &Arc<AtomicBool>,
+) {
+    let mut sessions = open_store(engine, config, shard);
     let mut scratch = ServeScratch::new();
     let mut batch: Vec<Job> = Vec::with_capacity(config.batch_max);
     let stages = &telemetry.shards[shard];
-    // Store counters are cumulative; the worker forwards per-batch diffs
-    // into the server-wide monotone metrics.
-    let (mut seen_evictions, mut seen_hydrations) = (0u64, 0u64);
+    let mut seen = ForwardedCounters::default();
+    // Publish recovery results immediately — a restarted server must show
+    // honest `state_recovered` gauges before any traffic arrives.
+    forward_store_counters(&mut seen, &sessions, metrics);
+    refresh_gauges(telemetry, shard, &sessions);
     let dequeue = |stages: &StageSet, mut job: Job| -> Job {
         stages.record(Stage::QueueWait, nanos_of(job.accepted.elapsed()));
         job.dequeued = Instant::now();
         job
     };
 
-    loop {
+    'serving: loop {
         // Wait for the first job, re-checking the stop flag so shutdown
         // never deadlocks on queue senders still held by live connection
         // threads. A closed queue also means shutdown.
         let first = loop {
             if stop.load(Ordering::SeqCst) {
-                return;
+                break 'serving;
             }
             match queue.recv_timeout(Duration::from_millis(25)) {
                 Ok(job) => break job,
                 Err(RecvTimeoutError::Timeout) => continue,
-                Err(RecvTimeoutError::Disconnected) => return,
+                Err(RecvTimeoutError::Disconnected) => break 'serving,
             }
         };
         batch.push(dequeue(stages, first));
@@ -535,40 +816,52 @@ fn worker_loop(
                 }
             }
         }
-        serve_batch(&engine, &mut sessions, &mut scratch, &mut batch, &metrics, stages);
+        inject_chaos(config, &batch, shard);
+        serve_batch(engine, &mut sessions, &mut scratch, &mut batch, metrics, stages);
         batch.clear();
 
-        // Forward the store's eviction/hydration counters as diffs.
-        let evictions = sessions.evictions();
-        metrics.sessions_evicted.fetch_add(evictions - seen_evictions, Ordering::Relaxed);
-        seen_evictions = evictions;
-        let hydrations = sessions.hydrations();
-        metrics.sessions_hydrated.fetch_add(hydrations - seen_hydrations, Ordering::Relaxed);
-        seen_hydrations = hydrations;
+        forward_store_counters(&mut seen, &sessions, metrics);
+        refresh_gauges(telemetry, shard, &sessions);
+    }
 
-        // Occupancy gauges: overwrite this shard's slots after each batch,
-        // walking only the *resident* sessions — an evicted session stops
-        // counting the moment it leaves the store, so the gauges can never
-        // go stale on session drop. One pass costs microseconds against a
-        // batch's milliseconds of scoring.
-        let gauges = &telemetry.gauges[shard];
-        let mut personalized = 0u64;
-        let mut buffered = 0u64;
-        let mut ood_micros = 0u64;
-        for session in sessions.sessions() {
-            personalized += u64::from(session.is_personalized());
-            buffered += session.buffered() as u64;
-            ood_micros += (f64::from(session.recent_ood_fraction()) * 1e6) as u64;
+    // Graceful drain: finish the work already admitted, then suspend
+    // every resident session so a restart over the state dir rehydrates
+    // them bit-exactly. Skipped by `ServerHandle::abort` (crash
+    // simulation) and pointless without persistence.
+    if drain.load(Ordering::SeqCst) && sessions.persists() {
+        while let Ok(job) = queue.try_recv() {
+            batch.push(dequeue(stages, job));
+            if batch.len() >= config.batch_max {
+                serve_batch(engine, &mut sessions, &mut scratch, &mut batch, metrics, stages);
+                batch.clear();
+            }
         }
-        gauges.sessions.store(sessions.len() as u64, Ordering::Relaxed);
-        gauges.personalized.store(personalized, Ordering::Relaxed);
-        gauges.buffered_windows.store(buffered, Ordering::Relaxed);
-        gauges.ood_fraction_micros.store(ood_micros, Ordering::Relaxed);
-        gauges.archived_tenants.store(sessions.archived_tenants() as u64, Ordering::Relaxed);
-        gauges.archived_bytes.store(sessions.archived_bytes() as u64, Ordering::Relaxed);
-        gauges
-            .resident_delta_bytes
-            .store(sessions.resident_delta_bytes() as u64, Ordering::Relaxed);
+        if !batch.is_empty() {
+            serve_batch(engine, &mut sessions, &mut scratch, &mut batch, metrics, stages);
+            batch.clear();
+        }
+        match sessions.drain() {
+            Ok(persisted) => {
+                metrics.sessions_drained.fetch_add(persisted as u64, Ordering::Relaxed);
+            }
+            Err(e) => {
+                error!("serve", "worker {shard} drain flush failed: {e}");
+            }
+        }
+        forward_store_counters(&mut seen, &sessions, metrics);
+        refresh_gauges(telemetry, shard, &sessions);
+    }
+}
+
+/// Applies the [`ChaosConfig`] hooks to a collected batch.
+fn inject_chaos(config: &ServeConfig, batch: &[Job], shard: usize) {
+    if let Some(victim) = config.chaos.panic_on_tenant {
+        if batch.iter().any(|job| job.tenant_id == victim) {
+            panic!("chaos: injected panic serving tenant {victim} on shard {shard}");
+        }
+    }
+    if let Some(stall) = config.chaos.stall_per_job {
+        std::thread::sleep(stall.saturating_mul(u32::try_from(batch.len()).unwrap_or(u32::MAX)));
     }
 }
 

@@ -80,6 +80,11 @@ impl Telemetry {
             ("stats_requests".into(), load(&metrics.stats_requests)),
             ("sessions_evicted".into(), load(&metrics.sessions_evicted)),
             ("sessions_hydrated".into(), load(&metrics.sessions_hydrated)),
+            ("worker_panics".into(), load(&metrics.worker_panics)),
+            ("sessions_drained".into(), load(&metrics.sessions_drained)),
+            ("state_recovered".into(), load(&metrics.state_recovered)),
+            ("state_quarantined".into(), load(&metrics.state_quarantined)),
+            ("state_write_failures".into(), load(&metrics.state_write_failures)),
         ];
 
         let mut sessions = 0u64;

@@ -77,6 +77,7 @@ mod adapt;
 mod buffer;
 mod detector;
 pub mod engine;
+pub mod persist;
 mod session;
 mod snapshot;
 pub mod store;
@@ -84,6 +85,7 @@ pub mod store;
 pub use buffer::{BufferedQuery, OodBuffer};
 pub use detector::DriftDetector;
 pub use engine::{ServeEngine, TenantSession};
+pub use persist::{FlushPolicy, StateDir};
 pub use session::{AdaptationEvent, LabelStrategy, StreamOutcome, StreamingConfig, StreamingSmore};
 pub use snapshot::SnapshotHandle;
 pub use store::SessionStore;

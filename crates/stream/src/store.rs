@@ -36,11 +36,130 @@ use smore::SmoreError;
 use smore_obs::{Event, EventKind};
 
 use crate::engine::{ServeEngine, TenantSession};
+use crate::persist::StateDir;
 use crate::Result;
 
 /// Duration → whole nanoseconds, saturating.
 fn elapsed_nanos(since: Instant) -> u64 {
     u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Where suspended tenant state is parked: PR 8's in-memory map, or the
+/// durable [`StateDir`] tier. The disk tier keeps an in-memory
+/// `overflow` for bytes the disk refused (full, unwritable): serving
+/// availability beats durability, so a failed archive write degrades to
+/// exactly the memory-tier behaviour — counted, never lost silently.
+#[derive(Debug)]
+enum ArchiveTier {
+    Memory { map: HashMap<u64, Vec<u8>>, bytes: usize },
+    Disk { state: StateDir, overflow: HashMap<u64, Vec<u8>>, overflow_bytes: usize },
+}
+
+impl ArchiveTier {
+    fn memory() -> Self {
+        ArchiveTier::Memory { map: HashMap::new(), bytes: 0 }
+    }
+
+    fn tenants(&self) -> usize {
+        match self {
+            ArchiveTier::Memory { map, .. } => map.len(),
+            ArchiveTier::Disk { state, overflow, .. } => state.len() + overflow.len(),
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        match self {
+            ArchiveTier::Memory { bytes, .. } => *bytes,
+            ArchiveTier::Disk { state, overflow_bytes, .. } => {
+                usize::try_from(state.total_bytes()).unwrap_or(usize::MAX) + overflow_bytes
+            }
+        }
+    }
+
+    fn contains(&self, tenant: u64) -> bool {
+        match self {
+            ArchiveTier::Memory { map, .. } => map.contains_key(&tenant),
+            ArchiveTier::Disk { state, overflow, .. } => {
+                overflow.contains_key(&tenant) || state.contains(tenant)
+            }
+        }
+    }
+
+    /// The in-memory archived bytes for `tenant` (the memory map or the
+    /// disk tier's overflow) — committed on-disk state is not loaded.
+    fn peek(&self, tenant: u64) -> Option<&[u8]> {
+        match self {
+            ArchiveTier::Memory { map, .. } => map.get(&tenant).map(Vec::as_slice),
+            ArchiveTier::Disk { overflow, .. } => overflow.get(&tenant).map(Vec::as_slice),
+        }
+    }
+
+    /// Parks `tenant`'s suspended bytes. Disk-tier write failures fall
+    /// back to the in-memory overflow (and count in
+    /// [`StateDir::write_failures`]).
+    fn insert(&mut self, tenant: u64, bytes: Vec<u8>) {
+        match self {
+            ArchiveTier::Memory { map, bytes: total } => {
+                *total += bytes.len();
+                if let Some(stale) = map.insert(tenant, bytes) {
+                    *total = total.saturating_sub(stale.len());
+                }
+            }
+            ArchiveTier::Disk { state, overflow, overflow_bytes } => {
+                if let Some(stale) = overflow.remove(&tenant) {
+                    *overflow_bytes = overflow_bytes.saturating_sub(stale.len());
+                }
+                if let Err(e) = state.write(tenant, &bytes) {
+                    smore_obs::warn!(
+                        "store",
+                        "archive write for tenant {tenant} failed ({e}); keeping state in memory"
+                    );
+                    *overflow_bytes += bytes.len();
+                    overflow.insert(tenant, bytes);
+                }
+            }
+        }
+    }
+
+    /// Removes and returns `tenant`'s archived bytes, reading through
+    /// memory → disk.
+    fn take(&mut self, tenant: u64) -> Result<Option<Vec<u8>>> {
+        match self {
+            ArchiveTier::Memory { map, bytes: total } => Ok(map.remove(&tenant).inspect(|b| {
+                *total = total.saturating_sub(b.len());
+            })),
+            ArchiveTier::Disk { state, overflow, overflow_bytes } => {
+                if let Some(bytes) = overflow.remove(&tenant) {
+                    *overflow_bytes = overflow_bytes.saturating_sub(bytes.len());
+                    return Ok(Some(bytes));
+                }
+                state.take(tenant)
+            }
+        }
+    }
+
+    /// Puts `tenant`'s bytes back after a failed resume. The memory
+    /// tier (and the disk overflow) re-inserts them for inspection; the
+    /// disk tier quarantines the on-disk artifact instead. Returns
+    /// whether a file was quarantined (the caller journals it).
+    fn restore_failed(&mut self, tenant: u64, bytes: Vec<u8>) -> bool {
+        match self {
+            ArchiveTier::Memory { map, bytes: total } => {
+                *total += bytes.len();
+                map.insert(tenant, bytes);
+                false
+            }
+            ArchiveTier::Disk { state, overflow, overflow_bytes } => {
+                if state.quarantine(tenant) {
+                    true
+                } else {
+                    *overflow_bytes += bytes.len();
+                    overflow.insert(tenant, bytes);
+                    false
+                }
+            }
+        }
+    }
 }
 
 /// One resident session plus its LRU and byte bookkeeping.
@@ -65,10 +184,11 @@ pub struct SessionStore {
     /// LRU index: access tick → tenant. Ticks are unique, so the smallest
     /// key is always the least recently used resident.
     lru: BTreeMap<u64, u64>,
-    /// Suspended personal state of evicted tenants, as `DeltaV1` bytes.
-    archived: HashMap<u64, Vec<u8>>,
+    /// Suspended personal state of evicted tenants, as `DeltaV1` bytes —
+    /// in memory, or durable on disk when built with
+    /// [`SessionStore::new_persistent`].
+    tier: ArchiveTier,
     resident_delta_bytes: usize,
-    archived_bytes: usize,
     tick: u64,
     evictions: u64,
     hydrations: u64,
@@ -88,6 +208,40 @@ impl SessionStore {
         max_sessions: usize,
         max_delta_bytes: usize,
     ) -> Result<Self> {
+        Self::with_tier(engine, max_sessions, max_delta_bytes, ArchiveTier::memory())
+    }
+
+    /// Like [`SessionStore::new`], but with the archive backed by a
+    /// durable [`StateDir`]: evicted personalization is written to disk
+    /// (surviving the process), rehydration reads through the in-memory
+    /// overflow to disk, and the state the directory scan recovered from
+    /// a previous process is immediately servable. Use
+    /// [`SessionStore::drain`] before exit to also persist the sessions
+    /// still resident.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmoreError::InvalidConfig`] when `max_sessions` is zero.
+    pub fn new_persistent(
+        engine: Arc<ServeEngine>,
+        max_sessions: usize,
+        max_delta_bytes: usize,
+        state: StateDir,
+    ) -> Result<Self> {
+        Self::with_tier(
+            engine,
+            max_sessions,
+            max_delta_bytes,
+            ArchiveTier::Disk { state, overflow: HashMap::new(), overflow_bytes: 0 },
+        )
+    }
+
+    fn with_tier(
+        engine: Arc<ServeEngine>,
+        max_sessions: usize,
+        max_delta_bytes: usize,
+        tier: ArchiveTier,
+    ) -> Result<Self> {
         if max_sessions == 0 {
             return Err(SmoreError::InvalidConfig {
                 what: "session store needs max_sessions >= 1".into(),
@@ -99,9 +253,8 @@ impl SessionStore {
             max_delta_bytes,
             resident: HashMap::new(),
             lru: BTreeMap::new(),
-            archived: HashMap::new(),
+            tier,
             resident_delta_bytes: 0,
-            archived_bytes: 0,
             tick: 0,
             evictions: 0,
             hydrations: 0,
@@ -141,12 +294,13 @@ impl SessionStore {
 
     /// Evicted tenants whose personal state is parked as delta bytes.
     pub fn archived_tenants(&self) -> usize {
-        self.archived.len()
+        self.tier.tenants()
     }
 
-    /// Total archived delta bytes.
+    /// Total archived delta bytes (on disk plus any in-memory overflow
+    /// under a persistent store).
     pub fn archived_bytes(&self) -> usize {
-        self.archived_bytes
+        self.tier.bytes()
     }
 
     /// Sessions evicted since creation.
@@ -159,6 +313,38 @@ impl SessionStore {
         self.hydrations
     }
 
+    /// Whether the archive is backed by a durable [`StateDir`].
+    pub fn persists(&self) -> bool {
+        matches!(self.tier, ArchiveTier::Disk { .. })
+    }
+
+    /// Tenant-state files recovered from disk by the startup scan
+    /// (0 for an in-memory store).
+    pub fn state_recovered(&self) -> u64 {
+        match &self.tier {
+            ArchiveTier::Memory { .. } => 0,
+            ArchiveTier::Disk { state, .. } => state.recovered(),
+        }
+    }
+
+    /// Tenant-state files quarantined — torn, corrupt or unresumable
+    /// (0 for an in-memory store).
+    pub fn state_quarantined(&self) -> u64 {
+        match &self.tier {
+            ArchiveTier::Memory { .. } => 0,
+            ArchiveTier::Disk { state, .. } => state.quarantined(),
+        }
+    }
+
+    /// Archive writes the disk refused; the state fell back to memory
+    /// (0 for an in-memory store).
+    pub fn state_write_failures(&self) -> u64 {
+        match &self.tier {
+            ArchiveTier::Memory { .. } => 0,
+            ArchiveTier::Disk { state, .. } => state.write_failures(),
+        }
+    }
+
     /// Whether `tenant` currently holds a resident session.
     pub fn is_resident(&self, tenant: u64) -> bool {
         self.resident.contains_key(&tenant)
@@ -167,12 +353,14 @@ impl SessionStore {
     /// Whether `tenant` is evicted with archived personal state — i.e. it
     /// would rehydrate (not start fresh) on its next access.
     pub fn has_archived(&self, tenant: u64) -> bool {
-        self.archived.contains_key(&tenant)
+        self.tier.contains(tenant)
     }
 
-    /// The archived delta bytes for `tenant`, if any.
+    /// The archived delta bytes held *in memory* for `tenant`, if any —
+    /// under a persistent store, state committed to disk is not loaded
+    /// by this accessor.
     pub fn archived_delta(&self, tenant: u64) -> Option<&[u8]> {
-        self.archived.get(&tenant).map(Vec::as_slice)
+        self.tier.peek(tenant)
     }
 
     /// Iterates the resident sessions (unspecified order) — the gauge
@@ -208,7 +396,8 @@ impl SessionStore {
         let entry = self.resident.get_mut(&tenant).expect("touched tenant is resident");
         let out = f(&mut entry.session);
         let bytes = entry.session.delta_storage_bytes();
-        self.resident_delta_bytes = self.resident_delta_bytes - entry.delta_bytes + bytes;
+        self.resident_delta_bytes =
+            (self.resident_delta_bytes + bytes).saturating_sub(entry.delta_bytes);
         entry.delta_bytes = bytes;
         self.evict_to_caps(tenant);
         Ok(out)
@@ -224,12 +413,11 @@ impl SessionStore {
             self.lru.insert(tick, tenant);
             return Ok(());
         }
-        let session = match self.archived.remove(&tenant) {
+        let session = match self.tier.take(tenant)? {
             Some(bytes) => {
                 let t0 = Instant::now();
                 match self.engine.resume_session(tenant, &bytes) {
                     Ok(session) => {
-                        self.archived_bytes -= bytes.len();
                         self.hydrations += 1;
                         self.emit(Event {
                             kind: EventKind::SessionHydrated,
@@ -243,8 +431,20 @@ impl SessionStore {
                     }
                     Err(e) => {
                         // Keep the bytes: the operator can still extract
-                        // or repair them; serving just fails typed.
-                        self.archived.insert(tenant, bytes);
+                        // or repair them; serving just fails typed. The
+                        // memory tier re-archives them; the disk tier
+                        // quarantines the file instead.
+                        let len = bytes.len();
+                        if self.tier.restore_failed(tenant, bytes) {
+                            self.emit(Event {
+                                kind: EventKind::StateQuarantined,
+                                tenant,
+                                step: 0,
+                                a: len as u64,
+                                b: 0,
+                                nanos: elapsed_nanos(t0),
+                            });
+                        }
                         return Err(e);
                     }
                 }
@@ -280,17 +480,14 @@ impl SessionStore {
     fn evict_entry(&mut self, tick: u64, tenant: u64) {
         self.lru.remove(&tick);
         let Some(entry) = self.resident.remove(&tenant) else { return };
-        self.resident_delta_bytes -= entry.delta_bytes;
+        self.resident_delta_bytes = self.resident_delta_bytes.saturating_sub(entry.delta_bytes);
         let step = entry.session.steps() as u64;
         let t0 = Instant::now();
         let archived = entry.session.suspend();
         let nanos = elapsed_nanos(t0);
         let archived_len = archived.as_ref().map_or(0, Vec::len);
         if let Some(bytes) = archived {
-            self.archived_bytes += bytes.len();
-            if let Some(stale) = self.archived.insert(tenant, bytes) {
-                self.archived_bytes -= stale.len();
-            }
+            self.tier.insert(tenant, bytes);
         }
         self.evictions += 1;
         self.emit(Event {
@@ -301,6 +498,47 @@ impl SessionStore {
             b: self.resident.len() as u64,
             nanos,
         });
+    }
+
+    /// Suspends **every** resident session — the graceful-drain phase of
+    /// a shutdown — and flushes the durable tier, so a restart over the
+    /// same state dir rehydrates each personalized tenant bit-exactly.
+    /// Returns how many suspended sessions carried personal state.
+    ///
+    /// Meaningful for a persistent store; on an in-memory store it only
+    /// moves residents to the (equally volatile) archive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first fsync failure from [`StateDir::flush`]; the
+    /// sessions are suspended regardless.
+    pub fn drain(&mut self) -> Result<usize> {
+        let mut persisted = 0usize;
+        while let Some((&tick, &tenant)) = self.lru.iter().next() {
+            let personalized =
+                self.resident.get(&tenant).is_some_and(|e| e.session.is_personalized());
+            self.evict_entry(tick, tenant);
+            if personalized {
+                persisted += 1;
+            }
+        }
+        self.flush()?;
+        Ok(persisted)
+    }
+
+    /// Fsyncs archive writes deferred by [`FlushPolicy::OnEvict`]
+    /// (no-op for an in-memory store).
+    ///
+    /// [`FlushPolicy::OnEvict`]: crate::persist::FlushPolicy::OnEvict
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StateDir::flush`] failures.
+    pub fn flush(&mut self) -> Result<()> {
+        match &mut self.tier {
+            ArchiveTier::Memory { .. } => Ok(()),
+            ArchiveTier::Disk { state, .. } => state.flush(),
+        }
     }
 
     /// Journals `event` when the engine carries a journal.
@@ -605,7 +843,7 @@ mod tests {
         let mut bytes = store.archived_delta(1).unwrap().to_vec();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x40;
-        store.archived.insert(1, bytes);
+        store.tier.insert(1, bytes);
 
         let err = store.with_session(1, |s| s.steps()).unwrap_err();
         assert!(matches!(err, SmoreError::CorruptArtifact { .. }), "{err}");
@@ -614,5 +852,173 @@ mod tests {
         assert_eq!(store.hydrations(), 0);
         // The store still serves everyone else.
         store.with_session(2, |s| s.predict_window(window).unwrap().label).unwrap();
+    }
+
+    // ---- durable archive tier -------------------------------------
+
+    use crate::persist::{FlushPolicy, StateDir};
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("smore_store_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn persistent_store(
+        engine: &Arc<ServeEngine>,
+        dir: &std::path::Path,
+        cap: usize,
+        policy: FlushPolicy,
+    ) -> SessionStore {
+        let state = StateDir::open(dir, policy, |_| true).unwrap();
+        SessionStore::new_persistent(Arc::clone(engine), cap, usize::MAX, state).unwrap()
+    }
+
+    /// The PR 8 suspend/resume invariant, now across a (conceptual)
+    /// process boundary: evict to disk, drop the store entirely, build a
+    /// fresh one over the same directory — the scan recovers the state
+    /// and the tenant's predictions have not moved a bit.
+    #[test]
+    fn evicted_state_survives_a_new_store_over_the_same_dir() {
+        let (ds, engine) = fixture();
+        let dir = scratch_dir("recover");
+        let eval: Vec<Matrix> = stormy(ds)
+            .iter()
+            .filter(|i| i.segment == 1)
+            .take(16)
+            .map(|i| i.window.clone())
+            .collect();
+        let before;
+        {
+            let mut store = persistent_store(engine, &dir, 2, FlushPolicy::Sync);
+            personalize(&mut store, 1, &stormy(ds));
+            before = store
+                .with_session(1, |s| {
+                    eval.iter().map(|w| s.predict_window(w).unwrap().clone()).collect::<Vec<_>>()
+                })
+                .unwrap();
+            // Push tenant 1 out so its delta is committed to disk, then
+            // drop the store with no drain — the unclean-death case.
+            let window = ds.window(0);
+            for tenant in 2..=4 {
+                store.with_session(tenant, |s| s.predict_window(window).unwrap().label).unwrap();
+            }
+            assert!(store.has_archived(1));
+            assert_eq!(store.state_recovered(), 0);
+        }
+        assert!(dir.join("tenant-1.smore").exists(), "eviction must commit a per-tenant file");
+
+        let mut store = persistent_store(engine, &dir, 2, FlushPolicy::Sync);
+        assert_eq!(store.state_recovered(), 1);
+        assert!(store.has_archived(1), "recovered state must be immediately servable");
+        let (after, steps, events) = store
+            .with_session(1, |s| {
+                let preds: Vec<_> =
+                    eval.iter().map(|w| s.predict_window(w).unwrap().clone()).collect();
+                (preds, s.steps(), s.events().to_vec())
+            })
+            .unwrap();
+        assert_eq!(after, before, "recovered serving must be bit-exact with pre-crash");
+        assert!(steps > 0, "step counter must survive the process boundary");
+        assert!(!events.is_empty(), "enrolment history must survive the process boundary");
+        assert_eq!(store.hydrations(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `drain()` persists the sessions still *resident* — the graceful
+    /// half of shutdown — so nothing relies on eviction having happened.
+    #[test]
+    fn drain_persists_resident_sessions() {
+        let (ds, engine) = fixture();
+        let dir = scratch_dir("drain");
+        {
+            let mut store = persistent_store(engine, &dir, 8, FlushPolicy::OnEvict);
+            personalize(&mut store, 1, &stormy(ds));
+            assert!(store.is_resident(1), "nothing has evicted tenant 1 yet");
+            let persisted = store.drain().unwrap();
+            assert_eq!(persisted, 1, "one personalized resident must be archived");
+            assert!(store.is_empty());
+            assert!(store.has_archived(1));
+        }
+        let store = persistent_store(engine, &dir, 8, FlushPolicy::OnEvict);
+        assert_eq!(store.state_recovered(), 1);
+        assert!(store.has_archived(1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A corrupt on-disk artifact fails typed, is quarantined (kept,
+    /// renamed) rather than retried forever, and the tenant simply
+    /// starts fresh on the next access.
+    #[test]
+    fn corrupt_state_file_is_quarantined_and_tenant_restarts_fresh() {
+        let (ds, engine) = fixture();
+        let dir = scratch_dir("corrupt");
+        {
+            let mut store = persistent_store(engine, &dir, 8, FlushPolicy::Sync);
+            personalize(&mut store, 1, &stormy(ds));
+            store.drain().unwrap();
+        }
+        // Flip a payload bit — the header still sniffs fine, so the scan
+        // accepts it and the CRC catches it at resume time.
+        let path = dir.join("tenant-1.smore");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut store = persistent_store(engine, &dir, 8, FlushPolicy::Sync);
+        assert_eq!(store.state_recovered(), 1);
+        let err = store.with_session(1, |s| s.steps()).unwrap_err();
+        assert!(matches!(err, SmoreError::CorruptArtifact { .. }), "{err}");
+        assert_eq!(store.state_quarantined(), 1);
+        assert!(dir.join("tenant-1.smore.quarantine").exists(), "kept for inspection");
+        assert!(!store.has_archived(1));
+        // Next access is a fresh session off the shared base, not an error.
+        assert_eq!(store.with_session(1, |s| s.steps()).unwrap(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Disk-full / unwritable state dir: eviction falls back to the
+    /// in-memory overflow — serving continues, nothing is lost, the
+    /// failure is counted — and rehydration from the overflow is
+    /// bit-exact.
+    #[test]
+    fn unwritable_state_dir_degrades_to_memory_overflow() {
+        let (ds, engine) = fixture();
+        let dir = scratch_dir("nowrite");
+        let mut store = persistent_store(engine, &dir, 2, FlushPolicy::Sync);
+        personalize(&mut store, 1, &stormy(ds));
+        let eval: Vec<Matrix> = stormy(ds)
+            .iter()
+            .filter(|i| i.segment == 1)
+            .take(8)
+            .map(|i| i.window.clone())
+            .collect();
+        let before = store
+            .with_session(1, |s| {
+                eval.iter().map(|w| s.predict_window(w).unwrap().clone()).collect::<Vec<_>>()
+            })
+            .unwrap();
+
+        // Yank the directory away and park a plain file at its path —
+        // writes fail even for root (chmod does not bind uid 0).
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::write(&dir, b"disk gone").unwrap();
+        let window = ds.window(0);
+        for tenant in 2..=4 {
+            store.with_session(tenant, |s| s.predict_window(window).unwrap().label).unwrap();
+        }
+        assert!(!store.is_resident(1));
+        assert!(store.has_archived(1), "failed disk write must not lose the state");
+        assert_eq!(store.state_write_failures(), 1);
+        assert!(store.archived_delta(1).is_some(), "state is parked in the memory overflow");
+
+        let after = store
+            .with_session(1, |s| {
+                eval.iter().map(|w| s.predict_window(w).unwrap().clone()).collect::<Vec<_>>()
+            })
+            .unwrap();
+        assert_eq!(after, before, "overflow rehydration must stay bit-exact");
+        let _ = std::fs::remove_file(&dir);
     }
 }
