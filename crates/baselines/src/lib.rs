@@ -22,6 +22,7 @@
 //!   gradient-reversal layer, using the unlabelled target windows the
 //!   evaluation protocol provides to DA algorithms.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline_hd;

@@ -10,6 +10,8 @@
 //! - dimensionality sweep;
 //! - n-gram size sweep.
 
+#![forbid(unsafe_code)]
+
 use smore::pipeline::{self, BoxError, WindowClassifier};
 use smore::{DomainInit, RangeMode, Smore, SmoreConfig, SmoreConfigBuilder};
 use smore_bench::{pct, print_table, BenchProfile};

@@ -6,6 +6,8 @@
 //! protocol scores far above honest leave-one-domain-out evaluation, and
 //! neither more dimensions nor more iterations close the gap.
 
+#![forbid(unsafe_code)]
+
 use smore::pipeline::{self, BoxError, WindowClassifier};
 use smore_baselines::baseline_hd::{BaselineHd, BaselineHdConfig};
 use smore_bench::{pct, print_table, BenchProfile};

@@ -4,6 +4,8 @@
 //! Also prints the paper's §4.2 headline aggregates: SMORE vs MDANs,
 //! vs BaselineHD and vs DOMINO average accuracy deltas.
 
+#![forbid(unsafe_code)]
+
 use smore::pipeline;
 use smore_bench::{all_algorithms, pct, print_table, BenchProfile};
 use smore_data::presets;

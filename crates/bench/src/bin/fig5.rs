@@ -9,6 +9,8 @@
 //! δ* ≈ 0.65 on its uncentred similarity scale; our centred scale peaks
 //! lower, see EXPERIMENTS.md).
 
+#![forbid(unsafe_code)]
+
 use smore_bench::{make_smore, pct, print_table, BenchProfile};
 use smore_data::{presets, split};
 

@@ -6,6 +6,8 @@
 //! matching the paper's "average runtime per domain" since domain sizes
 //! are near-uniform (Table 1).
 
+#![forbid(unsafe_code)]
+
 use smore::pipeline;
 use smore_bench::{all_algorithms, pct, print_table, secs, BenchProfile};
 use smore_data::presets;

@@ -13,6 +13,8 @@
 //! similarity), showing what the roofline looks like once hypervector ops
 //! stop being `f32` streams.
 
+#![forbid(unsafe_code)]
+
 use smore_bench::{print_table, BenchProfile};
 use smore_data::presets::table1;
 use smore_platform::{device, energy, profiles, roofline_latency, OpProfile};

@@ -2,6 +2,8 @@
 //! CNN-based DA algorithms as the data size grows (PAMAP2, fractions of
 //! the training/inference sets).
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use smore::pipeline::{TaskMeta, WindowClassifier};

@@ -25,6 +25,8 @@
 //! cargo run --release --bin load_gen -- --connect 127.0.0.1:7878 --smoke
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 use std::net::TcpListener;
 use std::sync::atomic::Ordering;
@@ -305,6 +307,8 @@ impl ScenarioResult {
         let predict = hists.predict.snapshot();
         let ingest = hists.ingest.snapshot();
         let requests = (predict.count + ingest.count) as usize;
+        // ordering: Relaxed — post-run scrape; the worker joins already
+        // ordered every counter bump before this read.
         let load = |c: &std::sync::atomic::AtomicU64| c.load(Ordering::Relaxed);
         Self {
             name,

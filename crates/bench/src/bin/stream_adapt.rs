@@ -10,6 +10,8 @@
 //! drift onset and the detector firing) and per-event
 //! `enroll_seconds`/`swap_seconds` adaptation latencies.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use smore::{Smore, SmoreConfig};

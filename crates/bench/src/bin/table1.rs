@@ -4,6 +4,8 @@
 //! the counts match the published numbers exactly; the fast profile scales
 //! them down proportionally (reported alongside the full-scale targets).
 
+#![forbid(unsafe_code)]
+
 use smore_bench::{print_table, BenchProfile};
 use smore_data::presets::{self, table1};
 

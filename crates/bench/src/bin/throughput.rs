@@ -29,6 +29,8 @@
 //! `--op cold_start` and `--op tenant_state`); partial runs do not
 //! rewrite either committed JSON.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use smore::{Predictor, QuantizedSmore, ServeScratch, Smore, SmoreConfig};

@@ -9,6 +9,7 @@
 //! - `--scale <f>` — override the window-budget fraction.
 //! - `--seed <n>` — override the dataset seed.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use smore::pipeline::{BoxError, WindowClassifier};

@@ -157,16 +157,18 @@ use crate::wire::crc32;
 /// Returns [`SmoreError::CorruptArtifact`] for a short buffer, wrong
 /// magic, unsupported version or unknown kind byte.
 pub fn kind_of(bytes: &[u8]) -> Result<ArtifactKind> {
-    if bytes.len() < 16 {
+    let Some((&[m0, m1, m2, m3, m4, m5, m6, m7, v0, v1, kind, reserved, _, _, _, _], _)) =
+        bytes.split_first_chunk::<16>()
+    else {
         return Err(SmoreError::corrupt(
             "header",
             format!("{} bytes is shorter than the 16-byte header", bytes.len()),
         ));
-    }
-    if bytes[..8] != MAGIC {
+    };
+    if [m0, m1, m2, m3, m4, m5, m6, m7] != MAGIC {
         return Err(SmoreError::corrupt("header", "bad magic (not a .smore artifact)"));
     }
-    let version = u16::from_le_bytes([bytes[8], bytes[9]]);
+    let version = u16::from_le_bytes([v0, v1]);
     if version != FORMAT_VERSION {
         return Err(SmoreError::corrupt(
             "header",
@@ -175,10 +177,10 @@ pub fn kind_of(bytes: &[u8]) -> Result<ArtifactKind> {
             ),
         ));
     }
-    if bytes[11] != 0 {
+    if reserved != 0 {
         return Err(SmoreError::corrupt("header", "reserved header byte must be zero"));
     }
-    ArtifactKind::from_byte(bytes[10])
+    ArtifactKind::from_byte(kind)
 }
 
 // ---------------------------------------------------------------------------
@@ -243,17 +245,32 @@ impl<'a> Cursor<'a> {
             .checked_add(n)
             .filter(|&e| e <= self.bytes.len())
             .ok_or_else(|| self.corrupt(format!("payload truncated at byte {}", self.pos)))?;
-        let out = &self.bytes[self.pos..end];
+        let out = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| self.corrupt(format!("payload truncated at byte {}", self.pos)))?;
         self.pos = end;
         Ok(out)
     }
 
+    /// Takes the next `N` bytes as a fixed-size array — the panic-free
+    /// backbone of the integer readers.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        let rest = self.bytes.get(self.pos..).unwrap_or_default();
+        let Some((chunk, _)) = rest.split_first_chunk::<N>() else {
+            return Err(self.corrupt(format!("payload truncated at byte {}", self.pos)));
+        };
+        self.pos += N;
+        Ok(*chunk)
+    }
+
     fn u8(&mut self) -> Result<u8> {
-        Ok(self.take(1)?[0])
+        let [byte] = self.take_array()?;
+        Ok(byte)
     }
 
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a u64 count/length and checks it fits in `usize`.
@@ -280,28 +297,32 @@ impl<'a> Cursor<'a> {
     }
 
     fn f32(&mut self) -> Result<f32> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(f32::from_le_bytes(self.take_array()?))
     }
 
     /// Reads `n` f32 values; the byte bound is checked *before* the
     /// allocation, so corrupt counts cannot trigger huge allocations.
     fn f32s(&mut self, n: usize) -> Result<Vec<f32>> {
-        let raw =
+        let mut raw =
             self.take(n.checked_mul(4).ok_or_else(|| self.corrupt("f32 run length overflows"))?)?;
-        Ok(raw
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
-            .collect())
+        let mut out = Vec::with_capacity(n);
+        while let Some((chunk, rest)) = raw.split_first_chunk::<4>() {
+            out.push(f32::from_le_bytes(*chunk));
+            raw = rest;
+        }
+        Ok(out)
     }
 
     /// Reads `n` u64 storage words (bounds-checked like [`f32s`](Self::f32s)).
     fn words(&mut self, n: usize) -> Result<Vec<u64>> {
-        let raw =
+        let mut raw =
             self.take(n.checked_mul(8).ok_or_else(|| self.corrupt("word run length overflows"))?)?;
-        Ok(raw
-            .chunks_exact(8)
-            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
-            .collect())
+        let mut out = Vec::with_capacity(n);
+        while let Some((chunk, rest)) = raw.split_first_chunk::<8>() {
+            out.push(u64::from_le_bytes(*chunk));
+            raw = rest;
+        }
+        Ok(out)
     }
 
     /// Requires the payload to be fully consumed.
@@ -341,23 +362,40 @@ fn write_container(kind: ArtifactKind, sections: &[(u32, Vec<u8>)]) -> Vec<u8> {
 /// A parsed section: `(id, payload)`.
 type Section<'a> = (u32, &'a [u8]);
 
+/// Reinterprets a flat `[lo, hi, lo, hi, …]` run as `(lo, hi)` pairs;
+/// a trailing odd value is dropped (callers size the run as `2 × n`).
+fn pairs(flat: &[f32]) -> Vec<(f32, f32)> {
+    let mut out = Vec::with_capacity(flat.len() / 2);
+    let mut rest = flat;
+    while let Some((&[lo, hi], r)) = rest.split_first_chunk::<2>() {
+        out.push((lo, hi));
+        rest = r;
+    }
+    out
+}
+
 /// Walks the container: validates the header, every section's bounds and
 /// CRC, duplicate ids and trailing garbage. Returns `(kind, sections)`.
 fn parse_container(bytes: &[u8]) -> Result<(ArtifactKind, Vec<Section<'_>>)> {
     let kind = kind_of(bytes)?;
-    let section_count = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
+    // kind_of validated the 16-byte header, so the chunk always exists.
+    let section_count =
+        bytes.get(12..16).and_then(|raw| raw.try_into().ok()).map_or(0, u32::from_le_bytes)
+            as usize;
     let mut sections: Vec<(u32, &[u8])> = Vec::with_capacity(section_count.min(64));
     let mut pos = 16usize;
     for i in 0..section_count {
-        let header = bytes.get(pos..pos + 16).ok_or_else(|| {
-            SmoreError::corrupt(
+        let Some(&[i0, i1, i2, i3, c0, c1, c2, c3, l0, l1, l2, l3, l4, l5, l6, l7]) =
+            bytes.get(pos..pos + 16)
+        else {
+            return Err(SmoreError::corrupt(
                 "section_table",
                 format!("truncated at section {i} of {section_count}"),
-            )
-        })?;
-        let id = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
-        let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
-        let len = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+            ));
+        };
+        let id = u32::from_le_bytes([i0, i1, i2, i3]);
+        let crc = u32::from_le_bytes([c0, c1, c2, c3]);
+        let len = u64::from_le_bytes([l0, l1, l2, l3, l4, l5, l6, l7]);
         let len = usize::try_from(len).map_err(|_| {
             SmoreError::corrupt(section_name(id), format!("section length {len} overflows usize"))
         })?;
@@ -483,7 +521,7 @@ fn decode_config(mut c: Cursor<'_>) -> Result<SmoreConfig> {
             let n = c.len("fixed range")?;
             let flat =
                 c.f32s(n.checked_mul(2).ok_or_else(|| c.corrupt("range count overflows"))?)?;
-            RangeMode::Fixed(flat.chunks_exact(2).map(|p| (p[0], p[1])).collect())
+            RangeMode::Fixed(pairs(&flat))
         }
         other => return Err(c.corrupt(format!("unknown range mode tag {other}"))),
     };
@@ -598,7 +636,7 @@ fn decode_value_range(mut c: Cursor<'_>, sensors: usize) -> Result<ValueRange> {
                 return Err(c.corrupt(format!("{n} value ranges for {sensors} sensors")));
             }
             let flat = c.f32s(2 * n)?;
-            ValueRange::Global(flat.chunks_exact(2).map(|p| (p[0], p[1])).collect())
+            ValueRange::Global(pairs(&flat))
         }
         other => return Err(c.corrupt(format!("unknown value range tag {other}"))),
     };

@@ -228,9 +228,11 @@ impl SnapshotDelta {
         for (c, new_class) in new_classes.iter().enumerate() {
             let mut row = Vec::with_capacity(self.base_domains + self.domains.len() + 1);
             for j in 0..self.base_domains {
+                // smore-lint: allow(panic_path) j < base_domains and c < num_classes by the loop bounds
                 row.push(base.domain_classes[j][c].dot(new_class)?);
             }
             for earlier in &self.domains {
+                // smore-lint: allow(panic_path) every enrolled domain stores num_classes planes
                 row.push(earlier.classes[c].dot(new_class)?);
             }
             row.push(new_class.dot(new_class)?);
@@ -326,8 +328,9 @@ impl<'a> DeltaSmore<'a> {
     fn domain_tag(&self, index: usize) -> usize {
         let base_k = self.delta.base_domains;
         if index < base_k {
-            self.base.domain_tags[index]
+            self.base.domain_tags[index] // smore-lint: allow(panic_path) guarded by index < base_k
         } else {
+            // smore-lint: allow(panic_path) callers pass index < num_domains()
             self.delta.domains[index - base_k].tag
         }
     }
@@ -341,8 +344,10 @@ impl<'a> DeltaSmore<'a> {
         let base_k = self.delta.base_domains;
         let (lo, hi) = if j <= m { (j, m) } else { (m, j) };
         if hi < base_k {
+            // smore-lint: allow(panic_path) class < num_classes and j, m < base_k index the k×k base Gram
             self.base.class_gram[class][j * base_k + m]
         } else {
+            // smore-lint: allow(panic_path) hi < num_domains() and lo ≤ hi index the later domain's growth row
             self.delta.domains[hi - base_k].gram_rows[class][lo]
         }
     }
@@ -358,6 +363,7 @@ impl<'a> DeltaSmore<'a> {
         let delta_descriptors = self.delta.domains.iter().map(|d| &d.descriptor);
         for u in self.base.descriptors.iter().chain(delta_descriptors) {
             let sim =
+                // smore-lint: allow(panic_path) every descriptor was packed at dim set once at quantize time
                 scratch.query.similarity(u).expect("descriptor dimension fixed at quantize time");
             scratch.sims.push(recover_cosine(sim));
         }
@@ -385,11 +391,13 @@ impl<'a> DeltaSmore<'a> {
             for (j, &w) in weights.iter().take(k).enumerate() {
                 if w > 0.0 {
                     let plane = if j < base_k {
-                        &self.base.domain_classes[j][class]
+                        &self.base.domain_classes[j][class] // smore-lint: allow(panic_path) j < base_k, class < num_classes
                     } else {
+                        // smore-lint: allow(panic_path) j < k = base_k + delta domains, class < num_classes
                         &self.delta.domains[j - base_k].classes[class]
                     };
                     let dot =
+                        // smore-lint: allow(panic_path) query was packed at the quantize-time dim
                         plane.dot_packed(query).expect("query dimension fixed at quantize time");
                     dot_sum += w * dot;
                 }
@@ -477,6 +485,7 @@ impl<'a> DeltaSmore<'a> {
         parallel::par_chunks_indexed(&mut out, self.base.config.threads, |start, chunk| {
             let mut scratch = ServeScratch::new();
             for (i, slot) in chunk.iter_mut().enumerate() {
+                // smore-lint: allow(panic_path) chunks are carved from 0..windows.len()
                 *slot = self.predict_window_with(&windows[start + i], &mut scratch).cloned();
             }
         });

@@ -510,6 +510,8 @@ impl QuantizedSmore {
                 *slot = self.predict_window_with(&windows[start + i], &mut scratch).cloned();
                 local.accumulate(scratch.timings());
             }
+            // ordering: Relaxed — per-thread timing totals; par_chunks
+            // joins every worker before into_inner reads them back.
             encode_total.fetch_add(local.encode_nanos, Ordering::Relaxed);
             score_total.fetch_add(local.score_nanos, Ordering::Relaxed);
         });

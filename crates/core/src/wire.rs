@@ -35,7 +35,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     });
     let mut crc = 0xFFFF_FFFFu32;
     for &b in bytes {
-        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8); // smore-lint: allow(panic_path) index is masked to 0..256 over the 256-entry table
     }
     crc ^ 0xFFFF_FFFF
 }
@@ -174,34 +174,49 @@ impl<'a> WireReader<'a> {
             .checked_add(n)
             .filter(|&e| e <= self.bytes.len())
             .ok_or_else(|| self.malformed(format!("payload truncated at byte {}", self.pos)))?;
-        let out = &self.bytes[self.pos..end];
+        let out = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| self.malformed(format!("payload truncated at byte {}", self.pos)))?;
         self.pos = end;
         Ok(out)
     }
 
+    /// Takes the next `N` bytes as a fixed-size array, or fails if fewer
+    /// remain — the panic-free backbone of the integer readers.
+    fn take_array<const N: usize>(&mut self) -> WireResult<[u8; N]> {
+        let rest = self.bytes.get(self.pos..).unwrap_or_default();
+        let Some((chunk, _)) = rest.split_first_chunk::<N>() else {
+            return Err(self.malformed(format!("payload truncated at byte {}", self.pos)));
+        };
+        self.pos += N;
+        Ok(*chunk)
+    }
+
     /// Reads one byte.
     pub fn u8(&mut self) -> WireResult<u8> {
-        Ok(self.take(1)?[0])
+        let [byte] = self.take_array()?;
+        Ok(byte)
     }
 
     /// Reads a little-endian `u16`.
     pub fn u16(&mut self) -> WireResult<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self) -> WireResult<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self) -> WireResult<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a little-endian `f32`.
     pub fn f32(&mut self) -> WireResult<f32> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(f32::from_le_bytes(self.take_array()?))
     }
 
     /// Reads an item count declared as a `u32` and rejects it unless
@@ -224,12 +239,14 @@ impl<'a> WireReader<'a> {
     /// Reads `n` f32 values; the byte bound is checked *before* the
     /// allocation.
     pub fn f32s(&mut self, n: usize) -> WireResult<Vec<f32>> {
-        let raw =
+        let mut raw =
             self.take(n.checked_mul(4).ok_or_else(|| self.malformed("f32 run length overflows"))?)?;
-        Ok(raw
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
-            .collect())
+        let mut out = Vec::with_capacity(n);
+        while let Some((chunk, rest)) = raw.split_first_chunk::<4>() {
+            out.push(f32::from_le_bytes(*chunk));
+            raw = rest;
+        }
+        Ok(out)
     }
 
     /// Reads a `u32`-length-prefixed UTF-8 string (bounds-checked,

@@ -1,0 +1,91 @@
+//! The `smore_lint` CLI.
+//!
+//! ```text
+//! smore_lint [--root DIR] [--write-manifest] [PATH-FILTER...]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/I-O error. Path filters
+//! are substring matches on workspace-relative paths and restrict the
+//! run to the per-file rules; `--write-manifest` renormalizes
+//! `crates/lint/hot_paths.toml` and is refused on filtered runs so a
+//! partial view can never rewrite the committed registration set.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use smore_lint::{lint_workspace, manifest};
+
+struct Args {
+    root: PathBuf,
+    write_manifest: bool,
+    filters: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { root: PathBuf::from("."), write_manifest: false, filters: Vec::new() };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let dir = it.next().ok_or("--root needs a directory argument")?;
+                args.root = PathBuf::from(dir);
+            }
+            "--write-manifest" => args.write_manifest = true,
+            "--help" | "-h" => {
+                return Err("usage: smore_lint [--root DIR] [--write-manifest] [PATH-FILTER...]"
+                    .to_string())
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}` (try --help)"));
+            }
+            other => args.filters.push(other.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    if args.write_manifest {
+        if !args.filters.is_empty() {
+            return Err(
+                "refusing --write-manifest on a path-filtered run: a partial view must never \
+                 rewrite the committed hot_paths.toml (run without path filters to renormalize)"
+                    .to_string(),
+            );
+        }
+        let path = args.root.join("crates/lint/hot_paths.toml");
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let canonical = manifest::render(&manifest::parse(&text)?);
+        if canonical != text {
+            std::fs::write(&path, &canonical)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!("renormalized {}", path.display());
+        }
+    }
+    let findings = lint_workspace(&args.root, &args.filters)?;
+    for finding in &findings {
+        println!("{finding}");
+    }
+    let scope = if args.filters.is_empty() {
+        "full workspace".to_string()
+    } else {
+        format!("filtered ({}) — cross-file rules skipped", args.filters.join(", "))
+    };
+    eprintln!("smore_lint: {} finding(s), {scope}", findings.len());
+    Ok(findings.is_empty())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(message) => {
+            eprintln!("smore_lint: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! The checked-in hot-path manifest (`crates/lint/hot_paths.toml`).
+//!
+//! Each `[[hot_path]]` entry names one function (by workspace-relative
+//! file and bare function name) whose body must stay allocation-free —
+//! the scratch-threaded encode/score/predict/record/publish chain that
+//! PR 4 and PR 7 made zero-allocation. The format is a tiny TOML subset
+//! parsed by hand (string-valued keys only), matching the workspace's
+//! no-dependency policy.
+
+use std::fmt::Write as _;
+
+/// One registered hot-path function.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct HotPath {
+    /// Workspace-relative source file, forward slashes.
+    pub file: String,
+    /// Bare function name; every `fn` of that name in the file is
+    /// checked (a name can repeat across impl blocks).
+    pub function: String,
+}
+
+/// Parses the manifest text. Accepts only the subset the canonical
+/// writer emits: comments, blank lines, `[[hot_path]]` headers and
+/// `key = "value"` string pairs.
+pub fn parse(text: &str) -> Result<Vec<HotPath>, String> {
+    let mut entries: Vec<(Option<String>, Option<String>)> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = idx + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[hot_path]]" {
+            entries.push((None, None));
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "hot_paths.toml:{lineno}: expected `key = \"value\"`, got `{line}`"
+            ));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let value = value.strip_prefix('"').and_then(|v| v.strip_suffix('"')).ok_or_else(|| {
+            format!("hot_paths.toml:{lineno}: value for `{key}` must be a quoted string")
+        })?;
+        let Some(entry) = entries.last_mut() else {
+            return Err(format!(
+                "hot_paths.toml:{lineno}: `{key}` appears before any [[hot_path]]"
+            ));
+        };
+        let slot = match key {
+            "file" => &mut entry.0,
+            "function" => &mut entry.1,
+            other => return Err(format!("hot_paths.toml:{lineno}: unknown key `{other}`")),
+        };
+        if slot.replace(value.to_string()).is_some() {
+            return Err(format!("hot_paths.toml:{lineno}: duplicate `{key}` in one entry"));
+        }
+    }
+    entries
+        .into_iter()
+        .enumerate()
+        .map(|(n, (file, function))| match (file, function) {
+            (Some(file), Some(function)) => Ok(HotPath { file, function }),
+            (None, _) => Err(format!("hot_paths.toml: entry #{} is missing `file`", n + 1)),
+            (_, None) => Err(format!("hot_paths.toml: entry #{} is missing `function`", n + 1)),
+        })
+        .collect()
+}
+
+/// Renders the canonical manifest text: stable header, entries sorted
+/// by `(file, function)` and deduplicated — so `--write-manifest`
+/// always produces a byte-identical file for the same registration set.
+pub fn render(paths: &[HotPath]) -> String {
+    let mut sorted: Vec<&HotPath> = paths.iter().collect();
+    sorted.sort();
+    sorted.dedup();
+    let mut out = String::from(
+        "# Hot-path allocation-audit manifest — consumed by `smore_lint`.\n\
+         #\n\
+         # Every function listed here must contain no allocation tokens\n\
+         # (Vec::new, vec![, to_vec, clone(), collect(), format!, String::,\n\
+         # Box::new, …). Register a function by adding a [[hot_path]] entry;\n\
+         # normalize with `cargo run -p smore_lint -- --write-manifest`\n\
+         # (full runs only — path-filtered runs never write this file).\n",
+    );
+    for path in sorted {
+        let _ = write!(
+            out,
+            "\n[[hot_path]]\nfile = \"{}\"\nfunction = \"{}\"\n",
+            path.file, path.function
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_round_trip_is_canonical() {
+        let paths = vec![
+            HotPath { file: "b.rs".into(), function: "g".into() },
+            HotPath { file: "a.rs".into(), function: "f".into() },
+            HotPath { file: "a.rs".into(), function: "f".into() },
+        ];
+        let text = render(&paths);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(
+            parsed,
+            vec![
+                HotPath { file: "a.rs".into(), function: "f".into() },
+                HotPath { file: "b.rs".into(), function: "g".into() },
+            ]
+        );
+        assert_eq!(render(&parsed), text, "canonical form is a fixed point");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_entries() {
+        assert!(parse("file = \"a.rs\"\n").unwrap_err().contains("before any"));
+        assert!(parse("[[hot_path]]\nfile = \"a.rs\"\n")
+            .unwrap_err()
+            .contains("missing `function`"));
+        assert!(parse("[[hot_path]]\nnope = \"x\"\n").unwrap_err().contains("unknown key"));
+        assert!(parse("[[hot_path]]\nfile = bare\n").unwrap_err().contains("quoted string"));
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: the registered `hot` only works in place; the allocation
+//! lives in an unregistered function and must not fire.
+
+pub fn hot(acc: &mut [f32], xs: &[f32]) {
+    for (a, x) in acc.iter_mut().zip(xs) {
+        *a += *x;
+    }
+}
+
+pub fn cold() -> String {
+    String::from("allocations outside the registered fn are fine")
+}

@@ -1,0 +1,9 @@
+//! Fixture: `hot` is registered in the test's manifest, so its
+//! allocations must fire `hot_path_alloc`.
+
+pub fn hot(xs: &[f32]) -> Vec<f32> {
+    let mut out = Vec::new();
+    out.extend(xs.iter().map(|x| x * 2.0));
+    format!("{}", out.len()).into_bytes();
+    out
+}

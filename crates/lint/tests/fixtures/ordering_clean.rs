@@ -1,0 +1,11 @@
+//! Fixture: every atomic site carries an adjacent rationale, and the
+//! `SeqCst` names itself — zero findings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn clean(counter: &AtomicU64) -> u64 {
+    // ordering: Relaxed — monotone fixture counter, no ordering promised.
+    counter.fetch_add(1, Ordering::Relaxed);
+    // ordering: SeqCst — fixture demonstrates a justified total order.
+    counter.load(Ordering::SeqCst)
+}

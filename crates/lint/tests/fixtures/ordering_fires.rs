@@ -1,0 +1,10 @@
+//! Fixture: an uncommented atomic site, and a `SeqCst` whose comment
+//! never justifies the total order — both must fire `atomic_ordering`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn fires(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed);
+    // ordering: a rationale that talks around the strongest ordering
+    counter.load(Ordering::SeqCst)
+}

@@ -1,0 +1,24 @@
+//! Fixture: the same constructs as `panic_path_fires.rs`, each either
+//! justified by a pragma, confined to test code, or inert inside
+//! strings and comments — zero findings.
+
+pub fn serve(xs: &[u32]) -> u32 {
+    // a comment mentioning .unwrap() or xs[0] is prose, not code
+    let msg = "a string mentioning .unwrap() or panic! is data, not code";
+    let first = xs.first().copied().unwrap_or(0);
+    // smore-lint: allow(panic_path) fixture demonstrates a reasoned standalone pragma
+    let second = *xs.get(1).expect("two elements");
+    let array = [first, second, msg.len() as u32];
+    let [a, b, _] = array; // a destructuring pattern is not an index
+    a + b
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic_freely() {
+        let xs = [1u32, 2];
+        assert_eq!(xs[0], 1);
+        let _ = xs.first().unwrap();
+    }
+}

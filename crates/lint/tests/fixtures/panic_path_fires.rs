@@ -1,0 +1,14 @@
+//! Fixture: linted as a serving-crate file, every construct below must
+//! fire `panic_path`.
+
+pub fn serve(xs: &[u32]) -> u32 {
+    let first = xs.first().unwrap();
+    let second = xs.get(1).expect("two elements");
+    if *first > 10 {
+        panic!("boom");
+    }
+    match second {
+        0 => unreachable!(),
+        _ => xs[2],
+    }
+}

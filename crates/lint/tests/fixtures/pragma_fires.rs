@@ -1,0 +1,7 @@
+//! Fixture: malformed suppressions are themselves findings.
+
+pub fn fixture() {
+    // smore-lint: allow(panic_path)
+    // smore-lint: allow(made_up_rule) a reason for a rule that does not exist
+    // smore-lint: gibberish directive
+}

@@ -1,0 +1,5 @@
+//! Fixture crate root declaring the forbid — zero findings.
+
+#![forbid(unsafe_code)]
+
+pub fn fixture() {}

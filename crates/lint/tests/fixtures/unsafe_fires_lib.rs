@@ -1,0 +1,4 @@
+//! Fixture crate root without `#![forbid(unsafe_code)]` — must fire
+//! `unsafe_forbid` on a full run.
+
+pub fn fixture() {}

@@ -1,0 +1,9 @@
+//! Wire-tag fixture (clean): the client sends every request variant and
+//! decodes every response variant.
+
+pub fn round_trip() -> Response {
+    send(Request::Echo);
+    match recv() {
+        Response::Echo => Response::Echo,
+    }
+}

@@ -1,0 +1,7 @@
+//! Wire-tag fixture (clean): the corruption sweep exercises every
+//! variant on both sides of the wire.
+
+pub fn sweep() {
+    corrupt_and_send(Request::Echo);
+    corrupt_and_decode(Response::Echo);
+}

@@ -1,0 +1,21 @@
+//! Wire-tag fixture (clean): both tags are sealed, decoded, and the
+//! peer fixtures handle every variant.
+
+pub const TAG_ECHO: u8 = 0x01;
+pub const TAG_ECHO_RESP: u8 = 0x81;
+
+pub fn encode_echo(id: u64) -> Vec<u8> {
+    seal(TAG_ECHO, id, |_| {})
+}
+
+pub fn encode_echo_resp(id: u64) -> Vec<u8> {
+    seal(TAG_ECHO_RESP, id, |_| {})
+}
+
+pub fn decode(tag: u8) -> Frame {
+    match tag {
+        TAG_ECHO => Frame::Req(Request::Echo),
+        TAG_ECHO_RESP => Frame::Resp(Response::Echo),
+        other => Frame::Unknown(other),
+    }
+}

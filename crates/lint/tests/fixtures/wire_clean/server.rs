@@ -1,0 +1,7 @@
+//! Wire-tag fixture (clean): the server dispatches every request tag.
+
+pub fn dispatch(request: Request) -> Response {
+    match request {
+        Request::Echo => Response::Echo,
+    }
+}

@@ -1,0 +1,4 @@
+//! Wire-tag fixture (fires): the corruption sweep never names the
+//! request variant — `TAG_ECHO` must be reported as unhandled here.
+
+pub fn idle() {}

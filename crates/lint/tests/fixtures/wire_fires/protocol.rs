@@ -1,0 +1,17 @@
+//! Wire-tag fixture (fires): `TAG_ORPHAN` is declared but never sealed
+//! and has no decode arm; `TAG_ECHO` is wired in the protocol but the
+//! client and corruption peers never handle its variant.
+
+pub const TAG_ECHO: u8 = 0x01;
+pub const TAG_ORPHAN: u8 = 0x02;
+
+pub fn encode_echo(id: u64) -> Vec<u8> {
+    seal(TAG_ECHO, id, |_| {})
+}
+
+pub fn decode(tag: u8) -> Frame {
+    match tag {
+        TAG_ECHO => Frame::Req(Request::Echo),
+        other => Frame::Unknown(other),
+    }
+}

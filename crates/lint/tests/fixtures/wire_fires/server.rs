@@ -1,0 +1,8 @@
+//! Wire-tag fixture (fires): the server handles the request, so the
+//! missing coverage is pinned on the client and the corruption sweep.
+
+pub fn dispatch(request: Request) -> Response {
+    match request {
+        Request::Echo => Response::Echo,
+    }
+}

@@ -1,0 +1,163 @@
+//! Per-rule fixture tests: every rule must fire on its seeded-violation
+//! fixture and stay silent on its clean twin. The fixtures live under
+//! `tests/fixtures/` (excluded from workspace collection) and are
+//! linted under serving-crate paths so the scoped rules apply.
+
+use smore_lint::manifest::HotPath;
+use smore_lint::{lint_source, lint_sources, Finding, SourceFile};
+
+/// Rel path that puts a fixture inside the panic-path serving scope.
+const SERVE_REL: &str = "crates/serve/src/fixture.rs";
+
+fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn panic_path_fires_on_every_seeded_violation() {
+    let findings = lint_source(SERVE_REL, include_str!("fixtures/panic_path_fires.rs"), &[]);
+    assert_eq!(findings.len(), 5, "{findings:#?}");
+    assert!(findings.iter().all(|f| f.rule == "panic_path"), "{findings:#?}");
+    let all = findings.iter().map(|f| f.message.clone()).collect::<Vec<_>>().join("\n");
+    for token in ["unwrap", "expect", "panic!", "unreachable!", "bare slice index"] {
+        assert!(all.contains(token), "no {token} finding in:\n{all}");
+    }
+}
+
+#[test]
+fn panic_path_respects_pragmas_tests_and_scrubbing() {
+    let findings = lint_source(SERVE_REL, include_str!("fixtures/panic_path_clean.rs"), &[]);
+    assert_eq!(findings, vec![], "clean fixture must produce no findings");
+}
+
+#[test]
+fn panic_path_ignores_files_outside_the_serving_scope() {
+    let findings =
+        lint_source("crates/bench/src/lib.rs", include_str!("fixtures/panic_path_fires.rs"), &[]);
+    assert_eq!(findings, vec![], "bench crate is outside the panic-path scope");
+}
+
+#[test]
+fn hot_path_alloc_fires_only_inside_registered_functions() {
+    let manifest = [HotPath { file: SERVE_REL.to_string(), function: "hot".to_string() }];
+    let fires = lint_source(SERVE_REL, include_str!("fixtures/hot_alloc_fires.rs"), &manifest);
+    assert!(!fires.is_empty() && fires.iter().all(|f| f.rule == "hot_path_alloc"), "{fires:#?}");
+
+    let clean = lint_source(SERVE_REL, include_str!("fixtures/hot_alloc_clean.rs"), &manifest);
+    assert_eq!(clean, vec![], "in-place hot fn with an allocating cold fn must be clean");
+}
+
+#[test]
+fn hot_path_alloc_reports_a_registered_fn_that_vanished() {
+    let manifest =
+        [HotPath { file: SERVE_REL.to_string(), function: "does_not_exist".to_string() }];
+    let findings = lint_source(SERVE_REL, include_str!("fixtures/hot_alloc_clean.rs"), &manifest);
+    assert_eq!(rules_of(&findings), ["hot_path_alloc"], "{findings:#?}");
+    assert!(findings[0].message.contains("not found"), "{findings:#?}");
+}
+
+#[test]
+fn atomic_ordering_requires_adjacent_rationales_and_seqcst_naming() {
+    let findings = lint_source(SERVE_REL, include_str!("fixtures/ordering_fires.rs"), &[]);
+    assert_eq!(rules_of(&findings), ["atomic_ordering", "atomic_ordering"], "{findings:#?}");
+    assert!(findings[1].message.contains("SeqCst"), "{findings:#?}");
+
+    let clean = lint_source(SERVE_REL, include_str!("fixtures/ordering_clean.rs"), &[]);
+    assert_eq!(clean, vec![], "commented sites must be clean");
+}
+
+#[test]
+fn malformed_pragmas_are_findings_themselves() {
+    let findings = lint_source(SERVE_REL, include_str!("fixtures/pragma_fires.rs"), &[]);
+    assert_eq!(rules_of(&findings), ["pragma", "pragma", "pragma"], "{findings:#?}");
+    let all = findings.iter().map(|f| f.message.clone()).collect::<Vec<_>>().join("\n");
+    assert!(all.contains("reason"), "missing-reason pragma not reported:\n{all}");
+    assert!(all.contains("unknown rule"), "unknown-rule pragma not reported:\n{all}");
+    assert!(all.contains("unrecognized"), "gibberish pragma not reported:\n{all}");
+}
+
+fn wire_files(dir_protocol: &str, server: &str, client: &str, corruption: &str) -> [SourceFile; 4] {
+    [
+        SourceFile::new("crates/serve/src/protocol.rs", dir_protocol),
+        SourceFile::new("crates/serve/src/server.rs", server),
+        SourceFile::new("crates/serve/src/client.rs", client),
+        SourceFile::new("crates/serve/tests/protocol_corruption.rs", corruption),
+    ]
+}
+
+#[test]
+fn wire_tags_passes_a_fully_wired_protocol() {
+    let files = wire_files(
+        include_str!("fixtures/wire_clean/protocol.rs"),
+        include_str!("fixtures/wire_clean/server.rs"),
+        include_str!("fixtures/wire_clean/client.rs"),
+        include_str!("fixtures/wire_clean/corruption.rs"),
+    );
+    let findings = lint_sources(&files, &[], true);
+    assert_eq!(findings, vec![], "clean wire fixture must produce no findings");
+}
+
+#[test]
+fn wire_tags_reports_orphan_tags_and_unhandled_variants() {
+    let files = wire_files(
+        include_str!("fixtures/wire_fires/protocol.rs"),
+        include_str!("fixtures/wire_fires/server.rs"),
+        include_str!("fixtures/wire_fires/client.rs"),
+        include_str!("fixtures/wire_fires/corruption.rs"),
+    );
+    let findings = lint_sources(&files, &[], true);
+    assert!(findings.iter().all(|f| f.rule == "wire_tags"), "{findings:#?}");
+    let all = findings.iter().map(|f| f.message.clone()).collect::<Vec<_>>().join("\n");
+    assert!(all.contains("`TAG_ORPHAN` is never sealed"), "{all}");
+    assert!(all.contains("`TAG_ORPHAN` has no decode arm"), "{all}");
+    assert!(all.contains("not handled in crates/serve/src/client.rs"), "{all}");
+    assert!(all.contains("not handled in crates/serve/tests/protocol_corruption.rs"), "{all}");
+    assert_eq!(findings.len(), 4, "{findings:#?}");
+}
+
+#[test]
+fn wire_tags_only_runs_on_full_passes() {
+    let files = wire_files(
+        include_str!("fixtures/wire_fires/protocol.rs"),
+        include_str!("fixtures/wire_fires/server.rs"),
+        include_str!("fixtures/wire_fires/client.rs"),
+        include_str!("fixtures/wire_fires/corruption.rs"),
+    );
+    let findings = lint_sources(&files, &[], false);
+    assert_eq!(findings, vec![], "a filtered run cannot judge cross-file coverage");
+}
+
+#[test]
+fn unsafe_forbid_checks_every_crate_root() {
+    let fires = [SourceFile::new(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/unsafe_fires_lib.rs"),
+    )];
+    let findings = lint_sources(&fires, &[], true);
+    assert_eq!(rules_of(&findings), ["unsafe_forbid"], "{findings:#?}");
+
+    let clean = [SourceFile::new(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/unsafe_clean_lib.rs"),
+    )];
+    assert_eq!(lint_sources(&clean, &[], true), vec![], "declared root must be clean");
+
+    let non_root = [SourceFile::new(
+        "crates/fixture/src/helper.rs",
+        include_str!("fixtures/unsafe_fires_lib.rs"),
+    )];
+    assert_eq!(lint_sources(&non_root, &[], true), vec![], "non-roots carry no attribute duty");
+}
+
+#[test]
+fn manifest_drift_is_reported_on_full_runs() {
+    let manifest =
+        [HotPath { file: "crates/gone/src/lib.rs".to_string(), function: "hot".to_string() }];
+    let files = [SourceFile::new(SERVE_REL, include_str!("fixtures/hot_alloc_clean.rs"))];
+    let full = lint_sources(&files, &manifest, true);
+    assert_eq!(rules_of(&full), ["hot_path_alloc"], "{full:#?}");
+    assert!(full[0].message.contains("does not exist"), "{full:#?}");
+
+    let filtered = lint_sources(&files, &manifest, false);
+    assert_eq!(filtered, vec![], "a filtered run cannot judge manifest drift");
+}

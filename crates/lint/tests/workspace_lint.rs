@@ -1,0 +1,56 @@
+//! The live-workspace gate: `cargo test -p smore_lint` must lint the
+//! actual checked-out tree with zero findings, so the invariants hold
+//! on every test run — not only when CI remembers to invoke the binary.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint/ → workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("workspace root")
+}
+
+#[test]
+fn the_workspace_lints_clean() {
+    let findings = smore_lint::lint_workspace(&workspace_root(), &[]).expect("lint runs");
+    assert!(
+        findings.is_empty(),
+        "the workspace must lint clean; fix or pragma-justify:\n{}",
+        findings.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn the_committed_manifest_is_canonical() {
+    let path = workspace_root().join("crates/lint/hot_paths.toml");
+    let text = std::fs::read_to_string(&path).expect("hot_paths.toml is committed");
+    let canonical =
+        smore_lint::manifest::render(&smore_lint::manifest::parse(&text).expect("parses"));
+    assert_eq!(text, canonical, "run `smore_lint --write-manifest` to renormalize");
+}
+
+#[test]
+fn filtered_runs_refuse_to_write_the_manifest() {
+    // The bug class this pins down: a path-filtered run sees a partial
+    // workspace and must never rewrite the committed registration set.
+    let output = Command::new(env!("CARGO_BIN_EXE_smore_lint"))
+        .args(["--root", workspace_root().to_str().expect("utf-8 root")])
+        .args(["--write-manifest", "crates/serve"])
+        .output()
+        .expect("smore_lint binary runs");
+    assert_eq!(output.status.code(), Some(2), "must exit with a usage error");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("refusing --write-manifest"), "{stderr}");
+}
+
+#[test]
+fn a_filtered_binary_run_lints_the_subset() {
+    let output = Command::new(env!("CARGO_BIN_EXE_smore_lint"))
+        .args(["--root", workspace_root().to_str().expect("utf-8 root")])
+        .arg("crates/serve/src/protocol.rs")
+        .output()
+        .expect("smore_lint binary runs");
+    assert_eq!(output.status.code(), Some(0), "{}", String::from_utf8_lossy(&output.stdout));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("cross-file rules skipped"), "{stderr}");
+}

@@ -90,13 +90,17 @@ impl AtomicHistogram {
     pub fn new() -> Self {
         let buckets: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
         let buckets: Box<[AtomicU64; NUM_BUCKETS]> =
+            // smore-lint: allow(panic_path) the vec above is built with exactly NUM_BUCKETS entries
             buckets.into_boxed_slice().try_into().expect("NUM_BUCKETS entries");
         Self { buckets, sum: AtomicU64::new(0) }
     }
 
     /// Records one sample.
     pub fn record(&self, value: u64) {
-        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        // ordering: Relaxed — independent monotone counters; the snapshot
+        // contract tolerates samples landing mid-walk, so no recorder
+        // ordering is needed.
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed); // smore-lint: allow(panic_path) bucket_of clamps to NUM_BUCKETS - 1
         self.sum.fetch_add(value, Ordering::Relaxed);
     }
 
@@ -106,7 +110,8 @@ impl AtomicHistogram {
         if n == 0 {
             return;
         }
-        self.buckets[bucket_of(value)].fetch_add(n, Ordering::Relaxed);
+        // ordering: Relaxed — same contract as `record`.
+        self.buckets[bucket_of(value)].fetch_add(n, Ordering::Relaxed); // smore-lint: allow(panic_path) bucket_of clamps to NUM_BUCKETS - 1
         self.sum.fetch_add(value.saturating_mul(n), Ordering::Relaxed);
     }
 
@@ -116,6 +121,9 @@ impl AtomicHistogram {
     /// consistent to within the samples that land mid-walk.
     #[must_use]
     pub fn snapshot(&self) -> HistogramSnapshot {
+        // ordering: Relaxed — the snapshot is documented as consistent
+        // only to within mid-walk samples; no bucket-to-bucket or
+        // bucket-to-sum ordering is promised, so no fences are needed.
         let mut buckets: Vec<u64> =
             self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
         let count = buckets.iter().sum();

@@ -194,23 +194,32 @@ impl EventJournal {
     /// Events successfully published since creation.
     #[must_use]
     pub fn pushed(&self) -> u64 {
+        // ordering: Relaxed — monotone stats counter; readers only ever
+        // see it grow and promise no ordering against slot contents.
         self.pushed.load(Ordering::Relaxed)
     }
 
     /// Events lost to slot-claim contention (never to readers).
     #[must_use]
     pub fn dropped(&self) -> u64 {
+        // ordering: Relaxed — monotone stats counter, same contract as
+        // `pushed`.
         self.dropped.load(Ordering::Relaxed)
     }
 
     /// Records an event; wait-free, returns whether it was published.
     pub fn push(&self, event: Event) -> bool {
+        // ordering: Relaxed — the ticket counter only hands out distinct
+        // indices; all ownership ordering goes through the slot's seq word.
         let index = self.head.fetch_add(1, Ordering::Relaxed);
-        let slot = &self.slots[(index & self.mask) as usize];
+        let slot = &self.slots[(index & self.mask) as usize]; // smore-lint: allow(panic_path) index is masked by capacity-1
         let capacity = self.slots.len() as u64;
         // The slot last held the event one lap behind us (or nothing).
         let expected = if index >= capacity { 2 * (index - capacity) + 2 } else { 0 };
         let writing = 2 * index + 1;
+        // ordering: Acquire on success pairs with the previous lap's
+        // Release publish, so our word stores below cannot be reordered
+        // before we own the slot; Relaxed on failure — we write nothing.
         if slot
             .seq
             .compare_exchange(expected, writing, Ordering::Acquire, Ordering::Relaxed)
@@ -218,14 +227,21 @@ impl EventJournal {
         {
             // A stalled predecessor still owns the slot, or a writer a full
             // lap ahead already claimed it. Drop rather than spin or tear.
+            // ordering: Relaxed — monotone drop counter, stats only.
             self.dropped.fetch_add(1, Ordering::Relaxed);
             return false;
         }
         let values = [event.kind as u64, event.tenant, event.step, event.a, event.b, event.nanos];
+        // ordering: Relaxed word stores are fenced by the seq protocol —
+        // after the Acquire claim above, before the Release publish below,
+        // which is the edge snapshot() synchronizes with.
         for (word, value) in slot.words.iter().zip(values) {
             word.store(value, Ordering::Relaxed);
         }
+        // ordering: Release — publishes the word stores above to any
+        // reader that Acquire-loads seq == 2*index+2.
         slot.seq.store(2 * index + 2, Ordering::Release);
+        // ordering: Relaxed — monotone publish counter, stats only.
         self.pushed.fetch_add(1, Ordering::Relaxed);
         true
     }
@@ -235,31 +251,34 @@ impl EventJournal {
     /// skipped — a returned event is never torn.
     #[must_use]
     pub fn snapshot(&self) -> JournalSnapshot {
+        // ordering: Acquire — any slot published before this head read is
+        // fully visible (pairs with the writers' Release seq stores).
         let head = self.head.load(Ordering::Acquire);
         let capacity = self.slots.len() as u64;
         let start = head.saturating_sub(capacity);
         let mut events = Vec::with_capacity((head - start) as usize);
         for index in start..head {
-            let slot = &self.slots[(index & self.mask) as usize];
+            let slot = &self.slots[(index & self.mask) as usize]; // smore-lint: allow(panic_path) index is masked by capacity-1
+                                                                  // ordering: Acquire — seeing the published seq makes the
+                                                                  // writer's word stores visible to the Relaxed loads below.
             let seq = slot.seq.load(Ordering::Acquire);
             if seq != 2 * index + 2 {
                 continue; // unpublished, in-flight, or already overwritten
             }
+            // ordering: Relaxed word loads are validated by the seqlock
+            // re-check below; a torn read is discarded, never returned.
             let words: [u64; WORDS] =
-                std::array::from_fn(|w| slot.words[w].load(Ordering::Relaxed));
+                std::array::from_fn(|w| slot.words[w].load(Ordering::Relaxed)); // smore-lint: allow(panic_path) w < WORDS by construction
+                                                                                // ordering: the Acquire fence orders the word loads above
+                                                                                // before the seq re-load — if seq is still unchanged, no
+                                                                                // writer claimed the slot while we copied.
             fence(Ordering::Acquire);
             if slot.seq.load(Ordering::Relaxed) != seq {
                 continue; // overwritten while copying — discard the torn read
             }
-            let Some(kind) = EventKind::from_code(words[0]) else { continue };
-            events.push(Event {
-                kind,
-                tenant: words[1],
-                step: words[2],
-                a: words[3],
-                b: words[4],
-                nanos: words[5],
-            });
+            let [code, tenant, step, a, b, nanos] = words;
+            let Some(kind) = EventKind::from_code(code) else { continue };
+            events.push(Event { kind, tenant, step, a, b, nanos });
         }
         JournalSnapshot {
             pushed: self.pushed(),

@@ -32,6 +32,7 @@
 //! dependency (it depends only on `smore` for the quantile helper and the
 //! wire format).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod hist;

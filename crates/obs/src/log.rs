@@ -65,6 +65,10 @@ static INIT: Once = Once::new();
 
 /// The active level, initialising from `SMORE_LOG` on first use.
 pub fn level() -> Level {
+    // ordering: Relaxed — LEVEL is an independent byte-sized gate; Once
+    // already fences the initial store, and later set_level overrides
+    // only need eventual visibility (a racing record at the old level is
+    // harmless).
     INIT.call_once(|| {
         if let Some(parsed) = std::env::var("SMORE_LOG").ok().as_deref().and_then(Level::parse) {
             LEVEL.store(parsed as u8, Ordering::Relaxed);
@@ -82,6 +86,8 @@ pub fn level() -> Level {
 /// Overrides the level programmatically (wins over `SMORE_LOG`).
 pub fn set_level(new: Level) {
     INIT.call_once(|| {});
+    // ordering: Relaxed — same contract as `level()`: the gate only needs
+    // eventual visibility.
     LEVEL.store(new as u8, Ordering::Relaxed);
 }
 

@@ -86,6 +86,8 @@ fn journal_wraps_and_never_returns_torn_events() {
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
                 let mut seen = 0u64;
+                // ordering: Relaxed — stop is a plain quit flag; the
+                // readers only need eventual visibility.
                 while !stop.load(Ordering::Relaxed) {
                     for e in journal.snapshot().events {
                         // An untorn event's payload words are all derived
@@ -104,6 +106,8 @@ fn journal_wraps_and_never_returns_torn_events() {
         .collect();
 
     let published: u64 = writers.into_iter().map(|h| h.join().unwrap()).sum();
+    // ordering: Relaxed — quit flag; reader loops only need to see it
+    // eventually.
     stop.store(true, Ordering::Relaxed);
     for r in readers {
         r.join().unwrap();

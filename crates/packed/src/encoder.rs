@@ -63,6 +63,8 @@
 //! the two are bit-exactly equal (property-tested in
 //! `tests/proptests.rs`).
 
+// smore-lint: allow-file(panic_path) bit-kernel indices are all derived from words_for(dim) and exhaustively property-tested against the dense encoder
+
 use smore_hdc::encoder::{EncoderConfig, MultiSensorEncoder, ValueRange};
 use smore_hdc::HdcError;
 use smore_tensor::{parallel, Matrix};

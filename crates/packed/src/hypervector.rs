@@ -8,6 +8,8 @@
 //! representation this is a 32× memory reduction, and similarity drops from
 //! `3d` floating-point operations to `d/64` XOR+popcount word operations.
 
+// smore-lint: allow-file(panic_path) word indices are all bounded by words_for(dim); the kernels are property-tested bit-for-bit against dense arithmetic
+
 use smore_hdc::{HdcError, Hypervector};
 
 use crate::Result;

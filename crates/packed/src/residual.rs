@@ -172,6 +172,7 @@ impl ResidualPacked {
 
     /// Norm of the approximation `√(dot(self, self))`.
     pub fn norm(&self) -> f32 {
+        // smore-lint: allow(panic_path) dot() only errors on a dim mismatch; self vs. self cannot mismatch
         self.dot(self).expect("self-dot never mismatches").max(0.0).sqrt()
     }
 

@@ -26,6 +26,7 @@
 //! assert!(latency > 0.0 && joules > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod device;

@@ -296,18 +296,18 @@ impl ServeClient {
     ) -> Result<WirePrediction, ClientError> {
         let attempts = policy.attempts.max(1);
         let mut delay = policy.base_delay;
-        for attempt in 1..=attempts {
+        // All attempts but the last may back off and go around; the last
+        // one falls through below and returns whatever it got.
+        for _ in 1..attempts {
             match call(self) {
-                Err(ClientError::Server { code: ErrorCode::Overloaded, .. })
-                    if attempt < attempts =>
-                {
+                Err(ClientError::Server { code: ErrorCode::Overloaded, .. }) => {
                     std::thread::sleep(self.jittered(delay));
                     delay = (delay * 2).min(policy.max_delay);
                 }
                 outcome => return outcome,
             }
         }
-        unreachable!("the final attempt always returns")
+        call(self)
     }
 
     /// Scales `delay` by a factor in `[0.5, 1.5)` from the xorshift64*

@@ -19,6 +19,8 @@
 //! (default `warn`; set `SMORE_LOG=info` for startup/shutdown chatter,
 //! `SMORE_LOG=debug` for per-connection protocol errors).
 
+#![forbid(unsafe_code)]
+
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -31,10 +33,17 @@ use smore_stream::ServeEngine;
 /// Ring capacity for the engine-attached adaptation journal.
 const JOURNAL_CAPACITY: usize = 4096;
 
+/// Where the served model comes from — parsing resolves the
+/// `--synthetic` / `--artifact` pair into one typed source, so the
+/// serving setup never has to re-derive which flag was given.
+enum ModelSource {
+    Synthetic,
+    Artifact(String),
+}
+
 struct Args {
     addr: String,
-    synthetic: bool,
-    artifact: Option<String>,
+    source: Option<ModelSource>,
     dim: usize,
     seed: u64,
     workers: Option<usize>,
@@ -74,8 +83,7 @@ fn parse<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &str
 fn parse_args() -> Args {
     let mut args = Args {
         addr: "127.0.0.1:7878".into(),
-        synthetic: false,
-        artifact: None,
+        source: None,
         dim: 1024,
         seed: 7,
         workers: None,
@@ -93,8 +101,11 @@ fn parse_args() -> Args {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--addr" => args.addr = parse(&mut it, "--addr"),
-            "--synthetic" => args.synthetic = true,
-            "--artifact" => args.artifact = Some(parse(&mut it, "--artifact")),
+            "--synthetic" => set_source(&mut args, ModelSource::Synthetic),
+            "--artifact" => {
+                let path = parse(&mut it, "--artifact");
+                set_source(&mut args, ModelSource::Artifact(path));
+            }
             "--dim" => args.dim = parse(&mut it, "--dim"),
             "--seed" => args.seed = parse(&mut it, "--seed"),
             "--workers" => args.workers = Some(parse(&mut it, "--workers")),
@@ -147,33 +158,45 @@ fn parse_args() -> Args {
             }
         }
     }
-    if args.synthetic == args.artifact.is_some() {
+    if args.source.is_none() {
         eprintln!("exactly one of --synthetic / --artifact is required");
         usage();
     }
     args
 }
 
+fn set_source(args: &mut Args, source: ModelSource) {
+    if args.source.is_some() {
+        eprintln!("exactly one of --synthetic / --artifact is required");
+        usage();
+    }
+    args.source = Some(source);
+}
+
 fn main() {
     let args = parse_args();
 
-    let mut engine = if args.synthetic {
-        info!(
-            "serve",
-            "training the synthetic fleet model (seed {}, d = {})...", args.seed, args.dim
-        );
-        let (_, engine) = synthetic::engine(args.seed, args.dim).unwrap_or_else(|e| {
-            error!("serve", "synthetic engine failed: {e}");
-            std::process::exit(1);
-        });
-        engine
-    } else {
-        let path = args.artifact.as_deref().expect("checked in parse_args");
-        info!("serve", "loading dense artifact {path}...");
-        ServeEngine::from_artifact(path, synthetic::streaming_config()).unwrap_or_else(|e| {
-            error!("serve", "artifact load failed: {e}");
-            std::process::exit(1);
-        })
+    let mut engine = match &args.source {
+        Some(ModelSource::Synthetic) => {
+            info!(
+                "serve",
+                "training the synthetic fleet model (seed {}, d = {})...", args.seed, args.dim
+            );
+            let (_, engine) = synthetic::engine(args.seed, args.dim).unwrap_or_else(|e| {
+                error!("serve", "synthetic engine failed: {e}");
+                std::process::exit(1);
+            });
+            engine
+        }
+        Some(ModelSource::Artifact(path)) => {
+            info!("serve", "loading dense artifact {path}...");
+            ServeEngine::from_artifact(path, synthetic::streaming_config()).unwrap_or_else(|e| {
+                error!("serve", "artifact load failed: {e}");
+                std::process::exit(1);
+            })
+        }
+        // parse_args validated the source; stay typed instead of panicking.
+        None => usage(),
     };
     // Engine-attached journal: tenant lifecycle events (OOD, drift,
     // enrolments, swaps) and the server's shed events share one ring,
@@ -256,6 +279,8 @@ fn main() {
 
     let m = server.metrics_arc();
     server.shutdown();
+    // ordering: Relaxed — monotone report counters read after shutdown()
+    // joined every worker; the joins give the happens-before edge.
     info!(
         "serve",
         "served {} predictions ({} coalesced into {} batches), {} adaptations, \

@@ -284,6 +284,7 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<FrameRead> {
     // A clean EOF before any length byte means the peer hung up.
     match r.read(&mut len_bytes)? {
         0 => return Ok(FrameRead::Closed),
+        // smore-lint: allow(panic_path) read() returns at most buf.len(), so n..4 is in range
         n => r.read_exact(&mut len_bytes[n..])?,
     }
     let len = u32::from_le_bytes(len_bytes) as usize;
@@ -294,6 +295,7 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<FrameRead> {
         let mut sink = [0u8; 4096];
         while remaining > 0 {
             let take = sink.len().min(remaining as usize);
+            // smore-lint: allow(panic_path) take is clamped to sink.len() one line up
             r.read_exact(&mut sink[..take])?;
             remaining -= take as u64;
         }
@@ -341,16 +343,20 @@ fn open_payload(payload: &[u8]) -> Result<(u8, u64, WireReader<'_>), BadFrame> {
             payload.len()
         )));
     }
-    let declared = u32::from_le_bytes(payload[..4].try_into().expect("4 bytes"));
-    let inner = &payload[4..];
+    // The length guard above proves 4 bytes exist, but stay typed anyway:
+    // the connection thread must never panic on peer input.
+    let Some((crc_bytes, inner)) = payload.split_first_chunk::<4>() else {
+        return Err(bad("payload too short to carry a CRC".into()));
+    };
+    let declared = u32::from_le_bytes(*crc_bytes);
     if crc32(inner) != declared {
         // The id bytes failed the checksum too — echoing them could
         // mis-route the error onto an innocent in-flight request.
         return Err(bad("frame CRC mismatch".into()));
     }
     let mut r = WireReader::new(inner, "frame");
-    let tag = r.u8().expect("length checked above");
-    let request_id = r.u64().expect("length checked above");
+    let tag = r.u8().map_err(|e| bad(e.to_string()))?;
+    let request_id = r.u64().map_err(|e| bad(e.to_string()))?;
     Ok((tag, request_id, r))
 }
 

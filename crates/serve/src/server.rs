@@ -214,6 +214,8 @@ pub struct ServerMetrics {
 
 impl ServerMetrics {
     fn bump(counter: &AtomicU64) {
+        // ordering: Relaxed — independent monotone report counters; no
+        // reader infers anything about other memory from their values.
         counter.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -293,11 +295,16 @@ impl ServerHandle {
     /// evicted (and flushed, per [`FlushPolicy`]) survives — exactly the
     /// durability a real unclean kill leaves behind.
     pub fn abort(mut self) {
+        // ordering: SeqCst — rare control-plane flag; the total order with
+        // the `stop` store below makes "drain cleared before stop observed"
+        // trivially true on every worker, and the cost is off the hot path.
         self.drain.store(false, Ordering::SeqCst);
         self.stop_and_join();
     }
 
     fn stop_and_join(&mut self) {
+        // ordering: SeqCst — control-plane stop flag, set once at shutdown;
+        // SeqCst keeps every thread's view of stop/drain totally ordered.
         self.stop.store(true, Ordering::SeqCst);
         // Nudge the blocking accept loop awake.
         let _ = TcpStream::connect(self.addr);
@@ -351,6 +358,7 @@ pub fn serve(
     let unwind = |worker_handles: Vec<JoinHandle<()>>,
                   queues: Vec<SyncSender<Job>>,
                   stop: &Arc<AtomicBool>| {
+        // ordering: SeqCst — control-plane stop flag (see stop_and_join).
         stop.store(true, Ordering::SeqCst);
         drop(queues);
         for handle in worker_handles {
@@ -400,6 +408,8 @@ pub fn serve(
         // queue once in-flight jobs (which hold clones) finish.
         let queues = queues;
         for stream in listener.incoming() {
+            // ordering: SeqCst — pairs with the SeqCst stop store in
+            // stop_and_join; once per accepted connection, not hot.
             if accept_stop.load(Ordering::SeqCst) {
                 break;
             }
@@ -476,6 +486,8 @@ fn connection_loop(
 
     let mut reader = BufReader::new(stream);
     loop {
+        // ordering: SeqCst — pairs with the SeqCst stop store in
+        // stop_and_join; once per frame, dwarfed by the socket read.
         if stop.load(Ordering::SeqCst) {
             break;
         }
@@ -558,6 +570,7 @@ fn connection_loop(
             accepted,
             dequeued: accepted,
         };
+        // smore-lint: allow(panic_path) shard = hash % queues.len(), always in range
         match queues[shard].try_send(job) {
             Ok(()) => {}
             Err(TrySendError::Full(job)) => {
@@ -661,6 +674,8 @@ fn supervise_worker(
                     "worker {shard} panicked ({}); respawning with its queue intact",
                     panic_message(payload.as_ref())
                 );
+                // ordering: SeqCst — pairs with the SeqCst stop store in
+                // stop_and_join; read once per (rare) worker respawn.
                 if stop.load(Ordering::SeqCst) {
                     break;
                 }
@@ -686,6 +701,7 @@ fn open_store(engine: &Arc<ServeEngine>, config: &ServeConfig, shard: usize) -> 
         }) {
             Ok(state) => {
                 return SessionStore::new_persistent(Arc::clone(engine), caps.0, caps.1, state)
+                    // smore-lint: allow(panic_path) caps were validated by ServeConfig::validate before any worker spawned
                     .expect("serve() validated the session caps");
             }
             Err(e) => {
@@ -699,6 +715,7 @@ fn open_store(engine: &Arc<ServeEngine>, config: &ServeConfig, shard: usize) -> 
         }
     }
     SessionStore::new(Arc::clone(engine), caps.0, caps.1)
+        // smore-lint: allow(panic_path) caps were validated by ServeConfig::validate before any worker spawned
         .expect("serve() validated the session caps")
 }
 
@@ -719,6 +736,9 @@ fn forward_store_counters(
     metrics: &ServerMetrics,
 ) {
     let forward = |counter: &AtomicU64, now: u64, seen: &mut u64| {
+        // ordering: Relaxed — monotone report counter; `seen` lives on the
+        // single owning worker, so the saturating diff can never race, and
+        // readers only aggregate the values.
         counter.fetch_add(now.saturating_sub(*seen), Ordering::Relaxed);
         *seen = now;
     };
@@ -739,6 +759,7 @@ fn forward_store_counters(
 /// drop. One pass costs microseconds against a batch's milliseconds of
 /// scoring.
 fn refresh_gauges(telemetry: &Telemetry, shard: usize, sessions: &SessionStore) {
+    // smore-lint: allow(panic_path) telemetry allocates one gauge slot per shard at startup
     let gauges = &telemetry.gauges[shard];
     let mut personalized = 0u64;
     let mut buffered = 0u64;
@@ -748,6 +769,10 @@ fn refresh_gauges(telemetry: &Telemetry, shard: usize, sessions: &SessionStore) 
         buffered += session.buffered() as u64;
         ood_micros += (f64::from(session.recent_ood_fraction()) * 1e6) as u64;
     }
+    // ordering: Relaxed — last-writer-wins occupancy gauges with a single
+    // writer (the owning worker); `archived_bytes` included, since the
+    // store keeps its own accounting and this is a plain overwrite. A
+    // scrape may see a mid-refresh mix, which is fine for reporting.
     gauges.sessions.store(sessions.len() as u64, Ordering::Relaxed);
     gauges.personalized.store(personalized, Ordering::Relaxed);
     gauges.buffered_windows.store(buffered, Ordering::Relaxed);
@@ -775,6 +800,7 @@ fn worker_loop(
     let mut sessions = open_store(engine, config, shard);
     let mut scratch = ServeScratch::new();
     let mut batch: Vec<Job> = Vec::with_capacity(config.batch_max);
+    // smore-lint: allow(panic_path) telemetry allocates one stage set per shard at startup
     let stages = &telemetry.shards[shard];
     let mut seen = ForwardedCounters::default();
     // Publish recovery results immediately — a restarted server must show
@@ -792,6 +818,8 @@ fn worker_loop(
         // never deadlocks on queue senders still held by live connection
         // threads. A closed queue also means shutdown.
         let first = loop {
+            // ordering: SeqCst — pairs with the SeqCst stop store in
+            // stop_and_join; polled at most every 25 ms while idle.
             if stop.load(Ordering::SeqCst) {
                 break 'serving;
             }
@@ -828,6 +856,9 @@ fn worker_loop(
     // every resident session so a restart over the state dir rehydrates
     // them bit-exactly. Skipped by `ServerHandle::abort` (crash
     // simulation) and pointless without persistence.
+    // ordering: SeqCst — reads the flag abort() cleared with SeqCst; the
+    // total order with `stop` guarantees an abort is never mistaken for a
+    // graceful drain.
     if drain.load(Ordering::SeqCst) && sessions.persists() {
         while let Ok(job) = queue.try_recv() {
             batch.push(dequeue(stages, job));
@@ -842,6 +873,7 @@ fn worker_loop(
         }
         match sessions.drain() {
             Ok(persisted) => {
+                // ordering: Relaxed — monotone report counter (see bump).
                 metrics.sessions_drained.fetch_add(persisted as u64, Ordering::Relaxed);
             }
             Err(e) => {
@@ -857,6 +889,7 @@ fn worker_loop(
 fn inject_chaos(config: &ServeConfig, batch: &[Job], shard: usize) {
     if let Some(victim) = config.chaos.panic_on_tenant {
         if batch.iter().any(|job| job.tenant_id == victim) {
+            // smore-lint: allow(panic_path) deliberate fault injection for the supervision harness; production configs never set it
             panic!("chaos: injected panic serving tenant {victim} on shard {shard}");
         }
     }
@@ -899,8 +932,12 @@ fn serve_batch(
     // answerable from the shared base — coalescable across tenants. An
     // evicted-but-personalized tenant has *archived* state, so it must
     // take the stateful path and rehydrate; only a tenant that is neither
-    // resident-personalized nor archived is truly on the base.
-    let mut base_jobs: Vec<Job> = Vec::new();
+    // resident-personalized nor archived is truly on the base. Base jobs
+    // split into lockstep reply/window vectors, so the serving paths
+    // below re-match nothing (no unreachable arms) and the batch call
+    // borrows the windows without cloning them.
+    let mut base_replies: Vec<(u64, Sender<Vec<u8>>)> = Vec::new();
+    let mut base_windows: Vec<Matrix> = Vec::new();
     let mut stateful: Vec<Job> = Vec::new();
     for job in batch.drain(..) {
         let on_base = matches!(job.kind, JobKind::Predict(_))
@@ -908,20 +945,18 @@ fn serve_batch(
                 Some(s) => !s.is_personalized(),
                 None => !sessions.has_archived(job.tenant_id),
             };
-        if on_base {
-            base_jobs.push(job);
-        } else {
-            stateful.push(job);
+        match job {
+            Job { request_id, kind: JobKind::Predict(window), reply, .. } if on_base => {
+                base_replies.push((request_id, reply));
+                base_windows.push(window);
+            }
+            job => stateful.push(job),
         }
     }
 
-    if !base_jobs.is_empty() {
+    if !base_windows.is_empty() {
         let base = engine.base_snapshot();
-        if base_jobs.len() == 1 {
-            // No cross-tenant coalescing possible; serve through the
-            // worker scratch without the batch machinery.
-            let job = &base_jobs[0];
-            let JobKind::Predict(window) = &job.kind else { unreachable!("partitioned above") };
+        let serve_one = |window: &Matrix, scratch: &mut ServeScratch| {
             let response = match base.predict_window_with(window, scratch) {
                 Ok(p) => {
                     ServerMetrics::bump(&metrics.served);
@@ -934,29 +969,33 @@ fn serve_batch(
                 stages.record(Stage::Encode, t.encode_nanos);
                 stages.record(Stage::Score, t.score_nanos);
             }
-            let _ = job.reply.send(encode_response(job.request_id, &response));
+            response
+        };
+        if let ([(request_id, reply)], [window]) =
+            (base_replies.as_slice(), base_windows.as_slice())
+        {
+            // No cross-tenant coalescing possible; serve through the
+            // worker scratch without the batch machinery.
+            let response = serve_one(window, scratch);
+            let _ = reply.send(encode_response(*request_id, &response));
         } else {
-            let windows: Vec<Matrix> = base_jobs
-                .iter()
-                .map(|j| match &j.kind {
-                    JobKind::Predict(w) => w.clone(),
-                    JobKind::Ingest { .. } => unreachable!("partitioned above"),
-                })
-                .collect();
-            match base.predict_batch_timed(&windows) {
+            match base.predict_batch_timed(&base_windows) {
                 Ok((predictions, timings)) => {
                     ServerMetrics::bump(&metrics.coalesced_batches);
-                    metrics.coalesced_windows.fetch_add(windows.len() as u64, Ordering::Relaxed);
-                    metrics.served.fetch_add(windows.len() as u64, Ordering::Relaxed);
+                    // ordering: Relaxed — monotone report counters (see bump).
+                    metrics
+                        .coalesced_windows
+                        .fetch_add(base_windows.len() as u64, Ordering::Relaxed);
+                    metrics.served.fetch_add(base_windows.len() as u64, Ordering::Relaxed);
                     // Charge each window the batch mean of its stage — the
                     // per-window split inside one parallel batch call is
                     // not observable, the totals are.
-                    let n = windows.len() as u64;
+                    let n = base_windows.len() as u64;
                     stages.record_n(Stage::Encode, timings.encode_nanos / n, n);
                     stages.record_n(Stage::Score, timings.score_nanos / n, n);
-                    for (job, p) in base_jobs.iter().zip(&predictions) {
-                        let _ = job.reply.send(encode_response(
-                            job.request_id,
+                    for ((request_id, reply), p) in base_replies.iter().zip(&predictions) {
+                        let _ = reply.send(encode_response(
+                            *request_id,
                             &prediction_response(p, false, false),
                         ));
                     }
@@ -965,21 +1004,9 @@ fn serve_batch(
                     // One bad window fails a whole batch call; fall back
                     // to per-window serving so its neighbours still get
                     // answers and only the offender gets the error.
-                    for job in &base_jobs {
-                        let JobKind::Predict(window) = &job.kind else { unreachable!() };
-                        let response = match base.predict_window_with(window, scratch) {
-                            Ok(p) => {
-                                ServerMetrics::bump(&metrics.served);
-                                prediction_response(p, false, false)
-                            }
-                            Err(e) => model_error_response(&e),
-                        };
-                        if matches!(response, Response::Prediction(_)) {
-                            let t = scratch.timings();
-                            stages.record(Stage::Encode, t.encode_nanos);
-                            stages.record(Stage::Score, t.score_nanos);
-                        }
-                        let _ = job.reply.send(encode_response(job.request_id, &response));
+                    for ((request_id, reply), window) in base_replies.iter().zip(&base_windows) {
+                        let response = serve_one(window, scratch);
+                        let _ = reply.send(encode_response(*request_id, &response));
                     }
                 }
             }

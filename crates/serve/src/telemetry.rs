@@ -68,6 +68,8 @@ impl Telemetry {
     /// Aggregates every shard into one self-describing snapshot.
     pub(crate) fn snapshot(&self, metrics: &ServerMetrics) -> StatsSnapshot {
         let mut snap = StatsSnapshot::new();
+        // ordering: Relaxed — read-only scrape of monotone counters; the
+        // snapshot promises no cross-counter consistency to scrapers.
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
         snap.counters = vec![
             ("requests_served".into(), load(&metrics.served)),

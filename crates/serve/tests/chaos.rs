@@ -112,6 +112,7 @@ fn graceful_shutdown_suspends_sessions_and_restart_is_bit_exact() {
     // the state dir (fsynced — OnEvict defers the sync to exactly here).
     let metrics = server.metrics_arc();
     server.shutdown();
+    // ordering: Relaxed — read after shutdown() joined every worker.
     assert!(
         metrics.sessions_drained.load(std::sync::atomic::Ordering::Relaxed) >= 1,
         "drain must suspend the personalized session"
@@ -384,6 +385,7 @@ fn overload_retry_rides_out_a_burst() {
         }
     }
     assert!(shed > 0, "a 300-deep burst into a queue of 1 must shed");
+    // ordering: Relaxed — every shed was observed via its reply above.
     assert!(server.metrics().overloaded.load(std::sync::atomic::Ordering::Relaxed) > 0);
     server.shutdown();
 }

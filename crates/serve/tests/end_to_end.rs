@@ -54,6 +54,8 @@ fn wire_predictions_match_direct_serving() {
         assert!((wire.delta_max - direct.delta_max).abs() < 1e-6, "window {idx}");
         assert!(!wire.buffered && !wire.adapted, "stateless predicts never touch a session");
     }
+    // ordering: Relaxed — the predict round-trips above already ordered
+    // the counter bumps before this read.
     assert!(server.metrics().served.load(std::sync::atomic::Ordering::Relaxed) > 0);
     server.shutdown();
 }
@@ -85,6 +87,8 @@ fn pipelined_predicts_coalesce_into_shared_base_batches() {
     }
 
     let m = server.metrics();
+    // ordering: Relaxed — read after every pipelined reply arrived, so
+    // the worker's bumps are already ordered before these loads.
     let batches = m.coalesced_batches.load(std::sync::atomic::Ordering::Relaxed);
     let windows = m.coalesced_windows.load(std::sync::atomic::Ordering::Relaxed);
     assert!(batches > 0, "pipelined same-connection predicts must coalesce");
@@ -113,6 +117,7 @@ fn drifting_tenant_personalizes_through_wire_ingest() {
         }
     }
     assert!(adapted, "a tenant streaming drifted windows must trigger enrolment");
+    // ordering: Relaxed — the adapted reply already ordered the bump.
     assert!(server.metrics().adaptations.load(std::sync::atomic::Ordering::Relaxed) >= 1);
 
     // The enrolment the wire reported must be visible in the scraped
@@ -247,6 +252,7 @@ fn full_queue_answers_overloaded_not_oom() {
     assert_eq!(predictions + overloaded, total);
     assert!(overloaded > 0, "a 400-deep burst into a queue of 1 must trip admission control");
     assert!(predictions > 0, "admission control must shed load, not stop serving");
+    // ordering: Relaxed — every burst reply was received before this.
     assert_eq!(
         server.metrics().overloaded.load(std::sync::atomic::Ordering::Relaxed),
         overloaded as u64

@@ -10,7 +10,10 @@ use std::sync::{Arc, OnceLock};
 
 use smore::wire::crc32;
 use smore_data::Dataset;
-use smore_serve::protocol::{encode_request, MAX_FRAME_LEN, UNKNOWN_REQUEST_ID};
+use smore_serve::protocol::{
+    decode_response, encode_request, encode_response, WirePrediction, MAX_FRAME_LEN,
+    UNKNOWN_REQUEST_ID,
+};
 use smore_serve::{
     serve, synthetic, ErrorCode, Request, Response, ServeClient, ServeConfig, ServerHandle,
 };
@@ -110,6 +113,8 @@ fn bit_flips_are_caught_by_the_crc() {
     }
     let p = client.predict(5, ds.window(0)).expect("predict after the bit-flip sweep");
     assert!(p.label < 4);
+    // ordering: Relaxed — the recv() round-trips above already ordered
+    // the counter bumps before this read.
     assert!(server.metrics().protocol_errors.load(std::sync::atomic::Ordering::Relaxed) > 0);
     server.shutdown();
 }
@@ -173,6 +178,76 @@ fn truncated_frame_kills_only_its_own_connection() {
     let p = client.predict(2, ds.window(2)).expect("predict after torn connection");
     assert!(p.label < 4);
     server.shutdown();
+}
+
+#[test]
+fn every_request_tag_survives_a_corrupted_twin() {
+    let (server, ds) = start();
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+
+    // One frame per request tag — Request::Predict, Request::Ingest,
+    // Request::Ping, Request::Stats. Each is sent corrupted (must come
+    // back Malformed with the id withheld) and then pristine (must get
+    // its real response), proving no tag's decode path poisons the
+    // connection.
+    let window = ds.window(0).clone();
+    let frames = [
+        encode_request(21, &Request::Predict { tenant_id: 11, window: window.clone() }),
+        encode_request(22, &Request::Ingest { tenant_id: 11, label: Some(1), window }),
+        encode_request(23, &Request::Ping),
+        encode_request(24, &Request::Stats),
+    ];
+    for (i, frame) in frames.iter().enumerate() {
+        let mut corrupt = frame.clone();
+        // Any post-CRC-field byte works: the CRC covers tag, id and body.
+        corrupt[8 + i % (frame.len() - 8)] ^= 0x10;
+        client.send_raw(&corrupt).expect("send corrupted frame");
+        expect_error(&mut client, ErrorCode::Malformed, UNKNOWN_REQUEST_ID);
+
+        client.send_raw(frame).expect("send pristine frame");
+        let (id, response) = client.recv().expect("pristine frame still answered");
+        assert_eq!(id, 21 + i as u64);
+        match (i, response) {
+            (0 | 1, Response::Prediction(p)) => assert!(p.label < 4),
+            (2, Response::Pong) => {}
+            (3, Response::Stats(body)) => assert!(!body.is_empty()),
+            (i, other) => panic!("tag #{i}: unexpected response {other:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn truncated_response_payloads_decode_to_typed_errors() {
+    // Client-side mirror of the sweep: every response tag —
+    // Response::Prediction, Response::Pong, Response::Stats,
+    // Response::Error — must round-trip pristine, and every truncation
+    // of its payload must surface as a decode error, never a panic.
+    let responses = vec![
+        Response::Prediction(WirePrediction {
+            label: 2,
+            is_ood: false,
+            delta_max: 0.5,
+            best_domain: 1,
+            buffered: false,
+            adapted: false,
+        }),
+        Response::Pong,
+        Response::Stats(vec![9, 9, 9, 9]),
+        Response::Error { code: ErrorCode::Overloaded, message: "shed".into() },
+    ];
+    for response in &responses {
+        let frame = encode_response(77, response);
+        // The payload handed to decode is everything after the length
+        // prefix: CRC + tag + id + body.
+        let payload = &frame[4..];
+        let (id, decoded) = decode_response(payload).expect("pristine payload decodes");
+        assert_eq!(id, 77);
+        assert_eq!(&decoded, response);
+        for cut in 0..payload.len() {
+            decode_response(&payload[..cut]).expect_err("truncated payload must not decode");
+        }
+    }
 }
 
 #[test]

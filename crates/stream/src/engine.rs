@@ -90,6 +90,7 @@ pub(crate) fn drift_delta_quantile(
     // serving path must answer with an error, never a panic.
     if let Some(i) = deltas.iter().position(|d| !d.is_finite()) {
         return Err(SmoreError::InvalidConfig {
+            // smore-lint: allow(panic_path) i came from position() over this very vec
             what: format!("calibration window {i} produced a non-finite δ_max ({})", deltas[i]),
         });
     }
@@ -99,6 +100,7 @@ pub(crate) fn drift_delta_quantile(
     // The shared nearest-rank helper (ties rounded *up*) — the local copy
     // this crate used to carry floored the rank via `as usize`, biasing the
     // calibrated drift δ low on small calibration sets.
+    // smore-lint: allow(panic_path) nearest_rank_index returns an index < len by contract
     Ok(deltas[smore::metrics::nearest_rank_index(deltas.len(), f64::from(quantile))])
 }
 
@@ -245,6 +247,7 @@ impl ServeEngine {
 
     /// Number of tenant sessions created so far.
     pub fn tenants_created(&self) -> usize {
+        // ordering: Relaxed — monotone stats counter, no ordering promised.
         self.tenants.load(Ordering::Relaxed)
     }
 
@@ -265,6 +268,8 @@ impl ServeEngine {
     /// session owns all of its adaptation machinery and is `Send` — hand
     /// it to the tenant's connection/actor thread.
     pub fn session(&self) -> TenantSession {
+        // ordering: Relaxed — the counter only hands out distinct ids;
+        // session state is owned by the caller, not published through it.
         let id = self.tenants.fetch_add(1, Ordering::Relaxed);
         self.session_with_id(id)
     }
@@ -275,6 +280,7 @@ impl ServeEngine {
     /// internal counter. Still counts toward
     /// [`tenants_created`](Self::tenants_created).
     pub fn session_for(&self, tenant: u64) -> TenantSession {
+        // ordering: Relaxed — monotone stats counter, same as session().
         self.tenants.fetch_add(1, Ordering::Relaxed);
         self.session_with_id(tenant as usize)
     }
@@ -328,6 +334,7 @@ impl ServeEngine {
         // stale counter reuse a base tag.
         let next_tag = delta.meta.next_tag.max(self.next_tag);
         let steps = delta.meta.steps;
+        // ordering: Relaxed — monotone stats counter, same as session().
         self.tenants.fetch_add(1, Ordering::Relaxed);
         Ok(TenantSession {
             id: tenant as usize,
@@ -398,6 +405,7 @@ impl TenantSession {
     /// taking this view clones nothing.
     pub fn serving_model(&self) -> ServingModel<'_> {
         serving_view(&self.base, &self.delta)
+            // smore-lint: allow(panic_path) the session built its delta over this same base; the pairing cannot mismatch
             .expect("session delta is built over the session's own base")
     }
 

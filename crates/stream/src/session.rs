@@ -372,6 +372,7 @@ impl StreamingSmore {
         let descriptors = self.dense.descriptors()?.as_matrix();
         let new_local = models.len() - 1;
         snapshot.enroll_domain(
+            // smore-lint: allow(panic_path) domain_models() returned ≥ 1 models — this enrolment just added one
             models.last().expect("enroll_domain pushed a model"),
             descriptors.row(new_local),
             plan.tag,

@@ -393,6 +393,7 @@ impl SessionStore {
         f: impl FnOnce(&mut TenantSession) -> T,
     ) -> Result<T> {
         self.touch(tenant)?;
+        // smore-lint: allow(panic_path) touch() either hydrated the tenant or returned an error
         let entry = self.resident.get_mut(&tenant).expect("touched tenant is resident");
         let out = f(&mut entry.session);
         let bytes = entry.session.delta_storage_bytes();

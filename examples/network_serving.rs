@@ -56,6 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let m = server.metrics();
     println!(
         "burst of {n}: {} windows answered through {} coalesced base batches",
+        // ordering: Relaxed — display-only scrape after the replies.
         m.coalesced_windows.load(Ordering::Relaxed),
         m.coalesced_batches.load(Ordering::Relaxed)
     );

@@ -33,6 +33,8 @@
 //! let _ = smore_repro::smore_tensor::Matrix::zeros(1, 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use smore;
 pub use smore_baselines;
 pub use smore_data;
